@@ -1,0 +1,38 @@
+//! Criterion bench: the incremental cost of CPPR — plain analysis versus
+//! CPPR-enabled analysis on a register-heavy design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tmm_circuits::CircuitSpec;
+use tmm_sta::constraints::Context;
+use tmm_sta::cppr::CpprReport;
+use tmm_sta::graph::ArcGraph;
+use tmm_sta::liberty::Library;
+use tmm_sta::propagate::{Analysis, AnalysisOptions};
+
+fn bench_cppr(c: &mut Criterion) {
+    let lib = Library::synthetic(1);
+    let netlist = CircuitSpec::new("c")
+        .inputs(8)
+        .outputs(8)
+        .register_banks(4, 24)
+        .cloud(3, 12)
+        .seed(5)
+        .generate(&lib)
+        .unwrap();
+    let graph = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+    let ctx = Context::nominal(&graph);
+
+    let mut group = c.benchmark_group("cppr");
+    group.sample_size(20);
+    group.bench_function("analysis_plain", |b| b.iter(|| Analysis::run(&graph, &ctx).unwrap()));
+    group.bench_function("analysis_with_cppr", |b| {
+        b.iter(|| Analysis::run_with_options(&graph, &ctx, AnalysisOptions { cppr: true, ..Default::default() }).unwrap())
+    });
+    let analysis =
+        Analysis::run_with_options(&graph, &ctx, AnalysisOptions { cppr: true, ..Default::default() }).unwrap();
+    group.bench_function("cppr_report", |b| b.iter(|| CpprReport::from_analysis(&graph, &analysis)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cppr);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench: GNN training epochs and inference — validating the
+//! paper's claim that inference on an unseen design takes negligible time
+//! next to model generation, plus the GraphSAGE-vs-GCN engine ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tmm_circuits::CircuitSpec;
+use tmm_gnn::{Engine, GnnModel, ModelConfig, NeighborMode, NodeGraph, TrainConfig, TrainSample};
+use tmm_sensitivity::{extract_features, pin_graph_edges};
+use tmm_sta::graph::ArcGraph;
+use tmm_sta::liberty::Library;
+
+fn sample_for(target: usize, lib: &Library) -> TrainSample {
+    let netlist = CircuitSpec::sized("g", target).seed(3).generate(lib).unwrap();
+    let graph = ArcGraph::from_netlist(&netlist, lib).unwrap();
+    let features = extract_features(&graph, false);
+    let node_graph = NodeGraph::from_edges(
+        graph.node_count(),
+        &pin_graph_edges(&graph),
+        NeighborMode::Undirected,
+    );
+    let labels: Vec<f32> =
+        (0..graph.node_count()).map(|i| f32::from(u8::from(i % 7 == 0))).collect();
+    TrainSample { graph: node_graph, features, labels, mask: None }
+}
+
+fn bench_gnn(c: &mut Criterion) {
+    let lib = Library::synthetic(1);
+    let small = sample_for(1000, &lib);
+    let big = sample_for(8000, &lib);
+
+    let mut group = c.benchmark_group("gnn");
+    group.sample_size(10);
+    group.bench_function("train_20_epochs_sage", |b| {
+        b.iter(|| {
+            let mut m = GnnModel::new(8, ModelConfig::default());
+            m.train(
+                std::slice::from_ref(&small),
+                &TrainConfig { epochs: 20, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("train_20_epochs_gcn", |b| {
+        b.iter(|| {
+            let mut m =
+                GnnModel::new(8, ModelConfig { engine: Engine::Gcn, ..Default::default() });
+            m.train(
+                std::slice::from_ref(&small),
+                &TrainConfig { epochs: 20, ..Default::default() },
+            )
+        })
+    });
+    let mut trained = GnnModel::new(8, ModelConfig::default());
+    trained.train(
+        std::slice::from_ref(&small),
+        &TrainConfig { epochs: 10, ..Default::default() },
+    );
+    group.bench_function("inference_8k_pins", |b| {
+        b.iter(|| trained.predict(&big.graph, &big.features))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gnn);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: macro model generation time — ILM-based reduction with
+//! an iTimerM-style keep-set versus ATM-style total collapse (the paper's
+//! "generation runtime" columns), plus the LUT-compression ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tmm_circuits::CircuitSpec;
+use tmm_macromodel::baselines::{generate_atm, itimerm_keep_mask, ITIMERM_DEFAULT_TOLERANCE};
+use tmm_macromodel::{MacroModel, MacroModelOptions};
+use tmm_sta::graph::ArcGraph;
+use tmm_sta::liberty::Library;
+
+fn bench_generation(c: &mut Criterion) {
+    let lib = Library::synthetic(1);
+    let netlist = CircuitSpec::sized("g", 2000).seed(9).generate(&lib).unwrap();
+    let graph = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+    let keep = itimerm_keep_mask(&graph, ITIMERM_DEFAULT_TOLERANCE).unwrap();
+
+    let mut group = c.benchmark_group("macro_generation");
+    group.sample_size(10);
+    group.bench_function("ilm_keepset", |b| {
+        b.iter(|| MacroModel::generate(&graph, &keep, &MacroModelOptions::default()).unwrap())
+    });
+    group.bench_function("ilm_keepset_no_lut_compress", |b| {
+        b.iter(|| {
+            MacroModel::generate(
+                &graph,
+                &keep,
+                &MacroModelOptions { compress_luts: false, ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("atm_total_collapse", |b| {
+        b.iter(|| generate_atm(&graph, &MacroModelOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: training-data generation — the insensitive-pin filter
+//! versus full TS evaluation, quantifying the paper's ~10× speed-up claim
+//! (§4.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tmm_circuits::CircuitSpec;
+use tmm_macromodel::extract_ilm;
+use tmm_sensitivity::{evaluate_ts, filter_insensitive, FilterOptions, TsOptions};
+use tmm_sta::graph::{ArcGraph, NodeId, NodeKind};
+use tmm_sta::liberty::Library;
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let lib = Library::synthetic(1);
+    let netlist = CircuitSpec::sized("s", 800).seed(11).generate(&lib).unwrap();
+    let flat = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+    let (ilm, _) = extract_ilm(&flat).unwrap();
+    let all_internal: Vec<bool> = (0..ilm.node_count())
+        .map(|i| {
+            let n = NodeId(i as u32);
+            !ilm.node(n).dead && ilm.node(n).kind == NodeKind::Internal
+        })
+        .collect();
+    let filtered = filter_insensitive(&ilm, &FilterOptions::default()).unwrap();
+    let ts_opts = TsOptions { contexts: 2, ..Default::default() };
+
+    let mut group = c.benchmark_group("sensitivity");
+    group.sample_size(10);
+    group.bench_function("filter", |b| {
+        b.iter(|| filter_insensitive(&ilm, &FilterOptions::default()).unwrap())
+    });
+    group.bench_function("ts_all_pins", |b| {
+        b.iter(|| evaluate_ts(&ilm, &all_internal, &ts_opts).unwrap())
+    });
+    group.bench_function("ts_filtered_pins", |b| {
+        b.iter(|| evaluate_ts(&ilm, &filtered.survivors, &ts_opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity);
+criterion_main!(benches);

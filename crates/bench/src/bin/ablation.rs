@@ -1,0 +1,85 @@
+//! Ablation study of the framework's design choices (DESIGN.md hooks):
+//!
+//! 1. **GNN engine** — GraphSAGE-mean (paper) vs GraphSAGE-pool vs GCN
+//!    (§5.1: "other GNN models could be embedded").
+//! 2. **Label form** — classification (paper main) vs regression on raw TS
+//!    (§5.3).
+//! 3. **LUT index selection** — on (paper, via iTimerM §5.2) vs off.
+//!
+//! Each variant trains on the standard suite and is evaluated on the three
+//! mid-size TAU17 designs.
+
+use tmm_bench::{eval_ours, library, print_header, print_row, train_standard, MethodRow};
+use tmm_circuits::designs::eval_suite;
+use tmm_core::FrameworkConfig;
+use tmm_gnn::Engine;
+use tmm_macromodel::eval::EvalOptions;
+use tmm_macromodel::MacroModelOptions;
+
+fn run_variant(
+    label: &str,
+    config: FrameworkConfig,
+    rows: &mut Vec<MethodRow>,
+) {
+    let lib = library();
+    let fw = train_standard(config, &lib).expect("training succeeds");
+    let suite = eval_suite(&lib).expect("suite generation");
+    let opts = EvalOptions { contexts: 4, ..Default::default() };
+    for entry in suite
+        .iter()
+        .filter(|e| ["mgc_edit_dist_iccad", "vga_lcd_iccad", "mgc_matrix_mult_iccad"]
+            .contains(&e.name.as_str()))
+    {
+        let mut row = eval_ours(&fw, entry, &lib, &opts).expect("eval");
+        row.method = label.to_string();
+        print_row(&row);
+        rows.push(row);
+    }
+}
+
+fn main() {
+    print_header("Ablations: engine / label form / LUT index selection");
+    let mut rows = Vec::new();
+
+    run_variant("sage", FrameworkConfig::default(), &mut rows);
+    run_variant(
+        "pool",
+        FrameworkConfig::default().with_engine(Engine::GraphSagePool),
+        &mut rows,
+    );
+    run_variant("gcn", FrameworkConfig::default().with_engine(Engine::Gcn), &mut rows);
+    run_variant(
+        "regress",
+        FrameworkConfig { regression: true, ..Default::default() },
+        &mut rows,
+    );
+    run_variant(
+        "no_lut",
+        FrameworkConfig {
+            macro_options: MacroModelOptions { compress_luts: false, ..Default::default() },
+            ..Default::default()
+        },
+        &mut rows,
+    );
+
+    println!();
+    let summary = |label: &str| {
+        let sel: Vec<&MethodRow> = rows.iter().filter(|r| r.method == label).collect();
+        let n = sel.len().max(1) as f64;
+        let avg_err: f64 = sel.iter().map(|r| r.avg_err_ps).sum::<f64>() / n;
+        let max_err: f64 = sel.iter().map(|r| r.max_err_ps).sum::<f64>() / n;
+        let file: f64 = sel.iter().map(|r| r.file_kib).sum::<f64>() / n;
+        println!(
+            "{label:<8} avg err {avg_err:>8.4} ps, mean max err {max_err:>8.3} ps, mean file {file:>9.1} KiB"
+        );
+    };
+    for label in ["sage", "pool", "gcn", "regress", "no_lut"] {
+        summary(label);
+    }
+    println!("\nExpected: the three engines land within the same accuracy/size regime");
+    println!("(the framework is engine-agnostic, §5.1); regression keeps a different,");
+    println!("larger pin set driven by relative criticality; LUT index selection is the");
+    println!("size/accuracy knob — disabling it cuts interpolation error but inflates");
+    println!("the model severalfold (all methods share the setting, so comparisons in");
+    println!("Tables 3-6 are unaffected).");
+}

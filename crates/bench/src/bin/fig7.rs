@@ -1,0 +1,47 @@
+//! Regenerates **Figure 7**: the shielding effect — the slew difference
+//! injected at the primary inputs decays as it propagates through logic
+//! levels, which is why deep pins are timing-insensitive and why the
+//! slew-difference filter works.
+
+use tmm_circuits::designs::{suite_library, training_design};
+use tmm_macromodel::baselines::slew_range;
+use tmm_sta::graph::{ArcGraph, NodeId};
+
+fn main() {
+    let lib = suite_library();
+    let netlist = training_design("systemcaes", 1000).expect("generation");
+    let graph = ArcGraph::from_netlist(&netlist, &lib).expect("lowering");
+
+    // slew_range propagates extreme boundary slews (5 ps vs 150 ps) and
+    // reports the per-pin difference — exactly the Fig. 7 experiment.
+    let sd = slew_range(&graph).expect("propagation");
+    let levels = graph.levels_from_inputs();
+    let max_level = levels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .max()
+        .copied()
+        .unwrap_or(0);
+
+    println!("Figure 7: slew difference vs logic level (shielding effect)");
+    println!("{:>6} {:>10} {:>14} {:>10}", "level", "#pins", "avg SD (ps)", "max SD");
+    let mut prev_avg = f64::INFINITY;
+    let mut monotone_breaks = 0usize;
+    for level in 0..=max_level {
+        let pins: Vec<f64> = (0..graph.node_count())
+            .filter(|&i| levels[i] == level && !graph.node(NodeId(i as u32)).dead)
+            .map(|i| sd[i])
+            .collect();
+        if pins.is_empty() {
+            continue;
+        }
+        let avg = pins.iter().sum::<f64>() / pins.len() as f64;
+        let max = pins.iter().fold(0.0f64, |a, &b| a.max(b));
+        println!("{level:>6} {:>10} {avg:>14.3} {max:>10.3}", pins.len());
+        if avg > prev_avg && level > 1 {
+            monotone_breaks += 1;
+        }
+        prev_avg = avg;
+    }
+    println!("(local increases along the decay: {monotone_breaks} — reconvergence noise; the trend is the shield)");
+}

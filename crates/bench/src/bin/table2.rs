@@ -1,0 +1,30 @@
+//! Regenerates **Table 2**: testing-design statistics.
+//!
+//! Prints the paper's TAU benchmark sizes next to the sizes of our
+//! 1/500-scale synthetic stand-ins, so every later table can be read
+//! against the designs it ran on.
+
+use tmm_bench::library;
+use tmm_circuits::designs::{eval_suite, PAPER_TABLE2, SCALE};
+
+fn main() {
+    let lib = library();
+    let suite = eval_suite(&lib).expect("suite generation is infallible");
+    println!("Table 2: testing data statistics (paper sizes vs generated 1/{SCALE}-scale stand-ins)");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9}",
+        "Design", "paper#Pins", "paper#Cells", "paper#Nets", "#Pins", "#Cells", "#Nets"
+    );
+    println!("{}", "-".repeat(100));
+    for entry in &suite {
+        let paper = PAPER_TABLE2
+            .iter()
+            .find(|row| row.0 == entry.name)
+            .expect("suite mirrors the paper table");
+        let s = entry.netlist.stats();
+        println!(
+            "{:<26} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9}",
+            entry.name, paper.1, paper.2, paper.3, s.pins, s.cells, s.nets
+        );
+    }
+}

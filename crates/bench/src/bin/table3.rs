@@ -1,0 +1,59 @@
+//! Regenerates **Table 3**: TAU 2016 + TAU 2017 benchmarks *with CPPR* —
+//! Ours vs iTimerM \[5\] vs the compressed-ILM work \[4\] (LibAbs family).
+//!
+//! Paper shape to reproduce: Ours ties iTimerM on max error while cutting
+//! model size ~10 %; the LibAbs-style baseline has markedly worse max error
+//! (~9×) and ~1.8× larger models. \[4\] was only evaluated on TAU 2016 in its
+//! paper, so the LibAbs rows cover that group.
+
+use tmm_bench::{
+    eval_itimerm, eval_libabs, eval_ours, library, print_header, print_ratio, print_row,
+    ratio_summary, train_standard, MethodRow,
+};
+use tmm_circuits::designs::eval_suite;
+use tmm_core::FrameworkConfig;
+use tmm_macromodel::eval::EvalOptions;
+
+fn main() {
+    let lib = library();
+    let fw = train_standard(FrameworkConfig::cppr(), &lib).expect("training succeeds");
+    let suite = eval_suite(&lib).expect("suite generation");
+    let opts = EvalOptions { contexts: 5, cppr: true, ..Default::default() };
+
+    let tau16: Vec<_> = suite.iter().filter(|e| e.name.ends_with("_eval")).collect();
+    let tau17: Vec<_> = suite
+        .iter()
+        .filter(|e| !e.name.ends_with("_eval") && !e.name.contains("matrix_mult"))
+        .collect();
+
+    print_header("Table 3: TAU 2016 + TAU 2017 with CPPR");
+    let mut ours16 = Vec::new();
+    let mut itm16 = Vec::new();
+    let mut lib16 = Vec::new();
+    for entry in &tau16 {
+        let o = eval_ours(&fw, entry, &lib, &opts).expect("eval ours");
+        let i = eval_itimerm(entry, &lib, &opts).expect("eval itimerm");
+        let l = eval_libabs(entry, &lib, &opts).expect("eval libabs");
+        print_row(&o);
+        print_row(&i);
+        print_row(&l);
+        ours16.push(o);
+        itm16.push(i);
+        lib16.push(l);
+    }
+    println!();
+    let mut ours17: Vec<MethodRow> = Vec::new();
+    let mut itm17 = Vec::new();
+    for entry in &tau17 {
+        let o = eval_ours(&fw, entry, &lib, &opts).expect("eval ours");
+        let i = eval_itimerm(entry, &lib, &opts).expect("eval itimerm");
+        print_row(&o);
+        print_row(&i);
+        ours17.push(o);
+        itm17.push(i);
+    }
+    println!();
+    print_ratio("TAU2016 avg (iTimerM vs Ours)", &ratio_summary(&ours16, &itm16));
+    print_ratio("TAU2016 avg (LibAbs  vs Ours)", &ratio_summary(&ours16, &lib16));
+    print_ratio("TAU2017 avg (iTimerM vs Ours)", &ratio_summary(&ours17, &itm17));
+}

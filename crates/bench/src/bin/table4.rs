@@ -1,0 +1,61 @@
+//! Regenerates **Table 4**: ablation of the dedicated CPPR feature
+//! (`is_CPPR`, §5.3) — the framework trained with the 8 basic features
+//! versus the 9-feature variant, both evaluated with CPPR enabled and
+//! reported as ratios against iTimerM.
+//!
+//! Paper shape to reproduce: the basic features already match iTimerM's
+//! accuracy with a smaller model (size ratio ≈ 1.06); the dedicated feature
+//! improves the size ratio further (≈ 1.08–1.12).
+
+use tmm_bench::{
+    eval_itimerm, eval_ours, library, print_header, print_ratio, print_row, ratio_summary,
+    train_standard,
+};
+use tmm_circuits::designs::eval_suite;
+use tmm_core::FrameworkConfig;
+use tmm_macromodel::eval::EvalOptions;
+
+fn main() {
+    let lib = library();
+    let fw_before =
+        train_standard(FrameworkConfig::cppr_without_feature(), &lib).expect("train before");
+    let fw_after = train_standard(FrameworkConfig::cppr(), &lib).expect("train after");
+    let suite = eval_suite(&lib).expect("suite generation");
+    let opts = EvalOptions { contexts: 5, cppr: true, ..Default::default() };
+
+    for (group, filt) in [
+        ("TAU2016", true),
+        ("TAU2017", false),
+    ] {
+        let designs: Vec<_> = suite
+            .iter()
+            .filter(|e| e.name.ends_with("_eval") == filt && !e.name.contains("matrix_mult"))
+            .collect();
+        print_header(&format!("Table 4 ({group}): with vs without the is_CPPR feature"));
+        let mut before = Vec::new();
+        let mut after = Vec::new();
+        let mut itm = Vec::new();
+        for entry in &designs {
+            let mut b = eval_ours(&fw_before, entry, &lib, &opts).expect("eval before");
+            b.method = "Before".into();
+            let mut a = eval_ours(&fw_after, entry, &lib, &opts).expect("eval after");
+            a.method = "After".into();
+            let i = eval_itimerm(entry, &lib, &opts).expect("eval itimerm");
+            print_row(&b);
+            print_row(&a);
+            print_row(&i);
+            before.push(b);
+            after.push(a);
+            itm.push(i);
+        }
+        print_ratio(
+            &format!("{group} ratio before (iTimerM vs Ours w/o is_CPPR)"),
+            &ratio_summary(&before, &itm),
+        );
+        print_ratio(
+            &format!("{group} ratio after  (iTimerM vs Ours w/  is_CPPR)"),
+            &ratio_summary(&after, &itm),
+        );
+        println!();
+    }
+}

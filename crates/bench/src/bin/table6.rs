@@ -1,0 +1,61 @@
+//! Regenerates **Table 6**: validation of the insensitive-pin filter.
+//!
+//! The experiment labels *every* pin surviving the filter as timing-variant
+//! (bypassing the GNN entirely) and checks that accuracy matches iTimerM
+//! while the model is only marginally larger — evidence that the filter
+//! never discards a pin the TS flow would have labelled variant.
+
+use tmm_bench::{
+    eval_itimerm, eval_model, library, print_header, print_ratio, print_row, ratio_summary,
+};
+use tmm_circuits::designs::eval_suite;
+use tmm_macromodel::baselines::output_variant_pins;
+use tmm_macromodel::{extract_ilm, MacroModel, MacroModelOptions};
+use tmm_sensitivity::{filter_insensitive, FilterOptions};
+use tmm_sta::graph::ArcGraph;
+use tmm_macromodel::eval::EvalOptions;
+
+fn main() {
+    let lib = library();
+    let suite = eval_suite(&lib).expect("suite generation");
+    let opts = EvalOptions { contexts: 5, cppr: true, ..Default::default() };
+
+    for (group, filt) in [("TAU2016", true), ("TAU2017", false)] {
+        let designs: Vec<_> = suite
+            .iter()
+            .filter(|e| e.name.ends_with("_eval") == filt && !e.name.contains("matrix_mult"))
+            .collect();
+        print_header(&format!(
+            "Table 6 ({group}): all filter survivors labelled variant vs iTimerM"
+        ));
+        let mut survivors_rows = Vec::new();
+        let mut itm_rows = Vec::new();
+        for entry in &designs {
+            let flat = ArcGraph::from_netlist(&entry.netlist, &lib).expect("lowering");
+            let (ilm, _) = extract_ilm(&flat).expect("ilm");
+            let filter = filter_insensitive(
+                &ilm,
+                &FilterOptions { keep_cppr_pins: true, ..Default::default() },
+            )
+            .expect("filter");
+            let mut keep = filter.survivors.clone();
+            for (i, &h) in output_variant_pins(&ilm).iter().enumerate() {
+                keep[i] = keep[i] || h;
+            }
+            let model = MacroModel::generate(&flat, &keep, &MacroModelOptions::default())
+                .expect("generation");
+            let row =
+                eval_model(entry, &lib, &model, "Filter", &opts).expect("eval filter model");
+            let i = eval_itimerm(entry, &lib, &opts).expect("eval itimerm");
+            print_row(&row);
+            print_row(&i);
+            survivors_rows.push(row);
+            itm_rows.push(i);
+        }
+        print_ratio(
+            &format!("{group} (iTimerM vs Filter-as-labels)"),
+            &ratio_summary(&survivors_rows, &itm_rows),
+        );
+        println!();
+    }
+}

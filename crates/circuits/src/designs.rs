@@ -1,0 +1,187 @@
+//! Named training and evaluation design suites.
+//!
+//! The evaluation suite mirrors the eleven designs of the paper's Table 2 at
+//! ~1/500 scale (the substitution documented in `DESIGN.md`); the training
+//! suite mirrors the paper's setup of training on *small* designs
+//! (`systemcaes`, `fft_ispd`, …) and testing on much larger unseen ones
+//! (§5.3).
+
+use crate::generator::CircuitSpec;
+use tmm_sta::liberty::Library;
+use tmm_sta::netlist::Netlist;
+use tmm_sta::Result;
+
+/// A named design of a suite.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Design name (TAU benchmark name for the eval suite).
+    pub name: String,
+    /// The generated netlist.
+    pub netlist: Netlist,
+    /// Pin count of the original TAU benchmark (0 for training designs);
+    /// reported alongside our scaled size in Table 2.
+    pub paper_pins: usize,
+}
+
+/// `(name, paper #pins, paper #cells, paper #nets)` rows of the paper's
+/// Table 2.
+pub const PAPER_TABLE2: [(&str, usize, usize, usize); 11] = [
+    ("mgc_edit_dist_iccad_eval", 581_319, 224_113, 224_101),
+    ("vga_lcd_iccad_eval", 768_050, 286_597, 286_498),
+    ("leon3mp_iccad_eval", 4_167_632, 1_534_489, 1_534_410),
+    ("netcard_iccad_eval", 4_458_141, 1_630_171, 1_630_161),
+    ("leon2_iccad_eval", 5_179_094, 1_892_757, 1_892_672),
+    ("mgc_edit_dist_iccad", 450_354, 164_266, 164_254),
+    ("vga_lcd_iccad", 679_258, 259_251, 259_152),
+    ("leon3mp_iccad", 3_376_832, 1_248_058, 1_247_979),
+    ("netcard_iccad", 3_999_174, 1_498_565, 1_498_555),
+    ("leon2_iccad", 4_328_255, 1_617_069, 1_616_984),
+    ("mgc_matrix_mult_iccad", 492_568, 176_084, 174_484),
+];
+
+/// Downscaling factor from the TAU benchmark sizes to our generated sizes.
+pub const SCALE: usize = 500;
+
+/// Names of the training designs (small, per §5.3 of the paper).
+pub const TRAINING_NAMES: [&str; 6] =
+    ["systemcaes", "fft_ispd", "aes_core", "usb_phy", "pci_bridge32", "tv80"];
+
+fn training_target(name: &str) -> usize {
+    match name {
+        "systemcaes" => 700,
+        "fft_ispd" => 900,
+        "aes_core" => 520,
+        "usb_phy" => 360,
+        "pci_bridge32" => 620,
+        "tv80" => 820,
+        _ => 400,
+    }
+}
+
+/// Generates one training design by name. Unknown names yield a small
+/// default design (handy for doc examples).
+///
+/// # Errors
+///
+/// Propagates netlist-construction errors (never for valid specs).
+pub fn training_design(name: &str, seed: u64) -> Result<Netlist> {
+    let library = Library::synthetic(library_seed());
+    CircuitSpec::sized(name, training_target(name)).seed(seed).generate(&library)
+}
+
+/// The library seed shared by every suite so all designs are timed against
+/// one consistent cell library, as in the contests.
+#[must_use]
+pub fn library_seed() -> u64 {
+    20_220_710 // DAC'22 conference date
+}
+
+/// The shared synthetic library every suite design is built against.
+#[must_use]
+pub fn suite_library() -> Library {
+    Library::synthetic(library_seed())
+}
+
+/// Generates the training suite: six small clocked designs.
+///
+/// # Errors
+///
+/// Propagates netlist-construction errors (never for valid specs).
+pub fn training_suite(library: &Library) -> Result<Vec<SuiteEntry>> {
+    TRAINING_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, &name)| {
+            let netlist = CircuitSpec::sized(name, training_target(name))
+                .seed(1000 + i as u64)
+                .generate(library)?;
+            Ok(SuiteEntry { name: name.to_string(), netlist, paper_pins: 0 })
+        })
+        .collect()
+}
+
+/// Generates the evaluation suite: the eleven Table 2 designs scaled by
+/// [`SCALE`].
+///
+/// # Errors
+///
+/// Propagates netlist-construction errors (never for valid specs).
+pub fn eval_suite(library: &Library) -> Result<Vec<SuiteEntry>> {
+    PAPER_TABLE2
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, pins, _, _))| {
+            let netlist = CircuitSpec::sized(name, pins / SCALE)
+                .seed(2000 + i as u64)
+                .generate(library)?;
+            Ok(SuiteEntry { name: name.to_string(), netlist, paper_pins: pins })
+        })
+        .collect()
+}
+
+/// Generates a single evaluation design by its TAU name.
+///
+/// # Errors
+///
+/// Returns [`tmm_sta::StaError::UnknownPort`] for unknown names (reusing the
+/// name-lookup error variant) or propagates construction errors.
+pub fn eval_design(name: &str, library: &Library) -> Result<Netlist> {
+    let (i, &(_, pins, _, _)) = PAPER_TABLE2
+        .iter()
+        .enumerate()
+        .find(|(_, row)| row.0 == name)
+        .ok_or_else(|| tmm_sta::StaError::UnknownPort(name.to_string()))?;
+    CircuitSpec::sized(name, pins / SCALE).seed(2000 + i as u64).generate(library)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_suite_designs_are_small_and_clocked() {
+        let lib = suite_library();
+        let suite = training_suite(&lib).unwrap();
+        assert_eq!(suite.len(), 6);
+        for e in &suite {
+            let s = e.netlist.stats();
+            assert!(s.pins < 2500, "{}: {} pins", e.name, s.pins);
+            assert!(e.netlist.clock_port().is_some(), "{} must be clocked", e.name);
+        }
+    }
+
+    #[test]
+    fn eval_suite_preserves_relative_sizes() {
+        let lib = suite_library();
+        let suite = eval_suite(&lib).unwrap();
+        assert_eq!(suite.len(), 11);
+        let by_name = |n: &str| suite.iter().find(|e| e.name == n).unwrap().netlist.stats().pins;
+        // leon2_eval is the biggest in the paper; must also be biggest here.
+        let leon2 = by_name("leon2_iccad_eval");
+        let edit = by_name("mgc_edit_dist_iccad_eval");
+        assert!(leon2 > 4 * edit, "leon2 {leon2} vs edit_dist {edit}");
+    }
+
+    #[test]
+    fn eval_design_lookup() {
+        let lib = suite_library();
+        assert!(eval_design("vga_lcd_iccad", &lib).is_ok());
+        assert!(eval_design("not_a_design", &lib).is_err());
+    }
+
+    #[test]
+    fn training_design_default_for_unknown_name() {
+        let n = training_design("s27_like", 42).unwrap();
+        assert!(n.stats().pins > 50);
+    }
+
+    #[test]
+    fn suites_are_reproducible() {
+        let lib = suite_library();
+        let a = eval_suite(&lib).unwrap();
+        let b = eval_suite(&lib).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.netlist.stats(), y.netlist.stats());
+        }
+    }
+}

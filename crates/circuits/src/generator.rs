@@ -1,0 +1,475 @@
+//! Parameterised synthetic circuit generation.
+//!
+//! [`CircuitSpec`] describes a design shape — I/O counts, register banks,
+//! combinational cloud depth/width, clock-tree fanout — and
+//! [`CircuitSpec::generate`] synthesises a reproducible [`Netlist`] from it:
+//!
+//! ```text
+//! PIs ──cloud──▶ bank₀ ──cloud──▶ bank₁ ─ … ─▶ bankₙ ──cloud──▶ POs
+//!                  ▲                ▲                ▲
+//!                  └────────── buffered clock tree ──┘
+//! ```
+//!
+//! Clouds are random layered DAGs with reconvergent fan-in, so shielding
+//! (Fig. 7 of the paper) and non-trivial timing-sensitivity distributions
+//! emerge naturally.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tmm_sta::liberty::Library;
+use tmm_sta::netlist::{CellId, Netlist, NetlistBuilder, PinId};
+use tmm_sta::parasitics::NetParasitics;
+use tmm_sta::Result;
+
+/// Shape description of a synthetic design. Use the builder-style methods
+/// and finish with [`CircuitSpec::generate`].
+#[derive(Debug, Clone)]
+pub struct CircuitSpec {
+    name: String,
+    inputs: usize,
+    outputs: usize,
+    banks: usize,
+    regs_per_bank: usize,
+    cloud_depth: usize,
+    cloud_width: usize,
+    clock_fanout: usize,
+    seed: u64,
+}
+
+impl CircuitSpec {
+    /// Starts a spec with small defaults (4 inputs, 4 outputs, one bank of
+    /// 4 registers, 2×6 clouds).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitSpec {
+            name: name.into(),
+            inputs: 4,
+            outputs: 4,
+            banks: 1,
+            regs_per_bank: 4,
+            cloud_depth: 2,
+            cloud_width: 6,
+            clock_fanout: 4,
+            seed: 0,
+        }
+    }
+
+    /// Number of primary inputs (minimum 1).
+    #[must_use]
+    pub fn inputs(mut self, n: usize) -> Self {
+        self.inputs = n.max(1);
+        self
+    }
+
+    /// Number of primary outputs (minimum 1).
+    #[must_use]
+    pub fn outputs(mut self, n: usize) -> Self {
+        self.outputs = n.max(1);
+        self
+    }
+
+    /// Number of register banks and registers per bank. Zero banks yields a
+    /// purely combinational (unclocked) design.
+    #[must_use]
+    pub fn register_banks(mut self, banks: usize, regs_per_bank: usize) -> Self {
+        self.banks = banks;
+        self.regs_per_bank = regs_per_bank.max(1);
+        self
+    }
+
+    /// Depth (layers) and width (gates per layer) of each combinational
+    /// cloud.
+    #[must_use]
+    pub fn cloud(mut self, depth: usize, width: usize) -> Self {
+        self.cloud_depth = depth.max(1);
+        self.cloud_width = width.max(1);
+        self
+    }
+
+    /// Maximum fanout of each clock-tree buffer.
+    #[must_use]
+    pub fn clock_fanout(mut self, fanout: usize) -> Self {
+        self.clock_fanout = fanout.max(2);
+        self
+    }
+
+    /// Random seed; the same spec and seed always generate the same netlist.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Derives a spec whose generated design has roughly `target_pins` pins.
+    /// Used to scale the named suites to the relative sizes of the paper's
+    /// Table 2.
+    #[must_use]
+    pub fn sized(name: impl Into<String>, target_pins: usize) -> Self {
+        // A generated cell averages ≈ 3.2 pins; ports add a few more.
+        let cells = (target_pins as f64 / 3.2).max(12.0);
+        // Allocate ~12% of cells to registers, the rest to cloud gates.
+        let regs = ((cells * 0.12) as usize).max(4);
+        let banks = (regs / 24).clamp(1, 8);
+        let regs_per_bank = (regs / banks).max(2);
+        let cloud_cells = cells as usize - regs;
+        let clouds = banks + 1;
+        let per_cloud = (cloud_cells / clouds).max(4);
+        // Aim for depth ≈ sqrt(per_cloud)/1.5 to get multi-level logic.
+        let depth = ((per_cloud as f64).sqrt() / 1.5).round().clamp(2.0, 12.0) as usize;
+        let width = (per_cloud / depth).max(2);
+        CircuitSpec::new(name)
+            .inputs((width / 2).clamp(3, 64))
+            .outputs((width / 2).clamp(3, 64))
+            .register_banks(banks, regs_per_bank)
+            .cloud(depth, width)
+            .clock_fanout(4)
+    }
+
+    /// Synthesises the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`tmm_sta::StaError`] from netlist construction; a valid
+    /// spec against the synthetic library never fails in practice.
+    pub fn generate(&self, library: &Library) -> Result<Netlist> {
+        Generator::new(self, library).run()
+    }
+}
+
+/// Internal stateful generator.
+struct Generator<'a> {
+    spec: &'a CircuitSpec,
+    library: &'a Library,
+    rng: StdRng,
+    builder: NetlistBuilder<'a>,
+    /// Deferred net construction: driver pin -> sink pins.
+    edges: HashMap<PinId, Vec<PinId>>,
+    counter: usize,
+    one_in: Vec<String>,
+    two_in: Vec<String>,
+    three_in: Vec<String>,
+}
+
+impl<'a> Generator<'a> {
+    fn new(spec: &'a CircuitSpec, library: &'a Library) -> Self {
+        let one_in: Vec<String> =
+            library.combinational_with_inputs(1).into_iter().map(String::from).collect();
+        let two_in: Vec<String> =
+            library.combinational_with_inputs(2).into_iter().map(String::from).collect();
+        let three_in: Vec<String> =
+            library.combinational_with_inputs(3).into_iter().map(String::from).collect();
+        Generator {
+            spec,
+            library,
+            rng: StdRng::seed_from_u64(spec.seed ^ 0xd151_c0de),
+            builder: NetlistBuilder::new(spec.name.clone(), library),
+            edges: HashMap::new(),
+            counter: 0,
+            one_in,
+            two_in,
+            three_in,
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}_{}", self.counter)
+    }
+
+    fn wire(&mut self, driver: PinId, sink: PinId) {
+        self.edges.entry(driver).or_default().push(sink);
+    }
+
+    /// Creates one random gate with inputs drawn from `pool`; returns its
+    /// output pin.
+    fn random_gate(&mut self, pool: &[PinId]) -> Result<PinId> {
+        debug_assert!(!pool.is_empty());
+        let n_in = if pool.len() >= 3 {
+            *[1usize, 2, 2, 2, 3, 3].choose(&mut self.rng).expect("non-empty")
+        } else if pool.len() == 2 {
+            *[1usize, 2, 2].choose(&mut self.rng).expect("non-empty")
+        } else {
+            1
+        };
+        let names = match n_in {
+            1 => &self.one_in,
+            2 => &self.two_in,
+            _ => &self.three_in,
+        };
+        let template = names.choose(&mut self.rng).expect("library has gates").clone();
+        let inst = self.fresh("g");
+        let cell = self.builder.cell(&inst, &template)?;
+        let tmpl = self.library.template(&template).expect("template exists");
+        let input_indices: Vec<usize> = tmpl.input_pins().collect();
+        // Draw distinct sources where possible.
+        let mut chosen: Vec<PinId> = Vec::with_capacity(n_in);
+        for _ in 0..n_in {
+            let src = *pool.choose(&mut self.rng).expect("non-empty pool");
+            chosen.push(src);
+        }
+        for (k, &pin_idx) in input_indices.iter().enumerate().take(n_in) {
+            let pin_name = tmpl.pins[pin_idx].name.clone();
+            let sink = self.builder.pin_of(cell, &pin_name)?;
+            self.wire(chosen[k], sink);
+        }
+        let out_idx = tmpl.output_pins().next().expect("gate has output");
+        let out_name = tmpl.pins[out_idx].name.clone();
+        self.builder.pin_of(cell, &out_name)
+    }
+
+    /// Builds a layered reconvergent cloud from `sources`, returning
+    /// `n_outputs` output pins.
+    fn cloud(&mut self, sources: &[PinId], n_outputs: usize) -> Result<Vec<PinId>> {
+        let mut pool: Vec<PinId> = sources.to_vec();
+        let window = (self.spec.cloud_width * 2).max(8);
+        for _layer in 0..self.spec.cloud_depth {
+            let mut layer_outs = Vec::with_capacity(self.spec.cloud_width);
+            for _ in 0..self.spec.cloud_width {
+                // Bias input selection to recent signals but keep long
+                // reconvergent edges possible.
+                let lo = pool.len().saturating_sub(window);
+                let slice = if self.rng.gen_bool(0.85) { &pool[lo..] } else { &pool[..] };
+                let out = self.random_gate(slice)?;
+                layer_outs.push(out);
+            }
+            pool.extend(layer_outs);
+        }
+        // Final selection layer: exactly n_outputs gates drawing from the
+        // whole pool, so every requested output exists and is driven.
+        let mut outs = Vec::with_capacity(n_outputs);
+        for _ in 0..n_outputs {
+            let out = self.random_gate(&pool)?;
+            outs.push(out);
+        }
+        Ok(outs)
+    }
+
+    /// Builds one register bank; returns `(d_pins, q_pins, ck_pins)`.
+    fn bank(&mut self, idx: usize) -> Result<(Vec<PinId>, Vec<PinId>, Vec<PinId>)> {
+        let mut d = Vec::new();
+        let mut q = Vec::new();
+        let mut ck = Vec::new();
+        for r in 0..self.spec.regs_per_bank {
+            let inst = format!("ff_b{idx}_{r}");
+            let cell = self.builder.cell(&inst, "DFFX1")?;
+            d.push(self.builder.pin_of(cell, "D")?);
+            q.push(self.builder.pin_of(cell, "Q")?);
+            ck.push(self.builder.pin_of(cell, "CK")?);
+        }
+        Ok((d, q, ck))
+    }
+
+    /// Recursively builds a buffered clock tree from `driver` to `sinks`.
+    fn clock_tree(&mut self, driver: PinId, sinks: &[PinId]) -> Result<()> {
+        if sinks.len() <= self.spec.clock_fanout {
+            for &s in sinks {
+                self.wire(driver, s);
+            }
+            return Ok(());
+        }
+        let groups = self.spec.clock_fanout.min(sinks.len());
+        let chunk = sinks.len().div_ceil(groups);
+        for part in sinks.chunks(chunk) {
+            let inst = self.fresh("ckb");
+            let buf_name = if part.len() > 8 { "CLKBUFX4" } else { "CLKBUFX2" };
+            let cell: CellId = self.builder.cell(&inst, buf_name)?;
+            let a = self.builder.pin_of(cell, "A")?;
+            let z = self.builder.pin_of(cell, "Z")?;
+            self.wire(driver, a);
+            self.clock_tree(z, part)?;
+        }
+        Ok(())
+    }
+
+    fn run(mut self) -> Result<Netlist> {
+        let spec = self.spec.clone();
+        // Boundary ports.
+        let pis: Vec<PinId> =
+            (0..spec.inputs).map(|i| self.builder.input(&format!("in{i}"))).collect::<Result<_>>()?;
+        let pos: Vec<PinId> = (0..spec.outputs)
+            .map(|i| self.builder.output(&format!("out{i}")))
+            .collect::<Result<_>>()?;
+        let clk = if spec.banks > 0 { Some(self.builder.clock_input("clk")?) } else { None };
+
+        // Register banks.
+        let mut banks = Vec::with_capacity(spec.banks);
+        for b in 0..spec.banks {
+            banks.push(self.bank(b)?);
+        }
+
+        // Clock tree to every CK pin. The sink order is shuffled before the
+        // tree is partitioned: physical clock trees group registers by
+        // placement, not by logical bank, so launch/capture pairs of
+        // bank-to-bank paths share deep tree prefixes — which is what makes
+        // CPPR credits non-trivial.
+        if let Some(clk) = clk {
+            let mut all_ck: Vec<PinId> =
+                banks.iter().flat_map(|(_, _, ck)| ck.iter().copied()).collect();
+            all_ck.shuffle(&mut self.rng);
+            self.clock_tree(clk, &all_ck)?;
+        }
+
+        // Data path: PIs -> cloud -> bank0; bank_i -> cloud -> bank_{i+1};
+        // last bank -> cloud -> POs. Purely combinational designs connect
+        // PIs straight through one cloud to POs.
+        if spec.banks == 0 {
+            let outs = self.cloud(&pis, spec.outputs)?;
+            for (o, po) in outs.into_iter().zip(pos.iter()) {
+                self.wire(o, *po);
+            }
+        } else {
+            let first_d = banks[0].0.clone();
+            let outs = self.cloud(&pis, first_d.len())?;
+            for (o, d) in outs.into_iter().zip(first_d) {
+                self.wire(o, d);
+            }
+            for b in 1..spec.banks {
+                let srcs = banks[b - 1].1.clone();
+                let dsts = banks[b].0.clone();
+                let outs = self.cloud(&srcs, dsts.len())?;
+                for (o, d) in outs.into_iter().zip(dsts) {
+                    self.wire(o, d);
+                }
+            }
+            let last_q = banks[spec.banks - 1].1.clone();
+            // Mix a slice of PIs into the output cloud so some PI→PO paths
+            // bypass the registers (interface logic in ILM terms).
+            let mut srcs = last_q;
+            srcs.extend(pis.iter().take(spec.inputs / 2).copied());
+            let outs = self.cloud(&srcs, spec.outputs)?;
+            for (o, po) in outs.into_iter().zip(pos.iter()) {
+                self.wire(o, *po);
+            }
+        }
+
+        // Random clouds may not sample every PI; tie unused inputs to a
+        // buffer so every port is legally connected (its output floats,
+        // mirroring dangling logic in real netlists).
+        for &pi in &pis {
+            if !self.edges.contains_key(&pi) {
+                let inst = self.fresh("tie");
+                let cell = self.builder.cell(&inst, "BUFX1")?;
+                let a = self.builder.pin_of(cell, "A")?;
+                self.wire(pi, a);
+            }
+        }
+
+        // Materialise deferred nets with seeded parasitics.
+        let edges = std::mem::take(&mut self.edges);
+        let mut sorted: Vec<(PinId, Vec<PinId>)> = edges.into_iter().collect();
+        sorted.sort_by_key(|(d, _)| *d);
+        for (driver, sinks) in sorted {
+            let name = self.fresh("n");
+            let fanout = sinks.len();
+            let para = NetParasitics {
+                wire_cap: self.rng.gen_range(0.3..1.2) * fanout as f64,
+                sink_delays: (0..fanout).map(|_| self.rng.gen_range(0.2..1.8)).collect(),
+                slew_degrade: 1.0 + self.rng.gen_range(0.0..0.01) * fanout as f64,
+            };
+            self.builder.connect_with(&name, driver, &sinks, para)?;
+        }
+        self.builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmm_sta::constraints::Context;
+    use tmm_sta::graph::ArcGraph;
+    use tmm_sta::propagate::Analysis;
+    use tmm_sta::split::{Edge, Mode};
+
+    fn lib() -> Library {
+        Library::synthetic(1)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let lib = lib();
+        let spec = CircuitSpec::new("d").inputs(5).outputs(5).register_banks(2, 4).cloud(3, 7).seed(9);
+        let a = spec.generate(&lib).unwrap();
+        let b = spec.generate(&lib).unwrap();
+        assert_eq!(a.stats(), b.stats());
+        let c = spec.clone().seed(10).generate(&lib).unwrap();
+        // Different seeds virtually always give different cell mixes.
+        let kinds = |n: &Netlist| -> Vec<usize> { n.cells().iter().map(|c| c.template).collect() };
+        assert_ne!(kinds(&a), kinds(&c));
+    }
+
+    #[test]
+    fn generated_design_lowers_and_analyzes() {
+        let lib = lib();
+        let n = CircuitSpec::new("d").register_banks(2, 4).cloud(3, 8).seed(3).generate(&lib).unwrap();
+        let g = ArcGraph::from_netlist(&n, &lib).unwrap();
+        g.validate().unwrap();
+        let ctx = Context::nominal(&g);
+        let an = Analysis::run(&g, &ctx).unwrap();
+        for &po in g.primary_outputs() {
+            assert!(
+                an.at(po)[Mode::Late][Edge::Rise].is_finite(),
+                "PO {} unreachable",
+                g.node(po).name
+            );
+        }
+        assert!(!g.checks().is_empty());
+    }
+
+    #[test]
+    fn clock_tree_reaches_every_ff() {
+        let lib = lib();
+        let n = CircuitSpec::new("d").register_banks(3, 9).cloud(2, 6).seed(5).generate(&lib).unwrap();
+        let g = ArcGraph::from_netlist(&n, &lib).unwrap();
+        let ctx = Context::nominal(&g);
+        let an = Analysis::run(&g, &ctx).unwrap();
+        for check in g.checks() {
+            assert!(
+                an.at(check.ck)[Mode::Late][Edge::Rise].is_finite(),
+                "clock missing at {}",
+                check.name
+            );
+        }
+        // tree depth > 1: at least one clock buffer instantiated
+        assert!(n.cells().iter().any(|c| c.name.starts_with("ckb")));
+    }
+
+    #[test]
+    fn combinational_design_has_no_clock() {
+        let lib = lib();
+        let n = CircuitSpec::new("comb").register_banks(0, 1).cloud(3, 6).seed(2).generate(&lib).unwrap();
+        assert!(n.clock_port().is_none());
+        let g = ArcGraph::from_netlist(&n, &lib).unwrap();
+        assert!(g.checks().is_empty());
+    }
+
+    #[test]
+    fn sized_spec_hits_target_within_factor_two() {
+        let lib = lib();
+        for target in [300usize, 1200, 5000] {
+            let n = CircuitSpec::sized("s", target).seed(1).generate(&lib).unwrap();
+            let pins = n.stats().pins;
+            assert!(
+                pins > target / 2 && pins < target * 2,
+                "target {target}, got {pins}"
+            );
+        }
+    }
+
+    #[test]
+    fn some_pi_to_po_paths_bypass_registers() {
+        // Interface logic exists: with one bank, a PI contributes to the
+        // output cloud directly.
+        let lib = lib();
+        let n = CircuitSpec::new("d").inputs(6).register_banks(1, 4).cloud(2, 6).seed(8).generate(&lib).unwrap();
+        let g = ArcGraph::from_netlist(&n, &lib).unwrap();
+        let levels = g.levels_to_outputs();
+        let direct = g
+            .primary_inputs()
+            .iter()
+            .filter(|&&pi| levels[pi.index()] != u32::MAX)
+            .count();
+        assert!(direct > 0, "at least one PI reaches an endpoint combinationally");
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic benchmark circuits mirroring the TAU 2016/2017 contest suite.
+//!
+//! The DAC 2022 paper evaluates on industrial contest benchmarks
+//! (`leon2`, `netcard`, `vga_lcd`, …) that are not redistributable. This
+//! crate substitutes a deterministic, seeded generator producing designs
+//! with the same *structure* — primary I/O boundary, buffered clock trees,
+//! register banks, multi-stage reconvergent combinational clouds — at a
+//! scale that runs on a single machine (see `DESIGN.md` for the
+//! substitution rationale).
+//!
+//! - [`generator`] — parameterised circuit synthesis ([`generator::CircuitSpec`]).
+//! - [`designs`] — the named training and evaluation suites used by every
+//!   experiment binary.
+//!
+//! # Example
+//!
+//! ```
+//! use tmm_circuits::generator::CircuitSpec;
+//! use tmm_sta::liberty::Library;
+//!
+//! # fn main() -> Result<(), tmm_sta::StaError> {
+//! let lib = Library::synthetic(7);
+//! let netlist = CircuitSpec::new("demo")
+//!     .inputs(4)
+//!     .outputs(3)
+//!     .register_banks(2, 6)
+//!     .cloud(3, 8)
+//!     .seed(42)
+//!     .generate(&lib)?;
+//! assert!(netlist.stats().cells > 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod designs;
+pub mod generator;
+
+pub use designs::{eval_suite, training_suite, SuiteEntry};
+pub use generator::CircuitSpec;

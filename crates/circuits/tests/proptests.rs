@@ -1,0 +1,110 @@
+//! Property-based tests of the benchmark generator.
+
+use proptest::prelude::*;
+use tmm_circuits::CircuitSpec;
+use tmm_sta::constraints::ContextSampler;
+use tmm_sta::graph::ArcGraph;
+use tmm_sta::liberty::Library;
+use tmm_sta::propagate::{Analysis, AnalysisOptions};
+use tmm_sta::split::{Edge, Mode};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Every spec in a broad parameter box generates a structurally valid,
+    /// fully connected design: all ports wired, all POs reachable, all FF
+    /// clock pins reached by the clock tree.
+    #[test]
+    fn all_specs_generate_connected_designs(
+        seed in 0u64..400,
+        inputs in 1usize..10,
+        outputs in 1usize..10,
+        banks in 0usize..4,
+        regs in 1usize..12,
+        depth in 1usize..5,
+        width in 1usize..12,
+        fanout in 2usize..7,
+    ) {
+        let lib = Library::synthetic(2);
+        let netlist = CircuitSpec::new("prop")
+            .inputs(inputs)
+            .outputs(outputs)
+            .register_banks(banks, regs)
+            .cloud(depth, width)
+            .clock_fanout(fanout)
+            .seed(seed)
+            .generate(&lib)
+            .unwrap();
+        let graph = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+        graph.validate().unwrap();
+        let ctx = tmm_sta::constraints::Context::nominal(&graph);
+        let an = Analysis::run(&graph, &ctx).unwrap();
+        for &po in graph.primary_outputs() {
+            prop_assert!(
+                an.at(po)[Mode::Late][Edge::Rise].is_finite(),
+                "unreachable PO {}",
+                graph.node(po).name
+            );
+        }
+        for check in graph.checks() {
+            prop_assert!(
+                an.at(check.ck)[Mode::Late][Edge::Rise].is_finite(),
+                "unclocked register {}",
+                check.name
+            );
+        }
+    }
+
+    /// Generation is a pure function of (spec, seed): stats, arc counts and
+    /// even analysis results agree across calls.
+    #[test]
+    fn generation_is_pure(seed in 0u64..300) {
+        let lib = Library::synthetic(2);
+        let spec = CircuitSpec::new("pure").register_banks(1, 4).cloud(2, 6).seed(seed);
+        let a = spec.generate(&lib).unwrap();
+        let b = spec.generate(&lib).unwrap();
+        prop_assert_eq!(a.stats(), b.stats());
+        let ga = ArcGraph::from_netlist(&a, &lib).unwrap();
+        let gb = ArcGraph::from_netlist(&b, &lib).unwrap();
+        let ctx = tmm_sta::constraints::Context::nominal(&ga);
+        let aa = Analysis::run(&ga, &ctx).unwrap();
+        let ab = Analysis::run(&gb, &ctx).unwrap();
+        prop_assert_eq!(aa.boundary().diff(ab.boundary()).max, 0.0);
+    }
+
+    /// CPPR on generated clocked designs is sound: credited slacks are never
+    /// more pessimistic than uncredited ones.
+    #[test]
+    fn cppr_never_hurts_generated_designs(seed in 0u64..100) {
+        let lib = Library::synthetic(2);
+        let netlist = CircuitSpec::new("cp")
+            .register_banks(2, 6)
+            .cloud(2, 5)
+            .seed(seed)
+            .generate(&lib)
+            .unwrap();
+        let graph = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+        let mut sampler = ContextSampler::new(seed);
+        let ctx = sampler.sample(&graph);
+        let plain = Analysis::run(&graph, &ctx).unwrap();
+        let cppr = Analysis::run_with_options(
+            &graph,
+            &ctx,
+            AnalysisOptions { cppr: true, ..Default::default() },
+        )
+        .unwrap();
+        for (p, c) in plain.boundary().checks.iter().zip(&cppr.boundary().checks) {
+            for edge in Edge::ALL {
+                if p.setup_slack[edge].is_finite() && c.setup_slack[edge].is_finite() {
+                    prop_assert!(
+                        c.setup_slack[edge] >= p.setup_slack[edge] - 1e-9,
+                        "{}: CPPR worsened setup slack {} -> {}",
+                        p.name,
+                        p.setup_slack[edge],
+                        c.setup_slack[edge]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Framework configuration.
+
+use tmm_gnn::{Engine, ModelConfig, Task, TrainConfig};
+use tmm_macromodel::MacroModelOptions;
+use tmm_sensitivity::{DatasetOptions, FilterOptions, TsOptions};
+
+/// Complete configuration of the GNN-based macro-modeling framework.
+///
+/// The defaults reproduce the paper's main setting: a 2-layer GraphSAGE
+/// classifier on the eight basic features, CPPR off. Enable
+/// [`FrameworkConfig::cppr_mode`] and
+/// [`FrameworkConfig::with_cppr_feature`] for the Table 3/4 CPPR runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameworkConfig {
+    /// GNN architecture.
+    pub model: ModelConfig,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+    /// TS evaluation options for training-data generation.
+    pub ts: TsOptions,
+    /// Insensitive-pin filter options.
+    pub filter: FilterOptions,
+    /// Macro-model generation options.
+    pub macro_options: MacroModelOptions,
+    /// Generate and evaluate with CPPR.
+    pub cppr_mode: bool,
+    /// Generate training data under AOCV derating (the §5.3 generality
+    /// axis); evaluation must then also run with AOCV.
+    pub aocv_mode: bool,
+    /// Include the dedicated `is_CPPR` feature (§5.3).
+    pub with_cppr_feature: bool,
+    /// Keep a pin when its predicted variant probability exceeds this.
+    pub keep_threshold: f32,
+    /// Train the regression variant (§5.3) instead of classification.
+    pub regression: bool,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            model: ModelConfig::default(),
+            train: TrainConfig::default(),
+            ts: TsOptions::default(),
+            filter: FilterOptions::default(),
+            macro_options: MacroModelOptions::default(),
+            cppr_mode: false,
+            aocv_mode: false,
+            with_cppr_feature: false,
+            keep_threshold: 0.3,
+            regression: false,
+        }
+    }
+}
+
+impl FrameworkConfig {
+    /// The paper's CPPR configuration *with* the dedicated feature
+    /// (Table 4, "after").
+    #[must_use]
+    pub fn cppr() -> Self {
+        FrameworkConfig { cppr_mode: true, with_cppr_feature: true, ..Default::default() }
+    }
+
+    /// CPPR configuration *without* the dedicated feature (Table 4,
+    /// "before").
+    #[must_use]
+    pub fn cppr_without_feature() -> Self {
+        FrameworkConfig { cppr_mode: true, with_cppr_feature: false, ..Default::default() }
+    }
+
+    /// Switches the GNN engine (GraphSAGE ↔ GCN ablation).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.model.engine = engine;
+        self
+    }
+
+    /// Dataset options derived from this configuration.
+    #[must_use]
+    pub fn dataset_options(&self) -> DatasetOptions {
+        DatasetOptions {
+            ts: self.ts,
+            filter: self.filter,
+            cppr_mode: self.cppr_mode,
+            aocv_mode: self.aocv_mode,
+            with_cppr_feature: self.with_cppr_feature,
+            regression: self.regression,
+        }
+    }
+
+    /// Feature count implied by the CPPR-feature switch.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        if self.with_cppr_feature {
+            tmm_sensitivity::FEATURES_WITH_CPPR
+        } else {
+            tmm_sensitivity::BASE_FEATURES
+        }
+    }
+
+    /// Task implied by the regression switch.
+    #[must_use]
+    pub fn task(&self) -> Task {
+        if self.regression {
+            Task::Regression
+        } else {
+            Task::Classification
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_main_setting() {
+        let c = FrameworkConfig::default();
+        assert_eq!(c.model.layers, 2);
+        assert_eq!(c.model.engine, Engine::GraphSage);
+        assert!(!c.cppr_mode);
+        assert_eq!(c.feature_count(), 8);
+        assert_eq!(c.task(), Task::Classification);
+    }
+
+    #[test]
+    fn cppr_presets() {
+        let after = FrameworkConfig::cppr();
+        assert!(after.cppr_mode && after.with_cppr_feature);
+        assert_eq!(after.feature_count(), 9);
+        let before = FrameworkConfig::cppr_without_feature();
+        assert!(before.cppr_mode && !before.with_cppr_feature);
+        assert_eq!(before.feature_count(), 8);
+    }
+
+    #[test]
+    fn engine_swap() {
+        let c = FrameworkConfig::default().with_engine(Engine::Gcn);
+        assert_eq!(c.model.engine, Engine::Gcn);
+    }
+
+    #[test]
+    fn dataset_options_propagate_flags() {
+        let c = FrameworkConfig::cppr();
+        let d = c.dataset_options();
+        assert!(d.cppr_mode && d.with_cppr_feature);
+        assert!(!d.regression);
+    }
+}

@@ -1,0 +1,381 @@
+//! The end-to-end GNN-based timing macro modeling framework (Fig. 4).
+//!
+//! Stage 1 (data generation) and stage 2 (GNN training) run once over a set
+//! of small training designs; stage 3 (prediction + macro generation) then
+//! applies to arbitrary, much larger designs — the inductive setting that
+//! makes GraphSAGE the natural engine (§5.3).
+
+use crate::config::FrameworkConfig;
+use std::time::{Duration, Instant};
+use tmm_gnn::{classify_metrics, ConfusionCounts, GnnModel, NeighborMode, NodeGraph, TrainSample};
+use tmm_macromodel::baselines::output_variant_pins;
+use tmm_macromodel::{extract_ilm, MacroModel};
+use tmm_sensitivity::dataset::build_dataset;
+use tmm_sensitivity::{extract_features, pin_graph_edges};
+use tmm_sta::graph::ArcGraph;
+use tmm_sta::liberty::Library;
+use tmm_sta::netlist::Netlist;
+use tmm_sta::{Result, StaError};
+
+/// Summary of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainingSummary {
+    /// Per-design `(name, positive label rate)`.
+    pub design_positive_rates: Vec<(String, f64)>,
+    /// Final training loss.
+    pub final_loss: f32,
+    /// Aggregate confusion counts of the trained model on its own training
+    /// pins (sanity metric, not a generalisation claim).
+    pub train_metrics: ConfusionCounts,
+    /// Wall-clock time spent generating training data.
+    pub data_time: Duration,
+    /// Wall-clock time spent in GNN optimisation.
+    pub train_time: Duration,
+}
+
+/// Per-design prediction statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PredictionStats {
+    /// Pins predicted timing-variant.
+    pub predicted_variant: usize,
+    /// Pins hard-kept independently of the GNN (output-net, CPPR pins).
+    pub hard_kept: usize,
+    /// GNN inference wall-clock time.
+    pub inference_time: Duration,
+}
+
+/// Outcome of running the framework on one design.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The generated macro model.
+    pub model: MacroModel,
+    /// Pins kept in the model.
+    pub kept_pins: usize,
+    /// Prediction statistics.
+    pub prediction: PredictionStats,
+}
+
+/// The trained (or trainable) framework.
+#[derive(Debug)]
+pub struct Framework {
+    config: FrameworkConfig,
+    model: Option<GnnModel>,
+}
+
+impl Framework {
+    /// Creates an untrained framework.
+    #[must_use]
+    pub fn new(config: FrameworkConfig) -> Self {
+        Framework { config, model: None }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+
+    /// `true` once [`Framework::train`] has produced a model.
+    #[must_use]
+    pub fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Stage 1 + 2: generates TS training data from each `(name, netlist)`
+    /// design and trains the GNN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering/analysis errors from data generation.
+    pub fn train(
+        &mut self,
+        designs: &[(String, Netlist)],
+        library: &Library,
+    ) -> Result<TrainingSummary> {
+        let data_start = Instant::now();
+        let mut samples: Vec<TrainSample> = Vec::with_capacity(designs.len());
+        let mut design_positive_rates = Vec::with_capacity(designs.len());
+        let ds_opts = self.config.dataset_options();
+        for (name, netlist) in designs {
+            let flat = ArcGraph::from_netlist(netlist, library)?;
+            let (ilm, _) = extract_ilm(&flat)?;
+            let dataset = build_dataset(&ilm, &ds_opts)?;
+            design_positive_rates.push((name.clone(), dataset.positive_rate));
+            samples.push(dataset.sample);
+        }
+        let data_time = data_start.elapsed();
+
+        let train_start = Instant::now();
+        let mut gnn = GnnModel::new(
+            self.config.feature_count(),
+            tmm_gnn::ModelConfig {
+                task: self.config.task(),
+                ..self.config.model
+            },
+        );
+        let report = gnn.train(&samples, &self.config.train);
+        let train_time = train_start.elapsed();
+
+        let mut train_metrics = ConfusionCounts::default();
+        if !self.config.regression {
+            for s in &samples {
+                let probs = gnn.predict(&s.graph, &s.features);
+                let m = classify_metrics(
+                    &probs,
+                    &s.labels,
+                    s.mask.as_deref(),
+                    self.config.keep_threshold,
+                );
+                train_metrics.tp += m.tp;
+                train_metrics.fp += m.fp;
+                train_metrics.fn_ += m.fn_;
+                train_metrics.tn += m.tn;
+            }
+        }
+        self.model = Some(gnn);
+        Ok(TrainingSummary {
+            design_positive_rates,
+            final_loss: report.final_loss,
+            train_metrics,
+            data_time,
+            train_time,
+        })
+    }
+
+    /// Stage 3a: predicts the keep mask for an interface-logic graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::IllegalEdit`] if the framework is untrained.
+    pub fn predict_keep_mask(&self, ilm: &ArcGraph) -> Result<(Vec<bool>, PredictionStats)> {
+        let Some(model) = &self.model else {
+            return Err(StaError::IllegalEdit("framework is not trained".into()));
+        };
+        let start = Instant::now();
+        let features = extract_features(ilm, self.config.with_cppr_feature);
+        let graph =
+            NodeGraph::from_edges(ilm.node_count(), &pin_graph_edges(ilm), NeighborMode::Undirected);
+        let scores = model.predict(&graph, &features);
+        let mut keep: Vec<bool> = scores
+            .iter()
+            .map(|&p| {
+                if self.config.regression {
+                    f64::from(p) > self.config.ts.zero_eps
+                } else {
+                    p >= self.config.keep_threshold
+                }
+            })
+            .collect();
+        let predicted_variant = keep
+            .iter()
+            .zip(ilm.nodes())
+            .filter(|&(&k, n)| k && !n.dead)
+            .count();
+        // Hard keeps that no modeler may drop: pins whose delay depends on
+        // the context output load. CPPR-crucial clock pins are *not*
+        // hard-kept — the GNN learns them from the §5.1 label augmentation
+        // (and, with `is_CPPR`, sees them explicitly), which is exactly the
+        // Table 4 ablation.
+        let mut hard_kept = 0usize;
+        for (i, &h) in output_variant_pins(ilm).iter().enumerate() {
+            if h && !keep[i] {
+                keep[i] = true;
+                hard_kept += 1;
+            }
+        }
+        let stats =
+            PredictionStats { predicted_variant, hard_kept, inference_time: start.elapsed() };
+        Ok((keep, stats))
+    }
+
+    /// Stage 3: generates a macro model for a flat design graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::IllegalEdit`] if untrained; propagates
+    /// generation errors.
+    pub fn generate_macro(&self, flat: &ArcGraph) -> Result<RunOutcome> {
+        let (ilm, _) = extract_ilm(flat)?;
+        let (keep, prediction) = self.predict_keep_mask(&ilm)?;
+        let model = MacroModel::generate(flat, &keep, &self.config.macro_options)?;
+        Ok(RunOutcome { kept_pins: model.stats().kept_pins, model, prediction })
+    }
+
+    /// Serialises the trained GNN (architecture + weights) so inference can
+    /// be reused across processes without regenerating TS data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::IllegalEdit`] if the framework is untrained.
+    pub fn export_model(&self) -> Result<String> {
+        self.model
+            .as_ref()
+            .map(GnnModel::to_text)
+            .ok_or_else(|| StaError::IllegalEdit("framework is not trained".into()))
+    }
+
+    /// Restores a framework from a serialised GNN and a configuration. The
+    /// configuration's feature switches must match the model's input
+    /// dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::ParseFormat`] on malformed model text and
+    /// [`StaError::IllegalEdit`] on a feature-dimension mismatch.
+    pub fn import_model(config: FrameworkConfig, text: &str) -> Result<Framework> {
+        let model = GnnModel::from_text(text).map_err(|e| StaError::ParseFormat {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        if model.in_dim() != config.feature_count() {
+            return Err(StaError::IllegalEdit(format!(
+                "model expects {} features, configuration provides {}",
+                model.in_dim(),
+                config.feature_count()
+            )));
+        }
+        Ok(Framework { config, model: Some(model) })
+    }
+
+    /// Convenience one-shot: trains on the design itself if the framework
+    /// is untrained (useful for quickstarts), then generates its macro
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and generation errors.
+    pub fn run_on(&mut self, netlist: &Netlist, library: &Library) -> Result<RunOutcome> {
+        if !self.is_trained() {
+            self.train(
+                std::slice::from_ref(&(netlist.name().to_string(), netlist.clone())),
+                library,
+            )?;
+        }
+        let flat = ArcGraph::from_netlist(netlist, library)?;
+        self.generate_macro(&flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmm_circuits::CircuitSpec;
+    use tmm_gnn::TrainConfig;
+    use tmm_macromodel::eval::{evaluate, EvalOptions};
+    use tmm_sensitivity::TsOptions;
+    use tmm_sta::cppr::cppr_crucial_pins;
+
+    fn quick_config() -> FrameworkConfig {
+        FrameworkConfig {
+            train: TrainConfig { epochs: 60, ..Default::default() },
+            ts: TsOptions { contexts: 2, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn design(seed: u64, lib: &Library) -> Netlist {
+        CircuitSpec::new(format!("d{seed}"))
+            .inputs(4)
+            .outputs(4)
+            .register_banks(2, 4)
+            .cloud(2, 5)
+            .seed(seed)
+            .generate(lib)
+            .unwrap()
+    }
+
+    #[test]
+    fn untrained_framework_refuses_prediction() {
+        let lib = Library::synthetic(13);
+        let fw = Framework::new(quick_config());
+        let flat = ArcGraph::from_netlist(&design(1, &lib), &lib).unwrap();
+        assert!(fw.generate_macro(&flat).is_err());
+        assert!(!fw.is_trained());
+    }
+
+    #[test]
+    fn train_then_generate_produces_accurate_model() {
+        let lib = Library::synthetic(13);
+        let mut fw = Framework::new(quick_config());
+        let designs: Vec<(String, Netlist)> =
+            (1..=2).map(|s| (format!("d{s}"), design(s, &lib))).collect();
+        let summary = fw.train(&designs, &lib).unwrap();
+        assert!(fw.is_trained());
+        assert!(summary.final_loss.is_finite());
+        assert_eq!(summary.design_positive_rates.len(), 2);
+        // unseen design
+        let flat = ArcGraph::from_netlist(&design(9, &lib), &lib).unwrap();
+        let outcome = fw.generate_macro(&flat).unwrap();
+        assert!(outcome.kept_pins > 0);
+        assert!(outcome.kept_pins < flat.live_nodes());
+        let result = evaluate(
+            &flat,
+            &outcome.model,
+            &EvalOptions { contexts: 3, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            result.accuracy.max < 60.0,
+            "GNN keep-set should keep error small, got {}",
+            result.accuracy.max
+        );
+    }
+
+    #[test]
+    fn run_on_self_trains_if_needed() {
+        let lib = Library::synthetic(13);
+        let mut fw = Framework::new(quick_config());
+        let d = design(3, &lib);
+        let outcome = fw.run_on(&d, &lib).unwrap();
+        assert!(fw.is_trained());
+        assert!(outcome.kept_pins > 0);
+        assert!(outcome.prediction.predicted_variant > 0);
+    }
+
+    #[test]
+    fn export_import_round_trip_predicts_identically() {
+        let lib = Library::synthetic(13);
+        let mut fw = Framework::new(quick_config());
+        let d = design(4, &lib);
+        fw.train(&[("d4".into(), d.clone())], &lib).unwrap();
+        let text = fw.export_model().unwrap();
+        let restored = Framework::import_model(*fw.config(), &text).unwrap();
+        assert!(restored.is_trained());
+        let flat = ArcGraph::from_netlist(&d, &lib).unwrap();
+        let (ilm, _) = extract_ilm(&flat).unwrap();
+        let (keep_a, _) = fw.predict_keep_mask(&ilm).unwrap();
+        let (keep_b, _) = restored.predict_keep_mask(&ilm).unwrap();
+        assert_eq!(keep_a, keep_b, "restored model must decide identically");
+    }
+
+    #[test]
+    fn import_rejects_feature_mismatch() {
+        let lib = Library::synthetic(13);
+        let mut fw = Framework::new(quick_config()); // 8 features
+        fw.train(&[("d".into(), design(6, &lib))], &lib).unwrap();
+        let text = fw.export_model().unwrap();
+        let err = Framework::import_model(FrameworkConfig::cppr(), &text); // 9 features
+        assert!(err.is_err());
+        assert!(Framework::new(quick_config()).export_model().is_err(), "untrained");
+    }
+
+    #[test]
+    fn cppr_mode_keeps_clock_branch_points() {
+        let lib = Library::synthetic(13);
+        let mut fw = Framework::new(FrameworkConfig {
+            cppr_mode: true,
+            with_cppr_feature: true,
+            train: TrainConfig { epochs: 40, ..Default::default() },
+            ts: TsOptions { contexts: 2, ..Default::default() },
+            ..Default::default()
+        });
+        let d = design(5, &lib);
+        fw.train(&[("d5".into(), d.clone())], &lib).unwrap();
+        let flat = ArcGraph::from_netlist(&d, &lib).unwrap();
+        let (ilm, _) = extract_ilm(&flat).unwrap();
+        let (keep, _) = fw.predict_keep_mask(&ilm).unwrap();
+        for p in cppr_crucial_pins(&ilm) {
+            assert!(keep[p.index()], "CPPR-crucial pin must be kept");
+        }
+    }
+}

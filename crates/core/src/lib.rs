@@ -1,0 +1,43 @@
+//! End-to-end GNN-based timing macro modeling — the DAC 2022 paper's
+//! contribution, assembled from the workspace substrates.
+//!
+//! The [`Framework`] runs the three stages of the paper's Fig. 4:
+//!
+//! 1. **Timing sensitivity data generation** ([`tmm_sensitivity`]) — random
+//!    boundary contexts, insensitive-pin filtering, per-pin TS evaluation.
+//! 2. **GNN training** ([`tmm_gnn`]) — a GraphSAGE (or GCN) classifier on
+//!    the Table-1 features, trained on small designs.
+//! 3. **Macro model generation** ([`tmm_macromodel`]) — ILM extraction,
+//!    keep-set merging driven by the GNN prediction, LUT index selection.
+//!
+//! # Example
+//!
+//! ```
+//! use tmm_circuits::CircuitSpec;
+//! use tmm_core::{Framework, FrameworkConfig};
+//! use tmm_gnn::TrainConfig;
+//! use tmm_sensitivity::TsOptions;
+//! use tmm_sta::liberty::Library;
+//!
+//! # fn main() -> Result<(), tmm_sta::StaError> {
+//! let library = Library::synthetic(7);
+//! let design = CircuitSpec::new("quick").register_banks(1, 3).seed(5).generate(&library)?;
+//! let mut framework = Framework::new(FrameworkConfig {
+//!     train: TrainConfig { epochs: 30, ..Default::default() },
+//!     ts: TsOptions { contexts: 2, ..Default::default() },
+//!     ..Default::default()
+//! });
+//! let outcome = framework.run_on(&design, &library)?;
+//! println!("macro model keeps {} pins", outcome.kept_pins);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod framework;
+
+pub use config::FrameworkConfig;
+pub use framework::{Framework, PredictionStats, RunOutcome, TrainingSummary};

@@ -1,0 +1,285 @@
+//! CSR node graphs for neighborhood aggregation.
+//!
+//! [`NodeGraph`] stores the neighborhood structure a GNN aggregates over.
+//! Circuit timing graphs are directed, but GraphSAGE's neighborhoods are
+//! conventionally undirected; [`NeighborMode`] makes the choice explicit and
+//! ablatable.
+
+use crate::matrix::Matrix;
+
+/// Which neighbors a node aggregates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NeighborMode {
+    /// Union of fan-in and fan-out (the usual GraphSAGE setting).
+    #[default]
+    Undirected,
+    /// Fan-in only (mirrors forward timing propagation).
+    In,
+    /// Fan-out only (mirrors required-time propagation).
+    Out,
+}
+
+/// An immutable CSR adjacency used for mean aggregation.
+#[derive(Debug, Clone)]
+pub struct NodeGraph {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+    nodes: usize,
+}
+
+impl NodeGraph {
+    /// Builds the graph from directed edges `(from, to)` over `nodes`
+    /// vertices, collecting neighbors per `mode`. Duplicate edges are kept
+    /// (weighting parallel arcs slightly higher, which is harmless for mean
+    /// aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= nodes`.
+    #[must_use]
+    pub fn from_edges(nodes: usize, edges: &[(u32, u32)], mode: NeighborMode) -> Self {
+        let mut deg = vec![0u32; nodes];
+        let mut push_count = |n: u32| {
+            assert!((n as usize) < nodes, "edge endpoint out of range");
+            deg[n as usize] += 1;
+        };
+        for &(f, t) in edges {
+            match mode {
+                NeighborMode::Undirected => {
+                    push_count(f);
+                    push_count(t);
+                }
+                NeighborMode::In => push_count(t),
+                NeighborMode::Out => push_count(f),
+            }
+        }
+        let mut offsets = vec![0u32; nodes + 1];
+        for i in 0..nodes {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; offsets[nodes] as usize];
+        let mut put = |at: u32, v: u32, cursor: &mut Vec<u32>| {
+            neighbors[cursor[at as usize] as usize] = v;
+            cursor[at as usize] += 1;
+        };
+        for &(f, t) in edges {
+            match mode {
+                NeighborMode::Undirected => {
+                    put(f, t, &mut cursor);
+                    put(t, f, &mut cursor);
+                }
+                NeighborMode::In => put(t, f, &mut cursor),
+                NeighborMode::Out => put(f, t, &mut cursor),
+            }
+        }
+        NodeGraph { offsets, neighbors, nodes }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Total stored neighbor entries.
+    #[must_use]
+    pub fn neighbor_entries(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbors of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, n: usize) -> &[u32] {
+        &self.neighbors[self.offsets[n] as usize..self.offsets[n + 1] as usize]
+    }
+
+    /// Mean-aggregates node features: `out[i] = mean(features[j] for j in
+    /// N(i))`, zero for isolated nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.rows() != self.nodes()`.
+    #[must_use]
+    pub fn mean_aggregate(&self, features: &Matrix) -> Matrix {
+        assert_eq!(features.rows(), self.nodes);
+        let cols = features.cols();
+        let mut out = Matrix::zeros(self.nodes, cols);
+        for i in 0..self.nodes {
+            let nbrs = self.neighbors(i);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / nbrs.len() as f32;
+            let row = out.row_mut(i);
+            for &j in nbrs {
+                for (o, &v) in row.iter_mut().zip(features.row(j as usize)) {
+                    *o += v;
+                }
+            }
+            for o in row.iter_mut() {
+                *o *= inv;
+            }
+        }
+        out
+    }
+
+    /// Transpose of the mean-aggregation operator applied to gradients:
+    /// `out[j] += grad[i] / |N(i)|` for every `j ∈ N(i)`. This is the exact
+    /// adjoint used in backprop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.rows() != self.nodes()`.
+    #[must_use]
+    pub fn mean_aggregate_adjoint(&self, grad: &Matrix) -> Matrix {
+        assert_eq!(grad.rows(), self.nodes);
+        let cols = grad.cols();
+        let mut out = Matrix::zeros(self.nodes, cols);
+        for i in 0..self.nodes {
+            let nbrs = self.neighbors(i);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / nbrs.len() as f32;
+            for &j in nbrs {
+                let src = grad.row(i);
+                let dst = out.row_mut(j as usize);
+                for (o, &v) in dst.iter_mut().zip(src) {
+                    *o += v * inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Symmetric-normalised propagation `D^{-1/2}(A+I)D^{-1/2} · features`
+    /// used by GCN layers (self-loops included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.rows() != self.nodes()`.
+    #[must_use]
+    pub fn gcn_propagate(&self, features: &Matrix) -> Matrix {
+        assert_eq!(features.rows(), self.nodes);
+        let cols = features.cols();
+        let inv_sqrt: Vec<f32> = (0..self.nodes)
+            .map(|i| 1.0 / ((self.neighbors(i).len() + 1) as f32).sqrt())
+            .collect();
+        let mut out = Matrix::zeros(self.nodes, cols);
+        for i in 0..self.nodes {
+            let di = inv_sqrt[i];
+            // self loop
+            {
+                let src = features.row(i);
+                let dst = out.row_mut(i);
+                let w = di * di;
+                for (o, &v) in dst.iter_mut().zip(src) {
+                    *o += w * v;
+                }
+            }
+            for &j in self.neighbors(i) {
+                let w = di * inv_sqrt[j as usize];
+                let src = features.row(j as usize);
+                let dst = out.row_mut(i);
+                for (o, &v) in dst.iter_mut().zip(src) {
+                    *o += w * v;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3(mode: NeighborMode) -> NodeGraph {
+        // 0 -> 1 -> 2
+        NodeGraph::from_edges(3, &[(0, 1), (1, 2)], mode)
+    }
+
+    #[test]
+    fn undirected_neighbors() {
+        let g = path3(NeighborMode::Undirected);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g.neighbor_entries(), 4);
+    }
+
+    #[test]
+    fn directed_modes() {
+        let g_in = path3(NeighborMode::In);
+        assert_eq!(g_in.neighbors(0), &[] as &[u32]);
+        assert_eq!(g_in.neighbors(1), &[0]);
+        let g_out = path3(NeighborMode::Out);
+        assert_eq!(g_out.neighbors(2), &[] as &[u32]);
+        assert_eq!(g_out.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn mean_aggregate_averages() {
+        let g = path3(NeighborMode::Undirected);
+        let x = Matrix::from_vec(3, 1, vec![1.0, 10.0, 100.0]);
+        let agg = g.mean_aggregate(&x);
+        assert_eq!(agg.at(0, 0), 10.0);
+        assert!((agg.at(1, 0) - 50.5).abs() < 1e-6);
+        assert_eq!(agg.at(2, 0), 10.0);
+    }
+
+    #[test]
+    fn isolated_node_aggregates_zero() {
+        let g = NodeGraph::from_edges(3, &[(0, 1)], NeighborMode::Undirected);
+        let x = Matrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]);
+        let agg = g.mean_aggregate(&x);
+        assert_eq!(agg.at(2, 0), 0.0);
+    }
+
+    #[test]
+    fn adjoint_is_true_transpose() {
+        // <A x, y> == <x, Aᵀ y> for random-ish vectors.
+        let g = NodeGraph::from_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3), (0, 3)],
+            NeighborMode::Undirected,
+        );
+        let x = Matrix::from_vec(4, 1, vec![1.0, -2.0, 3.0, 0.5]);
+        let y = Matrix::from_vec(4, 1, vec![0.3, 1.7, -0.4, 2.0]);
+        let ax = g.mean_aggregate(&x);
+        let aty = g.mean_aggregate_adjoint(&y);
+        let dot = |a: &Matrix, b: &Matrix| -> f32 {
+            a.data().iter().zip(b.data()).map(|(p, q)| p * q).sum()
+        };
+        assert!((dot(&ax, &y) - dot(&x, &aty)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gcn_propagate_is_symmetric_operator() {
+        let g = NodeGraph::from_edges(3, &[(0, 1), (1, 2)], NeighborMode::Undirected);
+        let x = Matrix::from_vec(3, 1, vec![1.0, 0.0, 0.0]);
+        let y = Matrix::from_vec(3, 1, vec![0.0, 0.0, 1.0]);
+        let dot = |a: &Matrix, b: &Matrix| -> f32 {
+            a.data().iter().zip(b.data()).map(|(p, q)| p * q).sum()
+        };
+        let nx = g.gcn_propagate(&x);
+        let ny = g.gcn_propagate(&y);
+        assert!((dot(&nx, &y) - dot(&x, &ny)).abs() < 1e-6, "N must be symmetric");
+        // propagation of a constant stays positive, finite, and bounded by
+        // the maximum degree-normalised mass (√(d+1) worst case)
+        let ones = Matrix::from_vec(3, 1, vec![1.0; 3]);
+        let n1 = g.gcn_propagate(&ones);
+        assert!(n1.data().iter().all(|&v| v > 0.0 && v.is_finite() && v < 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = NodeGraph::from_edges(2, &[(0, 5)], NeighborMode::Undirected);
+    }
+}

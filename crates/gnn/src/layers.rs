@@ -1,0 +1,491 @@
+//! GNN layers with manual forward/backward passes.
+//!
+//! [`SageLayer`] implements the GraphSAGE mean-aggregator update of the
+//! paper's Eqs. (3)–(4): `h' = relu(W · [h ‖ mean(h_N)] + b)`. [`GcnLayer`]
+//! implements the Kipf–Welling propagation `h' = relu(N·h·W + b)` with the
+//! symmetric-normalised adjacency `N`; §5.1 notes either engine can back the
+//! framework, and the ablation bench swaps them. [`Linear`] is the scoring
+//! head producing one logit (or regressed TS value) per pin.
+
+use crate::graph::NodeGraph;
+use crate::matrix::{relu, relu_grad, Matrix};
+
+/// GraphSAGE layer (mean aggregator + concatenation + linear + ReLU).
+#[derive(Debug, Clone)]
+pub struct SageLayer {
+    /// Weight of shape `(2·in_dim, out_dim)`.
+    pub w: Matrix,
+    /// Bias of shape `(1, out_dim)`.
+    pub b: Matrix,
+}
+
+/// Forward-pass intermediates needed by [`SageLayer::backward`].
+#[derive(Debug, Clone)]
+pub struct SageCache {
+    x: Matrix,
+    z: Matrix,
+}
+
+impl SageLayer {
+    /// Xavier-initialised layer.
+    #[must_use]
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        SageLayer {
+            w: Matrix::xavier_seeded(2 * in_dim, out_dim, seed),
+            b: Matrix::zeros(1, out_dim),
+        }
+    }
+
+    /// Forward pass over all nodes at once.
+    #[must_use]
+    pub fn forward(&self, graph: &NodeGraph, h: &Matrix) -> (Matrix, SageCache) {
+        let agg = graph.mean_aggregate(h);
+        let x = h.hcat(&agg);
+        let mut z = x.matmul(&self.w);
+        z.add_row_vec(&self.b);
+        let out = z.map(relu);
+        (out, SageCache { x, z })
+    }
+
+    /// Backward pass: given `d_out = ∂L/∂h'`, returns
+    /// `(∂L/∂h, ∂L/∂W, ∂L/∂b)`.
+    #[must_use]
+    pub fn backward(
+        &self,
+        graph: &NodeGraph,
+        cache: &SageCache,
+        d_out: &Matrix,
+    ) -> (Matrix, Matrix, Matrix) {
+        let dz = d_out.hadamard(&cache.z.map(relu_grad));
+        let dw = cache.x.t_matmul(&dz);
+        let db = dz.col_sums();
+        let dx = dz.matmul_t(&self.w);
+        let in_dim = self.w.rows() / 2;
+        let (dh_direct, dh_agg) = dx.hsplit(in_dim);
+        let mut dh = dh_direct;
+        dh.add_assign(&graph.mean_aggregate_adjoint(&dh_agg));
+        (dh, dw, db)
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+/// GraphSAGE **pool** aggregator layer (Hamilton et al. §3.3): every
+/// neighbor's features pass through a learned transform + ReLU, the
+/// neighborhood is reduced with an element-wise max, and the result is
+/// concatenated as in the mean variant. Sharper than mean aggregation when
+/// a single critical neighbor should dominate (e.g. one timing-variant
+/// fan-in among many invariant ones).
+#[derive(Debug, Clone)]
+pub struct SagePoolLayer {
+    /// Pool transform of shape `(in_dim, out_dim)`.
+    pub w_pool: Matrix,
+    /// Pool bias of shape `(1, out_dim)`.
+    pub b_pool: Matrix,
+    /// Combine weight of shape `(in_dim + out_dim, out_dim)`.
+    pub w: Matrix,
+    /// Combine bias of shape `(1, out_dim)`.
+    pub b: Matrix,
+}
+
+/// Forward-pass intermediates needed by [`SagePoolLayer::backward`].
+#[derive(Debug, Clone)]
+pub struct SagePoolCache {
+    zp: Matrix,
+    x: Matrix,
+    z: Matrix,
+    /// Winning neighbor per `(node, channel)`; `u32::MAX` for isolated
+    /// nodes (their aggregate is zero and receives no gradient).
+    argmax: Vec<u32>,
+}
+
+impl SagePoolLayer {
+    /// Xavier-initialised layer.
+    #[must_use]
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        SagePoolLayer {
+            w_pool: Matrix::xavier_seeded(in_dim, out_dim, seed ^ 0x9e37),
+            b_pool: Matrix::zeros(1, out_dim),
+            w: Matrix::xavier_seeded(in_dim + out_dim, out_dim, seed),
+            b: Matrix::zeros(1, out_dim),
+        }
+    }
+
+    /// Forward pass over all nodes at once.
+    #[must_use]
+    pub fn forward(&self, graph: &NodeGraph, h: &Matrix) -> (Matrix, SagePoolCache) {
+        let n = h.rows();
+        let dp = self.w_pool.cols();
+        let mut zp = h.matmul(&self.w_pool);
+        zp.add_row_vec(&self.b_pool);
+        let p = zp.map(relu);
+        let mut agg = Matrix::zeros(n, dp);
+        let mut argmax = vec![u32::MAX; n * dp];
+        for i in 0..n {
+            let nbrs = graph.neighbors(i);
+            if nbrs.is_empty() {
+                continue;
+            }
+            for c in 0..dp {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_j = u32::MAX;
+                for &j in nbrs {
+                    let v = p.at(j as usize, c);
+                    if v > best {
+                        best = v;
+                        best_j = j;
+                    }
+                }
+                agg.set(i, c, best);
+                argmax[i * dp + c] = best_j;
+            }
+        }
+        let x = h.hcat(&agg);
+        let mut z = x.matmul(&self.w);
+        z.add_row_vec(&self.b);
+        let out = z.map(relu);
+        (out, SagePoolCache { zp, x, z, argmax })
+    }
+
+    /// Backward pass: given `d_out = ∂L/∂h'`, returns
+    /// `(∂L/∂h, [∂L/∂W_pool, ∂L/∂b_pool, ∂L/∂W, ∂L/∂b])`.
+    #[must_use]
+    pub fn backward(
+        &self,
+        _graph: &NodeGraph,
+        cache: &SagePoolCache,
+        d_out: &Matrix,
+    ) -> (Matrix, [Matrix; 4]) {
+        let dz = d_out.hadamard(&cache.z.map(relu_grad));
+        let dw = cache.x.t_matmul(&dz);
+        let db = dz.col_sums();
+        let dx = dz.matmul_t(&self.w);
+        let in_dim = self.w_pool.rows();
+        let dp = self.w_pool.cols();
+        let (mut dh, dagg) = dx.hsplit(in_dim);
+        // Route aggregate gradients to the winning neighbors' pooled
+        // pre-activations.
+        let n = dh.rows();
+        let mut d_p = Matrix::zeros(n, dp);
+        for i in 0..n {
+            for c in 0..dp {
+                let j = cache.argmax[i * dp + c];
+                if j != u32::MAX {
+                    let g = dagg.at(i, c);
+                    d_p.set(j as usize, c, d_p.at(j as usize, c) + g);
+                }
+            }
+        }
+        let dzp = d_p.hadamard(&cache.zp.map(relu_grad));
+        let dw_pool = cache.x.hsplit(in_dim).0.t_matmul(&dzp);
+        let db_pool = dzp.col_sums();
+        dh.add_assign(&dzp.matmul_t(&self.w_pool));
+        (dh, [dw_pool, db_pool, dw, db])
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+/// GCN layer (symmetric-normalised propagation + linear + ReLU).
+#[derive(Debug, Clone)]
+pub struct GcnLayer {
+    /// Weight of shape `(in_dim, out_dim)`.
+    pub w: Matrix,
+    /// Bias of shape `(1, out_dim)`.
+    pub b: Matrix,
+}
+
+/// Forward-pass intermediates needed by [`GcnLayer::backward`].
+#[derive(Debug, Clone)]
+pub struct GcnCache {
+    p: Matrix,
+    z: Matrix,
+}
+
+impl GcnLayer {
+    /// Xavier-initialised layer.
+    #[must_use]
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        GcnLayer { w: Matrix::xavier_seeded(in_dim, out_dim, seed), b: Matrix::zeros(1, out_dim) }
+    }
+
+    /// Forward pass over all nodes at once.
+    #[must_use]
+    pub fn forward(&self, graph: &NodeGraph, h: &Matrix) -> (Matrix, GcnCache) {
+        let p = graph.gcn_propagate(h);
+        let mut z = p.matmul(&self.w);
+        z.add_row_vec(&self.b);
+        let out = z.map(relu);
+        (out, GcnCache { p, z })
+    }
+
+    /// Backward pass: given `d_out = ∂L/∂h'`, returns
+    /// `(∂L/∂h, ∂L/∂W, ∂L/∂b)`. Uses the symmetry of the normalised
+    /// adjacency (`Nᵀ = N`).
+    #[must_use]
+    pub fn backward(
+        &self,
+        graph: &NodeGraph,
+        cache: &GcnCache,
+        d_out: &Matrix,
+    ) -> (Matrix, Matrix, Matrix) {
+        let dz = d_out.hadamard(&cache.z.map(relu_grad));
+        let dw = cache.p.t_matmul(&dz);
+        let db = dz.col_sums();
+        let dp = dz.matmul_t(&self.w);
+        let dh = graph.gcn_propagate(&dp);
+        (dh, dw, db)
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+}
+
+/// Linear scoring head producing one value per node (no activation; the
+/// loss applies the sigmoid for classification).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight of shape `(in_dim, 1)`.
+    pub w: Matrix,
+    /// Bias of shape `(1, 1)`.
+    pub b: Matrix,
+}
+
+/// Forward-pass intermediates needed by [`Linear::backward`].
+#[derive(Debug, Clone)]
+pub struct LinearCache {
+    x: Matrix,
+}
+
+impl Linear {
+    /// Xavier-initialised head.
+    #[must_use]
+    pub fn new(in_dim: usize, seed: u64) -> Self {
+        Linear { w: Matrix::xavier_seeded(in_dim, 1, seed), b: Matrix::zeros(1, 1) }
+    }
+
+    /// Forward pass; returns per-node scores as an `n×1` matrix.
+    #[must_use]
+    pub fn forward(&self, h: &Matrix) -> (Matrix, LinearCache) {
+        let mut z = h.matmul(&self.w);
+        z.add_row_vec(&self.b);
+        (z, LinearCache { x: h.clone() })
+    }
+
+    /// Backward pass: given `d_out = ∂L/∂scores` (`n×1`), returns
+    /// `(∂L/∂h, ∂L/∂W, ∂L/∂b)`.
+    #[must_use]
+    pub fn backward(&self, cache: &LinearCache, d_out: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let dw = cache.x.t_matmul(d_out);
+        let db = d_out.col_sums();
+        let dh = d_out.matmul_t(&self.w);
+        (dh, dw, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NeighborMode;
+
+    fn tiny_graph() -> NodeGraph {
+        NodeGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 2)], NeighborMode::Undirected)
+    }
+
+    /// Numerically checks ∂L/∂W for a scalar loss L = sum(out).
+    fn check_sage_weight_grad() -> (f32, f32) {
+        let g = tiny_graph();
+        let h = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.1 - 0.4);
+        let layer = SageLayer::new(3, 2, 7);
+        let loss_of = |l: &SageLayer| -> f32 {
+            let (out, _) = l.forward(&g, &h);
+            out.data().iter().sum()
+        };
+        let (out, cache) = layer.forward(&g, &h);
+        let d_out = Matrix::from_fn(out.rows(), out.cols(), |_, _| 1.0);
+        let (_, dw, _) = layer.backward(&g, &cache, &d_out);
+        // numeric grad for W[0,0]
+        let eps = 1e-3;
+        let mut lp = layer.clone();
+        lp.w.set(0, 0, layer.w.at(0, 0) + eps);
+        let mut lm = layer.clone();
+        lm.w.set(0, 0, layer.w.at(0, 0) - eps);
+        let numeric = (loss_of(&lp) - loss_of(&lm)) / (2.0 * eps);
+        (dw.at(0, 0), numeric)
+    }
+
+    #[test]
+    fn sage_weight_gradient_matches_numeric() {
+        let (analytic, numeric) = check_sage_weight_grad();
+        assert!(
+            (analytic - numeric).abs() < 1e-2 * numeric.abs().max(1.0),
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn sage_input_gradient_matches_numeric() {
+        let g = tiny_graph();
+        let h = Matrix::from_fn(4, 3, |r, c| ((r + c) as f32).sin());
+        let layer = SageLayer::new(3, 2, 3);
+        let loss_of = |h: &Matrix| -> f32 {
+            let (out, _) = layer.forward(&g, h);
+            out.data().iter().sum()
+        };
+        let (out, cache) = layer.forward(&g, &h);
+        let d_out = Matrix::from_fn(out.rows(), out.cols(), |_, _| 1.0);
+        let (dh, _, _) = layer.backward(&g, &cache, &d_out);
+        let eps = 1e-3;
+        for (r, c) in [(0, 0), (2, 1), (3, 2)] {
+            let mut hp = h.clone();
+            hp.set(r, c, h.at(r, c) + eps);
+            let mut hm = h.clone();
+            hm.set(r, c, h.at(r, c) - eps);
+            let numeric = (loss_of(&hp) - loss_of(&hm)) / (2.0 * eps);
+            let analytic = dh.at(r, c);
+            assert!(
+                (analytic - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dH[{r},{c}] analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn gcn_gradients_match_numeric() {
+        let g = tiny_graph();
+        let h = Matrix::from_fn(4, 2, |r, c| (r as f32 - c as f32) * 0.3);
+        let layer = GcnLayer::new(2, 2, 11);
+        let loss_of = |l: &GcnLayer, h: &Matrix| -> f32 {
+            let (out, _) = l.forward(&g, h);
+            out.data().iter().sum()
+        };
+        let (out, cache) = layer.forward(&g, &h);
+        let d_out = Matrix::from_fn(out.rows(), out.cols(), |_, _| 1.0);
+        let (dh, dw, _) = layer.backward(&g, &cache, &d_out);
+        let eps = 1e-3;
+        // weight grad
+        let mut lp = layer.clone();
+        lp.w.set(1, 0, layer.w.at(1, 0) + eps);
+        let mut lm = layer.clone();
+        lm.w.set(1, 0, layer.w.at(1, 0) - eps);
+        let numeric = (loss_of(&lp, &h) - loss_of(&lm, &h)) / (2.0 * eps);
+        assert!((dw.at(1, 0) - numeric).abs() < 2e-2 * numeric.abs().max(1.0));
+        // input grad
+        let mut hp = h.clone();
+        hp.set(1, 1, h.at(1, 1) + eps);
+        let mut hm = h.clone();
+        hm.set(1, 1, h.at(1, 1) - eps);
+        let numeric = (loss_of(&layer, &hp) - loss_of(&layer, &hm)) / (2.0 * eps);
+        assert!((dh.at(1, 1) - numeric).abs() < 2e-2 * numeric.abs().max(1.0));
+    }
+
+    #[test]
+    fn sage_pool_gradients_match_numeric() {
+        let g = tiny_graph();
+        let h = Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) as f32 * 0.37).sin());
+        let layer = SagePoolLayer::new(3, 2, 13);
+        let loss_of = |l: &SagePoolLayer, h: &Matrix| -> f32 {
+            let (out, _) = l.forward(&g, h);
+            out.data().iter().sum()
+        };
+        let (out, cache) = layer.forward(&g, &h);
+        let d_out = Matrix::from_fn(out.rows(), out.cols(), |_, _| 1.0);
+        let (dh, [dw_pool, _, dw, _]) = layer.backward(&g, &cache, &d_out);
+        let eps = 1e-3;
+        // combine weight
+        let mut lp = layer.clone();
+        lp.w.set(0, 0, layer.w.at(0, 0) + eps);
+        let mut lm = layer.clone();
+        lm.w.set(0, 0, layer.w.at(0, 0) - eps);
+        let numeric = (loss_of(&lp, &h) - loss_of(&lm, &h)) / (2.0 * eps);
+        assert!(
+            (dw.at(0, 0) - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+            "dW {} vs {numeric}",
+            dw.at(0, 0)
+        );
+        // pool weight (max gating makes this the interesting one)
+        let mut lp = layer.clone();
+        lp.w_pool.set(1, 1, layer.w_pool.at(1, 1) + eps);
+        let mut lm = layer.clone();
+        lm.w_pool.set(1, 1, layer.w_pool.at(1, 1) - eps);
+        let numeric = (loss_of(&lp, &h) - loss_of(&lm, &h)) / (2.0 * eps);
+        assert!(
+            (dw_pool.at(1, 1) - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+            "dW_pool {} vs {numeric}",
+            dw_pool.at(1, 1)
+        );
+        // input gradient
+        let mut hp = h.clone();
+        hp.set(2, 1, h.at(2, 1) + eps);
+        let mut hm = h.clone();
+        hm.set(2, 1, h.at(2, 1) - eps);
+        let numeric = (loss_of(&layer, &hp) - loss_of(&layer, &hm)) / (2.0 * eps);
+        assert!(
+            (dh.at(2, 1) - numeric).abs() < 3e-2 * numeric.abs().max(1.0),
+            "dh {} vs {numeric}",
+            dh.at(2, 1)
+        );
+    }
+
+    #[test]
+    fn sage_pool_isolated_node_aggregates_zero() {
+        let g = NodeGraph::from_edges(3, &[(0, 1)], NeighborMode::Undirected);
+        let h = Matrix::from_fn(3, 2, |_, _| 1.0);
+        let layer = SagePoolLayer::new(2, 2, 4);
+        let (out, cache) = layer.forward(&g, &h);
+        assert_eq!(out.rows(), 3);
+        // node 2 is isolated: every argmax entry is the sentinel
+        let dp = layer.w_pool.cols();
+        for c in 0..dp {
+            assert_eq!(cache.argmax[2 * dp + c], u32::MAX);
+        }
+        // backward must not panic and must route no gradient through node 2
+        let d_out = Matrix::from_fn(3, 2, |_, _| 1.0);
+        let (dh, _) = layer.backward(&g, &cache, &d_out);
+        assert_eq!(dh.rows(), 3);
+    }
+
+    #[test]
+    fn linear_backward_shapes_and_values() {
+        let h = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let head = Linear::new(2, 1);
+        let (scores, cache) = head.forward(&h);
+        assert_eq!(scores.rows(), 3);
+        assert_eq!(scores.cols(), 1);
+        let d = Matrix::from_vec(3, 1, vec![1.0, 0.0, -1.0]);
+        let (dh, dw, db) = head.backward(&cache, &d);
+        assert_eq!(dh.rows(), 3);
+        assert_eq!(dw.rows(), 2);
+        assert_eq!(db.at(0, 0), 0.0);
+        // dW = Xᵀ d = [1*1 + 3*0 + 5*(-1); 2*1 + 4*0 + 6*(-1)] = [-4, -4]
+        assert_eq!(dw.at(0, 0), -4.0);
+        assert_eq!(dw.at(1, 0), -4.0);
+    }
+
+    #[test]
+    fn relu_gates_backward_flow() {
+        // With a bias pushing all pre-activations negative, gradients die.
+        let g = tiny_graph();
+        let h = Matrix::from_fn(4, 2, |_, _| 0.1);
+        let mut layer = SageLayer::new(2, 2, 5);
+        layer.b = Matrix::from_vec(1, 2, vec![-100.0, -100.0]);
+        let (out, cache) = layer.forward(&g, &h);
+        assert!(out.data().iter().all(|&v| v == 0.0));
+        let d_out = Matrix::from_fn(4, 2, |_, _| 1.0);
+        let (dh, dw, db) = layer.backward(&g, &cache, &d_out);
+        assert!(dh.data().iter().all(|&v| v == 0.0));
+        assert!(dw.data().iter().all(|&v| v == 0.0));
+        assert!(db.data().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Classification quality metrics.
+
+/// Confusion-matrix counts at a fixed decision threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionCounts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl ConfusionCounts {
+    /// Precision `tp / (tp + fp)`; 1.0 when no positives were predicted.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when no positives exist.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Total samples counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+/// Computes confusion counts of probabilistic predictions against binary
+/// labels at `threshold`, ignoring masked-out entries.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree.
+#[must_use]
+pub fn classify_metrics(
+    probs: &[f32],
+    labels: &[f32],
+    mask: Option<&[bool]>,
+    threshold: f32,
+) -> ConfusionCounts {
+    assert_eq!(probs.len(), labels.len());
+    let mut c = ConfusionCounts::default();
+    for i in 0..probs.len() {
+        if let Some(m) = mask {
+            if !m[i] {
+                continue;
+            }
+        }
+        let pred = probs[i] >= threshold;
+        let truth = labels[i] > 0.5;
+        match (pred, truth) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let c = classify_metrics(&[0.9, 0.1, 0.8], &[1.0, 0.0, 1.0], None, 0.5);
+        assert_eq!(c, ConfusionCounts { tp: 2, fp: 0, fn_: 0, tn: 1 });
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn mixed_predictions() {
+        // preds: +,+,-,- ; labels: +,-,+,-
+        let c = classify_metrics(&[0.9, 0.9, 0.1, 0.1], &[1.0, 0.0, 1.0, 0.0], None, 0.5);
+        assert_eq!(c, ConfusionCounts { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn mask_skips_entries() {
+        let c = classify_metrics(&[0.9, 0.9], &[0.0, 1.0], Some(&[false, true]), 0.5);
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.tp, 1);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+        let c = ConfusionCounts { tp: 0, fp: 0, fn_: 5, tn: 0 };
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn threshold_moves_decision() {
+        let c_low = classify_metrics(&[0.4], &[1.0], None, 0.3);
+        assert_eq!(c_low.tp, 1);
+        let c_high = classify_metrics(&[0.4], &[1.0], None, 0.5);
+        assert_eq!(c_high.fn_, 1);
+    }
+}

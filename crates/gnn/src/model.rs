@@ -1,0 +1,840 @@
+//! The full GNN model: stacked GraphSAGE (or GCN) layers plus a linear
+//! scoring head, trained full-batch with Adam.
+//!
+//! The paper trains a pin classifier (label 1 ⇔ non-zero timing
+//! sensitivity) on several small designs and runs inference on much larger
+//! unseen designs; [`GnnModel::train`] therefore takes a *set* of
+//! [`TrainSample`]s and performs one optimisation step per design per epoch.
+//! §5.3's regression variant (predicting the TS value itself) is selected
+//! with [`Task::Regression`].
+
+use crate::graph::NodeGraph;
+use crate::layers::{
+    GcnCache, GcnLayer, Linear, LinearCache, SageCache, SageLayer, SagePoolCache, SagePoolLayer,
+};
+use crate::loss::{auto_pos_weight, bce_with_logits, mse};
+use crate::matrix::{sigmoid, Matrix};
+use crate::optim::Adam;
+
+/// Which GNN engine backs the model (§5.1: "other existing GNN models such
+/// as GCN … could also be embedded with our framework").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// GraphSAGE with mean aggregation (the paper's main engine).
+    #[default]
+    GraphSage,
+    /// GraphSAGE with learned max-pool aggregation (Hamilton et al. §3.3).
+    GraphSagePool,
+    /// Graph convolutional network (Kipf & Welling).
+    Gcn,
+}
+
+/// Prediction task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Task {
+    /// Binary classification: is the pin timing-variant?
+    #[default]
+    Classification,
+    /// Regression on the timing-sensitivity value itself (§5.3).
+    Regression,
+}
+
+/// Model hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Hidden width of each GNN layer.
+    pub hidden: usize,
+    /// Number of stacked GNN layers (receptive-field hops).
+    pub layers: usize,
+    /// GNN engine.
+    pub engine: Engine,
+    /// Prediction task.
+    pub task: Task,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig { hidden: 32, layers: 2, engine: Engine::GraphSage, task: Task::Classification, seed: 1 }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the sample set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Positive-class weight; `None` derives it from the label imbalance.
+    pub pos_weight: Option<f32>,
+    /// Early stopping: abort when the held-out validation loss has not
+    /// improved for this many epochs. `None` disables the hold-out split
+    /// entirely (all nodes train).
+    pub patience: Option<usize>,
+    /// Fraction of trainable nodes held out for validation when `patience`
+    /// is set (deterministic split keyed on node index).
+    pub val_fraction: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 120,
+            lr: 0.01,
+            weight_decay: 1e-4,
+            pos_weight: None,
+            patience: None,
+            val_fraction: 0.15,
+        }
+    }
+}
+
+/// One training design: its aggregation graph, node features and labels.
+#[derive(Debug, Clone)]
+pub struct TrainSample {
+    /// Aggregation neighborhood structure.
+    pub graph: NodeGraph,
+    /// `n × f` node feature matrix.
+    pub features: Matrix,
+    /// Per-node labels (0/1 for classification, TS values for regression).
+    pub labels: Vec<f32>,
+    /// Optional training mask (`false` nodes contribute no loss).
+    pub mask: Option<Vec<bool>>,
+}
+
+/// Loss trajectory of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean loss per epoch (averaged over samples).
+    pub history: Vec<f32>,
+    /// Loss of the final epoch.
+    pub final_loss: f32,
+    /// Mean held-out validation loss per epoch (empty without `patience`).
+    pub val_history: Vec<f32>,
+    /// Whether early stopping triggered before `epochs` elapsed.
+    pub stopped_early: bool,
+}
+
+enum LayerKind {
+    Sage(SageLayer),
+    SagePool(SagePoolLayer),
+    Gcn(GcnLayer),
+}
+
+enum CacheKind {
+    Sage(SageCache),
+    SagePool(SagePoolCache),
+    Gcn(GcnCache),
+}
+
+/// A trained (or trainable) pin-scoring GNN.
+pub struct GnnModel {
+    config: ModelConfig,
+    in_dim: usize,
+    layers: Vec<LayerKind>,
+    head: Linear,
+}
+
+impl std::fmt::Debug for GnnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GnnModel")
+            .field("config", &self.config)
+            .field("in_dim", &self.in_dim)
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+impl GnnModel {
+    /// Creates a freshly initialised model for `in_dim` input features.
+    #[must_use]
+    pub fn new(in_dim: usize, config: ModelConfig) -> Self {
+        let mut layers = Vec::with_capacity(config.layers);
+        let mut dim = in_dim;
+        for l in 0..config.layers {
+            let seed = config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(l as u64);
+            match config.engine {
+                Engine::GraphSage => {
+                    layers.push(LayerKind::Sage(SageLayer::new(dim, config.hidden, seed)));
+                }
+                Engine::GraphSagePool => {
+                    layers.push(LayerKind::SagePool(SagePoolLayer::new(dim, config.hidden, seed)));
+                }
+                Engine::Gcn => {
+                    layers.push(LayerKind::Gcn(GcnLayer::new(dim, config.hidden, seed)));
+                }
+            }
+            dim = config.hidden;
+        }
+        let head = Linear::new(dim, config.seed.wrapping_add(0xbeef));
+        GnnModel { config, in_dim, layers, head }
+    }
+
+    /// Input feature dimension the model expects.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Model configuration.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Total trainable parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        let layer_params: usize = self
+            .layers
+            .iter()
+            .map(|l| match l {
+                LayerKind::Sage(s) => s.w.rows() * s.w.cols() + s.b.cols(),
+                LayerKind::SagePool(s) => {
+                    s.w.rows() * s.w.cols()
+                        + s.b.cols()
+                        + s.w_pool.rows() * s.w_pool.cols()
+                        + s.b_pool.cols()
+                }
+                LayerKind::Gcn(g) => g.w.rows() * g.w.cols() + g.b.cols(),
+            })
+            .sum();
+        layer_params + self.head.w.rows() + 1
+    }
+
+    /// Forward pass returning per-node raw scores and the caches needed for
+    /// backprop.
+    fn forward(&self, graph: &NodeGraph, features: &Matrix) -> (Matrix, Vec<CacheKind>, LinearCache) {
+        let mut h = features.clone();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            match layer {
+                LayerKind::Sage(s) => {
+                    let (out, cache) = s.forward(graph, &h);
+                    caches.push(CacheKind::Sage(cache));
+                    h = out;
+                }
+                LayerKind::SagePool(s) => {
+                    let (out, cache) = s.forward(graph, &h);
+                    caches.push(CacheKind::SagePool(cache));
+                    h = out;
+                }
+                LayerKind::Gcn(g) => {
+                    let (out, cache) = g.forward(graph, &h);
+                    caches.push(CacheKind::Gcn(cache));
+                    h = out;
+                }
+            }
+        }
+        let (scores, head_cache) = self.head.forward(&h);
+        (scores, caches, head_cache)
+    }
+
+    /// Per-node predictions: probabilities for classification, values for
+    /// regression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.cols() != self.in_dim()` or the graph size does
+    /// not match the feature rows.
+    #[must_use]
+    pub fn predict(&self, graph: &NodeGraph, features: &Matrix) -> Vec<f32> {
+        assert_eq!(features.cols(), self.in_dim, "feature dimension mismatch");
+        let (scores, _, _) = self.forward(graph, features);
+        match self.config.task {
+            Task::Classification => scores.data().iter().map(|&z| sigmoid(z)).collect(),
+            Task::Regression => scores.data().to_vec(),
+        }
+    }
+
+    /// Backward pass producing gradients in parameter order
+    /// (layer₀.W, layer₀.b, …, head.W, head.b).
+    fn backward(
+        &self,
+        graph: &NodeGraph,
+        caches: &[CacheKind],
+        head_cache: &LinearCache,
+        d_scores: &Matrix,
+    ) -> Vec<Matrix> {
+        let mut grads_rev: Vec<Matrix> = Vec::with_capacity(2 * self.layers.len() + 2);
+        let (mut dh, dw_head, db_head) = self.head.backward(head_cache, d_scores);
+        grads_rev.push(db_head);
+        grads_rev.push(dw_head);
+        for (layer, cache) in self.layers.iter().zip(caches).rev() {
+            match (layer, cache) {
+                (LayerKind::Sage(s), CacheKind::Sage(c)) => {
+                    let (dh_in, dw, db) = s.backward(graph, c, &dh);
+                    grads_rev.push(db);
+                    grads_rev.push(dw);
+                    dh = dh_in;
+                }
+                (LayerKind::SagePool(s), CacheKind::SagePool(c)) => {
+                    let (dh_in, [dw_pool, db_pool, dw, db]) = s.backward(graph, c, &dh);
+                    grads_rev.push(db);
+                    grads_rev.push(dw);
+                    grads_rev.push(db_pool);
+                    grads_rev.push(dw_pool);
+                    dh = dh_in;
+                }
+                (LayerKind::Gcn(g), CacheKind::Gcn(c)) => {
+                    let (dh_in, dw, db) = g.backward(graph, c, &dh);
+                    grads_rev.push(db);
+                    grads_rev.push(dw);
+                    dh = dh_in;
+                }
+                _ => unreachable!("cache kind always matches layer kind"),
+            }
+        }
+        grads_rev.reverse();
+        grads_rev
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut v: Vec<&mut Matrix> = Vec::with_capacity(2 * self.layers.len() + 2);
+        for layer in &mut self.layers {
+            match layer {
+                LayerKind::Sage(s) => {
+                    v.push(&mut s.w);
+                    v.push(&mut s.b);
+                }
+                LayerKind::SagePool(s) => {
+                    v.push(&mut s.w_pool);
+                    v.push(&mut s.b_pool);
+                    v.push(&mut s.w);
+                    v.push(&mut s.b);
+                }
+                LayerKind::Gcn(g) => {
+                    v.push(&mut g.w);
+                    v.push(&mut g.b);
+                }
+            }
+        }
+        v.push(&mut self.head.w);
+        v.push(&mut self.head.b);
+        v
+    }
+
+    /// Trains the model full-batch over `samples`, one Adam step per sample
+    /// per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample's feature dimension differs from the model's.
+    pub fn train(&mut self, samples: &[TrainSample], cfg: &TrainConfig) -> TrainReport {
+        assert!(!samples.is_empty(), "training requires at least one sample");
+        for s in samples {
+            assert_eq!(s.features.cols(), self.in_dim, "feature dimension mismatch");
+            assert_eq!(s.features.rows(), s.graph.nodes(), "graph/feature size mismatch");
+            assert_eq!(s.labels.len(), s.graph.nodes(), "label count mismatch");
+        }
+        let pos_weight = cfg.pos_weight.unwrap_or_else(|| {
+            // Average the auto weight over samples.
+            let ws: f32 = samples
+                .iter()
+                .map(|s| auto_pos_weight(&s.labels, s.mask.as_deref()))
+                .sum::<f32>()
+                / samples.len() as f32;
+            ws
+        });
+        // Optional deterministic hold-out split for early stopping: node i
+        // validates when a cheap integer hash of (i, seed) lands below the
+        // validation fraction.
+        let splits: Option<Vec<(Vec<bool>, Vec<bool>)>> = cfg.patience.map(|_| {
+            samples
+                .iter()
+                .map(|s| {
+                    let n = s.graph.nodes();
+                    let mut train_mask = vec![false; n];
+                    let mut val_mask = vec![false; n];
+                    for i in 0..n {
+                        let trainable = s.mask.as_ref().is_none_or(|m| m[i]);
+                        if !trainable {
+                            continue;
+                        }
+                        let h = (i as u64)
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add(self.config.seed)
+                            .rotate_left(17);
+                        let frac = (h % 10_000) as f32 / 10_000.0;
+                        if frac < cfg.val_fraction {
+                            val_mask[i] = true;
+                        } else {
+                            train_mask[i] = true;
+                        }
+                    }
+                    (train_mask, val_mask)
+                })
+                .collect()
+        });
+
+        let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
+        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut val_history = Vec::new();
+        let mut best_val = f32::INFINITY;
+        let mut since_best = 0usize;
+        let mut stopped_early = false;
+        for _epoch in 0..cfg.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut epoch_val = 0.0f32;
+            for (si, sample) in samples.iter().enumerate() {
+                let train_mask: Option<&[bool]> = match &splits {
+                    Some(sp) => Some(&sp[si].0),
+                    None => sample.mask.as_deref(),
+                };
+                let (scores, caches, head_cache) = self.forward(&sample.graph, &sample.features);
+                let logits: Vec<f32> = scores.data().to_vec();
+                let (loss, grad) = match self.config.task {
+                    Task::Classification => {
+                        bce_with_logits(&logits, &sample.labels, train_mask, pos_weight)
+                    }
+                    Task::Regression => mse(&logits, &sample.labels, train_mask),
+                };
+                epoch_loss += loss;
+                if let Some(sp) = &splits {
+                    let (val_loss, _) = match self.config.task {
+                        Task::Classification => {
+                            bce_with_logits(&logits, &sample.labels, Some(&sp[si].1), pos_weight)
+                        }
+                        Task::Regression => mse(&logits, &sample.labels, Some(&sp[si].1)),
+                    };
+                    epoch_val += val_loss;
+                }
+                let d_scores = Matrix::from_vec(grad.len(), 1, grad);
+                let grads = self.backward(&sample.graph, &caches, &head_cache, &d_scores);
+                let mut params = self.params_mut();
+                opt.step(&mut params, &grads);
+            }
+            history.push(epoch_loss / samples.len() as f32);
+            if let Some(patience) = cfg.patience {
+                let val = epoch_val / samples.len() as f32;
+                val_history.push(val);
+                if val + 1e-6 < best_val {
+                    best_val = val;
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                    if since_best >= patience {
+                        stopped_early = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let final_loss = history.last().copied().unwrap_or(0.0);
+        TrainReport { history, final_loss, val_history, stopped_early }
+    }
+}
+
+/// Error parsing a serialised model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError(String);
+
+impl std::fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot parse gnn model: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseModelError {}
+
+/// Whitespace token cursor for the model text format.
+struct Tokens<'a> {
+    it: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Tokens<'a> {
+    fn next(&mut self) -> Result<&'a str, ParseModelError> {
+        self.it.next().ok_or_else(|| ParseModelError("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, kw: &str) -> Result<(), ParseModelError> {
+        let t = self.next()?;
+        if t == kw {
+            Ok(())
+        } else {
+            Err(ParseModelError(format!("expected `{kw}`, found `{t}`")))
+        }
+    }
+
+    fn usize(&mut self) -> Result<usize, ParseModelError> {
+        let t = self.next()?;
+        t.parse().map_err(|_| ParseModelError(format!("bad integer `{t}`")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ParseModelError> {
+        let t = self.next()?;
+        t.parse().map_err(|_| ParseModelError(format!("bad integer `{t}`")))
+    }
+
+    fn matrix(&mut self) -> Result<Matrix, ParseModelError> {
+        let rows = self.usize()?;
+        let cols = self.usize()?;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            let t = self.next()?;
+            data.push(t.parse::<f32>().map_err(|_| ParseModelError(format!("bad float `{t}`")))?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+fn write_matrix(out: &mut String, m: &Matrix) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{} {}", m.rows(), m.cols());
+    for v in m.data() {
+        let _ = write!(out, " {v:e}");
+    }
+    let _ = writeln!(out);
+}
+
+impl GnnModel {
+    /// Serialises the trained model (architecture + weights) to text so it
+    /// can be stored next to a design library and reloaded without
+    /// retraining. `f32` values round-trip exactly.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 * 1024);
+        let engine = match self.config.engine {
+            Engine::GraphSage => "sage",
+            Engine::GraphSagePool => "pool",
+            Engine::Gcn => "gcn",
+        };
+        let task = match self.config.task {
+            Task::Classification => "classification",
+            Task::Regression => "regression",
+        };
+        let _ = writeln!(
+            out,
+            "gnn_model v1 hidden {} layers {} engine {engine} task {task} seed {} in_dim {}",
+            self.config.hidden, self.config.layers, self.config.seed, self.in_dim
+        );
+        for layer in &self.layers {
+            match layer {
+                LayerKind::Sage(s) => {
+                    out.push_str("layer sage w ");
+                    write_matrix(&mut out, &s.w);
+                    out.push_str("b ");
+                    write_matrix(&mut out, &s.b);
+                }
+                LayerKind::SagePool(s) => {
+                    out.push_str("layer pool wp ");
+                    write_matrix(&mut out, &s.w_pool);
+                    out.push_str("bp ");
+                    write_matrix(&mut out, &s.b_pool);
+                    out.push_str("w ");
+                    write_matrix(&mut out, &s.w);
+                    out.push_str("b ");
+                    write_matrix(&mut out, &s.b);
+                }
+                LayerKind::Gcn(g) => {
+                    out.push_str("layer gcn w ");
+                    write_matrix(&mut out, &g.w);
+                    out.push_str("b ");
+                    write_matrix(&mut out, &g.b);
+                }
+            }
+        }
+        out.push_str("head w ");
+        write_matrix(&mut out, &self.head.w);
+        out.push_str("b ");
+        write_matrix(&mut out, &self.head.b);
+        out.push_str("end\n");
+        out
+    }
+
+    /// Reconstructs a model from [`GnnModel::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseModelError`] on malformed input.
+    pub fn from_text(src: &str) -> Result<GnnModel, ParseModelError> {
+        let mut t = Tokens { it: src.split_whitespace() };
+        t.expect("gnn_model")?;
+        t.expect("v1")?;
+        t.expect("hidden")?;
+        let hidden = t.usize()?;
+        t.expect("layers")?;
+        let n_layers = t.usize()?;
+        t.expect("engine")?;
+        let engine = match t.next()? {
+            "sage" => Engine::GraphSage,
+            "pool" => Engine::GraphSagePool,
+            "gcn" => Engine::Gcn,
+            other => return Err(ParseModelError(format!("unknown engine `{other}`"))),
+        };
+        t.expect("task")?;
+        let task = match t.next()? {
+            "classification" => Task::Classification,
+            "regression" => Task::Regression,
+            other => return Err(ParseModelError(format!("unknown task `{other}`"))),
+        };
+        t.expect("seed")?;
+        let seed = t.u64()?;
+        t.expect("in_dim")?;
+        let in_dim = t.usize()?;
+
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            t.expect("layer")?;
+            match t.next()? {
+                "sage" => {
+                    t.expect("w")?;
+                    let w = t.matrix()?;
+                    t.expect("b")?;
+                    let b = t.matrix()?;
+                    layers.push(LayerKind::Sage(SageLayer { w, b }));
+                }
+                "pool" => {
+                    t.expect("wp")?;
+                    let w_pool = t.matrix()?;
+                    t.expect("bp")?;
+                    let b_pool = t.matrix()?;
+                    t.expect("w")?;
+                    let w = t.matrix()?;
+                    t.expect("b")?;
+                    let b = t.matrix()?;
+                    layers.push(LayerKind::SagePool(SagePoolLayer { w_pool, b_pool, w, b }));
+                }
+                "gcn" => {
+                    t.expect("w")?;
+                    let w = t.matrix()?;
+                    t.expect("b")?;
+                    let b = t.matrix()?;
+                    layers.push(LayerKind::Gcn(GcnLayer { w, b }));
+                }
+                other => return Err(ParseModelError(format!("unknown layer `{other}`"))),
+            }
+        }
+        t.expect("head")?;
+        t.expect("w")?;
+        let w = t.matrix()?;
+        t.expect("b")?;
+        let b = t.matrix()?;
+        t.expect("end")?;
+        Ok(GnnModel {
+            config: ModelConfig { hidden, layers: n_layers, engine, task, seed },
+            in_dim,
+            layers,
+            head: Linear { w, b },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NeighborMode;
+    use crate::metrics::classify_metrics;
+
+    /// A toy task: nodes on a ring; label 1 iff feature 0 of the node or a
+    /// neighbor exceeds 0.5 (requires 1-hop aggregation to solve).
+    fn toy_sample(n: usize, seed: u64) -> TrainSample {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges: Vec<(u32, u32)> =
+            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let graph = NodeGraph::from_edges(n, &edges, NeighborMode::Undirected);
+        let feat: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let features = Matrix::from_fn(n, 2, |r, c| if c == 0 { feat[r] } else { 1.0 });
+        let labels: Vec<f32> = (0..n)
+            .map(|i| {
+                let prev = (i + n - 1) % n;
+                let next = (i + 1) % n;
+                if feat[i] > 0.5 || feat[prev] > 0.5 || feat[next] > 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        TrainSample { graph, features, labels, mask: None }
+    }
+
+    #[test]
+    fn sage_learns_neighborhood_rule() {
+        let train = toy_sample(160, 1);
+        let test = toy_sample(160, 2);
+        let mut model = GnnModel::new(2, ModelConfig { hidden: 16, layers: 2, ..Default::default() });
+        let report = model.train(
+            std::slice::from_ref(&train),
+            &TrainConfig { epochs: 250, lr: 0.02, ..Default::default() },
+        );
+        assert!(
+            report.final_loss < report.history[0] * 0.5,
+            "loss should halve: {} -> {}",
+            report.history[0],
+            report.final_loss
+        );
+        let probs = model.predict(&test.graph, &test.features);
+        let m = classify_metrics(&probs, &test.labels, None, 0.5);
+        assert!(m.f1() > 0.85, "generalisation F1 {} too low", m.f1());
+    }
+
+    #[test]
+    fn sage_pool_engine_learns_neighborhood_rule() {
+        let train = toy_sample(160, 9);
+        let mut model = GnnModel::new(
+            2,
+            ModelConfig {
+                hidden: 16,
+                layers: 2,
+                engine: Engine::GraphSagePool,
+                ..Default::default()
+            },
+        );
+        let report = model.train(
+            std::slice::from_ref(&train),
+            &TrainConfig { epochs: 250, lr: 0.02, ..Default::default() },
+        );
+        let probs = model.predict(&train.graph, &train.features);
+        let m = classify_metrics(&probs, &train.labels, None, 0.5);
+        assert!(
+            m.f1() > 0.85,
+            "pool engine F1 {} too low (loss {})",
+            m.f1(),
+            report.final_loss
+        );
+    }
+
+    #[test]
+    fn gcn_engine_also_trains() {
+        let train = toy_sample(120, 3);
+        let mut model = GnnModel::new(
+            2,
+            ModelConfig { hidden: 16, layers: 2, engine: Engine::Gcn, ..Default::default() },
+        );
+        let report = model.train(
+            std::slice::from_ref(&train),
+            &TrainConfig { epochs: 250, lr: 0.02, ..Default::default() },
+        );
+        let probs = model.predict(&train.graph, &train.features);
+        let m = classify_metrics(&probs, &train.labels, None, 0.5);
+        assert!(m.f1() > 0.8, "GCN train F1 {} too low (loss {})", m.f1(), report.final_loss);
+    }
+
+    #[test]
+    fn regression_reduces_mse() {
+        let mut sample = toy_sample(100, 4);
+        // regression targets: feature value itself (trivially learnable)
+        sample.labels = (0..100).map(|i| sample.features.at(i, 0)).collect();
+        let mut model = GnnModel::new(
+            2,
+            ModelConfig { task: Task::Regression, hidden: 8, layers: 1, ..Default::default() },
+        );
+        let report = model.train(
+            std::slice::from_ref(&sample),
+            &TrainConfig { epochs: 200, lr: 0.02, ..Default::default() },
+        );
+        assert!(report.final_loss < 0.02, "final mse {}", report.final_loss);
+    }
+
+    #[test]
+    fn early_stopping_halts_on_plateau() {
+        let train = toy_sample(120, 11);
+        let mut model =
+            GnnModel::new(2, ModelConfig { hidden: 16, layers: 2, ..Default::default() });
+        let report = model.train(
+            std::slice::from_ref(&train),
+            &TrainConfig {
+                epochs: 2000,
+                lr: 0.03,
+                patience: Some(20),
+                val_fraction: 0.2,
+                ..Default::default()
+            },
+        );
+        assert!(report.stopped_early, "a plateau must appear before 2000 epochs");
+        assert!(report.history.len() < 2000);
+        assert_eq!(report.val_history.len(), report.history.len());
+        // validation loss improved from its starting point
+        assert!(report.val_history.last().unwrap() < report.val_history.first().unwrap());
+    }
+
+    #[test]
+    fn without_patience_no_validation_history() {
+        let train = toy_sample(60, 12);
+        let mut model = GnnModel::new(2, ModelConfig::default());
+        let report = model.train(
+            std::slice::from_ref(&train),
+            &TrainConfig { epochs: 10, ..Default::default() },
+        );
+        assert!(report.val_history.is_empty());
+        assert!(!report.stopped_early);
+        assert_eq!(report.history.len(), 10);
+    }
+
+    #[test]
+    fn multi_sample_training_runs() {
+        let samples = vec![toy_sample(60, 5), toy_sample(80, 6)];
+        let mut model = GnnModel::new(2, ModelConfig::default());
+        let report =
+            model.train(&samples, &TrainConfig { epochs: 30, ..Default::default() });
+        assert_eq!(report.history.len(), 30);
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn predict_checks_dimensions() {
+        let model = GnnModel::new(3, ModelConfig::default());
+        assert_eq!(model.in_dim(), 3);
+        assert!(model.param_count() > 0);
+        let sample = toy_sample(10, 7);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.predict(&sample.graph, &sample.features)
+        }));
+        assert!(result.is_err(), "2-feature input into 3-feature model must panic");
+    }
+
+    #[test]
+    fn model_text_round_trip_predicts_identically() {
+        for engine in [Engine::GraphSage, Engine::GraphSagePool, Engine::Gcn] {
+            let sample = toy_sample(60, 21);
+            let mut model = GnnModel::new(
+                2,
+                ModelConfig { hidden: 8, layers: 2, engine, ..Default::default() },
+            );
+            model.train(
+                std::slice::from_ref(&sample),
+                &TrainConfig { epochs: 30, ..Default::default() },
+            );
+            let text = model.to_text();
+            let back = GnnModel::from_text(&text).unwrap();
+            assert_eq!(back.in_dim(), model.in_dim());
+            assert_eq!(back.param_count(), model.param_count());
+            let a = model.predict(&sample.graph, &sample.features);
+            let b = back.predict(&sample.graph, &sample.features);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "engine {engine:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn model_parse_rejects_garbage() {
+        assert!(GnnModel::from_text("").is_err());
+        assert!(GnnModel::from_text("gnn_model v1 hidden x").is_err());
+        assert!(GnnModel::from_text("gnn_model v2").is_err());
+        let err = GnnModel::from_text("gnn_model v1 hidden 4 layers 1 engine alien").unwrap_err();
+        assert!(err.to_string().contains("alien"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sample = toy_sample(50, 8);
+        let run = || {
+            let mut m = GnnModel::new(2, ModelConfig { seed: 42, ..Default::default() });
+            m.train(
+                std::slice::from_ref(&sample),
+                &TrainConfig { epochs: 10, ..Default::default() },
+            )
+            .final_loss
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the GNN framework's numerical invariants.
+
+use proptest::prelude::*;
+use tmm_gnn::graph::{NeighborMode, NodeGraph};
+use tmm_gnn::loss::{auto_pos_weight, bce_with_logits, mse};
+use tmm_gnn::matrix::{sigmoid, Matrix};
+use tmm_gnn::model::{GnnModel, ModelConfig, TrainConfig, TrainSample};
+use tmm_gnn::Engine;
+
+fn small_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-2.0f32..2.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// (A·B)·C == A·(B·C) within float tolerance.
+    #[test]
+    fn matmul_is_associative(
+        m in 1usize..6, n in 1usize..6, k in 1usize..6, p in 1usize..6, seed in 0u64..1000
+    ) {
+        let a = small_matrix(m, n, seed);
+        let b = small_matrix(n, k, seed + 1);
+        let c = small_matrix(k, p, seed + 2);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// hsplit(hcat(a, b)) == (a, b) exactly.
+    #[test]
+    fn hcat_hsplit_inverse(rows in 1usize..8, c1 in 1usize..5, c2 in 1usize..5, seed in 0u64..500) {
+        let a = small_matrix(rows, c1, seed);
+        let b = small_matrix(rows, c2, seed + 7);
+        let (l, r) = a.hcat(&b).hsplit(c1);
+        prop_assert_eq!(l.data(), a.data());
+        prop_assert_eq!(r.data(), b.data());
+    }
+
+    /// t_matmul and matmul_t agree with explicit transposition semantics:
+    /// (Aᵀ·B)ᵀ == Bᵀ·A.
+    #[test]
+    fn transpose_products_agree(m in 1usize..5, n in 1usize..5, k in 1usize..5, seed in 0u64..500) {
+        let a = small_matrix(m, n, seed);
+        let b = small_matrix(m, k, seed + 3);
+        let atb = a.t_matmul(&b); // n×k
+        let bta = b.t_matmul(&a); // k×n
+        for i in 0..atb.rows() {
+            for j in 0..atb.cols() {
+                prop_assert!((atb.at(i, j) - bta.at(j, i)).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// sigmoid maps into [0,1] (strictly inside before f32 saturation) and
+    /// is monotone.
+    #[test]
+    fn sigmoid_properties(x in -50.0f32..50.0, dx in 0.001f32..10.0) {
+        let y = sigmoid(x);
+        prop_assert!((0.0..=1.0).contains(&y));
+        if x.abs() < 15.0 {
+            prop_assert!(y > 0.0 && y < 1.0, "unsaturated region must be strict");
+        }
+        prop_assert!(sigmoid(x + dx) >= y);
+    }
+
+    /// BCE loss is non-negative, zero gradient at perfect confident
+    /// prediction, and its gradient sign pushes towards the label.
+    #[test]
+    fn bce_gradient_signs(z in -5.0f32..5.0, y in proptest::bool::ANY, w in 1.0f32..10.0) {
+        let label = if y { 1.0f32 } else { 0.0 };
+        let (loss, grad) = bce_with_logits(&[z], &[label], None, w);
+        prop_assert!(loss >= 0.0);
+        if label > 0.5 {
+            prop_assert!(grad[0] <= 0.0, "positive label pulls logit up");
+        } else {
+            prop_assert!(grad[0] >= 0.0, "negative label pushes logit down");
+        }
+    }
+
+    /// MSE is zero iff predictions equal labels.
+    #[test]
+    fn mse_zero_iff_equal(v in -10.0f32..10.0, delta in 0.01f32..5.0) {
+        let (zero, _) = mse(&[v, v], &[v, v], None);
+        prop_assert_eq!(zero, 0.0);
+        let (nonzero, _) = mse(&[v + delta], &[v], None);
+        prop_assert!(nonzero > 0.0);
+    }
+
+    /// auto_pos_weight is always in [1, 20].
+    #[test]
+    fn auto_pos_weight_bounds(pos in 0usize..50, neg in 0usize..50) {
+        let labels: Vec<f32> = std::iter::repeat(1.0f32).take(pos)
+            .chain(std::iter::repeat(0.0f32).take(neg))
+            .collect();
+        let w = auto_pos_weight(&labels, None);
+        prop_assert!((1.0..=20.0).contains(&w));
+    }
+
+    /// Training any engine on random data never produces NaN losses or
+    /// predictions outside the valid range.
+    #[test]
+    fn training_is_numerically_stable(
+        nodes in 4usize..30,
+        seed in 0u64..200,
+        engine_pick in 0u8..3,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let edges: Vec<(u32, u32)> = (0..nodes as u32 - 1).map(|i| (i, i + 1)).collect();
+        let graph = NodeGraph::from_edges(nodes, &edges, NeighborMode::Undirected);
+        let features = Matrix::from_fn(nodes, 3, |_, _| rng.gen_range(-1.0f32..1.0));
+        let labels: Vec<f32> = (0..nodes).map(|_| f32::from(u8::from(rng.gen_bool(0.3)))).collect();
+        let engine = match engine_pick {
+            0 => Engine::GraphSage,
+            1 => Engine::GraphSagePool,
+            _ => Engine::Gcn,
+        };
+        let mut model = GnnModel::new(3, ModelConfig { hidden: 8, layers: 2, engine, ..Default::default() });
+        let sample = TrainSample { graph, features, labels, mask: None };
+        let report = model.train(
+            std::slice::from_ref(&sample),
+            &TrainConfig { epochs: 15, lr: 0.05, ..Default::default() },
+        );
+        for l in &report.history {
+            prop_assert!(l.is_finite(), "loss went NaN");
+        }
+        for p in model.predict(&sample.graph, &sample.features) {
+            prop_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+    }
+}

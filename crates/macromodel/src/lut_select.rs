@@ -1,0 +1,230 @@
+//! Lookup-table index selection (iTimerM §5.2, reused by the paper's
+//! Fig. 9 step 3).
+//!
+//! Composed arcs inherit dense characterisation axes; most of their entries
+//! are redundant because the composed functions are near-piecewise-linear.
+//! This module picks the subset of axis indices that minimises the linear
+//! interpolation error — a classic O(n²k) dynamic program per axis — and
+//! resamples every table of an arc on the selected grid, shrinking the
+//! serialised model.
+
+use tmm_sta::graph::{ArcGraph, ArcId, ArcTiming};
+use tmm_sta::liberty::{ArcTables, Lut2};
+use tmm_sta::split::{Split, TransPair};
+use std::sync::Arc;
+
+/// Total absolute interpolation error of approximating `profile` on the
+/// closed segment `[i, j]` of `axis` by the straight line through its
+/// endpoints.
+fn segment_error(axis: &[f64], profile: &[f64], i: usize, j: usize) -> f64 {
+    let (x0, y0) = (axis[i], profile[i]);
+    let (x1, y1) = (axis[j], profile[j]);
+    let span = x1 - x0;
+    let mut err = 0.0;
+    for m in i + 1..j {
+        let t = (axis[m] - x0) / span;
+        let interp = y0 + t * (y1 - y0);
+        err += (interp - profile[m]).abs();
+    }
+    err
+}
+
+/// Selects `k` indices of `axis` (always including both endpoints) that
+/// minimise the total linear-interpolation error against `profile`.
+///
+/// # Panics
+///
+/// Panics if `axis.len() != profile.len()` or `axis.len() < 2`.
+#[must_use]
+pub fn select_axis_indices(axis: &[f64], profile: &[f64], k: usize) -> Vec<usize> {
+    assert_eq!(axis.len(), profile.len());
+    let n = axis.len();
+    assert!(n >= 2, "axis must have at least two points");
+    let k = k.clamp(2, n);
+    if k == n {
+        return (0..n).collect();
+    }
+    // dp[j][c] = min error covering [0, j] using c chosen points ending at j.
+    let inf = f64::INFINITY;
+    let mut dp = vec![vec![inf; k + 1]; n];
+    let mut parent = vec![vec![usize::MAX; k + 1]; n];
+    dp[0][1] = 0.0;
+    for j in 1..n {
+        for c in 2..=k {
+            for i in 0..j {
+                if dp[i][c - 1] == inf {
+                    continue;
+                }
+                let cand = dp[i][c - 1] + segment_error(axis, profile, i, j);
+                if cand < dp[j][c] {
+                    dp[j][c] = cand;
+                    parent[j][c] = i;
+                }
+            }
+        }
+    }
+    let mut picks = Vec::with_capacity(k);
+    let mut j = n - 1;
+    let mut c = k;
+    while j != usize::MAX && c >= 1 {
+        picks.push(j);
+        let p = parent[j][c];
+        if c == 1 {
+            break;
+        }
+        j = p;
+        c -= 1;
+    }
+    picks.reverse();
+    debug_assert_eq!(picks.first(), Some(&0));
+    debug_assert_eq!(picks.last(), Some(&(n - 1)));
+    picks
+}
+
+/// Average of each slew-axis row (profile used to pick slew indices).
+fn slew_profile(lut: &Lut2) -> Vec<f64> {
+    let cols = lut.load_axis().len();
+    lut.values().chunks(cols).map(|row| row.iter().sum::<f64>() / cols as f64).collect()
+}
+
+/// Average of each load-axis column (profile used to pick load indices).
+fn load_profile(lut: &Lut2) -> Vec<f64> {
+    let cols = lut.load_axis().len();
+    let rows = lut.slew_axis().len();
+    (0..cols)
+        .map(|c| (0..rows).map(|r| lut.values()[r * cols + c]).sum::<f64>() / rows as f64)
+        .collect()
+}
+
+/// Resamples one table on the selected axis indices (values at selected
+/// grid points are exact).
+fn resample_on(lut: &Lut2, slew_idx: &[usize], load_idx: &[usize]) -> Lut2 {
+    let sa: Vec<f64> = slew_idx.iter().map(|&i| lut.slew_axis()[i]).collect();
+    let la: Vec<f64> = load_idx.iter().map(|&i| lut.load_axis()[i]).collect();
+    Lut2::from_fn(sa, la, |s, l| lut.value(s, l)).expect("selected axes stay increasing")
+}
+
+/// Compresses one arc's tables to at most `ks × kl` entries per table,
+/// selecting indices from the late rise-delay profile (all eight tables of
+/// the arc share axes so the model stays consistent).
+#[must_use]
+pub fn compress_tables(
+    tables: &Split<Arc<ArcTables>>,
+    ks: usize,
+    kl: usize,
+) -> Split<Arc<ArcTables>> {
+    let reference = &tables.late.delay.rise;
+    let slew_idx =
+        select_axis_indices(reference.slew_axis(), &slew_profile(reference), ks);
+    let load_idx =
+        select_axis_indices(reference.load_axis(), &load_profile(reference), kl);
+    Split::from_fn(|mode| {
+        let t = &tables[mode];
+        Arc::new(ArcTables {
+            delay: TransPair::new(
+                resample_on(&t.delay.rise, &slew_idx, &load_idx),
+                resample_on(&t.delay.fall, &slew_idx, &load_idx),
+            ),
+            slew: TransPair::new(
+                resample_on(&t.slew.rise, &slew_idx, &load_idx),
+                resample_on(&t.slew.fall, &slew_idx, &load_idx),
+            ),
+        })
+    })
+}
+
+/// Applies LUT index selection to every live table-bearing arc of a graph.
+/// Returns the number of arcs rewritten.
+pub fn compress_graph_luts(graph: &mut ArcGraph, ks: usize, kl: usize) -> usize {
+    let mut rewritten = 0usize;
+    let arc_count = graph.arcs().len();
+    for idx in 0..arc_count {
+        let id = ArcId(idx as u32);
+        let arc = graph.arc(id);
+        if arc.dead {
+            continue;
+        }
+        let Some(tables) = arc.timing.tables() else { continue };
+        let ref_lut = &tables.late.delay.rise;
+        if ref_lut.slew_axis().len() <= ks && ref_lut.load_axis().len() <= kl {
+            continue;
+        }
+        let compressed = compress_tables(tables, ks, kl);
+        let was_composed = matches!(arc.timing, ArcTiming::Composed(_));
+        graph.arc_mut(id).timing = if was_composed {
+            ArcTiming::Composed(compressed)
+        } else {
+            ArcTiming::Table(compressed)
+        };
+        rewritten += 1;
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_profile_needs_only_endpoints() {
+        let axis: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let profile: Vec<f64> = axis.iter().map(|x| 2.0 * x + 1.0).collect();
+        let picks = select_axis_indices(&axis, &profile, 2);
+        assert_eq!(picks, vec![0, 6]);
+        // a 2-point selection of a linear profile has zero error
+        assert_eq!(segment_error(&axis, &profile, 0, 6), 0.0);
+    }
+
+    #[test]
+    fn kink_is_captured_by_third_point() {
+        let axis = [0.0, 1.0, 2.0, 3.0, 4.0];
+        // piecewise linear with a kink at x=2
+        let profile = [0.0, 1.0, 2.0, 10.0, 18.0];
+        let picks = select_axis_indices(&axis, &profile, 3);
+        assert_eq!(picks, vec![0, 2, 4], "the kink index must be selected");
+    }
+
+    #[test]
+    fn k_clamps_to_axis_length() {
+        let axis = [0.0, 1.0];
+        let profile = [5.0, 6.0];
+        assert_eq!(select_axis_indices(&axis, &profile, 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn compress_preserves_values_at_selected_points() {
+        let lut = Lut2::from_fn(
+            vec![5.0, 10.0, 20.0, 40.0, 80.0],
+            vec![1.0, 2.0, 4.0, 8.0],
+            |s, l| 3.0 + 0.2 * s + 1.5 * l,
+        )
+        .unwrap();
+        let tables = Split::uniform(Arc::new(ArcTables {
+            delay: TransPair::uniform(lut.clone()),
+            slew: TransPair::uniform(lut.clone()),
+        }));
+        let small = compress_tables(&tables, 3, 2);
+        let c = &small.late.delay.rise;
+        assert_eq!(c.slew_axis().len(), 3);
+        assert_eq!(c.load_axis().len(), 2);
+        // endpoints exact; a linear function is reproduced everywhere
+        for (s, l) in [(5.0, 1.0), (80.0, 8.0), (20.0, 4.0), (40.0, 2.0)] {
+            assert!((c.value(s, l) - lut.value(s, l)).abs() < 1e-9, "({s},{l})");
+        }
+    }
+
+    #[test]
+    fn graph_compression_shrinks_lut_entries() {
+        use tmm_circuits::CircuitSpec;
+        use tmm_sta::graph::ArcGraph;
+        use tmm_sta::liberty::Library;
+        let lib = Library::synthetic(3);
+        let n = CircuitSpec::new("c").cloud(2, 5).register_banks(0, 1).seed(4).generate(&lib).unwrap();
+        let mut g = ArcGraph::from_netlist(&n, &lib).unwrap();
+        let before = g.lut_entries();
+        let rewritten = compress_graph_luts(&mut g, 4, 4);
+        assert!(rewritten > 0);
+        assert!(g.lut_entries() < before, "{} -> {}", before, g.lut_entries());
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,229 @@
+//! Keep-set-driven graph reduction: the paper's serial and parallel merging
+//! (§5.2, Fig. 9 step 2).
+//!
+//! Given the interface logic netlist and a per-pin keep decision (from the
+//! GNN prediction or a baseline heuristic), every non-kept internal pin is
+//! bypassed (serial merging) and duplicate arcs between the same endpoints
+//! are folded (parallel merging). Parallel merging happens *incrementally*
+//! after each bypass so the arc count stays bounded by kept-pin pairs even
+//! under ETM-style total collapse.
+
+use tmm_sta::graph::{ArcGraph, NodeId, NodeKind};
+
+/// Counters describing one reduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReduceStats {
+    /// Pins removed by serial merging.
+    pub bypassed: usize,
+    /// Pins that were slated for removal but refused (fan-in × fan-out
+    /// exceeded the budget, or the merge would have grown the model under a
+    /// no-growth policy); they stay in the model.
+    pub refused: usize,
+    /// Arcs folded by parallel merging.
+    pub parallel_merged: usize,
+    /// Dangling pins pruned after merging.
+    pub pruned: usize,
+}
+
+/// How aggressively serial merging may restructure the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReducePolicy {
+    /// Fan-in × fan-out budget per bypass.
+    pub max_bypass: usize,
+    /// Permit merges that *increase* the arc count (`fi·fo > fi+fo`).
+    /// ILM-based modelers keep such branch pins — removing them inflates the
+    /// model — while ETM-style total collapse (ATM) allows the growth and
+    /// relies on parallel merging to fold the blow-up back down.
+    pub allow_growth: bool,
+}
+
+impl Default for ReducePolicy {
+    fn default() -> Self {
+        ReducePolicy { max_bypass: 64, allow_growth: false }
+    }
+}
+
+/// Reduces `graph` in place: every live [`NodeKind::Internal`] node `i` with
+/// `keep[i] == false` is serially merged away (policy permitting), with
+/// incremental parallel merging; dangling internals are pruned last.
+/// Under a no-growth policy, passes repeat until a fixpoint because chain
+/// merges can make previously growth-refused pins eligible.
+///
+/// # Panics
+///
+/// Panics if `keep.len() != graph.node_count()`.
+pub fn reduce_graph(graph: &mut ArcGraph, keep: &[bool], policy: &ReducePolicy) -> ReduceStats {
+    assert_eq!(keep.len(), graph.node_count(), "keep mask size mismatch");
+    let mut stats = ReduceStats::default();
+    let order: Vec<NodeId> = graph.topo_order().to_vec();
+    for _pass in 0..4 {
+        let mut progressed = false;
+        stats.refused = 0;
+        for &n in &order {
+            let node = graph.node(n);
+            if node.dead || node.kind != NodeKind::Internal || keep[n.index()] {
+                continue;
+            }
+            let fi = graph.in_degree(n);
+            let fo = graph.out_degree(n);
+            let grows = fi * fo > fi + fo;
+            if !graph.can_bypass_with_limit(n, policy.max_bypass)
+                || (grows && !policy.allow_growth)
+            {
+                stats.refused += 1;
+                continue;
+            }
+            let sources: Vec<NodeId> = graph.fanin(n).map(|a| graph.arc(a).from).collect();
+            let targets: Vec<NodeId> = graph.fanout(n).map(|a| graph.arc(a).to).collect();
+            graph
+                .bypass_node_with_limit(n, policy.max_bypass)
+                .expect("eligibility checked above");
+            stats.bypassed += 1;
+            progressed = true;
+            for &u in &sources {
+                for &v in &targets {
+                    stats.parallel_merged += graph.coalesce_parallel(u, v);
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Final sweep for any parallel arcs created between kept nodes by
+    // distinct bypasses that shared no endpoint pair at merge time.
+    let node_ids: Vec<NodeId> =
+        (0..graph.node_count() as u32).map(NodeId).filter(|&n| !graph.node(n).dead).collect();
+    for &u in &node_ids {
+        let mut targets: Vec<NodeId> = graph.fanout(u).map(|a| graph.arc(a).to).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        for v in targets {
+            stats.parallel_merged += graph.coalesce_parallel(u, v);
+        }
+    }
+    // Prune dangling internal pins until fixpoint — but never pins the
+    // keep-set asked to preserve (keep-all must be the identity).
+    loop {
+        let mut removed = 0usize;
+        for i in 0..graph.node_count() {
+            if !keep[i] && graph.prune_dangling(NodeId(i as u32)) {
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            break;
+        }
+        stats.pruned += removed;
+    }
+    graph
+        .rebuild_topo()
+        .expect("reduction of a DAG cannot create cycles");
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmm_circuits::CircuitSpec;
+    use tmm_sta::constraints::Context;
+    use tmm_sta::liberty::Library;
+    use tmm_sta::propagate::Analysis;
+
+    fn small_graph() -> ArcGraph {
+        let lib = Library::synthetic(2);
+        let n = CircuitSpec::new("r")
+            .inputs(4)
+            .outputs(4)
+            .register_banks(1, 4)
+            .cloud(3, 6)
+            .seed(21)
+            .generate(&lib)
+            .unwrap();
+        ArcGraph::from_netlist(&n, &lib).unwrap()
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let mut g = small_graph();
+        let before = (g.live_nodes(), g.live_arcs());
+        let keep = vec![true; g.node_count()];
+        let stats = reduce_graph(&mut g, &keep, &ReducePolicy::default());
+        assert_eq!(stats.bypassed, 0);
+        assert_eq!((g.live_nodes(), g.live_arcs()), before);
+    }
+
+    #[test]
+    fn keep_none_collapses_internals() {
+        let mut g = small_graph();
+        let nodes_before = g.live_nodes();
+        let keep = vec![false; g.node_count()];
+        let stats = reduce_graph(&mut g, &keep, &ReducePolicy { max_bypass: 4096, allow_growth: true });
+        assert!(stats.bypassed > 0);
+        assert!(g.live_nodes() < nodes_before);
+        // Only ports, FF pins and refused/clock-kept pins remain internal.
+        let internals = (0..g.node_count() as u32)
+            .map(NodeId)
+            .filter(|&n| !g.node(n).dead && g.node(n).kind == NodeKind::Internal)
+            .count();
+        assert!(
+            internals <= stats.refused,
+            "all non-refused internals gone: {internals} vs refused {stats:?}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn full_collapse_error_stays_in_the_ps_regime() {
+        // Collapsing *everything* removes timing-variant pins, so error is
+        // expected (that is the point of the TS metric) — but it must stay
+        // bounded: the frozen internal loads match the nominal context, so
+        // only max/min crossings in non-unate merges deviate.
+        let g0 = small_graph();
+        let mut g = g0.clone();
+        let keep = vec![false; g.node_count()];
+        reduce_graph(&mut g, &keep, &ReducePolicy { max_bypass: 4096, allow_growth: true });
+        let ctx = Context::nominal(&g0);
+        let flat = Analysis::run(&g0, &ctx).unwrap();
+        let red = Analysis::run(&g, &ctx).unwrap();
+        let d = flat.boundary().diff(red.boundary());
+        assert!(d.count > 0);
+        assert!(d.max > 0.0, "full collapse of variant pins cannot be exact");
+        assert!(d.max < 500.0, "error must stay in the ps regime, got {}", d.max);
+    }
+
+    #[test]
+    fn keeping_pins_reduces_collapse_error() {
+        // Keeping every pin is exact; keeping none incurs interpolation
+        // error. Error must be monotone in that direction.
+        let g0 = small_graph();
+        let ctx = Context::nominal(&g0);
+        let flat = Analysis::run(&g0, &ctx).unwrap();
+
+        let mut g_none = g0.clone();
+        reduce_graph(&mut g_none, &vec![false; g0.node_count()], &ReducePolicy { max_bypass: 4096, allow_growth: true });
+        let err_none =
+            flat.boundary().diff(Analysis::run(&g_none, &ctx).unwrap().boundary()).max;
+
+        let mut g_all = g0.clone();
+        reduce_graph(&mut g_all, &vec![true; g0.node_count()], &ReducePolicy { max_bypass: 4096, allow_growth: true });
+        let err_all =
+            flat.boundary().diff(Analysis::run(&g_all, &ctx).unwrap().boundary()).max;
+
+        assert!(err_all <= err_none + 1e-12, "{err_all} vs {err_none}");
+        assert_eq!(err_all, 0.0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut g = small_graph();
+        let keep = vec![false; g.node_count()];
+        let live_before = g.live_nodes();
+        let stats = reduce_graph(&mut g, &keep, &ReducePolicy { max_bypass: 4096, allow_growth: true });
+        assert_eq!(
+            live_before - g.live_nodes(),
+            stats.bypassed + stats.pruned,
+            "every vanished node is accounted for"
+        );
+    }
+}

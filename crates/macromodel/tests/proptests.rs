@@ -1,0 +1,90 @@
+//! Property-based tests of macro-model generation invariants.
+
+use proptest::prelude::*;
+use tmm_circuits::CircuitSpec;
+use tmm_macromodel::eval::{evaluate, EvalOptions};
+use tmm_macromodel::{extract_ilm, MacroModel, MacroModelOptions};
+use tmm_sta::graph::{ArcGraph, NodeKind};
+use tmm_sta::liberty::Library;
+use tmm_sta::propagate::AnalysisOptions;
+
+fn design(seed: u64) -> (ArcGraph, Library) {
+    let lib = Library::synthetic(5);
+    let n = CircuitSpec::new("pm")
+        .inputs(4)
+        .outputs(4)
+        .register_banks(1, 3)
+        .cloud(2, 5)
+        .seed(seed)
+        .generate(&lib)
+        .unwrap();
+    (ArcGraph::from_netlist(&n, &lib).unwrap(), lib)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any keep mask produces a structurally valid, analyzable model whose
+    /// boundary stays comparable to the flat design, with ports and clock
+    /// always preserved.
+    #[test]
+    fn any_keep_mask_yields_valid_model(seed in 0u64..100, bias in 0.0f64..1.0) {
+        use rand::{Rng, SeedableRng};
+        let (flat, _) = design(seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
+        let keep: Vec<bool> = (0..flat.node_count()).map(|_| rng.gen_bool(bias)).collect();
+        let model = MacroModel::generate(&flat, &keep, &MacroModelOptions::default()).unwrap();
+        model.graph().validate().unwrap();
+        prop_assert_eq!(model.graph().primary_inputs().len(), flat.primary_inputs().len());
+        prop_assert_eq!(model.graph().primary_outputs().len(), flat.primary_outputs().len());
+        prop_assert_eq!(model.graph().clock_source().is_some(), flat.clock_source().is_some());
+        let r = evaluate(&flat, &model, &EvalOptions { contexts: 2, ..Default::default() }).unwrap();
+        prop_assert!(r.accuracy.count > 0, "boundary must remain comparable");
+        prop_assert!(r.accuracy.max.is_finite());
+    }
+
+    /// ILM extraction is always boundary-exact, regardless of design seed.
+    #[test]
+    fn ilm_is_always_exact(seed in 0u64..100) {
+        let (flat, _) = design(seed);
+        let (ilm, mask) = extract_ilm(&flat).unwrap();
+        prop_assert!(mask.kept_count() <= flat.live_nodes());
+        let ctx = tmm_sta::constraints::Context::nominal(&flat);
+        let a = tmm_sta::propagate::Analysis::run(&flat, &ctx).unwrap();
+        let b = tmm_sta::propagate::Analysis::run(&ilm, &ctx).unwrap();
+        prop_assert!(a.boundary().diff(b.boundary()).max < 1e-9);
+    }
+
+    /// Serialize → parse round trips are timing-exact for any keep mask.
+    #[test]
+    fn serialization_round_trip(seed in 0u64..50, bias in 0.0f64..1.0) {
+        use rand::{Rng, SeedableRng};
+        let (flat, _) = design(seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let keep: Vec<bool> = (0..flat.node_count()).map(|_| rng.gen_bool(bias)).collect();
+        let model = MacroModel::generate(&flat, &keep, &MacroModelOptions::default()).unwrap();
+        let back = MacroModel::parse(&model.serialize()).unwrap();
+        let ctx = tmm_sta::constraints::Context::nominal(model.graph());
+        let a = model.analyze(&ctx, AnalysisOptions::default()).unwrap();
+        let b = back.analyze(&ctx, AnalysisOptions::default()).unwrap();
+        prop_assert_eq!(a.boundary().diff(b.boundary()).max, 0.0);
+    }
+
+    /// Flip-flop pins and boundary ports never appear as merged-away nodes.
+    #[test]
+    fn protected_pins_survive_generation(seed in 0u64..100) {
+        let (flat, _) = design(seed);
+        let keep = vec![false; flat.node_count()];
+        let model = MacroModel::generate(&flat, &keep, &MacroModelOptions::default()).unwrap();
+        // every live FF check in the ILM region keeps its d and ck pins
+        for check in model.graph().checks() {
+            if !model.graph().node(check.d).dead {
+                prop_assert!(matches!(
+                    model.graph().node(check.d).kind,
+                    NodeKind::FfData(_)
+                ));
+                prop_assert!(!model.graph().node(check.ck).dead);
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Training-feature extraction — the paper's Table 1.
+//!
+//! Eight basic features computable in linear time from the circuit
+//! structure, plus the dedicated `is_CPPR` feature (§5.3) marking
+//! multiple-fan-out clock-network pins. `level_from_PI`, `level_to_PO` and
+//! `out_degree` are normalised to `[0, 1]` per design, as the paper
+//! prescribes, so every feature carries a comparable magnitude.
+
+use tmm_gnn::Matrix;
+use tmm_sta::cppr::cppr_crucial_pins;
+use tmm_sta::graph::{ArcGraph, NodeId, NodeKind};
+
+/// Number of basic features (Table 1 rows 1–8).
+pub const BASE_FEATURES: usize = 8;
+
+/// Total features when the dedicated CPPR feature is included.
+pub const FEATURES_WITH_CPPR: usize = BASE_FEATURES + 1;
+
+/// Human-readable feature names, index-aligned with the matrix columns.
+pub const FEATURE_NAMES: [&str; FEATURES_WITH_CPPR] = [
+    "level_from_PI",
+    "level_to_PO",
+    "is_last_stage_fanout",
+    "is_last_stage",
+    "is_first_stage",
+    "out_degree",
+    "is_clock_network",
+    "is_ff_clock",
+    "is_CPPR",
+];
+
+/// Extracts the per-pin feature matrix of `graph`.
+///
+/// With `with_cppr == false` the matrix has [`BASE_FEATURES`] columns, with
+/// `true` it has [`FEATURES_WITH_CPPR`]. Dead nodes get all-zero rows.
+#[must_use]
+pub fn extract_features(graph: &ArcGraph, with_cppr: bool) -> Matrix {
+    let n = graph.node_count();
+    let cols = if with_cppr { FEATURES_WITH_CPPR } else { BASE_FEATURES };
+    let from_pi = graph.levels_from_inputs();
+    let to_po = graph.levels_to_outputs();
+    let max_from = from_pi.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(1).max(1);
+    let max_to = to_po.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap_or(1).max(1);
+    let max_out = (0..n)
+        .map(|i| graph.out_degree(NodeId(i as u32)))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    // A pin is *last stage* when it directly drives an endpoint (PO or FF
+    // data pin); *last-stage fanout* pins are driven by a last-stage pin.
+    let mut is_last = vec![false; n];
+    for i in 0..n {
+        let id = NodeId(i as u32);
+        if graph.node(id).dead {
+            continue;
+        }
+        is_last[i] = graph.fanout(id).any(|a| {
+            matches!(
+                graph.node(graph.arc(a).to).kind,
+                NodeKind::PrimaryOutput(_) | NodeKind::FfData(_)
+            )
+        });
+    }
+    let mut is_last_fanout = vec![false; n];
+    for i in 0..n {
+        let id = NodeId(i as u32);
+        if graph.node(id).dead {
+            continue;
+        }
+        is_last_fanout[i] = graph.fanin(id).any(|a| is_last[graph.arc(a).from.index()]);
+    }
+    let cppr_pins: Vec<bool> = {
+        let mut v = vec![false; n];
+        if with_cppr {
+            for p in cppr_crucial_pins(graph) {
+                v[p.index()] = true;
+            }
+        }
+        v
+    };
+
+    Matrix::from_fn(n, cols, |r, c| {
+        let id = NodeId(r as u32);
+        let node = graph.node(id);
+        if node.dead {
+            return 0.0;
+        }
+        match c {
+            0 => {
+                if from_pi[r] == u32::MAX {
+                    1.0
+                } else {
+                    from_pi[r] as f32 / max_from as f32
+                }
+            }
+            1 => {
+                if to_po[r] == u32::MAX {
+                    1.0
+                } else {
+                    to_po[r] as f32 / max_to as f32
+                }
+            }
+            2 => f32::from(u8::from(is_last_fanout[r])),
+            3 => f32::from(u8::from(is_last[r])),
+            4 => {
+                let first = matches!(node.kind, NodeKind::PrimaryInput(_))
+                    || graph.fanin(id).any(|a| {
+                        matches!(
+                            graph.node(graph.arc(a).from).kind,
+                            NodeKind::PrimaryInput(_) | NodeKind::ClockSource
+                        )
+                    });
+                f32::from(u8::from(first))
+            }
+            5 => graph.out_degree(id) as f32 / max_out as f32,
+            6 => f32::from(u8::from(node.is_clock_network)),
+            7 => f32::from(u8::from(matches!(node.kind, NodeKind::FfClock))),
+            8 => f32::from(u8::from(cppr_pins[r])),
+            _ => unreachable!("column bound"),
+        }
+    })
+}
+
+/// Directed pin-graph edges over live arcs, ready for
+/// [`tmm_gnn::NodeGraph::from_edges`].
+#[must_use]
+pub fn pin_graph_edges(graph: &ArcGraph) -> Vec<(u32, u32)> {
+    graph
+        .arcs()
+        .iter()
+        .filter(|a| {
+            !a.dead && !graph.node(a.from).dead && !graph.node(a.to).dead
+        })
+        .map(|a| (a.from.0, a.to.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmm_circuits::CircuitSpec;
+    use tmm_sta::liberty::Library;
+
+    fn graph() -> ArcGraph {
+        let lib = Library::synthetic(11);
+        let n = CircuitSpec::new("ft")
+            .inputs(4)
+            .outputs(4)
+            .register_banks(2, 4)
+            .cloud(2, 6)
+            .seed(41)
+            .generate(&lib)
+            .unwrap();
+        ArcGraph::from_netlist(&n, &lib).unwrap()
+    }
+
+    #[test]
+    fn feature_matrix_shape_and_range() {
+        let g = graph();
+        let base = extract_features(&g, false);
+        assert_eq!(base.cols(), BASE_FEATURES);
+        assert_eq!(base.rows(), g.node_count());
+        let full = extract_features(&g, true);
+        assert_eq!(full.cols(), FEATURES_WITH_CPPR);
+        for v in full.data() {
+            assert!((0.0..=1.0).contains(v), "feature {v} out of [0,1]");
+        }
+    }
+
+    #[test]
+    fn pi_has_level_zero_and_first_stage_flag() {
+        let g = graph();
+        let f = extract_features(&g, false);
+        for &pi in g.primary_inputs() {
+            assert_eq!(f.at(pi.index(), 0), 0.0, "level_from_PI");
+            assert_eq!(f.at(pi.index(), 4), 1.0, "is_first_stage");
+        }
+    }
+
+    #[test]
+    fn clock_pins_flagged() {
+        let g = graph();
+        let f = extract_features(&g, true);
+        for c in g.checks() {
+            assert_eq!(f.at(c.ck.index(), 6), 1.0, "ff ck is clock network");
+            assert_eq!(f.at(c.ck.index(), 7), 1.0, "is_ff_clock");
+            assert_eq!(f.at(c.d.index(), 7), 0.0, "d pin is not a clock pin");
+        }
+    }
+
+    #[test]
+    fn cppr_feature_marks_multi_fanout_clock_pins() {
+        let g = graph();
+        let f = extract_features(&g, true);
+        let marked: Vec<usize> =
+            (0..g.node_count()).filter(|&i| f.at(i, 8) == 1.0).collect();
+        assert!(!marked.is_empty(), "clock tree has branch points");
+        for i in marked {
+            let n = NodeId(i as u32);
+            assert!(g.node(n).is_clock_network);
+            assert!(g.out_degree(n) > 1);
+        }
+    }
+
+    #[test]
+    fn last_stage_pins_drive_endpoints() {
+        let g = graph();
+        let f = extract_features(&g, false);
+        for &po in g.primary_outputs() {
+            for a in g.fanin(po) {
+                assert_eq!(f.at(g.arc(a).from.index(), 3), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn edges_cover_live_arcs_only() {
+        let mut g = graph();
+        let before = pin_graph_edges(&g).len();
+        assert_eq!(before, g.live_arcs());
+        // kill a node; its arcs disappear from the edge list
+        let victim = (0..g.node_count() as u32)
+            .map(NodeId)
+            .find(|&n| g.node(n).kind == NodeKind::Internal && g.can_bypass(n))
+            .unwrap();
+        g.bypass_node(victim).unwrap();
+        let after = pin_graph_edges(&g).len();
+        assert_eq!(after, g.live_arcs());
+    }
+
+    #[test]
+    fn feature_names_align_with_columns() {
+        assert_eq!(FEATURE_NAMES.len(), FEATURES_WITH_CPPR);
+        assert_eq!(FEATURE_NAMES[8], "is_CPPR");
+    }
+}

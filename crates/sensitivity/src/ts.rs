@@ -1,0 +1,339 @@
+//! The timing sensitivity (TS) metric — §4.1, Eqs. (1)–(2), Fig. 5.
+//!
+//! The TS of a pin is the average relative change of boundary timing values
+//! (slew, arrival, required arrival, slack — plus check slacks in CPPR
+//! mode) caused by removing the pin, averaged over several random boundary
+//! contexts. Removal here *is* the serial merge used by macro generation
+//! ([`ArcGraph::bypass_node`]), so TS measures exactly the error that
+//! merging the pin into the model would cause.
+
+use tmm_sta::compare::BoundarySnapshot;
+use tmm_sta::constraints::{Context, ContextSampler};
+use tmm_sta::graph::{ArcGraph, NodeId};
+use tmm_sta::propagate::{Analysis, AnalysisOptions};
+use tmm_sta::split::{mode_edge_iter, Edge};
+use tmm_sta::Result;
+
+/// Options for one TS evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsOptions {
+    /// Number of random boundary contexts (`|C|` in Eq. (1)).
+    pub contexts: usize,
+    /// Context sampler seed.
+    pub seed: u64,
+    /// Worker threads for the per-pin evaluation loop (1 = sequential).
+    /// Pin removals are independent, so the sweep parallelises perfectly;
+    /// results are deterministic regardless of thread count.
+    pub threads: usize,
+    /// Run the underlying analyses with CPPR.
+    pub cppr: bool,
+    /// Run the underlying analyses with AOCV derating (the generality axis
+    /// of §5.3: TS adapts to whichever analysis mode is active).
+    pub aocv: bool,
+    /// Values below this count as "zero TS" when labelling.
+    pub zero_eps: f64,
+}
+
+impl Default for TsOptions {
+    fn default() -> Self {
+        TsOptions {
+            contexts: 4,
+            seed: 0x7357,
+            threads: 1,
+            cppr: false,
+            aocv: false,
+            zero_eps: 1e-6,
+        }
+    }
+}
+
+/// Result of a TS evaluation.
+#[derive(Debug, Clone)]
+pub struct TsResult {
+    /// Per-node TS; `NaN` for pins that were not evaluated (not a
+    /// candidate, or not removable).
+    pub ts: Vec<f64>,
+    /// Number of pins actually evaluated.
+    pub evaluated: usize,
+    /// Number of candidate pins that could not be bypassed (kept
+    /// conservatively; they get `NaN`).
+    pub skipped: usize,
+}
+
+impl TsResult {
+    /// Binary labels per Eq. (1)'s usage in §5.1: 1 iff TS is non-zero
+    /// (above `zero_eps`); unevaluated pins are 0.
+    #[must_use]
+    pub fn labels(&self, zero_eps: f64) -> Vec<f32> {
+        self.ts
+            .iter()
+            .map(|&t| if t.is_finite() && t > zero_eps { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Regression targets (§5.3): the TS value itself, 0 where unevaluated.
+    #[must_use]
+    pub fn regression_targets(&self) -> Vec<f32> {
+        self.ts.iter().map(|&t| if t.is_finite() { t as f32 } else { 0.0 }).collect()
+    }
+}
+
+/// Mean relative difference of one quantity category over matched boundary
+/// entries (the inner sum of Eq. (2)); denominators are floored at 1 ps to
+/// keep near-zero references from exploding the metric.
+fn relative_diff(before: &BoundarySnapshot, after: &BoundarySnapshot) -> [f64; 4] {
+    let mut sums = [0.0f64; 4]; // slew, at, rat, slack
+    let mut counts = [0usize; 4];
+    let acc = |cat: usize, b: f64, a: f64, sums: &mut [f64; 4], counts: &mut [usize; 4]| {
+        if b.is_finite() && a.is_finite() {
+            sums[cat] += (a - b).abs() / b.abs().max(1.0);
+            counts[cat] += 1;
+        }
+    };
+    let after_po: std::collections::HashMap<&str, usize> =
+        after.po.iter().enumerate().map(|(i, p)| (p.name.as_str(), i)).collect();
+    for p in &before.po {
+        let Some(&j) = after_po.get(p.name.as_str()) else { continue };
+        let q = &after.po[j];
+        for (m, e) in mode_edge_iter() {
+            acc(0, p.slew[m][e], q.slew[m][e], &mut sums, &mut counts);
+            acc(1, p.at[m][e], q.at[m][e], &mut sums, &mut counts);
+            acc(2, p.rat[m][e], q.rat[m][e], &mut sums, &mut counts);
+            acc(3, p.slack[m][e], q.slack[m][e], &mut sums, &mut counts);
+        }
+    }
+    let after_pi: std::collections::HashMap<&str, usize> =
+        after.pi.iter().enumerate().map(|(i, p)| (p.name.as_str(), i)).collect();
+    for p in &before.pi {
+        let Some(&j) = after_pi.get(p.name.as_str()) else { continue };
+        for (m, e) in mode_edge_iter() {
+            acc(2, p.rat[m][e], after.pi[j].rat[m][e], &mut sums, &mut counts);
+        }
+    }
+    let after_ck: std::collections::HashMap<&str, usize> =
+        after.checks.iter().enumerate().map(|(i, c)| (c.name.as_str(), i)).collect();
+    for c in &before.checks {
+        let Some(&j) = after_ck.get(c.name.as_str()) else { continue };
+        let q = &after.checks[j];
+        for e in Edge::ALL {
+            acc(3, c.setup_slack[e], q.setup_slack[e], &mut sums, &mut counts);
+            acc(3, c.hold_slack[e], q.hold_slack[e], &mut sums, &mut counts);
+        }
+    }
+    let mut out = [0.0f64; 4];
+    for k in 0..4 {
+        out[k] = if counts[k] > 0 { sums[k] / counts[k] as f64 } else { 0.0 };
+    }
+    out
+}
+
+/// Evaluates the TS of every candidate pin of `graph` (Fig. 5 flow).
+/// `candidates[i] == true` requests evaluation of node `i`; ports, FF pins
+/// and dead nodes are silently skipped.
+///
+/// # Errors
+///
+/// Propagates analysis errors (infallible for valid graphs).
+///
+/// # Panics
+///
+/// Panics if `candidates.len() != graph.node_count()`.
+pub fn evaluate_ts(graph: &ArcGraph, candidates: &[bool], opts: &TsOptions) -> Result<TsResult> {
+    assert_eq!(candidates.len(), graph.node_count(), "candidate mask size mismatch");
+    let analysis_opts = AnalysisOptions { cppr: opts.cppr, aocv: opts.aocv };
+    let mut sampler = ContextSampler::new(opts.seed);
+    let contexts: Vec<Context> = sampler.sample_many(graph, opts.contexts.max(1));
+    let references: Vec<BoundarySnapshot> = contexts
+        .iter()
+        .map(|c| Ok(Analysis::run_with_options(graph, c, analysis_opts)?.boundary().clone()))
+        .collect::<Result<_>>()?;
+
+    let mut ts = vec![f64::NAN; graph.node_count()];
+    let mut skipped = 0usize;
+    let mut work: Vec<usize> = Vec::new();
+    for i in 0..graph.node_count() {
+        if !candidates[i] {
+            continue;
+        }
+        let n = NodeId(i as u32);
+        if graph.node(n).dead {
+            continue;
+        }
+        if !graph.can_bypass(n) {
+            skipped += 1;
+            continue;
+        }
+        work.push(i);
+    }
+
+    // Evaluate one pin: clone, bypass, re-propagate under every context.
+    let eval_pin = |i: usize| -> Result<f64> {
+        let mut edited = graph.clone();
+        edited.bypass_node(NodeId(i as u32)).expect("eligibility checked");
+        let mut total = 0.0f64;
+        for (ctx, reference) in contexts.iter().zip(&references) {
+            let an = Analysis::run_with_options(&edited, ctx, analysis_opts)?;
+            let cats = relative_diff(reference, an.boundary());
+            total += cats.iter().sum::<f64>() / 4.0;
+        }
+        Ok(total / contexts.len() as f64)
+    };
+
+    let threads = opts.threads.max(1).min(work.len().max(1));
+    if threads <= 1 {
+        for &i in &work {
+            ts[i] = eval_pin(i)?;
+        }
+    } else {
+        // Pin removals are independent: chunk the work list across scoped
+        // workers and stitch results back by index (deterministic).
+        let chunk = work.len().div_ceil(threads);
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move |_| -> Result<Vec<(usize, f64)>> {
+                        part.iter().map(|&i| Ok((i, eval_pin(i)?))).collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("TS worker panicked"))
+                .collect::<Result<Vec<_>>>()
+        })
+        .expect("TS scope panicked")?;
+        for part in results {
+            for (i, v) in part {
+                ts[i] = v;
+            }
+        }
+    }
+    let evaluated = work.len();
+    Ok(TsResult { ts, evaluated, skipped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmm_circuits::CircuitSpec;
+    use tmm_sta::liberty::Library;
+
+    fn graph() -> ArcGraph {
+        let lib = Library::synthetic(9);
+        let n = CircuitSpec::new("ts")
+            .inputs(4)
+            .outputs(4)
+            .register_banks(1, 4)
+            .cloud(2, 5)
+            .seed(13)
+            .generate(&lib)
+            .unwrap();
+        ArcGraph::from_netlist(&n, &lib).unwrap()
+    }
+
+    fn internal_candidates(g: &ArcGraph) -> Vec<bool> {
+        (0..g.node_count())
+            .map(|i| {
+                let n = NodeId(i as u32);
+                !g.node(n).dead && g.node(n).kind == tmm_sta::graph::NodeKind::Internal
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ts_is_deterministic_and_mostly_small() {
+        let g = graph();
+        let cand = internal_candidates(&g);
+        let opts = TsOptions { contexts: 2, ..Default::default() };
+        let a = evaluate_ts(&g, &cand, &opts).unwrap();
+        let b = evaluate_ts(&g, &cand, &opts).unwrap();
+        assert_eq!(a.evaluated, b.evaluated);
+        assert!(a.evaluated > 10);
+        for (x, y) in a.ts.iter().zip(&b.ts) {
+            if x.is_finite() || y.is_finite() {
+                assert_eq!(x, y);
+            }
+        }
+        // TS values are relative quantities: small positives
+        let finite: Vec<f64> = a.ts.iter().copied().filter(|t| t.is_finite()).collect();
+        assert!(finite.iter().all(|&t| (0.0..10.0).contains(&t)));
+    }
+
+    #[test]
+    fn many_pins_have_near_zero_ts() {
+        // The premise of §4.2 (and Fig. 6): the majority of pins barely
+        // influence boundary timing.
+        let g = graph();
+        let cand = internal_candidates(&g);
+        let r = evaluate_ts(&g, &cand, &TsOptions { contexts: 2, ..Default::default() }).unwrap();
+        let finite: Vec<f64> = r.ts.iter().copied().filter(|t| t.is_finite()).collect();
+        let near_zero = finite.iter().filter(|&&t| t < 1e-7).count();
+        assert!(
+            near_zero * 3 > finite.len(),
+            "at least a third near-zero: {near_zero}/{}",
+            finite.len()
+        );
+        let positive = finite.iter().filter(|&&t| t > 1e-7).count();
+        assert!(positive > 0, "some pins must matter");
+    }
+
+    #[test]
+    fn po_adjacent_pins_have_higher_ts_than_deep_pins() {
+        let g = graph();
+        let cand = internal_candidates(&g);
+        let r = evaluate_ts(&g, &cand, &TsOptions { contexts: 2, ..Default::default() }).unwrap();
+        let levels_to_po = g.levels_to_outputs();
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for i in 0..g.node_count() {
+            if !r.ts[i].is_finite() {
+                continue;
+            }
+            match levels_to_po[i] {
+                0..=2 => near.push(r.ts[i]),
+                6..=u32::MAX => far.push(r.ts[i]),
+                _ => {}
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        if !near.is_empty() && !far.is_empty() {
+            assert!(avg(&near) >= avg(&far), "{} vs {}", avg(&near), avg(&far));
+        }
+    }
+
+    #[test]
+    fn labels_threshold_on_zero_eps() {
+        let r = TsResult { ts: vec![f64::NAN, 0.0, 1e-9, 0.5], evaluated: 3, skipped: 0 };
+        assert_eq!(r.labels(1e-7), vec![0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(r.regression_targets(), vec![0.0, 0.0, 1e-9 as f32, 0.5]);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential_exactly() {
+        let g = graph();
+        let cand = internal_candidates(&g);
+        let seq = evaluate_ts(&g, &cand, &TsOptions { contexts: 2, threads: 1, ..Default::default() })
+            .unwrap();
+        let par = evaluate_ts(&g, &cand, &TsOptions { contexts: 2, threads: 4, ..Default::default() })
+            .unwrap();
+        assert_eq!(seq.evaluated, par.evaluated);
+        for (a, b) in seq.ts.iter().zip(&par.ts) {
+            assert_eq!(a.to_bits(), b.to_bits(), "thread count must not change results");
+        }
+    }
+
+    #[test]
+    fn ports_and_ff_pins_never_evaluated() {
+        let g = graph();
+        let all = vec![true; g.node_count()];
+        let r = evaluate_ts(&g, &all, &TsOptions { contexts: 1, ..Default::default() }).unwrap();
+        for &p in g.primary_inputs().iter().chain(g.primary_outputs()) {
+            assert!(r.ts[p.index()].is_nan());
+        }
+        for c in g.checks() {
+            assert!(r.ts[c.d.index()].is_nan());
+            assert!(r.ts[c.ck.index()].is_nan());
+        }
+    }
+}

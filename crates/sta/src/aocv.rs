@@ -1,0 +1,182 @@
+//! Advanced on-chip variation (AOCV) — depth-based derating.
+//!
+//! Flat OCV margins (our early/late libraries) overconstrain deep paths:
+//! stage-to-stage variation partially cancels along a long path, so the
+//! margin per stage should shrink with logic depth. AOCV captures this with
+//! a derate table indexed by depth. The paper names AOCV as one of the
+//! advanced analysis modes its framework generalises to (§1, §3.2, §5.3):
+//! the timing-sensitivity labels adapt automatically because TS is measured
+//! under whichever analysis mode is active.
+//!
+//! This implementation applies graph-based AOCV: each cell arc's delay is
+//! scaled by the derate at its target node's structural depth.
+
+use crate::split::Mode;
+
+/// One derate stage: applies to nodes at `min_depth` or deeper, until the
+/// next stage takes over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AocvStage {
+    /// Minimum structural depth this stage covers.
+    pub min_depth: u32,
+    /// Multiplier for early (min-delay) arcs, ≤ 1.
+    pub early: f64,
+    /// Multiplier for late (max-delay) arcs, ≥ 1.
+    pub late: f64,
+}
+
+/// A depth-indexed derate table.
+///
+/// Stages must be sorted by `min_depth`; [`AocvSpec::new`] enforces it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AocvSpec {
+    stages: Vec<AocvStage>,
+}
+
+impl AocvSpec {
+    /// Creates a spec from stages (sorted by `min_depth` automatically).
+    /// An empty table derates nothing.
+    #[must_use]
+    pub fn new(mut stages: Vec<AocvStage>) -> Self {
+        stages.sort_by_key(|s| s.min_depth);
+        AocvSpec { stages }
+    }
+
+    /// The standard table used by the experiments: ±7 % at the boundary,
+    /// converging towards ±1 % for paths deeper than 16 stages — the usual
+    /// square-root-of-depth shape, tabulated.
+    #[must_use]
+    pub fn standard() -> Self {
+        AocvSpec::new(vec![
+            AocvStage { min_depth: 0, early: 0.93, late: 1.07 },
+            AocvStage { min_depth: 2, early: 0.95, late: 1.05 },
+            AocvStage { min_depth: 4, early: 0.96, late: 1.04 },
+            AocvStage { min_depth: 8, early: 0.98, late: 1.02 },
+            AocvStage { min_depth: 16, early: 0.99, late: 1.01 },
+        ])
+    }
+
+    /// A POCV-style statistical table: per-stage variation `sigma`
+    /// (fraction of nominal delay) pools as `±3σ/√(depth+1)` — the
+    /// parametric on-chip-variation mode the paper lists next to AOCV
+    /// (§1, §3.2). Tabulated at power-of-two depths up to `max_depth`.
+    #[must_use]
+    pub fn pocv(sigma: f64, max_depth: u32) -> Self {
+        let mut stages = Vec::new();
+        let mut depth = 0u32;
+        loop {
+            let margin = 3.0 * sigma / f64::from(depth + 1).sqrt();
+            stages.push(AocvStage {
+                min_depth: depth,
+                early: (1.0 - margin).max(0.05),
+                late: 1.0 + margin,
+            });
+            if depth >= max_depth {
+                break;
+            }
+            depth = if depth == 0 { 1 } else { depth * 2 };
+        }
+        AocvSpec::new(stages)
+    }
+
+    /// The derate multiplier for `mode` at structural depth `depth`.
+    #[must_use]
+    pub fn derate(&self, mode: Mode, depth: u32) -> f64 {
+        let mut current = match mode {
+            Mode::Early => 1.0,
+            Mode::Late => 1.0,
+        };
+        for stage in &self.stages {
+            if depth >= stage.min_depth {
+                current = match mode {
+                    Mode::Early => stage.early,
+                    Mode::Late => stage.late,
+                };
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// The configured stages.
+    #[must_use]
+    pub fn stages(&self) -> &[AocvStage] {
+        &self.stages
+    }
+}
+
+impl Default for AocvSpec {
+    fn default() -> Self {
+        AocvSpec::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_table_converges_with_depth() {
+        let spec = AocvSpec::standard();
+        let mut prev_late = f64::INFINITY;
+        let mut prev_early = 0.0;
+        for depth in [0u32, 2, 4, 8, 16, 64] {
+            let late = spec.derate(Mode::Late, depth);
+            let early = spec.derate(Mode::Early, depth);
+            assert!(late >= 1.0 && late <= 1.07);
+            assert!(early <= 1.0 && early >= 0.93);
+            assert!(late <= prev_late, "late derate must shrink with depth");
+            assert!(early >= prev_early, "early derate must grow with depth");
+            prev_late = late;
+            prev_early = early;
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_identity() {
+        let spec = AocvSpec::new(vec![]);
+        assert_eq!(spec.derate(Mode::Late, 0), 1.0);
+        assert_eq!(spec.derate(Mode::Early, 100), 1.0);
+    }
+
+    #[test]
+    fn stages_are_sorted_on_construction() {
+        let spec = AocvSpec::new(vec![
+            AocvStage { min_depth: 8, early: 0.99, late: 1.01 },
+            AocvStage { min_depth: 0, early: 0.9, late: 1.1 },
+        ]);
+        assert_eq!(spec.stages()[0].min_depth, 0);
+        assert_eq!(spec.derate(Mode::Late, 3), 1.1);
+        assert_eq!(spec.derate(Mode::Late, 9), 1.01);
+    }
+
+    #[test]
+    fn pocv_margin_decays_as_inverse_sqrt_depth() {
+        let spec = AocvSpec::pocv(0.03, 64);
+        let m0 = spec.derate(Mode::Late, 0) - 1.0;
+        let m3 = spec.derate(Mode::Late, 4) - 1.0;
+        let m63 = spec.derate(Mode::Late, 64) - 1.0;
+        assert!((m0 - 0.09).abs() < 1e-9, "3σ at depth 0");
+        assert!(m3 < m0 && m63 < m3, "monotone decay");
+        // √-law: margin at depth 63 ≈ margin at depth 0 / √64
+        assert!((m63 - m0 / 65.0f64.sqrt()).abs() < 0.002, "{m63}");
+        // early mirror
+        assert!((1.0 - spec.derate(Mode::Early, 0) - 0.09).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pocv_early_never_goes_nonpositive() {
+        let spec = AocvSpec::pocv(0.5, 4); // absurd sigma
+        for d in [0u32, 1, 2, 4] {
+            assert!(spec.derate(Mode::Early, d) >= 0.05);
+        }
+    }
+
+    #[test]
+    fn intermediate_depths_use_the_preceding_stage() {
+        let spec = AocvSpec::standard();
+        assert_eq!(spec.derate(Mode::Late, 3), spec.derate(Mode::Late, 2));
+        assert_eq!(spec.derate(Mode::Late, 15), spec.derate(Mode::Late, 8));
+    }
+}

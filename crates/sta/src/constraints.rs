@@ -1,0 +1,199 @@
+//! Boundary timing constraints (contexts).
+//!
+//! A [`Context`] carries the boundary information of the macro-modeling
+//! problem formulation: arrival time and slew at each primary input, output
+//! load and required arrival time at each primary output, plus the clock
+//! specification. [`ContextSampler`] draws seeded random contexts — the
+//! paper generates "several sets of boundary timing constraints" this way
+//! for timing-sensitivity evaluation (§4.1) and model-accuracy validation.
+
+use crate::graph::ArcGraph;
+use crate::split::Split;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Boundary constraint at one primary input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiConstraint {
+    /// Arrival time (ps) per mode; `early ≤ late`.
+    pub at: Split<f64>,
+    /// Input transition time (ps), applied to both edges.
+    pub slew: f64,
+}
+
+/// Boundary constraint at one primary output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoConstraint {
+    /// External load (fF) seen by the net driving this port.
+    pub load: f64,
+    /// Required arrival time (ps) per mode: `late` is the latest allowed
+    /// arrival (setup-style), `early` the earliest allowed (hold-style).
+    pub rat: Split<f64>,
+}
+
+/// Clock specification for clocked designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSpec {
+    /// Clock period in ps.
+    pub period: f64,
+    /// Source latency at the clock port in ps.
+    pub source_latency: f64,
+    /// Clock transition time at the source in ps.
+    pub slew: f64,
+}
+
+impl Default for ClockSpec {
+    fn default() -> Self {
+        ClockSpec { period: 600.0, source_latency: 0.0, slew: 15.0 }
+    }
+}
+
+/// One full set of boundary timing constraints for a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Context {
+    /// Per-PI constraints, indexed like [`ArcGraph::primary_inputs`].
+    pub pi: Vec<PiConstraint>,
+    /// Per-PO constraints, indexed like [`ArcGraph::primary_outputs`].
+    pub po: Vec<PoConstraint>,
+    /// Clock specification.
+    pub clock: ClockSpec,
+}
+
+impl Context {
+    /// A deterministic nominal context: zero arrivals, 20 ps input slew,
+    /// 4 fF output loads, required times at one clock period.
+    #[must_use]
+    pub fn nominal(graph: &ArcGraph) -> Self {
+        let clock = ClockSpec::default();
+        Context {
+            pi: vec![
+                PiConstraint { at: Split::new(0.0, 0.0), slew: 20.0 };
+                graph.primary_inputs().len()
+            ],
+            po: vec![
+                PoConstraint { load: 4.0, rat: Split::new(0.0, clock.period) };
+                graph.primary_outputs().len()
+            ],
+            clock,
+        }
+    }
+
+    /// The PO load vector used by [`ArcGraph::load_of`].
+    #[must_use]
+    pub fn po_loads(&self) -> Vec<f64> {
+        self.po.iter().map(|p| p.load).collect()
+    }
+}
+
+/// Seeded sampler of random boundary contexts.
+///
+/// The same `(graph shape, seed)` pair always yields the same sequence, so
+/// training-data generation and accuracy evaluation are reproducible.
+#[derive(Debug)]
+pub struct ContextSampler {
+    rng: StdRng,
+}
+
+impl ContextSampler {
+    /// Creates a sampler from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ContextSampler { rng: StdRng::seed_from_u64(seed ^ 0xc0_17e8) }
+    }
+
+    /// Draws one random context for `graph`.
+    pub fn sample(&mut self, graph: &ArcGraph) -> Context {
+        let rng = &mut self.rng;
+        let period = rng.gen_range(500.0..900.0);
+        let pi = (0..graph.primary_inputs().len())
+            .map(|_| {
+                let base = rng.gen_range(0.0..120.0);
+                let jitter = rng.gen_range(0.0..30.0);
+                PiConstraint {
+                    at: Split::new(base, base + jitter),
+                    slew: rng.gen_range(6.0..150.0),
+                }
+            })
+            .collect();
+        let po = (0..graph.primary_outputs().len())
+            .map(|_| PoConstraint {
+                load: rng.gen_range(1.0..48.0),
+                rat: Split::new(rng.gen_range(-40.0..40.0), period + rng.gen_range(-80.0..160.0)),
+            })
+            .collect();
+        Context {
+            pi,
+            po,
+            clock: ClockSpec {
+                period,
+                source_latency: rng.gen_range(0.0..25.0),
+                slew: rng.gen_range(8.0..40.0),
+            },
+        }
+    }
+
+    /// Draws `n` contexts.
+    pub fn sample_many(&mut self, graph: &ArcGraph, n: usize) -> Vec<Context> {
+        (0..n).map(|_| self.sample(graph)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ArcGraph, NodeKind};
+
+    fn two_port_graph() -> ArcGraph {
+        let mut g = ArcGraph::empty("t");
+        g.add_node("a", NodeKind::PrimaryInput(0));
+        g.add_node("b", NodeKind::PrimaryInput(1));
+        g.add_node("z", NodeKind::PrimaryOutput(0));
+        g.rebuild_topo().unwrap();
+        g
+    }
+
+    #[test]
+    fn nominal_covers_all_ports() {
+        let g = two_port_graph();
+        let c = Context::nominal(&g);
+        assert_eq!(c.pi.len(), 2);
+        assert_eq!(c.po.len(), 1);
+        assert_eq!(c.po_loads(), vec![4.0]);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let g = two_port_graph();
+        let a = ContextSampler::new(9).sample(&g);
+        let b = ContextSampler::new(9).sample(&g);
+        let c = ContextSampler::new(10).sample(&g);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sampled_constraints_are_ordered_and_positive() {
+        let g = two_port_graph();
+        let mut s = ContextSampler::new(4);
+        for ctx in s.sample_many(&g, 20) {
+            for pi in &ctx.pi {
+                assert!(pi.at.early <= pi.at.late);
+                assert!(pi.slew > 0.0);
+            }
+            for po in &ctx.po {
+                assert!(po.load > 0.0);
+                assert!(po.rat.early < po.rat.late);
+            }
+            assert!(ctx.clock.period >= 500.0);
+        }
+    }
+
+    #[test]
+    fn sample_many_yields_distinct_contexts() {
+        let g = two_port_graph();
+        let mut s = ContextSampler::new(1);
+        let all = s.sample_many(&g, 3);
+        assert_ne!(all[0], all[1]);
+        assert_ne!(all[1], all[2]);
+    }
+}

@@ -1,0 +1,351 @@
+//! A small hand-rolled tokenizer shared by the library and netlist parsers.
+//!
+//! Token classes: bare identifiers (`cell`, `negative_unate`), quoted
+//! strings (`"u1/A"`), numbers (`-3.5e2`), and single-character punctuation
+//! (`{ } [ ] ; -> is two tokens`). `#` starts a comment to end of line.
+
+use crate::{Result, StaError};
+
+/// One lexical token with its source line for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier / keyword.
+    Ident(String),
+    /// Quoted string (quotes stripped; no escape sequences).
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Single punctuation character: `{ } [ ] ; > -` etc.
+    Punct(char),
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Str(s) => format!("string \"{s}\""),
+            Token::Num(n) => format!("number {n}"),
+            Token::Punct(c) => format!("`{c}`"),
+        }
+    }
+}
+
+/// Token stream over a source text with single-token lookahead.
+#[derive(Debug)]
+pub struct Lexer {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Lexer {
+    /// Tokenizes `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::ParseFormat`] on malformed numbers or unclosed
+    /// strings.
+    pub fn new(src: &str) -> Result<Self> {
+        let mut tokens = Vec::new();
+        let mut line = 1usize;
+        let bytes: Vec<char> = src.chars().collect();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            match c {
+                '\n' => {
+                    line += 1;
+                    i += 1;
+                }
+                ' ' | '\t' | '\r' => i += 1,
+                '#' => {
+                    while i < bytes.len() && bytes[i] != '\n' {
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    let start_line = line;
+                    i += 1;
+                    let mut s = String::new();
+                    while i < bytes.len() && bytes[i] != '"' {
+                        if bytes[i] == '\n' {
+                            line += 1;
+                        }
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                    if i == bytes.len() {
+                        return Err(StaError::ParseFormat {
+                            line: start_line,
+                            message: "unclosed string literal".into(),
+                        });
+                    }
+                    i += 1; // closing quote
+                    tokens.push((Token::Str(s), start_line));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_')
+                    {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                    tokens.push((Token::Ident(s), line));
+                }
+                c if c.is_ascii_digit()
+                    || ((c == '-' || c == '+')
+                        && i + 1 < bytes.len()
+                        && (bytes[i + 1].is_ascii_digit() || bytes[i + 1] == '.'))
+                    || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) =>
+                {
+                    let mut s = String::new();
+                    s.push(c);
+                    i += 1;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_digit()
+                            || matches!(bytes[i], '.' | 'e' | 'E' | '+' | '-'))
+                    {
+                        // `+`/`-` only valid right after an exponent marker
+                        if matches!(bytes[i], '+' | '-')
+                            && !matches!(s.chars().last(), Some('e') | Some('E'))
+                        {
+                            break;
+                        }
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                    let value: f64 = s.parse().map_err(|_| StaError::ParseFormat {
+                        line,
+                        message: format!("malformed number `{s}`"),
+                    })?;
+                    tokens.push((Token::Num(value), line));
+                }
+                _ => {
+                    tokens.push((Token::Punct(c), line));
+                    i += 1;
+                }
+            }
+        }
+        Ok(Lexer { tokens, pos: 0 })
+    }
+
+    /// Current line (for error construction by parsers).
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |&(_, l)| l)
+    }
+
+    /// Builds a parse error at the current position.
+    #[must_use]
+    pub fn error(&self, message: impl Into<String>) -> StaError {
+        StaError::ParseFormat { line: self.line(), message: message.into() }
+    }
+
+    /// Peeks the next token without consuming it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// Consumes and returns the next token.
+    ///
+    /// # Errors
+    ///
+    /// Fails at end of input.
+    pub fn next_token(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.error("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    /// `true` when all tokens are consumed.
+    #[must_use]
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes an identifier token and returns its text.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not an identifier.
+    pub fn ident(&mut self) -> Result<String> {
+        match self.next_token()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    /// Consumes a specific keyword.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not `kw`.
+    pub fn expect_ident(&mut self, kw: &str) -> Result<()> {
+        let s = self.ident()?;
+        if s == kw {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`, found `{s}`")))
+        }
+    }
+
+    /// Consumes a quoted string.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not a string.
+    pub fn string(&mut self) -> Result<String> {
+        match self.next_token()? {
+            Token::Str(s) => Ok(s),
+            other => Err(self.error(format!("expected string, found {}", other.describe()))),
+        }
+    }
+
+    /// Consumes a number.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not a number.
+    pub fn number(&mut self) -> Result<f64> {
+        match self.next_token()? {
+            Token::Num(n) => Ok(n),
+            other => Err(self.error(format!("expected number, found {}", other.describe()))),
+        }
+    }
+
+    /// Consumes a specific punctuation character.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not `c`.
+    pub fn expect_punct(&mut self, c: char) -> Result<()> {
+        match self.next_token()? {
+            Token::Punct(p) if p == c => Ok(()),
+            other => Err(self.error(format!("expected `{c}`, found {}", other.describe()))),
+        }
+    }
+
+    /// Consumes `c` if it is next; returns whether it did.
+    pub fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(p)) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the keyword `kw` if it is next; returns whether it did.
+    pub fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses a `[ n n n ]` numeric list.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed lists.
+    pub fn number_list(&mut self) -> Result<Vec<f64>> {
+        self.expect_punct('[')?;
+        let mut out = Vec::new();
+        while !self.eat_punct(']') {
+            out.push(self.number()?);
+        }
+        Ok(out)
+    }
+
+    /// Parses a `[ "s" "s" ]` string list.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed lists.
+    pub fn string_list(&mut self) -> Result<Vec<String>> {
+        self.expect_punct('[')?;
+        let mut out = Vec::new();
+        while !self.eat_punct(']') {
+            out.push(self.string()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_mixed_input() {
+        let mut lx = Lexer::new("cell \"u1/A\" 3.5 { } [1 -2e1] # comment\nnext").unwrap();
+        assert_eq!(lx.ident().unwrap(), "cell");
+        assert_eq!(lx.string().unwrap(), "u1/A");
+        assert_eq!(lx.number().unwrap(), 3.5);
+        lx.expect_punct('{').unwrap();
+        lx.expect_punct('}').unwrap();
+        assert_eq!(lx.number_list().unwrap(), vec![1.0, -20.0]);
+        assert_eq!(lx.ident().unwrap(), "next");
+        assert!(lx.at_end());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let mut lx = Lexer::new("a\nb\nc 1.5.5.5").unwrap_err();
+        if let StaError::ParseFormat { line, .. } = lx {
+            assert_eq!(line, 3);
+        } else {
+            panic!("wrong error kind");
+        }
+        lx = Lexer::new("\"unclosed").unwrap_err();
+        assert!(matches!(lx, StaError::ParseFormat { line: 1, .. }));
+    }
+
+    #[test]
+    fn negative_numbers_and_punct_minus() {
+        let mut lx = Lexer::new("-1.5 a->b").unwrap();
+        assert_eq!(lx.number().unwrap(), -1.5);
+        assert_eq!(lx.ident().unwrap(), "a");
+        lx.expect_punct('-').unwrap();
+        lx.expect_punct('>').unwrap();
+        assert_eq!(lx.ident().unwrap(), "b");
+    }
+
+    #[test]
+    fn eat_variants_do_not_consume_on_mismatch() {
+        let mut lx = Lexer::new("alpha ;").unwrap();
+        assert!(!lx.eat_punct(';'));
+        assert!(lx.eat_ident("alpha"));
+        assert!(lx.eat_punct(';'));
+        assert!(lx.at_end());
+    }
+
+    #[test]
+    fn comments_span_to_end_of_line() {
+        let mut lx = Lexer::new("x # everything here is ignored \" { \ny").unwrap();
+        assert_eq!(lx.ident().unwrap(), "x");
+        assert_eq!(lx.ident().unwrap(), "y");
+    }
+
+    #[test]
+    fn string_list_round_trip() {
+        let mut lx = Lexer::new("[\"a\" \"b/C\"]").unwrap();
+        assert_eq!(lx.string_list().unwrap(), vec!["a".to_string(), "b/C".to_string()]);
+    }
+
+    #[test]
+    fn error_at_end_of_input() {
+        let mut lx = Lexer::new("x").unwrap();
+        lx.ident().unwrap();
+        assert!(lx.ident().is_err());
+    }
+}

@@ -1,0 +1,555 @@
+//! Gate-level netlists: cells, nets, ports and pins.
+//!
+//! A [`Netlist`] is the structural view of a design. It is built with
+//! [`NetlistBuilder`], validated on [`NetlistBuilder::finish`], and lowered
+//! to a [`crate::graph::ArcGraph`] for timing analysis.
+
+use crate::liberty::{Library, PinDirection};
+use crate::parasitics::NetParasitics;
+use crate::{Result, StaError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a pin within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PinId(pub u32);
+
+/// Identifier of a cell instance within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+/// Identifier of a net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl fmt::Display for PinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pin#{}", self.0)
+    }
+}
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+/// Role of a boundary port pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortKind {
+    /// Primary input.
+    Input,
+    /// Primary output.
+    Output,
+    /// Clock source input.
+    Clock,
+}
+
+/// One pin of the netlist: either a boundary port or a cell pin.
+#[derive(Debug, Clone)]
+pub struct PinData {
+    /// Full name: the port name, or `"<instance>/<pin>"` for cell pins.
+    pub name: String,
+    /// Owning cell, `None` for ports.
+    pub cell: Option<CellId>,
+    /// Pin index within the owning cell's template (0 for ports).
+    pub template_pin: usize,
+    /// Signal direction as seen by the netlist: ports use `Input`/`Output`
+    /// from the design's perspective (a PI *drives* logic).
+    pub direction: PinDirection,
+    /// Port role if this pin is a boundary port.
+    pub port: Option<PortKind>,
+    /// Net this pin is attached to, filled during construction.
+    pub net: Option<NetId>,
+    /// Pin capacitance in fF (template cap for cell inputs, 0 otherwise).
+    pub cap: f64,
+}
+
+impl PinData {
+    /// `true` for boundary port pins.
+    #[must_use]
+    pub fn is_port(&self) -> bool {
+        self.port.is_some()
+    }
+}
+
+/// One cell instance.
+#[derive(Debug, Clone)]
+pub struct CellData {
+    /// Instance name.
+    pub name: String,
+    /// Template index in the library this netlist was built against.
+    pub template: usize,
+    /// Netlist pins, ordered like the template's pin list.
+    pub pins: Vec<PinId>,
+}
+
+/// One net: a single driver and its sinks.
+#[derive(Debug, Clone)]
+pub struct NetData {
+    /// Net name.
+    pub name: String,
+    /// Driving pin (a PI port or a cell output).
+    pub driver: PinId,
+    /// Sink pins (cell inputs or PO ports).
+    pub sinks: Vec<PinId>,
+    /// Reduced parasitics.
+    pub parasitics: NetParasitics,
+}
+
+/// Basic size statistics of a design (the quantities of the paper's Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DesignStats {
+    /// Total pin count (cell pins + ports).
+    pub pins: usize,
+    /// Cell instance count.
+    pub cells: usize,
+    /// Net count.
+    pub nets: usize,
+}
+
+/// A validated gate-level netlist.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    library_name: String,
+    pins: Vec<PinData>,
+    cells: Vec<CellData>,
+    nets: Vec<NetData>,
+    inputs: Vec<PinId>,
+    outputs: Vec<PinId>,
+    clock: Option<PinId>,
+}
+
+impl Netlist {
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Name of the library the netlist was built against.
+    #[must_use]
+    pub fn library_name(&self) -> &str {
+        &self.library_name
+    }
+
+    /// All pins.
+    #[must_use]
+    pub fn pins(&self) -> &[PinData] {
+        &self.pins
+    }
+
+    /// All cell instances.
+    #[must_use]
+    pub fn cells(&self) -> &[CellData] {
+        &self.cells
+    }
+
+    /// All nets.
+    #[must_use]
+    pub fn nets(&self) -> &[NetData] {
+        &self.nets
+    }
+
+    /// Pin data by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    #[must_use]
+    pub fn pin(&self, id: PinId) -> &PinData {
+        &self.pins[id.0 as usize]
+    }
+
+    /// Cell data by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &CellData {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Net data by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this netlist.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &NetData {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Primary input ports (excluding the clock).
+    #[must_use]
+    pub fn primary_inputs(&self) -> &[PinId] {
+        &self.inputs
+    }
+
+    /// Primary output ports.
+    #[must_use]
+    pub fn primary_outputs(&self) -> &[PinId] {
+        &self.outputs
+    }
+
+    /// The clock source port, if the design is clocked.
+    #[must_use]
+    pub fn clock_port(&self) -> Option<PinId> {
+        self.clock
+    }
+
+    /// Size statistics (paper Table 2 quantities).
+    #[must_use]
+    pub fn stats(&self) -> DesignStats {
+        DesignStats { pins: self.pins.len(), cells: self.cells.len(), nets: self.nets.len() }
+    }
+}
+
+/// Incremental netlist constructor.
+///
+/// The builder borrows the [`Library`] to resolve cell templates; the
+/// finished [`Netlist`] stores template indices, so analyses must be run
+/// against the same library.
+#[derive(Debug)]
+pub struct NetlistBuilder<'lib> {
+    library: &'lib Library,
+    name: String,
+    pins: Vec<PinData>,
+    cells: Vec<CellData>,
+    nets: Vec<NetData>,
+    inputs: Vec<PinId>,
+    outputs: Vec<PinId>,
+    clock: Option<PinId>,
+    names: HashMap<String, ()>,
+}
+
+impl<'lib> NetlistBuilder<'lib> {
+    /// Starts an empty netlist named `name` against `library`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, library: &'lib Library) -> Self {
+        NetlistBuilder {
+            library,
+            name: name.into(),
+            pins: Vec::new(),
+            cells: Vec::new(),
+            nets: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            clock: None,
+            names: HashMap::new(),
+        }
+    }
+
+    fn claim_name(&mut self, name: &str) -> Result<()> {
+        if self.names.insert(name.to_string(), ()).is_some() {
+            return Err(StaError::DuplicateName(name.to_string()));
+        }
+        Ok(())
+    }
+
+    fn add_port(&mut self, name: &str, kind: PortKind) -> Result<PinId> {
+        self.claim_name(name)?;
+        let id = PinId(self.pins.len() as u32);
+        let direction = match kind {
+            PortKind::Input | PortKind::Clock => PinDirection::Input,
+            PortKind::Output => PinDirection::Output,
+        };
+        self.pins.push(PinData {
+            name: name.to_string(),
+            cell: None,
+            template_pin: 0,
+            direction,
+            port: Some(kind),
+            net: None,
+            cap: 0.0,
+        });
+        match kind {
+            PortKind::Input => self.inputs.push(id),
+            PortKind::Output => self.outputs.push(id),
+            PortKind::Clock => self.clock = Some(id),
+        }
+        Ok(id)
+    }
+
+    /// Declares a primary input port.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StaError::DuplicateName`] if the name is taken.
+    pub fn input(&mut self, name: &str) -> Result<PinId> {
+        self.add_port(name, PortKind::Input)
+    }
+
+    /// Declares a primary output port.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StaError::DuplicateName`] if the name is taken.
+    pub fn output(&mut self, name: &str) -> Result<PinId> {
+        self.add_port(name, PortKind::Output)
+    }
+
+    /// Declares the clock source port. At most one clock is supported.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StaError::DuplicateName`] if the name is taken or a clock
+    /// already exists.
+    pub fn clock_input(&mut self, name: &str) -> Result<PinId> {
+        if self.clock.is_some() {
+            return Err(StaError::DuplicateName(format!("{name} (second clock)")));
+        }
+        self.add_port(name, PortKind::Clock)
+    }
+
+    /// Instantiates a library cell, creating all its pins.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StaError::UnknownCell`] for an unknown template or
+    /// [`StaError::DuplicateName`] for a reused instance name.
+    pub fn cell(&mut self, instance: &str, template: &str) -> Result<CellId> {
+        let tidx = self
+            .library
+            .template_index(template)
+            .ok_or_else(|| StaError::UnknownCell(template.to_string()))?;
+        self.claim_name(instance)?;
+        let cell_id = CellId(self.cells.len() as u32);
+        let tmpl = self.library.template_at(tidx);
+        let mut pin_ids = Vec::with_capacity(tmpl.pins.len());
+        for (pi, spec) in tmpl.pins.iter().enumerate() {
+            let id = PinId(self.pins.len() as u32);
+            self.pins.push(PinData {
+                name: format!("{instance}/{}", spec.name),
+                cell: Some(cell_id),
+                template_pin: pi,
+                direction: spec.direction,
+                port: None,
+                net: None,
+                cap: spec.cap,
+            });
+            pin_ids.push(id);
+        }
+        self.cells.push(CellData { name: instance.to_string(), template: tidx, pins: pin_ids });
+        Ok(cell_id)
+    }
+
+    /// Resolves a pin of a previously created cell by template pin name.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StaError::UnknownPin`] if the template lacks the pin.
+    pub fn pin_of(&self, cell: CellId, pin: &str) -> Result<PinId> {
+        let data = &self.cells[cell.0 as usize];
+        let tmpl = self.library.template_at(data.template);
+        let idx = tmpl
+            .pin_index(pin)
+            .ok_or_else(|| StaError::UnknownPin { cell: tmpl.name.clone(), pin: pin.to_string() })?;
+        Ok(data.pins[idx])
+    }
+
+    /// Connects `driver` to `sinks` with fanout-estimated parasitics.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetlistBuilder::connect_with`].
+    pub fn connect(&mut self, net: &str, driver: PinId, sinks: &[PinId]) -> Result<NetId> {
+        self.connect_with(net, driver, sinks, NetParasitics::estimate(sinks.len()))
+    }
+
+    /// Connects `driver` to `sinks` with explicit parasitics.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StaError::DuplicateName`] for a reused net name,
+    /// [`StaError::BadDriver`] if `driver` is not a PI or a cell output, and
+    /// [`StaError::PinAlreadyConnected`] if any pin already has a net.
+    pub fn connect_with(
+        &mut self,
+        net: &str,
+        driver: PinId,
+        sinks: &[PinId],
+        parasitics: NetParasitics,
+    ) -> Result<NetId> {
+        self.claim_name(net)?;
+        let net_id = NetId(self.nets.len() as u32);
+        {
+            let d = &self.pins[driver.0 as usize];
+            let drives = match d.port {
+                Some(PortKind::Input) | Some(PortKind::Clock) => true,
+                Some(PortKind::Output) => false,
+                None => d.direction == PinDirection::Output,
+            };
+            if !drives {
+                return Err(StaError::BadDriver(net.to_string()));
+            }
+        }
+        for &pin in std::iter::once(&driver).chain(sinks) {
+            let p = &mut self.pins[pin.0 as usize];
+            if p.net.is_some() {
+                return Err(StaError::PinAlreadyConnected(p.name.clone()));
+            }
+            p.net = Some(net_id);
+        }
+        for &s in sinks {
+            let p = &self.pins[s.0 as usize];
+            let is_sink = match p.port {
+                Some(PortKind::Output) => true,
+                Some(_) => false,
+                None => matches!(p.direction, PinDirection::Input | PinDirection::Clock),
+            };
+            if !is_sink {
+                return Err(StaError::BadDriver(format!("{net} (sink {} drives)", p.name)));
+            }
+        }
+        self.nets.push(NetData {
+            name: net.to_string(),
+            driver,
+            sinks: sinks.to_vec(),
+            parasitics,
+        });
+        Ok(net_id)
+    }
+
+    /// Validates and returns the finished netlist.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StaError::UnconnectedPin`] if any cell input pin or
+    /// boundary port is left floating. Cell *outputs* may float (dangling
+    /// logic), mirroring real designs.
+    pub fn finish(self) -> Result<Netlist> {
+        for p in &self.pins {
+            let must_connect = match p.port {
+                Some(_) => true,
+                None => matches!(p.direction, PinDirection::Input | PinDirection::Clock),
+            };
+            if must_connect && p.net.is_none() {
+                return Err(StaError::UnconnectedPin(p.name.clone()));
+            }
+        }
+        Ok(Netlist {
+            name: self.name,
+            library_name: self.library.name().to_string(),
+            pins: self.pins,
+            cells: self.cells,
+            nets: self.nets,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            clock: self.clock,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liberty::Library;
+
+    fn lib() -> Library {
+        Library::synthetic(1)
+    }
+
+    #[test]
+    fn builds_inverter_chain() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let a = b.input("a").unwrap();
+        let z = b.output("z").unwrap();
+        let u1 = b.cell("u1", "INVX1").unwrap();
+        let u2 = b.cell("u2", "INVX1").unwrap();
+        b.connect("n0", a, &[b.pin_of(u1, "A").unwrap()]).unwrap();
+        b.connect("n1", b.pin_of(u1, "Z").unwrap(), &[b.pin_of(u2, "A").unwrap()]).unwrap();
+        b.connect("n2", b.pin_of(u2, "Z").unwrap(), &[z]).unwrap();
+        let n = b.finish().unwrap();
+        assert_eq!(n.stats(), DesignStats { pins: 6, cells: 2, nets: 3 });
+        assert_eq!(n.primary_inputs().len(), 1);
+        assert_eq!(n.primary_outputs().len(), 1);
+        assert!(n.clock_port().is_none());
+        assert_eq!(n.pin(n.net(NetId(1)).driver).name, "u1/Z");
+    }
+
+    #[test]
+    fn rejects_unknown_cell_and_pin() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("t", &lib);
+        assert!(matches!(b.cell("u1", "NOPE"), Err(StaError::UnknownCell(_))));
+        let u1 = b.cell("u1", "INVX1").unwrap();
+        assert!(matches!(b.pin_of(u1, "Q"), Err(StaError::UnknownPin { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("t", &lib);
+        b.input("a").unwrap();
+        assert!(matches!(b.input("a"), Err(StaError::DuplicateName(_))));
+        b.cell("u1", "INVX1").unwrap();
+        assert!(matches!(b.cell("u1", "BUFX1"), Err(StaError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn rejects_input_pin_as_driver() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let u1 = b.cell("u1", "INVX1").unwrap();
+        let a_pin = b.pin_of(u1, "A").unwrap();
+        let err = b.connect("n0", a_pin, &[]);
+        assert!(matches!(err, Err(StaError::BadDriver(_))));
+    }
+
+    #[test]
+    fn rejects_double_connection() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let a = b.input("a").unwrap();
+        let u1 = b.cell("u1", "INVX1").unwrap();
+        let a_pin = b.pin_of(u1, "A").unwrap();
+        b.connect("n0", a, &[a_pin]).unwrap();
+        let a2 = b.input("a2").unwrap();
+        assert!(matches!(
+            b.connect("n1", a2, &[a_pin]),
+            Err(StaError::PinAlreadyConnected(_))
+        ));
+    }
+
+    #[test]
+    fn finish_requires_connected_inputs() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("t", &lib);
+        b.cell("u1", "INVX1").unwrap();
+        assert!(matches!(b.finish(), Err(StaError::UnconnectedPin(_))));
+    }
+
+    #[test]
+    fn floating_cell_output_is_allowed() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let a = b.input("a").unwrap();
+        let u1 = b.cell("u1", "INVX1").unwrap();
+        b.connect("n0", a, &[b.pin_of(u1, "A").unwrap()]).unwrap();
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn single_clock_enforced() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("t", &lib);
+        b.clock_input("clk").unwrap();
+        assert!(b.clock_input("clk2").is_err());
+    }
+
+    #[test]
+    fn port_as_sink_allowed_output_port_cannot_drive() {
+        let lib = lib();
+        let mut b = NetlistBuilder::new("t", &lib);
+        let z = b.output("z").unwrap();
+        assert!(matches!(b.connect("n0", z, &[]), Err(StaError::BadDriver(_))));
+    }
+}

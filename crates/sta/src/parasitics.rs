@@ -1,0 +1,99 @@
+//! Net parasitics: wire load and per-sink wire delay.
+//!
+//! The TAU contests provide SPEF-style RC networks; this reproduction uses a
+//! reduced model that preserves what macro modeling is sensitive to: each net
+//! adds a lumped wire capacitance to its driver's load, and each sink sees an
+//! Elmore-style extra delay plus mild slew degradation. The benchmark
+//! generator draws these per net from a seeded distribution.
+
+/// Reduced parasitics for one net.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetParasitics {
+    /// Lumped wire capacitance in fF, added to the driver's output load.
+    pub wire_cap: f64,
+    /// Extra wire delay (ps) from the driver to each sink, indexed like the
+    /// net's sink list. Empty means zero for all sinks.
+    pub sink_delays: Vec<f64>,
+    /// Multiplicative slew degradation per sink (1.0 = none). Values above
+    /// one model the RC low-pass stretching transitions at far sinks.
+    pub slew_degrade: f64,
+}
+
+impl NetParasitics {
+    /// Ideal wire: no capacitance, no delay, no degradation.
+    #[must_use]
+    pub fn ideal() -> Self {
+        NetParasitics { wire_cap: 0.0, sink_delays: Vec::new(), slew_degrade: 1.0 }
+    }
+
+    /// Lumped wire with capacitance only.
+    #[must_use]
+    pub fn lumped(wire_cap: f64) -> Self {
+        NetParasitics { wire_cap, sink_delays: Vec::new(), slew_degrade: 1.0 }
+    }
+
+    /// Quick fanout-based estimate: capacitance and sink delay grow with the
+    /// number of sinks, as a placed-and-routed net's wirelength would.
+    #[must_use]
+    pub fn estimate(fanout: usize) -> Self {
+        let n = fanout.max(1) as f64;
+        NetParasitics {
+            wire_cap: 0.6 * n,
+            sink_delays: (0..fanout).map(|i| 0.4 + 0.25 * i as f64).collect(),
+            slew_degrade: 1.0 + 0.004 * n,
+        }
+    }
+
+    /// Wire delay to sink `i` (0 when not specified).
+    #[must_use]
+    pub fn sink_delay(&self, i: usize) -> f64 {
+        self.sink_delays.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Slew degradation factor (defaults to 1.0 if unset/zero).
+    #[must_use]
+    pub fn degrade(&self) -> f64 {
+        if self.slew_degrade <= 0.0 {
+            1.0
+        } else {
+            self.slew_degrade
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_transparent() {
+        let p = NetParasitics::ideal();
+        assert_eq!(p.wire_cap, 0.0);
+        assert_eq!(p.sink_delay(0), 0.0);
+        assert_eq!(p.sink_delay(100), 0.0);
+        assert_eq!(p.degrade(), 1.0);
+    }
+
+    #[test]
+    fn estimate_grows_with_fanout() {
+        let small = NetParasitics::estimate(1);
+        let big = NetParasitics::estimate(8);
+        assert!(big.wire_cap > small.wire_cap);
+        assert!(big.sink_delay(7) > big.sink_delay(0));
+        assert!(big.degrade() > small.degrade());
+    }
+
+    #[test]
+    fn default_degrade_is_guarded() {
+        let p = NetParasitics::default();
+        assert_eq!(p.slew_degrade, 0.0, "derived default is zero");
+        assert_eq!(p.degrade(), 1.0, "but accessor guards against it");
+    }
+
+    #[test]
+    fn lumped_has_cap_only() {
+        let p = NetParasitics::lumped(3.5);
+        assert_eq!(p.wire_cap, 3.5);
+        assert!(p.sink_delays.is_empty());
+    }
+}

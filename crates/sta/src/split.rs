@@ -1,0 +1,338 @@
+//! Early/late analysis modes and rise/fall transition edges.
+//!
+//! Every timing quantity in this crate is carried per analysis [`Mode`]
+//! (early = min delays, used for hold; late = max delays, used for setup) and
+//! per transition [`Edge`] (rise/fall). [`Split`] and [`TransPair`] are small
+//! fixed containers indexed by those enums so the four-way bookkeeping never
+//! leaks into algorithm code.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Analysis mode: `Early` corresponds to minimum delays (hold checks),
+/// `Late` to maximum delays (setup checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mode {
+    /// Minimum-delay analysis corner.
+    Early,
+    /// Maximum-delay analysis corner.
+    Late,
+}
+
+impl Mode {
+    /// Both modes, in a fixed order (`Early`, `Late`).
+    pub const ALL: [Mode; 2] = [Mode::Early, Mode::Late];
+
+    /// The opposite mode.
+    #[must_use]
+    pub fn flip(self) -> Mode {
+        match self {
+            Mode::Early => Mode::Late,
+            Mode::Late => Mode::Early,
+        }
+    }
+
+    /// Index of this mode inside [`Mode::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Mode::Early => 0,
+            Mode::Late => 1,
+        }
+    }
+
+    /// Picks the "worse" of two values for this mode: the smaller value in
+    /// `Early` mode (earliest arrival) and the larger in `Late` mode.
+    #[must_use]
+    pub fn worse(self, a: f64, b: f64) -> f64 {
+        match self {
+            Mode::Early => a.min(b),
+            Mode::Late => a.max(b),
+        }
+    }
+
+    /// Returns `true` when `candidate` is worse than `incumbent` under this
+    /// mode (strictly earlier for `Early`, strictly later for `Late`).
+    #[must_use]
+    pub fn is_worse(self, candidate: f64, incumbent: f64) -> bool {
+        match self {
+            Mode::Early => candidate < incumbent,
+            Mode::Late => candidate > incumbent,
+        }
+    }
+
+    /// The identity element for [`Mode::worse`] folds: `+inf` for `Early`,
+    /// `-inf` for `Late`.
+    #[must_use]
+    pub fn neutral(self) -> f64 {
+        match self {
+            Mode::Early => f64::INFINITY,
+            Mode::Late => f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Early => write!(f, "early"),
+            Mode::Late => write!(f, "late"),
+        }
+    }
+}
+
+/// Signal transition edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Edge {
+    /// Low-to-high transition.
+    Rise,
+    /// High-to-low transition.
+    Fall,
+}
+
+impl Edge {
+    /// Both edges, in a fixed order (`Rise`, `Fall`).
+    pub const ALL: [Edge; 2] = [Edge::Rise, Edge::Fall];
+
+    /// The opposite edge.
+    #[must_use]
+    pub fn flip(self) -> Edge {
+        match self {
+            Edge::Rise => Edge::Fall,
+            Edge::Fall => Edge::Rise,
+        }
+    }
+
+    /// Index of this edge inside [`Edge::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Edge::Rise => 0,
+            Edge::Fall => 1,
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edge::Rise => write!(f, "rise"),
+            Edge::Fall => write!(f, "fall"),
+        }
+    }
+}
+
+/// A pair of values indexed by [`Mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Split<T> {
+    /// Value for [`Mode::Early`].
+    pub early: T,
+    /// Value for [`Mode::Late`].
+    pub late: T,
+}
+
+impl<T> Split<T> {
+    /// Creates a split from explicit early and late values.
+    pub fn new(early: T, late: T) -> Self {
+        Split { early, late }
+    }
+
+    /// Creates a split holding the same value in both modes.
+    pub fn uniform(value: T) -> Self
+    where
+        T: Clone,
+    {
+        Split { early: value.clone(), late: value }
+    }
+
+    /// Builds a split by evaluating `f` once per mode.
+    pub fn from_fn(mut f: impl FnMut(Mode) -> T) -> Self {
+        Split { early: f(Mode::Early), late: f(Mode::Late) }
+    }
+
+    /// Maps both components through `f`.
+    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> Split<U> {
+        Split { early: f(self.early), late: f(self.late) }
+    }
+
+    /// Borrowing accessor mirroring [`Index`], useful in closures.
+    pub fn get(&self, mode: Mode) -> &T {
+        match mode {
+            Mode::Early => &self.early,
+            Mode::Late => &self.late,
+        }
+    }
+}
+
+impl<T> Index<Mode> for Split<T> {
+    type Output = T;
+    fn index(&self, mode: Mode) -> &T {
+        self.get(mode)
+    }
+}
+
+impl<T> IndexMut<Mode> for Split<T> {
+    fn index_mut(&mut self, mode: Mode) -> &mut T {
+        match mode {
+            Mode::Early => &mut self.early,
+            Mode::Late => &mut self.late,
+        }
+    }
+}
+
+/// A pair of values indexed by [`Edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TransPair<T> {
+    /// Value for [`Edge::Rise`].
+    pub rise: T,
+    /// Value for [`Edge::Fall`].
+    pub fall: T,
+}
+
+impl<T> TransPair<T> {
+    /// Creates a pair from explicit rise and fall values.
+    pub fn new(rise: T, fall: T) -> Self {
+        TransPair { rise, fall }
+    }
+
+    /// Creates a pair holding the same value on both edges.
+    pub fn uniform(value: T) -> Self
+    where
+        T: Clone,
+    {
+        TransPair { rise: value.clone(), fall: value }
+    }
+
+    /// Builds a pair by evaluating `f` once per edge.
+    pub fn from_fn(mut f: impl FnMut(Edge) -> T) -> Self {
+        TransPair { rise: f(Edge::Rise), fall: f(Edge::Fall) }
+    }
+
+    /// Maps both components through `f`.
+    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> TransPair<U> {
+        TransPair { rise: f(self.rise), fall: f(self.fall) }
+    }
+
+    /// Borrowing accessor mirroring [`Index`], useful in closures.
+    pub fn get(&self, edge: Edge) -> &T {
+        match edge {
+            Edge::Rise => &self.rise,
+            Edge::Fall => &self.fall,
+        }
+    }
+}
+
+impl<T> Index<Edge> for TransPair<T> {
+    type Output = T;
+    fn index(&self, edge: Edge) -> &T {
+        self.get(edge)
+    }
+}
+
+impl<T> IndexMut<Edge> for TransPair<T> {
+    fn index_mut(&mut self, edge: Edge) -> &mut T {
+        match edge {
+            Edge::Rise => &mut self.rise,
+            Edge::Fall => &mut self.fall,
+        }
+    }
+}
+
+/// A full four-way timing quantity: one `f64` per mode per edge.
+pub type Quad = Split<TransPair<f64>>;
+
+/// Convenience constructor for a [`Quad`] with every component set to `v`.
+#[must_use]
+pub fn quad(v: f64) -> Quad {
+    Split::uniform(TransPair::uniform(v))
+}
+
+/// Iterates all `(mode, edge)` combinations in a fixed order.
+pub fn mode_edge_iter() -> impl Iterator<Item = (Mode, Edge)> {
+    Mode::ALL.into_iter().flat_map(|m| Edge::ALL.into_iter().map(move |e| (m, e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_worse_picks_extremes() {
+        assert_eq!(Mode::Early.worse(1.0, 2.0), 1.0);
+        assert_eq!(Mode::Late.worse(1.0, 2.0), 2.0);
+        assert!(Mode::Early.is_worse(0.5, 1.0));
+        assert!(!Mode::Early.is_worse(1.5, 1.0));
+        assert!(Mode::Late.is_worse(1.5, 1.0));
+    }
+
+    #[test]
+    fn neutral_is_identity_for_worse() {
+        for mode in Mode::ALL {
+            for v in [-3.0, 0.0, 7.25] {
+                assert_eq!(mode.worse(mode.neutral(), v), v);
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for m in Mode::ALL {
+            assert_eq!(m.flip().flip(), m);
+        }
+        for e in Edge::ALL {
+            assert_eq!(e.flip().flip(), e);
+        }
+    }
+
+    #[test]
+    fn split_indexing_round_trips() {
+        let mut s = Split::new(1.0, 2.0);
+        assert_eq!(s[Mode::Early], 1.0);
+        assert_eq!(s[Mode::Late], 2.0);
+        s[Mode::Early] = 5.0;
+        assert_eq!(s.early, 5.0);
+    }
+
+    #[test]
+    fn trans_pair_indexing_round_trips() {
+        let mut t = TransPair::new("r", "f");
+        assert_eq!(t[Edge::Rise], "r");
+        t[Edge::Fall] = "x";
+        assert_eq!(t.fall, "x");
+    }
+
+    #[test]
+    fn from_fn_visits_each_component_once() {
+        let s = Split::from_fn(|m| m.index());
+        assert_eq!(s.early, 0);
+        assert_eq!(s.late, 1);
+        let t = TransPair::from_fn(|e| e.index());
+        assert_eq!(t.rise, 0);
+        assert_eq!(t.fall, 1);
+    }
+
+    #[test]
+    fn mode_edge_iter_yields_four_unique_combos() {
+        let combos: Vec<_> = mode_edge_iter().collect();
+        assert_eq!(combos.len(), 4);
+        for (i, a) in combos.iter().enumerate() {
+            for b in combos.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn quad_uniform_fill() {
+        let q = quad(3.5);
+        for (m, e) in mode_edge_iter() {
+            assert_eq!(q[m][e], 3.5);
+        }
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Mode::Early.to_string(), "early");
+        assert_eq!(Edge::Fall.to_string(), "fall");
+    }
+}

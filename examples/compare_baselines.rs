@@ -1,0 +1,60 @@
+//! Side-by-side comparison of every macro-modeling approach in the paper on
+//! a single design: the GNN framework, iTimerM-style slew-range selection,
+//! LibAbs-style structural tree reduction, and ATM-style ETM collapse.
+//!
+//! ```text
+//! cargo run --release --example compare_baselines
+//! ```
+
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::core::{Framework, FrameworkConfig};
+use timing_macro_gnn::macromodel::baselines::{
+    generate_atm, generate_itimerm, generate_libabs, ITIMERM_DEFAULT_TOLERANCE,
+};
+use timing_macro_gnn::macromodel::eval::{evaluate, EvalOptions};
+use timing_macro_gnn::macromodel::{MacroModel, MacroModelOptions};
+use timing_macro_gnn::sta::graph::ArcGraph;
+use timing_macro_gnn::sta::liberty::Library;
+
+fn report(method: &str, flat: &ArcGraph, model: &MacroModel) -> Result<(), Box<dyn std::error::Error>> {
+    let r = evaluate(flat, model, &EvalOptions { contexts: 5, ..Default::default() })?;
+    println!(
+        "{method:<9} {:>6} pins {:>9.1} KiB  avg {:>8.4} ps  max {:>8.3} ps  gen {:>7.3}s",
+        r.kept_pins,
+        r.model_bytes as f64 / 1024.0,
+        r.accuracy.avg,
+        r.accuracy.max,
+        r.gen_time.as_secs_f64(),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = Library::synthetic(7);
+    let design = CircuitSpec::sized("compare", 4000).seed(123).generate(&library)?;
+    let flat = ArcGraph::from_netlist(&design, &library)?;
+    println!("design: {} pins\n", flat.live_nodes());
+    println!(
+        "{:<9} {:>6}      {:>9}      {:>8}         {:>8}        {:>7}",
+        "method", "kept", "file", "avg err", "max err", "gen"
+    );
+
+    let mut framework = Framework::new(FrameworkConfig::default());
+    let outcome = framework.run_on(&design, &library)?;
+    report("Ours", &flat, &outcome.model)?;
+
+    let itimerm =
+        generate_itimerm(&flat, ITIMERM_DEFAULT_TOLERANCE, &MacroModelOptions::default())?;
+    report("iTimerM", &flat, &itimerm)?;
+
+    let libabs = generate_libabs(&flat, &MacroModelOptions::default())?;
+    report("LibAbs", &flat, &libabs)?;
+
+    let atm = generate_atm(&flat, &MacroModelOptions::default())?;
+    report("ATM", &flat, &atm)?;
+
+    println!("\nExpected shape (paper Tables 3/5): Ours ≈ iTimerM accuracy at a smaller");
+    println!("file; LibAbs larger and less accurate; ATM tiny but far less accurate and");
+    println!("slow to generate.");
+    Ok(())
+}

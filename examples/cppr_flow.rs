@@ -1,0 +1,92 @@
+//! CPPR walkthrough: build a design with a deep clock tree, show the
+//! pessimism the early/late corners inject on shared clock paths, the
+//! credits CPPR recovers, and why a macro model must keep the clock-tree
+//! branch points (the paper's §5.3 `is_CPPR` story).
+//!
+//! ```text
+//! cargo run --release --example cppr_flow
+//! ```
+
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::core::{Framework, FrameworkConfig};
+use timing_macro_gnn::macromodel::eval::{evaluate, EvalOptions};
+use timing_macro_gnn::sta::constraints::Context;
+use timing_macro_gnn::sta::cppr::{cppr_crucial_pins, CpprReport};
+use timing_macro_gnn::sta::graph::ArcGraph;
+use timing_macro_gnn::sta::liberty::Library;
+use timing_macro_gnn::sta::propagate::{Analysis, AnalysisOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = Library::synthetic(7);
+    let design = CircuitSpec::new("cppr_demo")
+        .inputs(6)
+        .outputs(6)
+        .register_banks(3, 16)
+        .cloud(2, 8)
+        .clock_fanout(4)
+        .seed(7)
+        .generate(&library)?;
+    let flat = ArcGraph::from_netlist(&design, &library)?;
+    let ctx = Context::nominal(&flat);
+
+    // 1. Pessimism without CPPR vs credits with CPPR.
+    let plain = Analysis::run(&flat, &ctx)?;
+    let cppr = Analysis::run_with_options(&flat, &ctx, AnalysisOptions { cppr: true, ..Default::default() })?;
+    let report = CpprReport::from_analysis(&flat, &cppr);
+    println!(
+        "{} flip-flop checks, {} credited by CPPR, total setup credit {:.2} ps",
+        report.checks.len(),
+        report.credited_checks(),
+        report.total_setup_credit()
+    );
+    let worst = |an: &Analysis, g: &ArcGraph| {
+        g.checks()
+            .iter()
+            .enumerate()
+            .filter_map(|(_, c)| {
+                let s = an.slack(c.d).late;
+                let v = s.rise.min(s.fall);
+                v.is_finite().then_some(v)
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    println!(
+        "worst setup slack: {:.2} ps without CPPR -> {:.2} ps with CPPR",
+        worst(&plain, &flat),
+        worst(&cppr, &flat)
+    );
+
+    // 2. The clock pins CPPR depends on (multiple-fan-out clock pins).
+    let crucial = cppr_crucial_pins(&flat);
+    println!("\nCPPR-crucial clock branch points: {}", crucial.len());
+    for &p in crucial.iter().take(5) {
+        println!("  {}", flat.node(p).name);
+    }
+
+    // 3. A macro model generated in CPPR mode keeps those pins and stays
+    //    accurate under CPPR evaluation.
+    let mut framework = Framework::new(FrameworkConfig::cppr());
+    let outcome = framework.run_on(&design, &library)?;
+    let result = evaluate(
+        &flat,
+        &outcome.model,
+        &EvalOptions { contexts: 4, cppr: true, ..Default::default() },
+    )?;
+    println!(
+        "\nCPPR-mode macro model: {} pins kept, avg err {:.4} ps, max err {:.3} ps",
+        outcome.kept_pins, result.accuracy.avg, result.accuracy.max
+    );
+    let kept_crucial = crucial
+        .iter()
+        .filter(|&&p| {
+            outcome
+                .model
+                .graph()
+                .nodes()
+                .iter()
+                .any(|n| !n.dead && n.name == flat.node(p).name)
+        })
+        .count();
+    println!("clock branch points retained in the model: {kept_crucial}/{}", crucial.len());
+    Ok(())
+}

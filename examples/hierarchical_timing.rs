@@ -1,0 +1,82 @@
+//! Hierarchical and parallel timing analysis (the paper's Fig. 1
+//! motivation): a "core" block is analysed once, its macro model is
+//! generated once, and the model is re-timed cheaply in many different
+//! instantiation contexts — compare wall-clock against re-running the flat
+//! analysis each time.
+//!
+//! ```text
+//! cargo run --release --example hierarchical_timing
+//! ```
+
+use std::time::Instant;
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::core::{Framework, FrameworkConfig};
+use timing_macro_gnn::sta::constraints::ContextSampler;
+use timing_macro_gnn::sta::graph::ArcGraph;
+use timing_macro_gnn::sta::liberty::Library;
+use timing_macro_gnn::sta::propagate::{Analysis, AnalysisOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = Library::synthetic(7);
+    // The "core" block that appears many times in the top-level design.
+    let core_block = CircuitSpec::sized("core_block", 3000).seed(99).generate(&library)?;
+    let flat = ArcGraph::from_netlist(&core_block, &library)?;
+    println!("core block: {} pins", flat.live_nodes());
+
+    // Generate the macro model once.
+    let mut framework = Framework::new(FrameworkConfig::default());
+    let t0 = Instant::now();
+    let outcome = framework.run_on(&core_block, &library)?;
+    println!(
+        "one-time cost (train + generate): {:.2}s, model keeps {} pins",
+        t0.elapsed().as_secs_f64(),
+        outcome.kept_pins
+    );
+
+    // The block is instantiated 32 times, each in a different boundary
+    // context (different surrounding logic).
+    let instances = 32;
+    let mut sampler = ContextSampler::new(2024);
+    let contexts = sampler.sample_many(&flat, instances);
+
+    let t_flat = Instant::now();
+    let mut flat_worst = f64::INFINITY;
+    for ctx in &contexts {
+        let an = Analysis::run(&flat, ctx)?;
+        for po in &an.boundary().po {
+            let s = po.slack.late.rise.min(po.slack.late.fall);
+            if s.is_finite() {
+                flat_worst = flat_worst.min(s);
+            }
+        }
+    }
+    let flat_time = t_flat.elapsed();
+
+    let t_macro = Instant::now();
+    let mut macro_worst = f64::INFINITY;
+    let mut max_err: f64 = 0.0;
+    for ctx in &contexts {
+        let man = outcome.model.analyze(ctx, AnalysisOptions::default())?;
+        let fan = Analysis::run(&flat, ctx)?; // reference for the error only
+        max_err = max_err.max(fan.boundary().diff(man.boundary()).max);
+        for po in &man.boundary().po {
+            let s = po.slack.late.rise.min(po.slack.late.fall);
+            if s.is_finite() {
+                macro_worst = macro_worst.min(s);
+            }
+        }
+    }
+    let macro_time = t_macro.elapsed() - flat_time; // subtract the reference runs
+
+    println!("\n{instances} instantiations:");
+    println!("  flat re-analysis : {:>8.1} ms total", flat_time.as_secs_f64() * 1e3);
+    println!(
+        "  macro model usage: {:>8.1} ms total ({:.1}x faster)",
+        macro_time.as_secs_f64().max(1e-6) * 1e3,
+        flat_time.as_secs_f64() / macro_time.as_secs_f64().max(1e-6)
+    );
+    println!(
+        "  worst late slack: flat {flat_worst:.2} ps vs macro {macro_worst:.2} ps; max boundary error {max_err:.3} ps"
+    );
+    Ok(())
+}

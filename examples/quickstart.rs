@@ -1,0 +1,57 @@
+//! Quickstart: train the GNN framework on a small design and generate a
+//! timing macro model for it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::core::{Framework, FrameworkConfig};
+use timing_macro_gnn::macromodel::eval::{evaluate, EvalOptions};
+use timing_macro_gnn::sta::graph::ArcGraph;
+use timing_macro_gnn::sta::liberty::Library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic NLDM library and a small clocked design.
+    let library = Library::synthetic(7);
+    let design = CircuitSpec::new("quickstart")
+        .inputs(6)
+        .outputs(6)
+        .register_banks(2, 6)
+        .cloud(3, 8)
+        .seed(42)
+        .generate(&library)?;
+    println!(
+        "design `{}`: {} pins, {} cells, {} nets",
+        design.name(),
+        design.stats().pins,
+        design.stats().cells,
+        design.stats().nets
+    );
+
+    // 2. Train the framework (timing-sensitivity data generation + GNN) on
+    //    the design itself, then generate its macro model.
+    let mut framework = Framework::new(FrameworkConfig::default());
+    let outcome = framework.run_on(&design, &library)?;
+    println!(
+        "macro model `{}`: kept {} of {} pins ({} serially merged)",
+        outcome.model.name(),
+        outcome.kept_pins,
+        outcome.model.stats().flat_pins,
+        outcome.model.stats().reduce.bypassed,
+    );
+    println!(
+        "model file size: {:.1} KiB, GNN inference {:.1} ms",
+        outcome.model.file_size_bytes() as f64 / 1024.0,
+        outcome.prediction.inference_time.as_secs_f64() * 1e3,
+    );
+
+    // 3. Validate accuracy against the flat design under fresh contexts.
+    let flat = ArcGraph::from_netlist(&design, &library)?;
+    let result = evaluate(&flat, &outcome.model, &EvalOptions::default())?;
+    println!(
+        "boundary accuracy over {} compared values: avg {:.4} ps, max {:.3} ps",
+        result.accuracy.count, result.accuracy.avg, result.accuracy.max
+    );
+    Ok(())
+}

@@ -1,0 +1,314 @@
+//! `tmm` — command-line driver for the timing-macro-modeling stack.
+//!
+//! ```text
+//! tmm gen   --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
+//! tmm stats --design <design.tmm> --lib <lib.tmm>
+//! tmm model --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
+//!           [--method ours|itimerm|libabs|atm] [--cppr] [--aocv]
+//! tmm time  --model <model.tmm> [--contexts <n>] [--cppr] [--aocv]
+//! tmm eval  --design <design.tmm> --lib <lib.tmm> --model <model.tmm>
+//!           [--contexts <n>] [--cppr] [--aocv]
+//! ```
+//!
+//! Everything round-trips through the text formats in `tmm_sta::io` and
+//! `MacroModel::serialize`/`parse`, so the files this tool writes are the
+//! exact artifacts a hierarchical flow would exchange.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::core::{Framework, FrameworkConfig};
+use timing_macro_gnn::macromodel::baselines::{
+    generate_atm, generate_itimerm, generate_libabs, ITIMERM_DEFAULT_TOLERANCE,
+};
+use timing_macro_gnn::macromodel::eval::{evaluate, EvalOptions};
+use timing_macro_gnn::macromodel::{MacroModel, MacroModelOptions};
+use timing_macro_gnn::sta::constraints::ContextSampler;
+use timing_macro_gnn::sta::graph::ArcGraph;
+use timing_macro_gnn::sta::io::{parse_library, parse_netlist, write_library, write_netlist};
+use timing_macro_gnn::sta::liberty::Library;
+use timing_macro_gnn::sta::propagate::AnalysisOptions;
+use timing_macro_gnn::sta::report::{critical_paths, format_path, slack_summary};
+use timing_macro_gnn::sta::split::{Edge, Mode};
+
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    flags.insert(name.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    switches.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                return Err(format!("unexpected positional argument `{a}`"));
+            }
+        }
+        Ok(Args { flags, switches })
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn get_or(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn load_library(path: &str) -> Result<Library, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_library(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_design(path: &str, lib: &Library) -> Result<ArcGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let netlist = parse_netlist(&text, lib).map_err(|e| format!("{path}: {e}"))?;
+    ArcGraph::from_netlist(&netlist, lib).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let name = args.required("name")?;
+    let pins: usize =
+        args.get_or("pins", "1000").parse().map_err(|_| "--pins must be an integer")?;
+    let seed: u64 = args.get_or("seed", "1").parse().map_err(|_| "--seed must be an integer")?;
+    let out = args.required("out")?;
+    let library = Library::synthetic(7);
+    let netlist = CircuitSpec::sized(name, pins)
+        .seed(seed)
+        .generate(&library)
+        .map_err(|e| e.to_string())?;
+    std::fs::write(out, write_netlist(&netlist)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {out}: {} pins, {} cells, {} nets",
+        netlist.stats().pins,
+        netlist.stats().cells,
+        netlist.stats().nets
+    );
+    if let Some(lib_out) = args.flags.get("lib-out") {
+        std::fs::write(lib_out, write_library(&library)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {lib_out}: {} cells", library.templates().len());
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let lib = load_library(args.required("lib")?)?;
+    let graph = load_design(args.required("design")?, &lib)?;
+    println!("design  : {}", graph.name());
+    println!("pins    : {}", graph.live_nodes());
+    println!("arcs    : {}", graph.live_arcs());
+    println!("inputs  : {}", graph.primary_inputs().len());
+    println!("outputs : {}", graph.primary_outputs().len());
+    println!("checks  : {}", graph.checks().len());
+    println!(
+        "clocked : {}",
+        if graph.clock_source().is_some() { "yes" } else { "no" }
+    );
+    Ok(())
+}
+
+fn cmd_model(args: &Args) -> Result<(), String> {
+    let lib = load_library(args.required("lib")?)?;
+    let design_path = args.required("design")?;
+    let out = args.required("out")?;
+    let method = args.get_or("method", "ours");
+    let cppr = args.switch("cppr");
+    let aocv = args.switch("aocv");
+
+    let text = std::fs::read_to_string(design_path).map_err(|e| e.to_string())?;
+    let netlist = parse_netlist(&text, &lib).map_err(|e| e.to_string())?;
+    let flat = ArcGraph::from_netlist(&netlist, &lib).map_err(|e| e.to_string())?;
+
+    let opts = MacroModelOptions::default();
+    let model = match method.as_str() {
+        "ours" => {
+            let config = FrameworkConfig {
+                cppr_mode: cppr,
+                with_cppr_feature: cppr,
+                aocv_mode: aocv,
+                ..Default::default()
+            };
+            // Reuse a previously exported GNN when provided; otherwise
+            // train on the design itself.
+            let mut fw = match args.flags.get("gnn") {
+                Some(path) => {
+                    let text =
+                        std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+                    let fw = Framework::import_model(config, &text)
+                        .map_err(|e| e.to_string())?;
+                    eprintln!("loaded trained GNN from {path}");
+                    fw
+                }
+                None => Framework::new(config),
+            };
+            let outcome = fw.run_on(&netlist, &lib).map_err(|e| e.to_string())?;
+            eprintln!(
+                "GNN kept {} pins ({} hard)",
+                outcome.prediction.predicted_variant, outcome.prediction.hard_kept
+            );
+            if let Some(gnn_out) = args.flags.get("gnn-out") {
+                std::fs::write(gnn_out, fw.export_model().map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+                eprintln!("wrote trained GNN to {gnn_out}");
+            }
+            outcome.model
+        }
+        "itimerm" => generate_itimerm(&flat, ITIMERM_DEFAULT_TOLERANCE, &opts)
+            .map_err(|e| e.to_string())?,
+        "libabs" => generate_libabs(&flat, &opts).map_err(|e| e.to_string())?,
+        "atm" => generate_atm(&flat, &opts).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown method `{other}`")),
+    };
+    let serialized = model.serialize();
+    std::fs::write(out, &serialized).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {out}: {} pins kept of {}, {} bytes, generated in {:.3}s",
+        model.stats().kept_pins,
+        model.stats().flat_pins,
+        serialized.len(),
+        model.stats().gen_time.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_time(args: &Args) -> Result<(), String> {
+    let path = args.required("model")?;
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let model = MacroModel::parse(&text).map_err(|e| e.to_string())?;
+    let contexts: usize =
+        args.get_or("contexts", "1").parse().map_err(|_| "--contexts must be an integer")?;
+    let options =
+        AnalysisOptions { cppr: args.switch("cppr"), aocv: args.switch("aocv") };
+    // An explicit --context file overrides the sampled contexts.
+    let ctx_list = match args.flags.get("context") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            vec![timing_macro_gnn::sta::io::parse_context(&text).map_err(|e| e.to_string())?]
+        }
+        None => ContextSampler::new(0x71e).sample_many(model.graph(), contexts),
+    };
+    for (i, ctx) in ctx_list.iter().enumerate() {
+        let an = model.analyze(ctx, options).map_err(|e| e.to_string())?;
+        println!("context {i}:");
+        for po in &an.boundary().po {
+            let slack = po.slack.late.rise.min(po.slack.late.fall);
+            println!(
+                "  {:<24} at {:>9.2} ps  slack {:>9.2} ps",
+                po.name,
+                po.at[Mode::Late][Edge::Rise],
+                slack
+            );
+        }
+        for ck in an.boundary().checks.iter().take(8) {
+            println!(
+                "  check {:<18} setup {:>9.2} ps  hold {:>9.2} ps",
+                ck.name,
+                ck.setup_slack.rise.min(ck.setup_slack.fall),
+                ck.hold_slack.rise.min(ck.hold_slack.fall)
+            );
+        }
+        let summary = slack_summary(&an);
+        println!(
+            "  WNS {:.2} ps, TNS {:.2} ps, {}/{} endpoints failing",
+            summary.wns, summary.tns, summary.failing, summary.endpoints
+        );
+        let n_paths: usize =
+            args.get_or("paths", "0").parse().map_err(|_| "--paths must be an integer")?;
+        for path in critical_paths(model.graph(), &an, ctx, n_paths) {
+            println!("{}", format_path(&path));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let lib = load_library(args.required("lib")?)?;
+    let flat = load_design(args.required("design")?, &lib)?;
+    let text =
+        std::fs::read_to_string(args.required("model")?).map_err(|e| e.to_string())?;
+    let model = MacroModel::parse(&text).map_err(|e| e.to_string())?;
+    let contexts: usize =
+        args.get_or("contexts", "6").parse().map_err(|_| "--contexts must be an integer")?;
+    let result = evaluate(
+        &flat,
+        &model,
+        &EvalOptions {
+            contexts,
+            cppr: args.switch("cppr"),
+            aocv: args.switch("aocv"),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("compared values : {}", result.accuracy.count);
+    println!("avg error       : {:.4} ps", result.accuracy.avg);
+    println!("max error       : {:.4} ps", result.accuracy.max);
+    println!("model file size : {} bytes", result.model_bytes);
+    println!("usage time      : {:.4} s", result.usage_time.as_secs_f64());
+    println!("flat time       : {:.4} s", result.flat_time.as_secs_f64());
+    Ok(())
+}
+
+fn cmd_context(args: &Args) -> Result<(), String> {
+    let lib = load_library(args.required("lib")?)?;
+    let graph = load_design(args.required("design")?, &lib)?;
+    let seed: u64 = args.get_or("seed", "1").parse().map_err(|_| "--seed must be an integer")?;
+    let out = args.required("out")?;
+    let ctx = ContextSampler::new(seed).sample(&graph);
+    std::fs::write(out, timing_macro_gnn::sta::io::write_context(&ctx))
+        .map_err(|e| e.to_string())?;
+    eprintln!("wrote {out}: {} PIs, {} POs, period {:.1} ps", ctx.pi.len(), ctx.po.len(), ctx.clock.period);
+    Ok(())
+}
+
+const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context> [--flag value] [--switch]
+  gen     --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
+  stats   --design <design.tmm> --lib <lib.tmm>
+  model   --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
+          [--method ours|itimerm|libabs|atm] [--gnn <gnn.tmm>] [--gnn-out <gnn.tmm>]
+          [--cppr] [--aocv]
+  time    --model <model.tmm> [--contexts <n>] [--context <ctx.tmm>] [--paths <k>]
+          [--cppr] [--aocv]
+  eval    --design <design.tmm> --lib <lib.tmm> --model <model.tmm>
+          [--contexts <n>] [--cppr] [--aocv]
+  context --design <design.tmm> --lib <lib.tmm> [--seed <s>] --out <ctx.tmm>";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args),
+        "model" => cmd_model(&args),
+        "time" => cmd_time(&args),
+        "eval" => cmd_eval(&args),
+        "context" => cmd_context(&args),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tmm: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # timing-macro-gnn
+//!
+//! Umbrella crate for the DAC 2022 *“Timing Macro Modeling with Graph Neural
+//! Networks”* reproduction. It re-exports every sub-crate of the workspace so
+//! examples and downstream users can depend on a single package:
+//!
+//! - [`sta`] — block-level static timing analysis substrate (NLDM libraries,
+//!   netlists, timing graphs, slew/arrival/RAT propagation, CPPR).
+//! - [`circuits`] — synthetic TAU-2016/2017-style benchmark generator.
+//! - [`gnn`] — from-scratch GraphSAGE/GCN framework with manual backprop.
+//! - [`sensitivity`] — the paper’s timing-sensitivity metric, insensitive-pin
+//!   filter, and training-data generation.
+//! - [`macromodel`] — ILM-based macro model generation and the iTimerM,
+//!   LibAbs, and ATM baselines.
+//! - [`core`] — the end-to-end framework tying everything together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use timing_macro_gnn::circuits::designs;
+//! use timing_macro_gnn::core::{Framework, FrameworkConfig};
+//! use timing_macro_gnn::gnn::TrainConfig;
+//! use timing_macro_gnn::sensitivity::TsOptions;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let library = designs::suite_library();
+//! let design = designs::training_design("s27_like", 42)?;
+//! let mut framework = Framework::new(FrameworkConfig {
+//!     train: TrainConfig { epochs: 30, ..Default::default() },
+//!     ts: TsOptions { contexts: 2, ..Default::default() },
+//!     ..Default::default()
+//! });
+//! let outcome = framework.run_on(&design, &library)?;
+//! println!("macro model keeps {} pins", outcome.kept_pins);
+//! # Ok(())
+//! # }
+//! ```
+pub use tmm_circuits as circuits;
+pub use tmm_core as core;
+pub use tmm_gnn as gnn;
+pub use tmm_macromodel as macromodel;
+pub use tmm_sensitivity as sensitivity;
+pub use tmm_sta as sta;

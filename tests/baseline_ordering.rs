@@ -1,0 +1,109 @@
+//! Cross-method shape assertions: the qualitative orderings the paper's
+//! Tables 3 and 5 report must hold on our substrate too.
+
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::macromodel::baselines::{
+    generate_atm, generate_itimerm, generate_libabs, ITIMERM_DEFAULT_TOLERANCE,
+};
+use timing_macro_gnn::macromodel::eval::{evaluate, EvalOptions, EvalResult};
+use timing_macro_gnn::macromodel::MacroModelOptions;
+use timing_macro_gnn::sta::graph::ArcGraph;
+use timing_macro_gnn::sta::liberty::Library;
+
+fn setup() -> (ArcGraph, Library) {
+    let lib = Library::synthetic(30);
+    let d = CircuitSpec::sized("order", 1800).seed(4).generate(&lib).unwrap();
+    (ArcGraph::from_netlist(&d, &lib).unwrap(), lib)
+}
+
+fn run(flat: &ArcGraph, which: &str) -> EvalResult {
+    let opts = MacroModelOptions::default();
+    let model = match which {
+        "itimerm" => generate_itimerm(flat, ITIMERM_DEFAULT_TOLERANCE, &opts).unwrap(),
+        "libabs" => generate_libabs(flat, &opts).unwrap(),
+        "atm" => generate_atm(flat, &opts).unwrap(),
+        _ => unreachable!(),
+    };
+    evaluate(flat, &model, &EvalOptions { contexts: 4, ..Default::default() }).unwrap()
+}
+
+#[test]
+fn atm_is_smallest_but_least_accurate() {
+    let (flat, _) = setup();
+    let itm = run(&flat, "itimerm");
+    let atm = run(&flat, "atm");
+    assert!(atm.model_bytes < itm.model_bytes, "ETM must be smaller");
+    assert!(
+        atm.accuracy.max > 2.0 * itm.accuracy.max,
+        "ETM must pay in accuracy: {} vs {}",
+        atm.accuracy.max,
+        itm.accuracy.max
+    );
+    assert!(
+        atm.accuracy.avg > itm.accuracy.avg,
+        "ETM average error must be worse too"
+    );
+    assert!(
+        atm.gen_time > itm.gen_time,
+        "total collapse must be slower to generate: {:?} vs {:?}",
+        atm.gen_time,
+        itm.gen_time
+    );
+}
+
+#[test]
+fn libabs_is_larger_and_less_accurate_than_itimerm() {
+    let (flat, _) = setup();
+    let itm = run(&flat, "itimerm");
+    let lab = run(&flat, "libabs");
+    assert!(
+        lab.model_bytes > itm.model_bytes,
+        "structural reduction keeps the wrong pins and more of them: {} vs {}",
+        lab.model_bytes,
+        itm.model_bytes
+    );
+    assert!(
+        lab.accuracy.max >= itm.accuracy.max,
+        "structural reduction drops variant chain pins: {} vs {}",
+        lab.accuracy.max,
+        itm.accuracy.max
+    );
+}
+
+#[test]
+fn itimerm_tolerance_trades_size_for_accuracy() {
+    let (flat, _) = setup();
+    // Disable LUT compression so the comparison isolates the keep-set
+    // effect: with compression on, every *kept* arc pays its own small
+    // resampling error, which can mask the trade-off when the extra kept
+    // pins are mostly invariant.
+    let opts = MacroModelOptions { compress_luts: false, ..Default::default() };
+    let eval_opts = EvalOptions { contexts: 4, ..Default::default() };
+    let tight = generate_itimerm(&flat, 0.5, &opts).unwrap();
+    let loose = generate_itimerm(&flat, 25.0, &opts).unwrap();
+    let r_tight = evaluate(&flat, &tight, &eval_opts).unwrap();
+    let r_loose = evaluate(&flat, &loose, &eval_opts).unwrap();
+    assert!(r_tight.model_bytes > r_loose.model_bytes);
+    // Accuracy is near-monotone in the keep-set; allow a small slop because
+    // resampling noise on composed arcs is not strictly ordered.
+    assert!(
+        r_tight.accuracy.avg <= r_loose.accuracy.avg * 1.15 + 1e-9,
+        "tighter tolerance cannot be meaningfully less accurate: {} vs {}",
+        r_tight.accuracy.avg,
+        r_loose.accuracy.avg
+    );
+    assert!(r_tight.accuracy.max <= r_loose.accuracy.max * 1.25 + 1e-9);
+}
+
+#[test]
+fn every_method_beats_no_model_at_nothing() {
+    // Sanity floor: every generated model keeps the boundary comparable —
+    // all POs present, all kept checks named like the flat design's.
+    let (flat, _) = setup();
+    for which in ["itimerm", "libabs", "atm"] {
+        let r = run(&flat, which);
+        assert!(r.accuracy.count > 0, "{which} produced an incomparable model");
+        assert!(r.model_bytes > 0);
+        assert!(r.usage_memory > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! CPPR integration: pessimism removal must survive macro modeling — the
+//! generality claim the paper validates in Tables 3/4.
+
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::core::{Framework, FrameworkConfig};
+use timing_macro_gnn::gnn::TrainConfig;
+use timing_macro_gnn::macromodel::eval::{evaluate, EvalOptions};
+use timing_macro_gnn::macromodel::{MacroModel, MacroModelOptions};
+use timing_macro_gnn::sensitivity::TsOptions;
+use timing_macro_gnn::sta::constraints::Context;
+use timing_macro_gnn::sta::cppr::{cppr_crucial_pins, CpprReport};
+use timing_macro_gnn::sta::graph::ArcGraph;
+use timing_macro_gnn::sta::liberty::Library;
+use timing_macro_gnn::sta::netlist::Netlist;
+use timing_macro_gnn::sta::propagate::{Analysis, AnalysisOptions};
+
+fn clocked_design(lib: &Library) -> Netlist {
+    CircuitSpec::new("cppr_it")
+        .inputs(5)
+        .outputs(5)
+        .register_banks(3, 12)
+        .cloud(2, 7)
+        .clock_fanout(3)
+        .seed(31)
+        .generate(lib)
+        .unwrap()
+}
+
+#[test]
+fn cppr_credits_are_positive_and_bounded_by_clock_path_gap() {
+    let lib = Library::synthetic(40);
+    let flat = ArcGraph::from_netlist(&clocked_design(&lib), &lib).unwrap();
+    let ctx = Context::nominal(&flat);
+    let an = Analysis::run_with_options(&flat, &ctx, AnalysisOptions { cppr: true, ..Default::default() }).unwrap();
+    let report = CpprReport::from_analysis(&flat, &an);
+    assert!(report.credited_checks() > 0, "a shared clock tree must yield credits");
+    // A credit can never exceed the full late/early gap at the capture pin.
+    for (check, cppr) in flat.checks().iter().zip(&report.checks) {
+        let gap = an.at(check.ck).late.rise - an.at(check.ck).early.rise;
+        assert!(
+            cppr.setup_credit <= gap + 1e-9,
+            "{}: credit {} exceeds clock gap {}",
+            check.name,
+            cppr.setup_credit,
+            gap
+        );
+        assert!(cppr.setup_credit >= 0.0);
+    }
+}
+
+#[test]
+fn keeping_clock_branch_points_preserves_cppr_accuracy() {
+    let lib = Library::synthetic(40);
+    let netlist = clocked_design(&lib);
+    let flat = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+    let crucial = cppr_crucial_pins(&flat);
+    assert!(!crucial.is_empty());
+
+    // Model A keeps the branch points, model B does not (everything else
+    // fully collapsed in both).
+    let mut keep_with = vec![false; flat.node_count()];
+    for &p in &crucial {
+        keep_with[p.index()] = true;
+    }
+    let keep_without = vec![false; flat.node_count()];
+    let opts = MacroModelOptions { compress_luts: false, ..Default::default() };
+    let with = MacroModel::generate(&flat, &keep_with, &opts).unwrap();
+    let without = MacroModel::generate(&flat, &keep_without, &opts).unwrap();
+
+    let eval_opts = EvalOptions { contexts: 4, cppr: true, ..Default::default() };
+    let r_with = evaluate(&flat, &with, &eval_opts).unwrap();
+    let r_without = evaluate(&flat, &without, &eval_opts).unwrap();
+    assert!(
+        r_with.accuracy.max <= r_without.accuracy.max + 1e-9,
+        "dropping clock branch points must not improve CPPR accuracy: {} vs {}",
+        r_with.accuracy.max,
+        r_without.accuracy.max
+    );
+}
+
+#[test]
+fn cppr_framework_model_accurate_under_cppr_evaluation() {
+    let lib = Library::synthetic(40);
+    let netlist = clocked_design(&lib);
+    let flat = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+    let mut fw = Framework::new(FrameworkConfig {
+        cppr_mode: true,
+        with_cppr_feature: true,
+        train: TrainConfig { epochs: 80, ..Default::default() },
+        ts: TsOptions { contexts: 2, ..Default::default() },
+        ..Default::default()
+    });
+    let outcome = fw.run_on(&netlist, &lib).unwrap();
+    let r = evaluate(
+        &flat,
+        &outcome.model,
+        &EvalOptions { contexts: 4, cppr: true, ..Default::default() },
+    )
+    .unwrap();
+    assert!(r.accuracy.count > 0);
+    assert!(
+        r.accuracy.max < 80.0,
+        "CPPR-mode macro accuracy out of regime: {} ps",
+        r.accuracy.max
+    );
+}
+
+#[test]
+fn cppr_mode_on_and_off_agree_when_no_credit_exists() {
+    // A design with a single flip-flop has no launch/capture pair, so CPPR
+    // must be a no-op.
+    let lib = Library::synthetic(41);
+    let netlist = CircuitSpec::new("single_ff")
+        .inputs(3)
+        .outputs(3)
+        .register_banks(1, 1)
+        .cloud(1, 3)
+        .seed(2)
+        .generate(&lib)
+        .unwrap();
+    let flat = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+    let ctx = Context::nominal(&flat);
+    let plain = Analysis::run(&flat, &ctx).unwrap();
+    let cppr = Analysis::run_with_options(&flat, &ctx, AnalysisOptions { cppr: true, ..Default::default() }).unwrap();
+    let d = plain.boundary().diff(cppr.boundary());
+    assert!(d.max < 1e-9, "no pair, no credit, no difference: {}", d.max);
+}

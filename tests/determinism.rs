@@ -1,0 +1,62 @@
+//! Reproducibility: every stage of the pipeline is seeded, so identical
+//! inputs must yield bit-identical outputs — the property that makes the
+//! experiment tables rerunnable.
+
+use timing_macro_gnn::circuits::designs::{suite_library, training_suite};
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::core::{Framework, FrameworkConfig};
+use timing_macro_gnn::gnn::TrainConfig;
+use timing_macro_gnn::macromodel::baselines::itimerm_keep_mask;
+use timing_macro_gnn::sensitivity::{build_dataset, DatasetOptions, TsOptions};
+use timing_macro_gnn::macromodel::extract_ilm;
+use timing_macro_gnn::sta::graph::ArcGraph;
+
+#[test]
+fn library_and_suites_are_bit_reproducible() {
+    let a = suite_library();
+    let b = suite_library();
+    let na = training_suite(&a).unwrap();
+    let nb = training_suite(&b).unwrap();
+    for (x, y) in na.iter().zip(&nb) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.netlist.stats(), y.netlist.stats());
+        let ga = ArcGraph::from_netlist(&x.netlist, &a).unwrap();
+        let gb = ArcGraph::from_netlist(&y.netlist, &b).unwrap();
+        assert_eq!(ga.live_arcs(), gb.live_arcs());
+    }
+}
+
+#[test]
+fn dataset_and_keep_masks_are_reproducible() {
+    let lib = suite_library();
+    let d = CircuitSpec::sized("det", 500).seed(9).generate(&lib).unwrap();
+    let flat = ArcGraph::from_netlist(&d, &lib).unwrap();
+    let (ilm, _) = extract_ilm(&flat).unwrap();
+    let opts = DatasetOptions {
+        ts: TsOptions { contexts: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let ds1 = build_dataset(&ilm, &opts).unwrap();
+    let ds2 = build_dataset(&ilm, &opts).unwrap();
+    assert_eq!(ds1.sample.labels, ds2.sample.labels);
+
+    let m1 = itimerm_keep_mask(&flat, 2.0).unwrap();
+    let m2 = itimerm_keep_mask(&flat, 2.0).unwrap();
+    assert_eq!(m1, m2);
+}
+
+#[test]
+fn trained_framework_predictions_are_reproducible() {
+    let lib = suite_library();
+    let d = CircuitSpec::sized("det2", 400).seed(5).generate(&lib).unwrap();
+    let run = || {
+        let mut fw = Framework::new(FrameworkConfig {
+            train: TrainConfig { epochs: 30, ..Default::default() },
+            ts: TsOptions { contexts: 2, ..Default::default() },
+            ..Default::default()
+        });
+        let outcome = fw.run_on(&d, &lib).unwrap();
+        (outcome.kept_pins, outcome.model.file_size_bytes())
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,112 @@
+//! End-to-end integration: the full pipeline from netlist generation
+//! through TS data, GNN training, macro generation and evaluation, spanning
+//! every crate in the workspace.
+
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::core::{Framework, FrameworkConfig};
+use timing_macro_gnn::gnn::TrainConfig;
+use timing_macro_gnn::macromodel::baselines::{generate_itimerm, ITIMERM_DEFAULT_TOLERANCE};
+use timing_macro_gnn::macromodel::eval::{evaluate, EvalOptions};
+use timing_macro_gnn::macromodel::MacroModelOptions;
+use timing_macro_gnn::sensitivity::TsOptions;
+use timing_macro_gnn::sta::graph::ArcGraph;
+use timing_macro_gnn::sta::liberty::Library;
+use timing_macro_gnn::sta::netlist::Netlist;
+
+fn quick_config() -> FrameworkConfig {
+    FrameworkConfig {
+        train: TrainConfig { epochs: 80, ..Default::default() },
+        ts: TsOptions { contexts: 2, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn design(seed: u64, pins: usize, lib: &Library) -> Netlist {
+    CircuitSpec::sized(format!("e2e_{seed}"), pins).seed(seed).generate(lib).unwrap()
+}
+
+#[test]
+fn full_pipeline_small_to_large_transfer() {
+    let lib = Library::synthetic(20);
+    // Train on two small designs.
+    let train: Vec<(String, Netlist)> = (1..=2)
+        .map(|s| (format!("t{s}"), design(s, 400, &lib)))
+        .collect();
+    let mut fw = Framework::new(quick_config());
+    let summary = fw.train(&train, &lib).unwrap();
+    assert!(summary.final_loss.is_finite());
+    assert!(
+        summary.train_metrics.recall() > 0.7,
+        "variant-pin recall {} too low to trust the keep-set",
+        summary.train_metrics.recall()
+    );
+
+    // Apply to a 5x larger unseen design.
+    let big = design(99, 2000, &lib);
+    let flat = ArcGraph::from_netlist(&big, &lib).unwrap();
+    let outcome = fw.generate_macro(&flat).unwrap();
+    assert!(outcome.kept_pins < flat.live_nodes() / 2, "model must be much smaller");
+    let result =
+        evaluate(&flat, &outcome.model, &EvalOptions { contexts: 4, ..Default::default() })
+            .unwrap();
+    assert!(result.accuracy.count > 0);
+    assert!(
+        result.accuracy.max < 80.0,
+        "transfer accuracy out of the expected regime: {} ps",
+        result.accuracy.max
+    );
+}
+
+#[test]
+fn ours_is_smaller_than_itimerm_at_comparable_accuracy() {
+    let lib = Library::synthetic(21);
+    let d = design(7, 1500, &lib);
+    let flat = ArcGraph::from_netlist(&d, &lib).unwrap();
+
+    let mut fw = Framework::new(quick_config());
+    let outcome = fw.run_on(&d, &lib).unwrap();
+    let ours =
+        evaluate(&flat, &outcome.model, &EvalOptions { contexts: 4, ..Default::default() })
+            .unwrap();
+
+    let itm_model =
+        generate_itimerm(&flat, ITIMERM_DEFAULT_TOLERANCE, &MacroModelOptions::default())
+            .unwrap();
+    let itm =
+        evaluate(&flat, &itm_model, &EvalOptions { contexts: 4, ..Default::default() }).unwrap();
+
+    // The paper's headline: same accuracy level, smaller model.
+    assert!(
+        ours.model_bytes < itm.model_bytes,
+        "ours {} bytes should undercut iTimerM {} bytes",
+        ours.model_bytes,
+        itm.model_bytes
+    );
+    assert!(
+        ours.accuracy.max < itm.accuracy.max * 2.5,
+        "accuracy must stay at the same level: ours {} vs iTimerM {}",
+        ours.accuracy.max,
+        itm.accuracy.max
+    );
+}
+
+#[test]
+fn generated_macro_is_reusable_across_contexts() {
+    // The Fig. 1 motivation: one model, many instantiation contexts.
+    let lib = Library::synthetic(22);
+    let d = design(3, 800, &lib);
+    let flat = ArcGraph::from_netlist(&d, &lib).unwrap();
+    let mut fw = Framework::new(quick_config());
+    let outcome = fw.run_on(&d, &lib).unwrap();
+
+    use timing_macro_gnn::sta::constraints::ContextSampler;
+    use timing_macro_gnn::sta::propagate::{Analysis, AnalysisOptions};
+    let mut sampler = ContextSampler::new(555);
+    for ctx in sampler.sample_many(&flat, 6) {
+        let reference = Analysis::run(&flat, &ctx).unwrap();
+        let macro_an = outcome.model.analyze(&ctx, AnalysisOptions::default()).unwrap();
+        let d = reference.boundary().diff(macro_an.boundary());
+        assert!(d.count > 0, "boundaries must be comparable");
+        assert!(d.max < 100.0, "context-specific blow-up: {} ps", d.max);
+    }
+}
