@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use tmm_sta::liberty::Library;
 use tmm_sta::netlist::{CellId, Netlist, NetlistBuilder, PinId};
 use tmm_sta::parasitics::NetParasitics;
-use tmm_sta::Result;
+use tmm_sta::{Result, StaError};
 
 /// Shape description of a synthetic design. Use the builder-style methods
 /// and finish with [`CircuitSpec::generate`].
@@ -185,11 +185,13 @@ impl<'a> Generator<'a> {
     /// Creates one random gate with inputs drawn from `pool`; returns its
     /// output pin.
     fn random_gate(&mut self, pool: &[PinId]) -> Result<PinId> {
-        debug_assert!(!pool.is_empty());
+        let Some(&fallback_src) = pool.first() else {
+            return Err(StaError::BadDriver("gate input pool is empty".into()));
+        };
         let n_in = if pool.len() >= 3 {
-            *[1usize, 2, 2, 2, 3, 3].choose(&mut self.rng).expect("non-empty")
+            [1usize, 2, 2, 2, 3, 3].choose(&mut self.rng).copied().unwrap_or(2)
         } else if pool.len() == 2 {
-            *[1usize, 2, 2].choose(&mut self.rng).expect("non-empty")
+            [1usize, 2, 2].choose(&mut self.rng).copied().unwrap_or(2)
         } else {
             1
         };
@@ -198,15 +200,20 @@ impl<'a> Generator<'a> {
             2 => &self.two_in,
             _ => &self.three_in,
         };
-        let template = names.choose(&mut self.rng).expect("library has gates").clone();
+        let Some(template) = names.choose(&mut self.rng).cloned() else {
+            return Err(StaError::UnknownCell(format!("no {n_in}-input gates in library")));
+        };
         let inst = self.fresh("g");
         let cell = self.builder.cell(&inst, &template)?;
-        let tmpl = self.library.template(&template).expect("template exists");
+        let tmpl = self
+            .library
+            .template(&template)
+            .ok_or_else(|| StaError::UnknownCell(template.clone()))?;
         let input_indices: Vec<usize> = tmpl.input_pins().collect();
         // Draw distinct sources where possible.
         let mut chosen: Vec<PinId> = Vec::with_capacity(n_in);
         for _ in 0..n_in {
-            let src = *pool.choose(&mut self.rng).expect("non-empty pool");
+            let src = pool.choose(&mut self.rng).copied().unwrap_or(fallback_src);
             chosen.push(src);
         }
         for (k, &pin_idx) in input_indices.iter().enumerate().take(n_in) {
@@ -214,7 +221,10 @@ impl<'a> Generator<'a> {
             let sink = self.builder.pin_of(cell, &pin_name)?;
             self.wire(chosen[k], sink);
         }
-        let out_idx = tmpl.output_pins().next().expect("gate has output");
+        let out_idx = tmpl.output_pins().next().ok_or_else(|| StaError::UnknownPin {
+            cell: template.clone(),
+            pin: "<output>".into(),
+        })?;
         let out_name = tmpl.pins[out_idx].name.clone();
         self.builder.pin_of(cell, &out_name)
     }

@@ -33,6 +33,12 @@ pub struct FrameworkConfig {
     pub keep_threshold: f32,
     /// Train the regression variant (§5.3) instead of classification.
     pub regression: bool,
+    /// Run the [`tmm_sta::validate`] passes at every stage boundary
+    /// (library/netlist/graph before training, graph before generation,
+    /// model round-trip on import). Invalid training designs are then
+    /// quarantined rather than aborting the run. Disable only for
+    /// benchmarking the raw pipeline.
+    pub validate: bool,
 }
 
 impl Default for FrameworkConfig {
@@ -48,6 +54,7 @@ impl Default for FrameworkConfig {
             with_cppr_feature: false,
             keep_threshold: 0.3,
             regression: false,
+            validate: true,
         }
     }
 }

@@ -4,29 +4,76 @@
 //! of small training designs; stage 3 (prediction + macro generation) then
 //! applies to arbitrary, much larger designs — the inductive setting that
 //! makes GraphSAGE the natural engine (§5.3).
+//!
+//! # Failure model
+//!
+//! Every entry point returns [`TmmError`], an [`StaError`] tagged with the
+//! stage it failed in. With [`FrameworkConfig::validate`] on (the default)
+//! the [`tmm_sta::validate`] passes run at each stage boundary, and the
+//! framework degrades gracefully instead of aborting:
+//!
+//! * **Training** isolates per-design failures: a design whose netlist
+//!   fails validation or lowering is *quarantined* — skipped and recorded
+//!   in [`TrainingSummary::quarantined`] — and training proceeds on the
+//!   healthy designs. Training only errors when *no* design survives.
+//! * **Divergence** during GNN optimisation is retried with a reduced
+//!   learning rate and rolled back to the best finite checkpoint (see
+//!   [`tmm_gnn::TrainConfig`]); if the final model is still unhealthy the
+//!   framework enters a *degraded* state.
+//! * **Degraded prediction** falls back to the pure-ILM keep-all mask: an
+//!   unhealthy model must never drop pins, so every live interface pin is
+//!   kept and the outcome is flagged via [`RunOutcome::degraded`]. An
+//!   *untrained* framework still refuses to predict — degradation is a
+//!   property of a model that exists but cannot be trusted.
 
 use crate::config::FrameworkConfig;
+use crate::error::{Result, Stage, TmmError};
 use std::time::{Duration, Instant};
 use tmm_gnn::{classify_metrics, ConfusionCounts, GnnModel, NeighborMode, NodeGraph, TrainSample};
 use tmm_macromodel::baselines::output_variant_pins;
 use tmm_macromodel::{extract_ilm, MacroModel};
-use tmm_sensitivity::dataset::build_dataset;
+use tmm_sensitivity::dataset::{build_dataset, DatasetOptions, PinDataset};
 use tmm_sensitivity::{extract_features, pin_graph_edges};
 use tmm_sta::graph::ArcGraph;
 use tmm_sta::liberty::Library;
 use tmm_sta::netlist::Netlist;
-use tmm_sta::{Result, StaError};
+use tmm_sta::validate::{validate_arc_graph, validate_library, validate_netlist, ValidationReport};
+use tmm_sta::StaError;
+
+/// A training design that was skipped because one of its stages failed.
+#[derive(Debug, Clone)]
+pub struct QuarantinedDesign {
+    /// Design name.
+    pub name: String,
+    /// Stage the design failed in.
+    pub stage: Stage,
+    /// The error that caused the quarantine.
+    pub error: StaError,
+}
 
 /// Summary of one training run.
 #[derive(Debug, Clone)]
 pub struct TrainingSummary {
-    /// Per-design `(name, positive label rate)`.
+    /// Per-design `(name, positive label rate)` over the designs that
+    /// actually entered training.
     pub design_positive_rates: Vec<(String, f64)>,
+    /// Designs skipped because validation or lowering failed; training
+    /// proceeded on the remaining designs.
+    pub quarantined: Vec<QuarantinedDesign>,
     /// Final training loss.
     pub final_loss: f32,
     /// Aggregate confusion counts of the trained model on its own training
     /// pins (sanity metric, not a generalisation claim).
     pub train_metrics: ConfusionCounts,
+    /// Learning-rate backoff retries taken after divergence.
+    pub retries: usize,
+    /// `true` when optimisation still diverged after all retries.
+    pub diverged: bool,
+    /// `true` when the final weights were rolled back to a checkpoint.
+    pub rolled_back: bool,
+    /// `true` when the framework left training in the degraded state
+    /// (see [`Framework::is_degraded`]).
+    pub degraded: bool,
     /// Wall-clock time spent generating training data.
     pub data_time: Duration,
     /// Wall-clock time spent in GNN optimisation.
@@ -38,7 +85,8 @@ pub struct TrainingSummary {
 pub struct PredictionStats {
     /// Pins predicted timing-variant.
     pub predicted_variant: usize,
-    /// Pins hard-kept independently of the GNN (output-net, CPPR pins).
+    /// Pins hard-kept independently of the GNN (output-net, CPPR pins —
+    /// or every live pin under the degraded keep-all fallback).
     pub hard_kept: usize,
     /// GNN inference wall-clock time.
     pub inference_time: Duration,
@@ -53,6 +101,9 @@ pub struct RunOutcome {
     pub kept_pins: usize,
     /// Prediction statistics.
     pub prediction: PredictionStats,
+    /// `true` when the keep mask came from the degraded pure-ILM
+    /// fallback rather than the GNN.
+    pub degraded: bool,
 }
 
 /// The trained (or trainable) framework.
@@ -60,13 +111,26 @@ pub struct RunOutcome {
 pub struct Framework {
     config: FrameworkConfig,
     model: Option<GnnModel>,
+    degraded: bool,
+}
+
+/// Maps a validation report into a stage-tagged error when it contains
+/// error-severity diagnostics.
+fn validated(stage: Stage, design: Option<&str>, report: ValidationReport) -> Result<()> {
+    match report.into_result() {
+        Ok(_) => Ok(()),
+        Err(e) => Err(match design {
+            Some(d) => TmmError::for_design(stage, d, e),
+            None => TmmError::new(stage, e),
+        }),
+    }
 }
 
 impl Framework {
     /// Creates an untrained framework.
     #[must_use]
     pub fn new(config: FrameworkConfig) -> Self {
-        Framework { config, model: None }
+        Framework { config, model: None, degraded: false }
     }
 
     /// The configuration.
@@ -81,29 +145,90 @@ impl Framework {
         self.model.is_some()
     }
 
+    /// `true` when a model exists but cannot be trusted (training
+    /// diverged beyond recovery, or non-finite weights were imported).
+    /// Prediction then uses the pure-ILM keep-all fallback.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Runs the per-design stage-1 pipeline: validation (when enabled),
+    /// lowering, ILM extraction, TS dataset generation.
+    fn prepare_design(
+        &self,
+        name: &str,
+        netlist: &Netlist,
+        library: &Library,
+        ds_opts: &DatasetOptions,
+    ) -> Result<PinDataset> {
+        if self.config.validate {
+            validated(Stage::Validation, Some(name), validate_netlist(netlist, library))?;
+        }
+        let flat = ArcGraph::from_netlist(netlist, library)
+            .map_err(|e| TmmError::for_design(Stage::DataGeneration, name, e))?;
+        if self.config.validate {
+            validated(Stage::Validation, Some(name), validate_arc_graph(&flat))?;
+        }
+        let (ilm, _) = extract_ilm(&flat)
+            .map_err(|e| TmmError::for_design(Stage::DataGeneration, name, e))?;
+        build_dataset(&ilm, ds_opts)
+            .map_err(|e| TmmError::for_design(Stage::DataGeneration, name, e))
+    }
+
     /// Stage 1 + 2: generates TS training data from each `(name, netlist)`
     /// design and trains the GNN.
     ///
+    /// Designs whose stage-1 pipeline fails are quarantined (recorded in
+    /// [`TrainingSummary::quarantined`]) and training proceeds on the
+    /// rest.
+    ///
     /// # Errors
     ///
-    /// Propagates lowering/analysis errors from data generation.
+    /// Returns a [`Stage::Validation`] error when the *library* is
+    /// invalid, and a [`Stage::Training`] error when every design was
+    /// quarantined.
     pub fn train(
         &mut self,
         designs: &[(String, Netlist)],
         library: &Library,
     ) -> Result<TrainingSummary> {
+        if self.config.validate {
+            validated(Stage::Validation, None, validate_library(library))?;
+        }
         let data_start = Instant::now();
         let mut samples: Vec<TrainSample> = Vec::with_capacity(designs.len());
         let mut design_positive_rates = Vec::with_capacity(designs.len());
+        let mut quarantined: Vec<QuarantinedDesign> = Vec::new();
         let ds_opts = self.config.dataset_options();
         for (name, netlist) in designs {
-            let flat = ArcGraph::from_netlist(netlist, library)?;
-            let (ilm, _) = extract_ilm(&flat)?;
-            let dataset = build_dataset(&ilm, &ds_opts)?;
-            design_positive_rates.push((name.clone(), dataset.positive_rate));
-            samples.push(dataset.sample);
+            match self.prepare_design(name, netlist, library, &ds_opts) {
+                Ok(dataset) => {
+                    design_positive_rates.push((name.clone(), dataset.positive_rate));
+                    samples.push(dataset.sample);
+                }
+                Err(e) => quarantined.push(QuarantinedDesign {
+                    name: name.clone(),
+                    stage: e.stage,
+                    error: e.source,
+                }),
+            }
         }
         let data_time = data_start.elapsed();
+        if samples.is_empty() {
+            let detail = quarantined.first().map_or_else(
+                || "no designs supplied".to_string(),
+                |q| format!("first: {} failed {} with {}", q.name, q.stage, q.error),
+            );
+            return Err(TmmError::new(
+                Stage::Training,
+                StaError::IllegalEdit(format!(
+                    "no trainable designs ({} of {} quarantined; {detail})",
+                    quarantined.len(),
+                    designs.len()
+                )),
+            ));
+        }
 
         let train_start = Instant::now();
         let mut gnn = GnnModel::new(
@@ -115,9 +240,13 @@ impl Framework {
         );
         let report = gnn.train(&samples, &self.config.train);
         let train_time = train_start.elapsed();
+        // A model that diverged beyond recovery (or somehow ended with
+        // non-finite weights) is kept for inspection but marked
+        // untrustworthy; prediction will use the keep-all fallback.
+        self.degraded = report.diverged || !gnn.weights_finite();
 
         let mut train_metrics = ConfusionCounts::default();
-        if !self.config.regression {
+        if !self.config.regression && !self.degraded {
             for s in &samples {
                 let probs = gnn.predict(&s.graph, &s.features);
                 let m = classify_metrics(
@@ -135,8 +264,13 @@ impl Framework {
         self.model = Some(gnn);
         Ok(TrainingSummary {
             design_positive_rates,
+            quarantined,
             final_loss: report.final_loss,
             train_metrics,
+            retries: report.retries,
+            diverged: report.diverged,
+            rolled_back: report.rolled_back,
+            degraded: self.degraded,
             data_time,
             train_time,
         })
@@ -144,13 +278,33 @@ impl Framework {
 
     /// Stage 3a: predicts the keep mask for an interface-logic graph.
     ///
+    /// On a degraded framework this returns the pure-ILM fallback: every
+    /// live pin kept, `predicted_variant == 0`, all pins counted as
+    /// hard-kept.
+    ///
     /// # Errors
     ///
-    /// Returns [`StaError::IllegalEdit`] if the framework is untrained.
+    /// Returns a [`Stage::Prediction`] error if the framework is
+    /// untrained.
     pub fn predict_keep_mask(&self, ilm: &ArcGraph) -> Result<(Vec<bool>, PredictionStats)> {
         let Some(model) = &self.model else {
-            return Err(StaError::IllegalEdit("framework is not trained".into()));
+            return Err(TmmError::new(
+                Stage::Prediction,
+                StaError::IllegalEdit("framework is not trained".into()),
+            ));
         };
+        if self.degraded {
+            // Keep-all fallback: an unhealthy model must never drop a
+            // pin, so the macro degenerates to the full ILM.
+            let keep: Vec<bool> = ilm.nodes().iter().map(|n| !n.dead).collect();
+            let hard_kept = keep.iter().filter(|&&k| k).count();
+            let stats = PredictionStats {
+                predicted_variant: 0,
+                hard_kept,
+                inference_time: Duration::ZERO,
+            };
+            return Ok((keep, stats));
+        }
         let start = Instant::now();
         let features = extract_features(ilm, self.config.with_cppr_feature);
         let graph =
@@ -192,13 +346,25 @@ impl Framework {
     ///
     /// # Errors
     ///
-    /// Returns [`StaError::IllegalEdit`] if untrained; propagates
-    /// generation errors.
+    /// Returns a [`Stage::Validation`] error when validation is enabled
+    /// and the flat graph is invalid, a [`Stage::Prediction`] error if
+    /// untrained, and a [`Stage::MacroGeneration`] error on generation
+    /// failures.
     pub fn generate_macro(&self, flat: &ArcGraph) -> Result<RunOutcome> {
-        let (ilm, _) = extract_ilm(flat)?;
+        if self.config.validate {
+            validated(Stage::Validation, None, validate_arc_graph(flat))?;
+        }
+        let (ilm, _) =
+            extract_ilm(flat).map_err(|e| TmmError::new(Stage::MacroGeneration, e))?;
         let (keep, prediction) = self.predict_keep_mask(&ilm)?;
-        let model = MacroModel::generate(flat, &keep, &self.config.macro_options)?;
-        Ok(RunOutcome { kept_pins: model.stats().kept_pins, model, prediction })
+        let model = MacroModel::generate(flat, &keep, &self.config.macro_options)
+            .map_err(|e| TmmError::new(Stage::MacroGeneration, e))?;
+        Ok(RunOutcome {
+            kept_pins: model.stats().kept_pins,
+            model,
+            prediction,
+            degraded: self.degraded,
+        })
     }
 
     /// Serialises the trained GNN (architecture + weights) so inference can
@@ -206,35 +372,58 @@ impl Framework {
     ///
     /// # Errors
     ///
-    /// Returns [`StaError::IllegalEdit`] if the framework is untrained.
+    /// Returns a [`Stage::Export`] error if the framework is untrained.
     pub fn export_model(&self) -> Result<String> {
-        self.model
-            .as_ref()
-            .map(GnnModel::to_text)
-            .ok_or_else(|| StaError::IllegalEdit("framework is not trained".into()))
+        self.model.as_ref().map(GnnModel::to_text).ok_or_else(|| {
+            TmmError::new(Stage::Export, StaError::IllegalEdit("framework is not trained".into()))
+        })
     }
 
     /// Restores a framework from a serialised GNN and a configuration. The
     /// configuration's feature switches must match the model's input
     /// dimension.
     ///
+    /// With [`FrameworkConfig::validate`] on, the model is additionally
+    /// checked for round-trip integrity (it must re-serialise to a text
+    /// that parses back identically), and a model with non-finite
+    /// weights imports in the degraded state rather than failing.
+    ///
     /// # Errors
     ///
-    /// Returns [`StaError::ParseFormat`] on malformed model text and
-    /// [`StaError::IllegalEdit`] on a feature-dimension mismatch.
+    /// Returns a [`Stage::Import`] error on malformed model text, a
+    /// feature-dimension mismatch, or a round-trip failure.
     pub fn import_model(config: FrameworkConfig, text: &str) -> Result<Framework> {
-        let model = GnnModel::from_text(text).map_err(|e| StaError::ParseFormat {
-            line: 0,
-            message: e.to_string(),
+        let parse_err = |e: StaError| TmmError::new(Stage::Import, e);
+        let model = GnnModel::from_text(text).map_err(|e| {
+            parse_err(StaError::ParseFormat { line: 0, message: e.to_string() })
         })?;
         if model.in_dim() != config.feature_count() {
-            return Err(StaError::IllegalEdit(format!(
+            return Err(parse_err(StaError::IllegalEdit(format!(
                 "model expects {} features, configuration provides {}",
                 model.in_dim(),
                 config.feature_count()
-            )));
+            ))));
         }
-        Ok(Framework { config, model: Some(model) })
+        let mut degraded = false;
+        if config.validate {
+            let canonical = model.to_text();
+            let reparsed = GnnModel::from_text(&canonical).map_err(|e| {
+                parse_err(StaError::Validation {
+                    artifact: "gnn model",
+                    errors: 1,
+                    first: format!("re-serialised model failed to parse: {e}"),
+                })
+            })?;
+            if reparsed.to_text() != canonical {
+                return Err(parse_err(StaError::Validation {
+                    artifact: "gnn model",
+                    errors: 1,
+                    first: "serialised model does not round-trip".into(),
+                }));
+            }
+            degraded = !model.weights_finite();
+        }
+        Ok(Framework { config, model: Some(model), degraded })
     }
 
     /// Convenience one-shot: trains on the design itself if the framework
@@ -251,7 +440,8 @@ impl Framework {
                 library,
             )?;
         }
-        let flat = ArcGraph::from_netlist(netlist, library)?;
+        let flat = ArcGraph::from_netlist(netlist, library)
+            .map_err(|e| TmmError::for_design(Stage::DataGeneration, netlist.name(), e))?;
         self.generate_macro(&flat)
     }
 }
@@ -260,10 +450,12 @@ impl Framework {
 mod tests {
     use super::*;
     use tmm_circuits::CircuitSpec;
+    use tmm_faults::{corrupt_library, FaultOp};
     use tmm_gnn::TrainConfig;
     use tmm_macromodel::eval::{evaluate, EvalOptions};
     use tmm_sensitivity::TsOptions;
     use tmm_sta::cppr::cppr_crucial_pins;
+    use tmm_sta::netlist::NetlistBuilder;
 
     fn quick_config() -> FrameworkConfig {
         FrameworkConfig {
@@ -284,6 +476,28 @@ mod tests {
             .unwrap()
     }
 
+    /// A netlist that builds fine but contains a combinational loop, so
+    /// lowering to an `ArcGraph` fails.
+    fn cyclic_design(lib: &Library) -> Netlist {
+        let mut b = NetlistBuilder::new("cyclic", lib);
+        let pi = b.input("in").unwrap();
+        let po = b.output("out").unwrap();
+        let buf = b.cell("u0", "BUFX1").unwrap();
+        let i1 = b.cell("i1", "INVX1").unwrap();
+        let i2 = b.cell("i2", "INVX1").unwrap();
+        let buf_a = b.pin_of(buf, "A").unwrap();
+        let buf_z = b.pin_of(buf, "Z").unwrap();
+        let i1_a = b.pin_of(i1, "A").unwrap();
+        let i1_z = b.pin_of(i1, "Z").unwrap();
+        let i2_a = b.pin_of(i2, "A").unwrap();
+        let i2_z = b.pin_of(i2, "Z").unwrap();
+        b.connect("n_in", pi, &[buf_a]).unwrap();
+        b.connect("n_out", buf_z, &[po]).unwrap();
+        b.connect("n1", i1_z, &[i2_a]).unwrap();
+        b.connect("n2", i2_z, &[i1_a]).unwrap();
+        b.finish().unwrap()
+    }
+
     #[test]
     fn untrained_framework_refuses_prediction() {
         let lib = Library::synthetic(13);
@@ -301,11 +515,15 @@ mod tests {
             (1..=2).map(|s| (format!("d{s}"), design(s, &lib))).collect();
         let summary = fw.train(&designs, &lib).unwrap();
         assert!(fw.is_trained());
+        assert!(!fw.is_degraded());
         assert!(summary.final_loss.is_finite());
+        assert!(summary.quarantined.is_empty());
+        assert!(!summary.diverged);
         assert_eq!(summary.design_positive_rates.len(), 2);
         // unseen design
         let flat = ArcGraph::from_netlist(&design(9, &lib), &lib).unwrap();
         let outcome = fw.generate_macro(&flat).unwrap();
+        assert!(!outcome.degraded);
         assert!(outcome.kept_pins > 0);
         assert!(outcome.kept_pins < flat.live_nodes());
         let result = evaluate(
@@ -341,6 +559,7 @@ mod tests {
         let text = fw.export_model().unwrap();
         let restored = Framework::import_model(*fw.config(), &text).unwrap();
         assert!(restored.is_trained());
+        assert!(!restored.is_degraded());
         let flat = ArcGraph::from_netlist(&d, &lib).unwrap();
         let (ilm, _) = extract_ilm(&flat).unwrap();
         let (keep_a, _) = fw.predict_keep_mask(&ilm).unwrap();
@@ -356,7 +575,9 @@ mod tests {
         let text = fw.export_model().unwrap();
         let err = Framework::import_model(FrameworkConfig::cppr(), &text); // 9 features
         assert!(err.is_err());
-        assert!(Framework::new(quick_config()).export_model().is_err(), "untrained");
+        assert_eq!(err.unwrap_err().stage, Stage::Import);
+        let export_err = Framework::new(quick_config()).export_model().unwrap_err();
+        assert_eq!(export_err.stage, Stage::Export, "untrained export");
     }
 
     #[test]
@@ -377,5 +598,81 @@ mod tests {
         for p in cppr_crucial_pins(&ilm) {
             assert!(keep[p.index()], "CPPR-crucial pin must be kept");
         }
+    }
+
+    #[test]
+    fn train_quarantines_broken_design_and_still_trains() {
+        let lib = Library::synthetic(13);
+        let mut fw = Framework::new(quick_config());
+        let designs = vec![
+            ("good1".to_string(), design(1, &lib)),
+            ("bad".to_string(), cyclic_design(&lib)),
+            ("good2".to_string(), design(2, &lib)),
+        ];
+        let summary = fw.train(&designs, &lib).unwrap();
+        assert!(fw.is_trained());
+        assert_eq!(summary.design_positive_rates.len(), 2);
+        assert_eq!(summary.quarantined.len(), 1);
+        let q = &summary.quarantined[0];
+        assert_eq!(q.name, "bad");
+        assert_eq!(q.stage, Stage::DataGeneration);
+        assert!(matches!(q.error, StaError::CombinationalCycle(_)), "{:?}", q.error);
+        // The surviving model still works on an unseen design.
+        let flat = ArcGraph::from_netlist(&design(9, &lib), &lib).unwrap();
+        assert!(fw.generate_macro(&flat).is_ok());
+    }
+
+    #[test]
+    fn train_errors_when_every_design_is_quarantined() {
+        let lib = Library::synthetic(13);
+        let mut fw = Framework::new(quick_config());
+        let designs = vec![("bad".to_string(), cyclic_design(&lib))];
+        let err = fw.train(&designs, &lib).unwrap_err();
+        assert_eq!(err.stage, Stage::Training);
+        assert!(!fw.is_trained());
+        assert!(err.to_string().contains("quarantined"), "{err}");
+    }
+
+    #[test]
+    fn train_rejects_poisoned_library_at_validation() {
+        let lib = Library::synthetic(13);
+        let designs = vec![("d1".to_string(), design(1, &lib))];
+        let bad_lib = corrupt_library(FaultOp::NanLutEntries, &lib, 5).unwrap();
+        let mut fw = Framework::new(quick_config());
+        let err = fw.train(&designs, &bad_lib).unwrap_err();
+        assert_eq!(err.stage, Stage::Validation);
+        assert!(matches!(err.source, StaError::Validation { .. }), "{:?}", err.source);
+    }
+
+    #[test]
+    fn degraded_training_falls_back_to_pure_ilm() {
+        let lib = Library::synthetic(13);
+        // An absurd learning rate with no retries diverges immediately
+        // and cannot recover, leaving the framework degraded.
+        let mut fw = Framework::new(FrameworkConfig {
+            train: TrainConfig {
+                epochs: 10,
+                lr: 1e30,
+                max_retries: 0,
+                ..Default::default()
+            },
+            ts: TsOptions { contexts: 2, ..Default::default() },
+            ..Default::default()
+        });
+        let d = design(7, &lib);
+        let summary = fw.train(&[("d7".into(), d.clone())], &lib).unwrap();
+        assert!(summary.diverged);
+        assert!(summary.degraded);
+        assert!(fw.is_trained());
+        assert!(fw.is_degraded());
+        // Prediction degrades to keep-all: the macro is the full ILM.
+        let flat = ArcGraph::from_netlist(&d, &lib).unwrap();
+        let outcome = fw.generate_macro(&flat).unwrap();
+        assert!(outcome.degraded);
+        assert_eq!(outcome.prediction.predicted_variant, 0);
+        let (ilm, _) = extract_ilm(&flat).unwrap();
+        let live = ilm.live_nodes();
+        assert_eq!(outcome.prediction.hard_kept, live, "all live pins hard-kept");
+        assert!(outcome.kept_pins > 0);
     }
 }

@@ -37,7 +37,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod framework;
 
 pub use config::FrameworkConfig;
-pub use framework::{Framework, PredictionStats, RunOutcome, TrainingSummary};
+pub use error::{Stage, TmmError};
+pub use framework::{
+    Framework, PredictionStats, QuarantinedDesign, RunOutcome, TrainingSummary,
+};

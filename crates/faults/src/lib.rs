@@ -1,0 +1,679 @@
+//! Deterministic fault injection for the timing-macro-modeling stack.
+//!
+//! A hardened pipeline is only as trustworthy as the failures it has
+//! been tested against. This crate provides seed-parameterized
+//! *corruption operators* in two flavours:
+//!
+//! - **Textual** ([`corrupt_text`]): mangle serialized artifacts
+//!   (library, netlist, macro model text) before they reach a parser.
+//!   Every operator has a textual interpretation, so parser robustness
+//!   can be swept across the full operator × seed matrix.
+//! - **Structural** ([`corrupt_library`], [`corrupt_graph`]): build
+//!   in-memory structures that are *well-formed but semantically
+//!   poisoned* — NaN LUT entries, permuted axes, negative caps,
+//!   combinational cycles, dropped clocks — the kind of damage that
+//!   slips past constructors and must be caught by
+//!   `tmm_sta::validate`.
+//!
+//! All operators are pure functions of `(input, seed)`: the same seed
+//! always produces the same corruption, so every failure found by a
+//! fuzz sweep is replayable as a one-line regression test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tmm_sta::graph::{ArcGraph, ArcTiming, NodeId, NodeKind};
+use tmm_sta::liberty::{ArcTables, Library, Lut2, TimingSense};
+use tmm_sta::Split;
+
+/// One corruption operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// Cut the text off at a random position.
+    TruncateText,
+    /// Overwrite a random span with random printable junk.
+    GarbleText,
+    /// Delete one random line.
+    DeleteLine,
+    /// Duplicate one random line in place.
+    DuplicateLine,
+    /// Swap two random whitespace-separated tokens.
+    SwapTokens,
+    /// Replace a numeric token with `NaN`.
+    InjectNanToken,
+    /// Poison lookup-table entries with NaN.
+    NanLutEntries,
+    /// Poison lookup-table entries with infinity.
+    InfLutEntries,
+    /// Swap two entries of a lookup-table axis, breaking monotonicity.
+    PermuteLutAxis,
+    /// Make a pin capacitance (or node load) negative.
+    NegativePinCap,
+    /// Duplicate a net declaration (textual) — double-connected pins.
+    DuplicateNet,
+    /// Orphan a pin: textually delete a token, structurally add a
+    /// disconnected node.
+    DanglingPin,
+    /// Rewire connectivity into a combinational cycle.
+    CyclicRewire,
+    /// Remove the clock: delete clock lines or kill the clock source.
+    DropClock,
+}
+
+impl FaultOp {
+    /// Every operator, in a stable order.
+    pub const ALL: [FaultOp; 14] = [
+        FaultOp::TruncateText,
+        FaultOp::GarbleText,
+        FaultOp::DeleteLine,
+        FaultOp::DuplicateLine,
+        FaultOp::SwapTokens,
+        FaultOp::InjectNanToken,
+        FaultOp::NanLutEntries,
+        FaultOp::InfLutEntries,
+        FaultOp::PermuteLutAxis,
+        FaultOp::NegativePinCap,
+        FaultOp::DuplicateNet,
+        FaultOp::DanglingPin,
+        FaultOp::CyclicRewire,
+        FaultOp::DropClock,
+    ];
+
+    /// Operators with an in-memory [`Library`] interpretation.
+    pub const LIBRARY: [FaultOp; 4] = [
+        FaultOp::NanLutEntries,
+        FaultOp::InfLutEntries,
+        FaultOp::PermuteLutAxis,
+        FaultOp::NegativePinCap,
+    ];
+
+    /// Operators with an in-memory [`ArcGraph`] interpretation.
+    pub const GRAPH: [FaultOp; 7] = [
+        FaultOp::NanLutEntries,
+        FaultOp::InfLutEntries,
+        FaultOp::PermuteLutAxis,
+        FaultOp::NegativePinCap,
+        FaultOp::DanglingPin,
+        FaultOp::CyclicRewire,
+        FaultOp::DropClock,
+    ];
+
+    /// Stable lower-case name for reports and CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOp::TruncateText => "truncate-text",
+            FaultOp::GarbleText => "garble-text",
+            FaultOp::DeleteLine => "delete-line",
+            FaultOp::DuplicateLine => "duplicate-line",
+            FaultOp::SwapTokens => "swap-tokens",
+            FaultOp::InjectNanToken => "inject-nan-token",
+            FaultOp::NanLutEntries => "nan-lut-entries",
+            FaultOp::InfLutEntries => "inf-lut-entries",
+            FaultOp::PermuteLutAxis => "permute-lut-axis",
+            FaultOp::NegativePinCap => "negative-pin-cap",
+            FaultOp::DuplicateNet => "duplicate-net",
+            FaultOp::DanglingPin => "dangling-pin",
+            FaultOp::CyclicRewire => "cyclic-rewire",
+            FaultOp::DropClock => "drop-clock",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Textual corruption.
+// ---------------------------------------------------------------------
+
+/// Byte ranges of whitespace-separated tokens.
+fn token_spans(text: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = None;
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                spans.push((s, i));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s, text.len()));
+    }
+    spans
+}
+
+fn looks_numeric(tok: &str) -> bool {
+    let t = tok.trim_end_matches([',', ';', ')']);
+    !t.is_empty() && t.parse::<f64>().is_ok()
+}
+
+/// Replaces the token at `span` with `replacement`.
+fn splice(text: &str, span: (usize, usize), replacement: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    out.push_str(&text[..span.0]);
+    out.push_str(replacement);
+    out.push_str(&text[span.1..]);
+    out
+}
+
+/// Swaps the contents of two non-overlapping token spans.
+fn swap_spans(text: &str, a: (usize, usize), b: (usize, usize)) -> String {
+    let (first, second) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+    let mut out = String::with_capacity(text.len());
+    out.push_str(&text[..first.0]);
+    out.push_str(&text[second.0..second.1]);
+    out.push_str(&text[first.1..second.0]);
+    out.push_str(&text[first.0..first.1]);
+    out.push_str(&text[second.1..]);
+    out
+}
+
+fn pick_span<F: Fn(&str) -> bool>(
+    text: &str,
+    rng: &mut StdRng,
+    accept: F,
+) -> Option<(usize, usize)> {
+    let spans: Vec<_> = token_spans(text)
+        .into_iter()
+        .filter(|&(s, e)| accept(&text[s..e]))
+        .collect();
+    spans.as_slice().choose(rng).copied()
+}
+
+/// Applies `op`'s textual interpretation to `text`, deterministically
+/// in `seed`. Operators that find no applicable site (e.g. no numeric
+/// token to poison) return the input unchanged; callers can detect this
+/// by comparison when they need a guaranteed mutation.
+#[must_use]
+pub fn corrupt_text(op: FaultOp, text: &str, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ (op as u64).wrapping_mul(0x9E37_79B9));
+    let lines: Vec<&str> = text.lines().collect();
+    match op {
+        FaultOp::TruncateText => {
+            if text.is_empty() {
+                return String::new();
+            }
+            let mut cut = rng.gen_range(0..text.len());
+            while cut > 0 && !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text[..cut].to_string()
+        }
+        FaultOp::GarbleText => {
+            if text.is_empty() {
+                return String::new();
+            }
+            let mut start = rng.gen_range(0..text.len());
+            while start > 0 && !text.is_char_boundary(start) {
+                start -= 1;
+            }
+            let mut end = (start + rng.gen_range(1..32usize)).min(text.len());
+            while end < text.len() && !text.is_char_boundary(end) {
+                end += 1;
+            }
+            let junk: String = (0..(end - start))
+                .map(|_| {
+                    // Printable ASCII, biased away from whitespace so the
+                    // garbage tends to fuse tokens.
+                    char::from(rng.gen_range(33u8..127))
+                })
+                .collect();
+            splice(text, (start, end), &junk)
+        }
+        FaultOp::DeleteLine => {
+            if lines.is_empty() {
+                return String::new();
+            }
+            let victim = rng.gen_range(0..lines.len());
+            lines
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != victim)
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        FaultOp::DuplicateLine => {
+            if lines.is_empty() {
+                return String::new();
+            }
+            let victim = rng.gen_range(0..lines.len());
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            for (i, l) in lines.iter().enumerate() {
+                out.push(l);
+                if i == victim {
+                    out.push(l);
+                }
+            }
+            out.join("\n")
+        }
+        FaultOp::SwapTokens => {
+            let spans = token_spans(text);
+            if spans.len() < 2 {
+                return text.to_string();
+            }
+            let a = spans[rng.gen_range(0..spans.len())];
+            let b = spans[rng.gen_range(0..spans.len())];
+            if a == b {
+                return text.to_string();
+            }
+            swap_spans(text, a, b)
+        }
+        FaultOp::InjectNanToken | FaultOp::NanLutEntries => {
+            match pick_span(text, &mut rng, looks_numeric) {
+                Some(span) => splice(text, span, "NaN"),
+                None => text.to_string(),
+            }
+        }
+        FaultOp::InfLutEntries => match pick_span(text, &mut rng, looks_numeric) {
+            Some(span) => splice(text, span, "inf"),
+            None => text.to_string(),
+        },
+        FaultOp::PermuteLutAxis => {
+            // Swap two numeric tokens on the same line, preferring lines
+            // with several numbers (axis/value rows).
+            let numeric_lines: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| token_spans(l).iter().filter(|&&(s, e)| looks_numeric(&l[s..e])).count() >= 2)
+                .map(|(i, _)| i)
+                .collect();
+            let Some(&li) = numeric_lines.as_slice().choose(&mut rng) else {
+                return text.to_string();
+            };
+            let line = lines[li];
+            let spans: Vec<_> = token_spans(line)
+                .into_iter()
+                .filter(|&(s, e)| looks_numeric(&line[s..e]))
+                .collect();
+            let a = spans[rng.gen_range(0..spans.len())];
+            let b = spans[rng.gen_range(0..spans.len())];
+            let new_line = if a == b { line.to_string() } else { swap_spans(line, a, b) };
+            lines
+                .iter()
+                .enumerate()
+                .map(|(i, l)| if i == li { new_line.as_str() } else { *l })
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        FaultOp::NegativePinCap => match pick_span(text, &mut rng, |t| {
+            looks_numeric(t) && !t.starts_with('-')
+        }) {
+            Some(span) => {
+                let negated = format!("-{}", &text[span.0..span.1]);
+                splice(text, span, &negated)
+            }
+            None => text.to_string(),
+        },
+        FaultOp::DuplicateNet => {
+            let candidates: Vec<usize> = lines
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.contains("net") || l.contains("connect"))
+                .map(|(i, _)| i)
+                .collect();
+            let victim = match candidates.as_slice().choose(&mut rng) {
+                Some(&i) => i,
+                None if !lines.is_empty() => rng.gen_range(0..lines.len()),
+                None => return String::new(),
+            };
+            let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+            for (i, l) in lines.iter().enumerate() {
+                out.push(l);
+                if i == victim {
+                    out.push(l);
+                }
+            }
+            out.join("\n")
+        }
+        FaultOp::DanglingPin => {
+            let spans = token_spans(text);
+            match spans.as_slice().choose(&mut rng) {
+                Some(&span) => splice(text, span, ""),
+                None => text.to_string(),
+            }
+        }
+        FaultOp::CyclicRewire => {
+            // Swap two identifier (non-numeric) tokens, crossing wires.
+            let spans: Vec<_> = token_spans(text)
+                .into_iter()
+                .filter(|&(s, e)| !looks_numeric(&text[s..e]))
+                .collect();
+            if spans.len() < 2 {
+                return text.to_string();
+            }
+            let a = spans[rng.gen_range(0..spans.len())];
+            let b = spans[rng.gen_range(0..spans.len())];
+            if a == b {
+                return text.to_string();
+            }
+            swap_spans(text, a, b)
+        }
+        FaultOp::DropClock => {
+            let keep: Vec<&str> = lines
+                .iter()
+                .filter(|l| !l.to_ascii_lowercase().contains("clock"))
+                .copied()
+                .collect();
+            if keep.len() == lines.len() && !lines.is_empty() {
+                // No clock lines: fall back to deleting a random line.
+                let victim = rng.gen_range(0..lines.len());
+                return lines
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != victim)
+                    .map(|(_, l)| *l)
+                    .collect::<Vec<_>>()
+                    .join("\n");
+            }
+            keep.join("\n")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural corruption.
+// ---------------------------------------------------------------------
+
+/// Rebuilds one LUT of `tables` with `poison` applied.
+fn poison_tables(
+    tables: &ArcTables,
+    rng: &mut StdRng,
+    poison: impl Fn(&Lut2, &mut StdRng) -> Lut2,
+) -> ArcTables {
+    let mut out = tables.clone();
+    let which = rng.gen_range(0u32..4);
+    let lut = match which {
+        0 => &mut out.delay.rise,
+        1 => &mut out.delay.fall,
+        2 => &mut out.slew.rise,
+        _ => &mut out.slew.fall,
+    };
+    *lut = poison(lut, rng);
+    out
+}
+
+fn poison_value(lut: &Lut2, rng: &mut StdRng, bad: f64) -> Lut2 {
+    let mut values = lut.values().to_vec();
+    let i = rng.gen_range(0..values.len());
+    values[i] = bad;
+    Lut2::new_unchecked(lut.slew_axis().to_vec(), lut.load_axis().to_vec(), values)
+}
+
+fn permute_axis(lut: &Lut2, rng: &mut StdRng) -> Lut2 {
+    let mut slew = lut.slew_axis().to_vec();
+    let mut load = lut.load_axis().to_vec();
+    let axis: &mut Vec<f64> = if rng.gen_bool(0.5) { &mut slew } else { &mut load };
+    if axis.len() >= 2 {
+        let i = rng.gen_range(0..axis.len() - 1);
+        axis.swap(i, i + 1);
+    }
+    Lut2::new_unchecked(slew, load, lut.values().to_vec())
+}
+
+/// Applies `op`'s [`Library`] interpretation, returning the corrupted
+/// copy, or `None` when `op` has no library interpretation (see
+/// [`FaultOp::LIBRARY`]).
+#[must_use]
+pub fn corrupt_library(op: FaultOp, library: &Library, seed: u64) -> Option<Library> {
+    if !FaultOp::LIBRARY.contains(&op) {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ (op as u64).wrapping_mul(0x9E37_79B9));
+    let templates = library.templates();
+    if templates.is_empty() {
+        return Some(library.clone());
+    }
+    let victim = rng.gen_range(0..templates.len());
+    let mut out = Library::empty(library.name());
+    for (ti, tmpl) in templates.iter().enumerate() {
+        let mut t = tmpl.clone();
+        if ti == victim {
+            match op {
+                FaultOp::NegativePinCap => {
+                    if let Some(pin) = t.pins.iter_mut().find(|p| p.cap > 0.0) {
+                        pin.cap = -pin.cap;
+                    } else if let Some(pin) = t.pins.first_mut() {
+                        pin.cap = -1.0;
+                    }
+                }
+                FaultOp::NanLutEntries | FaultOp::InfLutEntries | FaultOp::PermuteLutAxis => {
+                    if let Some(arc) = t.arcs.as_mut_slice().choose_mut(&mut rng) {
+                        let bad = if op == FaultOp::NanLutEntries {
+                            f64::NAN
+                        } else {
+                            f64::INFINITY
+                        };
+                        let side = rng.gen_bool(0.5);
+                        let target = if side { &arc.tables.early } else { &arc.tables.late };
+                        let poisoned = if op == FaultOp::PermuteLutAxis {
+                            poison_tables(target, &mut rng, |l, r| permute_axis(l, r))
+                        } else {
+                            poison_tables(target, &mut rng, |l, r| poison_value(l, r, bad))
+                        };
+                        let poisoned = Arc::new(poisoned);
+                        arc.tables = if side {
+                            Split::new(poisoned, arc.tables.late.clone())
+                        } else {
+                            Split::new(arc.tables.early.clone(), poisoned)
+                        };
+                    }
+                }
+                _ => unreachable!("filtered by FaultOp::LIBRARY"),
+            }
+        }
+        out.add_template(t).ok()?;
+    }
+    Some(out)
+}
+
+/// Applies `op`'s [`ArcGraph`] interpretation in place. Returns `true`
+/// when the graph was mutated, `false` when `op` has no graph
+/// interpretation (see [`FaultOp::GRAPH`]) or found no applicable site.
+pub fn corrupt_graph(op: FaultOp, graph: &mut ArcGraph, seed: u64) -> bool {
+    if !FaultOp::GRAPH.contains(&op) {
+        return false;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ (op as u64).wrapping_mul(0x9E37_79B9));
+    let live_nodes: Vec<NodeId> = (0..graph.node_count() as u32)
+        .map(NodeId)
+        .filter(|&n| !graph.node(n).dead)
+        .collect();
+    if live_nodes.is_empty() {
+        return false;
+    }
+    match op {
+        FaultOp::NegativePinCap => {
+            let &victim = live_nodes.as_slice().choose(&mut rng).expect("non-empty");
+            graph.node_mut(victim).base_load = -1.0;
+            true
+        }
+        FaultOp::NanLutEntries | FaultOp::InfLutEntries | FaultOp::PermuteLutAxis => {
+            let bad = if op == FaultOp::InfLutEntries { f64::INFINITY } else { f64::NAN };
+            let table_arcs: Vec<usize> = graph
+                .arcs()
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !a.dead && a.timing.tables().is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&ai) = table_arcs.as_slice().choose(&mut rng) {
+                let arc = graph.arc_mut(tmm_sta::graph::ArcId(ai as u32));
+                let Some(split) = arc.timing.tables() else { return false };
+                let side = rng.gen_bool(0.5);
+                let target = if side { &split.early } else { &split.late };
+                let poisoned = Arc::new(if op == FaultOp::PermuteLutAxis {
+                    poison_tables(target, &mut rng, |l, r| permute_axis(l, r))
+                } else {
+                    poison_tables(target, &mut rng, |l, r| poison_value(l, r, bad))
+                });
+                let new_split = if side {
+                    Split::new(poisoned, split.late.clone())
+                } else {
+                    Split::new(split.early.clone(), poisoned)
+                };
+                arc.timing = ArcTiming::Table(new_split);
+                true
+            } else {
+                // No table arcs: poison a wire delay instead.
+                let wire_arcs: Vec<usize> = graph
+                    .arcs()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| !a.dead && matches!(a.timing, ArcTiming::Wire { .. }))
+                    .map(|(i, _)| i)
+                    .collect();
+                let Some(&ai) = wire_arcs.as_slice().choose(&mut rng) else {
+                    return false;
+                };
+                let arc = graph.arc_mut(tmm_sta::graph::ArcId(ai as u32));
+                arc.timing = ArcTiming::Wire { delay: bad, degrade: 1.0 };
+                true
+            }
+        }
+        FaultOp::DanglingPin => {
+            graph.add_node(format!("__fault_orphan_{seed}"), NodeKind::Internal);
+            true
+        }
+        FaultOp::CyclicRewire => {
+            let live_arcs: Vec<usize> = graph
+                .arcs()
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| {
+                    !a.dead
+                        && a.from != a.to
+                        && !graph.node(a.from).dead
+                        && !graph.node(a.to).dead
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let Some(&ai) = live_arcs.as_slice().choose(&mut rng) else {
+                return false;
+            };
+            let (from, to) = {
+                let a = &graph.arcs()[ai];
+                (a.from, a.to)
+            };
+            // Close the loop: add the reverse arc.
+            graph.add_arc(
+                to,
+                from,
+                TimingSense::PositiveUnate,
+                ArcTiming::Wire { delay: 0.0, degrade: 1.0 },
+                false,
+            );
+            true
+        }
+        FaultOp::DropClock => {
+            match graph.clock_source() {
+                Some(src) => {
+                    graph.node_mut(src).dead = true;
+                    // The topo order may now reference a dead node; that is
+                    // exactly the kind of damage the validator must flag.
+                    true
+                }
+                None => {
+                    // No clock to drop: orphan a check's clock node instead
+                    // by severing its fanin, if any checks exist.
+                    let Some(ck) = graph.checks().first().map(|c| c.ck) else {
+                        return false;
+                    };
+                    let fanin: Vec<_> = graph.fanin(ck).collect();
+                    for ai in &fanin {
+                        graph.arc_mut(*ai).dead = true;
+                    }
+                    !fanin.is_empty()
+                }
+            }
+        }
+        _ => unreachable!("filtered by FaultOp::GRAPH"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmm_sta::validate::{validate_arc_graph, validate_library};
+
+    fn demo_text() -> String {
+        "library demo\ncell INVX1 { pin A cap 1.5 }\naxis 1.0 2.0 4.0 8.0\nnet n0 a u0.A\nclock ck\n"
+            .to_string()
+    }
+
+    #[test]
+    fn textual_ops_are_deterministic() {
+        let text = demo_text();
+        for op in FaultOp::ALL {
+            let a = corrupt_text(op, &text, 17);
+            let b = corrupt_text(op, &text, 17);
+            assert_eq!(a, b, "{} is not deterministic", op.name());
+        }
+    }
+
+    #[test]
+    fn textual_ops_usually_mutate() {
+        let text = demo_text();
+        for op in FaultOp::ALL {
+            let changed = (0..32).any(|seed| corrupt_text(op, &text, seed) != text);
+            assert!(changed, "{} never mutated the text in 32 seeds", op.name());
+        }
+    }
+
+    #[test]
+    fn library_ops_produce_validator_errors() {
+        let lib = Library::synthetic(5);
+        assert!(validate_library(&lib).is_clean());
+        for op in FaultOp::LIBRARY {
+            let found = (0..8).any(|seed| {
+                let bad = corrupt_library(op, &lib, seed).expect("library op");
+                !validate_library(&bad).is_clean()
+            });
+            assert!(found, "{} never tripped the library validator", op.name());
+        }
+    }
+
+    #[test]
+    fn graph_ops_produce_validator_diagnostics() {
+        let lib = Library::synthetic(5);
+        let netlist = tmm_circuits::CircuitSpec::new("faulted")
+            .inputs(3)
+            .outputs(3)
+            .register_banks(1, 3)
+            .cloud(2, 4)
+            .seed(7)
+            .generate(&lib)
+            .unwrap();
+        let clean = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+        assert!(validate_arc_graph(&clean).is_clean());
+        for op in FaultOp::GRAPH {
+            let found = (0..8).any(|seed| {
+                let mut g = clean.clone();
+                corrupt_graph(op, &mut g, seed)
+                    && !validate_arc_graph(&g).diagnostics().is_empty()
+            });
+            assert!(found, "{} never tripped the graph validator", op.name());
+        }
+    }
+
+    #[test]
+    fn non_library_ops_return_none() {
+        let lib = Library::synthetic(1);
+        assert!(corrupt_library(FaultOp::TruncateText, &lib, 0).is_none());
+        assert!(corrupt_library(FaultOp::DuplicateNet, &lib, 0).is_none());
+    }
+
+    #[test]
+    fn truncate_respects_char_boundaries() {
+        let text = "axis 1.0 2.0 µ-token 3.0\n".repeat(4);
+        for seed in 0..64 {
+            let _ = corrupt_text(FaultOp::TruncateText, &text, seed);
+            let _ = corrupt_text(FaultOp::GarbleText, &text, seed);
+        }
+    }
+}

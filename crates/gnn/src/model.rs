@@ -78,6 +78,12 @@ pub struct TrainConfig {
     /// Fraction of trainable nodes held out for validation when `patience`
     /// is set (deterministic split keyed on node index).
     pub val_fraction: f32,
+    /// Divergence recovery: how many times a run whose loss or weights go
+    /// non-finite is restarted from the initial weights with a backed-off
+    /// learning rate. `0` disables retries (the run still rolls back).
+    pub max_retries: usize,
+    /// Multiplicative learning-rate factor applied per divergence retry.
+    pub lr_backoff: f32,
 }
 
 impl Default for TrainConfig {
@@ -89,6 +95,8 @@ impl Default for TrainConfig {
             pos_weight: None,
             patience: None,
             val_fraction: 0.15,
+            max_retries: 2,
+            lr_backoff: 0.1,
         }
     }
 }
@@ -117,6 +125,14 @@ pub struct TrainReport {
     pub val_history: Vec<f32>,
     /// Whether early stopping triggered before `epochs` elapsed.
     pub stopped_early: bool,
+    /// Number of divergence-triggered restarts (learning-rate backoff).
+    pub retries: usize,
+    /// Whether the weights were rolled back to the best finite-loss
+    /// checkpoint (or the initial weights) after unrecoverable divergence.
+    pub rolled_back: bool,
+    /// Whether training ultimately diverged. When `true` the model holds
+    /// rolled-back weights and callers should treat it as unhealthy.
+    pub diverged: bool,
 }
 
 enum LayerKind {
@@ -293,6 +309,54 @@ impl GnnModel {
         grads_rev
     }
 
+    fn params(&self) -> Vec<&Matrix> {
+        let mut v: Vec<&Matrix> = Vec::with_capacity(2 * self.layers.len() + 2);
+        for layer in &self.layers {
+            match layer {
+                LayerKind::Sage(s) => {
+                    v.push(&s.w);
+                    v.push(&s.b);
+                }
+                LayerKind::SagePool(s) => {
+                    v.push(&s.w_pool);
+                    v.push(&s.b_pool);
+                    v.push(&s.w);
+                    v.push(&s.b);
+                }
+                LayerKind::Gcn(g) => {
+                    v.push(&g.w);
+                    v.push(&g.b);
+                }
+            }
+        }
+        v.push(&self.head.w);
+        v.push(&self.head.b);
+        v
+    }
+
+    /// `true` when every weight is finite. A model that fails this check
+    /// produces garbage scores and must not be used for prediction.
+    #[must_use]
+    pub fn weights_finite(&self) -> bool {
+        self.params()
+            .iter()
+            .all(|m| m.data().iter().all(|v| v.is_finite()))
+    }
+
+    /// Clones all parameter matrices (same order as [`Self::params_mut`]).
+    fn snapshot(&self) -> Vec<Matrix> {
+        self.params().into_iter().cloned().collect()
+    }
+
+    /// Restores parameters captured by [`Self::snapshot`].
+    fn restore(&mut self, snap: &[Matrix]) {
+        let params = self.params_mut();
+        assert_eq!(params.len(), snap.len(), "snapshot shape mismatch");
+        for (p, s) in params.into_iter().zip(snap) {
+            *p = s.clone();
+        }
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Matrix> {
         let mut v: Vec<&mut Matrix> = Vec::with_capacity(2 * self.layers.len() + 2);
         for layer in &mut self.layers {
@@ -371,17 +435,66 @@ impl GnnModel {
                 .collect()
         });
 
-        let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
+        // Divergence recovery: run attempts with a progressively backed-off
+        // learning rate. Each attempt restarts from the initial weights; an
+        // attempt whose loss or weights go non-finite is abandoned. When
+        // every retry is exhausted the weights roll back to the best
+        // finite-loss checkpoint seen (or the initial weights) and the
+        // report flags the run as diverged so callers can quarantine it.
+        let initial = self.snapshot();
+        let mut lr = cfg.lr;
+        let mut retries = 0usize;
+        loop {
+            match self.train_attempt(samples, cfg, pos_weight, splits.as_deref(), lr) {
+                Attempt::Completed(mut report) => {
+                    report.retries = retries;
+                    return report;
+                }
+                Attempt::Diverged { mut report, best } => {
+                    if retries < cfg.max_retries {
+                        retries += 1;
+                        lr *= cfg.lr_backoff;
+                        self.restore(&initial);
+                        continue;
+                    }
+                    report.retries = retries;
+                    report.diverged = true;
+                    report.rolled_back = true;
+                    match best {
+                        Some((weights, loss)) => {
+                            self.restore(&weights);
+                            report.final_loss = loss;
+                        }
+                        None => self.restore(&initial),
+                    }
+                    return report;
+                }
+            }
+        }
+    }
+
+    /// One optimization run at a fixed learning rate; aborts on the first
+    /// epoch whose mean loss or resulting weights are non-finite.
+    fn train_attempt(
+        &mut self,
+        samples: &[TrainSample],
+        cfg: &TrainConfig,
+        pos_weight: f32,
+        splits: Option<&[(Vec<bool>, Vec<bool>)]>,
+        lr: f32,
+    ) -> Attempt {
+        let mut opt = Adam::new(lr, cfg.weight_decay);
         let mut history = Vec::with_capacity(cfg.epochs);
         let mut val_history = Vec::new();
         let mut best_val = f32::INFINITY;
         let mut since_best = 0usize;
         let mut stopped_early = false;
+        let mut best_ckpt: Option<(Vec<Matrix>, f32)> = None;
         for _epoch in 0..cfg.epochs {
             let mut epoch_loss = 0.0f32;
             let mut epoch_val = 0.0f32;
             for (si, sample) in samples.iter().enumerate() {
-                let train_mask: Option<&[bool]> = match &splits {
+                let train_mask: Option<&[bool]> = match splits {
                     Some(sp) => Some(&sp[si].0),
                     None => sample.mask.as_deref(),
                 };
@@ -394,7 +507,7 @@ impl GnnModel {
                     Task::Regression => mse(&logits, &sample.labels, train_mask),
                 };
                 epoch_loss += loss;
-                if let Some(sp) = &splits {
+                if let Some(sp) = splits {
                     let (val_loss, _) = match self.config.task {
                         Task::Classification => {
                             bce_with_logits(&logits, &sample.labels, Some(&sp[si].1), pos_weight)
@@ -408,7 +521,20 @@ impl GnnModel {
                 let mut params = self.params_mut();
                 opt.step(&mut params, &grads);
             }
-            history.push(epoch_loss / samples.len() as f32);
+            let mean_loss = epoch_loss / samples.len() as f32;
+            history.push(mean_loss);
+            if !mean_loss.is_finite() || !self.weights_finite() {
+                let report = TrainReport {
+                    history,
+                    final_loss: f32::NAN,
+                    val_history,
+                    ..TrainReport::default()
+                };
+                return Attempt::Diverged { report, best: best_ckpt };
+            }
+            if best_ckpt.as_ref().is_none_or(|(_, l)| mean_loss < *l) {
+                best_ckpt = Some((self.snapshot(), mean_loss));
+            }
             if let Some(patience) = cfg.patience {
                 let val = epoch_val / samples.len() as f32;
                 val_history.push(val);
@@ -425,8 +551,26 @@ impl GnnModel {
             }
         }
         let final_loss = history.last().copied().unwrap_or(0.0);
-        TrainReport { history, final_loss, val_history, stopped_early }
+        Attempt::Completed(TrainReport {
+            history,
+            final_loss,
+            val_history,
+            stopped_early,
+            ..TrainReport::default()
+        })
     }
+}
+
+/// Outcome of one fixed-learning-rate training attempt.
+enum Attempt {
+    /// All epochs ran with finite losses and weights.
+    Completed(TrainReport),
+    /// A non-finite loss or weight appeared; `best` holds the weights and
+    /// mean loss of the best finite epoch, when one existed.
+    Diverged {
+        report: TrainReport,
+        best: Option<(Vec<Matrix>, f32)>,
+    },
 }
 
 /// Error parsing a serialised model.
@@ -654,6 +798,66 @@ mod tests {
             })
             .collect();
         TrainSample { graph, features, labels, mask: None }
+    }
+
+    #[test]
+    fn absurd_lr_recovers_via_backoff() {
+        // lr = 1e30 overflows the f32 weights on the very first Adam step
+        // (the step magnitude is ≈ lr); with a strong backoff each retry
+        // divides it back into sane territory.
+        let train = toy_sample(80, 4);
+        let mut model =
+            GnnModel::new(2, ModelConfig { hidden: 8, layers: 1, ..Default::default() });
+        let report = model.train(
+            std::slice::from_ref(&train),
+            &TrainConfig {
+                epochs: 30,
+                lr: 1e30,
+                max_retries: 8,
+                lr_backoff: 1e-8,
+                ..Default::default()
+            },
+        );
+        assert!(report.retries > 0, "expected at least one divergence retry");
+        assert!(!report.diverged, "backoff should have recovered: {report:?}");
+        assert!(model.weights_finite());
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn nan_features_roll_back_and_flag_divergence() {
+        let mut train = toy_sample(80, 5);
+        let n = train.features.rows();
+        train.features = Matrix::from_fn(n, 2, |_, _| f32::NAN);
+        let mut model =
+            GnnModel::new(2, ModelConfig { hidden: 8, layers: 1, ..Default::default() });
+        let before = model.snapshot();
+        let report = model.train(
+            std::slice::from_ref(&train),
+            &TrainConfig { epochs: 10, max_retries: 2, ..Default::default() },
+        );
+        assert!(report.diverged, "NaN features cannot converge: {report:?}");
+        assert!(report.rolled_back);
+        assert_eq!(report.retries, 2);
+        // No finite checkpoint ever existed, so the initial weights return.
+        assert!(model.weights_finite());
+        for (p, b) in model.params().into_iter().zip(&before) {
+            assert_eq!(p.data(), b.data(), "weights were not rolled back");
+        }
+    }
+
+    #[test]
+    fn healthy_run_reports_no_retries() {
+        let train = toy_sample(60, 6);
+        let mut model =
+            GnnModel::new(2, ModelConfig { hidden: 8, layers: 1, ..Default::default() });
+        let report = model.train(
+            std::slice::from_ref(&train),
+            &TrainConfig { epochs: 20, ..Default::default() },
+        );
+        assert_eq!(report.retries, 0);
+        assert!(!report.diverged);
+        assert!(!report.rolled_back);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use tmm_sta::graph::{ArcGraph, ArcTiming, NodeKind};
 use tmm_sta::io;
 use tmm_sta::propagate::{Analysis, AnalysisOptions};
 use tmm_sta::split::Mode;
+use tmm_sta::validate::{validate_arc_graph, ValidationReport};
 use tmm_sta::Result;
 
 /// Options controlling macro model generation.
@@ -98,7 +99,7 @@ impl MacroModel {
             &mut graph,
             keep,
             &ReducePolicy { max_bypass: options.max_bypass, allow_growth: options.allow_growth },
-        );
+        )?;
         if options.compress_luts {
             compress_graph_luts(&mut graph, options.lut_slew_points, options.lut_load_points);
         }
@@ -398,6 +399,41 @@ impl MacroModel {
     pub fn file_size_bytes(&self) -> usize {
         self.serialize().len()
     }
+
+    /// Validates the model: structural/semantic checks on its timing
+    /// graph plus serialisation round-trip integrity. The serialised
+    /// text must parse back and re-serialise to a fixed point (the
+    /// first round may legitimately compact node ids, so the comparison
+    /// is between the first and second reparse).
+    #[must_use]
+    pub fn validate(&self) -> ValidationReport {
+        let mut report = ValidationReport::new("macro model");
+        report.merge(validate_arc_graph(&self.graph));
+        let text = self.serialize();
+        match MacroModel::parse(&text) {
+            Err(e) => {
+                report.error("round-trip-parse", format!("serialised model failed to parse: {e}"));
+            }
+            Ok(first) => {
+                let canonical = first.serialize();
+                match MacroModel::parse(&canonical) {
+                    Err(e) => report.error(
+                        "round-trip-parse",
+                        format!("re-serialised model failed to parse: {e}"),
+                    ),
+                    Ok(second) => {
+                        if second.serialize() != canonical {
+                            report.error(
+                                "round-trip-mismatch",
+                                "serialised model does not reach a round-trip fixed point",
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -466,6 +502,21 @@ mod tests {
         )
         .unwrap();
         assert!(with.file_size_bytes() < without.file_size_bytes());
+    }
+
+    #[test]
+    fn validate_is_clean_for_generated_models() {
+        let g = flat();
+        for keep_all in [true, false] {
+            let model = MacroModel::generate(
+                &g,
+                &vec![keep_all; g.node_count()],
+                &MacroModelOptions::default(),
+            )
+            .unwrap();
+            let report = model.validate();
+            assert!(report.is_clean(), "keep_all={keep_all}: {report}");
+        }
     }
 
     #[test]

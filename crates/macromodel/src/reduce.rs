@@ -9,6 +9,7 @@
 //! under ETM-style total collapse.
 
 use tmm_sta::graph::{ArcGraph, NodeId, NodeKind};
+use tmm_sta::Result;
 
 /// Counters describing one reduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,10 +50,20 @@ impl Default for ReducePolicy {
 /// Under a no-growth policy, passes repeat until a fixpoint because chain
 /// merges can make previously growth-refused pins eligible.
 ///
+/// # Errors
+///
+/// Returns an error when the reduced graph fails to re-toposort — a graph
+/// invariant violation that reduction of a valid DAG cannot produce, but
+/// which corrupted input graphs can.
+///
 /// # Panics
 ///
 /// Panics if `keep.len() != graph.node_count()`.
-pub fn reduce_graph(graph: &mut ArcGraph, keep: &[bool], policy: &ReducePolicy) -> ReduceStats {
+pub fn reduce_graph(
+    graph: &mut ArcGraph,
+    keep: &[bool],
+    policy: &ReducePolicy,
+) -> Result<ReduceStats> {
     assert_eq!(keep.len(), graph.node_count(), "keep mask size mismatch");
     let mut stats = ReduceStats::default();
     let order: Vec<NodeId> = graph.topo_order().to_vec();
@@ -75,9 +86,13 @@ pub fn reduce_graph(graph: &mut ArcGraph, keep: &[bool], policy: &ReducePolicy) 
             }
             let sources: Vec<NodeId> = graph.fanin(n).map(|a| graph.arc(a).from).collect();
             let targets: Vec<NodeId> = graph.fanout(n).map(|a| graph.arc(a).to).collect();
-            graph
-                .bypass_node_with_limit(n, policy.max_bypass)
-                .expect("eligibility checked above");
+            if graph.bypass_node_with_limit(n, policy.max_bypass).is_err() {
+                // Eligibility was checked above, so this is a graph in a
+                // state the editor refuses to touch; keep the pin instead
+                // of panicking.
+                stats.refused += 1;
+                continue;
+            }
             stats.bypassed += 1;
             progressed = true;
             for &u in &sources {
@@ -116,10 +131,8 @@ pub fn reduce_graph(graph: &mut ArcGraph, keep: &[bool], policy: &ReducePolicy) 
         }
         stats.pruned += removed;
     }
-    graph
-        .rebuild_topo()
-        .expect("reduction of a DAG cannot create cycles");
-    stats
+    graph.rebuild_topo()?;
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -148,7 +161,7 @@ mod tests {
         let mut g = small_graph();
         let before = (g.live_nodes(), g.live_arcs());
         let keep = vec![true; g.node_count()];
-        let stats = reduce_graph(&mut g, &keep, &ReducePolicy::default());
+        let stats = reduce_graph(&mut g, &keep, &ReducePolicy::default()).unwrap();
         assert_eq!(stats.bypassed, 0);
         assert_eq!((g.live_nodes(), g.live_arcs()), before);
     }
@@ -158,7 +171,7 @@ mod tests {
         let mut g = small_graph();
         let nodes_before = g.live_nodes();
         let keep = vec![false; g.node_count()];
-        let stats = reduce_graph(&mut g, &keep, &ReducePolicy { max_bypass: 4096, allow_growth: true });
+        let stats = reduce_graph(&mut g, &keep, &ReducePolicy { max_bypass: 4096, allow_growth: true }).unwrap();
         assert!(stats.bypassed > 0);
         assert!(g.live_nodes() < nodes_before);
         // Only ports, FF pins and refused/clock-kept pins remain internal.
@@ -182,7 +195,7 @@ mod tests {
         let g0 = small_graph();
         let mut g = g0.clone();
         let keep = vec![false; g.node_count()];
-        reduce_graph(&mut g, &keep, &ReducePolicy { max_bypass: 4096, allow_growth: true });
+        reduce_graph(&mut g, &keep, &ReducePolicy { max_bypass: 4096, allow_growth: true }).unwrap();
         let ctx = Context::nominal(&g0);
         let flat = Analysis::run(&g0, &ctx).unwrap();
         let red = Analysis::run(&g, &ctx).unwrap();
@@ -201,12 +214,12 @@ mod tests {
         let flat = Analysis::run(&g0, &ctx).unwrap();
 
         let mut g_none = g0.clone();
-        reduce_graph(&mut g_none, &vec![false; g0.node_count()], &ReducePolicy { max_bypass: 4096, allow_growth: true });
+        reduce_graph(&mut g_none, &vec![false; g0.node_count()], &ReducePolicy { max_bypass: 4096, allow_growth: true }).unwrap();
         let err_none =
             flat.boundary().diff(Analysis::run(&g_none, &ctx).unwrap().boundary()).max;
 
         let mut g_all = g0.clone();
-        reduce_graph(&mut g_all, &vec![true; g0.node_count()], &ReducePolicy { max_bypass: 4096, allow_growth: true });
+        reduce_graph(&mut g_all, &vec![true; g0.node_count()], &ReducePolicy { max_bypass: 4096, allow_growth: true }).unwrap();
         let err_all =
             flat.boundary().diff(Analysis::run(&g_all, &ctx).unwrap().boundary()).max;
 
@@ -219,7 +232,7 @@ mod tests {
         let mut g = small_graph();
         let keep = vec![false; g.node_count()];
         let live_before = g.live_nodes();
-        let stats = reduce_graph(&mut g, &keep, &ReducePolicy { max_bypass: 4096, allow_growth: true });
+        let stats = reduce_graph(&mut g, &keep, &ReducePolicy { max_bypass: 4096, allow_growth: true }).unwrap();
         assert_eq!(
             live_before - g.live_nodes(),
             stats.bypassed + stats.pruned,

@@ -169,7 +169,7 @@ pub fn evaluate_ts(graph: &ArcGraph, candidates: &[bool], opts: &TsOptions) -> R
     // Evaluate one pin: clone, bypass, re-propagate under every context.
     let eval_pin = |i: usize| -> Result<f64> {
         let mut edited = graph.clone();
-        edited.bypass_node(NodeId(i as u32)).expect("eligibility checked");
+        edited.bypass_node(NodeId(i as u32))?;
         let mut total = 0.0f64;
         for (ctx, reference) in contexts.iter().zip(&references) {
             let an = Analysis::run_with_options(&edited, ctx, analysis_opts)?;
@@ -188,21 +188,28 @@ pub fn evaluate_ts(graph: &ArcGraph, candidates: &[bool], opts: &TsOptions) -> R
         // Pin removals are independent: chunk the work list across scoped
         // workers and stitch results back by index (deterministic).
         let chunk = work.len().div_ceil(threads);
-        let results = crossbeam::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let handles: Vec<_> = work
                 .chunks(chunk)
                 .map(|part| {
-                    scope.spawn(move |_| -> Result<Vec<(usize, f64)>> {
+                    scope.spawn(move || -> Result<Vec<(usize, f64)>> {
                         part.iter().map(|&i| Ok((i, eval_pin(i)?))).collect()
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("TS worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // A worker panic is a bug, not an input error; surface
+                    // it as a structured error instead of aborting the
+                    // whole process from a non-main thread.
+                    Err(_) => Err(tmm_sta::StaError::IllegalEdit(
+                        "TS worker panicked".into(),
+                    )),
+                })
                 .collect::<Result<Vec<_>>>()
-        })
-        .expect("TS scope panicked")?;
+        })?;
         for part in results {
             for (i, v) in part {
                 ts[i] = v;

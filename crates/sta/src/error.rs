@@ -51,6 +51,16 @@ pub enum StaError {
         /// What went wrong.
         message: String,
     },
+    /// Structured validation of an artifact found error-severity
+    /// diagnostics (see [`crate::validate`]).
+    Validation {
+        /// What was validated ("library", "netlist", "graph", "macro model").
+        artifact: &'static str,
+        /// Number of error-severity diagnostics.
+        errors: usize,
+        /// Message of the first error diagnostic.
+        first: String,
+    },
 }
 
 impl fmt::Display for StaError {
@@ -82,6 +92,9 @@ impl fmt::Display for StaError {
             StaError::ParseFormat { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            StaError::Validation { artifact, errors, first } => {
+                write!(f, "{artifact} validation found {errors} error(s), first: {first}")
+            }
         }
     }
 }
@@ -109,6 +122,7 @@ mod tests {
             StaError::NodeOutOfRange(9),
             StaError::IllegalEdit("x".into()),
             StaError::ParseFormat { line: 3, message: "bad token".into() },
+            StaError::Validation { artifact: "library", errors: 2, first: "nan".into() },
         ];
         for e in samples {
             let msg = e.to_string();

@@ -556,7 +556,15 @@ impl ArcGraph {
                 }
                 Some(PortKind::Clock) => NodeKind::ClockSource,
                 None => {
-                    let cell = netlist.cell(pin.cell.expect("cell pin has owner"));
+                    let Some(owner) = pin.cell else {
+                        // The netlist builder guarantees every non-port pin
+                        // has an owning cell; report instead of panicking.
+                        return Err(StaError::IllegalEdit(format!(
+                            "pin #{} has neither a port nor an owning cell",
+                            g.nodes.len()
+                        )));
+                    };
+                    let cell = netlist.cell(owner);
                     let tmpl = library.template_at(cell.template);
                     match (&tmpl.sequential, pin.direction) {
                         (Some(seq), _) if pin.template_pin == seq.d_pin => NodeKind::Internal, // patched below
@@ -742,18 +750,24 @@ impl ArcGraph {
         }
         // Choose axes: input-slew axis from the upstream table (or the
         // downstream one if upstream is a wire), load axis from downstream.
-        let slew_axis: Vec<f64> = arc_a
-            .timing
-            .tables()
-            .map(|t| t.late.delay.rise.slew_axis().to_vec())
-            .or_else(|| arc_b.timing.tables().map(|t| t.late.delay.rise.slew_axis().to_vec()))
-            .expect("at least one side carries tables");
-        let load_axis: Vec<f64> = arc_b
-            .timing
-            .tables()
-            .map(|t| t.late.delay.rise.load_axis().to_vec())
-            .or_else(|| arc_a.timing.tables().map(|t| t.late.delay.rise.load_axis().to_vec()))
-            .expect("at least one side carries tables");
+        let (slew_axis, load_axis): (Vec<f64>, Vec<f64>) =
+            match (arc_a.timing.tables(), arc_b.timing.tables()) {
+                (Some(ta), Some(tb)) => (
+                    ta.late.delay.rise.slew_axis().to_vec(),
+                    tb.late.delay.rise.load_axis().to_vec(),
+                ),
+                (Some(ta), None) => (
+                    ta.late.delay.rise.slew_axis().to_vec(),
+                    ta.late.delay.rise.load_axis().to_vec(),
+                ),
+                (None, Some(tb)) => (
+                    tb.late.delay.rise.slew_axis().to_vec(),
+                    tb.late.delay.rise.load_axis().to_vec(),
+                ),
+                // Both sides are wires — the early return above already
+                // handled this; stay total rather than panic.
+                (None, None) => return ArcTiming::Wire { delay: 0.0, degrade: 1.0 },
+            };
 
         let tables = Split::from_fn(|mode| {
             let per_edge = |out_edge: Edge| -> (Lut2, Lut2) {
@@ -771,10 +785,9 @@ impl ArcGraph {
                     (best_d, best_s)
                 };
                 let delay =
-                    Lut2::from_fn(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).0)
-                        .expect("axes validated above");
-                let slew = Lut2::from_fn(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).1)
-                    .expect("axes validated above");
+                    Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).0);
+                let slew =
+                    Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).1);
                 (delay, slew)
             };
             let (dr, sr) = per_edge(Edge::Rise);
@@ -849,10 +862,9 @@ impl ArcGraph {
                     (best_d, best_s)
                 };
                 let delay =
-                    Lut2::from_fn(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).0)
-                        .expect("axes valid");
-                let slew = Lut2::from_fn(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).1)
-                    .expect("axes valid");
+                    Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).0);
+                let slew =
+                    Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).1);
                 (delay, slew)
             };
             let (dr, sr) = per_edge(Edge::Rise);

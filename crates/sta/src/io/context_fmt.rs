@@ -89,12 +89,12 @@ pub fn parse_context(src: &str) -> Result<Context> {
     }
     pi.sort_by_key(|&(i, _)| i);
     po.sort_by_key(|&(i, _)| i);
-    for (want, &(got, _)) in pi.iter().enumerate().map(|(w, e)| (w, e)) {
+    for (want, &(got, _)) in pi.iter().enumerate() {
         if want != got {
             return Err(lx.error(format!("pi indices not dense: missing {want}")));
         }
     }
-    for (want, &(got, _)) in po.iter().enumerate().map(|(w, e)| (w, e)) {
+    for (want, &(got, _)) in po.iter().enumerate() {
         if want != got {
             return Err(lx.error(format!("po indices not dense: missing {want}")));
         }

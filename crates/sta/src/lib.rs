@@ -59,6 +59,7 @@ pub mod parasitics;
 pub mod propagate;
 pub mod report;
 pub mod split;
+pub mod validate;
 
 mod error;
 

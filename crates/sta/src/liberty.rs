@@ -71,6 +71,27 @@ impl Lut2 {
         Ok(Lut2 { slew_axis, load_axis, values })
     }
 
+    /// Creates a table without validating the axes, only the shape.
+    ///
+    /// Exists for fault injection (`tmm-faults`) and validator tests,
+    /// which need to build deliberately broken tables — non-monotone or
+    /// non-finite axes — that [`Lut2::new`] would reject. Production
+    /// code paths must use [`Lut2::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values.len() != slew_axis.len() * load_axis.len()`;
+    /// a shape mismatch would make [`Lut2::value`] index out of bounds.
+    #[must_use]
+    pub fn new_unchecked(slew_axis: Vec<f64>, load_axis: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(
+            values.len(),
+            slew_axis.len() * load_axis.len(),
+            "LUT body does not match its axes"
+        );
+        Lut2 { slew_axis, load_axis, values }
+    }
+
     /// Builds a table by sampling `f(slew, load)` on the given axes.
     ///
     /// # Errors
@@ -88,6 +109,26 @@ impl Lut2 {
             }
         }
         Lut2::new(slew_axis, load_axis, values)
+    }
+
+    /// Builds a table by sampling `f(slew, load)` on axes that are already
+    /// known to be valid — taken from an existing [`Lut2`] or a compile-time
+    /// constant grid — skipping the axis re-validation of [`Lut2::from_fn`].
+    ///
+    /// The shape always matches by construction, so this is infallible.
+    #[must_use]
+    pub fn from_fn_unchecked(
+        slew_axis: Vec<f64>,
+        load_axis: Vec<f64>,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Self {
+        let mut values = Vec::with_capacity(slew_axis.len() * load_axis.len());
+        for &s in &slew_axis {
+            for &l in &load_axis {
+                values.push(f(s, l));
+            }
+        }
+        Lut2 { slew_axis, load_axis, values }
     }
 
     /// A 1×1-segment constant table (useful for fixed-delay arcs in tests).
@@ -490,7 +531,8 @@ impl SyntheticBuilder {
         let axis = || (DEFAULT_SLEW_AXIS.to_vec(), DEFAULT_LOAD_AXIS.to_vec());
         let mk = |f: &dyn Fn(f64, f64) -> f64| {
             let (sa, la) = axis();
-            Lut2::from_fn(sa, la, f).expect("synthetic axes are valid")
+            // The default axes are compile-time constants, already valid.
+            Lut2::from_fn_unchecked(sa, la, f)
         };
 
         let delay = TransPair::new(
@@ -615,7 +657,11 @@ impl SyntheticBuilder {
             self.dff("DFFX1"),
         ];
         for c in cells {
-            lib.add_template(c).expect("synthetic cell names are unique");
+            // The synthetic cell list is static with unique names, so the
+            // only failure `add_template` can report cannot occur.
+            if lib.add_template(c).is_err() {
+                unreachable!("synthetic cell names are unique");
+            }
         }
         lib
     }

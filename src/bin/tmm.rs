@@ -1,23 +1,39 @@
 //! `tmm` — command-line driver for the timing-macro-modeling stack.
 //!
 //! ```text
-//! tmm gen   --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
-//! tmm stats --design <design.tmm> --lib <lib.tmm>
-//! tmm model --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
-//!           [--method ours|itimerm|libabs|atm] [--cppr] [--aocv]
-//! tmm time  --model <model.tmm> [--contexts <n>] [--cppr] [--aocv]
-//! tmm eval  --design <design.tmm> --lib <lib.tmm> --model <model.tmm>
-//!           [--contexts <n>] [--cppr] [--aocv]
+//! tmm gen      --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
+//! tmm stats    --design <design.tmm> --lib <lib.tmm>
+//! tmm model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
+//!              [--method ours|itimerm|libabs|atm] [--cppr] [--aocv]
+//! tmm time     --model <model.tmm> [--contexts <n>] [--cppr] [--aocv]
+//! tmm eval     --design <design.tmm> --lib <lib.tmm> --model <model.tmm>
+//!              [--contexts <n>] [--cppr] [--aocv]
+//! tmm validate [--lib <lib.tmm>] [--design <design.tmm>] [--model <model.tmm>]
+//!              [--gnn <gnn.tmm>]
 //! ```
 //!
 //! Everything round-trips through the text formats in `tmm_sta::io` and
 //! `MacroModel::serialize`/`parse`, so the files this tool writes are the
 //! exact artifacts a hierarchical flow would exchange.
+//!
+//! # Exit codes
+//!
+//! Failures are classed so scripts can react without scraping stderr:
+//!
+//! | code | class |
+//! |------|------------------------------------------------|
+//! | 0    | success                                        |
+//! | 1    | usage error (bad flags, unknown command)       |
+//! | 2    | I/O error (unreadable/unwritable file)         |
+//! | 3    | parse error (malformed artifact text)          |
+//! | 4    | validation error (well-formed but corrupt data)|
+//! | 5    | analysis/pipeline error                        |
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use timing_macro_gnn::circuits::CircuitSpec;
-use timing_macro_gnn::core::{Framework, FrameworkConfig};
+use timing_macro_gnn::core::{Framework, FrameworkConfig, Stage, TmmError};
+use timing_macro_gnn::gnn::GnnModel;
 use timing_macro_gnn::macromodel::baselines::{
     generate_atm, generate_itimerm, generate_libabs, ITIMERM_DEFAULT_TOLERANCE,
 };
@@ -27,9 +43,68 @@ use timing_macro_gnn::sta::constraints::ContextSampler;
 use timing_macro_gnn::sta::graph::ArcGraph;
 use timing_macro_gnn::sta::io::{parse_library, parse_netlist, write_library, write_netlist};
 use timing_macro_gnn::sta::liberty::Library;
+use timing_macro_gnn::sta::netlist::Netlist;
 use timing_macro_gnn::sta::propagate::AnalysisOptions;
 use timing_macro_gnn::sta::report::{critical_paths, format_path, slack_summary};
 use timing_macro_gnn::sta::split::{Edge, Mode};
+use timing_macro_gnn::sta::validate::{validate_arc_graph, validate_library, validate_netlist};
+use timing_macro_gnn::sta::StaError;
+
+/// Failure class, doubling as the process exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrClass {
+    Usage = 1,
+    Io = 2,
+    Parse = 3,
+    Validation = 4,
+    Analysis = 5,
+}
+
+#[derive(Debug)]
+struct CliError {
+    class: ErrClass,
+    msg: String,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError { class: ErrClass::Usage, msg: msg.into() }
+    }
+    fn io(msg: impl Into<String>) -> Self {
+        CliError { class: ErrClass::Io, msg: msg.into() }
+    }
+    fn validation(msg: impl Into<String>) -> Self {
+        CliError { class: ErrClass::Validation, msg: msg.into() }
+    }
+}
+
+impl From<StaError> for CliError {
+    fn from(e: StaError) -> Self {
+        let class = match &e {
+            StaError::ParseFormat { .. } => ErrClass::Parse,
+            StaError::Validation { .. } => ErrClass::Validation,
+            _ => ErrClass::Analysis,
+        };
+        CliError { class, msg: e.to_string() }
+    }
+}
+
+impl From<TmmError> for CliError {
+    fn from(e: TmmError) -> Self {
+        let class = if e.stage == Stage::Validation {
+            ErrClass::Validation
+        } else {
+            match &e.source {
+                StaError::ParseFormat { .. } => ErrClass::Parse,
+                StaError::Validation { .. } => ErrClass::Validation,
+                _ => ErrClass::Analysis,
+            }
+        };
+        CliError { class, msg: e.to_string() }
+    }
+}
+
+type CliResult = Result<(), CliError>;
 
 struct Args {
     flags: HashMap<String, String>,
@@ -37,7 +112,7 @@ struct Args {
 }
 
 impl Args {
-    fn parse(argv: &[String]) -> Result<Args, String> {
+    fn parse(argv: &[String]) -> Result<Args, CliError> {
         let mut flags = HashMap::new();
         let mut switches = Vec::new();
         let mut i = 0;
@@ -52,18 +127,27 @@ impl Args {
                     i += 1;
                 }
             } else {
-                return Err(format!("unexpected positional argument `{a}`"));
+                return Err(CliError::usage(format!("unexpected positional argument `{a}`")));
             }
         }
         Ok(Args { flags, switches })
     }
 
-    fn required(&self, name: &str) -> Result<&str, String> {
-        self.flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::usage(format!("missing --{name}")))
     }
 
     fn get_or(&self, name: &str, default: &str) -> String {
         self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: &str) -> Result<T, CliError> {
+        self.get_or(name, default)
+            .parse()
+            .map_err(|_| CliError::usage(format!("--{name} must be a number")))
     }
 
     fn switch(&self, name: &str) -> bool {
@@ -71,29 +155,38 @@ impl Args {
     }
 }
 
-fn load_library(path: &str) -> Result<Library, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_library(&text).map_err(|e| format!("{path}: {e}"))
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::io(format!("cannot read {path}: {e}")))
 }
 
-fn load_design(path: &str, lib: &Library) -> Result<ArcGraph, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let netlist = parse_netlist(&text, lib).map_err(|e| format!("{path}: {e}"))?;
-    ArcGraph::from_netlist(&netlist, lib).map_err(|e| format!("{path}: {e}"))
+fn write_file(path: &str, content: &str) -> CliResult {
+    std::fs::write(path, content).map_err(|e| CliError::io(format!("cannot write {path}: {e}")))
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn load_library(path: &str) -> Result<Library, CliError> {
+    parse_library(&read_file(path)?)
+        .map_err(|e| CliError { msg: format!("{path}: {e}"), ..CliError::from(e) })
+}
+
+fn load_netlist(path: &str, lib: &Library) -> Result<Netlist, CliError> {
+    parse_netlist(&read_file(path)?, lib)
+        .map_err(|e| CliError { msg: format!("{path}: {e}"), ..CliError::from(e) })
+}
+
+fn load_design(path: &str, lib: &Library) -> Result<ArcGraph, CliError> {
+    let netlist = load_netlist(path, lib)?;
+    ArcGraph::from_netlist(&netlist, lib)
+        .map_err(|e| CliError { msg: format!("{path}: {e}"), ..CliError::from(e) })
+}
+
+fn cmd_gen(args: &Args) -> CliResult {
     let name = args.required("name")?;
-    let pins: usize =
-        args.get_or("pins", "1000").parse().map_err(|_| "--pins must be an integer")?;
-    let seed: u64 = args.get_or("seed", "1").parse().map_err(|_| "--seed must be an integer")?;
+    let pins: usize = args.parsed("pins", "1000")?;
+    let seed: u64 = args.parsed("seed", "1")?;
     let out = args.required("out")?;
     let library = Library::synthetic(7);
-    let netlist = CircuitSpec::sized(name, pins)
-        .seed(seed)
-        .generate(&library)
-        .map_err(|e| e.to_string())?;
-    std::fs::write(out, write_netlist(&netlist)).map_err(|e| e.to_string())?;
+    let netlist = CircuitSpec::sized(name, pins).seed(seed).generate(&library)?;
+    write_file(out, &write_netlist(&netlist))?;
     eprintln!(
         "wrote {out}: {} pins, {} cells, {} nets",
         netlist.stats().pins,
@@ -101,13 +194,13 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         netlist.stats().nets
     );
     if let Some(lib_out) = args.flags.get("lib-out") {
-        std::fs::write(lib_out, write_library(&library)).map_err(|e| e.to_string())?;
+        write_file(lib_out, &write_library(&library))?;
         eprintln!("wrote {lib_out}: {} cells", library.templates().len());
     }
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> CliResult {
     let lib = load_library(args.required("lib")?)?;
     let graph = load_design(args.required("design")?, &lib)?;
     println!("design  : {}", graph.name());
@@ -123,7 +216,7 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_model(args: &Args) -> Result<(), String> {
+fn cmd_model(args: &Args) -> CliResult {
     let lib = load_library(args.required("lib")?)?;
     let design_path = args.required("design")?;
     let out = args.required("out")?;
@@ -131,9 +224,9 @@ fn cmd_model(args: &Args) -> Result<(), String> {
     let cppr = args.switch("cppr");
     let aocv = args.switch("aocv");
 
-    let text = std::fs::read_to_string(design_path).map_err(|e| e.to_string())?;
-    let netlist = parse_netlist(&text, &lib).map_err(|e| e.to_string())?;
-    let flat = ArcGraph::from_netlist(&netlist, &lib).map_err(|e| e.to_string())?;
+    let netlist = load_netlist(design_path, &lib)?;
+    let flat = ArcGraph::from_netlist(&netlist, &lib)
+        .map_err(|e| CliError { msg: format!("{design_path}: {e}"), ..CliError::from(e) })?;
 
     let opts = MacroModelOptions::default();
     let model = match method.as_str() {
@@ -148,35 +241,33 @@ fn cmd_model(args: &Args) -> Result<(), String> {
             // train on the design itself.
             let mut fw = match args.flags.get("gnn") {
                 Some(path) => {
-                    let text =
-                        std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-                    let fw = Framework::import_model(config, &text)
-                        .map_err(|e| e.to_string())?;
+                    let fw = Framework::import_model(config, &read_file(path)?)?;
                     eprintln!("loaded trained GNN from {path}");
                     fw
                 }
                 None => Framework::new(config),
             };
-            let outcome = fw.run_on(&netlist, &lib).map_err(|e| e.to_string())?;
+            let outcome = fw.run_on(&netlist, &lib)?;
             eprintln!(
                 "GNN kept {} pins ({} hard)",
                 outcome.prediction.predicted_variant, outcome.prediction.hard_kept
             );
+            if outcome.degraded {
+                eprintln!("warning: GNN is degraded; fell back to the pure-ILM keep-all mask");
+            }
             if let Some(gnn_out) = args.flags.get("gnn-out") {
-                std::fs::write(gnn_out, fw.export_model().map_err(|e| e.to_string())?)
-                    .map_err(|e| e.to_string())?;
+                write_file(gnn_out, &fw.export_model()?)?;
                 eprintln!("wrote trained GNN to {gnn_out}");
             }
             outcome.model
         }
-        "itimerm" => generate_itimerm(&flat, ITIMERM_DEFAULT_TOLERANCE, &opts)
-            .map_err(|e| e.to_string())?,
-        "libabs" => generate_libabs(&flat, &opts).map_err(|e| e.to_string())?,
-        "atm" => generate_atm(&flat, &opts).map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown method `{other}`")),
+        "itimerm" => generate_itimerm(&flat, ITIMERM_DEFAULT_TOLERANCE, &opts)?,
+        "libabs" => generate_libabs(&flat, &opts)?,
+        "atm" => generate_atm(&flat, &opts)?,
+        other => return Err(CliError::usage(format!("unknown method `{other}`"))),
     };
     let serialized = model.serialize();
-    std::fs::write(out, &serialized).map_err(|e| e.to_string())?;
+    write_file(out, &serialized)?;
     eprintln!(
         "wrote {out}: {} pins kept of {}, {} bytes, generated in {:.3}s",
         model.stats().kept_pins,
@@ -187,24 +278,22 @@ fn cmd_model(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_time(args: &Args) -> Result<(), String> {
+fn cmd_time(args: &Args) -> CliResult {
     let path = args.required("model")?;
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let model = MacroModel::parse(&text).map_err(|e| e.to_string())?;
-    let contexts: usize =
-        args.get_or("contexts", "1").parse().map_err(|_| "--contexts must be an integer")?;
+    let model = MacroModel::parse(&read_file(path)?)
+        .map_err(|e| CliError { msg: format!("{path}: {e}"), ..CliError::from(e) })?;
+    let contexts: usize = args.parsed("contexts", "1")?;
     let options =
         AnalysisOptions { cppr: args.switch("cppr"), aocv: args.switch("aocv") };
     // An explicit --context file overrides the sampled contexts.
     let ctx_list = match args.flags.get("context") {
         Some(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-            vec![timing_macro_gnn::sta::io::parse_context(&text).map_err(|e| e.to_string())?]
+            vec![timing_macro_gnn::sta::io::parse_context(&read_file(path)?)?]
         }
         None => ContextSampler::new(0x71e).sample_many(model.graph(), contexts),
     };
     for (i, ctx) in ctx_list.iter().enumerate() {
-        let an = model.analyze(ctx, options).map_err(|e| e.to_string())?;
+        let an = model.analyze(ctx, options)?;
         println!("context {i}:");
         for po in &an.boundary().po {
             let slack = po.slack.late.rise.min(po.slack.late.fall);
@@ -228,8 +317,7 @@ fn cmd_time(args: &Args) -> Result<(), String> {
             "  WNS {:.2} ps, TNS {:.2} ps, {}/{} endpoints failing",
             summary.wns, summary.tns, summary.failing, summary.endpoints
         );
-        let n_paths: usize =
-            args.get_or("paths", "0").parse().map_err(|_| "--paths must be an integer")?;
+        let n_paths: usize = args.parsed("paths", "0")?;
         for path in critical_paths(model.graph(), &an, ctx, n_paths) {
             println!("{}", format_path(&path));
         }
@@ -237,14 +325,13 @@ fn cmd_time(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_eval(args: &Args) -> Result<(), String> {
+fn cmd_eval(args: &Args) -> CliResult {
     let lib = load_library(args.required("lib")?)?;
     let flat = load_design(args.required("design")?, &lib)?;
-    let text =
-        std::fs::read_to_string(args.required("model")?).map_err(|e| e.to_string())?;
-    let model = MacroModel::parse(&text).map_err(|e| e.to_string())?;
-    let contexts: usize =
-        args.get_or("contexts", "6").parse().map_err(|_| "--contexts must be an integer")?;
+    let model_path = args.required("model")?;
+    let model = MacroModel::parse(&read_file(model_path)?)
+        .map_err(|e| CliError { msg: format!("{model_path}: {e}"), ..CliError::from(e) })?;
+    let contexts: usize = args.parsed("contexts", "6")?;
     let result = evaluate(
         &flat,
         &model,
@@ -254,8 +341,7 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
             aocv: args.switch("aocv"),
             ..Default::default()
         },
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     println!("compared values : {}", result.accuracy.count);
     println!("avg error       : {:.4} ps", result.accuracy.avg);
     println!("max error       : {:.4} ps", result.accuracy.max);
@@ -265,35 +351,119 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_context(args: &Args) -> Result<(), String> {
+fn cmd_context(args: &Args) -> CliResult {
     let lib = load_library(args.required("lib")?)?;
     let graph = load_design(args.required("design")?, &lib)?;
-    let seed: u64 = args.get_or("seed", "1").parse().map_err(|_| "--seed must be an integer")?;
+    let seed: u64 = args.parsed("seed", "1")?;
     let out = args.required("out")?;
     let ctx = ContextSampler::new(seed).sample(&graph);
-    std::fs::write(out, timing_macro_gnn::sta::io::write_context(&ctx))
-        .map_err(|e| e.to_string())?;
+    write_file(out, &timing_macro_gnn::sta::io::write_context(&ctx))?;
     eprintln!("wrote {out}: {} PIs, {} POs, period {:.1} ps", ctx.pi.len(), ctx.po.len(), ctx.clock.period);
     Ok(())
 }
 
-const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context> [--flag value] [--switch]
-  gen     --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
-  stats   --design <design.tmm> --lib <lib.tmm>
-  model   --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
-          [--method ours|itimerm|libabs|atm] [--gnn <gnn.tmm>] [--gnn-out <gnn.tmm>]
-          [--cppr] [--aocv]
-  time    --model <model.tmm> [--contexts <n>] [--context <ctx.tmm>] [--paths <k>]
-          [--cppr] [--aocv]
-  eval    --design <design.tmm> --lib <lib.tmm> --model <model.tmm>
-          [--contexts <n>] [--cppr] [--aocv]
-  context --design <design.tmm> --lib <lib.tmm> [--seed <s>] --out <ctx.tmm>";
+/// Runs the structured validators over the given artifacts, prints each
+/// report, and fails with the validation exit code when any artifact has
+/// error-severity diagnostics.
+fn cmd_validate(args: &Args) -> CliResult {
+    fn show(
+        report: &timing_macro_gnn::sta::validate::ValidationReport,
+        errors: &mut usize,
+        validated: &mut usize,
+    ) {
+        *validated += 1;
+        *errors += report.error_count();
+        print!("{report}");
+    }
+    let mut errors = 0usize;
+    let mut validated = 0usize;
+
+    let lib = match args.flags.get("lib") {
+        Some(path) => {
+            let lib = load_library(path)?;
+            show(&validate_library(&lib), &mut errors, &mut validated);
+            Some(lib)
+        }
+        None => None,
+    };
+    if let Some(path) = args.flags.get("design") {
+        let Some(lib) = &lib else {
+            return Err(CliError::usage("--design requires --lib"));
+        };
+        let netlist = load_netlist(path, lib)?;
+        let netlist_report = validate_netlist(&netlist, lib);
+        let netlist_clean = netlist_report.is_clean();
+        show(&netlist_report, &mut errors, &mut validated);
+        // Lowering both exercises the builder's own checks (cycles,
+        // connectivity) and enables the graph-level validator.
+        if netlist_clean {
+            match ArcGraph::from_netlist(&netlist, lib) {
+                Ok(flat) => show(&validate_arc_graph(&flat), &mut errors, &mut validated),
+                Err(e) => {
+                    validated += 1;
+                    errors += 1;
+                    println!("graph: cannot lower netlist: {e}");
+                }
+            }
+        }
+    }
+    if let Some(path) = args.flags.get("model") {
+        let model = MacroModel::parse(&read_file(path)?)
+            .map_err(|e| CliError { msg: format!("{path}: {e}"), ..CliError::from(e) })?;
+        show(&model.validate(), &mut errors, &mut validated);
+    }
+    if let Some(path) = args.flags.get("gnn") {
+        validated += 1;
+        let model = GnnModel::from_text(&read_file(path)?)
+            .map_err(|e| CliError { class: ErrClass::Parse, msg: format!("{path}: {e}") })?;
+        let finite = model.weights_finite();
+        let round_trip = GnnModel::from_text(&model.to_text())
+            .map(|m| m.to_text() == model.to_text())
+            .unwrap_or(false);
+        let gnn_errors = usize::from(!finite) + usize::from(!round_trip);
+        errors += gnn_errors;
+        println!("gnn model: {gnn_errors} error(s), 0 warning(s)");
+        if !finite {
+            println!("  error [weights-nonfinite] model weights contain non-finite values");
+        }
+        if !round_trip {
+            println!("  error [round-trip-mismatch] serialised model does not round-trip");
+        }
+    }
+
+    if validated == 0 {
+        return Err(CliError::usage(
+            "nothing to validate: pass --lib, --design, --model, or --gnn",
+        ));
+    }
+    if errors > 0 {
+        return Err(CliError::validation(format!(
+            "{errors} validation error(s) across {validated} artifact(s)"
+        )));
+    }
+    eprintln!("all {validated} artifact(s) clean");
+    Ok(())
+}
+
+const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate> [--flag value] [--switch]
+  gen      --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
+  stats    --design <design.tmm> --lib <lib.tmm>
+  model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
+           [--method ours|itimerm|libabs|atm] [--gnn <gnn.tmm>] [--gnn-out <gnn.tmm>]
+           [--cppr] [--aocv]
+  time     --model <model.tmm> [--contexts <n>] [--context <ctx.tmm>] [--paths <k>]
+           [--cppr] [--aocv]
+  eval     --design <design.tmm> --lib <lib.tmm> --model <model.tmm>
+           [--contexts <n>] [--cppr] [--aocv]
+  context  --design <design.tmm> --lib <lib.tmm> [--seed <s>] --out <ctx.tmm>
+  validate [--lib <lib.tmm>] [--design <design.tmm>] [--model <model.tmm>] [--gnn <gnn.tmm>]
+exit codes: 0 ok, 1 usage, 2 i/o, 3 parse, 4 validation, 5 analysis";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(ErrClass::Usage as u8);
     };
     let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
         "gen" => cmd_gen(&args),
@@ -302,13 +472,14 @@ fn main() -> ExitCode {
         "time" => cmd_time(&args),
         "eval" => cmd_eval(&args),
         "context" => cmd_context(&args),
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        "validate" => cmd_validate(&args),
+        other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("tmm: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("tmm: {}", e.msg);
+            ExitCode::from(e.class as u8)
         }
     }
 }

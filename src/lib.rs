@@ -13,6 +13,8 @@
 //! - [`macromodel`] — ILM-based macro model generation and the iTimerM,
 //!   LibAbs, and ATM baselines.
 //! - [`core`] — the end-to-end framework tying everything together.
+//! - [`faults`] — deterministic corruption operators for robustness testing
+//!   (text-, library-, and graph-level fault injection).
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@
 //! ```
 pub use tmm_circuits as circuits;
 pub use tmm_core as core;
+pub use tmm_faults as faults;
 pub use tmm_gnn as gnn;
 pub use tmm_macromodel as macromodel;
 pub use tmm_sensitivity as sensitivity;

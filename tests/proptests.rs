@@ -68,7 +68,7 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let keep: Vec<bool> =
             (0..graph.node_count()).map(|_| rng.gen_bool(keep_bias)).collect();
-        reduce_graph(&mut graph, &keep, &ReducePolicy::default());
+        reduce_graph(&mut graph, &keep, &ReducePolicy::default()).unwrap();
         graph.validate().unwrap();
         prop_assert_eq!(
             graph.primary_inputs().len() + graph.primary_outputs().len(),

@@ -1,0 +1,167 @@
+//! Robustness integration: the hardened pipeline must survive corrupted
+//! inputs (quarantine), forced training divergence (backoff / rollback),
+//! and an unhealthy model (pure-ILM degraded fallback) — all with the
+//! outcome recorded in the returned summaries, never a panic or a wedged
+//! framework.
+
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::core::{Framework, FrameworkConfig, Stage};
+use timing_macro_gnn::faults::{corrupt_text, FaultOp};
+use timing_macro_gnn::gnn::TrainConfig;
+use timing_macro_gnn::sensitivity::TsOptions;
+use timing_macro_gnn::sta::graph::ArcGraph;
+use timing_macro_gnn::sta::liberty::Library;
+use timing_macro_gnn::sta::netlist::{Netlist, NetlistBuilder};
+
+fn quick_config() -> FrameworkConfig {
+    FrameworkConfig {
+        train: TrainConfig { epochs: 40, ..Default::default() },
+        ts: TsOptions { contexts: 2, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn design(name: &str, seed: u64, lib: &Library) -> Netlist {
+    CircuitSpec::sized(name, 400).seed(seed).generate(lib).unwrap()
+}
+
+/// A netlist that parses and builds but cannot be lowered to a timing
+/// graph: two inverters wired into a combinational loop.
+fn cyclic_design(lib: &Library) -> Netlist {
+    let mut b = NetlistBuilder::new("cyclic", lib);
+    let pi = b.input("in").unwrap();
+    let po = b.output("out").unwrap();
+    let buf = b.cell("u0", "BUFX1").unwrap();
+    let i1 = b.cell("i1", "INVX1").unwrap();
+    let i2 = b.cell("i2", "INVX1").unwrap();
+    let buf_a = b.pin_of(buf, "A").unwrap();
+    let buf_z = b.pin_of(buf, "Z").unwrap();
+    let i1_a = b.pin_of(i1, "A").unwrap();
+    let i1_z = b.pin_of(i1, "Z").unwrap();
+    let i2_a = b.pin_of(i2, "A").unwrap();
+    let i2_z = b.pin_of(i2, "Z").unwrap();
+    b.connect("n_in", pi, &[buf_a]).unwrap();
+    b.connect("n_out", buf_z, &[po]).unwrap();
+    b.connect("n1", i1_z, &[i2_a]).unwrap();
+    b.connect("n2", i2_z, &[i1_a]).unwrap();
+    b.finish().unwrap()
+}
+
+#[test]
+fn training_quarantines_broken_design_and_still_converges() {
+    let lib = Library::synthetic(17);
+    let designs = vec![
+        ("good_a".to_string(), design("good_a", 1, &lib)),
+        ("broken".to_string(), cyclic_design(&lib)),
+        ("good_b".to_string(), design("good_b", 2, &lib)),
+    ];
+    let mut fw = Framework::new(quick_config());
+    let summary = fw.train(&designs, &lib).unwrap();
+
+    assert_eq!(summary.quarantined.len(), 1, "exactly the broken design is skipped");
+    assert_eq!(summary.quarantined[0].name, "broken");
+    assert_eq!(summary.quarantined[0].stage, Stage::DataGeneration);
+    assert_eq!(summary.design_positive_rates.len(), 2, "both healthy designs trained");
+    assert!(fw.is_trained());
+    assert!(!fw.is_degraded());
+    assert!(summary.final_loss.is_finite());
+
+    // The surviving model still drives macro generation on unseen input.
+    let unseen = design("unseen", 9, &lib);
+    let flat = ArcGraph::from_netlist(&unseen, &lib).unwrap();
+    let outcome = fw.generate_macro(&flat).unwrap();
+    assert!(!outcome.degraded);
+    assert!(outcome.kept_pins > 0);
+}
+
+#[test]
+fn corrupted_model_import_fails_with_staged_error_or_degrades() {
+    let lib = Library::synthetic(17);
+    let designs = vec![("t".to_string(), design("t", 3, &lib))];
+    let mut fw = Framework::new(quick_config());
+    fw.train(&designs, &lib).unwrap();
+    let text = fw.export_model().unwrap();
+
+    // A sanity anchor: the pristine export must import cleanly.
+    let clean = Framework::import_model(quick_config(), &text).unwrap();
+    assert!(!clean.is_degraded());
+
+    // Every corruption operator, over many seeds, must either be caught
+    // at import (a structured `Stage::Import` error), import as a model
+    // the validator flags unhealthy (degraded framework), or happen to
+    // leave the text semantically intact — never panic, never hand back
+    // a framework that silently trusts poisoned weights.
+    for op in FaultOp::ALL {
+        for seed in 0..32u64 {
+            let bad = corrupt_text(op, &text, seed);
+            match Framework::import_model(quick_config(), &bad) {
+                Err(e) => assert_eq!(e.stage, Stage::Import),
+                Ok(imported) => {
+                    let unseen = design("unseen", 4, &lib);
+                    let flat = ArcGraph::from_netlist(&unseen, &lib).unwrap();
+                    let outcome = imported.generate_macro(&flat).unwrap();
+                    assert_eq!(outcome.degraded, imported.is_degraded());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_divergence_degrades_to_pure_ilm_fallback() {
+    let lib = Library::synthetic(17);
+    let designs = vec![("t".to_string(), design("t", 5, &lib))];
+    let mut fw = Framework::new(FrameworkConfig {
+        train: TrainConfig { epochs: 10, lr: 1e30, max_retries: 0, ..Default::default() },
+        ts: TsOptions { contexts: 2, ..Default::default() },
+        ..Default::default()
+    });
+    let summary = fw.train(&designs, &lib).unwrap();
+    assert!(summary.diverged, "an absurd learning rate must diverge");
+    assert!(summary.degraded);
+    assert!(fw.is_degraded());
+
+    // Degraded prediction keeps every live ILM pin instead of trusting
+    // the poisoned GNN, and says so.
+    let unseen = design("unseen", 6, &lib);
+    let flat = ArcGraph::from_netlist(&unseen, &lib).unwrap();
+    let outcome = fw.generate_macro(&flat).unwrap();
+    assert!(outcome.degraded);
+    assert_eq!(outcome.prediction.predicted_variant, 0);
+    assert!(outcome.kept_pins > 0);
+}
+
+#[test]
+fn divergence_with_retries_recovers_or_records_degradation() {
+    let lib = Library::synthetic(17);
+    let designs = vec![("t".to_string(), design("t", 7, &lib))];
+    // A learning rate high enough to blow up, with backoff retries
+    // enabled: the framework must either recover to a finite, usable
+    // model or degrade — and the summary must say which happened.
+    let mut fw = Framework::new(FrameworkConfig {
+        train: TrainConfig {
+            epochs: 20,
+            lr: 1e6,
+            max_retries: 2,
+            lr_backoff: 1e-4,
+            ..Default::default()
+        },
+        ts: TsOptions { contexts: 2, ..Default::default() },
+        ..Default::default()
+    });
+    let summary = fw.train(&designs, &lib).unwrap();
+    assert_eq!(summary.degraded, fw.is_degraded());
+    if summary.degraded {
+        assert!(summary.diverged);
+    } else {
+        assert!(summary.final_loss.is_finite());
+        assert!(summary.retries > 0 || !summary.diverged);
+    }
+
+    // Whichever path was taken, the framework still produces a model.
+    let unseen = design("unseen", 8, &lib);
+    let flat = ArcGraph::from_netlist(&unseen, &lib).unwrap();
+    let outcome = fw.generate_macro(&flat).unwrap();
+    assert_eq!(outcome.degraded, summary.degraded);
+    assert!(outcome.kept_pins > 0);
+}
