@@ -9,7 +9,9 @@ use tmm_bench::library;
 use tmm_circuits::designs::{eval_suite, training_suite};
 use tmm_core::{Framework, FrameworkConfig};
 use tmm_macromodel::extract_ilm;
-use tmm_sensitivity::{build_dataset, filter_insensitive, FilterOptions};
+use tmm_sensitivity::{
+    build_dataset, evaluate_ts, filter_insensitive, FilterOptions, TsEngine, TsOptions,
+};
 use tmm_sta::graph::ArcGraph;
 
 fn main() {
@@ -35,6 +37,48 @@ fn main() {
         "  filter (6 training designs)      : {:>8.2} s  (mean filter rate {:.1}%)",
         filter_time,
         100.0 * filter_rate / suite.len() as f64
+    );
+
+    // Stage 1a': the tentpole comparison — TS probing via the clone-per-pin
+    // engine versus the shared-core GraphView + cone-retime engine. Both are
+    // sequential here so the ratio isolates the engine, and the ts vectors
+    // must agree bit-for-bit.
+    let mut clone_time = 0.0;
+    let mut view_time = 0.0;
+    for e in &suite {
+        let flat = ArcGraph::from_netlist(&e.netlist, &lib).expect("lowering");
+        let (ilm, _) = extract_ilm(&flat).expect("ilm");
+        let f = filter_insensitive(&ilm, &FilterOptions::default()).expect("filter");
+        let base = TsOptions { cppr: config.cppr_mode, threads: 1, ..config.ts };
+        let t = Instant::now();
+        let ts_clone = evaluate_ts(
+            &ilm,
+            &f.survivors,
+            &TsOptions { engine: TsEngine::Clone, ..base },
+        )
+        .expect("clone TS");
+        clone_time += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let ts_view = evaluate_ts(
+            &ilm,
+            &f.survivors,
+            &TsOptions { engine: TsEngine::View, ..base },
+        )
+        .expect("view TS");
+        view_time += t.elapsed().as_secs_f64();
+        let identical = ts_clone
+            .ts
+            .iter()
+            .zip(&ts_view.ts)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(identical, "view TS must be bit-identical to clone TS on {}", e.name);
+    }
+    println!(
+        "  TS engine: clone-per-pin         : {clone_time:>8.2} s  (legacy engine)"
+    );
+    println!(
+        "  TS engine: view + cone retime    : {view_time:>8.2} s  ({:.1}x faster, ts bit-identical)",
+        clone_time / view_time.max(1e-12)
     );
 
     // Stage 1b: full TS data generation (includes the filter).

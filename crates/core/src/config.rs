@@ -81,6 +81,16 @@ impl FrameworkConfig {
         self
     }
 
+    /// Sets the worker-thread count used by TS data generation
+    /// (`1` = sequential, `0` = one worker per available hardware thread).
+    /// Thread count never changes results: TS sweeps are stitched back in
+    /// pin order, so any count is bit-identical to sequential.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.ts.threads = threads;
+        self
+    }
+
     /// Dataset options derived from this configuration.
     #[must_use]
     pub fn dataset_options(&self) -> DatasetOptions {
@@ -151,5 +161,12 @@ mod tests {
         let d = c.dataset_options();
         assert!(d.cppr_mode && d.with_cppr_feature);
         assert!(!d.regression);
+    }
+
+    #[test]
+    fn threads_flow_into_dataset_options() {
+        let c = FrameworkConfig::default().with_threads(4);
+        assert_eq!(c.ts.threads, 4);
+        assert_eq!(c.dataset_options().ts.threads, 4);
     }
 }

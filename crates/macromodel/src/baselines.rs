@@ -15,20 +15,19 @@ use tmm_sta::constraints::Context;
 use tmm_sta::graph::{ArcGraph, NodeId, NodeKind};
 use tmm_sta::propagate::Analysis;
 use tmm_sta::split::{mode_edge_iter, Split};
+use tmm_sta::view::TimingGraph;
 use tmm_sta::Result;
 
 /// Pins that every ILM-based method must keep regardless of sensitivity:
 /// pins driving a net connected to a primary output (their delay depends on
 /// the context output load) and pins directly feeding a primary output.
 #[must_use]
-pub fn output_variant_pins(graph: &ArcGraph) -> Vec<bool> {
+pub fn output_variant_pins<G: TimingGraph>(graph: &G) -> Vec<bool> {
     let mut keep = vec![false; graph.node_count()];
-    for (i, node) in graph.nodes().iter().enumerate() {
-        if node.dead {
-            continue;
-        }
-        if !node.po_loads.is_empty() {
-            keep[i] = true;
+    for (i, k) in keep.iter_mut().enumerate() {
+        let n = NodeId(i as u32);
+        if !graph.node_dead(n) && !graph.node(n).po_loads.is_empty() {
+            *k = true;
         }
     }
     for &po in graph.primary_outputs() {
@@ -45,7 +44,7 @@ pub fn output_variant_pins(graph: &ArcGraph) -> Vec<bool> {
 /// # Errors
 ///
 /// Propagates analysis errors (infallible for valid graphs).
-pub fn slew_range(graph: &ArcGraph) -> Result<Vec<f64>> {
+pub fn slew_range<G: TimingGraph>(graph: &G) -> Result<Vec<f64>> {
     let mut lo = Context::nominal(graph);
     for pi in &mut lo.pi {
         pi.slew = 5.0;
@@ -65,7 +64,7 @@ pub fn slew_range(graph: &ArcGraph) -> Result<Vec<f64>> {
     let mut range = vec![0.0f64; graph.node_count()];
     for i in 0..graph.node_count() {
         let n = NodeId(i as u32);
-        if graph.node(n).dead {
+        if graph.node_dead(n) {
             continue;
         }
         let (sl, sh) = (a_lo.slew(n), a_hi.slew(n));
@@ -160,6 +159,7 @@ pub fn generate_atm(flat: &ArcGraph, options: &MacroModelOptions) -> Result<Macr
         lut_slew_points: options.lut_slew_points.min(2),
         lut_load_points: options.lut_load_points.min(2),
         compress_luts: true,
+        reduce_engine: options.reduce_engine,
     };
     MacroModel::generate(flat, &keep, &opts)
 }
@@ -170,7 +170,7 @@ pub fn generate_atm(flat: &ArcGraph, options: &MacroModelOptions) -> Result<Macr
 /// # Errors
 ///
 /// Propagates analysis errors.
-pub fn slew_range_split(graph: &ArcGraph) -> Result<Vec<Split<f64>>> {
+pub fn slew_range_split<G: TimingGraph>(graph: &G) -> Result<Vec<Split<f64>>> {
     let range = slew_range(graph)?;
     Ok(range.into_iter().map(Split::uniform).collect())
 }

@@ -46,4 +46,6 @@ pub mod reduce;
 pub use eval::{evaluate, EvalOptions, EvalResult};
 pub use ilm::{extract_ilm, IlmMask, IlmRegion};
 pub use model::{GenStats, MacroModel, MacroModelOptions};
-pub use reduce::{reduce_graph, ReducePolicy, ReduceStats};
+pub use reduce::{
+    reduce_graph, reduce_graph_via_view, ReduceEngine, ReducePolicy, ReduceStats, ViewReduction,
+};

@@ -8,7 +8,7 @@
 
 use crate::ilm::extract_ilm;
 use crate::lut_select::compress_graph_luts;
-use crate::reduce::{reduce_graph, ReducePolicy, ReduceStats};
+use crate::reduce::{reduce_graph, reduce_graph_via_view, ReduceEngine, ReducePolicy, ReduceStats};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use tmm_sta::constraints::Context;
@@ -35,6 +35,11 @@ pub struct MacroModelOptions {
     pub allow_growth: bool,
     /// Skip LUT index selection (ablation hook).
     pub compress_luts: bool,
+    /// How merges are executed: [`ReduceEngine::View`] edits a copy-on-write
+    /// overlay over a frozen [`tmm_sta::view::DesignCore`] and materialises
+    /// once at the end; [`ReduceEngine::InPlace`] mutates the ILM clone
+    /// directly. Both produce byte-identical models.
+    pub reduce_engine: ReduceEngine,
 }
 
 impl Default for MacroModelOptions {
@@ -45,6 +50,7 @@ impl Default for MacroModelOptions {
             max_bypass: 64,
             allow_growth: false,
             compress_luts: true,
+            reduce_engine: ReduceEngine::View,
         }
     }
 }
@@ -60,8 +66,11 @@ pub struct GenStats {
     pub flat_pins: usize,
     /// Serial/parallel merge counters.
     pub reduce: ReduceStats,
-    /// Peak estimated working memory during generation in bytes (flat graph
-    /// + ILM clone; a documented substitution for the paper's RSS numbers).
+    /// Peak estimated working memory during generation in bytes (a
+    /// documented substitution for the paper's RSS numbers). Under
+    /// [`ReduceEngine::InPlace`] this is flat graph + ILM clone; under
+    /// [`ReduceEngine::View`] the frozen core is counted once and the
+    /// copy-on-write overlay is added on top.
     pub gen_memory: usize,
 }
 
@@ -94,12 +103,24 @@ impl MacroModel {
         assert_eq!(keep.len(), flat.node_count(), "keep mask size mismatch");
         let start = Instant::now();
         let (mut graph, _mask) = extract_ilm(flat)?;
-        let gen_memory = flat.memory_estimate() + graph.memory_estimate();
-        let reduce = reduce_graph(
-            &mut graph,
-            keep,
-            &ReducePolicy { max_bypass: options.max_bypass, allow_growth: options.allow_growth },
-        )?;
+        let policy =
+            ReducePolicy { max_bypass: options.max_bypass, allow_growth: options.allow_growth };
+        let (gen_memory, reduce) = match options.reduce_engine {
+            ReduceEngine::View => {
+                // The frozen core is shared (counted once); edits live in a
+                // small overlay until a single materialisation at the end.
+                let core = tmm_sta::view::DesignCore::freeze(&graph);
+                let vr = reduce_graph_via_view(&core, keep, &policy)?;
+                let mem = flat.memory_estimate() + core.memory_estimate() + vr.overlay_bytes;
+                graph = vr.graph;
+                (mem, vr.stats)
+            }
+            ReduceEngine::InPlace => {
+                let mem = flat.memory_estimate() + graph.memory_estimate();
+                let reduce = reduce_graph(&mut graph, keep, &policy)?;
+                (mem, reduce)
+            }
+        };
         if options.compress_luts {
             compress_graph_luts(&mut graph, options.lut_slew_points, options.lut_load_points);
         }
@@ -587,6 +608,42 @@ mod tests {
         // dangling arc reference
         let src = "macro_model \"x\" { wire 0 -> 1 delay 1e0 degrade 1e0 clock 0; }";
         assert!(MacroModel::parse(src).is_err());
+    }
+
+    #[test]
+    fn view_engine_serializes_byte_identically_to_in_place() {
+        let g = flat();
+        for keep_all in [true, false] {
+            let keep = vec![keep_all; g.node_count()];
+            for compress in [true, false] {
+                let view_model = MacroModel::generate(
+                    &g,
+                    &keep,
+                    &MacroModelOptions {
+                        compress_luts: compress,
+                        reduce_engine: ReduceEngine::View,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let in_place_model = MacroModel::generate(
+                    &g,
+                    &keep,
+                    &MacroModelOptions {
+                        compress_luts: compress,
+                        reduce_engine: ReduceEngine::InPlace,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(view_model.stats().reduce, in_place_model.stats().reduce);
+                assert_eq!(
+                    view_model.serialize(),
+                    in_place_model.serialize(),
+                    "keep_all={keep_all} compress={compress}: engines must agree byte-for-byte"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,8 +8,25 @@
 //! after each bypass so the arc count stays bounded by kept-pin pairs even
 //! under ETM-style total collapse.
 
+use std::sync::Arc;
 use tmm_sta::graph::{ArcGraph, NodeId, NodeKind};
+use tmm_sta::view::{DesignCore, GraphView, TimingGraph};
 use tmm_sta::Result;
+
+/// Which editing engine drives the reduction. Both engines make identical
+/// merge decisions in identical order and allocate replacement arcs the
+/// same ids, so the resulting graphs — and the serialised macro models —
+/// are byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReduceEngine {
+    /// Record edits on a copy-on-write [`GraphView`] over a frozen core and
+    /// materialise once at the end (default; the ILM is never cloned).
+    #[default]
+    View,
+    /// Mutate the [`ArcGraph`] in place (the pre-refactor behaviour; kept
+    /// as the byte-identity oracle).
+    InPlace,
+}
 
 /// Counters describing one reduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -135,6 +152,112 @@ pub fn reduce_graph(
     Ok(stats)
 }
 
+/// Outcome of a view-driven reduction.
+#[derive(Debug)]
+pub struct ViewReduction {
+    /// The materialised reduced graph.
+    pub graph: ArcGraph,
+    /// Merge counters (identical to what [`reduce_graph`] reports).
+    pub stats: ReduceStats,
+    /// Bytes of copy-on-write overlay the reduction accumulated — the
+    /// only per-reduction memory besides the shared core.
+    pub overlay_bytes: usize,
+}
+
+/// Reduces a design through a copy-on-write [`GraphView`] over its frozen
+/// `core`, materialising the result once at the end. Mirrors
+/// [`reduce_graph`] decision-for-decision (same visit order, same budget
+/// checks, same replacement-arc ids), so the materialised graph is
+/// byte-identical to in-place reduction of the same graph.
+///
+/// # Errors
+///
+/// Returns an error when the materialised graph fails to re-toposort —
+/// impossible for reductions of a valid DAG.
+///
+/// # Panics
+///
+/// Panics if `keep.len() != core.node_count()`.
+pub fn reduce_graph_via_view(
+    core: &Arc<DesignCore>,
+    keep: &[bool],
+    policy: &ReducePolicy,
+) -> Result<ViewReduction> {
+    assert_eq!(keep.len(), core.node_count(), "keep mask size mismatch");
+    let mut view = GraphView::new(core.clone());
+    let mut stats = ReduceStats::default();
+    let order: Vec<NodeId> = core.topo_order().to_vec();
+    for _pass in 0..4 {
+        let mut progressed = false;
+        stats.refused = 0;
+        for &n in &order {
+            if view.node_dead(n) || view.node(n).kind != NodeKind::Internal || keep[n.index()]
+            {
+                continue;
+            }
+            let fi = view.in_degree(n);
+            let fo = view.out_degree(n);
+            let grows = fi * fo > fi + fo;
+            if !view.can_bypass_with_limit(n, policy.max_bypass)
+                || (grows && !policy.allow_growth)
+            {
+                stats.refused += 1;
+                continue;
+            }
+            let sources: Vec<NodeId> = view.fanin(n).map(|a| view.arc(a).from).collect();
+            let targets: Vec<NodeId> = view.fanout(n).map(|a| view.arc(a).to).collect();
+            if view.bypass_node_with_limit(n, policy.max_bypass).is_err() {
+                // Eligibility was checked above, so this is a graph in a
+                // state the editor refuses to touch; keep the pin instead
+                // of panicking.
+                stats.refused += 1;
+                continue;
+            }
+            stats.bypassed += 1;
+            progressed = true;
+            for &u in &sources {
+                for &v in &targets {
+                    stats.parallel_merged += view.coalesce_parallel(u, v);
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Final sweep for any parallel arcs created between kept nodes by
+    // distinct bypasses that shared no endpoint pair at merge time.
+    let node_ids: Vec<NodeId> = (0..core.node_count() as u32)
+        .map(NodeId)
+        .filter(|&n| !view.node_dead(n))
+        .collect();
+    for &u in &node_ids {
+        let mut targets: Vec<NodeId> = view.fanout(u).map(|a| view.arc(a).to).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        for v in targets {
+            stats.parallel_merged += view.coalesce_parallel(u, v);
+        }
+    }
+    // Prune dangling internal pins until fixpoint — but never pins the
+    // keep-set asked to preserve (keep-all must be the identity).
+    loop {
+        let mut removed = 0usize;
+        for (i, &kept) in keep.iter().enumerate() {
+            if !kept && view.prune_dangling(NodeId(i as u32)) {
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            break;
+        }
+        stats.pruned += removed;
+    }
+    let overlay_bytes = view.memory_estimate();
+    let graph = view.materialize()?;
+    Ok(ViewReduction { graph, stats, overlay_bytes })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +348,66 @@ mod tests {
 
         assert!(err_all <= err_none + 1e-12, "{err_all} vs {err_none}");
         assert_eq!(err_all, 0.0);
+    }
+
+    #[test]
+    fn view_reduction_matches_in_place_reduction_exactly() {
+        let g0 = small_graph();
+        let n = g0.node_count();
+        let keep_alternating: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let cases: Vec<(Vec<bool>, ReducePolicy)> = vec![
+            (vec![false; n], ReducePolicy { max_bypass: 4096, allow_growth: true }),
+            (vec![false; n], ReducePolicy::default()),
+            (vec![true; n], ReducePolicy::default()),
+            (keep_alternating, ReducePolicy::default()),
+        ];
+        for (keep, policy) in cases {
+            let mut in_place = g0.clone();
+            let stats_a = reduce_graph(&mut in_place, &keep, &policy).unwrap();
+            let core = DesignCore::freeze(&g0);
+            let via_view = reduce_graph_via_view(&core, &keep, &policy).unwrap();
+            assert_eq!(stats_a, via_view.stats, "merge counters must agree");
+            let v = &via_view.graph;
+            assert_eq!(in_place.node_count(), v.node_count());
+            assert_eq!(in_place.arcs().len(), v.arcs().len(), "same arc id allocation");
+            for (a, b) in in_place.nodes().iter().zip(v.nodes()) {
+                assert_eq!(a.dead, b.dead, "node liveness must agree ({})", a.name);
+            }
+            for (i, (a, b)) in in_place.arcs().iter().zip(v.arcs()).enumerate() {
+                assert_eq!((a.from, a.to, a.dead), (b.from, b.to, b.dead), "arc {i}");
+                assert_eq!(a.is_clock, b.is_clock, "arc {i} clock flag");
+            }
+            assert_eq!(in_place.topo_order(), v.topo_order());
+            let ctx = Context::nominal(&g0);
+            let x = Analysis::run(&in_place, &ctx).unwrap();
+            let y = Analysis::run(v, &ctx).unwrap();
+            assert_eq!(x.boundary().diff(y.boundary()).max, 0.0, "bit-identical timing");
+        }
+    }
+
+    #[test]
+    fn view_reduction_overlay_is_accounted() {
+        let g0 = small_graph();
+        let core = DesignCore::freeze(&g0);
+        let keep = vec![false; g0.node_count()];
+        let r = reduce_graph_via_view(
+            &core,
+            &keep,
+            &ReducePolicy { max_bypass: 4096, allow_growth: true },
+        )
+        .unwrap();
+        assert!(r.overlay_bytes > 0, "a reducing run must record overlay edits");
+        // A pristine (keep-everything, nothing-merged) view costs almost
+        // nothing next to the shared core: that is the point of the split.
+        let keep_all = vec![true; g0.node_count()];
+        let pristine =
+            reduce_graph_via_view(&core, &keep_all, &ReducePolicy::default()).unwrap();
+        assert!(
+            pristine.overlay_bytes < core.memory_estimate() / 4,
+            "near-pristine overlay ({}) must be small next to the core ({})",
+            pristine.overlay_bytes,
+            core.memory_estimate()
+        );
     }
 
     #[test]

@@ -8,10 +8,11 @@
 
 use crate::features::{extract_features, pin_graph_edges};
 use crate::filter::{filter_insensitive, FilterOptions, FilterResult};
-use crate::ts::{evaluate_ts, TsOptions, TsResult};
+use crate::ts::{evaluate_ts, evaluate_ts_with_core, TsEngine, TsOptions, TsResult};
 use tmm_gnn::{NeighborMode, NodeGraph, TrainSample};
 use tmm_sta::cppr::cppr_crucial_pins;
 use tmm_sta::graph::ArcGraph;
+use tmm_sta::view::DesignCore;
 use tmm_sta::Result;
 
 /// Options for dataset generation.
@@ -55,12 +56,27 @@ pub struct PinDataset {
 pub fn build_dataset(ilm: &ArcGraph, opts: &DatasetOptions) -> Result<PinDataset> {
     let mut filter_opts = opts.filter;
     filter_opts.keep_cppr_pins = opts.cppr_mode;
-    let filter = filter_insensitive(ilm, &filter_opts)?;
 
     let mut ts_opts = opts.ts;
     ts_opts.cppr = opts.cppr_mode;
     ts_opts.aocv = ts_opts.aocv || opts.aocv_mode;
-    let ts = evaluate_ts(ilm, &filter.survivors, &ts_opts)?;
+
+    // Under the view engine the design is frozen ONCE here and shared by
+    // both the filter's extreme-slew propagation and every TS probe —
+    // per-pin clones never happen on this path.
+    let (filter, ts) = match ts_opts.engine {
+        TsEngine::View => {
+            let core = DesignCore::freeze(ilm);
+            let filter = filter_insensitive(&*core, &filter_opts)?;
+            let ts = evaluate_ts_with_core(&core, &filter.survivors, &ts_opts)?;
+            (filter, ts)
+        }
+        TsEngine::Clone => {
+            let filter = filter_insensitive(ilm, &filter_opts)?;
+            let ts = evaluate_ts(ilm, &filter.survivors, &ts_opts)?;
+            (filter, ts)
+        }
+    };
 
     let mut labels = if opts.regression {
         ts.regression_targets()

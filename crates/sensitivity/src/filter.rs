@@ -10,7 +10,8 @@
 
 use tmm_macromodel::baselines::{output_variant_pins, slew_range};
 use tmm_sta::cppr::cppr_crucial_pins;
-use tmm_sta::graph::{ArcGraph, NodeId, NodeKind};
+use tmm_sta::graph::{NodeId, NodeKind};
+use tmm_sta::view::TimingGraph;
 use tmm_sta::Result;
 
 /// Options for the insensitive-pin filter.
@@ -63,13 +64,16 @@ impl FilterResult {
 /// # Errors
 ///
 /// Propagates analysis errors from the extreme-slew propagation.
-pub fn filter_insensitive(graph: &ArcGraph, opts: &FilterOptions) -> Result<FilterResult> {
+pub fn filter_insensitive<G: TimingGraph>(
+    graph: &G,
+    opts: &FilterOptions,
+) -> Result<FilterResult> {
     let sd = slew_range(graph)?;
     // Candidates: live internal pins (the only removable kind).
     let candidate: Vec<bool> = (0..graph.node_count())
         .map(|i| {
             let n = NodeId(i as u32);
-            !graph.node(n).dead && graph.node(n).kind == NodeKind::Internal
+            !graph.node_dead(n) && graph.node(n).kind == NodeKind::Internal
         })
         .collect();
     // Standardise over candidates only.
@@ -109,6 +113,7 @@ pub fn filter_insensitive(graph: &ArcGraph, opts: &FilterOptions) -> Result<Filt
 mod tests {
     use super::*;
     use tmm_circuits::CircuitSpec;
+    use tmm_sta::graph::ArcGraph;
     use tmm_sta::liberty::Library;
 
     fn graph(banks: usize, depth: usize) -> ArcGraph {

@@ -40,4 +40,4 @@ pub mod ts;
 pub use dataset::{build_dataset, DatasetOptions, PinDataset};
 pub use features::{extract_features, pin_graph_edges, BASE_FEATURES, FEATURES_WITH_CPPR};
 pub use filter::{filter_insensitive, FilterOptions, FilterResult};
-pub use ts::{evaluate_ts, TsOptions, TsResult};
+pub use ts::{evaluate_ts, evaluate_ts_with_core, TsEngine, TsFailure, TsOptions, TsResult};

@@ -6,13 +6,39 @@
 //! contexts. Removal here *is* the serial merge used by macro generation
 //! ([`ArcGraph::bypass_node`]), so TS measures exactly the error that
 //! merging the pin into the model would cause.
+//!
+//! Two evaluation engines produce bit-identical results:
+//!
+//! - [`TsEngine::View`] (default) freezes the design once into an
+//!   [`Arc`]-shared [`DesignCore`], runs one [`ReferenceAnalysis`] per
+//!   context, and probes each pin with a copy-on-write [`GraphView`] that
+//!   is re-timed only over the edit's cone — O(cone) per probe.
+//! - [`TsEngine::Clone`] clones the full graph and re-runs a full analysis
+//!   per probe — O(graph) per probe; kept as the equivalence oracle.
 
+use std::sync::Arc;
 use tmm_sta::compare::BoundarySnapshot;
 use tmm_sta::constraints::{Context, ContextSampler};
 use tmm_sta::graph::{ArcGraph, NodeId};
 use tmm_sta::propagate::{Analysis, AnalysisOptions};
+use tmm_sta::retime::{ReferenceAnalysis, RetimeScratch};
 use tmm_sta::split::{mode_edge_iter, Edge};
+use tmm_sta::view::{DesignCore, GraphView, TimingGraph};
 use tmm_sta::Result;
+
+/// Which probe engine [`evaluate_ts`] uses. Both engines are bit-identical
+/// (enforced by tests and the cross-crate equivalence suite); they differ
+/// only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TsEngine {
+    /// Copy-on-write [`GraphView`] probes re-timed over the edit cone
+    /// against a shared [`ReferenceAnalysis`] of the frozen core.
+    #[default]
+    View,
+    /// Clone the whole graph per probe and re-run a full analysis (the
+    /// pre-refactor behaviour; O(graph) per probe).
+    Clone,
+}
 
 /// Options for one TS evaluation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,9 +47,10 @@ pub struct TsOptions {
     pub contexts: usize,
     /// Context sampler seed.
     pub seed: u64,
-    /// Worker threads for the per-pin evaluation loop (1 = sequential).
-    /// Pin removals are independent, so the sweep parallelises perfectly;
-    /// results are deterministic regardless of thread count.
+    /// Worker threads for the per-pin evaluation loop (1 = sequential,
+    /// 0 = one per available hardware thread). Pin removals are
+    /// independent, so the sweep parallelises perfectly; results are
+    /// deterministic regardless of thread count.
     pub threads: usize,
     /// Run the underlying analyses with CPPR.
     pub cppr: bool,
@@ -32,6 +59,8 @@ pub struct TsOptions {
     pub aocv: bool,
     /// Values below this count as "zero TS" when labelling.
     pub zero_eps: f64,
+    /// Probe engine (cone-limited view by default).
+    pub engine: TsEngine,
 }
 
 impl Default for TsOptions {
@@ -43,21 +72,36 @@ impl Default for TsOptions {
             cppr: false,
             aocv: false,
             zero_eps: 1e-6,
+            engine: TsEngine::View,
         }
     }
+}
+
+/// A per-pin evaluation failure that was quarantined instead of aborting
+/// the sweep. The pin keeps `NaN` TS (and is conservatively labelled
+/// variant downstream, like a refused bypass).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsFailure {
+    /// Node index of the failed probe.
+    pub node: usize,
+    /// Rendered error cause.
+    pub cause: String,
 }
 
 /// Result of a TS evaluation.
 #[derive(Debug, Clone)]
 pub struct TsResult {
     /// Per-node TS; `NaN` for pins that were not evaluated (not a
-    /// candidate, or not removable).
+    /// candidate, not removable, or quarantined).
     pub ts: Vec<f64>,
-    /// Number of pins actually evaluated.
+    /// Number of pins successfully evaluated.
     pub evaluated: usize,
     /// Number of candidate pins that could not be bypassed (kept
     /// conservatively; they get `NaN`).
     pub skipped: usize,
+    /// Per-pin failures quarantined during the sweep (each pin keeps `NaN`
+    /// and the sweep continues).
+    pub failures: Vec<TsFailure>,
 }
 
 impl TsResult {
@@ -127,18 +171,196 @@ fn relative_diff(before: &BoundarySnapshot, after: &BoundarySnapshot) -> [f64; 4
     out
 }
 
+/// Resolves the configured thread count: 0 means one worker per available
+/// hardware thread.
+fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// Runs `eval` over `work` on `threads` workers (sequentially when 1),
+/// quarantining per-pin failures. Work order — and therefore the failure
+/// list — is deterministic regardless of thread count.
+fn sweep<F>(
+    work: &[usize],
+    threads: usize,
+    ts: &mut [f64],
+    failures: &mut Vec<TsFailure>,
+    eval: F,
+) -> Result<()>
+where
+    F: Fn(usize) -> Result<f64> + Sync,
+{
+    let outcomes: Vec<(usize, std::result::Result<f64, String>)> = if threads <= 1 {
+        work.iter()
+            .map(|&i| (i, eval(i).map_err(|e| e.to_string())))
+            .collect()
+    } else {
+        // Pin removals are independent: chunk the work list across scoped
+        // workers and stitch results back by index (deterministic).
+        let chunk = work.len().div_ceil(threads);
+        let parts = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(|| -> Vec<(usize, std::result::Result<f64, String>)> {
+                        part.iter()
+                            .map(|&i| (i, eval(i).map_err(|e| e.to_string())))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => Ok(r),
+                    // A worker panic is a bug, not an input error; surface
+                    // it as a structured error instead of aborting the
+                    // whole process from a non-main thread.
+                    Err(_) => {
+                        Err(tmm_sta::StaError::IllegalEdit("TS worker panicked".into()))
+                    }
+                })
+                .collect::<Result<Vec<_>>>()
+        })?;
+        parts.into_iter().flatten().collect()
+    };
+    for (i, outcome) in outcomes {
+        match outcome {
+            Ok(v) => ts[i] = v,
+            Err(cause) => failures.push(TsFailure { node: i, cause }),
+        }
+    }
+    Ok(())
+}
+
 /// Evaluates the TS of every candidate pin of `graph` (Fig. 5 flow).
 /// `candidates[i] == true` requests evaluation of node `i`; ports, FF pins
-/// and dead nodes are silently skipped.
+/// and dead nodes are silently skipped. Dispatches on
+/// [`TsOptions::engine`]; the default view engine freezes the graph into a
+/// [`DesignCore`] internally — callers that already hold a frozen core
+/// should use [`evaluate_ts_with_core`] to skip the freeze.
 ///
 /// # Errors
 ///
-/// Propagates analysis errors (infallible for valid graphs).
+/// Propagates analysis errors (infallible for valid graphs). Per-pin probe
+/// failures do *not* abort the sweep; they are quarantined into
+/// [`TsResult::failures`].
 ///
 /// # Panics
 ///
 /// Panics if `candidates.len() != graph.node_count()`.
 pub fn evaluate_ts(graph: &ArcGraph, candidates: &[bool], opts: &TsOptions) -> Result<TsResult> {
+    match opts.engine {
+        TsEngine::View => {
+            let core = DesignCore::freeze(graph);
+            evaluate_ts_with_core(&core, candidates, opts)
+        }
+        TsEngine::Clone => evaluate_ts_cloning(graph, candidates, opts),
+    }
+}
+
+/// View-engine TS evaluation over an already-frozen core. One
+/// [`ReferenceAnalysis`] per context is shared (by reference) across all
+/// worker threads; each probe builds an O(1) [`GraphView`], bypasses its
+/// pin, and re-times only the affected cone.
+///
+/// # Errors
+///
+/// Propagates reference-analysis errors; per-pin failures are quarantined.
+///
+/// # Panics
+///
+/// Panics if `candidates.len() != core.node_count()`.
+pub fn evaluate_ts_with_core(
+    core: &Arc<DesignCore>,
+    candidates: &[bool],
+    opts: &TsOptions,
+) -> Result<TsResult> {
+    let n = core.node_count();
+    assert_eq!(candidates.len(), n, "candidate mask size mismatch");
+    let analysis_opts = AnalysisOptions { cppr: opts.cppr, aocv: opts.aocv };
+    let mut sampler = ContextSampler::new(opts.seed);
+    let contexts: Vec<Context> = sampler.sample_many(&**core, opts.contexts.max(1));
+    let references: Vec<ReferenceAnalysis> = contexts
+        .into_iter()
+        .map(|c| ReferenceAnalysis::new(core.clone(), c, analysis_opts))
+        .collect::<Result<_>>()?;
+
+    let probe = GraphView::new(core.clone());
+    let mut ts = vec![f64::NAN; n];
+    let mut skipped = 0usize;
+    let mut work: Vec<usize> = Vec::new();
+    for (i, &wanted) in candidates.iter().enumerate() {
+        if !wanted {
+            continue;
+        }
+        let nid = NodeId(i as u32);
+        if probe.node_dead(nid) {
+            continue;
+        }
+        if !probe.can_bypass(nid) {
+            skipped += 1;
+            continue;
+        }
+        work.push(i);
+    }
+
+    let threads = resolve_threads(opts.threads).min(work.len().max(1));
+    // Scratch state is per-thread; retime resets it per probe, so one
+    // scratch serves every reference (they share node count).
+    let scratch_proto: RetimeScratch = references[0].scratch();
+    let eval_pin = |i: usize, scratch: &mut RetimeScratch| -> Result<f64> {
+        let mut view = GraphView::new(core.clone());
+        view.bypass_node(NodeId(i as u32))?;
+        let mut total = 0.0f64;
+        for reference in &references {
+            let edited = reference.retime(&view, scratch)?;
+            let cats = relative_diff(reference.boundary(), &edited);
+            total += cats.iter().sum::<f64>() / 4.0;
+        }
+        Ok(total / references.len() as f64)
+    };
+    let mut failures = Vec::new();
+    if threads <= 1 {
+        let mut scratch = scratch_proto;
+        for &i in &work {
+            match eval_pin(i, &mut scratch) {
+                Ok(v) => ts[i] = v,
+                Err(e) => failures.push(TsFailure { node: i, cause: e.to_string() }),
+            }
+        }
+    } else {
+        let scratch_proto = &scratch_proto;
+        let eval_pin = &eval_pin;
+        sweep(&work, threads, &mut ts, &mut failures, move |i| {
+            // Each sweep closure invocation runs on some worker; clone a
+            // fresh scratch per probe is wasteful, so use a thread-local.
+            thread_local! {
+                static SCRATCH: std::cell::RefCell<Option<RetimeScratch>> =
+                    const { std::cell::RefCell::new(None) };
+            }
+            SCRATCH.with(|cell| {
+                let mut slot = cell.borrow_mut();
+                let scratch = slot.get_or_insert_with(|| scratch_proto.clone());
+                eval_pin(i, scratch)
+            })
+        })?;
+    }
+    let evaluated = work.len() - failures.len();
+    Ok(TsResult { ts, evaluated, skipped, failures })
+}
+
+/// Clone-engine TS evaluation (one full-graph clone and full analysis per
+/// probe). Retained as the bit-exact oracle for the view engine.
+fn evaluate_ts_cloning(
+    graph: &ArcGraph,
+    candidates: &[bool],
+    opts: &TsOptions,
+) -> Result<TsResult> {
     assert_eq!(candidates.len(), graph.node_count(), "candidate mask size mismatch");
     let analysis_opts = AnalysisOptions { cppr: opts.cppr, aocv: opts.aocv };
     let mut sampler = ContextSampler::new(opts.seed);
@@ -151,12 +373,9 @@ pub fn evaluate_ts(graph: &ArcGraph, candidates: &[bool], opts: &TsOptions) -> R
     let mut ts = vec![f64::NAN; graph.node_count()];
     let mut skipped = 0usize;
     let mut work: Vec<usize> = Vec::new();
-    for i in 0..graph.node_count() {
-        if !candidates[i] {
-            continue;
-        }
+    for (i, &candidate) in candidates.iter().enumerate() {
         let n = NodeId(i as u32);
-        if graph.node(n).dead {
+        if !candidate || graph.node(n).dead {
             continue;
         }
         if !graph.can_bypass(n) {
@@ -179,45 +398,11 @@ pub fn evaluate_ts(graph: &ArcGraph, candidates: &[bool], opts: &TsOptions) -> R
         Ok(total / contexts.len() as f64)
     };
 
-    let threads = opts.threads.max(1).min(work.len().max(1));
-    if threads <= 1 {
-        for &i in &work {
-            ts[i] = eval_pin(i)?;
-        }
-    } else {
-        // Pin removals are independent: chunk the work list across scoped
-        // workers and stitch results back by index (deterministic).
-        let chunk = work.len().div_ceil(threads);
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || -> Result<Vec<(usize, f64)>> {
-                        part.iter().map(|&i| Ok((i, eval_pin(i)?))).collect()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    // A worker panic is a bug, not an input error; surface
-                    // it as a structured error instead of aborting the
-                    // whole process from a non-main thread.
-                    Err(_) => Err(tmm_sta::StaError::IllegalEdit(
-                        "TS worker panicked".into(),
-                    )),
-                })
-                .collect::<Result<Vec<_>>>()
-        })?;
-        for part in results {
-            for (i, v) in part {
-                ts[i] = v;
-            }
-        }
-    }
-    let evaluated = work.len();
-    Ok(TsResult { ts, evaluated, skipped })
+    let threads = resolve_threads(opts.threads).min(work.len().max(1));
+    let mut failures = Vec::new();
+    sweep(&work, threads, &mut ts, &mut failures, eval_pin)?;
+    let evaluated = work.len() - failures.len();
+    Ok(TsResult { ts, evaluated, skipped, failures })
 }
 
 #[cfg(test)]
@@ -265,6 +450,63 @@ mod tests {
         // TS values are relative quantities: small positives
         let finite: Vec<f64> = a.ts.iter().copied().filter(|t| t.is_finite()).collect();
         assert!(finite.iter().all(|&t| (0.0..10.0).contains(&t)));
+        assert!(a.failures.is_empty(), "healthy sweep quarantines nothing");
+    }
+
+    #[test]
+    fn view_engine_matches_clone_engine_bit_exactly() {
+        let g = graph();
+        let cand = internal_candidates(&g);
+        for (threads_v, threads_c) in [(1, 1), (3, 2)] {
+            let view = evaluate_ts(
+                &g,
+                &cand,
+                &TsOptions {
+                    contexts: 2,
+                    threads: threads_v,
+                    engine: TsEngine::View,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let clone = evaluate_ts(
+                &g,
+                &cand,
+                &TsOptions {
+                    contexts: 2,
+                    threads: threads_c,
+                    engine: TsEngine::Clone,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(view.evaluated, clone.evaluated);
+            assert_eq!(view.skipped, clone.skipped);
+            for (i, (a, b)) in view.ts.iter().zip(&clone.ts).enumerate() {
+                if a.is_finite() || b.is_finite() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "engines disagree on node {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_core_entry_point_matches_flat_entry_point() {
+        let g = graph();
+        let cand = internal_candidates(&g);
+        let opts = TsOptions { contexts: 2, ..Default::default() };
+        let flat = evaluate_ts(&g, &cand, &opts).unwrap();
+        let core = DesignCore::freeze(&g);
+        let shared = evaluate_ts_with_core(&core, &cand, &opts).unwrap();
+        for (a, b) in flat.ts.iter().zip(&shared.ts) {
+            if a.is_finite() || b.is_finite() {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]
@@ -311,7 +553,12 @@ mod tests {
 
     #[test]
     fn labels_threshold_on_zero_eps() {
-        let r = TsResult { ts: vec![f64::NAN, 0.0, 1e-9, 0.5], evaluated: 3, skipped: 0 };
+        let r = TsResult {
+            ts: vec![f64::NAN, 0.0, 1e-9, 0.5],
+            evaluated: 3,
+            skipped: 0,
+            failures: Vec::new(),
+        };
         assert_eq!(r.labels(1e-7), vec![0.0, 0.0, 0.0, 1.0]);
         assert_eq!(r.regression_targets(), vec![0.0, 0.0, 1e-9 as f32, 0.5]);
     }
@@ -320,13 +567,24 @@ mod tests {
     fn parallel_evaluation_matches_sequential_exactly() {
         let g = graph();
         let cand = internal_candidates(&g);
-        let seq = evaluate_ts(&g, &cand, &TsOptions { contexts: 2, threads: 1, ..Default::default() })
+        for engine in [TsEngine::View, TsEngine::Clone] {
+            let seq = evaluate_ts(
+                &g,
+                &cand,
+                &TsOptions { contexts: 2, threads: 1, engine, ..Default::default() },
+            )
             .unwrap();
-        let par = evaluate_ts(&g, &cand, &TsOptions { contexts: 2, threads: 4, ..Default::default() })
+            // threads == 0 resolves to available parallelism.
+            let par = evaluate_ts(
+                &g,
+                &cand,
+                &TsOptions { contexts: 2, threads: 0, engine, ..Default::default() },
+            )
             .unwrap();
-        assert_eq!(seq.evaluated, par.evaluated);
-        for (a, b) in seq.ts.iter().zip(&par.ts) {
-            assert_eq!(a.to_bits(), b.to_bits(), "thread count must not change results");
+            assert_eq!(seq.evaluated, par.evaluated);
+            for (a, b) in seq.ts.iter().zip(&par.ts) {
+                assert_eq!(a.to_bits(), b.to_bits(), "thread count must not change results");
+            }
         }
     }
 

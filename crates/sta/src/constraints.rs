@@ -7,8 +7,8 @@
 //! paper generates "several sets of boundary timing constraints" this way
 //! for timing-sensitivity evaluation (§4.1) and model-accuracy validation.
 
-use crate::graph::ArcGraph;
 use crate::split::Split;
+use crate::view::TimingGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,9 +51,9 @@ impl Default for ClockSpec {
 /// One full set of boundary timing constraints for a design.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Context {
-    /// Per-PI constraints, indexed like [`ArcGraph::primary_inputs`].
+    /// Per-PI constraints, indexed like [`TimingGraph::primary_inputs`].
     pub pi: Vec<PiConstraint>,
-    /// Per-PO constraints, indexed like [`ArcGraph::primary_outputs`].
+    /// Per-PO constraints, indexed like [`TimingGraph::primary_outputs`].
     pub po: Vec<PoConstraint>,
     /// Clock specification.
     pub clock: ClockSpec,
@@ -61,9 +61,12 @@ pub struct Context {
 
 impl Context {
     /// A deterministic nominal context: zero arrivals, 20 ps input slew,
-    /// 4 fF output loads, required times at one clock period.
+    /// 4 fF output loads, required times at one clock period. Depends only
+    /// on the graph's port counts, so a frozen [`crate::view::DesignCore`]
+    /// yields the same context as the [`crate::graph::ArcGraph`] it was
+    /// frozen from.
     #[must_use]
-    pub fn nominal(graph: &ArcGraph) -> Self {
+    pub fn nominal<G: TimingGraph>(graph: &G) -> Self {
         let clock = ClockSpec::default();
         Context {
             pi: vec![
@@ -78,7 +81,7 @@ impl Context {
         }
     }
 
-    /// The PO load vector used by [`ArcGraph::load_of`].
+    /// The PO load vector used by [`TimingGraph::load_of`].
     #[must_use]
     pub fn po_loads(&self) -> Vec<f64> {
         self.po.iter().map(|p| p.load).collect()
@@ -101,8 +104,10 @@ impl ContextSampler {
         ContextSampler { rng: StdRng::seed_from_u64(seed ^ 0xc0_17e8) }
     }
 
-    /// Draws one random context for `graph`.
-    pub fn sample(&mut self, graph: &ArcGraph) -> Context {
+    /// Draws one random context for `graph`. The draw sequence depends
+    /// only on the port counts, so the same seed yields bit-identical
+    /// contexts for a graph and its frozen core.
+    pub fn sample<G: TimingGraph>(&mut self, graph: &G) -> Context {
         let rng = &mut self.rng;
         let period = rng.gen_range(500.0..900.0);
         let pi = (0..graph.primary_inputs().len())
@@ -133,7 +138,7 @@ impl ContextSampler {
     }
 
     /// Draws `n` contexts.
-    pub fn sample_many(&mut self, graph: &ArcGraph, n: usize) -> Vec<Context> {
+    pub fn sample_many<G: TimingGraph>(&mut self, graph: &G, n: usize) -> Vec<Context> {
         (0..n).map(|_| self.sample(graph)).collect()
     }
 }

@@ -14,9 +14,10 @@
 //!
 //! [`AnalysisOptions::cppr`]: crate::propagate::AnalysisOptions
 
-use crate::graph::{ArcGraph, NodeId};
+use crate::graph::NodeId;
 use crate::propagate::Analysis;
 use crate::split::{Edge, Mode, Quad};
+use crate::view::TimingGraph;
 
 const NONE: u32 = u32::MAX;
 
@@ -87,7 +88,7 @@ pub struct CpprReport {
 impl CpprReport {
     /// Builds the report from a CPPR-enabled analysis.
     #[must_use]
-    pub fn from_analysis(graph: &ArcGraph, analysis: &Analysis) -> Self {
+    pub fn from_analysis<G: TimingGraph>(graph: &G, analysis: &Analysis) -> Self {
         let checks = graph
             .checks()
             .iter()
@@ -121,12 +122,11 @@ impl CpprReport {
 /// labels as CPPR-crucial when generating training data (§5.1) and feeds to
 /// the dedicated `is_CPPR` feature (§5.3).
 #[must_use]
-pub fn cppr_crucial_pins(graph: &ArcGraph) -> Vec<NodeId> {
+pub fn cppr_crucial_pins<G: TimingGraph>(graph: &G) -> Vec<NodeId> {
     (0..graph.node_count())
         .map(|i| NodeId(i as u32))
         .filter(|&n| {
-            let node = graph.node(n);
-            !node.dead && node.is_clock_network && graph.out_degree(n) > 1
+            !graph.node_dead(n) && graph.node(n).is_clock_network && graph.out_degree(n) > 1
         })
         .collect()
 }
@@ -135,6 +135,7 @@ pub fn cppr_crucial_pins(graph: &ArcGraph) -> Vec<NodeId> {
 mod tests {
     use super::*;
     use crate::constraints::Context;
+    use crate::graph::ArcGraph;
     use crate::liberty::Library;
     use crate::netlist::NetlistBuilder;
     use crate::propagate::{Analysis, AnalysisOptions};

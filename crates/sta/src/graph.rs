@@ -741,63 +741,7 @@ impl ArcGraph {
     /// Composes arc `a` (into the removed node) with arc `b` (out of it),
     /// freezing the intermediate load at `mid_load`.
     fn compose_arcs(&self, a: ArcId, b: ArcId, mid_load: f64) -> ArcTiming {
-        let arc_a = &self.arcs[a.index()];
-        let arc_b = &self.arcs[b.index()];
-        if let (ArcTiming::Wire { delay: d1, degrade: g1 }, ArcTiming::Wire { delay: d2, degrade: g2 }) =
-            (&arc_a.timing, &arc_b.timing)
-        {
-            return ArcTiming::Wire { delay: d1 + d2, degrade: g1 * g2 };
-        }
-        // Choose axes: input-slew axis from the upstream table (or the
-        // downstream one if upstream is a wire), load axis from downstream.
-        let (slew_axis, load_axis): (Vec<f64>, Vec<f64>) =
-            match (arc_a.timing.tables(), arc_b.timing.tables()) {
-                (Some(ta), Some(tb)) => (
-                    ta.late.delay.rise.slew_axis().to_vec(),
-                    tb.late.delay.rise.load_axis().to_vec(),
-                ),
-                (Some(ta), None) => (
-                    ta.late.delay.rise.slew_axis().to_vec(),
-                    ta.late.delay.rise.load_axis().to_vec(),
-                ),
-                (None, Some(tb)) => (
-                    tb.late.delay.rise.slew_axis().to_vec(),
-                    tb.late.delay.rise.load_axis().to_vec(),
-                ),
-                // Both sides are wires — the early return above already
-                // handled this; stay total rather than panic.
-                (None, None) => return ArcTiming::Wire { delay: 0.0, degrade: 1.0 },
-            };
-
-        let tables = Split::from_fn(|mode| {
-            let per_edge = |out_edge: Edge| -> (Lut2, Lut2) {
-                let f = |in_slew: f64, out_load: f64| -> (f64, f64) {
-                    // Worst composition over the mid edges feeding out_edge.
-                    let mut best_d = mode.neutral();
-                    let mut best_s = mode.neutral();
-                    for &mid_edge in arc_b.sense.input_edges(out_edge) {
-                        let (d1, s1) =
-                            Self::eval_arc(arc_a, mode, mid_edge, in_slew, mid_load);
-                        let (d2, s2) = Self::eval_arc(arc_b, mode, out_edge, s1, out_load);
-                        best_d = mode.worse(best_d, d1 + d2);
-                        best_s = mode.worse(best_s, s2);
-                    }
-                    (best_d, best_s)
-                };
-                let delay =
-                    Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).0);
-                let slew =
-                    Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).1);
-                (delay, slew)
-            };
-            let (dr, sr) = per_edge(Edge::Rise);
-            let (df, sf) = per_edge(Edge::Fall);
-            Arc::new(ArcTables {
-                delay: TransPair::new(dr, df),
-                slew: TransPair::new(sr, sf),
-            })
-        });
-        ArcTiming::Composed(tables)
+        compose_arc_pair(&self.arcs[a.index()], &self.arcs[b.index()], mid_load)
     }
 
     /// Parallel merging: collapses all live arcs sharing `(from, to)` into a
@@ -811,71 +755,23 @@ impl ArcGraph {
         if group.len() < 2 {
             return 0;
         }
-        // All-wire groups fold into one wire arc (worst = max delay for the
-        // late corner; we keep a single wire with the max delay, which is
-        // conservative for late and optimistic for early — so only fold
-        // wires when they are identical; otherwise go through tables).
-        let all_same_wire = group.iter().all(|&a| match &self.arcs[a.index()].timing {
-            ArcTiming::Wire { delay, degrade } => {
-                if let ArcTiming::Wire { delay: d0, degrade: g0 } = &self.arcs[group[0].index()].timing
-                {
-                    (delay - d0).abs() < 1e-12 && (degrade - g0).abs() < 1e-12
-                } else {
-                    false
+        let merged = {
+            let members: Vec<&ArcData> = group.iter().map(|&a| &self.arcs[a.index()]).collect();
+            merge_parallel_group(&members)
+        };
+        match merged {
+            ParallelMerge::KeepFirst => {
+                for &a in &group[1..] {
+                    self.arcs[a.index()].dead = true;
                 }
             }
-            _ => false,
-        });
-        if all_same_wire {
-            for &a in &group[1..] {
-                self.arcs[a.index()].dead = true;
+            ParallelMerge::Replace { sense, timing, is_clock } => {
+                for &a in &group {
+                    self.arcs[a.index()].dead = true;
+                }
+                self.add_arc(from, to, sense, timing, is_clock);
             }
-            return group.len() - 1;
         }
-        let slew_axis: Vec<f64> = group
-            .iter()
-            .find_map(|&a| self.arcs[a.index()].timing.tables())
-            .map(|t| t.late.delay.rise.slew_axis().to_vec())
-            .unwrap_or_else(|| vec![5.0, 320.0]);
-        let load_axis: Vec<f64> = group
-            .iter()
-            .find_map(|&a| self.arcs[a.index()].timing.tables())
-            .map(|t| t.late.delay.rise.load_axis().to_vec())
-            .unwrap_or_else(|| vec![1.0, 64.0]);
-        let senses: Vec<TimingSense> = group.iter().map(|&a| self.arcs[a.index()].sense).collect();
-        let merged_sense = senses
-            .iter()
-            .copied()
-            .reduce(|a, b| if a == b { a } else { TimingSense::NonUnate })
-            .unwrap_or(TimingSense::NonUnate);
-        let tables = Split::from_fn(|mode| {
-            let per_edge = |out_edge: Edge| -> (Lut2, Lut2) {
-                let f = |in_slew: f64, out_load: f64| -> (f64, f64) {
-                    let mut best_d = mode.neutral();
-                    let mut best_s = mode.neutral();
-                    for &a in &group {
-                        let arc = &self.arcs[a.index()];
-                        let (d, s) = Self::eval_arc(arc, mode, out_edge, in_slew, out_load);
-                        best_d = mode.worse(best_d, d);
-                        best_s = mode.worse(best_s, s);
-                    }
-                    (best_d, best_s)
-                };
-                let delay =
-                    Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).0);
-                let slew =
-                    Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).1);
-                (delay, slew)
-            };
-            let (dr, sr) = per_edge(Edge::Rise);
-            let (df, sf) = per_edge(Edge::Fall);
-            Arc::new(ArcTables { delay: TransPair::new(dr, df), slew: TransPair::new(sr, sf) })
-        });
-        let is_clock = group.iter().all(|&a| self.arcs[a.index()].is_clock);
-        for &a in &group {
-            self.arcs[a.index()].dead = true;
-        }
-        self.add_arc(from, to, merged_sense, ArcTiming::Composed(tables), is_clock);
         group.len() - 1
     }
 
@@ -1013,6 +909,204 @@ impl ArcGraph {
         }
         Ok(())
     }
+}
+
+impl ArcGraph {
+    /// Reassembles a graph from raw parts (used by
+    /// [`crate::view::GraphView::materialize`]). Adjacency lists are rebuilt
+    /// from *all* arcs — dead ones included — in arc-id order, reproducing
+    /// exactly the tombstone layout that in-place editing of the original
+    /// graph would have left behind; the topological order is then
+    /// recomputed over the live subgraph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::CombinationalCycle`] when the live arcs form a
+    /// cycle, and [`StaError::IllegalEdit`] when an arc endpoint is out of
+    /// range.
+    pub(crate) fn from_parts(
+        name: String,
+        nodes: Vec<Node>,
+        arcs: Vec<ArcData>,
+        primary_inputs: Vec<NodeId>,
+        primary_outputs: Vec<NodeId>,
+        clock_source: Option<NodeId>,
+        checks: Vec<Check>,
+    ) -> Result<Self> {
+        let n = nodes.len();
+        let mut fanin: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, a) in arcs.iter().enumerate() {
+            if a.from.index() >= n || a.to.index() >= n {
+                return Err(StaError::IllegalEdit(format!(
+                    "arc {i} endpoint out of range ({} nodes)",
+                    n
+                )));
+            }
+            fanout[a.from.index()].push(i as u32);
+            fanin[a.to.index()].push(i as u32);
+        }
+        let mut g = ArcGraph {
+            name,
+            nodes,
+            arcs,
+            fanin,
+            fanout,
+            primary_inputs,
+            primary_outputs,
+            clock_source,
+            checks,
+            topo: Vec::new(),
+        };
+        g.rebuild_topo()?;
+        Ok(g)
+    }
+}
+
+/// Outcome of merging a parallel-arc group, computed by
+/// [`merge_parallel_group`] without mutating any graph.
+pub(crate) enum ParallelMerge {
+    /// All members are bit-identical wire arcs: keep the first, kill the
+    /// rest.
+    KeepFirst,
+    /// Replace the whole group by one mode-worst composed arc.
+    Replace {
+        /// Sense of the replacement arc.
+        sense: TimingSense,
+        /// Timing of the replacement arc.
+        timing: ArcTiming,
+        /// Clock flag of the replacement arc.
+        is_clock: bool,
+    },
+}
+
+/// Serially composes arc `arc_a` (into a removed node) with arc `arc_b`
+/// (out of it), freezing the intermediate load at `mid_load`. Pure — shared
+/// by [`ArcGraph::bypass_node`] and the copy-on-write
+/// [`crate::view::GraphView`] so both produce bit-identical composed arcs.
+pub(crate) fn compose_arc_pair(arc_a: &ArcData, arc_b: &ArcData, mid_load: f64) -> ArcTiming {
+    if let (ArcTiming::Wire { delay: d1, degrade: g1 }, ArcTiming::Wire { delay: d2, degrade: g2 }) =
+        (&arc_a.timing, &arc_b.timing)
+    {
+        return ArcTiming::Wire { delay: d1 + d2, degrade: g1 * g2 };
+    }
+    // Choose axes: input-slew axis from the upstream table (or the
+    // downstream one if upstream is a wire), load axis from downstream.
+    let (slew_axis, load_axis): (Vec<f64>, Vec<f64>) =
+        match (arc_a.timing.tables(), arc_b.timing.tables()) {
+            (Some(ta), Some(tb)) => (
+                ta.late.delay.rise.slew_axis().to_vec(),
+                tb.late.delay.rise.load_axis().to_vec(),
+            ),
+            (Some(ta), None) => (
+                ta.late.delay.rise.slew_axis().to_vec(),
+                ta.late.delay.rise.load_axis().to_vec(),
+            ),
+            (None, Some(tb)) => (
+                tb.late.delay.rise.slew_axis().to_vec(),
+                tb.late.delay.rise.load_axis().to_vec(),
+            ),
+            // Both sides are wires — the early return above already
+            // handled this; stay total rather than panic.
+            (None, None) => return ArcTiming::Wire { delay: 0.0, degrade: 1.0 },
+        };
+
+    let tables = Split::from_fn(|mode| {
+        let per_edge = |out_edge: Edge| -> (Lut2, Lut2) {
+            let f = |in_slew: f64, out_load: f64| -> (f64, f64) {
+                // Worst composition over the mid edges feeding out_edge.
+                let mut best_d = mode.neutral();
+                let mut best_s = mode.neutral();
+                for &mid_edge in arc_b.sense.input_edges(out_edge) {
+                    let (d1, s1) = ArcGraph::eval_arc(arc_a, mode, mid_edge, in_slew, mid_load);
+                    let (d2, s2) = ArcGraph::eval_arc(arc_b, mode, out_edge, s1, out_load);
+                    best_d = mode.worse(best_d, d1 + d2);
+                    best_s = mode.worse(best_s, s2);
+                }
+                (best_d, best_s)
+            };
+            let delay =
+                Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).0);
+            let slew =
+                Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).1);
+            (delay, slew)
+        };
+        let (dr, sr) = per_edge(Edge::Rise);
+        let (df, sf) = per_edge(Edge::Fall);
+        Arc::new(ArcTables {
+            delay: TransPair::new(dr, df),
+            slew: TransPair::new(sr, sf),
+        })
+    });
+    ArcTiming::Composed(tables)
+}
+
+/// Computes the parallel merge of a group of arcs sharing `(from, to)`,
+/// in group order, without mutating any graph. Pure — shared by
+/// [`ArcGraph::coalesce_parallel`] and the copy-on-write
+/// [`crate::view::GraphView`] so both produce bit-identical merged arcs.
+///
+/// # Panics
+///
+/// Panics if `members` is empty (callers guarantee `len() >= 2`).
+pub(crate) fn merge_parallel_group(members: &[&ArcData]) -> ParallelMerge {
+    // All-wire groups fold into one wire arc (worst = max delay for the
+    // late corner; we keep a single wire with the max delay, which is
+    // conservative for late and optimistic for early — so only fold
+    // wires when they are identical; otherwise go through tables).
+    let all_same_wire = members.iter().all(|m| match &m.timing {
+        ArcTiming::Wire { delay, degrade } => {
+            if let ArcTiming::Wire { delay: d0, degrade: g0 } = &members[0].timing {
+                (delay - d0).abs() < 1e-12 && (degrade - g0).abs() < 1e-12
+            } else {
+                false
+            }
+        }
+        _ => false,
+    });
+    if all_same_wire {
+        return ParallelMerge::KeepFirst;
+    }
+    let slew_axis: Vec<f64> = members
+        .iter()
+        .find_map(|m| m.timing.tables())
+        .map(|t| t.late.delay.rise.slew_axis().to_vec())
+        .unwrap_or_else(|| vec![5.0, 320.0]);
+    let load_axis: Vec<f64> = members
+        .iter()
+        .find_map(|m| m.timing.tables())
+        .map(|t| t.late.delay.rise.load_axis().to_vec())
+        .unwrap_or_else(|| vec![1.0, 64.0]);
+    let senses: Vec<TimingSense> = members.iter().map(|m| m.sense).collect();
+    let merged_sense = senses
+        .iter()
+        .copied()
+        .reduce(|a, b| if a == b { a } else { TimingSense::NonUnate })
+        .unwrap_or(TimingSense::NonUnate);
+    let tables = Split::from_fn(|mode| {
+        let per_edge = |out_edge: Edge| -> (Lut2, Lut2) {
+            let f = |in_slew: f64, out_load: f64| -> (f64, f64) {
+                let mut best_d = mode.neutral();
+                let mut best_s = mode.neutral();
+                for m in members {
+                    let (d, s) = ArcGraph::eval_arc(m, mode, out_edge, in_slew, out_load);
+                    best_d = mode.worse(best_d, d);
+                    best_s = mode.worse(best_s, s);
+                }
+                (best_d, best_s)
+            };
+            let delay =
+                Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).0);
+            let slew =
+                Lut2::from_fn_unchecked(slew_axis.clone(), load_axis.clone(), |s, l| f(s, l).1);
+            (delay, slew)
+        };
+        let (dr, sr) = per_edge(Edge::Rise);
+        let (df, sf) = per_edge(Edge::Fall);
+        Arc::new(ArcTables { delay: TransPair::new(dr, df), slew: TransPair::new(sr, sf) })
+    });
+    let is_clock = members.iter().all(|m| m.is_clock);
+    ParallelMerge::Replace { sense: merged_sense, timing: ArcTiming::Composed(tables), is_clock }
 }
 
 /// Sense of a two-arc serial composition.

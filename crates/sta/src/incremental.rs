@@ -26,6 +26,7 @@ use crate::propagate::{
     Evaluator, PropState,
 };
 use crate::split::Split;
+use crate::view::TimingGraph;
 use crate::{Result, StaError};
 use std::collections::HashMap;
 
@@ -42,9 +43,14 @@ pub struct IncrementalStats {
 
 /// A timer that keeps propagation state alive across boundary-condition
 /// changes.
+///
+/// Generic over any [`TimingGraph`] implementation, so it can run on a flat
+/// [`ArcGraph`], a frozen [`crate::view::DesignCore`], or an edited
+/// [`crate::view::GraphView`] alike; the default parameter keeps existing
+/// `IncrementalTimer<'_>` signatures meaning the `ArcGraph` case.
 #[derive(Debug)]
-pub struct IncrementalTimer<'g> {
-    graph: &'g ArcGraph,
+pub struct IncrementalTimer<'g, G: TimingGraph = ArcGraph> {
+    graph: &'g G,
     ctx: Context,
     options: AnalysisOptions,
     evaluator: Evaluator,
@@ -53,13 +59,13 @@ pub struct IncrementalTimer<'g> {
     stats: IncrementalStats,
 }
 
-impl<'g> IncrementalTimer<'g> {
+impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
     /// Performs the initial full analysis and retains its state.
     ///
     /// # Errors
     ///
     /// Propagates analysis errors (infallible for valid graphs).
-    pub fn new(graph: &'g ArcGraph, ctx: Context, options: AnalysisOptions) -> Result<Self> {
+    pub fn new(graph: &'g G, ctx: Context, options: AnalysisOptions) -> Result<Self> {
         let aocv = options.aocv.then(AocvSpec::standard);
         let evaluator = Evaluator::new(graph, aocv);
         let q_to_ck = q_to_ck_map(graph);
@@ -132,8 +138,8 @@ impl<'g> IncrementalTimer<'g> {
         let seeds: Vec<NodeId> = (0..self.graph.node_count() as u32)
             .map(NodeId)
             .filter(|&n| {
-                let node = self.graph.node(n);
-                !node.dead && node.po_loads.contains(&(po_index as u32))
+                !self.graph.node_dead(n)
+                    && self.graph.node(n).po_loads.contains(&(po_index as u32))
             })
             .collect();
         self.update(&seeds, &seeds);
@@ -169,7 +175,7 @@ impl<'g> IncrementalTimer<'g> {
             dirty[s.index()] = true;
         }
         let mut fwd_changed = vec![false; n];
-        if forward_seeds.iter().any(|&s| !self.graph.node(s).dead) {
+        if forward_seeds.iter().any(|&s| !self.graph.node_dead(s)) {
             for &nid in self.graph.topo_order() {
                 if !dirty[nid.index()] {
                     continue;

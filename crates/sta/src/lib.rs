@@ -16,6 +16,10 @@
 //! - [`cppr`] — common path pessimism removal on the clock network.
 //! - [`compare`] — boundary-accuracy comparison between two analyses
 //!   (the paper’s model-accuracy metric, Fig. 2).
+//! - [`view`] — the immutable, shareable [`view::DesignCore`] and the
+//!   copy-on-write [`view::GraphView`] overlay used for cheap what-if edits.
+//! - [`retime`] — cone-limited re-propagation of an edited [`view::GraphView`]
+//!   against a frozen [`retime::ReferenceAnalysis`].
 //!
 //! # Example
 //!
@@ -58,8 +62,10 @@ pub mod netlist;
 pub mod parasitics;
 pub mod propagate;
 pub mod report;
+pub mod retime;
 pub mod split;
 pub mod validate;
+pub mod view;
 
 mod error;
 

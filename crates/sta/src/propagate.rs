@@ -21,6 +21,7 @@ use crate::constraints::Context;
 use crate::cppr::common_path_credit;
 use crate::graph::{ArcData, ArcGraph, ArcTiming, NodeId, NodeKind};
 use crate::split::{quad, Edge, Mode, Quad, Split, TransPair};
+use crate::view::TimingGraph;
 use crate::Result;
 use std::collections::HashMap;
 
@@ -67,8 +68,10 @@ impl Analysis {
     ///
     /// Currently infallible for valid graphs; returns `Err` only if the
     /// graph's topological order is missing (never after
-    /// [`ArcGraph::from_netlist`]).
-    pub fn run(graph: &ArcGraph, ctx: &Context) -> Result<Analysis> {
+    /// [`ArcGraph::from_netlist`]). Accepts any [`TimingGraph`] — flat
+    /// graphs, frozen cores, and copy-on-write views all analyse the same
+    /// way.
+    pub fn run<G: TimingGraph>(graph: &G, ctx: &Context) -> Result<Analysis> {
         Self::run_with_options(graph, ctx, AnalysisOptions::default())
     }
 
@@ -78,8 +81,8 @@ impl Analysis {
     /// # Errors
     ///
     /// See [`Analysis::run`].
-    pub fn run_with_options(
-        graph: &ArcGraph,
+    pub fn run_with_options<G: TimingGraph>(
+        graph: &G,
         ctx: &Context,
         options: AnalysisOptions,
     ) -> Result<Analysis> {
@@ -99,8 +102,8 @@ impl Analysis {
     /// # Errors
     ///
     /// See [`Analysis::run`].
-    pub fn run_with_aocv(
-        graph: &ArcGraph,
+    pub fn run_with_aocv<G: TimingGraph>(
+        graph: &G,
         ctx: &Context,
         options: AnalysisOptions,
         aocv: Option<&AocvSpec>,
@@ -121,8 +124,8 @@ impl Analysis {
     }
 
     /// Assembles a completed analysis from raw propagation state.
-    pub(crate) fn from_state(
-        graph: &ArcGraph,
+    pub(crate) fn from_state<G: TimingGraph>(
+        graph: &G,
         state: PropState,
         options: AnalysisOptions,
     ) -> Analysis {
@@ -140,8 +143,8 @@ impl Analysis {
         }
     }
 
-    fn snapshot(
-        graph: &ArcGraph,
+    pub(crate) fn snapshot<G: TimingGraph>(
+        graph: &G,
         at: &[Quad],
         slew: &[Quad],
         rat: &[Quad],
@@ -183,7 +186,7 @@ impl Analysis {
             .checks()
             .iter()
             .enumerate()
-            .filter(|(_, c)| !graph.node(c.d).dead && !graph.node(c.ck).dead)
+            .filter(|(_, c)| !graph.node_dead(c.d) && !graph.node_dead(c.ck))
             .map(|(ci, c)| {
                 let s = slack_of(c.d.index());
                 CheckTiming {
@@ -296,9 +299,14 @@ pub(crate) struct Evaluator {
 }
 
 impl Evaluator {
-    pub(crate) fn new(graph: &ArcGraph, aocv: Option<AocvSpec>) -> Self {
+    pub(crate) fn new<G: TimingGraph>(graph: &G, aocv: Option<AocvSpec>) -> Self {
         let depths = aocv.as_ref().map(|_| graph.levels_from_inputs());
         Evaluator { aocv, depths }
+    }
+
+    /// `true` when this evaluator derates by structural depth (AOCV on).
+    pub(crate) fn has_aocv(&self) -> bool {
+        self.aocv.is_some()
     }
 
     /// Cell-arc delay with optional depth-based derate; wire arcs and slews
@@ -337,7 +345,7 @@ pub(crate) struct PropState {
 }
 
 impl PropState {
-    pub(crate) fn new(graph: &ArcGraph) -> Self {
+    pub(crate) fn new<G: TimingGraph>(graph: &G) -> Self {
         let n = graph.node_count();
         let mut at = vec![Split::uniform(TransPair::uniform(f64::NAN)); n];
         let mut slew = vec![Split::uniform(TransPair::uniform(f64::NAN)); n];
@@ -363,15 +371,15 @@ impl PropState {
 }
 
 /// Map FF output node -> FF clock node for launch-tag anchoring.
-pub(crate) fn q_to_ck_map(graph: &ArcGraph) -> HashMap<usize, u32> {
+pub(crate) fn q_to_ck_map<G: TimingGraph>(graph: &G) -> HashMap<usize, u32> {
     graph.checks().iter().map(|c| (c.q.index(), c.ck.0)).collect()
 }
 
 /// Recomputes the forward quantities (arrival, slew, launch tag, clock
 /// parent) of one node from its fan-in. Returns `true` when any stored
 /// value changed.
-pub(crate) fn forward_node(
-    graph: &ArcGraph,
+pub(crate) fn forward_node<G: TimingGraph>(
+    graph: &G,
     ctx: &Context,
     po_loads: &[f64],
     q_to_ck: &HashMap<usize, u32>,
@@ -379,10 +387,10 @@ pub(crate) fn forward_node(
     state: &mut PropState,
     nid: NodeId,
 ) -> bool {
-    let node = graph.node(nid);
-    if node.dead {
+    if graph.node_dead(nid) {
         return false;
     }
+    let node = graph.node(nid);
     let i = nid.index();
     let old_at = state.at[i];
     let old_slew = state.slew[i];
@@ -472,8 +480,8 @@ pub(crate) fn forward_node(
 /// (Re)initialises the required times at every endpoint (POs from the
 /// context, flip-flop data pins from the captured clock and — when enabled
 /// — the CPPR credit). Returns the endpoint node indices whose RAT changed.
-pub(crate) fn endpoint_rats(
-    graph: &ArcGraph,
+pub(crate) fn endpoint_rats<G: TimingGraph>(
+    graph: &G,
     ctx: &Context,
     options: AnalysisOptions,
     state: &mut PropState,
@@ -492,7 +500,7 @@ pub(crate) fn endpoint_rats(
         }
     }
     for (ci, check) in graph.checks().iter().enumerate() {
-        if graph.node(check.d).dead || graph.node(check.ck).dead {
+        if graph.node_dead(check.d) || graph.node_dead(check.ck) {
             continue;
         }
         let ck_early = state.at[check.ck.index()][Mode::Early][Edge::Rise];
@@ -530,16 +538,15 @@ pub(crate) fn endpoint_rats(
 /// (resetting first). Endpoints (POs, flip-flop data pins) keep their
 /// [`endpoint_rats`] initialisation and report no change. Returns `true`
 /// when the stored RAT changed.
-pub(crate) fn backward_node(
-    graph: &ArcGraph,
+pub(crate) fn backward_node<G: TimingGraph>(
+    graph: &G,
     po_loads: &[f64],
     evaluator: &Evaluator,
     state: &mut PropState,
     nid: NodeId,
 ) -> bool {
-    let node = graph.node(nid);
-    if node.dead
-        || matches!(node.kind, NodeKind::PrimaryOutput(_) | NodeKind::FfData(_))
+    if graph.node_dead(nid)
+        || matches!(graph.node(nid).kind, NodeKind::PrimaryOutput(_) | NodeKind::FfData(_))
     {
         return false;
     }

@@ -1,0 +1,522 @@
+//! Cone-limited re-timing of edited [`GraphView`]s.
+//!
+//! Timing-sensitivity evaluation probes thousands of single-pin edits of the
+//! same design: bypass one candidate pin, re-time, compare boundaries, undo.
+//! Cloning the graph and re-running a full analysis per probe is O(graph)
+//! work for an O(cone) question. [`ReferenceAnalysis`] answers it in cone
+//! time: it runs one full analysis of the *unedited* frozen
+//! [`DesignCore`] and keeps the raw propagation state; [`ReferenceAnalysis::retime`]
+//! then re-times an edited view by
+//!
+//! 1. seeding a forward worklist with the nodes whose fan-in the edit
+//!    changed (the to-nodes of every hidden or added arc),
+//! 2. sweeping forward in topological order, pruned as soon as a node's
+//!    recomputed values are bit-identical to the frozen reference values —
+//!    nodes outside the edit's forward cone are never touched and reuse the
+//!    reference state at the frontier,
+//! 3. refreshing endpoint required times (and CPPR credits) wholesale, and
+//! 4. sweeping backward from the changed endpoints, the forward-changed
+//!    nodes, and the from-nodes of every hidden or added arc, pruned the
+//!    same way.
+//!
+//! The sweeps reuse the exact per-node kernels of the full analysis
+//! ([`crate::propagate`]), so the result is bit-identical to running
+//! [`Analysis::run_with_options`] on the edited view from scratch — the
+//! equivalence is enforced by the tests below and by the cross-crate
+//! determinism suite. Since a composed arc `u → v` only exists where paths
+//! `u → n → v` existed, the core's topological order remains valid for
+//! every view derived from it, and the pruned sweeps can iterate it
+//! directly.
+//!
+//! AOCV is the one option that breaks cone locality: bypassing a node
+//! changes structural depths — and therefore derates — arbitrarily far from
+//! the edit. With AOCV enabled, [`ReferenceAnalysis::retime`] transparently
+//! falls back to a full (but still clone-free) analysis of the view.
+
+use crate::aocv::AocvSpec;
+use crate::compare::BoundarySnapshot;
+use crate::constraints::Context;
+use crate::graph::NodeId;
+use crate::propagate::{
+    backward_node, endpoint_rats, forward_node, q_to_ck_map, Analysis, AnalysisOptions,
+    Evaluator, PropState,
+};
+use crate::view::{DesignCore, GraphView, TimingGraph};
+use crate::{Result, StaError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters describing how much work cone-limited re-timing performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetimeStats {
+    /// Views re-timed through this scratch.
+    pub retimes: usize,
+    /// Re-times that fell back to a full view analysis (AOCV).
+    pub full_fallbacks: usize,
+    /// Nodes re-evaluated in forward sweeps.
+    pub forward_recomputed: usize,
+    /// Nodes re-evaluated in backward sweeps.
+    pub backward_recomputed: usize,
+}
+
+/// Reusable per-thread working memory for [`ReferenceAnalysis::retime`].
+///
+/// Holds a mutable copy of the reference propagation state plus the three
+/// worklist bitmaps, so repeated probes allocate nothing. Obtain one from
+/// [`ReferenceAnalysis::scratch`] and reuse it across probes on the same
+/// reference (each worker thread needs its own).
+#[derive(Debug, Clone)]
+pub struct RetimeScratch {
+    state: PropState,
+    dirty: Vec<bool>,
+    fwd_changed: Vec<bool>,
+    stale: Vec<bool>,
+    stats: RetimeStats,
+}
+
+impl RetimeScratch {
+    /// Work counters accumulated across all re-times through this scratch.
+    #[must_use]
+    pub fn stats(&self) -> RetimeStats {
+        self.stats
+    }
+}
+
+/// A full analysis of an unedited [`DesignCore`], frozen so that edited
+/// [`GraphView`]s over the same core can be re-timed in cone time.
+///
+/// The reference is immutable after construction and can be shared by
+/// reference across worker threads; all mutable probe state lives in
+/// [`RetimeScratch`].
+#[derive(Debug)]
+pub struct ReferenceAnalysis {
+    core: Arc<DesignCore>,
+    ctx: Context,
+    options: AnalysisOptions,
+    evaluator: Evaluator,
+    q_to_ck: HashMap<usize, u32>,
+    po_loads: Vec<f64>,
+    state: PropState,
+    boundary: BoundarySnapshot,
+}
+
+impl ReferenceAnalysis {
+    /// Runs the full reference analysis of `core` under `ctx` and retains
+    /// its raw state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors (infallible for valid graphs).
+    pub fn new(core: Arc<DesignCore>, ctx: Context, options: AnalysisOptions) -> Result<Self> {
+        let aocv = options.aocv.then(AocvSpec::standard);
+        let evaluator = Evaluator::new(&*core, aocv);
+        let q_to_ck = q_to_ck_map(&*core);
+        let po_loads = ctx.po_loads();
+        let mut state = PropState::new(&*core);
+        for &nid in core.topo_order() {
+            forward_node(&*core, &ctx, &po_loads, &q_to_ck, &evaluator, &mut state, nid);
+        }
+        endpoint_rats(&*core, &ctx, options, &mut state);
+        for &nid in core.topo_order().iter().rev() {
+            backward_node(&*core, &po_loads, &evaluator, &mut state, nid);
+        }
+        let boundary =
+            Analysis::snapshot(&*core, &state.at, &state.slew, &state.rat, &state.credits);
+        Ok(ReferenceAnalysis {
+            core,
+            ctx,
+            options,
+            evaluator,
+            q_to_ck,
+            po_loads,
+            state,
+            boundary,
+        })
+    }
+
+    /// The frozen core this reference was computed on.
+    #[must_use]
+    pub fn core(&self) -> &Arc<DesignCore> {
+        &self.core
+    }
+
+    /// The boundary context the reference ran under.
+    #[must_use]
+    pub fn ctx(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The analysis options the reference ran with.
+    #[must_use]
+    pub fn options(&self) -> AnalysisOptions {
+        self.options
+    }
+
+    /// The boundary snapshot of the unedited core — what every probe's
+    /// edited boundary is compared against.
+    #[must_use]
+    pub fn boundary(&self) -> &BoundarySnapshot {
+        &self.boundary
+    }
+
+    /// Materialises the reference state as a regular [`Analysis`].
+    #[must_use]
+    pub fn analysis(&self) -> Analysis {
+        Analysis::from_state(&*self.core, self.state.clone(), self.options)
+    }
+
+    /// Allocates a scratch sized for this reference.
+    #[must_use]
+    pub fn scratch(&self) -> RetimeScratch {
+        let n = self.state.at.len();
+        RetimeScratch {
+            state: self.state.clone(),
+            dirty: vec![false; n],
+            fwd_changed: vec![false; n],
+            stale: vec![false; n],
+            stats: RetimeStats::default(),
+        }
+    }
+
+    /// Re-times `view` against this reference and returns its boundary
+    /// snapshot, recomputing only the affected cone. The result is
+    /// bit-identical to a fresh [`Analysis::run_with_options`] of the view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::IllegalEdit`] when `view` was built over a
+    /// different core than this reference, or when `scratch` was sized for
+    /// a different reference.
+    pub fn retime(
+        &self,
+        view: &GraphView,
+        scratch: &mut RetimeScratch,
+    ) -> Result<BoundarySnapshot> {
+        if !Arc::ptr_eq(view.core(), &self.core) {
+            return Err(StaError::IllegalEdit(
+                "view was built over a different design core than this reference".into(),
+            ));
+        }
+        let n = self.state.at.len();
+        if scratch.dirty.len() != n {
+            return Err(StaError::IllegalEdit(
+                "retime scratch was sized for a different reference".into(),
+            ));
+        }
+        scratch.stats.retimes += 1;
+        if view.is_pristine() {
+            return Ok(self.boundary.clone());
+        }
+        if self.evaluator.has_aocv() {
+            // Bypassing shifts structural depths — and so AOCV derates — on
+            // paths far outside the edit cone; re-time the whole view.
+            scratch.stats.full_fallbacks += 1;
+            let an = Analysis::run_with_options(view, &self.ctx, self.options)?;
+            return Ok(an.boundary().clone());
+        }
+
+        scratch.state.clone_from(&self.state);
+        scratch.dirty.fill(false);
+        scratch.fwd_changed.fill(false);
+        scratch.stale.fill(false);
+
+        // Forward seeds: every node whose fan-in set the edit changed.
+        let mut any_seed = false;
+        for aid in view.hidden_arc_ids() {
+            let to = view.arc(aid).to;
+            if !view.node_dead(to) {
+                scratch.dirty[to.index()] = true;
+                any_seed = true;
+            }
+        }
+        for aid in view.extra_arc_ids() {
+            if view.arc_hidden(aid) {
+                continue;
+            }
+            let to = view.arc(aid).to;
+            if !view.node_dead(to) {
+                scratch.dirty[to.index()] = true;
+                any_seed = true;
+            }
+        }
+
+        if any_seed {
+            for &nid in self.core.topo_order() {
+                if !scratch.dirty[nid.index()] {
+                    continue;
+                }
+                scratch.stats.forward_recomputed += 1;
+                let changed = forward_node(
+                    view,
+                    &self.ctx,
+                    &self.po_loads,
+                    &self.q_to_ck,
+                    &self.evaluator,
+                    &mut scratch.state,
+                    nid,
+                );
+                if changed {
+                    scratch.fwd_changed[nid.index()] = true;
+                    for aid in view.fanout(nid) {
+                        scratch.dirty[view.arc(aid).to.index()] = true;
+                    }
+                }
+            }
+        }
+
+        let changed_endpoints =
+            endpoint_rats(view, &self.ctx, self.options, &mut scratch.state);
+
+        for e in changed_endpoints {
+            for aid in view.fanin(NodeId(e as u32)) {
+                scratch.stale[view.arc(aid).from.index()] = true;
+            }
+        }
+        for i in 0..n {
+            if scratch.fwd_changed[i] {
+                // A changed slew changes this node's own out-arc delays, so
+                // its RAT is stale too.
+                scratch.stale[i] = true;
+                for aid in view.fanin(NodeId(i as u32)) {
+                    scratch.stale[view.arc(aid).from.index()] = true;
+                }
+            }
+        }
+        // Topology edits change which out-arcs a source node folds over, so
+        // every from-node of a hidden or added arc must re-derive its RAT.
+        for aid in view.hidden_arc_ids() {
+            let from = view.arc(aid).from;
+            if !view.node_dead(from) {
+                scratch.stale[from.index()] = true;
+            }
+        }
+        for aid in view.extra_arc_ids() {
+            if view.arc_hidden(aid) {
+                continue;
+            }
+            let from = view.arc(aid).from;
+            if !view.node_dead(from) {
+                scratch.stale[from.index()] = true;
+            }
+        }
+
+        for &nid in self.core.topo_order().iter().rev() {
+            if !scratch.stale[nid.index()] {
+                continue;
+            }
+            scratch.stats.backward_recomputed += 1;
+            let changed =
+                backward_node(view, &self.po_loads, &self.evaluator, &mut scratch.state, nid);
+            if changed {
+                for aid in view.fanin(nid) {
+                    scratch.stale[view.arc(aid).from.index()] = true;
+                }
+            }
+        }
+
+        Ok(Analysis::snapshot(
+            view,
+            &scratch.state.at,
+            &scratch.state.slew,
+            &scratch.state.rat,
+            &scratch.state.credits,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ArcGraph;
+    use crate::liberty::Library;
+    use crate::netlist::NetlistBuilder;
+
+    fn chain_graph(n_inv: usize) -> ArcGraph {
+        let lib = Library::synthetic(1);
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let a = b.input("a").unwrap();
+        let z = b.output("z").unwrap();
+        let mut prev = a;
+        for i in 0..n_inv {
+            let c = b.cell(&format!("u{i}"), "INVX1").unwrap();
+            b.connect(&format!("n{i}"), prev, &[b.pin_of(c, "A").unwrap()]).unwrap();
+            prev = b.pin_of(c, "Z").unwrap();
+        }
+        b.connect("n_out", prev, &[z]).unwrap();
+        ArcGraph::from_netlist(&b.finish().unwrap(), &lib).unwrap()
+    }
+
+    /// clk -> cb -> {ff1.CK, ff2.CK}; a,c -> g1 -> ff1.D;
+    /// ff1.Q -> g2 -> {z0, ff2.D}; ff2.Q -> g3 -> z1.
+    fn clocked_graph() -> ArcGraph {
+        let lib = Library::synthetic(7);
+        let mut b = NetlistBuilder::new("clocked", &lib);
+        let clk = b.clock_input("clk").unwrap();
+        let a = b.input("a").unwrap();
+        let c = b.input("c").unwrap();
+        let z0 = b.output("z0").unwrap();
+        let z1 = b.output("z1").unwrap();
+        let cb = b.cell("cb", "CLKBUFX2").unwrap();
+        let ff1 = b.cell("ff1", "DFFX1").unwrap();
+        let ff2 = b.cell("ff2", "DFFX1").unwrap();
+        let g1 = b.cell("g1", "NAND2X1").unwrap();
+        let g2 = b.cell("g2", "INVX1").unwrap();
+        let g3 = b.cell("g3", "BUFX2").unwrap();
+        b.connect("n_clk", clk, &[b.pin_of(cb, "A").unwrap()]).unwrap();
+        b.connect(
+            "n_ck",
+            b.pin_of(cb, "Z").unwrap(),
+            &[b.pin_of(ff1, "CK").unwrap(), b.pin_of(ff2, "CK").unwrap()],
+        )
+        .unwrap();
+        b.connect("n_a", a, &[b.pin_of(g1, "A").unwrap()]).unwrap();
+        b.connect("n_c", c, &[b.pin_of(g1, "B").unwrap()]).unwrap();
+        b.connect("n_g1", b.pin_of(g1, "Z").unwrap(), &[b.pin_of(ff1, "D").unwrap()])
+            .unwrap();
+        b.connect("n_q1", b.pin_of(ff1, "Q").unwrap(), &[b.pin_of(g2, "A").unwrap()])
+            .unwrap();
+        b.connect("n_g2", b.pin_of(g2, "Z").unwrap(), &[z0, b.pin_of(ff2, "D").unwrap()])
+            .unwrap();
+        b.connect("n_q2", b.pin_of(ff2, "Q").unwrap(), &[b.pin_of(g3, "A").unwrap()])
+            .unwrap();
+        b.connect("n_g3", b.pin_of(g3, "Z").unwrap(), &[z1]).unwrap();
+        ArcGraph::from_netlist(&b.finish().unwrap(), &lib).unwrap()
+    }
+
+    fn find(g: &ArcGraph, name: &str) -> NodeId {
+        NodeId(g.nodes().iter().position(|n| n.name == name).unwrap() as u32)
+    }
+
+    fn assert_bit_identical(a: &BoundarySnapshot, b: &BoundarySnapshot) {
+        let d = a.diff(b);
+        assert_eq!(d.max, 0.0, "boundaries diverged (max diff {})", d.max);
+        assert!(d.count > 0);
+    }
+
+    #[test]
+    fn pristine_view_returns_the_reference_boundary() {
+        let g = chain_graph(3);
+        let core = DesignCore::freeze(&g);
+        let reference =
+            ReferenceAnalysis::new(core.clone(), Context::nominal(&g), AnalysisOptions::default())
+                .unwrap();
+        let mut scratch = reference.scratch();
+        let view = GraphView::new(core);
+        let b = reference.retime(&view, &mut scratch).unwrap();
+        assert_bit_identical(reference.boundary(), &b);
+        assert_eq!(scratch.stats().forward_recomputed, 0, "no cone work on a pristine view");
+    }
+
+    #[test]
+    fn retime_matches_full_view_analysis_and_clone_editing() {
+        let g = chain_graph(4);
+        let core = DesignCore::freeze(&g);
+        let ctx = Context::nominal(&g);
+        let reference =
+            ReferenceAnalysis::new(core.clone(), ctx.clone(), AnalysisOptions::default()).unwrap();
+        let mut scratch = reference.scratch();
+
+        for victim in ["u1/Z", "u2/A"] {
+            let mut view = GraphView::new(core.clone());
+            view.bypass_node(find(&g, victim)).unwrap();
+            let cone = reference.retime(&view, &mut scratch).unwrap();
+
+            let full = Analysis::run(&view, &ctx).unwrap();
+            assert_bit_identical(full.boundary(), &cone);
+
+            let mut clone = g.clone();
+            clone.bypass_node(find(&g, victim)).unwrap();
+            let edited = Analysis::run(&clone, &ctx).unwrap();
+            assert_bit_identical(edited.boundary(), &cone);
+        }
+    }
+
+    #[test]
+    fn clock_network_edit_retimes_check_rats_with_cppr() {
+        let g = clocked_graph();
+        let core = DesignCore::freeze(&g);
+        let ctx = Context::nominal(&g);
+        let options = AnalysisOptions { cppr: true, ..Default::default() };
+        let reference = ReferenceAnalysis::new(core.clone(), ctx.clone(), options).unwrap();
+        let mut scratch = reference.scratch();
+
+        // cb/A sits between the clock port and the buffered clock net, so
+        // bypassing it shifts every FF clock arrival and check RAT.
+        for victim in ["cb/A", "g2/A", "g3/Z"] {
+            let mut view = GraphView::new(core.clone());
+            view.bypass_node(find(&g, victim)).unwrap();
+            let cone = reference.retime(&view, &mut scratch).unwrap();
+            let full = Analysis::run_with_options(&view, &ctx, options).unwrap();
+            assert_bit_identical(full.boundary(), &cone);
+        }
+    }
+
+    #[test]
+    fn aocv_falls_back_to_full_view_analysis() {
+        let g = chain_graph(5);
+        let core = DesignCore::freeze(&g);
+        let ctx = Context::nominal(&g);
+        let options = AnalysisOptions { aocv: true, cppr: false };
+        let reference = ReferenceAnalysis::new(core.clone(), ctx.clone(), options).unwrap();
+        let mut scratch = reference.scratch();
+
+        let mut view = GraphView::new(core);
+        view.bypass_node(find(&g, "u2/Z")).unwrap();
+        let cone = reference.retime(&view, &mut scratch).unwrap();
+        assert_eq!(scratch.stats().full_fallbacks, 1);
+        let full = Analysis::run_with_options(&view, &ctx, options).unwrap();
+        assert_bit_identical(full.boundary(), &cone);
+    }
+
+    #[test]
+    fn retime_work_stays_inside_the_cone() {
+        let g = chain_graph(12);
+        let core = DesignCore::freeze(&g);
+        let reference =
+            ReferenceAnalysis::new(core.clone(), Context::nominal(&g), AnalysisOptions::default())
+                .unwrap();
+        let mut scratch = reference.scratch();
+        // Bypass near the output: the forward cone is a couple of nodes.
+        let mut view = GraphView::new(core);
+        view.bypass_node(find(&g, "u10/Z")).unwrap();
+        reference.retime(&view, &mut scratch).unwrap();
+        let s = scratch.stats();
+        assert!(
+            s.forward_recomputed < g.live_nodes() / 2,
+            "forward work {} should stay well below the {} live nodes",
+            s.forward_recomputed,
+            g.live_nodes()
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_across_probes_stays_exact() {
+        let g = chain_graph(6);
+        let core = DesignCore::freeze(&g);
+        let ctx = Context::nominal(&g);
+        let reference =
+            ReferenceAnalysis::new(core.clone(), ctx.clone(), AnalysisOptions::default()).unwrap();
+        let mut scratch = reference.scratch();
+        for i in 0..6 {
+            let mut view = GraphView::new(core.clone());
+            view.bypass_node(find(&g, &format!("u{i}/Z"))).unwrap();
+            let cone = reference.retime(&view, &mut scratch).unwrap();
+            let full = Analysis::run(&view, &ctx).unwrap();
+            assert_bit_identical(full.boundary(), &cone);
+        }
+        assert_eq!(scratch.stats().retimes, 6);
+    }
+
+    #[test]
+    fn foreign_views_and_scratches_are_rejected() {
+        let g = chain_graph(2);
+        let core_a = DesignCore::freeze(&g);
+        let core_b = DesignCore::freeze(&g);
+        let reference =
+            ReferenceAnalysis::new(core_a, Context::nominal(&g), AnalysisOptions::default())
+                .unwrap();
+        let mut scratch = reference.scratch();
+        let foreign = GraphView::new(core_b);
+        assert!(reference.retime(&foreign, &mut scratch).is_err());
+    }
+}

@@ -1,0 +1,799 @@
+//! Immutable design core + copy-on-write graph views.
+//!
+//! The timing-sensitivity metric (§4.1) probes the design once per
+//! candidate pin: remove the pin, re-time, measure the boundary error.
+//! Cloning the whole [`ArcGraph`] per probe makes TS generation
+//! O(pins × contexts × graph) in allocation alone. This module splits the
+//! graph into two layers so a probe costs only its own edits:
+//!
+//! - [`DesignCore`] — the frozen, [`Arc`]-shared part: node and arc
+//!   storage, CSR adjacency over the live arcs, ports, checks, topological
+//!   order and structural levels. Built once per design, never mutated.
+//! - [`GraphView`] — a lightweight overlay recording edits (hidden nodes
+//!   and arcs, composed replacement arcs) copy-on-write. Creating a view is
+//!   O(1); bypassing a pin touches only its own fan-in × fan-out.
+//!
+//! Both layers — and the original [`ArcGraph`] — implement the
+//! [`TimingGraph`] trait that the propagation engine runs against, so a
+//! view can be analysed directly without materialising an edited clone.
+//! Edits compose through the *same* pure helpers
+//! ([`crate::graph::compose_arc_pair`] / `merge_parallel_group` via
+//! [`GraphView::coalesce_parallel`]) that in-place editing uses, which is
+//! what makes view-driven results bit-identical to clone-driven ones.
+
+use crate::graph::{
+    compose_arc_pair, compose_sense, merge_parallel_group, ArcData, ArcGraph, ArcId, Check, Node,
+    NodeId, NodeKind, ParallelMerge, MAX_BYPASS_ARCS,
+};
+use crate::{Result, StaError};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The read surface the propagation engine needs from a timing graph.
+///
+/// Implemented by [`ArcGraph`] (flat designs and macro models),
+/// [`DesignCore`] (the frozen share) and [`GraphView`] (copy-on-write
+/// overlays). All adjacency iterators yield **live** arcs only.
+///
+/// Note for [`GraphView`]: [`TimingGraph::node`] returns the core's node
+/// record, whose `dead` flag does not reflect view edits — always use
+/// [`TimingGraph::node_dead`] for liveness.
+pub trait TimingGraph {
+    /// Total node slots including tombstones (valid index bound).
+    fn node_count(&self) -> usize;
+
+    /// Node by id (see the trait-level note about the `dead` flag on
+    /// views).
+    fn node(&self, id: NodeId) -> &Node;
+
+    /// Whether node `id` is dead (tombstoned in the core or hidden by a
+    /// view edit).
+    fn node_dead(&self, id: NodeId) -> bool;
+
+    /// Arc by id.
+    fn arc(&self, id: ArcId) -> &ArcData;
+
+    /// Live incoming arc ids of `n`.
+    fn fanin(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_;
+
+    /// Live outgoing arc ids of `n`.
+    fn fanout(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_;
+
+    /// Topological order over live nodes (dead nodes may appear and are
+    /// skipped by consumers; the order stays valid across bypass edits
+    /// because those only add arcs between nodes already ordered).
+    fn topo_order(&self) -> &[NodeId];
+
+    /// Primary input nodes, in context order.
+    fn primary_inputs(&self) -> &[NodeId];
+
+    /// Primary output nodes, in context order.
+    fn primary_outputs(&self) -> &[NodeId];
+
+    /// The clock source node, if any.
+    fn clock_source(&self) -> Option<NodeId>;
+
+    /// Setup/hold checks.
+    fn checks(&self) -> &[Check];
+
+    /// Live in-degree of `n`.
+    fn in_degree(&self, n: NodeId) -> usize {
+        self.fanin(n).count()
+    }
+
+    /// Live out-degree of `n`.
+    fn out_degree(&self, n: NodeId) -> usize {
+        self.fanout(n).count()
+    }
+
+    /// Effective load (fF) of a driving node given context PO loads indexed
+    /// by PO position.
+    fn load_of(&self, n: NodeId, po_loads: &[f64]) -> f64 {
+        let node = self.node(n);
+        let extra: f64 =
+            node.po_loads.iter().map(|&p| po_loads.get(p as usize).copied().unwrap_or(0.0)).sum();
+        node.base_load + extra
+    }
+
+    /// Structural levels: minimum arc count from any PI or clock source to
+    /// each node (`u32::MAX` for unreachable nodes). Mirrors
+    /// [`ArcGraph::levels_from_inputs`] exactly so AOCV depths agree across
+    /// graph representations.
+    fn levels_from_inputs(&self) -> Vec<u32> {
+        let mut level = vec![u32::MAX; self.node_count()];
+        for id in self.topo_order().to_vec() {
+            let i = id.index();
+            if self.node_dead(id) {
+                continue;
+            }
+            if matches!(self.node(id).kind, NodeKind::PrimaryInput(_) | NodeKind::ClockSource) {
+                level[i] = 0;
+            }
+            if level[i] == u32::MAX {
+                continue;
+            }
+            for a in self.fanout(id) {
+                let t = self.arc(a).to.index();
+                level[t] = level[t].min(level[i] + 1);
+            }
+        }
+        level
+    }
+}
+
+impl TimingGraph for ArcGraph {
+    fn node_count(&self) -> usize {
+        ArcGraph::node_count(self)
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        ArcGraph::node(self, id)
+    }
+
+    fn node_dead(&self, id: NodeId) -> bool {
+        ArcGraph::node(self, id).dead
+    }
+
+    fn arc(&self, id: ArcId) -> &ArcData {
+        ArcGraph::arc(self, id)
+    }
+
+    fn fanin(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_ {
+        ArcGraph::fanin(self, n)
+    }
+
+    fn fanout(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_ {
+        ArcGraph::fanout(self, n)
+    }
+
+    fn topo_order(&self) -> &[NodeId] {
+        ArcGraph::topo_order(self)
+    }
+
+    fn primary_inputs(&self) -> &[NodeId] {
+        ArcGraph::primary_inputs(self)
+    }
+
+    fn primary_outputs(&self) -> &[NodeId] {
+        ArcGraph::primary_outputs(self)
+    }
+
+    fn clock_source(&self) -> Option<NodeId> {
+        ArcGraph::clock_source(self)
+    }
+
+    fn checks(&self) -> &[Check] {
+        ArcGraph::checks(self)
+    }
+
+    fn in_degree(&self, n: NodeId) -> usize {
+        ArcGraph::in_degree(self, n)
+    }
+
+    fn out_degree(&self, n: NodeId) -> usize {
+        ArcGraph::out_degree(self, n)
+    }
+
+    fn load_of(&self, n: NodeId, po_loads: &[f64]) -> f64 {
+        ArcGraph::load_of(self, n, po_loads)
+    }
+
+    fn levels_from_inputs(&self) -> Vec<u32> {
+        ArcGraph::levels_from_inputs(self)
+    }
+}
+
+/// The immutable, shareable part of a design: full node/arc storage
+/// (tombstones included, so arc and node ids line up with the frozen
+/// graph), CSR adjacency over the live arcs, ports, checks, topological
+/// order and precomputed structural levels.
+///
+/// Built once per design by [`DesignCore::freeze`] and shared across
+/// threads behind an [`Arc`]; every TS probe then pays only for its own
+/// [`GraphView`] overlay.
+#[derive(Debug)]
+pub struct DesignCore {
+    name: String,
+    nodes: Vec<Node>,
+    arcs: Vec<ArcData>,
+    fanin_start: Vec<u32>,
+    fanin_ids: Vec<u32>,
+    fanout_start: Vec<u32>,
+    fanout_ids: Vec<u32>,
+    primary_inputs: Vec<NodeId>,
+    primary_outputs: Vec<NodeId>,
+    clock_source: Option<NodeId>,
+    checks: Vec<Check>,
+    topo: Vec<NodeId>,
+    levels: Vec<u32>,
+}
+
+impl DesignCore {
+    /// Freezes a graph into an immutable, `Arc`-shared core. The CSR
+    /// adjacency stores the *live* arc ids in the graph's original
+    /// adjacency order, so iteration order — and therefore every worst-case
+    /// merge tie-break — is identical to iterating the source graph.
+    #[must_use]
+    pub fn freeze(graph: &ArcGraph) -> Arc<DesignCore> {
+        let n = graph.node_count();
+        let mut fanin_start = Vec::with_capacity(n + 1);
+        let mut fanin_ids = Vec::new();
+        let mut fanout_start = Vec::with_capacity(n + 1);
+        let mut fanout_ids = Vec::new();
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            fanin_start.push(fanin_ids.len() as u32);
+            fanin_ids.extend(graph.fanin(id).map(|a| a.0));
+            fanout_start.push(fanout_ids.len() as u32);
+            fanout_ids.extend(graph.fanout(id).map(|a| a.0));
+        }
+        fanin_start.push(fanin_ids.len() as u32);
+        fanout_start.push(fanout_ids.len() as u32);
+        Arc::new(DesignCore {
+            name: graph.name().to_string(),
+            nodes: graph.nodes().to_vec(),
+            arcs: graph.arcs().to_vec(),
+            fanin_start,
+            fanin_ids,
+            fanout_start,
+            fanout_ids,
+            primary_inputs: graph.primary_inputs().to_vec(),
+            primary_outputs: graph.primary_outputs().to_vec(),
+            clock_source: graph.clock_source(),
+            checks: graph.checks().to_vec(),
+            topo: graph.topo_order().to_vec(),
+            levels: graph.levels_from_inputs(),
+        })
+    }
+
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of arc slots stored by the core (extra view arcs get ids
+    /// starting here).
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Live fan-in arc ids of `n` (CSR slice).
+    #[must_use]
+    pub fn fanin_slice(&self, n: NodeId) -> &[u32] {
+        &self.fanin_ids[self.fanin_start[n.index()] as usize..self.fanin_start[n.index() + 1] as usize]
+    }
+
+    /// Live fan-out arc ids of `n` (CSR slice).
+    #[must_use]
+    pub fn fanout_slice(&self, n: NodeId) -> &[u32] {
+        &self.fanout_ids
+            [self.fanout_start[n.index()] as usize..self.fanout_start[n.index() + 1] as usize]
+    }
+
+    /// Rough memory footprint of the core in bytes. Counted **once** per
+    /// design no matter how many views share it (views account their own
+    /// overlays via [`GraphView::memory_estimate`]).
+    #[must_use]
+    pub fn memory_estimate(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| std::mem::size_of::<Node>() + n.name.len() + n.po_loads.len() * 4)
+            .sum();
+        let arc_bytes = self.arcs.len() * std::mem::size_of::<ArcData>();
+        let lut_bytes: usize = self
+            .arcs
+            .iter()
+            .filter(|a| !a.dead)
+            .map(|a| a.timing.lut_entries())
+            .sum::<usize>()
+            * std::mem::size_of::<f64>();
+        let adj_bytes = (self.fanin_ids.len()
+            + self.fanout_ids.len()
+            + self.fanin_start.len()
+            + self.fanout_start.len())
+            * 4;
+        node_bytes + arc_bytes + lut_bytes + adj_bytes + (self.topo.len() + self.levels.len()) * 4
+    }
+}
+
+impl TimingGraph for DesignCore {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn node_dead(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].dead
+    }
+
+    fn arc(&self, id: ArcId) -> &ArcData {
+        &self.arcs[id.index()]
+    }
+
+    fn fanin(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_ {
+        self.fanin_slice(n).iter().map(|&i| ArcId(i))
+    }
+
+    fn fanout(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_ {
+        self.fanout_slice(n).iter().map(|&i| ArcId(i))
+    }
+
+    fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    fn primary_inputs(&self) -> &[NodeId] {
+        &self.primary_inputs
+    }
+
+    fn primary_outputs(&self) -> &[NodeId] {
+        &self.primary_outputs
+    }
+
+    fn clock_source(&self) -> Option<NodeId> {
+        self.clock_source
+    }
+
+    fn checks(&self) -> &[Check] {
+        &self.checks
+    }
+
+    fn in_degree(&self, n: NodeId) -> usize {
+        self.fanin_slice(n).len()
+    }
+
+    fn out_degree(&self, n: NodeId) -> usize {
+        self.fanout_slice(n).len()
+    }
+
+    fn levels_from_inputs(&self) -> Vec<u32> {
+        self.levels.clone()
+    }
+}
+
+/// A copy-on-write overlay over an [`Arc`]-shared [`DesignCore`].
+///
+/// Records hidden (logically deleted) nodes and arcs plus composed
+/// replacement arcs without touching the core. Replacement arcs get ids
+/// continuing after the core's arc slots, appended in creation order — the
+/// same order in-place editing of a clone would have produced — so
+/// adjacency iteration, and with it every worst-merge tie-break, matches
+/// the edited clone bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct GraphView {
+    core: Arc<DesignCore>,
+    hidden_nodes: HashSet<u32>,
+    hidden_arcs: HashSet<u32>,
+    extra_arcs: Vec<ArcData>,
+    extra_fanin: HashMap<u32, Vec<u32>>,
+    extra_fanout: HashMap<u32, Vec<u32>>,
+}
+
+impl GraphView {
+    /// Creates an edit-free view of `core` (O(1); no per-node state).
+    #[must_use]
+    pub fn new(core: Arc<DesignCore>) -> Self {
+        GraphView {
+            core,
+            hidden_nodes: HashSet::new(),
+            hidden_arcs: HashSet::new(),
+            extra_arcs: Vec::new(),
+            extra_fanin: HashMap::new(),
+            extra_fanout: HashMap::new(),
+        }
+    }
+
+    /// The shared core this view overlays.
+    #[must_use]
+    pub fn core(&self) -> &Arc<DesignCore> {
+        &self.core
+    }
+
+    /// `true` when the view carries no edits.
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        self.hidden_nodes.is_empty() && self.hidden_arcs.is_empty() && self.extra_arcs.is_empty()
+    }
+
+    /// Ids of arcs hidden by view edits.
+    pub fn hidden_arc_ids(&self) -> impl Iterator<Item = ArcId> + '_ {
+        self.hidden_arcs.iter().map(|&i| ArcId(i))
+    }
+
+    /// Ids of the replacement arcs this view added (including any that a
+    /// later edit hid again; check [`GraphView::arc_hidden`]).
+    pub fn extra_arc_ids(&self) -> impl Iterator<Item = ArcId> + '_ {
+        let base = self.core.arc_count() as u32;
+        (0..self.extra_arcs.len() as u32).map(move |i| ArcId(base + i))
+    }
+
+    /// Whether arc `a` is hidden by a view edit.
+    #[must_use]
+    pub fn arc_hidden(&self, a: ArcId) -> bool {
+        self.hidden_arcs.contains(&a.0)
+    }
+
+    /// Whether node `n` is hidden by a view edit.
+    #[must_use]
+    pub fn node_hidden(&self, n: NodeId) -> bool {
+        self.hidden_nodes.contains(&n.0)
+    }
+
+    fn push_extra(&mut self, arc: ArcData) -> ArcId {
+        let id = (self.core.arc_count() + self.extra_arcs.len()) as u32;
+        self.extra_fanout.entry(arc.from.0).or_default().push(id);
+        self.extra_fanin.entry(arc.to.0).or_default().push(id);
+        self.extra_arcs.push(arc);
+        ArcId(id)
+    }
+
+    /// Whether `n` is eligible for [`GraphView::bypass_node`] (mirrors
+    /// [`ArcGraph::can_bypass`]).
+    #[must_use]
+    pub fn can_bypass(&self, n: NodeId) -> bool {
+        self.can_bypass_with_limit(n, MAX_BYPASS_ARCS)
+    }
+
+    /// Like [`GraphView::can_bypass`] with an explicit fan-in × fan-out
+    /// budget.
+    #[must_use]
+    pub fn can_bypass_with_limit(&self, n: NodeId, limit: usize) -> bool {
+        if n.index() >= self.core.node_count() {
+            return false;
+        }
+        if self.node_dead(n) || self.core.node(n).kind != NodeKind::Internal {
+            return false;
+        }
+        let fi = TimingGraph::in_degree(self, n);
+        let fo = TimingGraph::out_degree(self, n);
+        fi * fo <= limit
+    }
+
+    /// Copy-on-write serial merge: hides `n` and its arcs, adds one
+    /// composed replacement arc per fan-in × fan-out pair. Semantically
+    /// identical to [`ArcGraph::bypass_node`] on an edited clone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::IllegalEdit`] when the node is a port, a
+    /// flip-flop pin, dead, or the merge would exceed [`MAX_BYPASS_ARCS`].
+    pub fn bypass_node(&mut self, n: NodeId) -> Result<()> {
+        self.bypass_node_with_limit(n, MAX_BYPASS_ARCS)
+    }
+
+    /// Like [`GraphView::bypass_node`] with an explicit fan-in × fan-out
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphView::bypass_node`], with `limit`
+    /// replacing [`MAX_BYPASS_ARCS`].
+    pub fn bypass_node_with_limit(&mut self, n: NodeId, limit: usize) -> Result<()> {
+        if n.index() >= self.core.node_count() {
+            return Err(StaError::NodeOutOfRange(n.index()));
+        }
+        if !self.can_bypass_with_limit(n, limit) {
+            return Err(StaError::IllegalEdit(format!(
+                "node {} ({}) cannot be bypassed",
+                n,
+                self.core.node(n).name
+            )));
+        }
+        let ins: Vec<ArcId> = TimingGraph::fanin(self, n).collect();
+        let outs: Vec<ArcId> = TimingGraph::fanout(self, n).collect();
+        let mid_load = self.core.node(n).base_load;
+        let was_clock = self.core.node(n).is_clock_network;
+        let mut new_arcs: Vec<ArcData> = Vec::with_capacity(ins.len() * outs.len());
+        for &ia in &ins {
+            for &oa in &outs {
+                let arc_a = TimingGraph::arc(self, ia);
+                let arc_b = TimingGraph::arc(self, oa);
+                let composed = compose_arc_pair(arc_a, arc_b, mid_load);
+                new_arcs.push(ArcData {
+                    from: arc_a.from,
+                    to: arc_b.to,
+                    sense: compose_sense(arc_a.sense, arc_b.sense),
+                    timing: composed,
+                    is_clock: was_clock && arc_a.is_clock && arc_b.is_clock,
+                    dead: false,
+                });
+            }
+        }
+        for arc in new_arcs {
+            self.push_extra(arc);
+        }
+        for a in ins.into_iter().chain(outs) {
+            self.hidden_arcs.insert(a.0);
+        }
+        self.hidden_nodes.insert(n.0);
+        Ok(())
+    }
+
+    /// Copy-on-write parallel merge of all live arcs sharing `(from, to)`;
+    /// semantically identical to [`ArcGraph::coalesce_parallel`]. Returns
+    /// the number of arcs removed.
+    pub fn coalesce_parallel(&mut self, from: NodeId, to: NodeId) -> usize {
+        let group: Vec<ArcId> =
+            TimingGraph::fanout(self, from).filter(|&a| TimingGraph::arc(self, a).to == to).collect();
+        if group.len() < 2 {
+            return 0;
+        }
+        let merged = {
+            let members: Vec<&ArcData> =
+                group.iter().map(|&a| TimingGraph::arc(self, a)).collect();
+            merge_parallel_group(&members)
+        };
+        match merged {
+            ParallelMerge::KeepFirst => {
+                for &a in &group[1..] {
+                    self.hidden_arcs.insert(a.0);
+                }
+            }
+            ParallelMerge::Replace { sense, timing, is_clock } => {
+                for &a in &group {
+                    self.hidden_arcs.insert(a.0);
+                }
+                self.push_extra(ArcData { from, to, sense, timing, is_clock, dead: false });
+            }
+        }
+        group.len() - 1
+    }
+
+    /// Copy-on-write pendant of [`ArcGraph::prune_dangling`]: hides a
+    /// dangling internal node along with its remaining arcs. Ports, FF pins
+    /// and clock-network nodes are never removed. Returns `true` if the
+    /// node was hidden.
+    pub fn prune_dangling(&mut self, n: NodeId) -> bool {
+        if n.index() >= self.core.node_count() {
+            return false;
+        }
+        let node = self.core.node(n);
+        if self.node_dead(n)
+            || node.kind != NodeKind::Internal
+            || node.is_clock_network
+            || (TimingGraph::in_degree(self, n) > 0 && TimingGraph::out_degree(self, n) > 0)
+        {
+            return false;
+        }
+        let arcs: Vec<ArcId> =
+            TimingGraph::fanin(self, n).chain(TimingGraph::fanout(self, n)).collect();
+        for a in arcs {
+            self.hidden_arcs.insert(a.0);
+        }
+        self.hidden_nodes.insert(n.0);
+        true
+    }
+
+    /// Rough memory footprint of this view's **overlay only** in bytes
+    /// (the shared core is accounted once via
+    /// [`DesignCore::memory_estimate`]).
+    #[must_use]
+    pub fn memory_estimate(&self) -> usize {
+        let hidden_bytes = (self.hidden_nodes.len() + self.hidden_arcs.len()) * 4;
+        let extra_arc_bytes = self.extra_arcs.len() * std::mem::size_of::<ArcData>();
+        let extra_lut_bytes: usize =
+            self.extra_arcs.iter().map(|a| a.timing.lut_entries()).sum::<usize>()
+                * std::mem::size_of::<f64>();
+        let adj_bytes: usize = self
+            .extra_fanin
+            .values()
+            .chain(self.extra_fanout.values())
+            .map(|v| v.len() * 4 + 24)
+            .sum();
+        hidden_bytes + extra_arc_bytes + extra_lut_bytes + adj_bytes
+    }
+
+    /// Materialises the edited graph as a standalone [`ArcGraph`]: core
+    /// nodes/arcs with hidden ones tombstoned, extra arcs appended in
+    /// creation order, adjacency rebuilt in arc-id order — byte-identical
+    /// to what in-place editing of a clone of the frozen graph would have
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::CombinationalCycle`] when the live arcs form a
+    /// cycle (impossible for views edited only through bypass/coalesce of a
+    /// valid DAG, possible for corrupted cores).
+    pub fn materialize(&self) -> Result<ArcGraph> {
+        let mut nodes = self.core.nodes.clone();
+        for &h in &self.hidden_nodes {
+            nodes[h as usize].dead = true;
+        }
+        let mut arcs = self.core.arcs.clone();
+        arcs.extend(self.extra_arcs.iter().cloned());
+        for &h in &self.hidden_arcs {
+            arcs[h as usize].dead = true;
+        }
+        ArcGraph::from_parts(
+            self.core.name.clone(),
+            nodes,
+            arcs,
+            self.core.primary_inputs.clone(),
+            self.core.primary_outputs.clone(),
+            self.core.clock_source,
+            self.core.checks.clone(),
+        )
+    }
+}
+
+impl TimingGraph for GraphView {
+    fn node_count(&self) -> usize {
+        self.core.node_count()
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        self.core.node(id)
+    }
+
+    fn node_dead(&self, id: NodeId) -> bool {
+        self.core.node_dead(id) || self.hidden_nodes.contains(&id.0)
+    }
+
+    fn arc(&self, id: ArcId) -> &ArcData {
+        let base = self.core.arc_count();
+        if id.index() < base {
+            self.core.arc(id)
+        } else {
+            &self.extra_arcs[id.index() - base]
+        }
+    }
+
+    fn fanin(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_ {
+        self.core
+            .fanin_slice(n)
+            .iter()
+            .copied()
+            .chain(self.extra_fanin.get(&n.0).into_iter().flatten().copied())
+            .filter(move |i| !self.hidden_arcs.contains(i))
+            .map(ArcId)
+    }
+
+    fn fanout(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_ {
+        self.core
+            .fanout_slice(n)
+            .iter()
+            .copied()
+            .chain(self.extra_fanout.get(&n.0).into_iter().flatten().copied())
+            .filter(move |i| !self.hidden_arcs.contains(i))
+            .map(ArcId)
+    }
+
+    fn topo_order(&self) -> &[NodeId] {
+        self.core.topo_order()
+    }
+
+    fn primary_inputs(&self) -> &[NodeId] {
+        TimingGraph::primary_inputs(&*self.core)
+    }
+
+    fn primary_outputs(&self) -> &[NodeId] {
+        TimingGraph::primary_outputs(&*self.core)
+    }
+
+    fn clock_source(&self) -> Option<NodeId> {
+        TimingGraph::clock_source(&*self.core)
+    }
+
+    fn checks(&self) -> &[Check] {
+        TimingGraph::checks(&*self.core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Context;
+    use crate::liberty::Library;
+    use crate::netlist::NetlistBuilder;
+    use crate::propagate::Analysis;
+
+    fn chain_graph(n_inv: usize) -> ArcGraph {
+        let lib = Library::synthetic(1);
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let a = b.input("a").unwrap();
+        let z = b.output("z").unwrap();
+        let mut prev = a;
+        for i in 0..n_inv {
+            let c = b.cell(&format!("u{i}"), "INVX1").unwrap();
+            b.connect(&format!("n{i}"), prev, &[b.pin_of(c, "A").unwrap()]).unwrap();
+            prev = b.pin_of(c, "Z").unwrap();
+        }
+        b.connect("n_out", prev, &[z]).unwrap();
+        ArcGraph::from_netlist(&b.finish().unwrap(), &lib).unwrap()
+    }
+
+    fn find(g: &ArcGraph, name: &str) -> NodeId {
+        NodeId(g.nodes().iter().position(|n| n.name == name).unwrap() as u32)
+    }
+
+    #[test]
+    fn pristine_view_matches_source_graph() {
+        let g = chain_graph(3);
+        let core = DesignCore::freeze(&g);
+        let view = GraphView::new(core.clone());
+        assert!(view.is_pristine());
+        assert_eq!(TimingGraph::node_count(&view), g.node_count());
+        for i in 0..g.node_count() {
+            let n = NodeId(i as u32);
+            assert_eq!(view.node_dead(n), g.node(n).dead);
+            let a: Vec<ArcId> = g.fanin(n).collect();
+            let b: Vec<ArcId> = TimingGraph::fanin(&view, n).collect();
+            assert_eq!(a, b, "fanin order must be preserved");
+            let a: Vec<ArcId> = g.fanout(n).collect();
+            let b: Vec<ArcId> = TimingGraph::fanout(&view, n).collect();
+            assert_eq!(a, b, "fanout order must be preserved");
+        }
+        assert_eq!(TimingGraph::topo_order(&view), g.topo_order());
+        assert_eq!(view.levels_from_inputs(), g.levels_from_inputs());
+    }
+
+    #[test]
+    fn view_bypass_matches_clone_bypass_bit_exactly() {
+        let g = chain_graph(3);
+        let core = DesignCore::freeze(&g);
+        let mid = find(&g, "u1/Z");
+
+        let mut clone = g.clone();
+        clone.bypass_node(mid).unwrap();
+        let mut view = GraphView::new(core);
+        view.bypass_node(mid).unwrap();
+        let materialized = view.materialize().unwrap();
+
+        let ctx = Context::nominal(&g);
+        let a = Analysis::run(&clone, &ctx).unwrap();
+        let b = Analysis::run(&materialized, &ctx).unwrap();
+        let d = a.boundary().diff(b.boundary());
+        assert_eq!(d.max, 0.0, "materialised view must time identically");
+        // The view itself (without materialising) must also agree.
+        let c = Analysis::run(&view, &ctx).unwrap();
+        assert_eq!(a.boundary().diff(c.boundary()).max, 0.0);
+        assert_eq!(clone.live_arcs(), materialized.live_arcs());
+        assert_eq!(clone.live_nodes(), materialized.live_nodes());
+    }
+
+    #[test]
+    fn view_refuses_ports_and_double_bypass() {
+        let g = chain_graph(2);
+        let core = DesignCore::freeze(&g);
+        let mut view = GraphView::new(core);
+        assert!(view.bypass_node(g.primary_inputs()[0]).is_err());
+        let mid = find(&g, "u0/Z");
+        view.bypass_node(mid).unwrap();
+        assert!(view.bypass_node(mid).is_err(), "hidden node cannot be bypassed again");
+        assert!(!view.can_bypass(mid));
+    }
+
+    #[test]
+    fn overlay_memory_is_small_against_the_core() {
+        let g = chain_graph(6);
+        let core = DesignCore::freeze(&g);
+        let mut view = GraphView::new(core.clone());
+        assert_eq!(GraphView::new(core.clone()).memory_estimate(), 0);
+        view.bypass_node(find(&g, "u2/Z")).unwrap();
+        assert!(view.memory_estimate() > 0);
+        assert!(
+            view.memory_estimate() < core.memory_estimate() / 2,
+            "one bypass overlay ({}) must stay far below the core ({})",
+            view.memory_estimate(),
+            core.memory_estimate()
+        );
+    }
+
+    #[test]
+    fn materialize_round_trips_unedited_view() {
+        let g = chain_graph(2);
+        let core = DesignCore::freeze(&g);
+        let view = GraphView::new(core);
+        let m = view.materialize().unwrap();
+        assert_eq!(m.live_nodes(), g.live_nodes());
+        assert_eq!(m.live_arcs(), g.live_arcs());
+        assert_eq!(m.topo_order(), g.topo_order());
+        m.validate().unwrap();
+    }
+}

@@ -4,7 +4,7 @@
 //! tmm gen      --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
 //! tmm stats    --design <design.tmm> --lib <lib.tmm>
 //! tmm model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
-//!              [--method ours|itimerm|libabs|atm] [--cppr] [--aocv]
+//!              [--method ours|itimerm|libabs|atm] [--cppr] [--aocv] [--threads <n>]
 //! tmm time     --model <model.tmm> [--contexts <n>] [--cppr] [--aocv]
 //! tmm eval     --design <design.tmm> --lib <lib.tmm> --model <model.tmm>
 //!              [--contexts <n>] [--cppr] [--aocv]
@@ -223,6 +223,9 @@ fn cmd_model(args: &Args) -> CliResult {
     let method = args.get_or("method", "ours");
     let cppr = args.switch("cppr");
     let aocv = args.switch("aocv");
+    // 1 = sequential (the default), 0 = one worker per hardware thread.
+    // Any value is bit-identical to sequential; this only changes speed.
+    let threads: usize = args.parsed("threads", "1")?;
 
     let netlist = load_netlist(design_path, &lib)?;
     let flat = ArcGraph::from_netlist(&netlist, &lib)
@@ -236,7 +239,8 @@ fn cmd_model(args: &Args) -> CliResult {
                 with_cppr_feature: cppr,
                 aocv_mode: aocv,
                 ..Default::default()
-            };
+            }
+            .with_threads(threads);
             // Reuse a previously exported GNN when provided; otherwise
             // train on the design itself.
             let mut fw = match args.flags.get("gnn") {
@@ -450,7 +454,7 @@ const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate> [--
   stats    --design <design.tmm> --lib <lib.tmm>
   model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
            [--method ours|itimerm|libabs|atm] [--gnn <gnn.tmm>] [--gnn-out <gnn.tmm>]
-           [--cppr] [--aocv]
+           [--cppr] [--aocv] [--threads <n>]  (1 = sequential, 0 = all cores)
   time     --model <model.tmm> [--contexts <n>] [--context <ctx.tmm>] [--paths <k>]
            [--cppr] [--aocv]
   eval     --design <design.tmm> --lib <lib.tmm> --model <model.tmm>

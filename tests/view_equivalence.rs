@@ -1,0 +1,113 @@
+//! Cross-engine equivalence properties for the DesignCore/GraphView split.
+//!
+//! The copy-on-write view machinery is only admissible because it changes
+//! *nothing* observable: TS probed through a [`GraphView`] + cone-limited
+//! retime must equal the legacy clone-per-pin sweep bit-for-bit (under any
+//! thread count), and macro models merged through a view must serialise to
+//! the exact bytes the in-place reducer produces. These properties are
+//! exercised here over randomly generated designs and seeds.
+
+use proptest::prelude::*;
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::macromodel::{
+    extract_ilm, MacroModel, MacroModelOptions, ReduceEngine,
+};
+use timing_macro_gnn::sensitivity::{
+    evaluate_ts, filter_insensitive, FilterOptions, TsEngine, TsOptions,
+};
+use timing_macro_gnn::sta::graph::ArcGraph;
+use timing_macro_gnn::sta::liberty::Library;
+
+fn generated_ilm(seed: u64, banks: usize, depth: usize) -> ArcGraph {
+    let lib = Library::synthetic(55);
+    let netlist = CircuitSpec::new("veq")
+        .inputs(4)
+        .outputs(4)
+        .register_banks(banks, 3)
+        .cloud(depth, 5)
+        .seed(seed)
+        .generate(&lib)
+        .unwrap();
+    let flat = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+    extract_ilm(&flat).unwrap().0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// View-engine TS equals clone-engine TS bit-exactly — sequentially and
+    /// with worker threads — on any generated design.
+    #[test]
+    fn view_ts_equals_clone_ts_bit_exactly(
+        seed in 0u64..500,
+        banks in 1usize..3,
+        depth in 1usize..3,
+        cppr in proptest::bool::ANY,
+    ) {
+        let ilm = generated_ilm(seed, banks, depth);
+        let filter = filter_insensitive(&ilm, &FilterOptions::default()).unwrap();
+        for threads in [1usize, 2] {
+            let base = TsOptions { contexts: 2, threads, cppr, ..Default::default() };
+            let clone_ts = evaluate_ts(
+                &ilm,
+                &filter.survivors,
+                &TsOptions { engine: TsEngine::Clone, ..base },
+            )
+            .unwrap();
+            let view_ts = evaluate_ts(
+                &ilm,
+                &filter.survivors,
+                &TsOptions { engine: TsEngine::View, ..base },
+            )
+            .unwrap();
+            prop_assert_eq!(clone_ts.evaluated, view_ts.evaluated);
+            prop_assert_eq!(clone_ts.skipped, view_ts.skipped);
+            prop_assert_eq!(clone_ts.failures.len(), view_ts.failures.len());
+            for (a, b) in clone_ts.ts.iter().zip(&view_ts.ts) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Macro models merged through a GraphView serialise byte-identically
+    /// to in-place reduction, for random keep masks.
+    #[test]
+    fn view_merging_serializes_byte_identically(
+        seed in 0u64..500,
+        banks in 1usize..3,
+        depth in 1usize..3,
+        keep_bias in 0.0f64..1.0,
+    ) {
+        let lib = Library::synthetic(55);
+        let netlist = CircuitSpec::new("veq")
+            .inputs(4)
+            .outputs(4)
+            .register_banks(banks, 3)
+            .cloud(depth, 5)
+            .seed(seed)
+            .generate(&lib)
+            .unwrap();
+        let flat = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+        // Deterministic pseudo-random keep mask derived from the node index.
+        let keep: Vec<bool> = (0..flat.node_count())
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+                ((h >> 32) as f64) / f64::from(u32::MAX) < keep_bias
+            })
+            .collect();
+        let via_view = MacroModel::generate(
+            &flat,
+            &keep,
+            &MacroModelOptions { reduce_engine: ReduceEngine::View, ..Default::default() },
+        )
+        .unwrap();
+        let in_place = MacroModel::generate(
+            &flat,
+            &keep,
+            &MacroModelOptions { reduce_engine: ReduceEngine::InPlace, ..Default::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(via_view.stats().reduce, in_place.stats().reduce);
+        prop_assert_eq!(via_view.serialize(), in_place.serialize());
+    }
+}
