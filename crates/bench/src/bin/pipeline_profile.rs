@@ -4,15 +4,51 @@
 //! time, and — for unseen designs under the same delay model — only
 //! inference + model generation.
 
+// Experiment driver: aborting with a message on a broken setup is the
+// intended failure mode (the clippy gate targets library code paths).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Instant;
 use tmm_bench::library;
 use tmm_circuits::designs::{eval_suite, training_suite};
 use tmm_core::{Framework, FrameworkConfig};
+use tmm_gnn::{Backend, GnnModel, TrainSample};
 use tmm_macromodel::extract_ilm;
 use tmm_sensitivity::{
     build_dataset, evaluate_ts, filter_insensitive, FilterOptions, TsEngine, TsOptions,
 };
 use tmm_sta::graph::ArcGraph;
+
+/// Trains the framework's model on the prepared samples with the given
+/// kernel backend and thread count; returns the wall-clock seconds and a
+/// bit-exact fingerprint (weights + loss histories + predictions).
+fn train_kernels(
+    config: &FrameworkConfig,
+    samples: &[TrainSample],
+    backend: Backend,
+    threads: usize,
+) -> (f64, (String, Vec<u32>, Vec<u32>)) {
+    let mut model = GnnModel::new(
+        config.feature_count(),
+        tmm_gnn::ModelConfig { task: config.task(), ..config.model },
+    );
+    let cfg = tmm_gnn::TrainConfig { backend, threads, ..config.train };
+    let t = Instant::now();
+    let report = model.train(samples, &cfg);
+    let secs = t.elapsed().as_secs_f64();
+    let losses: Vec<u32> = report
+        .history
+        .iter()
+        .chain(&report.val_history)
+        .map(|x| x.to_bits())
+        .collect();
+    let preds: Vec<u32> = samples
+        .iter()
+        .flat_map(|s| model.predict_par(&s.graph, &s.features, threads))
+        .map(|x| x.to_bits())
+        .collect();
+    (secs, (model.to_text(), losses, preds))
+}
 
 fn main() {
     let lib = library();
@@ -81,20 +117,58 @@ fn main() {
         clone_time / view_time.max(1e-12)
     );
 
-    // Stage 1b: full TS data generation (includes the filter).
+    // Stage 1b: full TS data generation (includes the filter). The samples
+    // are kept for stage 2': the GNN kernel comparison trains on exactly
+    // the datasets the framework trains on.
     let t = Instant::now();
     let mut positive = 0.0;
+    let mut samples = Vec::new();
     for e in &suite {
         let flat = ArcGraph::from_netlist(&e.netlist, &lib).expect("lowering");
         let (ilm, _) = extract_ilm(&flat).expect("ilm");
         let ds = build_dataset(&ilm, &config.dataset_options()).expect("dataset");
         positive += ds.positive_rate;
+        samples.push(ds.sample);
     }
     println!(
         "  TS data generation (6 designs)   : {:>8.2} s  (mean positive rate {:.1}%)",
         t.elapsed().as_secs_f64(),
         100.0 * positive / suite.len() as f64
     );
+
+    // Stage 2': the GNN compute-kernel comparison — the retained naive
+    // reference kernels (sequential) versus the blocked/parallel kernels
+    // at 4 threads, on the same training suite. Both runs must agree
+    // bit-for-bit on weights, loss histories, and predictions: the blocked
+    // path is a reimplementation, not a re-tuning.
+    let (naive_s, naive_fp) = train_kernels(&config, &samples, Backend::Naive, 1);
+    let (seq_s, seq_fp) = train_kernels(&config, &samples, Backend::Blocked, 1);
+    let (blocked_s, blocked_fp) = train_kernels(&config, &samples, Backend::Blocked, 4);
+    assert_eq!(
+        naive_fp, seq_fp,
+        "blocked kernels must train bit-identically to the naive reference"
+    );
+    assert_eq!(
+        seq_fp, blocked_fp,
+        "blocked kernels must be thread-count invariant"
+    );
+    let seq_speedup = naive_s / seq_s.max(1e-12);
+    let speedup = naive_s / blocked_s.max(1e-12);
+    println!(
+        "  GNN train kernels: naive (1t)    : {naive_s:>8.2} s  (reference)"
+    );
+    println!(
+        "  GNN train kernels: blocked (1t)  : {seq_s:>8.2} s  ({seq_speedup:.1}x, kernel effect alone)"
+    );
+    println!(
+        "  GNN train kernels: blocked (4t)  : {blocked_s:>8.2} s  ({speedup:.1}x faster, output bit-identical)"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"gnn_train\",\n  \"naive_seconds\": {naive_s:.4},\n  \"blocked_seconds_1t\": {seq_s:.4},\n  \"blocked_seconds_4t\": {blocked_s:.4},\n  \"speedup_1t\": {seq_speedup:.2},\n  \"speedup_4t\": {speedup:.2}\n}}\n"
+    );
+    if let Err(e) = std::fs::write("BENCH_gnn_train.json", &json) {
+        eprintln!("warning: could not write BENCH_gnn_train.json: {e}");
+    }
 
     // Stage 2: GNN training.
     let designs: Vec<(String, tmm_sta::netlist::Netlist)> =

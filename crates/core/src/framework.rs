@@ -60,6 +60,11 @@ pub struct TrainingSummary {
     /// Designs skipped because validation or lowering failed; training
     /// proceeded on the remaining designs.
     pub quarantined: Vec<QuarantinedDesign>,
+    /// Per-design `(name, pin count)` of pins whose TS evaluation was
+    /// quarantined during the sweep (kept conservatively as variant). Only
+    /// designs with at least one such pin appear; callers should log each
+    /// entry once at warn level rather than per pin.
+    pub ts_quarantined: Vec<(String, usize)>,
     /// Final training loss.
     pub final_loss: f32,
     /// Aggregate confusion counts of the trained model on its own training
@@ -200,11 +205,16 @@ impl Framework {
         let mut samples: Vec<TrainSample> = Vec::with_capacity(designs.len());
         let mut design_positive_rates = Vec::with_capacity(designs.len());
         let mut quarantined: Vec<QuarantinedDesign> = Vec::new();
+        let mut ts_quarantined: Vec<(String, usize)> = Vec::new();
         let ds_opts = self.config.dataset_options();
         for (name, netlist) in designs {
             match self.prepare_design(name, netlist, library, &ds_opts) {
                 Ok(dataset) => {
                     design_positive_rates.push((name.clone(), dataset.positive_rate));
+                    let failures = dataset.ts_failure_count();
+                    if failures > 0 {
+                        ts_quarantined.push((name.clone(), failures));
+                    }
                     samples.push(dataset.sample);
                 }
                 Err(e) => quarantined.push(QuarantinedDesign {
@@ -248,7 +258,7 @@ impl Framework {
         let mut train_metrics = ConfusionCounts::default();
         if !self.config.regression && !self.degraded {
             for s in &samples {
-                let probs = gnn.predict(&s.graph, &s.features);
+                let probs = gnn.predict_par(&s.graph, &s.features, self.config.train.threads);
                 let m = classify_metrics(
                     &probs,
                     &s.labels,
@@ -265,6 +275,7 @@ impl Framework {
         Ok(TrainingSummary {
             design_positive_rates,
             quarantined,
+            ts_quarantined,
             final_loss: report.final_loss,
             train_metrics,
             retries: report.retries,
@@ -309,7 +320,7 @@ impl Framework {
         let features = extract_features(ilm, self.config.with_cppr_feature);
         let graph =
             NodeGraph::from_edges(ilm.node_count(), &pin_graph_edges(ilm), NeighborMode::Undirected);
-        let scores = model.predict(&graph, &features);
+        let scores = model.predict_par(&graph, &features, self.config.train.threads);
         let mut keep: Vec<bool> = scores
             .iter()
             .map(|&p| {

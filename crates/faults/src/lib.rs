@@ -489,7 +489,9 @@ pub fn corrupt_graph(op: FaultOp, graph: &mut ArcGraph, seed: u64) -> bool {
     }
     match op {
         FaultOp::NegativePinCap => {
-            let &victim = live_nodes.as_slice().choose(&mut rng).expect("non-empty");
+            let Some(&victim) = live_nodes.as_slice().choose(&mut rng) else {
+                return false;
+            };
             graph.node_mut(victim).base_load = -1.0;
             true
         }

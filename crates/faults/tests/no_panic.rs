@@ -7,6 +7,10 @@
 //! deterministically; a property test on top samples a much wider seed
 //! space.
 
+// Integration-test harness code: the clippy.toml test exemptions do not
+// reach helper fns outside #[test], so state the exemption explicitly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use tmm_faults::{corrupt_text, FaultOp};
 use tmm_macromodel::{MacroModel, MacroModelOptions};

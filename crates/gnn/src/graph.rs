@@ -20,10 +20,26 @@ pub enum NeighborMode {
 }
 
 /// An immutable CSR adjacency used for mean aggregation.
+///
+/// Besides the forward CSR, construction precomputes the *transpose* CSR
+/// (`t_offsets`/`t_sources`: for each node, the list of nodes that aggregate
+/// from it, in the exact order the sequential adjoint scatter would visit
+/// them) plus the `1/|N(i)|` and `1/√(|N(i)|+1)` scalings. This lets the
+/// kernel layer run the aggregation adjoint as a race-free row-parallel
+/// gather that is bit-identical to the scatter reference.
 #[derive(Debug, Clone)]
 pub struct NodeGraph {
     offsets: Vec<u32>,
     neighbors: Vec<u32>,
+    /// Transpose CSR offsets (who aggregates *from* node `j`).
+    t_offsets: Vec<u32>,
+    /// Transpose CSR sources, per destination in ascending `(source,
+    /// position)` order — the adjoint scatter's addition order.
+    t_sources: Vec<u32>,
+    /// `1/|N(i)|` (0 for isolated nodes).
+    inv_deg: Vec<f32>,
+    /// `1/√(|N(i)|+1)` — the GCN symmetric normalisation.
+    inv_sqrt_deg: Vec<f32>,
     nodes: usize,
 }
 
@@ -73,7 +89,43 @@ impl NodeGraph {
                 NeighborMode::Out => put(f, t, &mut cursor),
             }
         }
-        NodeGraph { offsets, neighbors, nodes }
+        // Transpose CSR via a stable counting sort: visiting sources in
+        // ascending order (and their adjacency positions in ascending order)
+        // makes each destination's source list reproduce the sequential
+        // adjoint scatter's exact addition order.
+        let mut t_deg = vec![0u32; nodes];
+        for &j in &neighbors {
+            t_deg[j as usize] += 1;
+        }
+        let mut t_offsets = vec![0u32; nodes + 1];
+        for i in 0..nodes {
+            t_offsets[i + 1] = t_offsets[i] + t_deg[i];
+        }
+        let mut t_cursor = t_offsets.clone();
+        let mut t_sources = vec![0u32; neighbors.len()];
+        for i in 0..nodes {
+            for &j in &neighbors[offsets[i] as usize..offsets[i + 1] as usize] {
+                t_sources[t_cursor[j as usize] as usize] = i as u32;
+                t_cursor[j as usize] += 1;
+            }
+        }
+        let inv_deg = (0..nodes)
+            .map(|i| {
+                let len = (offsets[i + 1] - offsets[i]) as usize;
+                if len == 0 {
+                    0.0
+                } else {
+                    1.0 / len as f32
+                }
+            })
+            .collect();
+        let inv_sqrt_deg = (0..nodes)
+            .map(|i| {
+                let len = (offsets[i + 1] - offsets[i]) as usize;
+                1.0 / ((len + 1) as f32).sqrt()
+            })
+            .collect();
+        NodeGraph { offsets, neighbors, t_offsets, t_sources, inv_deg, inv_sqrt_deg, nodes }
     }
 
     /// Number of nodes.
@@ -93,9 +145,29 @@ impl NodeGraph {
     /// # Panics
     ///
     /// Panics if `n` is out of range.
+    #[inline]
     #[must_use]
     pub fn neighbors(&self, n: usize) -> &[u32] {
         &self.neighbors[self.offsets[n] as usize..self.offsets[n + 1] as usize]
+    }
+
+    /// Sources that aggregate *from* node `j` (transpose CSR row), in the
+    /// adjoint scatter's addition order.
+    #[inline]
+    pub(crate) fn t_sources(&self, j: usize) -> &[u32] {
+        &self.t_sources[self.t_offsets[j] as usize..self.t_offsets[j + 1] as usize]
+    }
+
+    /// Precomputed `1/|N(i)|` per node (0 for isolated nodes).
+    #[inline]
+    pub(crate) fn inv_deg(&self) -> &[f32] {
+        &self.inv_deg
+    }
+
+    /// Precomputed `1/√(|N(i)|+1)` per node.
+    #[inline]
+    pub(crate) fn inv_sqrt_deg(&self) -> &[f32] {
+        &self.inv_sqrt_deg
     }
 
     /// Mean-aggregates node features: `out[i] = mean(features[j] for j in
@@ -109,22 +181,13 @@ impl NodeGraph {
         assert_eq!(features.rows(), self.nodes);
         let cols = features.cols();
         let mut out = Matrix::zeros(self.nodes, cols);
-        for i in 0..self.nodes {
-            let nbrs = self.neighbors(i);
-            if nbrs.is_empty() {
-                continue;
-            }
-            let inv = 1.0 / nbrs.len() as f32;
-            let row = out.row_mut(i);
-            for &j in nbrs {
-                for (o, &v) in row.iter_mut().zip(features.row(j as usize)) {
-                    *o += v;
-                }
-            }
-            for o in row.iter_mut() {
-                *o *= inv;
-            }
-        }
+        crate::kernels::mean_aggregate_into(
+            self,
+            features.data(),
+            cols,
+            out.data_mut(),
+            crate::kernels::KernelPolicy::default(),
+        );
         out
     }
 
@@ -140,20 +203,13 @@ impl NodeGraph {
         assert_eq!(grad.rows(), self.nodes);
         let cols = grad.cols();
         let mut out = Matrix::zeros(self.nodes, cols);
-        for i in 0..self.nodes {
-            let nbrs = self.neighbors(i);
-            if nbrs.is_empty() {
-                continue;
-            }
-            let inv = 1.0 / nbrs.len() as f32;
-            for &j in nbrs {
-                let src = grad.row(i);
-                let dst = out.row_mut(j as usize);
-                for (o, &v) in dst.iter_mut().zip(src) {
-                    *o += v * inv;
-                }
-            }
-        }
+        crate::kernels::mean_aggregate_adjoint_into(
+            self,
+            grad.data(),
+            cols,
+            out.data_mut(),
+            crate::kernels::KernelPolicy::default(),
+        );
         out
     }
 
@@ -167,30 +223,14 @@ impl NodeGraph {
     pub fn gcn_propagate(&self, features: &Matrix) -> Matrix {
         assert_eq!(features.rows(), self.nodes);
         let cols = features.cols();
-        let inv_sqrt: Vec<f32> = (0..self.nodes)
-            .map(|i| 1.0 / ((self.neighbors(i).len() + 1) as f32).sqrt())
-            .collect();
         let mut out = Matrix::zeros(self.nodes, cols);
-        for i in 0..self.nodes {
-            let di = inv_sqrt[i];
-            // self loop
-            {
-                let src = features.row(i);
-                let dst = out.row_mut(i);
-                let w = di * di;
-                for (o, &v) in dst.iter_mut().zip(src) {
-                    *o += w * v;
-                }
-            }
-            for &j in self.neighbors(i) {
-                let w = di * inv_sqrt[j as usize];
-                let src = features.row(j as usize);
-                let dst = out.row_mut(i);
-                for (o, &v) in dst.iter_mut().zip(src) {
-                    *o += w * v;
-                }
-            }
-        }
+        crate::kernels::gcn_propagate_into(
+            self,
+            features.data(),
+            cols,
+            out.data_mut(),
+            crate::kernels::KernelPolicy::default(),
+        );
         out
     }
 }

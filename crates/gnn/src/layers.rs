@@ -6,9 +6,47 @@
 //! symmetric-normalised adjacency `N`; §5.1 notes either engine can back the
 //! framework, and the ablation bench swaps them. [`Linear`] is the scoring
 //! head producing one logit (or regressed TS value) per pin.
+//!
+//! Each layer exposes two APIs: allocation-free `forward_into` /
+//! `backward_into` running on caller-owned caches, gradients, and
+//! [`LayerScratch`] (the training hot path), and the original allocating
+//! `forward` / `backward` pair, retained as thin wrappers for tests and
+//! one-off use. Caches store the *post*-activation output: under ReLU's
+//! 0-at-0 convention `out > 0 ⇔ z > 0`, so the pre-activation is never
+//! materialised.
 
 use crate::graph::NodeGraph;
+use crate::kernels::{self, KernelPolicy};
 use crate::matrix::{relu, relu_grad, Matrix};
+
+/// Reusable scratch buffers shared by every layer's `backward_into`.
+///
+/// Owned by the model's workspace; all matrices are resized in place per
+/// call and keep their peak capacity, so steady-state epochs allocate
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LayerScratch {
+    /// Gated output gradient `∂L/∂z`.
+    pub(crate) dz: Matrix,
+    /// Input-side gradient of the combine GEMM (`∂L/∂x`).
+    pub(crate) dx: Matrix,
+    /// Pool-aggregate / propagation gradient.
+    pub(crate) dp: Matrix,
+    /// Pool pre-activation gradient.
+    pub(crate) dzp: Matrix,
+    /// General temporary (e.g. `dzp·W_poolᵀ`).
+    pub(crate) tmp: Matrix,
+    /// Reduction-slab scratch for [`kernels::gemm_tn`].
+    pub(crate) red: Vec<f32>,
+}
+
+impl LayerScratch {
+    /// Empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        LayerScratch::default()
+    }
+}
 
 /// GraphSAGE layer (mean aggregator + concatenation + linear + ReLU).
 #[derive(Debug, Clone)]
@@ -20,10 +58,20 @@ pub struct SageLayer {
 }
 
 /// Forward-pass intermediates needed by [`SageLayer::backward`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SageCache {
-    x: Matrix,
-    z: Matrix,
+    /// Concatenated input `[h ‖ mean(h_N)]`.
+    pub(crate) x: Matrix,
+    /// Post-activation layer output.
+    pub(crate) out: Matrix,
+}
+
+impl SageCache {
+    /// Empty cache; buffers are shaped by `forward_into`.
+    #[must_use]
+    pub fn empty() -> Self {
+        SageCache::default()
+    }
 }
 
 impl SageLayer {
@@ -36,15 +84,70 @@ impl SageLayer {
         }
     }
 
+    /// Allocation-free forward pass into a reusable cache; the output lives
+    /// in `cache.out`.
+    pub fn forward_into(
+        &self,
+        graph: &NodeGraph,
+        h: &Matrix,
+        cache: &mut SageCache,
+        pol: KernelPolicy,
+    ) {
+        let n = h.rows();
+        let d = h.cols();
+        let od = self.w.cols();
+        cache.x.resize_to(n, 2 * d);
+        kernels::sage_gather(graph, h.data(), d, cache.x.data_mut(), pol);
+        cache.out.resize_to(n, od);
+        kernels::gemm(cache.x.data(), self.w.data(), cache.out.data_mut(), n, 2 * d, od, pol);
+        kernels::bias_relu(cache.out.data_mut(), self.b.data());
+    }
+
+    /// Allocation-free backward pass writing `∂L/∂h` into `dh` and the
+    /// parameter gradients into `dw` / `db`.
+    pub fn backward_into(
+        &self,
+        graph: &NodeGraph,
+        cache: &SageCache,
+        d_out: &Matrix,
+        dh: &mut Matrix,
+        dw: &mut Matrix,
+        db: &mut Matrix,
+        scratch: &mut LayerScratch,
+        pol: KernelPolicy,
+    ) {
+        let n = d_out.rows();
+        let od = self.w.cols();
+        let two_d = self.w.rows();
+        let d = two_d / 2;
+        scratch.dz.resize_to(n, od);
+        kernels::relu_gate(cache.out.data(), d_out.data(), scratch.dz.data_mut());
+        dw.resize_to(two_d, od);
+        kernels::gemm_tn(
+            cache.x.data(),
+            scratch.dz.data(),
+            dw.data_mut(),
+            n,
+            two_d,
+            od,
+            two_d,
+            &mut scratch.red,
+            pol,
+        );
+        db.resize_to(1, od);
+        kernels::col_sums(scratch.dz.data(), od, db.data_mut());
+        scratch.dx.resize_to(n, two_d);
+        kernels::gemm_nt(scratch.dz.data(), self.w.data(), scratch.dx.data_mut(), n, od, two_d, pol);
+        dh.resize_to(n, d);
+        kernels::sage_adjoint(graph, scratch.dx.data(), d, dh.data_mut(), pol);
+    }
+
     /// Forward pass over all nodes at once.
     #[must_use]
     pub fn forward(&self, graph: &NodeGraph, h: &Matrix) -> (Matrix, SageCache) {
-        let agg = graph.mean_aggregate(h);
-        let x = h.hcat(&agg);
-        let mut z = x.matmul(&self.w);
-        z.add_row_vec(&self.b);
-        let out = z.map(relu);
-        (out, SageCache { x, z })
+        let mut cache = SageCache::empty();
+        self.forward_into(graph, h, &mut cache, KernelPolicy::default());
+        (cache.out.clone(), cache)
     }
 
     /// Backward pass: given `d_out = ∂L/∂h'`, returns
@@ -56,14 +159,11 @@ impl SageLayer {
         cache: &SageCache,
         d_out: &Matrix,
     ) -> (Matrix, Matrix, Matrix) {
-        let dz = d_out.hadamard(&cache.z.map(relu_grad));
-        let dw = cache.x.t_matmul(&dz);
-        let db = dz.col_sums();
-        let dx = dz.matmul_t(&self.w);
-        let in_dim = self.w.rows() / 2;
-        let (dh_direct, dh_agg) = dx.hsplit(in_dim);
-        let mut dh = dh_direct;
-        dh.add_assign(&graph.mean_aggregate_adjoint(&dh_agg));
+        let mut dh = Matrix::zeros(0, 0);
+        let mut dw = Matrix::zeros(0, 0);
+        let mut db = Matrix::zeros(0, 0);
+        let mut scratch = LayerScratch::new();
+        self.backward_into(graph, cache, d_out, &mut dh, &mut dw, &mut db, &mut scratch, KernelPolicy::default());
         (dh, dw, db)
     }
 
@@ -93,14 +193,25 @@ pub struct SagePoolLayer {
 }
 
 /// Forward-pass intermediates needed by [`SagePoolLayer::backward`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SagePoolCache {
-    zp: Matrix,
-    x: Matrix,
-    z: Matrix,
+    /// Pooled post-activation neighbor features `relu(h·W_pool + b_pool)`.
+    pub(crate) p: Matrix,
+    /// Concatenated input `[h ‖ maxpool]`.
+    pub(crate) x: Matrix,
+    /// Post-activation layer output.
+    pub(crate) out: Matrix,
     /// Winning neighbor per `(node, channel)`; `u32::MAX` for isolated
     /// nodes (their aggregate is zero and receives no gradient).
-    argmax: Vec<u32>,
+    pub(crate) argmax: Vec<u32>,
+}
+
+impl SagePoolCache {
+    /// Empty cache; buffers are shaped by `forward_into`.
+    #[must_use]
+    pub fn empty() -> Self {
+        SagePoolCache::default()
+    }
 }
 
 impl SagePoolLayer {
@@ -115,40 +226,130 @@ impl SagePoolLayer {
         }
     }
 
+    /// Allocation-free forward pass into a reusable cache; the output lives
+    /// in `cache.out`.
+    pub fn forward_into(
+        &self,
+        graph: &NodeGraph,
+        h: &Matrix,
+        cache: &mut SagePoolCache,
+        pol: KernelPolicy,
+    ) {
+        let n = h.rows();
+        let d = h.cols();
+        let dp = self.w_pool.cols();
+        let od = self.w.cols();
+        cache.p.resize_to(n, dp);
+        kernels::gemm(h.data(), self.w_pool.data(), cache.p.data_mut(), n, d, dp, pol);
+        kernels::bias_relu(cache.p.data_mut(), self.b_pool.data());
+        cache.x.resize_to(n, d + dp);
+        cache.argmax.clear();
+        cache.argmax.resize(n * dp, u32::MAX);
+        kernels::pool_max(
+            graph,
+            cache.p.data(),
+            dp,
+            h.data(),
+            d,
+            cache.x.data_mut(),
+            &mut cache.argmax,
+            pol,
+        );
+        cache.out.resize_to(n, od);
+        kernels::gemm(cache.x.data(), self.w.data(), cache.out.data_mut(), n, d + dp, od, pol);
+        kernels::bias_relu(cache.out.data_mut(), self.b.data());
+    }
+
+    /// Allocation-free backward pass writing `∂L/∂h` into `dh` and the
+    /// parameter gradients into `dw_pool` / `db_pool` / `dw` / `db`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_into(
+        &self,
+        _graph: &NodeGraph,
+        cache: &SagePoolCache,
+        d_out: &Matrix,
+        dh: &mut Matrix,
+        dw_pool: &mut Matrix,
+        db_pool: &mut Matrix,
+        dw: &mut Matrix,
+        db: &mut Matrix,
+        scratch: &mut LayerScratch,
+        pol: KernelPolicy,
+    ) {
+        let n = d_out.rows();
+        let d = self.w_pool.rows();
+        let dp = self.w_pool.cols();
+        let od = self.w.cols();
+        scratch.dz.resize_to(n, od);
+        kernels::relu_gate(cache.out.data(), d_out.data(), scratch.dz.data_mut());
+        dw.resize_to(d + dp, od);
+        kernels::gemm_tn(
+            cache.x.data(),
+            scratch.dz.data(),
+            dw.data_mut(),
+            n,
+            d + dp,
+            od,
+            d + dp,
+            &mut scratch.red,
+            pol,
+        );
+        db.resize_to(1, od);
+        kernels::col_sums(scratch.dz.data(), od, db.data_mut());
+        scratch.dx.resize_to(n, d + dp);
+        kernels::gemm_nt(scratch.dz.data(), self.w.data(), scratch.dx.data_mut(), n, od, d + dp, pol);
+        // Route aggregate gradients to the winning neighbors' pooled
+        // features. The scatter stays sequential: distinct destination rows
+        // can collide, so row-parallelism would race.
+        scratch.dp.resize_to(n, dp);
+        {
+            let dx = scratch.dx.data();
+            let dpm = scratch.dp.data_mut();
+            for i in 0..n {
+                for c in 0..dp {
+                    let j = cache.argmax[i * dp + c];
+                    if j != u32::MAX {
+                        dpm[j as usize * dp + c] += dx[i * (d + dp) + d + c];
+                    }
+                }
+            }
+        }
+        scratch.dzp.resize_to(n, dp);
+        kernels::relu_gate(cache.p.data(), scratch.dp.data(), scratch.dzp.data_mut());
+        dw_pool.resize_to(d, dp);
+        kernels::gemm_tn(
+            cache.x.data(),
+            scratch.dzp.data(),
+            dw_pool.data_mut(),
+            n,
+            d,
+            dp,
+            d + dp,
+            &mut scratch.red,
+            pol,
+        );
+        db_pool.resize_to(1, dp);
+        kernels::col_sums(scratch.dzp.data(), dp, db_pool.data_mut());
+        scratch.tmp.resize_to(n, d);
+        kernels::gemm_nt(scratch.dzp.data(), self.w_pool.data(), scratch.tmp.data_mut(), n, dp, d, pol);
+        dh.resize_to(n, d);
+        let dx = scratch.dx.data();
+        let tmp = scratch.tmp.data();
+        for (r, drow) in dh.data_mut().chunks_exact_mut(d).enumerate() {
+            let dxrow = &dx[r * (d + dp)..r * (d + dp) + d];
+            let trow = &tmp[r * d..(r + 1) * d];
+            for ((o, &a), &b) in drow.iter_mut().zip(dxrow).zip(trow) {
+                *o = a + b;
+            }
+        }
+    }
+
     /// Forward pass over all nodes at once.
     #[must_use]
     pub fn forward(&self, graph: &NodeGraph, h: &Matrix) -> (Matrix, SagePoolCache) {
-        let n = h.rows();
-        let dp = self.w_pool.cols();
-        let mut zp = h.matmul(&self.w_pool);
-        zp.add_row_vec(&self.b_pool);
-        let p = zp.map(relu);
-        let mut agg = Matrix::zeros(n, dp);
-        let mut argmax = vec![u32::MAX; n * dp];
-        for i in 0..n {
-            let nbrs = graph.neighbors(i);
-            if nbrs.is_empty() {
-                continue;
-            }
-            for c in 0..dp {
-                let mut best = f32::NEG_INFINITY;
-                let mut best_j = u32::MAX;
-                for &j in nbrs {
-                    let v = p.at(j as usize, c);
-                    if v > best {
-                        best = v;
-                        best_j = j;
-                    }
-                }
-                agg.set(i, c, best);
-                argmax[i * dp + c] = best_j;
-            }
-        }
-        let x = h.hcat(&agg);
-        let mut z = x.matmul(&self.w);
-        z.add_row_vec(&self.b);
-        let out = z.map(relu);
-        (out, SagePoolCache { zp, x, z, argmax })
+        let mut cache = SagePoolCache::empty();
+        self.forward_into(graph, h, &mut cache, KernelPolicy::default());
+        (cache.out.clone(), cache)
     }
 
     /// Backward pass: given `d_out = ∂L/∂h'`, returns
@@ -156,34 +357,28 @@ impl SagePoolLayer {
     #[must_use]
     pub fn backward(
         &self,
-        _graph: &NodeGraph,
+        graph: &NodeGraph,
         cache: &SagePoolCache,
         d_out: &Matrix,
     ) -> (Matrix, [Matrix; 4]) {
-        let dz = d_out.hadamard(&cache.z.map(relu_grad));
-        let dw = cache.x.t_matmul(&dz);
-        let db = dz.col_sums();
-        let dx = dz.matmul_t(&self.w);
-        let in_dim = self.w_pool.rows();
-        let dp = self.w_pool.cols();
-        let (mut dh, dagg) = dx.hsplit(in_dim);
-        // Route aggregate gradients to the winning neighbors' pooled
-        // pre-activations.
-        let n = dh.rows();
-        let mut d_p = Matrix::zeros(n, dp);
-        for i in 0..n {
-            for c in 0..dp {
-                let j = cache.argmax[i * dp + c];
-                if j != u32::MAX {
-                    let g = dagg.at(i, c);
-                    d_p.set(j as usize, c, d_p.at(j as usize, c) + g);
-                }
-            }
-        }
-        let dzp = d_p.hadamard(&cache.zp.map(relu_grad));
-        let dw_pool = cache.x.hsplit(in_dim).0.t_matmul(&dzp);
-        let db_pool = dzp.col_sums();
-        dh.add_assign(&dzp.matmul_t(&self.w_pool));
+        let mut dh = Matrix::zeros(0, 0);
+        let mut dw_pool = Matrix::zeros(0, 0);
+        let mut db_pool = Matrix::zeros(0, 0);
+        let mut dw = Matrix::zeros(0, 0);
+        let mut db = Matrix::zeros(0, 0);
+        let mut scratch = LayerScratch::new();
+        self.backward_into(
+            graph,
+            cache,
+            d_out,
+            &mut dh,
+            &mut dw_pool,
+            &mut db_pool,
+            &mut dw,
+            &mut db,
+            &mut scratch,
+            KernelPolicy::default(),
+        );
         (dh, [dw_pool, db_pool, dw, db])
     }
 
@@ -204,10 +399,20 @@ pub struct GcnLayer {
 }
 
 /// Forward-pass intermediates needed by [`GcnLayer::backward`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GcnCache {
-    p: Matrix,
-    z: Matrix,
+    /// Propagated input `N·h`.
+    pub(crate) p: Matrix,
+    /// Post-activation layer output.
+    pub(crate) out: Matrix,
+}
+
+impl GcnCache {
+    /// Empty cache; buffers are shaped by `forward_into`.
+    #[must_use]
+    pub fn empty() -> Self {
+        GcnCache::default()
+    }
 }
 
 impl GcnLayer {
@@ -217,19 +422,74 @@ impl GcnLayer {
         GcnLayer { w: Matrix::xavier_seeded(in_dim, out_dim, seed), b: Matrix::zeros(1, out_dim) }
     }
 
+    /// Allocation-free forward pass into a reusable cache; the output lives
+    /// in `cache.out`.
+    pub fn forward_into(
+        &self,
+        graph: &NodeGraph,
+        h: &Matrix,
+        cache: &mut GcnCache,
+        pol: KernelPolicy,
+    ) {
+        let n = h.rows();
+        let d = h.cols();
+        let od = self.w.cols();
+        cache.p.resize_to(n, d);
+        kernels::gcn_propagate_into(graph, h.data(), d, cache.p.data_mut(), pol);
+        cache.out.resize_to(n, od);
+        kernels::gemm(cache.p.data(), self.w.data(), cache.out.data_mut(), n, d, od, pol);
+        kernels::bias_relu(cache.out.data_mut(), self.b.data());
+    }
+
+    /// Allocation-free backward pass writing `∂L/∂h` into `dh` and the
+    /// parameter gradients into `dw` / `db`. Uses the symmetry of the
+    /// normalised adjacency (`Nᵀ = N`).
+    pub fn backward_into(
+        &self,
+        graph: &NodeGraph,
+        cache: &GcnCache,
+        d_out: &Matrix,
+        dh: &mut Matrix,
+        dw: &mut Matrix,
+        db: &mut Matrix,
+        scratch: &mut LayerScratch,
+        pol: KernelPolicy,
+    ) {
+        let n = d_out.rows();
+        let d = self.w.rows();
+        let od = self.w.cols();
+        scratch.dz.resize_to(n, od);
+        kernels::relu_gate(cache.out.data(), d_out.data(), scratch.dz.data_mut());
+        dw.resize_to(d, od);
+        kernels::gemm_tn(
+            cache.p.data(),
+            scratch.dz.data(),
+            dw.data_mut(),
+            n,
+            d,
+            od,
+            d,
+            &mut scratch.red,
+            pol,
+        );
+        db.resize_to(1, od);
+        kernels::col_sums(scratch.dz.data(), od, db.data_mut());
+        scratch.dp.resize_to(n, d);
+        kernels::gemm_nt(scratch.dz.data(), self.w.data(), scratch.dp.data_mut(), n, od, d, pol);
+        dh.resize_to(n, d);
+        kernels::gcn_propagate_into(graph, scratch.dp.data(), d, dh.data_mut(), pol);
+    }
+
     /// Forward pass over all nodes at once.
     #[must_use]
     pub fn forward(&self, graph: &NodeGraph, h: &Matrix) -> (Matrix, GcnCache) {
-        let p = graph.gcn_propagate(h);
-        let mut z = p.matmul(&self.w);
-        z.add_row_vec(&self.b);
-        let out = z.map(relu);
-        (out, GcnCache { p, z })
+        let mut cache = GcnCache::empty();
+        self.forward_into(graph, h, &mut cache, KernelPolicy::default());
+        (cache.out.clone(), cache)
     }
 
     /// Backward pass: given `d_out = ∂L/∂h'`, returns
-    /// `(∂L/∂h, ∂L/∂W, ∂L/∂b)`. Uses the symmetry of the normalised
-    /// adjacency (`Nᵀ = N`).
+    /// `(∂L/∂h, ∂L/∂W, ∂L/∂b)`.
     #[must_use]
     pub fn backward(
         &self,
@@ -237,11 +497,11 @@ impl GcnLayer {
         cache: &GcnCache,
         d_out: &Matrix,
     ) -> (Matrix, Matrix, Matrix) {
-        let dz = d_out.hadamard(&cache.z.map(relu_grad));
-        let dw = cache.p.t_matmul(&dz);
-        let db = dz.col_sums();
-        let dp = dz.matmul_t(&self.w);
-        let dh = graph.gcn_propagate(&dp);
+        let mut dh = Matrix::zeros(0, 0);
+        let mut dw = Matrix::zeros(0, 0);
+        let mut db = Matrix::zeros(0, 0);
+        let mut scratch = LayerScratch::new();
+        self.backward_into(graph, cache, d_out, &mut dh, &mut dw, &mut db, &mut scratch, KernelPolicy::default());
         (dh, dw, db)
     }
 
@@ -293,6 +553,11 @@ impl Linear {
         (dh, dw, db)
     }
 }
+
+// Keep `relu`/`relu_grad` referenced for the documented public surface of
+// `matrix` even though the fused kernels no longer call them here.
+const _: fn(f32) -> f32 = relu;
+const _: fn(f32) -> f32 = relu_grad;
 
 #[cfg(test)]
 mod tests {
@@ -487,5 +752,17 @@ mod tests {
         assert!(dh.data().iter().all(|&v| v == 0.0));
         assert!(dw.data().iter().all(|&v| v == 0.0));
         assert!(db.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn forward_into_reuses_buffers_across_calls() {
+        let g = tiny_graph();
+        let h = Matrix::from_fn(4, 3, |r, c| (r + c) as f32 * 0.2);
+        let layer = SageLayer::new(3, 2, 8);
+        let mut cache = SageCache::empty();
+        layer.forward_into(&g, &h, &mut cache, KernelPolicy::default());
+        let first = cache.out.clone();
+        layer.forward_into(&g, &h, &mut cache, KernelPolicy::default());
+        assert_eq!(first.data(), cache.out.data(), "repeat call must be identical");
     }
 }

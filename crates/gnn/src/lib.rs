@@ -8,6 +8,8 @@
 //! nodes runs comfortably on a CPU.
 //!
 //! - [`matrix`] — dense linear algebra.
+//! - [`kernels`] — blocked, deterministic-parallel compute kernels (plus
+//!   the retained naive references in [`kernels::naive`]).
 //! - [`graph`] — CSR neighborhoods and aggregation operators.
 //! - [`layers`] — GraphSAGE / GCN / linear layers (forward + backward).
 //! - [`loss`] — BCE-with-logits (with positive-class weighting) and MSE.
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod graph;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
@@ -44,6 +47,9 @@ pub mod model;
 pub mod optim;
 
 pub use graph::{NeighborMode, NodeGraph};
+pub use kernels::{Backend, KernelPolicy};
 pub use matrix::Matrix;
 pub use metrics::{classify_metrics, ConfusionCounts};
-pub use model::{Engine, GnnModel, ModelConfig, Task, TrainConfig, TrainReport, TrainSample};
+pub use model::{
+    Engine, GnnModel, ModelConfig, Task, TrainConfig, TrainReport, TrainSample, Workspace,
+};

@@ -19,29 +19,32 @@ fn softplus(x: f32) -> f32 {
     }
 }
 
-/// Binary cross-entropy on logits with optional mask and positive-class
-/// weight. Returns `(mean loss, per-node gradient)`.
+/// Binary cross-entropy on logits, writing the per-node gradient into a
+/// caller-provided buffer (all entries are written; masked-out nodes get
+/// `0.0`). Returns the mean loss. The allocation-free core of
+/// [`bce_with_logits`].
 ///
 /// # Panics
 ///
 /// Panics if slice lengths disagree.
-#[must_use]
-pub fn bce_with_logits(
+pub fn bce_with_logits_into(
     logits: &[f32],
     labels: &[f32],
     mask: Option<&[bool]>,
     pos_weight: f32,
-) -> (f32, Vec<f32>) {
+    grad: &mut [f32],
+) -> f32 {
     assert_eq!(logits.len(), labels.len());
+    assert_eq!(grad.len(), logits.len());
     if let Some(m) = mask {
         assert_eq!(m.len(), logits.len());
     }
     let mut loss = 0.0f64;
-    let mut grad = vec![0.0f32; logits.len()];
     let mut n = 0usize;
     for i in 0..logits.len() {
         if let Some(m) = mask {
             if !m[i] {
+                grad[i] = 0.0;
                 continue;
             }
         }
@@ -55,32 +58,52 @@ pub fn bce_with_logits(
     }
     if n > 0 {
         let inv = 1.0 / n as f32;
-        for g in &mut grad {
+        for g in grad.iter_mut() {
             *g *= inv;
         }
-        ((loss / n as f64) as f32, grad)
+        (loss / n as f64) as f32
     } else {
-        (0.0, grad)
+        0.0
     }
 }
 
-/// Mean squared error with optional mask. Returns `(mean loss, gradient)`.
+/// Binary cross-entropy on logits with optional mask and positive-class
+/// weight. Returns `(mean loss, per-node gradient)`.
 ///
 /// # Panics
 ///
 /// Panics if slice lengths disagree.
 #[must_use]
-pub fn mse(preds: &[f32], labels: &[f32], mask: Option<&[bool]>) -> (f32, Vec<f32>) {
+pub fn bce_with_logits(
+    logits: &[f32],
+    labels: &[f32],
+    mask: Option<&[bool]>,
+    pos_weight: f32,
+) -> (f32, Vec<f32>) {
+    let mut grad = vec![0.0f32; logits.len()];
+    let loss = bce_with_logits_into(logits, labels, mask, pos_weight, &mut grad);
+    (loss, grad)
+}
+
+/// Mean squared error, writing the gradient into a caller-provided buffer
+/// (all entries are written; masked-out nodes get `0.0`). Returns the mean
+/// loss. The allocation-free core of [`mse`].
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree.
+pub fn mse_into(preds: &[f32], labels: &[f32], mask: Option<&[bool]>, grad: &mut [f32]) -> f32 {
     assert_eq!(preds.len(), labels.len());
+    assert_eq!(grad.len(), preds.len());
     if let Some(m) = mask {
         assert_eq!(m.len(), preds.len());
     }
     let mut loss = 0.0f64;
-    let mut grad = vec![0.0f32; preds.len()];
     let mut n = 0usize;
     for i in 0..preds.len() {
         if let Some(m) = mask {
             if !m[i] {
+                grad[i] = 0.0;
                 continue;
             }
         }
@@ -91,13 +114,25 @@ pub fn mse(preds: &[f32], labels: &[f32], mask: Option<&[bool]>) -> (f32, Vec<f3
     }
     if n > 0 {
         let inv = 1.0 / n as f32;
-        for g in &mut grad {
+        for g in grad.iter_mut() {
             *g *= inv;
         }
-        ((loss / n as f64) as f32, grad)
+        (loss / n as f64) as f32
     } else {
-        (0.0, grad)
+        0.0
     }
+}
+
+/// Mean squared error with optional mask. Returns `(mean loss, gradient)`.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree.
+#[must_use]
+pub fn mse(preds: &[f32], labels: &[f32], mask: Option<&[bool]>) -> (f32, Vec<f32>) {
+    let mut grad = vec![0.0f32; preds.len()];
+    let loss = mse_into(preds, labels, mask, &mut grad);
+    (loss, grad)
 }
 
 /// A sensible automatic positive-class weight: `#negatives / #positives`

@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
 
-/// A dense row-major matrix of `f32`.
-#[derive(Clone, PartialEq)]
+/// A dense row-major matrix of `f32`. `Default` is the empty `0×0` matrix.
+#[derive(Clone, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -27,13 +27,17 @@ impl Matrix {
         Matrix { rows, cols, data: vec![0.0; rows * cols] }
     }
 
-    /// Matrix from a closure over `(row, col)`.
+    /// Matrix from a closure over `(row, col)`, filled into a preallocated
+    /// buffer in row-major call order (the order matters for seeded
+    /// initialisers like [`Matrix::xavier`]).
     #[must_use]
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = vec![0.0f32; rows * cols];
+        let mut idx = 0usize;
         for r in 0..rows {
             for c in 0..cols {
-                data.push(f(r, c));
+                data[idx] = f(r, c);
+                idx += 1;
             }
         }
         Matrix { rows, cols, data }
@@ -65,26 +69,50 @@ impl Matrix {
     }
 
     /// Number of rows.
+    #[inline]
     #[must_use]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[inline]
     #[must_use]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Immutable view of the backing buffer.
+    #[inline]
     #[must_use]
     pub fn data(&self) -> &[f32] {
         &self.data
     }
 
     /// Mutable view of the backing buffer.
+    #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
         &mut self.data
+    }
+
+    /// Reshapes to `rows × cols`, zero-filled, reusing the existing
+    /// allocation whenever capacity allows. This is the workhorse of the
+    /// zero-allocation training loop: after the first epoch every buffer
+    /// has reached its steady-state capacity and no reshape allocates.
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `other`'s shape and contents into `self`, reusing the
+    /// existing allocation whenever capacity allows.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
     }
 
     /// Element accessor.
@@ -92,6 +120,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics on out-of-range indices.
+    #[inline]
     #[must_use]
     pub fn at(&self, r: usize, c: usize) -> f32 {
         assert!(r < self.rows && c < self.cols);
@@ -103,6 +132,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics on out-of-range indices.
+    #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c] = v;
@@ -113,6 +143,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r` is out of range.
+    #[inline]
     #[must_use]
     pub fn row(&self, r: usize) -> &[f32] {
         &self.data[r * self.cols..(r + 1) * self.cols]
@@ -123,11 +154,12 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r` is out of range.
+    #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self · other` (standard GEMM, ikj loop order).
+    /// `self · other` (standard GEMM; delegates to the blocked kernel).
     ///
     /// # Panics
     ///
@@ -136,23 +168,20 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (c, &b) in crow.iter_mut().zip(orow) {
-                    *c += a * b;
-                }
-            }
-        }
+        crate::kernels::gemm(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            crate::kernels::KernelPolicy::default(),
+        );
         out
     }
 
-    /// `selfᵀ · other` without materialising the transpose.
+    /// `selfᵀ · other` without materialising the transpose (delegates to
+    /// the chunk-reduced kernel).
     ///
     /// # Panics
     ///
@@ -161,23 +190,23 @@ impl Matrix {
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            for i in 0..self.cols {
-                let a = self.data[k * self.cols + i];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (c, &b) in crow.iter_mut().zip(orow) {
-                    *c += a * b;
-                }
-            }
-        }
+        let mut scratch = Vec::new();
+        crate::kernels::gemm_tn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+            self.cols,
+            &mut scratch,
+            crate::kernels::KernelPolicy::default(),
+        );
         out
     }
 
-    /// `self · otherᵀ` without materialising the transpose.
+    /// `self · otherᵀ` without materialising the transpose (delegates to
+    /// the blocked kernel).
     ///
     /// # Panics
     ///
@@ -186,17 +215,15 @@ impl Matrix {
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+        crate::kernels::gemm_nt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+            crate::kernels::KernelPolicy::default(),
+        );
         out
     }
 

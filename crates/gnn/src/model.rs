@@ -9,10 +9,11 @@
 //! with [`Task::Regression`].
 
 use crate::graph::NodeGraph;
+use crate::kernels::{self, Backend, KernelPolicy};
 use crate::layers::{
-    GcnCache, GcnLayer, Linear, LinearCache, SageCache, SageLayer, SagePoolCache, SagePoolLayer,
+    GcnCache, GcnLayer, LayerScratch, Linear, SageCache, SageLayer, SagePoolCache, SagePoolLayer,
 };
-use crate::loss::{auto_pos_weight, bce_with_logits, mse};
+use crate::loss::{auto_pos_weight, bce_with_logits_into, mse_into};
 use crate::matrix::{sigmoid, Matrix};
 use crate::optim::Adam;
 
@@ -84,6 +85,12 @@ pub struct TrainConfig {
     pub max_retries: usize,
     /// Multiplicative learning-rate factor applied per divergence retry.
     pub lr_backoff: f32,
+    /// Worker threads for the compute kernels (`0` = all available cores).
+    /// Results are bit-identical at any thread count.
+    pub threads: usize,
+    /// Kernel backend; [`Backend::Naive`] retains the reference
+    /// implementations for equivalence testing.
+    pub backend: Backend,
 }
 
 impl Default for TrainConfig {
@@ -97,6 +104,8 @@ impl Default for TrainConfig {
             val_fraction: 0.15,
             max_retries: 2,
             lr_backoff: 0.1,
+            threads: 1,
+            backend: Backend::Blocked,
         }
     }
 }
@@ -145,6 +154,76 @@ enum CacheKind {
     Sage(SageCache),
     SagePool(SagePoolCache),
     Gcn(GcnCache),
+}
+
+impl CacheKind {
+    /// The cached post-activation layer output.
+    fn out(&self) -> &Matrix {
+        match self {
+            CacheKind::Sage(c) => &c.out,
+            CacheKind::SagePool(c) => &c.out,
+            CacheKind::Gcn(c) => &c.out,
+        }
+    }
+}
+
+/// Reusable training/inference buffers for one [`GnnModel`].
+///
+/// Holds every intermediate the forward/backward passes and the
+/// early-stopping checkpoint need, so that after the first epoch sizes the
+/// buffers, steady-state epochs perform no heap allocation at all. Create
+/// one per model with [`Workspace::new`] and thread it through repeated
+/// training runs; buffers grow to the largest sample and stay there.
+pub struct Workspace {
+    caches: Vec<CacheKind>,
+    scores: Matrix,
+    d_scores: Matrix,
+    dh_a: Matrix,
+    dh_b: Matrix,
+    grads: Vec<Matrix>,
+    scratch: LayerScratch,
+    best_weights: Vec<Matrix>,
+    best_loss: f32,
+    has_best: bool,
+}
+
+impl std::fmt::Debug for Workspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workspace")
+            .field("layers", &self.caches.len())
+            .field("grads", &self.grads.len())
+            .field("has_best", &self.has_best)
+            .finish()
+    }
+}
+
+impl Workspace {
+    /// Creates an (empty) workspace matching `model`'s architecture.
+    #[must_use]
+    pub fn new(model: &GnnModel) -> Self {
+        let caches = model
+            .layers
+            .iter()
+            .map(|l| match l {
+                LayerKind::Sage(_) => CacheKind::Sage(SageCache::empty()),
+                LayerKind::SagePool(_) => CacheKind::SagePool(SagePoolCache::empty()),
+                LayerKind::Gcn(_) => CacheKind::Gcn(GcnCache::empty()),
+            })
+            .collect();
+        let grads = (0..model.param_slots()).map(|_| Matrix::zeros(0, 0)).collect();
+        Workspace {
+            caches,
+            scores: Matrix::zeros(0, 0),
+            d_scores: Matrix::zeros(0, 0),
+            dh_a: Matrix::zeros(0, 0),
+            dh_b: Matrix::zeros(0, 0),
+            grads,
+            scratch: LayerScratch::new(),
+            best_weights: Vec::new(),
+            best_loss: f32::INFINITY,
+            has_best: false,
+        }
+    }
 }
 
 /// A trained (or trainable) pin-scoring GNN.
@@ -222,32 +301,59 @@ impl GnnModel {
         layer_params + self.head.w.rows() + 1
     }
 
-    /// Forward pass returning per-node raw scores and the caches needed for
-    /// backprop.
-    fn forward(&self, graph: &NodeGraph, features: &Matrix) -> (Matrix, Vec<CacheKind>, LinearCache) {
-        let mut h = features.clone();
-        let mut caches = Vec::with_capacity(self.layers.len());
-        for layer in &self.layers {
-            match layer {
-                LayerKind::Sage(s) => {
-                    let (out, cache) = s.forward(graph, &h);
-                    caches.push(CacheKind::Sage(cache));
-                    h = out;
+    /// Number of parameter slots in the canonical order
+    /// (layer₀ params …, head.W, head.b).
+    fn param_slots(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                LayerKind::SagePool(_) => 4,
+                _ => 2,
+            })
+            .sum::<usize>()
+            + 2
+    }
+
+    /// Allocation-free forward pass: layer outputs land in `caches`, raw
+    /// per-node scores in `scores` (`n × 1`).
+    fn forward_ws(
+        &self,
+        graph: &NodeGraph,
+        features: &Matrix,
+        caches: &mut [CacheKind],
+        scores: &mut Matrix,
+        pol: KernelPolicy,
+    ) {
+        assert_eq!(caches.len(), self.layers.len(), "workspace/model mismatch");
+        for (li, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = caches.split_at_mut(li);
+            let h: &Matrix = if li == 0 { features } else { done[li - 1].out() };
+            match (layer, &mut rest[0]) {
+                (LayerKind::Sage(s), CacheKind::Sage(c)) => s.forward_into(graph, h, c, pol),
+                (LayerKind::SagePool(s), CacheKind::SagePool(c)) => {
+                    s.forward_into(graph, h, c, pol);
                 }
-                LayerKind::SagePool(s) => {
-                    let (out, cache) = s.forward(graph, &h);
-                    caches.push(CacheKind::SagePool(cache));
-                    h = out;
-                }
-                LayerKind::Gcn(g) => {
-                    let (out, cache) = g.forward(graph, &h);
-                    caches.push(CacheKind::Gcn(cache));
-                    h = out;
-                }
+                (LayerKind::Gcn(g), CacheKind::Gcn(c)) => g.forward_into(graph, h, c, pol),
+                _ => unreachable!("cache kind always matches layer kind"),
             }
         }
-        let (scores, head_cache) = self.head.forward(&h);
-        (scores, caches, head_cache)
+        let h_final: &Matrix =
+            if self.layers.is_empty() { features } else { caches[self.layers.len() - 1].out() };
+        let n = h_final.rows();
+        scores.resize_to(n, 1);
+        kernels::gemm(
+            h_final.data(),
+            self.head.w.data(),
+            scores.data_mut(),
+            n,
+            self.head.w.rows(),
+            1,
+            pol,
+        );
+        let b0 = self.head.b.at(0, 0);
+        for v in scores.data_mut() {
+            *v += b0;
+        }
     }
 
     /// Per-node predictions: probabilities for classification, values for
@@ -259,58 +365,160 @@ impl GnnModel {
     /// not match the feature rows.
     #[must_use]
     pub fn predict(&self, graph: &NodeGraph, features: &Matrix) -> Vec<f32> {
+        self.predict_par(graph, features, 1)
+    }
+
+    /// [`GnnModel::predict`] with an explicit worker-thread count. Results
+    /// are bit-identical at any thread count (`0` = all available cores).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.cols() != self.in_dim()` or the graph size does
+    /// not match the feature rows.
+    #[must_use]
+    pub fn predict_par(&self, graph: &NodeGraph, features: &Matrix, threads: usize) -> Vec<f32> {
         assert_eq!(features.cols(), self.in_dim, "feature dimension mismatch");
-        let (scores, _, _) = self.forward(graph, features);
+        let mut ws = Workspace::new(self);
+        let pol = KernelPolicy::with_threads(threads);
+        self.forward_ws(graph, features, &mut ws.caches, &mut ws.scores, pol);
         match self.config.task {
-            Task::Classification => scores.data().iter().map(|&z| sigmoid(z)).collect(),
-            Task::Regression => scores.data().to_vec(),
+            Task::Classification => ws.scores.data().iter().map(|&z| sigmoid(z)).collect(),
+            Task::Regression => ws.scores.data().to_vec(),
         }
     }
 
-    /// Backward pass producing gradients in parameter order
-    /// (layer₀.W, layer₀.b, …, head.W, head.b).
-    fn backward(
+    /// Allocation-free backward pass writing gradients into `grads` in the
+    /// canonical parameter order (layer₀ params …, head.W, head.b).
+    #[allow(clippy::too_many_arguments)]
+    fn backward_ws(
         &self,
         graph: &NodeGraph,
+        features: &Matrix,
         caches: &[CacheKind],
-        head_cache: &LinearCache,
         d_scores: &Matrix,
-    ) -> Vec<Matrix> {
-        let mut grads_rev: Vec<Matrix> = Vec::with_capacity(2 * self.layers.len() + 2);
-        let (mut dh, dw_head, db_head) = self.head.backward(head_cache, d_scores);
-        grads_rev.push(db_head);
-        grads_rev.push(dw_head);
+        dh_a: &mut Matrix,
+        dh_b: &mut Matrix,
+        grads: &mut [Matrix],
+        scratch: &mut LayerScratch,
+        pol: KernelPolicy,
+    ) {
+        let slots = grads.len();
+        let hd = self.head.w.rows();
+        let n = d_scores.rows();
+        let h_final: &Matrix =
+            if self.layers.is_empty() { features } else { caches[self.layers.len() - 1].out() };
+        {
+            let (_, head_grads) = grads.split_at_mut(slots - 2);
+            let [dw_head, db_head] = head_grads else {
+                unreachable!("head always has two parameter slots")
+            };
+            dw_head.resize_to(hd, 1);
+            kernels::gemm_tn(
+                h_final.data(),
+                d_scores.data(),
+                dw_head.data_mut(),
+                n,
+                hd,
+                1,
+                hd,
+                &mut scratch.red,
+                pol,
+            );
+            db_head.resize_to(1, 1);
+            kernels::col_sums(d_scores.data(), 1, db_head.data_mut());
+        }
+        dh_a.resize_to(n, hd);
+        kernels::gemm_nt(d_scores.data(), self.head.w.data(), dh_a.data_mut(), n, 1, hd, pol);
+        let mut d_out: &mut Matrix = dh_a;
+        let mut dh: &mut Matrix = dh_b;
+        let mut base = slots - 2;
         for (layer, cache) in self.layers.iter().zip(caches).rev() {
+            let cnt = match layer {
+                LayerKind::SagePool(_) => 4,
+                _ => 2,
+            };
+            base -= cnt;
+            let lg = &mut grads[base..base + cnt];
             match (layer, cache) {
                 (LayerKind::Sage(s), CacheKind::Sage(c)) => {
-                    let (dh_in, dw, db) = s.backward(graph, c, &dh);
-                    grads_rev.push(db);
-                    grads_rev.push(dw);
-                    dh = dh_in;
+                    let [dw, db] = lg else { unreachable!("sage has two slots") };
+                    s.backward_into(graph, c, d_out, dh, dw, db, scratch, pol);
                 }
                 (LayerKind::SagePool(s), CacheKind::SagePool(c)) => {
-                    let (dh_in, [dw_pool, db_pool, dw, db]) = s.backward(graph, c, &dh);
-                    grads_rev.push(db);
-                    grads_rev.push(dw);
-                    grads_rev.push(db_pool);
-                    grads_rev.push(dw_pool);
-                    dh = dh_in;
+                    let [dw_pool, db_pool, dw, db] = lg else {
+                        unreachable!("pool has four slots")
+                    };
+                    s.backward_into(graph, c, d_out, dh, dw_pool, db_pool, dw, db, scratch, pol);
                 }
                 (LayerKind::Gcn(g), CacheKind::Gcn(c)) => {
-                    let (dh_in, dw, db) = g.backward(graph, c, &dh);
-                    grads_rev.push(db);
-                    grads_rev.push(dw);
-                    dh = dh_in;
+                    let [dw, db] = lg else { unreachable!("gcn has two slots") };
+                    g.backward_into(graph, c, d_out, dh, dw, db, scratch, pol);
                 }
                 _ => unreachable!("cache kind always matches layer kind"),
             }
+            std::mem::swap(&mut d_out, &mut dh);
         }
-        grads_rev.reverse();
-        grads_rev
     }
 
+    /// Visits every parameter in the canonical order without allocating.
+    fn for_each_param<F: FnMut(usize, &Matrix)>(&self, mut f: F) {
+        let mut i = 0usize;
+        for layer in &self.layers {
+            match layer {
+                LayerKind::Sage(s) => {
+                    f(i, &s.w);
+                    f(i + 1, &s.b);
+                    i += 2;
+                }
+                LayerKind::SagePool(s) => {
+                    f(i, &s.w_pool);
+                    f(i + 1, &s.b_pool);
+                    f(i + 2, &s.w);
+                    f(i + 3, &s.b);
+                    i += 4;
+                }
+                LayerKind::Gcn(g) => {
+                    f(i, &g.w);
+                    f(i + 1, &g.b);
+                    i += 2;
+                }
+            }
+        }
+        f(i, &self.head.w);
+        f(i + 1, &self.head.b);
+    }
+
+    /// Mutable counterpart of [`Self::for_each_param`], same order.
+    fn for_each_param_mut<F: FnMut(usize, &mut Matrix)>(&mut self, mut f: F) {
+        let mut i = 0usize;
+        for layer in &mut self.layers {
+            match layer {
+                LayerKind::Sage(s) => {
+                    f(i, &mut s.w);
+                    f(i + 1, &mut s.b);
+                    i += 2;
+                }
+                LayerKind::SagePool(s) => {
+                    f(i, &mut s.w_pool);
+                    f(i + 1, &mut s.b_pool);
+                    f(i + 2, &mut s.w);
+                    f(i + 3, &mut s.b);
+                    i += 4;
+                }
+                LayerKind::Gcn(g) => {
+                    f(i, &mut g.w);
+                    f(i + 1, &mut g.b);
+                    i += 2;
+                }
+            }
+        }
+        f(i, &mut self.head.w);
+        f(i + 1, &mut self.head.b);
+    }
+
+    #[cfg(test)]
     fn params(&self) -> Vec<&Matrix> {
-        let mut v: Vec<&Matrix> = Vec::with_capacity(2 * self.layers.len() + 2);
+        let mut v: Vec<&Matrix> = Vec::with_capacity(self.param_slots());
         for layer in &self.layers {
             match layer {
                 LayerKind::Sage(s) => {
@@ -338,48 +546,42 @@ impl GnnModel {
     /// produces garbage scores and must not be used for prediction.
     #[must_use]
     pub fn weights_finite(&self) -> bool {
-        self.params()
-            .iter()
-            .all(|m| m.data().iter().all(|v| v.is_finite()))
-    }
-
-    /// Clones all parameter matrices (same order as [`Self::params_mut`]).
-    fn snapshot(&self) -> Vec<Matrix> {
-        self.params().into_iter().cloned().collect()
-    }
-
-    /// Restores parameters captured by [`Self::snapshot`].
-    fn restore(&mut self, snap: &[Matrix]) {
-        let params = self.params_mut();
-        assert_eq!(params.len(), snap.len(), "snapshot shape mismatch");
-        for (p, s) in params.into_iter().zip(snap) {
-            *p = s.clone();
-        }
-    }
-
-    fn params_mut(&mut self) -> Vec<&mut Matrix> {
-        let mut v: Vec<&mut Matrix> = Vec::with_capacity(2 * self.layers.len() + 2);
-        for layer in &mut self.layers {
-            match layer {
-                LayerKind::Sage(s) => {
-                    v.push(&mut s.w);
-                    v.push(&mut s.b);
-                }
-                LayerKind::SagePool(s) => {
-                    v.push(&mut s.w_pool);
-                    v.push(&mut s.b_pool);
-                    v.push(&mut s.w);
-                    v.push(&mut s.b);
-                }
-                LayerKind::Gcn(g) => {
-                    v.push(&mut g.w);
-                    v.push(&mut g.b);
-                }
+        let mut ok = true;
+        self.for_each_param(|_, m| {
+            if ok && !m.data().iter().all(|v| v.is_finite()) {
+                ok = false;
             }
-        }
-        v.push(&mut self.head.w);
-        v.push(&mut self.head.b);
+        });
+        ok
+    }
+
+    /// Clones all parameter matrices in the canonical order.
+    fn snapshot(&self) -> Vec<Matrix> {
+        let mut v = Vec::with_capacity(self.param_slots());
+        self.for_each_param(|_, m| v.push(m.clone()));
         v
+    }
+
+    /// Copies all parameters into `buf` without allocating once `buf` has
+    /// been filled by a previous call (clones on first use).
+    fn snapshot_into(&self, buf: &mut Vec<Matrix>) {
+        if buf.is_empty() {
+            self.for_each_param(|_, m| buf.push(m.clone()));
+        } else {
+            assert_eq!(buf.len(), self.param_slots(), "snapshot shape mismatch");
+            self.for_each_param(|idx, m| buf[idx].copy_from(m));
+        }
+    }
+
+    /// Restores parameters captured by [`Self::snapshot`] or
+    /// [`Self::snapshot_into`].
+    fn restore(&mut self, snap: &[Matrix]) {
+        let mut count = 0usize;
+        self.for_each_param_mut(|idx, p| {
+            p.copy_from(&snap[idx]);
+            count = count.max(idx + 1);
+        });
+        assert_eq!(count, snap.len(), "snapshot shape mismatch");
     }
 
     /// Trains the model full-batch over `samples`, one Adam step per sample
@@ -441,16 +643,17 @@ impl GnnModel {
         // every retry is exhausted the weights roll back to the best
         // finite-loss checkpoint seen (or the initial weights) and the
         // report flags the run as diverged so callers can quarantine it.
+        let mut ws = Workspace::new(self);
         let initial = self.snapshot();
         let mut lr = cfg.lr;
         let mut retries = 0usize;
         loop {
-            match self.train_attempt(samples, cfg, pos_weight, splits.as_deref(), lr) {
+            match self.train_attempt(samples, cfg, pos_weight, splits.as_deref(), lr, &mut ws) {
                 Attempt::Completed(mut report) => {
                     report.retries = retries;
                     return report;
                 }
-                Attempt::Diverged { mut report, best } => {
+                Attempt::Diverged(mut report) => {
                     if retries < cfg.max_retries {
                         retries += 1;
                         lr *= cfg.lr_backoff;
@@ -460,12 +663,11 @@ impl GnnModel {
                     report.retries = retries;
                     report.diverged = true;
                     report.rolled_back = true;
-                    match best {
-                        Some((weights, loss)) => {
-                            self.restore(&weights);
-                            report.final_loss = loss;
-                        }
-                        None => self.restore(&initial),
+                    if ws.has_best {
+                        self.restore(&ws.best_weights);
+                        report.final_loss = ws.best_loss;
+                    } else {
+                        self.restore(&initial);
                     }
                     return report;
                 }
@@ -474,7 +676,10 @@ impl GnnModel {
     }
 
     /// One optimization run at a fixed learning rate; aborts on the first
-    /// epoch whose mean loss or resulting weights are non-finite.
+    /// epoch whose mean loss or resulting weights are non-finite. The best
+    /// finite-loss checkpoint is copied into the workspace's preallocated
+    /// snapshot buffers; apart from the first epoch sizing the workspace,
+    /// steady-state epochs perform no heap allocation.
     fn train_attempt(
         &mut self,
         samples: &[TrainSample],
@@ -482,14 +687,18 @@ impl GnnModel {
         pos_weight: f32,
         splits: Option<&[(Vec<bool>, Vec<bool>)]>,
         lr: f32,
+        ws: &mut Workspace,
     ) -> Attempt {
+        let pol = KernelPolicy { threads: cfg.threads, backend: cfg.backend };
         let mut opt = Adam::new(lr, cfg.weight_decay);
         let mut history = Vec::with_capacity(cfg.epochs);
-        let mut val_history = Vec::new();
+        let mut val_history =
+            Vec::with_capacity(if cfg.patience.is_some() { cfg.epochs } else { 0 });
         let mut best_val = f32::INFINITY;
         let mut since_best = 0usize;
         let mut stopped_early = false;
-        let mut best_ckpt: Option<(Vec<Matrix>, f32)> = None;
+        ws.has_best = false;
+        ws.best_loss = f32::INFINITY;
         for _epoch in 0..cfg.epochs {
             let mut epoch_loss = 0.0f32;
             let mut epoch_val = 0.0f32;
@@ -498,28 +707,55 @@ impl GnnModel {
                     Some(sp) => Some(&sp[si].0),
                     None => sample.mask.as_deref(),
                 };
-                let (scores, caches, head_cache) = self.forward(&sample.graph, &sample.features);
-                let logits: Vec<f32> = scores.data().to_vec();
-                let (loss, grad) = match self.config.task {
-                    Task::Classification => {
-                        bce_with_logits(&logits, &sample.labels, train_mask, pos_weight)
+                let Workspace { caches, scores, d_scores, dh_a, dh_b, grads, scratch, .. } = ws;
+                self.forward_ws(&sample.graph, &sample.features, caches, scores, pol);
+                d_scores.resize_to(scores.rows(), 1);
+                // Validation loss first: it shares the gradient buffer with
+                // the training loss, whose gradient must survive until the
+                // backward pass.
+                if let Some(sp) = splits {
+                    epoch_val += match self.config.task {
+                        Task::Classification => bce_with_logits_into(
+                            scores.data(),
+                            &sample.labels,
+                            Some(&sp[si].1),
+                            pos_weight,
+                            d_scores.data_mut(),
+                        ),
+                        Task::Regression => mse_into(
+                            scores.data(),
+                            &sample.labels,
+                            Some(&sp[si].1),
+                            d_scores.data_mut(),
+                        ),
+                    };
+                }
+                let loss = match self.config.task {
+                    Task::Classification => bce_with_logits_into(
+                        scores.data(),
+                        &sample.labels,
+                        train_mask,
+                        pos_weight,
+                        d_scores.data_mut(),
+                    ),
+                    Task::Regression => {
+                        mse_into(scores.data(), &sample.labels, train_mask, d_scores.data_mut())
                     }
-                    Task::Regression => mse(&logits, &sample.labels, train_mask),
                 };
                 epoch_loss += loss;
-                if let Some(sp) = splits {
-                    let (val_loss, _) = match self.config.task {
-                        Task::Classification => {
-                            bce_with_logits(&logits, &sample.labels, Some(&sp[si].1), pos_weight)
-                        }
-                        Task::Regression => mse(&logits, &sample.labels, Some(&sp[si].1)),
-                    };
-                    epoch_val += val_loss;
-                }
-                let d_scores = Matrix::from_vec(grad.len(), 1, grad);
-                let grads = self.backward(&sample.graph, &caches, &head_cache, &d_scores);
-                let mut params = self.params_mut();
-                opt.step(&mut params, &grads);
+                self.backward_ws(
+                    &sample.graph,
+                    &sample.features,
+                    caches,
+                    d_scores,
+                    dh_a,
+                    dh_b,
+                    grads,
+                    scratch,
+                    pol,
+                );
+                opt.begin_step();
+                self.for_each_param_mut(|idx, p| opt.update_param(idx, p, &grads[idx]));
             }
             let mean_loss = epoch_loss / samples.len() as f32;
             history.push(mean_loss);
@@ -530,10 +766,12 @@ impl GnnModel {
                     val_history,
                     ..TrainReport::default()
                 };
-                return Attempt::Diverged { report, best: best_ckpt };
+                return Attempt::Diverged(report);
             }
-            if best_ckpt.as_ref().is_none_or(|(_, l)| mean_loss < *l) {
-                best_ckpt = Some((self.snapshot(), mean_loss));
+            if !ws.has_best || mean_loss < ws.best_loss {
+                self.snapshot_into(&mut ws.best_weights);
+                ws.best_loss = mean_loss;
+                ws.has_best = true;
             }
             if let Some(patience) = cfg.patience {
                 let val = epoch_val / samples.len() as f32;
@@ -565,12 +803,9 @@ impl GnnModel {
 enum Attempt {
     /// All epochs ran with finite losses and weights.
     Completed(TrainReport),
-    /// A non-finite loss or weight appeared; `best` holds the weights and
-    /// mean loss of the best finite epoch, when one existed.
-    Diverged {
-        report: TrainReport,
-        best: Option<(Vec<Matrix>, f32)>,
-    },
+    /// A non-finite loss or weight appeared; the workspace holds the
+    /// weights and mean loss of the best finite epoch, when one existed.
+    Diverged(TrainReport),
 }
 
 /// Error parsing a serialised model.

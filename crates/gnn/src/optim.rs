@@ -15,6 +15,8 @@ pub struct Adam {
     eps: f32,
     weight_decay: f32,
     t: u64,
+    b1t: f32,
+    b2t: f32,
     m: Vec<Matrix>,
     v: Vec<Matrix>,
 }
@@ -24,7 +26,18 @@ impl Adam {
     /// `(0.9, 0.999)`.
     #[must_use]
     pub fn new(lr: f32, weight_decay: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            b1t: 0.0,
+            b2t: 0.0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Learning rate accessor.
@@ -38,6 +51,45 @@ impl Adam {
         self.lr = lr;
     }
 
+    /// Begins an update step: advances the timestep and caches the bias
+    /// corrections. Call once, then [`Adam::update_param`] for every
+    /// parameter in the canonical order.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+        self.b1t = 1.0 - self.beta1.powi(self.t as i32);
+        self.b2t = 1.0 - self.beta2.powi(self.t as i32);
+    }
+
+    /// Updates one parameter in place. `idx` identifies the parameter's
+    /// position in the canonical order; moment state is created lazily on
+    /// the first step. Allocation-free after the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` skips ahead of the known parameter set or the shape
+    /// changed between steps.
+    pub fn update_param(&mut self, idx: usize, p: &mut Matrix, g: &Matrix) {
+        assert_eq!((p.rows(), p.cols()), (g.rows(), g.cols()), "shape changed");
+        if idx == self.m.len() {
+            self.m.push(Matrix::zeros(g.rows(), g.cols()));
+            self.v.push(Matrix::zeros(g.rows(), g.cols()));
+        }
+        assert!(idx < self.m.len(), "parameter set changed between steps");
+        let m = &mut self.m[idx];
+        let v = &mut self.v[idx];
+        let pd = p.data_mut();
+        let gd = g.data();
+        let md = m.data_mut();
+        let vd = v.data_mut();
+        for i in 0..pd.len() {
+            md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * gd[i];
+            vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * gd[i] * gd[i];
+            let mhat = md[i] / self.b1t;
+            let vhat = vd[i] / self.b2t;
+            pd[i] -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * pd[i]);
+        }
+    }
+
     /// Applies one update step.
     ///
     /// # Panics
@@ -46,29 +98,12 @@ impl Adam {
     /// steps.
     pub fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
         assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
-        if self.m.is_empty() {
-            self.m = grads.iter().map(|g| Matrix::zeros(g.rows(), g.cols())).collect();
-            self.v = self.m.clone();
+        if !self.m.is_empty() {
+            assert_eq!(self.m.len(), params.len(), "parameter set changed between steps");
         }
-        assert_eq!(self.m.len(), params.len(), "parameter set changed between steps");
-        self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, g), (m, v)) in
-            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
-        {
-            assert_eq!((p.rows(), p.cols()), (g.rows(), g.cols()), "shape changed");
-            let pd = p.data_mut();
-            let gd = g.data();
-            let md = m.data_mut();
-            let vd = v.data_mut();
-            for i in 0..pd.len() {
-                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * gd[i];
-                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * gd[i] * gd[i];
-                let mhat = md[i] / b1t;
-                let vhat = vd[i] / b2t;
-                pd[i] -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * pd[i]);
-            }
+        self.begin_step();
+        for (idx, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            self.update_param(idx, p, g);
         }
     }
 }

@@ -1,5 +1,9 @@
 //! Property-based tests of the GNN framework's numerical invariants.
 
+// Integration-test harness code: the clippy.toml test exemptions do not
+// reach helper fns outside #[test], so state the exemption explicitly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use tmm_gnn::graph::{NeighborMode, NodeGraph};
 use tmm_gnn::loss::{auto_pos_weight, bce_with_logits, mse};

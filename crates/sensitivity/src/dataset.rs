@@ -48,6 +48,17 @@ pub struct PinDataset {
     pub positive_rate: f64,
 }
 
+impl PinDataset {
+    /// Number of pins the TS sweep quarantined (per-pin evaluation
+    /// failures; each keeps `NaN` TS and is conservatively labelled
+    /// variant). Intended for once-per-design diagnostics — the individual
+    /// causes stay in [`TsResult::failures`].
+    #[must_use]
+    pub fn ts_failure_count(&self) -> usize {
+        self.ts.failures.len()
+    }
+}
+
 /// Builds a dataset from a design's interface-logic graph.
 ///
 /// # Errors

@@ -1,5 +1,9 @@
 //! Property-based tests of the sensitivity pipeline's invariants.
 
+// Integration-test harness code: the clippy.toml test exemptions do not
+// reach helper fns outside #[test], so state the exemption explicitly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use tmm_circuits::CircuitSpec;
 use tmm_macromodel::extract_ilm;

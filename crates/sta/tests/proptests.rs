@@ -1,5 +1,9 @@
 //! Property-based tests of the STA substrate's algebraic invariants.
 
+// Integration-test harness code: the clippy.toml test exemptions do not
+// reach helper fns outside #[test], so state the exemption explicitly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use tmm_sta::constraints::{Context, ContextSampler};
 use tmm_sta::graph::{compose_sense, ArcGraph, NodeKind};

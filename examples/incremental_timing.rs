@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.backward_recomputed,
         iterations * 2,
     );
-    let reference = slack_summary(&last.expect("loop ran"));
+    let Some(last) = last else {
+        return Err("no iterations ran".into());
+    };
+    let reference = slack_summary(&last);
     println!(
         "  final WNS agrees: incremental {:.3} ps vs full {:.3} ps",
         final_summary.wns, reference.wns

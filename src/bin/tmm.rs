@@ -251,6 +251,17 @@ fn cmd_model(args: &Args) -> CliResult {
                 }
                 None => Framework::new(config),
             };
+            if !fw.is_trained() {
+                let summary =
+                    fw.train(&[(netlist.name().to_string(), netlist.clone())], &lib)?;
+                // One warn line per design, not per pin: a large design can
+                // quarantine hundreds of pins for the same root cause.
+                for (dname, pins) in &summary.ts_quarantined {
+                    eprintln!(
+                        "warning: {dname}: TS sweep quarantined {pins} pin(s); kept conservatively"
+                    );
+                }
+            }
             let outcome = fw.run_on(&netlist, &lib)?;
             eprintln!(
                 "GNN kept {} pins ({} hard)",
@@ -454,7 +465,8 @@ const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate> [--
   stats    --design <design.tmm> --lib <lib.tmm>
   model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
            [--method ours|itimerm|libabs|atm] [--gnn <gnn.tmm>] [--gnn-out <gnn.tmm>]
-           [--cppr] [--aocv] [--threads <n>]  (1 = sequential, 0 = all cores)
+           [--cppr] [--aocv] [--threads <n>]  (TS sweep + GNN training/inference;
+                                               1 = sequential, 0 = all cores, any n bit-identical)
   time     --model <model.tmm> [--contexts <n>] [--context <ctx.tmm>] [--paths <k>]
            [--cppr] [--aocv]
   eval     --design <design.tmm> --lib <lib.tmm> --model <model.tmm>

@@ -1,6 +1,10 @@
 //! Cross-method shape assertions: the qualitative orderings the paper's
 //! Tables 3 and 5 report must hold on our substrate too.
 
+// Integration-test harness code: the clippy.toml test exemptions do not
+// reach helper fns outside #[test], so state the exemption explicitly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use timing_macro_gnn::circuits::CircuitSpec;
 use timing_macro_gnn::macromodel::baselines::{
     generate_atm, generate_itimerm, generate_libabs, ITIMERM_DEFAULT_TOLERANCE,

@@ -1,6 +1,10 @@
 //! CPPR integration: pessimism removal must survive macro modeling — the
 //! generality claim the paper validates in Tables 3/4.
 
+// Integration-test harness code: the clippy.toml test exemptions do not
+// reach helper fns outside #[test], so state the exemption explicitly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use timing_macro_gnn::circuits::CircuitSpec;
 use timing_macro_gnn::core::{Framework, FrameworkConfig};
 use timing_macro_gnn::gnn::TrainConfig;

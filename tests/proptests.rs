@@ -1,5 +1,9 @@
 //! Property-based tests on cross-crate invariants, driven by `proptest`.
 
+// Integration-test harness code: the clippy.toml test exemptions do not
+// reach helper fns outside #[test], so state the exemption explicitly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use timing_macro_gnn::circuits::CircuitSpec;
 use timing_macro_gnn::gnn::{Matrix, NeighborMode, NodeGraph};

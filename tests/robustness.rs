@@ -4,6 +4,10 @@
 //! outcome recorded in the returned summaries, never a panic or a wedged
 //! framework.
 
+// Integration-test harness code: the clippy.toml test exemptions do not
+// reach helper fns outside #[test], so state the exemption explicitly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use timing_macro_gnn::circuits::CircuitSpec;
 use timing_macro_gnn::core::{Framework, FrameworkConfig, Stage};
 use timing_macro_gnn::faults::{corrupt_text, FaultOp};

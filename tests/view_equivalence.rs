@@ -7,6 +7,10 @@
 //! the exact bytes the in-place reducer produces. These properties are
 //! exercised here over randomly generated designs and seeds.
 
+// Integration-test harness code: the clippy.toml test exemptions do not
+// reach helper fns outside #[test], so state the exemption explicitly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use timing_macro_gnn::circuits::CircuitSpec;
 use timing_macro_gnn::macromodel::{
