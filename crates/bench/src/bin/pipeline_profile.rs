@@ -3,6 +3,11 @@
 //! (dominated by TS evaluation, accelerated by the filter), GNN training
 //! time, and — for unseen designs under the same delay model — only
 //! inference + model generation.
+//!
+//! Besides the human-readable table, writes two machine-readable
+//! artifacts for CI trend tracking: `BENCH_gnn_train.json` (kernel
+//! comparison) and `BENCH_pipeline.json` (stable per-stage records
+//! `{stage, design, wall_ms, throughput}` plus an embedded run report).
 
 // Experiment driver: aborting with a message on a broken setup is the
 // intended failure mode (the clippy gate targets library code paths).
@@ -51,6 +56,20 @@ fn train_kernels(
 }
 
 fn main() {
+    // Record metrics and stage spans so the emitted BENCH_pipeline.json
+    // carries the same run report `tmm model --report-out` produces.
+    tmm_obs::enable_metrics();
+    tmm_obs::enable_tracing();
+    let mut records: Vec<tmm_obs::BenchRecord> = Vec::new();
+    let mut record = |stage: &str, design: &str, wall_s: f64, throughput: f64| {
+        records.push(tmm_obs::BenchRecord {
+            stage: stage.to_string(),
+            design: design.to_string(),
+            wall_ms: wall_s * 1e3,
+            throughput,
+        });
+    };
+
     let lib = library();
     let mut config = FrameworkConfig::default();
     config.ts.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -69,6 +88,7 @@ fn main() {
         filter_time += t.elapsed().as_secs_f64();
         filter_rate += f.filter_rate();
     }
+    record("filter", "training_suite", filter_time, 0.0);
     println!(
         "  filter (6 training designs)      : {:>8.2} s  (mean filter rate {:.1}%)",
         filter_time,
@@ -109,6 +129,8 @@ fn main() {
             .all(|(a, b)| a.to_bits() == b.to_bits());
         assert!(identical, "view TS must be bit-identical to clone TS on {}", e.name);
     }
+    record("ts_engine_clone", "training_suite", clone_time, 0.0);
+    record("ts_engine_view", "training_suite", view_time, 0.0);
     println!(
         "  TS engine: clone-per-pin         : {clone_time:>8.2} s  (legacy engine)"
     );
@@ -130,9 +152,17 @@ fn main() {
         positive += ds.positive_rate;
         samples.push(ds.sample);
     }
+    let datagen_s = t.elapsed().as_secs_f64();
+    let total_rows: usize = samples.iter().map(|s| s.features.rows()).sum();
+    record(
+        "data_generation",
+        "training_suite",
+        datagen_s,
+        total_rows as f64 / datagen_s.max(1e-12),
+    );
     println!(
         "  TS data generation (6 designs)   : {:>8.2} s  (mean positive rate {:.1}%)",
-        t.elapsed().as_secs_f64(),
+        datagen_s,
         100.0 * positive / suite.len() as f64
     );
 
@@ -169,12 +199,21 @@ fn main() {
     if let Err(e) = std::fs::write("BENCH_gnn_train.json", &json) {
         eprintln!("warning: could not write BENCH_gnn_train.json: {e}");
     }
+    record("gnn_kernels_naive_1t", "training_suite", naive_s, 0.0);
+    record("gnn_kernels_blocked_1t", "training_suite", seq_s, 0.0);
+    record("gnn_kernels_blocked_4t", "training_suite", blocked_s, 0.0);
 
     // Stage 2: GNN training.
     let designs: Vec<(String, tmm_sta::netlist::Netlist)> =
         suite.into_iter().map(|e| (e.name, e.netlist)).collect();
     let mut fw = Framework::new(config);
     let summary = fw.train(&designs, &lib).expect("training");
+    record(
+        "training",
+        "training_suite",
+        summary.train_time.as_secs_f64(),
+        total_rows as f64 / summary.train_time.as_secs_f64().max(1e-12),
+    );
     println!(
         "  GNN training ({} epochs)        : {:>8.2} s  (loss {:.4}, recall {:.3})",
         120,
@@ -190,10 +229,17 @@ fn main() {
         let flat = ArcGraph::from_netlist(&entry.netlist, &lib).expect("lowering");
         let t = Instant::now();
         let outcome = fw.generate_macro(&flat).expect("generation");
+        let gen_s = t.elapsed().as_secs_f64();
+        record(
+            "macro_generation",
+            &entry.name,
+            gen_s,
+            outcome.kept_pins as f64 / gen_s.max(1e-12),
+        );
         println!(
             "    {:<26} {:>8.3} s  (inference {:>6.1} ms, {} pins kept)",
             entry.name,
-            t.elapsed().as_secs_f64(),
+            gen_s,
             outcome.prediction.inference_time.as_secs_f64() * 1e3,
             outcome.kept_pins
         );
@@ -202,4 +248,13 @@ fn main() {
     println!("generation minutes-to-hours, GNN training ~30 min (at 500x our scale on");
     println!("a GPU). Shapes: inference negligible next to generation; the filter");
     println!("cuts TS cost by the filtered share.");
+
+    let mut report = tmm_obs::RunReport::new("pipeline_profile");
+    report.design = "training_suite+eval_suite".to_string();
+    report.config_fingerprint = config.fingerprint();
+    report.capture_environment();
+    let doc = tmm_obs::render_bench_json("pipeline", &records, &report);
+    if let Err(e) = std::fs::write("BENCH_pipeline.json", &doc) {
+        eprintln!("warning: could not write BENCH_pipeline.json: {e}");
+    }
 }

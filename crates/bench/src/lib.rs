@@ -178,13 +178,16 @@ pub fn train_standard(mut config: FrameworkConfig, library: &Library) -> Result<
         suite.into_iter().map(|e| (e.name, e.netlist)).collect();
     let mut fw = Framework::new(config);
     let summary = fw.train(&designs, library)?;
-    eprintln!(
-        "[train] data {:.1}s, gnn {:.1}s, loss {:.4}, recall {:.3}, precision {:.3}",
-        summary.data_time.as_secs_f64(),
-        summary.train_time.as_secs_f64(),
-        summary.final_loss,
-        summary.train_metrics.recall(),
-        summary.train_metrics.precision(),
+    tmm_obs::info(
+        &[
+            ("stage", "training"),
+            ("data_s", &format!("{:.1}", summary.data_time.as_secs_f64())),
+            ("gnn_s", &format!("{:.1}", summary.train_time.as_secs_f64())),
+            ("loss", &format!("{:.4}", summary.final_loss)),
+            ("recall", &format!("{:.3}", summary.train_metrics.recall())),
+            ("precision", &format!("{:.3}", summary.train_metrics.precision())),
+        ],
+        "training complete",
     );
     Ok(fw)
 }

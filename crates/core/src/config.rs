@@ -125,6 +125,15 @@ impl FrameworkConfig {
             Task::Classification
         }
     }
+
+    /// Stable 64-bit fingerprint of the *effective* configuration, for run
+    /// reports: two runs with the same fingerprint used identical settings.
+    /// Derived from the exhaustive `Debug` rendering, so any added field
+    /// automatically participates.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        tmm_obs::fingerprint(&format!("{self:?}"))
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +172,13 @@ mod tests {
         let d = c.dataset_options();
         assert!(d.cppr_mode && d.with_cppr_feature);
         assert!(!d.regression);
+    }
+
+    #[test]
+    fn fingerprint_tracks_config_changes() {
+        let a = FrameworkConfig::default();
+        assert_eq!(a.fingerprint(), FrameworkConfig::default().fingerprint());
+        assert_ne!(a.fingerprint(), FrameworkConfig::cppr().fingerprint());
     }
 
     #[test]

@@ -207,23 +207,50 @@ impl Framework {
         let mut quarantined: Vec<QuarantinedDesign> = Vec::new();
         let mut ts_quarantined: Vec<(String, usize)> = Vec::new();
         let ds_opts = self.config.dataset_options();
-        for (name, netlist) in designs {
-            match self.prepare_design(name, netlist, library, &ds_opts) {
-                Ok(dataset) => {
-                    design_positive_rates.push((name.clone(), dataset.positive_rate));
-                    let failures = dataset.ts_failure_count();
-                    if failures > 0 {
-                        ts_quarantined.push((name.clone(), failures));
+        {
+            let mut stage_span = tmm_obs::span("data_generation", tmm_obs::STAGE_CAT);
+            for (name, netlist) in designs {
+                let mut design_span = tmm_obs::span("prepare_design", "core");
+                design_span.arg("design", name);
+                match self.prepare_design(name, netlist, library, &ds_opts) {
+                    Ok(dataset) => {
+                        design_positive_rates.push((name.clone(), dataset.positive_rate));
+                        let failures = dataset.ts_failure_count();
+                        if failures > 0 {
+                            tmm_obs::warn(
+                                &[
+                                    ("stage", "data_generation"),
+                                    ("design", name),
+                                    ("pins", &failures.to_string()),
+                                ],
+                                "TS probes quarantined; pins labelled conservatively",
+                            );
+                            ts_quarantined.push((name.clone(), failures));
+                        }
+                        samples.push(dataset.sample);
                     }
-                    samples.push(dataset.sample);
+                    Err(e) => {
+                        tmm_obs::warn(
+                            &[
+                                ("stage", &e.stage.to_string()),
+                                ("design", name),
+                                ("error", &e.source.to_string()),
+                            ],
+                            "design quarantined; training proceeds without it",
+                        );
+                        tmm_obs::counter_add("tmm_designs_quarantined_total", &[], 1);
+                        quarantined.push(QuarantinedDesign {
+                            name: name.clone(),
+                            stage: e.stage,
+                            error: e.source,
+                        });
+                    }
                 }
-                Err(e) => quarantined.push(QuarantinedDesign {
-                    name: name.clone(),
-                    stage: e.stage,
-                    error: e.source,
-                }),
             }
+            stage_span.arg_f64("designs", designs.len() as f64);
+            stage_span.arg_f64("quarantined", quarantined.len() as f64);
         }
+        tmm_obs::counter_add("tmm_designs_trained_total", &[], samples.len() as u64);
         let data_time = data_start.elapsed();
         if samples.is_empty() {
             let detail = quarantined.first().map_or_else(
@@ -248,7 +275,13 @@ impl Framework {
                 ..self.config.model
             },
         );
-        let report = gnn.train(&samples, &self.config.train);
+        let report = {
+            let mut stage_span = tmm_obs::span("training", tmm_obs::STAGE_CAT);
+            let report = gnn.train(&samples, &self.config.train);
+            stage_span.arg_f64("final_loss", f64::from(report.final_loss));
+            stage_span.arg_f64("retries", report.retries as f64);
+            report
+        };
         let train_time = train_start.elapsed();
         // A model that diverged beyond recovery (or somehow ended with
         // non-finite weights) is kept for inspection but marked
@@ -304,9 +337,16 @@ impl Framework {
                 StaError::IllegalEdit("framework is not trained".into()),
             ));
         };
+        let mut stage_span = tmm_obs::span("prediction", tmm_obs::STAGE_CAT);
         if self.degraded {
             // Keep-all fallback: an unhealthy model must never drop a
             // pin, so the macro degenerates to the full ILM.
+            tmm_obs::counter_add("tmm_predict_degraded_total", &[], 1);
+            tmm_obs::warn(
+                &[("stage", "prediction")],
+                "degraded model: keep-all fallback, macro degenerates to the full ILM",
+            );
+            stage_span.arg("outcome", "degraded");
             let keep: Vec<bool> = ilm.nodes().iter().map(|n| !n.dead).collect();
             let hard_kept = keep.iter().filter(|&&k| k).count();
             let stats = PredictionStats {
@@ -350,6 +390,9 @@ impl Framework {
         }
         let stats =
             PredictionStats { predicted_variant, hard_kept, inference_time: start.elapsed() };
+        stage_span.arg_f64("predicted_variant", predicted_variant as f64);
+        stage_span.arg_f64("hard_kept", hard_kept as f64);
+        tmm_obs::counter_add("tmm_predict_variant_pins_total", &[], predicted_variant as u64);
         Ok((keep, stats))
     }
 
@@ -368,8 +411,11 @@ impl Framework {
         let (ilm, _) =
             extract_ilm(flat).map_err(|e| TmmError::new(Stage::MacroGeneration, e))?;
         let (keep, prediction) = self.predict_keep_mask(&ilm)?;
+        let mut stage_span = tmm_obs::span("macro_generation", tmm_obs::STAGE_CAT);
+        stage_span.arg("design", flat.name());
         let model = MacroModel::generate(flat, &keep, &self.config.macro_options)
             .map_err(|e| TmmError::new(Stage::MacroGeneration, e))?;
+        stage_span.arg_f64("kept_pins", model.stats().kept_pins as f64);
         Ok(RunOutcome {
             kept_pins: model.stats().kept_pins,
             model,

@@ -643,6 +643,7 @@ impl GnnModel {
         // every retry is exhausted the weights roll back to the best
         // finite-loss checkpoint seen (or the initial weights) and the
         // report flags the run as diverged so callers can quarantine it.
+        let mut span = tmm_obs::span("gnn_train", "gnn");
         let mut ws = Workspace::new(self);
         let initial = self.snapshot();
         let mut lr = cfg.lr;
@@ -651,24 +652,41 @@ impl GnnModel {
             match self.train_attempt(samples, cfg, pos_weight, splits.as_deref(), lr, &mut ws) {
                 Attempt::Completed(mut report) => {
                     report.retries = retries;
+                    span.arg_f64("epochs", report.history.len() as f64);
+                    span.arg_f64("retries", retries as f64);
                     return report;
                 }
                 Attempt::Diverged(mut report) => {
                     if retries < cfg.max_retries {
                         retries += 1;
                         lr *= cfg.lr_backoff;
+                        tmm_obs::counter_add("tmm_gnn_retries_total", &[], 1);
+                        tmm_obs::warn(
+                            &[
+                                ("stage", "training"),
+                                ("retry", &retries.to_string()),
+                                ("lr", &format!("{lr:.3e}")),
+                            ],
+                            "training attempt diverged; restarting with backed-off learning rate",
+                        );
                         self.restore(&initial);
                         continue;
                     }
                     report.retries = retries;
                     report.diverged = true;
                     report.rolled_back = true;
+                    tmm_obs::counter_add("tmm_gnn_diverged_total", &[], 1);
+                    tmm_obs::warn(
+                        &[("stage", "training"), ("retries", &retries.to_string())],
+                        "training diverged after all retries; rolled back to best checkpoint",
+                    );
                     if ws.has_best {
                         self.restore(&ws.best_weights);
                         report.final_loss = ws.best_loss;
                     } else {
                         self.restore(&initial);
                     }
+                    span.arg("outcome", "diverged");
                     return report;
                 }
             }
@@ -699,7 +717,13 @@ impl GnnModel {
         let mut stopped_early = false;
         ws.has_best = false;
         ws.best_loss = f32::INFINITY;
+        // Epoch-granular instrumentation: while metrics are disabled this
+        // is one relaxed load per epoch — no clocks, no allocation — which
+        // keeps the steady-state zero-allocation guarantee intact.
+        let obs_rows: usize = samples.iter().map(|s| s.features.rows()).sum();
         for _epoch in 0..cfg.epochs {
+            let epoch_start =
+                if tmm_obs::metrics_enabled() { Some(std::time::Instant::now()) } else { None };
             let mut epoch_loss = 0.0f32;
             let mut epoch_val = 0.0f32;
             for (si, sample) in samples.iter().enumerate() {
@@ -758,6 +782,22 @@ impl GnnModel {
                 self.for_each_param_mut(|idx, p| opt.update_param(idx, p, &grads[idx]));
             }
             let mean_loss = epoch_loss / samples.len() as f32;
+            if let Some(start) = epoch_start {
+                let secs = start.elapsed().as_secs_f64();
+                // Gradient norm of the last backward pass of the epoch;
+                // computed only while metrics are on.
+                let grad_sq: f64 = ws
+                    .grads
+                    .iter()
+                    .map(|g| g.data().iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>())
+                    .sum();
+                tmm_obs::counter_add("tmm_gnn_epochs_total", &[], 1);
+                tmm_obs::gauge_set("tmm_gnn_epoch_loss", &[], f64::from(mean_loss));
+                tmm_obs::gauge_set("tmm_gnn_grad_norm", &[], grad_sq.sqrt());
+                if secs > 0.0 {
+                    tmm_obs::gauge_set("tmm_gnn_rows_per_sec", &[], obs_rows as f64 / secs);
+                }
+            }
             history.push(mean_loss);
             if !mean_loss.is_finite() || !self.weights_finite() {
                 let report = TrainReport {

@@ -11,6 +11,12 @@
 //! pollute the counter. Runs with `threads = 1` because spawning scoped
 //! worker threads necessarily allocates (stacks, join handles); the
 //! thread-count *determinism* contract is covered by `gnn_kernels.rs`.
+//!
+//! The `tmm-obs` metrics registry is compiled into the training loop
+//! (per-epoch loss/grad-norm/rows-per-sec gauges) but left *disabled*
+//! here, which this test doubles as a guard for: the disabled entry
+//! points must cost one relaxed atomic load and **no allocation**, or
+//! the 32 extra epochs would show up in the counter.
 
 // Integration-test harness code: the clippy.toml test exemptions do not
 // reach helper fns outside #[test], so state the exemption explicitly.

@@ -101,6 +101,7 @@ impl MacroModel {
         options: &MacroModelOptions,
     ) -> Result<MacroModel> {
         assert_eq!(keep.len(), flat.node_count(), "keep mask size mismatch");
+        let mut span = tmm_obs::span("macro_generate", "macromodel");
         let start = Instant::now();
         let (mut graph, _mask) = extract_ilm(flat)?;
         let policy =
@@ -123,6 +124,7 @@ impl MacroModel {
         };
         if options.compress_luts {
             compress_graph_luts(&mut graph, options.lut_slew_points, options.lut_load_points);
+            tmm_obs::counter_add("tmm_macro_lut_compressions_total", &[], 1);
         }
         graph.set_name(format!("{}_macro", flat.name()));
         let stats = GenStats {
@@ -132,6 +134,15 @@ impl MacroModel {
             reduce,
             gen_memory,
         };
+        tmm_obs::counter_add("tmm_macro_pins_bypassed_total", &[], reduce.bypassed as u64);
+        tmm_obs::counter_add("tmm_macro_merges_refused_total", &[], reduce.refused as u64);
+        tmm_obs::counter_add(
+            "tmm_macro_arcs_parallel_merged_total",
+            &[],
+            reduce.parallel_merged as u64,
+        );
+        span.arg_f64("kept_pins", stats.kept_pins as f64);
+        span.arg_f64("flat_pins", stats.flat_pins as f64);
         Ok(MacroModel { name: graph.name().to_string(), graph, stats })
     }
 

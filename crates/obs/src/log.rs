@@ -1,0 +1,163 @@
+//! A leveled, structured, zero-dependency logger.
+//!
+//! Library crates log diagnostics (quarantines, retries, degraded
+//! fallbacks) through [`log`] with explicit `key=value` fields instead of
+//! ad-hoc `eprintln!`. The active level comes from, in priority order:
+//! a programmatic [`set_log_level`] call (the CLI's `--log-level` flag),
+//! else the `TMM_LOG` environment variable, else [`Level::Warn`].
+//!
+//! Output goes to stderr as one line per event:
+//!
+//! ```text
+//! tmm[warn] stage=training design=bad TS sweep quarantined 3 pin(s)
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed or lost data.
+    Error = 0,
+    /// Degraded, quarantined, or otherwise surprising but recoverable.
+    Warn = 1,
+    /// Progress and summary events.
+    Info = 2,
+    /// Per-design and per-stage detail.
+    Debug = 3,
+    /// Everything, including per-retry detail.
+    Trace = 4,
+}
+
+impl Level {
+    /// Short lowercase name (`error`, `warn`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name, case-insensitively. Unknown names yield
+    /// `None` (callers fall back to the default).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// 255 = "not yet configured": fall back to `TMM_LOG` / default.
+static LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn env_level() -> Level {
+    static FROM_ENV: OnceLock<Level> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("TMM_LOG").ok().and_then(|v| Level::parse(&v)).unwrap_or(Level::Warn)
+    })
+}
+
+/// Sets the active level programmatically (overrides `TMM_LOG`).
+pub fn set_log_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The currently active level.
+#[must_use]
+pub fn log_level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        4 => Level::Trace,
+        _ => env_level(),
+    }
+}
+
+/// `true` when events at `level` are currently emitted.
+#[must_use]
+pub fn log_enabled(level: Level) -> bool {
+    level <= log_level()
+}
+
+/// Emits one structured event to stderr when `level` is active. `fields`
+/// render as `key=value` pairs before the message; values containing
+/// whitespace are quoted.
+pub fn log(level: Level, fields: &[(&str, &str)], msg: &str) {
+    if !log_enabled(level) {
+        return;
+    }
+    use std::fmt::Write as _;
+    let mut line = String::with_capacity(64 + msg.len());
+    let _ = write!(line, "tmm[{}]", level.name());
+    for (k, v) in fields {
+        if v.contains(char::is_whitespace) || v.is_empty() {
+            let _ = write!(line, " {k}={v:?}");
+        } else {
+            let _ = write!(line, " {k}={v}");
+        }
+    }
+    let _ = write!(line, " {msg}");
+    eprintln!("{line}");
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(fields: &[(&str, &str)], msg: &str) {
+    log(Level::Error, fields, msg);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(fields: &[(&str, &str)], msg: &str) {
+    log(Level::Warn, fields, msg);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(fields: &[(&str, &str)], msg: &str) {
+    log(Level::Info, fields, msg);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(fields: &[(&str, &str)], msg: &str) {
+    log(Level::Debug, fields, msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_levels() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Trace);
+        assert_eq!(Level::Debug.name(), "debug");
+    }
+
+    #[test]
+    fn set_level_overrides() {
+        set_log_level(Level::Debug);
+        assert_eq!(log_level(), Level::Debug);
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Trace));
+        set_log_level(Level::Warn);
+    }
+}

@@ -1,0 +1,247 @@
+//! Structured run reports: one JSON document per pipeline run capturing
+//! the design, a configuration fingerprint, per-stage wall/CPU times, a
+//! peak-RSS estimate, and the outcome class. Emitted by `tmm model`,
+//! `tmm validate`, and (as `BENCH_pipeline.json`, together with the
+//! stable per-stage bench records) by `pipeline_profile`.
+
+use crate::json::{write_escaped, write_number};
+
+/// Wall/CPU cost of one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTime {
+    /// Stage name (`data_generation`, `training`, …).
+    pub stage: String,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Process CPU seconds consumed during the stage (all threads; 0 when
+    /// unavailable on this platform).
+    pub cpu_s: f64,
+}
+
+/// One machine-readable run report.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// The command that produced the report (`model`, `validate`, …).
+    pub command: String,
+    /// Design name (empty when the run had no single design).
+    pub design: String,
+    /// Fingerprint of the effective configuration ([`fingerprint`]).
+    pub config_fingerprint: String,
+    /// Per-stage timings, pipeline order.
+    pub stages: Vec<StageTime>,
+    /// Outcome class: `ok`, `degraded`, or `error:<class>`.
+    pub outcome: String,
+    /// Peak resident-set estimate in bytes (0 when unavailable).
+    pub peak_rss_bytes: u64,
+    /// Number of distinct metric series recorded during the run.
+    pub metric_series: usize,
+    /// Free-form facts (`kept_pins`, `final_loss`, …) as rendered strings.
+    pub facts: Vec<(String, String)>,
+}
+
+impl RunReport {
+    /// Creates an empty report for `command`.
+    #[must_use]
+    pub fn new(command: &str) -> Self {
+        RunReport { command: command.to_string(), outcome: "ok".to_string(), ..Default::default() }
+    }
+
+    /// Records one free-form fact.
+    pub fn fact(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.facts.push((key.to_string(), value.to_string()));
+    }
+
+    /// Fills [`RunReport::stages`] from the recorded stage-level spans
+    /// ([`crate::stage_summaries`]) and snapshots the current metric
+    /// series count and peak RSS.
+    pub fn capture_environment(&mut self) {
+        self.stages = crate::stage_summaries()
+            .into_iter()
+            .map(|(stage, wall_s, cpu_s)| StageTime { stage, wall_s, cpu_s })
+            .collect();
+        self.metric_series = crate::metric_series_count();
+        self.peak_rss_bytes = peak_rss_bytes();
+    }
+
+    /// Renders the report as a stable JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n  \"schema\": \"tmm-run-report/v1\",\n  \"command\": ");
+        write_escaped(&mut out, &self.command);
+        out.push_str(",\n  \"design\": ");
+        write_escaped(&mut out, &self.design);
+        out.push_str(",\n  \"config_fingerprint\": ");
+        write_escaped(&mut out, &self.config_fingerprint);
+        out.push_str(",\n  \"outcome\": ");
+        write_escaped(&mut out, &self.outcome);
+        out.push_str(",\n  \"peak_rss_bytes\": ");
+        use std::fmt::Write as _;
+        let _ = write!(out, "{}", self.peak_rss_bytes);
+        let _ = write!(out, ",\n  \"metric_series\": {}", self.metric_series);
+        out.push_str(",\n  \"stages\": [");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\"stage\": ");
+            write_escaped(&mut out, &s.stage);
+            out.push_str(", \"wall_s\": ");
+            write_number(&mut out, s.wall_s);
+            out.push_str(", \"cpu_s\": ");
+            write_number(&mut out, s.cpu_s);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"facts\": {");
+        for (i, (k, v)) in self.facts.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            write_escaped(&mut out, k);
+            out.push_str(": ");
+            write_escaped(&mut out, v);
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// One stable bench-trajectory record (`BENCH_pipeline.json` schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Pipeline stage name.
+    pub stage: String,
+    /// Design (or suite) the stage ran over.
+    pub design: String,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Stage-specific throughput (pins/s, rows/s, …; 0 when untracked).
+    pub throughput: f64,
+}
+
+/// Renders bench records plus an embedded [`RunReport`] as the
+/// `BENCH_pipeline.json` document. The `records` array keys
+/// (`stage`/`design`/`wall_ms`/`throughput`) are the stable schema CI
+/// trend tooling consumes.
+#[must_use]
+pub fn render_bench_json(bench: &str, records: &[BenchRecord], report: &RunReport) -> String {
+    let mut out = String::with_capacity(512 + records.len() * 96);
+    out.push_str("{\n  \"bench\": ");
+    write_escaped(&mut out, bench);
+    out.push_str(",\n  \"schema\": \"tmm-bench/v1\",\n  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"stage\": ");
+        write_escaped(&mut out, &r.stage);
+        out.push_str(", \"design\": ");
+        write_escaped(&mut out, &r.design);
+        out.push_str(", \"wall_ms\": ");
+        write_number(&mut out, r.wall_ms);
+        out.push_str(", \"throughput\": ");
+        write_number(&mut out, r.throughput);
+        out.push('}');
+    }
+    out.push_str("\n  ],\n  \"report\": ");
+    // Indent the embedded report by re-using its renderer verbatim; the
+    // document stays valid JSON either way.
+    out.push_str(report.to_json().trim_end());
+    out.push_str("\n}\n");
+    out
+}
+
+/// FNV-1a 64-bit fingerprint of a rendered configuration, hex-encoded.
+/// Deterministic across runs and platforms.
+#[must_use]
+pub fn fingerprint(text: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Peak resident-set size estimate in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 when the platform does not expose it.
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    read_proc_kb("/proc/self/status", "VmHWM:").map_or(0, |kb| kb * 1024)
+}
+
+fn read_proc_kb(path: &str, key: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text.lines().find(|l| l.starts_with(key))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Cumulative process CPU seconds (user + system, all threads) from
+/// `/proc/self/stat`; 0.0 when unavailable. Assumes the conventional
+/// 100 Hz clock tick.
+#[must_use]
+pub fn process_cpu_seconds() -> f64 {
+    let Ok(text) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0.0;
+    };
+    // Field 2 (comm) may contain spaces; skip past the closing paren.
+    let Some(rest) = text.rsplit(')').next() else { return 0.0 };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // After the comm field: state is index 0, utime is index 11, stime 12.
+    let utime: u64 = fields.get(11).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let stime: u64 = fields.get(12).and_then(|s| s.parse().ok()).unwrap_or(0);
+    (utime + stime) as f64 / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn report_renders_valid_json() {
+        let mut r = RunReport::new("model");
+        r.design = "d\"1".to_string();
+        r.config_fingerprint = fingerprint("cfg");
+        r.stages.push(StageTime { stage: "training".into(), wall_s: 1.25, cpu_s: 2.5 });
+        r.fact("kept_pins", 42);
+        let v = json::parse(&r.to_json()).expect("valid json");
+        assert_eq!(v.get("command").and_then(json::Value::as_str), Some("model"));
+        assert_eq!(v.get("design").and_then(json::Value::as_str), Some("d\"1"));
+        let stages = v.get("stages").and_then(|s| s.as_array()).expect("stages");
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].get("wall_s").and_then(json::Value::as_f64), Some(1.25));
+        assert_eq!(
+            v.get("facts").and_then(|f| f.get("kept_pins")).and_then(json::Value::as_str),
+            Some("42")
+        );
+    }
+
+    #[test]
+    fn bench_json_has_stable_record_schema() {
+        let rec = BenchRecord {
+            stage: "ts_sweep".into(),
+            design: "systemcaes".into(),
+            wall_ms: 12.5,
+            throughput: 480.0,
+        };
+        let doc = render_bench_json("pipeline", &[rec], &RunReport::new("pipeline_profile"));
+        let v = json::parse(&doc).expect("valid json");
+        let records = v.get("records").and_then(|r| r.as_array()).expect("records");
+        let r0 = &records[0];
+        for key in ["stage", "design", "wall_ms", "throughput"] {
+            assert!(r0.get(key).is_some(), "missing `{key}`");
+        }
+        assert!(v.get("report").is_some());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinct() {
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+        assert_eq!(fingerprint("abc").len(), 16);
+    }
+
+    #[test]
+    fn cpu_and_rss_probes_do_not_panic() {
+        // Values are platform-dependent; only shape is asserted.
+        let cpu = process_cpu_seconds();
+        assert!(cpu >= 0.0);
+        let _rss = peak_rss_bytes();
+    }
+}

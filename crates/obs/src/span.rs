@@ -1,0 +1,401 @@
+//! Hierarchical tracing spans with monotonic timings, exported as Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` and Perfetto).
+//!
+//! Spans are recorded into **per-thread buffers** and merged into the
+//! process-global trace when the thread's outermost span closes; at export
+//! the merged records are sorted by `(start, -duration, name, tid)` so the
+//! emitted file is deterministic for a given set of recorded intervals.
+//!
+//! Tracing is **disabled by default**: [`span`] then returns an inert
+//! guard after a single relaxed atomic load — no clock read, no
+//! allocation — so instrumented code paths cost nothing in production
+//! runs and in the `zero_alloc` harness.
+
+use crate::report::process_cpu_seconds;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+static TRACING_ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Enables span recording process-wide.
+pub fn enable_tracing() {
+    TRACING_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disables span recording; already-recorded spans are retained until
+/// [`reset_trace`].
+pub fn disable_tracing() {
+    TRACING_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// `true` when span recording is on (one relaxed load).
+#[inline]
+#[must_use]
+pub fn tracing_enabled() -> bool {
+    TRACING_ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process epoch all span timestamps are relative to.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One finished span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (trace event `name`).
+    pub name: &'static str,
+    /// Category (trace event `cat`); stage-level spans use `"stage"`.
+    pub cat: &'static str,
+    /// Start offset from the process epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Process CPU seconds consumed between open and close (all threads).
+    pub cpu_s: f64,
+    /// Stable per-thread id (assignment order of first span per thread).
+    pub tid: u64,
+    /// Nesting depth on its thread (0 = outermost).
+    pub depth: usize,
+    /// Pre-rendered JSON object body for the `args` field (no braces), or
+    /// empty.
+    pub args: String,
+}
+
+fn global_trace() -> MutexGuard<'static, Vec<SpanRecord>> {
+    static TRACE: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    TRACE
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    static TID: Cell<u64> = const { Cell::new(0) };
+    static BUFFER: RefCell<Vec<SpanRecord>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_id() -> u64 {
+    TID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+/// An open span; records itself into the thread buffer on drop. Obtained
+/// from [`span`]; inert (and free) while tracing is disabled.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct SpanGuard {
+    live: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    start_us: u64,
+    cpu_start: f64,
+    depth: usize,
+    args: String,
+}
+
+/// Opens a span. While tracing is disabled this is one relaxed load and
+/// returns an inert guard. Spans nest per-thread; close order must be
+/// LIFO (guaranteed by drop scoping).
+pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard { live: None };
+    }
+    let ep = epoch();
+    let start = Instant::now();
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard {
+        live: Some(OpenSpan {
+            name,
+            cat,
+            start,
+            start_us: start.duration_since(ep).as_micros() as u64,
+            // CPU sampling is /proc-backed and stage-granular; only
+            // outermost spans pay for it.
+            cpu_start: if depth == 0 { process_cpu_seconds() } else { f64::NAN },
+            depth,
+            args: String::new(),
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// Attaches a string argument rendered into the trace event's `args`
+    /// object. No-op on an inert guard.
+    pub fn arg(&mut self, key: &str, value: &str) {
+        if let Some(open) = &mut self.live {
+            if !open.args.is_empty() {
+                open.args.push(',');
+            }
+            crate::json::write_escaped(&mut open.args, key);
+            open.args.push(':');
+            crate::json::write_escaped(&mut open.args, value);
+        }
+    }
+
+    /// Attaches a numeric argument. No-op on an inert guard.
+    pub fn arg_f64(&mut self, key: &str, value: f64) {
+        if let Some(open) = &mut self.live {
+            if !open.args.is_empty() {
+                open.args.push(',');
+            }
+            crate::json::write_escaped(&mut open.args, key);
+            open.args.push(':');
+            crate::json::write_number(&mut open.args, value);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.live.take() else { return };
+        let dur_us = open.start.elapsed().as_micros() as u64;
+        let cpu_s = if open.cpu_start.is_finite() {
+            (process_cpu_seconds() - open.cpu_start).max(0.0)
+        } else {
+            0.0
+        };
+        let record = SpanRecord {
+            name: open.name,
+            cat: open.cat,
+            start_us: open.start_us,
+            dur_us,
+            cpu_s,
+            tid: thread_id(),
+            depth: open.depth,
+            args: open.args,
+        };
+        DEPTH.with(|d| d.set(open.depth));
+        BUFFER.with(|b| b.borrow_mut().push(record));
+        if open.depth == 0 {
+            // Outermost span on this thread closed: merge the thread
+            // buffer into the global trace.
+            let drained: Vec<SpanRecord> =
+                BUFFER.with(|b| std::mem::take(&mut *b.borrow_mut()));
+            global_trace().extend(drained);
+        }
+    }
+}
+
+/// Snapshot of every merged span, deterministically ordered by
+/// `(start, longest-first, name, tid)`.
+#[must_use]
+pub fn trace_records() -> Vec<SpanRecord> {
+    let mut records = global_trace().clone();
+    records.sort_by(|a, b| {
+        a.start_us
+            .cmp(&b.start_us)
+            .then(b.dur_us.cmp(&a.dur_us))
+            .then(a.name.cmp(b.name))
+            .then(a.tid.cmp(&b.tid))
+    });
+    records
+}
+
+/// Clears every merged span (the enabled flag is untouched). Spans still
+/// buffered on live threads are unaffected.
+pub fn reset_trace() {
+    global_trace().clear();
+}
+
+/// Aggregated wall/CPU time of stage-level spans (category `"stage"`), in
+/// first-seen order: `(name, wall_seconds, cpu_seconds)`.
+#[must_use]
+pub fn stage_summaries() -> Vec<(String, f64, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut wall: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut cpu: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for r in trace_records() {
+        if r.cat != "stage" {
+            continue;
+        }
+        if !wall.contains_key(r.name) {
+            order.push(r.name.to_string());
+        }
+        *wall.entry(r.name.to_string()).or_insert(0.0) += r.dur_us as f64 / 1e6;
+        *cpu.entry(r.name.to_string()).or_insert(0.0) += r.cpu_s;
+    }
+    order
+        .into_iter()
+        .map(|n| {
+            let w = wall.get(&n).copied().unwrap_or(0.0);
+            let c = cpu.get(&n).copied().unwrap_or(0.0);
+            (n, w, c)
+        })
+        .collect()
+}
+
+/// Renders the merged trace as a Chrome `trace_event` JSON document
+/// (object format with a `traceEvents` array of complete `"X"` events).
+#[must_use]
+pub fn export_trace() -> String {
+    use std::fmt::Write as _;
+    let records = trace_records();
+    let mut out = String::with_capacity(256 + records.len() * 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"ph\":\"X\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{}", r.tid);
+        out.push_str(",\"ts\":");
+        let _ = write!(out, "{}", r.start_us);
+        out.push_str(",\"dur\":");
+        let _ = write!(out, "{}", r.dur_us);
+        out.push_str(",\"name\":");
+        crate::json::write_escaped(&mut out, r.name);
+        out.push_str(",\"cat\":");
+        crate::json::write_escaped(&mut out, r.cat);
+        out.push_str(",\"args\":{");
+        out.push_str(&r.args);
+        if !r.args.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "\"depth\":{}", r.depth);
+        if r.cpu_s > 0.0 {
+            out.push_str(",\"cpu_ms\":");
+            crate::json::write_number(&mut out, r.cpu_s * 1e3);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as TestMutex;
+
+    static GUARD: TestMutex<()> = TestMutex::new(());
+
+    fn with_tracing<R>(f: impl FnOnce() -> R) -> R {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        reset_trace();
+        enable_tracing();
+        let r = f();
+        disable_tracing();
+        reset_trace();
+        r
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        reset_trace();
+        disable_tracing();
+        {
+            let mut s = span("nothing", "test");
+            s.arg("k", "v");
+        }
+        assert!(trace_records().is_empty());
+    }
+
+    #[test]
+    fn nesting_invariants_hold() {
+        with_tracing(|| {
+            {
+                let _outer = span("outer", "stage");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                {
+                    let _inner = span("inner", "test");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                {
+                    let _inner2 = span("inner2", "test");
+                }
+            }
+            let records = trace_records();
+            assert_eq!(records.len(), 3);
+            let outer = records.iter().find(|r| r.name == "outer").expect("outer");
+            assert_eq!(outer.depth, 0);
+            for r in &records {
+                if r.name == "outer" {
+                    continue;
+                }
+                assert_eq!(r.depth, 1, "{}", r.name);
+                assert!(r.start_us >= outer.start_us, "child starts inside parent");
+                assert!(
+                    r.start_us + r.dur_us <= outer.start_us + outer.dur_us,
+                    "child ends inside parent"
+                );
+                assert_eq!(r.tid, outer.tid, "same thread, same tid");
+            }
+        });
+    }
+
+    #[test]
+    fn worker_thread_spans_merge_at_close() {
+        with_tracing(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        let _s = span("worker", "test");
+                    });
+                }
+            });
+            let records = trace_records();
+            assert_eq!(records.len(), 4);
+            let mut tids: Vec<u64> = records.iter().map(|r| r.tid).collect();
+            tids.sort_unstable();
+            tids.dedup();
+            assert_eq!(tids.len(), 4, "each worker gets its own tid");
+        });
+    }
+
+    #[test]
+    fn export_is_valid_json_with_args() {
+        let text = with_tracing(|| {
+            {
+                let mut s = span("stage_a", "stage");
+                s.arg("design", "d\"quoted\"");
+                s.arg_f64("pins", 42.0);
+            }
+            export_trace()
+        });
+        let v = crate::json::parse(&text).expect("trace must parse as JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents");
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.get("ph").and_then(crate::json::Value::as_str), Some("X"));
+        assert_eq!(
+            e.get("args").and_then(|a| a.get("design")).and_then(crate::json::Value::as_str),
+            Some("d\"quoted\"")
+        );
+    }
+
+    #[test]
+    fn stage_summaries_aggregate_by_name() {
+        with_tracing(|| {
+            for _ in 0..2 {
+                let _s = span("stage_x", "stage");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let _other = span("not_a_stage", "misc");
+            drop(_other);
+            let sums = stage_summaries();
+            assert_eq!(sums.len(), 1);
+            assert_eq!(sums[0].0, "stage_x");
+            assert!(sums[0].1 >= 0.002, "two 1ms sleeps: {}", sums[0].1);
+        });
+    }
+}

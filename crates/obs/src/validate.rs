@@ -1,0 +1,235 @@
+//! Artifact validators for the observability outputs. Used by
+//! `tmm obscheck` in CI and by the golden tests: a trace file must be
+//! loadable Chrome `trace_event` JSON, a metrics file must parse as
+//! Prometheus text exposition, and run reports / bench files must carry
+//! their stable schemas.
+
+use crate::json::{self, Value};
+
+/// Validates a Chrome `trace_event` JSON document and returns
+/// `(event_count, distinct_stage_names)` on success.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate_trace_json(src: &str) -> Result<(usize, Vec<String>), String> {
+    let doc = json::parse(src).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("trace missing `traceEvents` array")?;
+    let mut stages = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} missing `ph`"))?;
+        if ph != "X" {
+            return Err(format!("event {i} has unsupported phase `{ph}`"));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            if ev.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("event {i} missing numeric `{key}`"));
+            }
+        }
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} missing `name`"))?;
+        if ev.get("cat").and_then(Value::as_str) == Some("stage")
+            && !stages.iter().any(|s| s == name)
+        {
+            stages.push(name.to_string());
+        }
+    }
+    Ok((events.len(), stages))
+}
+
+/// Validates Prometheus text exposition and returns the number of
+/// distinct series (unique `name{labels}` sample keys; histogram
+/// `_bucket`/`_sum`/`_count` expansions of one series count once, keyed
+/// by their base name + labels).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn validate_metrics_text(src: &str) -> Result<usize, String> {
+    let mut series: Vec<String> = Vec::new();
+    let mut typed: Vec<String> = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or(format!("line {}: bare # TYPE", lineno + 1))?;
+            let kind = parts.next().ok_or(format!("line {}: # TYPE missing kind", lineno + 1))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {}: unknown metric kind `{kind}`", lineno + 1));
+            }
+            typed.push(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are fine
+        }
+        // Sample line: name{labels} value  |  name value
+        let (key, value) = match line.rfind(' ') {
+            Some(idx) => (&line[..idx], &line[idx + 1..]),
+            None => return Err(format!("line {}: sample without value", lineno + 1)),
+        };
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN" {
+            return Err(format!("line {}: bad sample value `{value}`", lineno + 1));
+        }
+        let name_part = key.split('{').next().unwrap_or(key);
+        if name_part.is_empty()
+            || !name_part
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: bad metric name `{name_part}`", lineno + 1));
+        }
+        if key.contains('{') && !key.ends_with('}') {
+            return Err(format!("line {}: unterminated label set", lineno + 1));
+        }
+        // Collapse histogram expansions onto their base series so the
+        // reported count matches the registry's series count.
+        let base = name_part
+            .strip_suffix("_bucket")
+            .or_else(|| name_part.strip_suffix("_sum"))
+            .or_else(|| name_part.strip_suffix("_count"))
+            .filter(|b| typed.iter().any(|t| t == b))
+            .unwrap_or(name_part);
+        let series_key = if base == name_part {
+            key.to_string()
+        } else {
+            base.to_string()
+        };
+        if !series.contains(&series_key) {
+            series.push(series_key);
+        }
+    }
+    Ok(series.len())
+}
+
+/// Validates a `tmm-run-report/v1` JSON document.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or mistyped field.
+pub fn validate_run_report(src: &str) -> Result<(), String> {
+    let doc = json::parse(src).map_err(|e| format!("report is not valid JSON: {e}"))?;
+    if doc.get("schema").and_then(Value::as_str) != Some("tmm-run-report/v1") {
+        return Err("report missing schema `tmm-run-report/v1`".into());
+    }
+    for key in ["command", "design", "config_fingerprint", "outcome"] {
+        if doc.get(key).and_then(Value::as_str).is_none() {
+            return Err(format!("report missing string `{key}`"));
+        }
+    }
+    for key in ["peak_rss_bytes", "metric_series"] {
+        if doc.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("report missing numeric `{key}`"));
+        }
+    }
+    let stages =
+        doc.get("stages").and_then(Value::as_array).ok_or("report missing `stages` array")?;
+    for (i, s) in stages.iter().enumerate() {
+        if s.get("stage").and_then(Value::as_str).is_none() {
+            return Err(format!("stage {i} missing `stage`"));
+        }
+        for key in ["wall_s", "cpu_s"] {
+            if s.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("stage {i} missing numeric `{key}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `tmm-bench/v1` JSON document (`BENCH_pipeline.json`).
+///
+/// # Errors
+///
+/// Returns a description of the first missing or mistyped field.
+pub fn validate_bench_json(src: &str) -> Result<usize, String> {
+    let doc = json::parse(src).map_err(|e| format!("bench file is not valid JSON: {e}"))?;
+    if doc.get("schema").and_then(Value::as_str) != Some("tmm-bench/v1") {
+        return Err("bench file missing schema `tmm-bench/v1`".into());
+    }
+    let records =
+        doc.get("records").and_then(Value::as_array).ok_or("bench file missing `records`")?;
+    for (i, r) in records.iter().enumerate() {
+        for key in ["stage", "design"] {
+            if r.get(key).and_then(Value::as_str).is_none() {
+                return Err(format!("record {i} missing string `{key}`"));
+            }
+        }
+        for key in ["wall_ms", "throughput"] {
+            if r.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("record {i} missing numeric `{key}`"));
+            }
+        }
+    }
+    Ok(records.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_minimal_trace() {
+        let src = r#"{"displayTimeUnit":"ms","traceEvents":[
+            {"ph":"X","pid":1,"tid":1,"ts":0,"dur":10,"name":"training","cat":"stage","args":{}},
+            {"ph":"X","pid":1,"tid":2,"ts":1,"dur":2,"name":"epoch","cat":"gnn","args":{}}
+        ]}"#;
+        let (n, stages) = validate_trace_json(src).expect("valid");
+        assert_eq!(n, 2);
+        assert_eq!(stages, vec!["training".to_string()]);
+    }
+
+    #[test]
+    fn rejects_trace_without_events() {
+        assert!(validate_trace_json("{}").is_err());
+        assert!(validate_trace_json(r#"{"traceEvents":[{"ph":"B"}]}"#).is_err());
+    }
+
+    #[test]
+    fn accepts_prometheus_text() {
+        let src = "# TYPE tmm_x_total counter\ntmm_x_total{stage=\"a\"} 3\n\
+                   # TYPE tmm_h_seconds histogram\n\
+                   tmm_h_seconds_bucket{le=\"0.1\"} 1\ntmm_h_seconds_bucket{le=\"+Inf\"} 2\n\
+                   tmm_h_seconds_sum 0.3\ntmm_h_seconds_count 2\n";
+        assert_eq!(validate_metrics_text(src), Ok(2));
+    }
+
+    #[test]
+    fn rejects_malformed_metrics() {
+        assert!(validate_metrics_text("tmm_x_total notanumber\n").is_err());
+        assert!(validate_metrics_text("bad name 1\n").is_err());
+        assert!(validate_metrics_text("# TYPE tmm_x blob\n").is_err());
+    }
+
+    #[test]
+    fn report_and_bench_validators_round_trip() {
+        let mut report = crate::RunReport::new("model");
+        report.config_fingerprint = crate::fingerprint("cfg");
+        report.stages.push(crate::StageTime {
+            stage: "training".into(),
+            wall_s: 0.5,
+            cpu_s: 1.0,
+        });
+        validate_run_report(&report.to_json()).expect("valid report");
+
+        let rec = crate::BenchRecord {
+            stage: "gnn_train".into(),
+            design: "mem_ctrl".into(),
+            wall_ms: 9.0,
+            throughput: 1000.0,
+        };
+        let doc = crate::render_bench_json("pipeline", &[rec], &report);
+        assert_eq!(validate_bench_json(&doc), Ok(1));
+    }
+}

@@ -68,6 +68,7 @@ pub fn filter_insensitive<G: TimingGraph>(
     graph: &G,
     opts: &FilterOptions,
 ) -> Result<FilterResult> {
+    let mut span = tmm_obs::span("insensitive_filter", "sensitivity");
     let sd = slew_range(graph)?;
     // Candidates: live internal pins (the only removable kind).
     let candidate: Vec<bool> = (0..graph.node_count())
@@ -105,6 +106,14 @@ pub fn filter_insensitive<G: TimingGraph>(
         } else {
             filtered_out += 1;
         }
+    }
+    span.arg_f64("filtered_out", filtered_out as f64);
+    span.arg_f64("survived", survived as f64);
+    tmm_obs::counter_add("tmm_filter_pins_removed_total", &[], filtered_out as u64);
+    tmm_obs::counter_add("tmm_filter_pins_survived_total", &[], survived as u64);
+    let total = filtered_out + survived;
+    if total > 0 {
+        tmm_obs::gauge_set("tmm_filter_rate", &[], filtered_out as f64 / total as f64);
     }
     Ok(FilterResult { survivors, sd, sd_z, filtered_out, survived })
 }

@@ -171,6 +171,46 @@ fn relative_diff(before: &BoundarySnapshot, after: &BoundarySnapshot) -> [f64; 4
     out
 }
 
+/// Times one TS probe into the per-pin latency histogram. While metrics
+/// are disabled this is one relaxed load and no clock read, keeping the
+/// sweep's hot loop inert.
+fn timed_probe<F: FnOnce() -> Result<f64>>(engine: &'static str, f: F) -> Result<f64> {
+    if !tmm_obs::metrics_enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let r = f();
+    tmm_obs::observe("tmm_ts_pin_seconds", &[("engine", engine)], start.elapsed().as_secs_f64());
+    r
+}
+
+/// Records sweep totals (and a quarantine warning, if any) once per TS
+/// evaluation.
+fn record_sweep_outcome(result: &TsResult, engine: &'static str) {
+    let labels = [("engine", engine)];
+    tmm_obs::counter_add("tmm_ts_pins_evaluated_total", &labels, result.evaluated as u64);
+    tmm_obs::counter_add("tmm_ts_pins_skipped_total", &labels, result.skipped as u64);
+    tmm_obs::counter_add("tmm_ts_pins_quarantined_total", &labels, result.failures.len() as u64);
+    if !result.failures.is_empty() {
+        // Summary stays at debug: the framework re-logs quarantines at warn
+        // with the design name attached, which this layer cannot know.
+        tmm_obs::debug(
+            &[
+                ("stage", "ts_sweep"),
+                ("engine", engine),
+                ("quarantined", &result.failures.len().to_string()),
+            ],
+            "TS probes quarantined; affected pins keep NaN and are labelled conservatively",
+        );
+        for f in &result.failures {
+            tmm_obs::debug(
+                &[("stage", "ts_sweep"), ("node", &f.node.to_string()), ("cause", &f.cause)],
+                "quarantined TS probe",
+            );
+        }
+    }
+}
+
 /// Resolves the configured thread count: 0 means one worker per available
 /// hardware thread.
 fn resolve_threads(configured: usize) -> usize {
@@ -282,6 +322,8 @@ pub fn evaluate_ts_with_core(
 ) -> Result<TsResult> {
     let n = core.node_count();
     assert_eq!(candidates.len(), n, "candidate mask size mismatch");
+    let mut sweep_span = tmm_obs::span("ts_sweep", "sensitivity");
+    sweep_span.arg("engine", "view");
     let analysis_opts = AnalysisOptions { cppr: opts.cppr, aocv: opts.aocv };
     let mut sampler = ContextSampler::new(opts.seed);
     let contexts: Vec<Context> = sampler.sample_many(&**core, opts.contexts.max(1));
@@ -328,7 +370,7 @@ pub fn evaluate_ts_with_core(
     if threads <= 1 {
         let mut scratch = scratch_proto;
         for &i in &work {
-            match eval_pin(i, &mut scratch) {
+            match timed_probe("view", || eval_pin(i, &mut scratch)) {
                 Ok(v) => ts[i] = v,
                 Err(e) => failures.push(TsFailure { node: i, cause: e.to_string() }),
             }
@@ -346,12 +388,16 @@ pub fn evaluate_ts_with_core(
             SCRATCH.with(|cell| {
                 let mut slot = cell.borrow_mut();
                 let scratch = slot.get_or_insert_with(|| scratch_proto.clone());
-                eval_pin(i, scratch)
+                timed_probe("view", || eval_pin(i, scratch))
             })
         })?;
     }
     let evaluated = work.len() - failures.len();
-    Ok(TsResult { ts, evaluated, skipped, failures })
+    sweep_span.arg_f64("pins", work.len() as f64);
+    sweep_span.arg_f64("evaluated", evaluated as f64);
+    let result = TsResult { ts, evaluated, skipped, failures };
+    record_sweep_outcome(&result, "view");
+    Ok(result)
 }
 
 /// Clone-engine TS evaluation (one full-graph clone and full analysis per
@@ -362,6 +408,8 @@ fn evaluate_ts_cloning(
     opts: &TsOptions,
 ) -> Result<TsResult> {
     assert_eq!(candidates.len(), graph.node_count(), "candidate mask size mismatch");
+    let mut sweep_span = tmm_obs::span("ts_sweep", "sensitivity");
+    sweep_span.arg("engine", "clone");
     let analysis_opts = AnalysisOptions { cppr: opts.cppr, aocv: opts.aocv };
     let mut sampler = ContextSampler::new(opts.seed);
     let contexts: Vec<Context> = sampler.sample_many(graph, opts.contexts.max(1));
@@ -400,9 +448,13 @@ fn evaluate_ts_cloning(
 
     let threads = resolve_threads(opts.threads).min(work.len().max(1));
     let mut failures = Vec::new();
-    sweep(&work, threads, &mut ts, &mut failures, eval_pin)?;
+    sweep(&work, threads, &mut ts, &mut failures, |i| timed_probe("clone", || eval_pin(i)))?;
     let evaluated = work.len() - failures.len();
-    Ok(TsResult { ts, evaluated, skipped, failures })
+    sweep_span.arg_f64("pins", work.len() as f64);
+    sweep_span.arg_f64("evaluated", evaluated as f64);
+    let result = TsResult { ts, evaluated, skipped, failures };
+    record_sweep_outcome(&result, "clone");
+    Ok(result)
 }
 
 #[cfg(test)]

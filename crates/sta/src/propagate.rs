@@ -108,6 +108,7 @@ impl Analysis {
         options: AnalysisOptions,
         aocv: Option<&AocvSpec>,
     ) -> Result<Analysis> {
+        tmm_obs::counter_add("tmm_sta_full_analyses_total", &[], 1);
         let evaluator = Evaluator::new(graph, aocv.cloned());
         let mut state = PropState::new(graph);
         let q_to_ck = q_to_ck_map(graph);

@@ -204,6 +204,7 @@ impl ReferenceAnalysis {
             ));
         }
         scratch.stats.retimes += 1;
+        tmm_obs::counter_add("tmm_sta_retimes_total", &[], 1);
         if view.is_pristine() {
             return Ok(self.boundary.clone());
         }
@@ -211,6 +212,7 @@ impl ReferenceAnalysis {
             // Bypassing shifts structural depths — and so AOCV derates — on
             // paths far outside the edit cone; re-time the whole view.
             scratch.stats.full_fallbacks += 1;
+            tmm_obs::counter_add("tmm_sta_retime_full_fallbacks_total", &[], 1);
             let an = Analysis::run_with_options(view, &self.ctx, self.options)?;
             return Ok(an.boundary().clone());
         }

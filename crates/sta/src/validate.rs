@@ -150,6 +150,16 @@ impl ValidationReport {
     }
 }
 
+/// Records the outcome of one validator into the metrics registry
+/// (artifact-labelled run/error/warning counters). No-op while metrics
+/// are disabled.
+fn record_validation_metrics(report: &ValidationReport) {
+    let labels = [("artifact", report.artifact)];
+    tmm_obs::counter_add("tmm_validate_runs_total", &labels, 1);
+    tmm_obs::counter_add("tmm_validate_errors_total", &labels, report.error_count() as u64);
+    tmm_obs::counter_add("tmm_validate_warnings_total", &labels, report.warning_count() as u64);
+}
+
 impl fmt::Display for ValidationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -263,6 +273,7 @@ pub fn validate_library(library: &Library) -> ValidationReport {
     if library.templates().is_empty() {
         report.warning("empty-library", "library has no cell templates");
     }
+    record_validation_metrics(&report);
     report
 }
 
@@ -382,6 +393,7 @@ pub fn validate_netlist(netlist: &Netlist, library: &Library) -> ValidationRepor
     if has_sequential && netlist.clock_port().is_none() {
         report.error("no-clock", "design has sequential cells but no clock port");
     }
+    record_validation_metrics(&report);
     report
 }
 
@@ -525,6 +537,7 @@ pub fn validate_arc_graph(graph: &ArcGraph) -> ValidationReport {
             }
         }
     }
+    record_validation_metrics(&report);
     report
 }
 

@@ -10,11 +10,29 @@
 //!              [--contexts <n>] [--cppr] [--aocv]
 //! tmm validate [--lib <lib.tmm>] [--design <design.tmm>] [--model <model.tmm>]
 //!              [--gnn <gnn.tmm>]
+//! tmm obscheck [--trace <trace.json>] [--metrics <metrics.prom>]
+//!              [--report <report.json>] [--bench <BENCH.json>]
 //! ```
 //!
 //! Everything round-trips through the text formats in `tmm_sta::io` and
 //! `MacroModel::serialize`/`parse`, so the files this tool writes are the
 //! exact artifacts a hierarchical flow would exchange.
+//!
+//! # Observability
+//!
+//! Every command accepts four global flags:
+//!
+//! * `--trace-out <file>` — record hierarchical spans and write a Chrome
+//!   `trace_event` JSON file (load in `chrome://tracing` or Perfetto).
+//! * `--metrics-out <file>` — record pipeline metrics and write Prometheus
+//!   text exposition.
+//! * `--report-out <file>` — write a machine-readable run report (stage
+//!   wall/CPU times, config fingerprint, peak RSS, outcome class).
+//! * `--log-level <error|warn|info|debug|trace>` — structured stderr log
+//!   level (default `warn`; the `TMM_LOG` env var is the fallback).
+//!
+//! Instrumentation is read-only and disabled unless requested: outputs are
+//! byte-identical with and without these flags.
 //!
 //! # Exit codes
 //!
@@ -47,6 +65,7 @@ use timing_macro_gnn::sta::netlist::Netlist;
 use timing_macro_gnn::sta::propagate::AnalysisOptions;
 use timing_macro_gnn::sta::report::{critical_paths, format_path, slack_summary};
 use timing_macro_gnn::sta::split::{Edge, Mode};
+use timing_macro_gnn::obs;
 use timing_macro_gnn::sta::validate::{validate_arc_graph, validate_library, validate_netlist};
 use timing_macro_gnn::sta::StaError;
 
@@ -216,7 +235,7 @@ fn cmd_stats(args: &Args) -> CliResult {
     Ok(())
 }
 
-fn cmd_model(args: &Args) -> CliResult {
+fn cmd_model(args: &Args, report: &mut obs::RunReport) -> CliResult {
     let lib = load_library(args.required("lib")?)?;
     let design_path = args.required("design")?;
     let out = args.required("out")?;
@@ -228,6 +247,8 @@ fn cmd_model(args: &Args) -> CliResult {
     let threads: usize = args.parsed("threads", "1")?;
 
     let netlist = load_netlist(design_path, &lib)?;
+    report.design = netlist.name().to_string();
+    report.fact("method", &method);
     let flat = ArcGraph::from_netlist(&netlist, &lib)
         .map_err(|e| CliError { msg: format!("{design_path}: {e}"), ..CliError::from(e) })?;
 
@@ -241,34 +262,35 @@ fn cmd_model(args: &Args) -> CliResult {
                 ..Default::default()
             }
             .with_threads(threads);
+            report.config_fingerprint = config.fingerprint();
             // Reuse a previously exported GNN when provided; otherwise
             // train on the design itself.
             let mut fw = match args.flags.get("gnn") {
                 Some(path) => {
                     let fw = Framework::import_model(config, &read_file(path)?)?;
-                    eprintln!("loaded trained GNN from {path}");
+                    obs::info(&[("path", path)], "loaded trained GNN");
                     fw
                 }
                 None => Framework::new(config),
             };
             if !fw.is_trained() {
+                // Quarantine warnings (per design and per TS sweep) are
+                // emitted by the framework's structured logger.
                 let summary =
                     fw.train(&[(netlist.name().to_string(), netlist.clone())], &lib)?;
-                // One warn line per design, not per pin: a large design can
-                // quarantine hundreds of pins for the same root cause.
-                for (dname, pins) in &summary.ts_quarantined {
-                    eprintln!(
-                        "warning: {dname}: TS sweep quarantined {pins} pin(s); kept conservatively"
-                    );
-                }
+                report.fact("final_loss", format!("{:.6}", summary.final_loss));
+                report.fact("retries", summary.retries);
             }
             let outcome = fw.run_on(&netlist, &lib)?;
-            eprintln!(
-                "GNN kept {} pins ({} hard)",
-                outcome.prediction.predicted_variant, outcome.prediction.hard_kept
+            obs::info(
+                &[
+                    ("variant", &outcome.prediction.predicted_variant.to_string()),
+                    ("hard_kept", &outcome.prediction.hard_kept.to_string()),
+                ],
+                "GNN prediction complete",
             );
             if outcome.degraded {
-                eprintln!("warning: GNN is degraded; fell back to the pure-ILM keep-all mask");
+                report.outcome = "degraded".to_string();
             }
             if let Some(gnn_out) = args.flags.get("gnn-out") {
                 write_file(gnn_out, &fw.export_model()?)?;
@@ -283,6 +305,9 @@ fn cmd_model(args: &Args) -> CliResult {
     };
     let serialized = model.serialize();
     write_file(out, &serialized)?;
+    report.fact("kept_pins", model.stats().kept_pins);
+    report.fact("flat_pins", model.stats().flat_pins);
+    report.fact("model_bytes", serialized.len());
     eprintln!(
         "wrote {out}: {} pins kept of {}, {} bytes, generated in {:.3}s",
         model.stats().kept_pins,
@@ -380,7 +405,7 @@ fn cmd_context(args: &Args) -> CliResult {
 /// Runs the structured validators over the given artifacts, prints each
 /// report, and fails with the validation exit code when any artifact has
 /// error-severity diagnostics.
-fn cmd_validate(args: &Args) -> CliResult {
+fn cmd_validate(args: &Args, report: &mut obs::RunReport) -> CliResult {
     fn show(
         report: &timing_macro_gnn::sta::validate::ValidationReport,
         errors: &mut usize,
@@ -446,6 +471,11 @@ fn cmd_validate(args: &Args) -> CliResult {
         }
     }
 
+    if let Some(path) = args.flags.get("design") {
+        report.design = path.clone();
+    }
+    report.fact("artifacts", validated);
+    report.fact("errors", errors);
     if validated == 0 {
         return Err(CliError::usage(
             "nothing to validate: pass --lib, --design, --model, or --gnn",
@@ -460,7 +490,63 @@ fn cmd_validate(args: &Args) -> CliResult {
     Ok(())
 }
 
-const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate> [--flag value] [--switch]
+/// Schema-validates observability artifacts produced by `--trace-out`,
+/// `--metrics-out`, `--report-out`, and the bench trajectory files. CI runs
+/// this after a traced pipeline run.
+fn cmd_obscheck(args: &Args) -> CliResult {
+    let mut checked = 0usize;
+    if let Some(path) = args.flags.get("trace") {
+        let (events, stages) = obs::validate_trace_json(&read_file(path)?)
+            .map_err(|e| CliError::validation(format!("{path}: {e}")))?;
+        eprintln!(
+            "{path}: valid trace, {events} event(s), stages: {}",
+            if stages.is_empty() { "-".to_string() } else { stages.join(",") }
+        );
+        if let Some(expect) = args.flags.get("expect-stages") {
+            for want in expect.split(',') {
+                if !stages.iter().any(|s| s == want) {
+                    return Err(CliError::validation(format!(
+                        "{path}: missing stage span `{want}` (found: {})",
+                        stages.join(",")
+                    )));
+                }
+            }
+        }
+        checked += 1;
+    }
+    if let Some(path) = args.flags.get("metrics") {
+        let series = obs::validate_metrics_text(&read_file(path)?)
+            .map_err(|e| CliError::validation(format!("{path}: {e}")))?;
+        eprintln!("{path}: valid metrics, {series} series");
+        let min_series: usize = args.parsed("min-series", "0")?;
+        if series < min_series {
+            return Err(CliError::validation(format!(
+                "{path}: {series} metric series, expected at least {min_series}"
+            )));
+        }
+        checked += 1;
+    }
+    if let Some(path) = args.flags.get("report") {
+        obs::validate_run_report(&read_file(path)?)
+            .map_err(|e| CliError::validation(format!("{path}: {e}")))?;
+        eprintln!("{path}: valid run report");
+        checked += 1;
+    }
+    if let Some(path) = args.flags.get("bench") {
+        let records = obs::validate_bench_json(&read_file(path)?)
+            .map_err(|e| CliError::validation(format!("{path}: {e}")))?;
+        eprintln!("{path}: valid bench file, {records} record(s)");
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(CliError::usage(
+            "nothing to check: pass --trace, --metrics, --report, or --bench",
+        ));
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|obscheck> [--flag value] [--switch]
   gen      --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
   stats    --design <design.tmm> --lib <lib.tmm>
   model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
@@ -473,7 +559,49 @@ const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate> [--
            [--contexts <n>] [--cppr] [--aocv]
   context  --design <design.tmm> --lib <lib.tmm> [--seed <s>] --out <ctx.tmm>
   validate [--lib <lib.tmm>] [--design <design.tmm>] [--model <model.tmm>] [--gnn <gnn.tmm>]
+  obscheck [--trace <trace.json> [--expect-stages a,b]] [--metrics <m.prom> [--min-series <n>]]
+           [--report <report.json>] [--bench <BENCH.json>]
+observability (any command):
+  --trace-out <trace.json>    record spans, write Chrome trace_event JSON
+  --metrics-out <m.prom>      record metrics, write Prometheus text exposition
+  --report-out <report.json>  write a machine-readable run report
+  --log-level <level>         error|warn|info|debug|trace (default warn; TMM_LOG fallback)
 exit codes: 0 ok, 1 usage, 2 i/o, 3 parse, 4 validation, 5 analysis";
+
+/// Enables the requested observability subsystems before the command runs.
+fn setup_observability(args: &Args) -> CliResult {
+    if let Some(level) = args.flags.get("log-level") {
+        let parsed = obs::Level::parse(level)
+            .ok_or_else(|| CliError::usage(format!("unknown log level `{level}`")))?;
+        obs::set_log_level(parsed);
+    }
+    if args.flags.contains_key("trace-out") {
+        obs::enable_tracing();
+    }
+    if args.flags.contains_key("metrics-out") {
+        obs::enable_metrics();
+    }
+    Ok(())
+}
+
+/// Writes the requested observability artifacts after the command ran
+/// (pass or fail — a failing run's trace is still useful).
+fn write_observability(args: &Args, report: &mut obs::RunReport) -> CliResult {
+    report.capture_environment();
+    if let Some(path) = args.flags.get("trace-out") {
+        write_file(path, &obs::export_trace())?;
+        eprintln!("wrote {path}: load in chrome://tracing or https://ui.perfetto.dev");
+    }
+    if let Some(path) = args.flags.get("metrics-out") {
+        write_file(path, &obs::export_metrics())?;
+        eprintln!("wrote {path}: Prometheus text exposition, {} series", report.metric_series);
+    }
+    if let Some(path) = args.flags.get("report-out") {
+        write_file(path, &report.to_json())?;
+        eprintln!("wrote {path}: run report ({})", report.outcome);
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -481,16 +609,48 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(ErrClass::Usage as u8);
     };
-    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+    let args = match Args::parse(rest) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("tmm: {}", e.msg);
+            return ExitCode::from(e.class as u8);
+        }
+    };
+    if let Err(e) = setup_observability(&args) {
+        eprintln!("tmm: {}", e.msg);
+        return ExitCode::from(e.class as u8);
+    }
+    let mut report = obs::RunReport::new(cmd);
+    // Default fingerprint: the invocation itself. `model` overrides it
+    // with the effective framework configuration.
+    report.config_fingerprint = obs::fingerprint(&rest.join(" "));
+    let result = match cmd.as_str() {
         "gen" => cmd_gen(&args),
         "stats" => cmd_stats(&args),
-        "model" => cmd_model(&args),
+        "model" => cmd_model(&args, &mut report),
         "time" => cmd_time(&args),
         "eval" => cmd_eval(&args),
         "context" => cmd_context(&args),
-        "validate" => cmd_validate(&args),
+        "validate" => cmd_validate(&args, &mut report),
+        "obscheck" => cmd_obscheck(&args),
         other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
-    });
+    };
+    if let Err(e) = &result {
+        let class = match e.class {
+            ErrClass::Usage => "usage",
+            ErrClass::Io => "io",
+            ErrClass::Parse => "parse",
+            ErrClass::Validation => "validation",
+            ErrClass::Analysis => "analysis",
+        };
+        report.outcome = format!("error:{class}");
+    }
+    if let Err(e) = write_observability(&args, &mut report) {
+        eprintln!("tmm: {}", e.msg);
+        if result.is_ok() {
+            return ExitCode::from(e.class as u8);
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -15,6 +15,9 @@
 //! - [`core`] — the end-to-end framework tying everything together.
 //! - [`faults`] — deterministic corruption operators for robustness testing
 //!   (text-, library-, and graph-level fault injection).
+//! - [`obs`] — zero-dependency observability: tracing spans (Chrome
+//!   `trace_event`), a metrics registry (Prometheus text exposition),
+//!   leveled structured logging, and machine-readable run reports.
 //!
 //! # Quickstart
 //!
@@ -42,5 +45,6 @@ pub use tmm_core as core;
 pub use tmm_faults as faults;
 pub use tmm_gnn as gnn;
 pub use tmm_macromodel as macromodel;
+pub use tmm_obs as obs;
 pub use tmm_sensitivity as sensitivity;
 pub use tmm_sta as sta;

@@ -1,0 +1,76 @@
+//! Observability must be free: with tracing and metrics compiled in but
+//! disabled the pipeline allocates nothing for them, and with them
+//! *enabled* every numerical output is byte-identical — instrumentation
+//! is read-only and never feeds back into computation.
+
+// Integration-test harness code: the clippy.toml test exemptions do not
+// reach helper fns outside #[test], so state the exemption explicitly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use timing_macro_gnn::circuits::designs::suite_library;
+use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::core::{Framework, FrameworkConfig};
+use timing_macro_gnn::gnn::TrainConfig;
+use timing_macro_gnn::obs;
+use timing_macro_gnn::sensitivity::TsOptions;
+
+/// Runs the full pipeline (train + generate) on one seeded design and
+/// returns the serialized macro-model bytes plus the kept-pin count.
+fn run_pipeline() -> (String, usize) {
+    let lib = suite_library();
+    let d = CircuitSpec::sized("obs_eq", 400).seed(7).generate(&lib).unwrap();
+    let mut fw = Framework::new(FrameworkConfig {
+        train: TrainConfig { epochs: 30, ..Default::default() },
+        ts: TsOptions { contexts: 2, ..Default::default() },
+        ..Default::default()
+    });
+    let outcome = fw.run_on(&d, &lib).unwrap();
+    (outcome.model.serialize(), outcome.kept_pins)
+}
+
+/// The single test controls enable/disable ordering itself: the obs
+/// switches are process-global, so the comparison must run in one test
+/// body (this file is its own test binary — no other tests share the
+/// process).
+#[test]
+fn tracing_and_metrics_do_not_change_macro_bytes() {
+    // Baseline: everything off (the default).
+    assert!(!obs::tracing_enabled());
+    assert!(!obs::metrics_enabled());
+    let (baseline_bytes, baseline_kept) = run_pipeline();
+
+    // Instrumented: tracing + metrics on, exactly as `--trace-out` and
+    // `--metrics-out` configure them.
+    obs::enable_tracing();
+    obs::enable_metrics();
+    let (instrumented_bytes, instrumented_kept) = run_pipeline();
+
+    assert_eq!(baseline_kept, instrumented_kept);
+    assert_eq!(
+        baseline_bytes, instrumented_bytes,
+        "enabling observability must not perturb the macro model"
+    );
+
+    // The instrumented run's artifacts must be valid and complete: a
+    // Chrome trace covering all four pipeline stages, and a Prometheus
+    // exposition with a meaningful number of series.
+    let trace = obs::export_trace();
+    let (events, stages) = obs::validate_trace_json(&trace).expect("valid Chrome trace");
+    assert!(events > 4, "expected nested spans, got {events}");
+    for stage in ["data_generation", "training", "prediction", "macro_generation"] {
+        assert!(stages.iter().any(|s| s == stage), "missing stage span `{stage}`");
+    }
+
+    let metrics = obs::export_metrics();
+    let series = obs::validate_metrics_text(&metrics).expect("valid Prometheus text");
+    assert!(series >= 12, "expected >= 12 metric series, got {series}");
+
+    // And the run report built from those recordings parses as one.
+    let mut report = obs::RunReport::new("test");
+    report.capture_environment();
+    obs::validate_run_report(&report.to_json()).expect("valid run report");
+    assert_eq!(report.stages.len(), 4, "one StageTime per pipeline stage");
+
+    obs::disable_tracing();
+    obs::disable_metrics();
+}
