@@ -38,6 +38,71 @@ pub struct CircuitSpec {
     seed: u64,
 }
 
+/// Flat numeric view of a [`CircuitSpec`] shape: the generator's parameter
+/// vector. Differential testing samples specs by filling this struct from a
+/// seeded RNG and shrinks failing designs by walking each dimension toward
+/// its floor, so the mapping must be total — [`CircuitSpec::from_params`]
+/// re-applies the same floors the builder methods enforce, and any vector
+/// (however mangled by a shrinker) yields a valid spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecParams {
+    /// Primary inputs (floor 1).
+    pub inputs: usize,
+    /// Primary outputs (floor 1).
+    pub outputs: usize,
+    /// Register banks (floor 0 = combinational).
+    pub banks: usize,
+    /// Registers per bank (floor 1; irrelevant when `banks == 0`).
+    pub regs_per_bank: usize,
+    /// Combinational-cloud depth in layers (floor 1).
+    pub cloud_depth: usize,
+    /// Gates per cloud layer (floor 1).
+    pub cloud_width: usize,
+    /// Maximum clock-buffer fanout (floor 2).
+    pub clock_fanout: usize,
+    /// Generator seed (free dimension; never shrunk).
+    pub seed: u64,
+}
+
+/// Number of shrinkable structural dimensions in [`SpecParams`]
+/// (everything except `seed`).
+pub const SPEC_DIMS: usize = 7;
+
+impl SpecParams {
+    /// The structural dimensions as `(name, value, floor)` triples, in a
+    /// stable order. Delta-debugging iterates this list.
+    #[must_use]
+    pub fn dims(&self) -> [(&'static str, usize, usize); SPEC_DIMS] {
+        [
+            ("inputs", self.inputs, 1),
+            ("outputs", self.outputs, 1),
+            ("banks", self.banks, 0),
+            ("regs_per_bank", self.regs_per_bank, 1),
+            ("cloud_depth", self.cloud_depth, 1),
+            ("cloud_width", self.cloud_width, 1),
+            ("clock_fanout", self.clock_fanout, 2),
+        ]
+    }
+
+    /// Returns a copy with structural dimension `i` (index into
+    /// [`SpecParams::dims`]) set to `value`. Out-of-range indices return
+    /// the vector unchanged.
+    #[must_use]
+    pub fn with_dim(mut self, i: usize, value: usize) -> Self {
+        match i {
+            0 => self.inputs = value,
+            1 => self.outputs = value,
+            2 => self.banks = value,
+            3 => self.regs_per_bank = value,
+            4 => self.cloud_depth = value,
+            5 => self.cloud_width = value,
+            6 => self.clock_fanout = value,
+            _ => {}
+        }
+        self
+    }
+}
+
 impl CircuitSpec {
     /// Starts a spec with small defaults (4 inputs, 4 outputs, one bank of
     /// 4 registers, 2×6 clouds).
@@ -125,6 +190,35 @@ impl CircuitSpec {
             .register_banks(banks, regs_per_bank)
             .cloud(depth, width)
             .clock_fanout(4)
+    }
+
+    /// The spec's parameter vector (see [`SpecParams`]).
+    #[must_use]
+    pub fn params(&self) -> SpecParams {
+        SpecParams {
+            inputs: self.inputs,
+            outputs: self.outputs,
+            banks: self.banks,
+            regs_per_bank: self.regs_per_bank,
+            cloud_depth: self.cloud_depth,
+            cloud_width: self.cloud_width,
+            clock_fanout: self.clock_fanout,
+            seed: self.seed,
+        }
+    }
+
+    /// Rebuilds a spec from a parameter vector, re-applying every builder
+    /// floor, so `CircuitSpec::from_params(name, &spec.params())` round-trips
+    /// and arbitrary shrunk vectors stay generatable.
+    #[must_use]
+    pub fn from_params(name: impl Into<String>, p: &SpecParams) -> Self {
+        CircuitSpec::new(name)
+            .inputs(p.inputs)
+            .outputs(p.outputs)
+            .register_banks(p.banks, p.regs_per_bank)
+            .cloud(p.cloud_depth, p.cloud_width)
+            .clock_fanout(p.clock_fanout)
+            .seed(p.seed)
     }
 
     /// Synthesises the netlist.
@@ -465,6 +559,49 @@ mod tests {
                 "target {target}, got {pins}"
             );
         }
+    }
+
+    #[test]
+    fn params_round_trip_and_floors() {
+        let spec = CircuitSpec::new("p").inputs(7).outputs(3).register_banks(2, 5).cloud(4, 9).seed(11);
+        let p = spec.params();
+        assert_eq!(p.inputs, 7);
+        assert_eq!(p.seed, 11);
+        let back = CircuitSpec::from_params("p", &p);
+        assert_eq!(back.params(), p);
+        // Mangled vectors are clamped to the builder floors.
+        let zeroed = SpecParams {
+            inputs: 0,
+            outputs: 0,
+            banks: 0,
+            regs_per_bank: 0,
+            cloud_depth: 0,
+            cloud_width: 0,
+            clock_fanout: 0,
+            seed: 0,
+        };
+        let clamped = CircuitSpec::from_params("z", &zeroed).params();
+        assert_eq!(clamped.inputs, 1);
+        assert_eq!(clamped.outputs, 1);
+        assert_eq!(clamped.banks, 0);
+        assert_eq!(clamped.regs_per_bank, 1);
+        assert_eq!(clamped.cloud_depth, 1);
+        assert_eq!(clamped.cloud_width, 1);
+        assert_eq!(clamped.clock_fanout, 2);
+        // The floored minimal spec actually generates.
+        let lib = lib();
+        let n = CircuitSpec::from_params("z", &zeroed).generate(&lib).unwrap();
+        assert!(n.stats().cells >= 1);
+    }
+
+    #[test]
+    fn with_dim_walks_every_dimension() {
+        let p = CircuitSpec::new("d").params();
+        for (i, (name, _, floor)) in p.dims().iter().enumerate() {
+            let q = p.with_dim(i, *floor);
+            assert_eq!(q.dims()[i].1, *floor, "dim {name}");
+        }
+        assert_eq!(p.with_dim(SPEC_DIMS, 99), p, "out-of-range index is a no-op");
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub mod designs;
 pub mod generator;
 
 pub use designs::{eval_suite, training_suite, SuiteEntry};
-pub use generator::CircuitSpec;
+pub use generator::{CircuitSpec, SpecParams, SPEC_DIMS};

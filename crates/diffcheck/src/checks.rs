@@ -1,0 +1,685 @@
+//! The differential-check catalog.
+//!
+//! Every check compares two or more independent ways of computing the same
+//! timing quantity, or asserts a semantic invariant no single engine can
+//! self-check. Checks report a divergence as a human-readable detail
+//! string; `None` means the design passed. An *error* from an engine under
+//! test is itself a divergence — a corrupted design must be rejected
+//! loudly, not analyzed differently.
+//!
+//! Cross-engine equality is *bit* equality over the full boundary
+//! snapshot, with NaN compared by pattern (all NaNs equal): the plain
+//! [`BoundarySnapshot::diff`] statistic skips non-finite pairs, which
+//! would let a corruption that turns one engine's numbers into NaN slide
+//! through unnoticed.
+
+use crate::design::DiffDesign;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tmm_gnn::{GnnModel, ModelConfig, NeighborMode, NodeGraph, TrainConfig, TrainSample};
+use tmm_macromodel::eval::{evaluate, EvalOptions};
+use tmm_macromodel::{MacroModel, MacroModelOptions};
+use tmm_sensitivity::{
+    evaluate_ts, evaluate_ts_with_core, extract_features, pin_graph_edges, TsEngine, TsOptions,
+    TsResult,
+};
+use tmm_sta::compare::BoundarySnapshot;
+use tmm_sta::constraints::Context;
+use tmm_sta::cppr::CpprReport;
+use tmm_sta::graph::{NodeId, NodeKind};
+use tmm_sta::propagate::{Analysis, AnalysisOptions};
+use tmm_sta::report::critical_paths;
+use tmm_sta::retime::ReferenceAnalysis;
+use tmm_sta::split::{mode_edge_iter, Edge};
+use tmm_sta::view::{DesignCore, GraphView};
+
+/// Absolute tolerance for the semantic (non-bit) invariants.
+pub const SEM_TOL: f64 = 1e-9;
+
+/// Stable names of every check, in execution order. These names appear in
+/// reports, repro artifacts, and metrics labels, and are the replay keys.
+pub const CHECK_NAMES: [&str; 8] = [
+    "engine-equality",
+    "retime-equality",
+    "ts-threads",
+    "gnn-backend",
+    "slack-conservation",
+    "ts-monotone-merge",
+    "ilm-boundary",
+    "cppr-credit",
+];
+
+/// Per-check tuning knobs (kept small: differential coverage comes from
+/// many designs, not exhaustive per-design work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Boundary contexts per TS evaluation.
+    pub ts_contexts: usize,
+    /// Worker-thread count for the parallel side of `ts-threads`.
+    pub threads: usize,
+    /// Bypass probes per design in `retime-equality`.
+    pub probes: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions { ts_contexts: 2, threads: 3, probes: 4 }
+    }
+}
+
+/// One confirmed disagreement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Which check fired (an entry of [`CHECK_NAMES`]).
+    pub check: &'static str,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+/// Runs every check against `design`, collecting all divergences (one per
+/// check at most — each check stops at its first finding).
+#[must_use]
+pub fn run_all(design: &DiffDesign, opts: &CheckOptions) -> Vec<Divergence> {
+    CHECK_NAMES
+        .iter()
+        .filter_map(|&name| {
+            let mut span = tmm_obs::span("diffcheck_check", "diffcheck");
+            span.arg("check", name);
+            span.arg("design", &design.name);
+            tmm_obs::counter_add("tmm_diffcheck_checks_total", &[("check", name)], 1);
+            let detail = run_named(design, name, opts)?;
+            tmm_obs::counter_add("tmm_diffcheck_divergences_total", &[("check", name)], 1);
+            Some(Divergence { check: name, detail })
+        })
+        .collect()
+}
+
+/// Runs one check by name (the shrinker's and replayer's entry point).
+/// Unknown names report themselves as a divergence so a corrupted repro
+/// file cannot silently "pass".
+#[must_use]
+pub fn run_named(design: &DiffDesign, name: &str, opts: &CheckOptions) -> Option<String> {
+    match name {
+        "engine-equality" => engine_equality(design),
+        "retime-equality" => retime_equality(design, opts),
+        "ts-threads" => ts_threads(design, opts),
+        "gnn-backend" => gnn_backend(design),
+        "slack-conservation" => slack_conservation(design),
+        "ts-monotone-merge" => ts_monotone_merge(design, opts),
+        "ilm-boundary" => ilm_boundary(design),
+        "cppr-credit" => cppr_credit(design),
+        other => Some(format!("unknown check '{other}'")),
+    }
+}
+
+/// Canonical bit pattern: all NaNs compare equal, everything else exact.
+fn fbits(x: f64) -> u64 {
+    if x.is_nan() {
+        u64::MAX
+    } else {
+        x.to_bits()
+    }
+}
+
+/// Bit-level comparison of two boundary snapshots (NaN-pattern aware,
+/// matched by name). Returns the first mismatch rendered.
+fn boundary_bit_diff(a: &BoundarySnapshot, b: &BoundarySnapshot) -> Option<String> {
+    if a.po.len() != b.po.len() || a.pi.len() != b.pi.len() || a.checks.len() != b.checks.len()
+    {
+        return Some(format!(
+            "boundary shape differs: {}/{}/{} vs {}/{}/{} (po/pi/checks)",
+            a.po.len(),
+            a.pi.len(),
+            a.checks.len(),
+            b.po.len(),
+            b.pi.len(),
+            b.checks.len()
+        ));
+    }
+    let b_po: std::collections::HashMap<&str, usize> =
+        b.po.iter().enumerate().map(|(i, p)| (p.name.as_str(), i)).collect();
+    for p in &a.po {
+        let Some(&j) = b_po.get(p.name.as_str()) else {
+            return Some(format!("PO {} missing from one side", p.name));
+        };
+        let q = &b.po[j];
+        for (m, e) in mode_edge_iter() {
+            for (what, x, y) in [
+                ("at", p.at[m][e], q.at[m][e]),
+                ("slew", p.slew[m][e], q.slew[m][e]),
+                ("rat", p.rat[m][e], q.rat[m][e]),
+                ("slack", p.slack[m][e], q.slack[m][e]),
+            ] {
+                if fbits(x) != fbits(y) {
+                    return Some(format!("PO {} {what}[{m:?}][{e:?}]: {x} vs {y}", p.name));
+                }
+            }
+        }
+    }
+    let b_pi: std::collections::HashMap<&str, usize> =
+        b.pi.iter().enumerate().map(|(i, p)| (p.name.as_str(), i)).collect();
+    for p in &a.pi {
+        let Some(&j) = b_pi.get(p.name.as_str()) else {
+            return Some(format!("PI {} missing from one side", p.name));
+        };
+        for (m, e) in mode_edge_iter() {
+            let (x, y) = (p.rat[m][e], b.pi[j].rat[m][e]);
+            if fbits(x) != fbits(y) {
+                return Some(format!("PI {} rat[{m:?}][{e:?}]: {x} vs {y}", p.name));
+            }
+        }
+    }
+    let b_ck: std::collections::HashMap<&str, usize> =
+        b.checks.iter().enumerate().map(|(i, c)| (c.name.as_str(), i)).collect();
+    for c in &a.checks {
+        let Some(&j) = b_ck.get(c.name.as_str()) else {
+            return Some(format!("check {} missing from one side", c.name));
+        };
+        let q = &b.checks[j];
+        for e in Edge::ALL {
+            for (what, x, y) in [
+                ("setup_slack", c.setup_slack[e], q.setup_slack[e]),
+                ("hold_slack", c.hold_slack[e], q.hold_slack[e]),
+                ("setup_credit", c.setup_credit[e], q.setup_credit[e]),
+                ("hold_credit", c.hold_credit[e], q.hold_credit[e]),
+            ] {
+                if fbits(x) != fbits(y) {
+                    return Some(format!("check {} {what}[{e:?}]: {x} vs {y}", c.name));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The four (CPPR × AOCV) analysis-option corners.
+const OPTION_CORNERS: [(bool, bool); 4] =
+    [(false, false), (true, false), (false, true), (true, true)];
+
+/// Flat [`Analysis`] vs pristine [`GraphView`] analysis vs
+/// [`ReferenceAnalysis`] — all three must agree bit-for-bit at every
+/// option corner. The clean graph is the oracle; the (possibly tainted)
+/// twin feeds the view engines.
+fn engine_equality(d: &DiffDesign) -> Option<String> {
+    let ctx = Context::nominal(&d.flat);
+    for (cppr, aocv) in OPTION_CORNERS {
+        let o = AnalysisOptions { cppr, aocv };
+        let oracle = match Analysis::run_with_options(&d.flat, &ctx, o) {
+            Ok(a) => a,
+            Err(e) => return Some(format!("flat analysis failed (cppr={cppr} aocv={aocv}): {e}")),
+        };
+        let core = DesignCore::freeze(&d.tainted);
+        let view = GraphView::new(core.clone());
+        let viewed = match Analysis::run_with_options(&view, &ctx, o) {
+            Ok(a) => a,
+            Err(e) => return Some(format!("view analysis failed (cppr={cppr} aocv={aocv}): {e}")),
+        };
+        if let Some(diff) = boundary_bit_diff(oracle.boundary(), viewed.boundary()) {
+            return Some(format!("flat vs view (cppr={cppr} aocv={aocv}): {diff}"));
+        }
+        let reference = match ReferenceAnalysis::new(core, ctx.clone(), o) {
+            Ok(r) => r,
+            Err(e) => {
+                return Some(format!("reference analysis failed (cppr={cppr} aocv={aocv}): {e}"))
+            }
+        };
+        if let Some(diff) = boundary_bit_diff(oracle.boundary(), reference.boundary()) {
+            return Some(format!("flat vs reference (cppr={cppr} aocv={aocv}): {diff}"));
+        }
+    }
+    None
+}
+
+/// Deterministically spread `k` probe pins over the design's bypassable
+/// internal nodes.
+fn probe_nodes(graph: &tmm_sta::graph::ArcGraph, k: usize) -> Vec<NodeId> {
+    let all: Vec<NodeId> = (0..graph.node_count())
+        .map(|i| NodeId(i as u32))
+        .filter(|&n| {
+            !graph.node(n).dead
+                && graph.node(n).kind == NodeKind::Internal
+                && graph.can_bypass(n)
+        })
+        .collect();
+    if all.is_empty() {
+        return all;
+    }
+    let stride = (all.len() / k.max(1)).max(1);
+    all.into_iter().step_by(stride).take(k).collect()
+}
+
+/// Cone-limited retime vs full view analysis on single-pin bypasses, at
+/// three option corners (the AOCV corner exercises the full-analysis
+/// fallback). Also asserts the probe-accounting invariant: every probe
+/// lands in exactly one of the cone/fallback stat buckets.
+fn retime_equality(d: &DiffDesign, opts: &CheckOptions) -> Option<String> {
+    let ctx = Context::nominal(&d.flat);
+    let core = DesignCore::freeze(&d.tainted);
+    let probes = probe_nodes(&d.tainted, opts.probes);
+    for (cppr, aocv) in [(false, false), (true, false), (false, true)] {
+        let o = AnalysisOptions { cppr, aocv };
+        let reference = match ReferenceAnalysis::new(core.clone(), ctx.clone(), o) {
+            Ok(r) => r,
+            Err(e) => return Some(format!("reference failed (cppr={cppr} aocv={aocv}): {e}")),
+        };
+        let mut scratch = reference.scratch();
+        let mut served = 0usize;
+        for &n in &probes {
+            let mut view = GraphView::new(core.clone());
+            if view.bypass_node(n).is_err() {
+                continue;
+            }
+            let cone = match reference.retime(&view, &mut scratch) {
+                Ok(b) => b,
+                Err(e) => {
+                    return Some(format!(
+                        "retime failed at node {} (cppr={cppr} aocv={aocv}): {e}",
+                        n.index()
+                    ))
+                }
+            };
+            served += 1;
+            let full = match Analysis::run_with_options(&view, &ctx, o) {
+                Ok(a) => a,
+                Err(e) => {
+                    return Some(format!(
+                        "full view analysis failed at node {} (cppr={cppr} aocv={aocv}): {e}",
+                        n.index()
+                    ))
+                }
+            };
+            if let Some(diff) = boundary_bit_diff(full.boundary(), &cone) {
+                return Some(format!(
+                    "retime vs full at node {} (cppr={cppr} aocv={aocv}): {diff}",
+                    n.index()
+                ));
+            }
+        }
+        let s = scratch.stats();
+        if s.retimes + s.full_fallbacks != served {
+            return Some(format!(
+                "probe accounting (cppr={cppr} aocv={aocv}): {} cone + {} fallback != {served} probes served",
+                s.retimes, s.full_fallbacks
+            ));
+        }
+        if aocv && served > 0 && s.full_fallbacks != served {
+            return Some(format!(
+                "AOCV probes must all fall back: {} of {served} did",
+                s.full_fallbacks
+            ));
+        }
+    }
+    None
+}
+
+/// Live internal pins (the TS candidate set).
+fn internal_candidates(graph: &tmm_sta::graph::ArcGraph) -> Vec<bool> {
+    (0..graph.node_count())
+        .map(|i| {
+            let n = NodeId(i as u32);
+            !graph.node(n).dead && graph.node(n).kind == NodeKind::Internal
+        })
+        .collect()
+}
+
+/// Renders the first difference between two TS sweeps, or `None`.
+fn ts_bit_diff(a: &TsResult, b: &TsResult, what: &str) -> Option<String> {
+    if a.evaluated != b.evaluated || a.skipped != b.skipped {
+        return Some(format!(
+            "{what}: evaluated/skipped {} / {} vs {} / {}",
+            a.evaluated, b.evaluated, a.skipped, b.skipped
+        ));
+    }
+    if a.failures.len() != b.failures.len()
+        || a.failures
+            .iter()
+            .zip(&b.failures)
+            .any(|(x, y)| x.node != y.node || x.cause != y.cause)
+    {
+        return Some(format!(
+            "{what}: quarantine attribution differs ({} vs {} failures)",
+            a.failures.len(),
+            b.failures.len()
+        ));
+    }
+    for (i, (x, y)) in a.ts.iter().zip(&b.ts).enumerate() {
+        if fbits(*x) != fbits(*y) {
+            return Some(format!("{what}: ts[{i}] {x} vs {y}"));
+        }
+    }
+    None
+}
+
+/// TS sweep: serial vs multi-threaded (view engine), and view engine vs
+/// the clone-per-pin oracle — all three bit-identical, including the
+/// quarantine lists.
+fn ts_threads(d: &DiffDesign, opts: &CheckOptions) -> Option<String> {
+    let cand = internal_candidates(&d.tainted);
+    let base = TsOptions {
+        contexts: opts.ts_contexts.max(1),
+        threads: 1,
+        engine: TsEngine::View,
+        ..Default::default()
+    };
+    let serial = match evaluate_ts(&d.tainted, &cand, &base) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("serial view sweep failed: {e}")),
+    };
+    let par = match evaluate_ts(
+        &d.tainted,
+        &cand,
+        &TsOptions { threads: opts.threads.max(2), ..base },
+    ) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("parallel view sweep failed: {e}")),
+    };
+    if let Some(diff) = ts_bit_diff(&serial, &par, "serial vs parallel") {
+        return Some(diff);
+    }
+    let clone = match evaluate_ts(&d.tainted, &cand, &TsOptions { engine: TsEngine::Clone, ..base })
+    {
+        Ok(r) => r,
+        Err(e) => return Some(format!("clone sweep failed: {e}")),
+    };
+    ts_bit_diff(&serial, &clone, "view vs clone")
+}
+
+/// Naive vs blocked GNN kernels: identical training trajectory and
+/// predictions (bit-for-bit over f32) on the design's pin graph with
+/// deterministic pseudo-labels.
+fn gnn_backend(d: &DiffDesign) -> Option<String> {
+    let n = d.tainted.node_count();
+    let features = extract_features(&d.tainted, false);
+    let graph = NodeGraph::from_edges(n, &pin_graph_edges(&d.tainted), NeighborMode::Undirected);
+    let mut rng = StdRng::seed_from_u64(d.params.seed ^ 0x6e6e_6e6e);
+    let labels: Vec<f32> = (0..n).map(|_| f32::from(u8::from(rng.gen_bool(0.3)))).collect();
+    let sample = TrainSample { graph, features, labels, mask: None };
+    let in_dim = sample.features.cols();
+    let run = |backend| {
+        let mut model = GnnModel::new(
+            in_dim,
+            ModelConfig { hidden: 8, layers: 2, ..Default::default() },
+        );
+        model.train(
+            std::slice::from_ref(&sample),
+            &TrainConfig { epochs: 6, threads: 1, backend, ..Default::default() },
+        );
+        model.predict(&sample.graph, &sample.features)
+    };
+    let naive = run(tmm_gnn::Backend::Naive);
+    let blocked = run(tmm_gnn::Backend::Blocked);
+    for (i, (a, b)) in naive.iter().zip(&blocked).enumerate() {
+        let (xa, xb) = (a.to_bits(), b.to_bits());
+        let same = xa == xb || (a.is_nan() && b.is_nan());
+        if !same {
+            return Some(format!("naive vs blocked prediction at node {i}: {a} vs {b}"));
+        }
+    }
+    None
+}
+
+/// Semantic invariants of a single analysis: the boundary snapshot's slack
+/// must equal `rat − at` (late) / `at − rat` (early) bit-for-bit, the
+/// snapshot must cover every boundary object, and arrivals along traced
+/// critical paths must be non-decreasing (delays are never negative).
+fn slack_conservation(d: &DiffDesign) -> Option<String> {
+    let ctx = Context::nominal(&d.flat);
+    let an = match Analysis::run_with_options(
+        &d.tainted,
+        &ctx,
+        AnalysisOptions { cppr: true, aocv: false },
+    ) {
+        Ok(a) => a,
+        Err(e) => return Some(format!("analysis failed: {e}")),
+    };
+    let b = an.boundary();
+    if b.po.len() != d.tainted.primary_outputs().len() {
+        return Some(format!(
+            "snapshot covers {} of {} POs",
+            b.po.len(),
+            d.tainted.primary_outputs().len()
+        ));
+    }
+    if b.checks.len() != d.tainted.checks().iter().filter(|c| !d.tainted.node(c.d).dead).count()
+    {
+        return Some("snapshot check coverage differs from live graph checks".into());
+    }
+    for po in &b.po {
+        for (m, e) in mode_edge_iter() {
+            let (at, rat) = (po.at[m][e], po.rat[m][e]);
+            let expected = if at.is_finite() && rat.is_finite() {
+                match m {
+                    tmm_sta::Mode::Late => rat - at,
+                    tmm_sta::Mode::Early => at - rat,
+                }
+            } else {
+                f64::NAN
+            };
+            if fbits(po.slack[m][e]) != fbits(expected) {
+                return Some(format!(
+                    "PO {} slack[{m:?}][{e:?}] = {} but rat - at = {expected}",
+                    po.name, po.slack[m][e]
+                ));
+            }
+        }
+    }
+    for path in critical_paths(&d.tainted, &an, &ctx, 3) {
+        for w in path.steps.windows(2) {
+            if w[1].incr < -SEM_TOL {
+                return Some(format!(
+                    "arrival decreases along critical path to {}: {} -> {} at {}",
+                    path.endpoint, w[0].at, w[1].at, w[1].name
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Progressively merging pins in ascending-TS order must not *shrink* the
+/// boundary error: each larger merge set contains the smaller ones, so the
+/// error envelope is non-decreasing (within tolerance — exact cancellation
+/// across merges is theoretically possible but indicates an engine bug at
+/// any observable magnitude).
+fn ts_monotone_merge(d: &DiffDesign, opts: &CheckOptions) -> Option<String> {
+    let cand = internal_candidates(&d.tainted);
+    let core = DesignCore::freeze(&d.tainted);
+    let ts_opts = TsOptions { contexts: opts.ts_contexts.max(1), ..Default::default() };
+    let r = match evaluate_ts_with_core(&core, &cand, &ts_opts) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("TS sweep failed: {e}")),
+    };
+    let mut ranked = r.ranked_pins();
+    ranked.reverse(); // ascending TS: merge the least sensitive pins first
+    let ctx = Context::nominal(&d.flat);
+    let reference = match ReferenceAnalysis::new(core.clone(), ctx, AnalysisOptions::default()) {
+        Ok(rf) => rf,
+        Err(e) => return Some(format!("reference failed: {e}")),
+    };
+    let mut scratch = reference.scratch();
+    let mut view = GraphView::new(core);
+    let mut envelope = 0.0f64;
+    let mut merged = 0usize;
+    let mut queue = ranked.into_iter();
+    for target in [1usize, 2, 4, 8, 16] {
+        while merged < target {
+            let Some(i) = queue.next() else { break };
+            let n = NodeId(i as u32);
+            if view.can_bypass(n) && view.bypass_node(n).is_ok() {
+                merged += 1;
+            }
+        }
+        if merged == 0 {
+            break;
+        }
+        let edited = match reference.retime(&view, &mut scratch) {
+            Ok(b) => b,
+            Err(e) => return Some(format!("retime of {merged}-pin merge failed: {e}")),
+        };
+        let diff = reference.boundary().diff(&edited).max;
+        if diff + SEM_TOL < envelope {
+            return Some(format!(
+                "boundary error shrank from {envelope} to {diff} after merging {merged} lowest-TS pins"
+            ));
+        }
+        envelope = envelope.max(diff);
+        if merged < target {
+            break; // ran out of mergeable pins
+        }
+    }
+    None
+}
+
+/// ILM exactness: a keep-all, uncompressed macro model must reproduce the
+/// boundary exactly (≤ [`SEM_TOL`]) before and after generation, with and
+/// without CPPR — and must actually have comparable boundary values.
+fn ilm_boundary(d: &DiffDesign) -> Option<String> {
+    let keep = vec![true; d.tainted.node_count()];
+    let model = match MacroModel::generate(
+        &d.tainted,
+        &keep,
+        &MacroModelOptions { compress_luts: false, ..Default::default() },
+    ) {
+        Ok(m) => m,
+        Err(e) => return Some(format!("macro generation failed: {e}")),
+    };
+    for cppr in [false, true] {
+        let r = match evaluate(
+            &d.tainted,
+            &model,
+            &EvalOptions { contexts: 2, cppr, ..Default::default() },
+        ) {
+            Ok(r) => r,
+            Err(e) => return Some(format!("evaluation failed (cppr={cppr}): {e}")),
+        };
+        if r.accuracy.count == 0 {
+            return Some(format!(
+                "no comparable finite boundary values between flat and macro (cppr={cppr})"
+            ));
+        }
+        if r.accuracy.max > SEM_TOL {
+            return Some(format!(
+                "keep-all macro boundary error {} ps exceeds {SEM_TOL} (cppr={cppr})",
+                r.accuracy.max
+            ));
+        }
+    }
+    None
+}
+
+/// CPPR invariants: every credit is non-negative (at every common point /
+/// check), bounded by the late/early clock gap at the capture pin, and
+/// enabling CPPR can only *improve* check slacks.
+fn cppr_credit(d: &DiffDesign) -> Option<String> {
+    if d.tainted.checks().is_empty() {
+        return None; // combinational design: nothing to credit
+    }
+    let ctx = Context::nominal(&d.flat);
+    let with = match Analysis::run_with_options(
+        &d.tainted,
+        &ctx,
+        AnalysisOptions { cppr: true, aocv: false },
+    ) {
+        Ok(a) => a,
+        Err(e) => return Some(format!("CPPR analysis failed: {e}")),
+    };
+    let without = match Analysis::run_with_options(&d.tainted, &ctx, AnalysisOptions::default()) {
+        Ok(a) => a,
+        Err(e) => return Some(format!("non-CPPR analysis failed: {e}")),
+    };
+    for (ci, credit) in with.credits().iter().enumerate() {
+        for e in Edge::ALL {
+            for (what, c) in [("setup", credit.setup[e]), ("hold", credit.hold[e])] {
+                // `!(c >= 0)` also catches NaN credits.
+                if !(c >= 0.0) {
+                    return Some(format!("check #{ci} {what} credit[{e:?}] = {c} is not >= 0"));
+                }
+            }
+        }
+    }
+    let report = CpprReport::from_analysis(&d.tainted, &with);
+    for (check, cp) in d.tainted.checks().iter().zip(&report.checks) {
+        let gap =
+            with.at(check.ck).late.rise - with.at(check.ck).early.rise;
+        if gap.is_finite() && cp.setup_credit > gap + SEM_TOL {
+            return Some(format!(
+                "check {} setup credit {} exceeds clock-path gap {gap}",
+                check.name, cp.setup_credit
+            ));
+        }
+    }
+    let without_by_name: std::collections::HashMap<&str, usize> = without
+        .boundary()
+        .checks
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), i))
+        .collect();
+    for c in &with.boundary().checks {
+        let Some(&j) = without_by_name.get(c.name.as_str()) else {
+            return Some(format!("check {} present only with CPPR", c.name));
+        };
+        let base = &without.boundary().checks[j];
+        for e in Edge::ALL {
+            for (what, cp, np) in [
+                ("setup", c.setup_slack[e], base.setup_slack[e]),
+                ("hold", c.hold_slack[e], base.hold_slack[e]),
+            ] {
+                if cp.is_finite() && np.is_finite() && cp + SEM_TOL < np {
+                    return Some(format!(
+                        "check {} {what} slack[{e:?}] degrades under CPPR: {np} -> {cp}",
+                        c.name
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{sample_params, design_rng, DiffDesign};
+    use tmm_faults::FaultOp;
+    use tmm_sta::liberty::Library;
+
+    fn clean_design(idx: usize) -> DiffDesign {
+        let lib = Library::synthetic(1);
+        let params = sample_params(&mut design_rng(42, idx));
+        DiffDesign::build(&lib, "chk", &params, None).unwrap()
+    }
+
+    #[test]
+    fn clean_designs_pass_every_check() {
+        let opts = CheckOptions::default();
+        for idx in 0..3 {
+            let d = clean_design(idx);
+            let divergences = run_all(&d, &opts);
+            assert!(
+                divergences.is_empty(),
+                "design {idx} ({:?}) diverged: {divergences:?}",
+                d.params
+            );
+        }
+    }
+
+    #[test]
+    fn nan_lut_injection_is_caught() {
+        let lib = Library::synthetic(1);
+        let params = sample_params(&mut design_rng(42, 1));
+        let d = DiffDesign::build(&lib, "inj", &params, Some((FaultOp::NanLutEntries, 9))).unwrap();
+        assert!(d.injected);
+        let divergences = run_all(&d, &CheckOptions::default());
+        assert!(
+            divergences.iter().any(|dv| dv.check == "engine-equality"),
+            "engine equality must flag a NaN-corrupted twin, got {divergences:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_check_is_a_divergence() {
+        let d = clean_design(0);
+        assert!(run_named(&d, "no-such-check", &CheckOptions::default()).is_some());
+    }
+}

@@ -1,0 +1,159 @@
+//! Design sampling and construction for differential checking.
+//!
+//! A [`DiffDesign`] bundles everything one differential-check round needs:
+//! the generator parameter vector it came from, the synthesized netlist,
+//! a *clean* lowered graph, and a *tainted* twin that optionally carries a
+//! deterministic [`tmm_faults`] corruption. Without injection the twin is
+//! an identical clone, so every cross-engine comparison degenerates to the
+//! equivalence the engines are supposed to guarantee; with injection the
+//! clean graph plays the oracle and the tainted one the engine under test.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use tmm_circuits::{CircuitSpec, SpecParams};
+use tmm_faults::{corrupt_graph, FaultOp};
+use tmm_sta::graph::ArcGraph;
+use tmm_sta::liberty::Library;
+use tmm_sta::netlist::Netlist;
+use tmm_sta::Result;
+
+/// One sampled (or shrunk, or replayed) design ready for checking.
+#[derive(Debug)]
+pub struct DiffDesign {
+    /// Display name (stable across shrink iterations of the same find).
+    pub name: String,
+    /// Generator parameter vector the design was built from.
+    pub params: SpecParams,
+    /// The synthesized netlist (embedded into repro artifacts).
+    pub netlist: Netlist,
+    /// Clean lowered graph — the oracle side of every pairing.
+    pub flat: ArcGraph,
+    /// Twin graph handed to the engines under test; identical to `flat`
+    /// unless a fault was injected.
+    pub tainted: ArcGraph,
+    /// Whether the requested fault actually applied to this design (some
+    /// operators need a clock tree, LUT axes of a minimum size, …).
+    pub injected: bool,
+}
+
+impl DiffDesign {
+    /// Generates and lowers a design from `params`, optionally corrupting
+    /// the tainted twin with `inject = (operator, fault seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation/lowering errors (a valid parameter vector
+    /// against the synthetic library never fails in practice).
+    pub fn build(
+        library: &Library,
+        name: &str,
+        params: &SpecParams,
+        inject: Option<(FaultOp, u64)>,
+    ) -> Result<DiffDesign> {
+        let netlist = CircuitSpec::from_params(name, params).generate(library)?;
+        let flat = ArcGraph::from_netlist(&netlist, library)?;
+        let mut tainted = flat.clone();
+        let injected = match inject {
+            Some((op, seed)) => corrupt_graph(op, &mut tainted, seed),
+            None => false,
+        };
+        Ok(DiffDesign {
+            name: name.to_string(),
+            params: *params,
+            netlist,
+            flat,
+            tainted,
+            injected,
+        })
+    }
+
+    /// Number of cells in the design (the shrink target metric).
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.netlist.stats().cells
+    }
+}
+
+/// Samples a small random parameter vector from `rng`. The ranges are
+/// deliberately modest — differential coverage comes from running many
+/// diverse small designs, not a few big ones — while still producing every
+/// structural feature the checks exercise: combinational and clocked
+/// designs, multi-bank pipelines, reconvergent clouds, and shuffled clock
+/// trees deep enough for non-trivial CPPR.
+pub fn sample_params(rng: &mut StdRng) -> SpecParams {
+    SpecParams {
+        inputs: rng.gen_range(1..7),
+        outputs: rng.gen_range(1..7),
+        banks: rng.gen_range(0..4),
+        regs_per_bank: rng.gen_range(1..7),
+        cloud_depth: rng.gen_range(1..4),
+        cloud_width: rng.gen_range(2..8),
+        clock_fanout: rng.gen_range(2..5),
+        seed: rng.next_u64(),
+    }
+}
+
+/// Resolves a fault-operator name (the stable kebab-case names of
+/// [`FaultOp::name`]) to the operator, restricted to the graph-level
+/// operators differential checking can inject.
+#[must_use]
+pub fn graph_fault_by_name(name: &str) -> Option<FaultOp> {
+    FaultOp::GRAPH.into_iter().find(|op| op.name() == name)
+}
+
+/// Deterministic StdRng seeded for design index `idx` of sweep seed
+/// `seed`: every design is reproducible in isolation.
+#[must_use]
+pub fn design_rng(seed: u64, idx: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0x_d1ff_c4ec_u64.wrapping_mul(idx as u64 + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_design_index() {
+        let a = sample_params(&mut design_rng(0, 3));
+        let b = sample_params(&mut design_rng(0, 3));
+        assert_eq!(a, b);
+        let c = sample_params(&mut design_rng(0, 4));
+        assert_ne!(a, c, "different design index, different params");
+    }
+
+    #[test]
+    fn build_without_injection_yields_identical_twins() {
+        let lib = Library::synthetic(1);
+        let params = sample_params(&mut design_rng(7, 0));
+        let d = DiffDesign::build(&lib, "t", &params, None).unwrap();
+        assert!(!d.injected);
+        assert_eq!(d.flat.node_count(), d.tainted.node_count());
+        assert!(d.cells() > 0);
+    }
+
+    #[test]
+    fn injection_marks_applicability() {
+        let lib = Library::synthetic(1);
+        let params = SpecParams {
+            inputs: 2,
+            outputs: 2,
+            banks: 1,
+            regs_per_bank: 2,
+            cloud_depth: 1,
+            cloud_width: 2,
+            clock_fanout: 2,
+            seed: 5,
+        };
+        let d =
+            DiffDesign::build(&lib, "t", &params, Some((FaultOp::NanLutEntries, 3))).unwrap();
+        assert!(d.injected, "NaN LUT corruption applies to any gate-bearing design");
+    }
+
+    #[test]
+    fn fault_names_resolve_graph_ops_only() {
+        assert_eq!(graph_fault_by_name("nan-lut-entries"), Some(FaultOp::NanLutEntries));
+        assert_eq!(graph_fault_by_name("drop-clock"), Some(FaultOp::DropClock));
+        assert_eq!(graph_fault_by_name("truncate-text"), None, "text ops are not injectable");
+        assert_eq!(graph_fault_by_name("bogus"), None);
+    }
+}

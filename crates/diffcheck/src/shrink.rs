@@ -1,0 +1,170 @@
+//! Delta-debugging shrinker for failing designs.
+//!
+//! A divergence found on a randomly sampled design is only actionable once
+//! the design is small enough to read. The shrinker minimises the
+//! *generator parameter vector* rather than the netlist itself: every
+//! candidate is re-generated from scratch and re-checked, so the shrunk
+//! repro is always a well-formed design the generator can reproduce — no
+//! dangling nets, no hand-invented structures.
+//!
+//! The search is a per-dimension greedy descent: for each dimension of
+//! [`SpecParams::dims`], first try jumping straight to the generator's
+//! floor, and if the failure disappears, binary-search the smallest still-
+//! failing value. Passes repeat until a full pass changes nothing
+//! (fixpoint). With injection, a candidate on which the fault operator no
+//! longer applies counts as *passing* — shrinking must preserve the fault,
+//! not outrun it.
+
+use crate::checks::{run_named, CheckOptions};
+use crate::design::DiffDesign;
+use tmm_circuits::{SpecParams, SPEC_DIMS};
+use tmm_faults::FaultOp;
+use tmm_sta::liberty::Library;
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimised parameter vector (still failing the check).
+    pub params: SpecParams,
+    /// Cell count of the shrunk design.
+    pub cells: usize,
+    /// Divergence detail reported by the shrunk design.
+    pub detail: String,
+    /// Number of candidate designs generated and checked.
+    pub candidates: usize,
+    /// Number of full passes over the dimensions until fixpoint.
+    pub passes: usize,
+}
+
+/// Re-generates a candidate and reports its failure detail, or `None` if
+/// the candidate passes (or the fault no longer applies to it).
+fn probe(
+    library: &Library,
+    name: &str,
+    params: &SpecParams,
+    check: &str,
+    inject: Option<(FaultOp, u64)>,
+    opts: &CheckOptions,
+) -> Option<String> {
+    let design = DiffDesign::build(library, name, params, inject).ok()?;
+    if inject.is_some() && !design.injected {
+        return None;
+    }
+    run_named(&design, check, opts)
+}
+
+/// Shrinks `start` (known to fail `check`) to a locally minimal failing
+/// parameter vector. `start` itself is returned if no smaller vector
+/// reproduces the failure.
+#[must_use]
+pub fn shrink_design(
+    library: &Library,
+    name: &str,
+    start: &SpecParams,
+    check: &str,
+    inject: Option<(FaultOp, u64)>,
+    opts: &CheckOptions,
+) -> ShrinkResult {
+    let mut span = tmm_obs::span("diffcheck_shrink", "diffcheck");
+    span.arg("check", check);
+    let mut cur = *start;
+    let mut detail = String::new();
+    let mut candidates = 0usize;
+    let mut passes = 0usize;
+    // A pass per dimension, repeated to fixpoint. SPEC_DIMS is tiny and
+    // each dimension only ever decreases, so this terminates fast; the
+    // pass cap is a safety net, not a tuning knob.
+    while passes < 8 {
+        passes += 1;
+        let mut changed = false;
+        for i in 0..SPEC_DIMS {
+            let (_, val, floor) = cur.dims()[i];
+            if val <= floor {
+                continue;
+            }
+            candidates += 1;
+            if let Some(d) = probe(library, name, &cur.with_dim(i, floor), check, inject, opts)
+            {
+                cur = cur.with_dim(i, floor);
+                detail = d;
+                changed = true;
+                continue;
+            }
+            // Floor passes but `val` fails: binary-search the smallest
+            // failing value in (floor, val].
+            let (mut lo, mut hi) = (floor, val);
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                candidates += 1;
+                match probe(library, name, &cur.with_dim(i, mid), check, inject, opts) {
+                    Some(d) => {
+                        hi = mid;
+                        detail = d;
+                    }
+                    None => lo = mid,
+                }
+            }
+            if hi < val {
+                cur = cur.with_dim(i, hi);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Rebuild the winner once for its cell count (and its detail when no
+    // dimension ever moved).
+    let (cells, final_detail) = match DiffDesign::build(library, name, &cur, inject) {
+        Ok(d) => {
+            let detail_now = run_named(&d, check, opts);
+            (d.cells(), detail_now)
+        }
+        Err(e) => (0, Some(format!("shrunk design failed to rebuild: {e}"))),
+    };
+    if let Some(d) = final_detail {
+        detail = d;
+    }
+    span.arg("cells", &cells.to_string());
+    tmm_obs::counter_add("tmm_diffcheck_shrink_candidates_total", &[], candidates as u64);
+    ShrinkResult { params: cur, cells, detail, candidates, passes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{design_rng, sample_params};
+
+    /// Killing the clock fails engine-equality on any clocked design, so
+    /// the shrinker should drive every dimension to (or near) its floor.
+    #[test]
+    fn injected_fault_shrinks_to_a_tiny_design() {
+        let lib = Library::synthetic(1);
+        let params = sample_params(&mut design_rng(0, 2));
+        let inject = Some((FaultOp::DropClock, 11));
+        let d = DiffDesign::build(&lib, "s", &params, inject).unwrap();
+        assert!(d.injected);
+        let opts = CheckOptions::default();
+        let detail = run_named(&d, "engine-equality", &opts);
+        assert!(detail.is_some(), "seed design must fail before shrinking");
+        let r = shrink_design(&lib, "s", &params, "engine-equality", inject, &opts);
+        assert!(!r.detail.is_empty(), "shrunk design still reports the divergence");
+        assert!(r.cells <= 20, "shrunk to {} cells: {:?}", r.cells, r.params);
+        assert!(r.cells > 0);
+        assert!(r.candidates > 0);
+        // The shrunk vector is never larger than the start in any dimension.
+        for (s, c) in params.dims().iter().zip(r.params.dims()) {
+            assert!(c.1 <= s.1, "dim {} grew: {} -> {}", s.0, s.1, c.1);
+        }
+    }
+
+    /// A clean design has nothing to shrink: the probe never fails, so the
+    /// start vector survives unchanged.
+    #[test]
+    fn clean_design_is_a_fixpoint() {
+        let lib = Library::synthetic(1);
+        let params = sample_params(&mut design_rng(0, 0));
+        let r = shrink_design(&lib, "c", &params, "engine-equality", None, &CheckOptions::default());
+        assert_eq!(r.params, params);
+    }
+}

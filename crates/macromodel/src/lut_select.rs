@@ -22,7 +22,11 @@ fn segment_error(axis: &[f64], profile: &[f64], i: usize, j: usize) -> f64 {
     let span = x1 - x0;
     let mut err = 0.0;
     for m in i + 1..j {
-        let t = (axis[m] - x0) / span;
+        // Duplicate axis values make the segment vertical (span == 0); the
+        // division would yield NaN and poison the whole DP. Pin such points
+        // to the left endpoint instead, charging |y0 - y_m| — conservative
+        // and finite.
+        let t = if span == 0.0 { 0.0 } else { (axis[m] - x0) / span };
         let interp = y0 + t * (y1 - y0);
         err += (interp - profile[m]).abs();
     }
@@ -32,14 +36,24 @@ fn segment_error(axis: &[f64], profile: &[f64], i: usize, j: usize) -> f64 {
 /// Selects `k` indices of `axis` (always including both endpoints) that
 /// minimise the total linear-interpolation error against `profile`.
 ///
+/// Degenerate axes are handled explicitly: an empty or single-point axis
+/// returns all of its indices (`usize::clamp(2, 1)` would panic because
+/// min > max, so the clamp below is only reached with `n >= 2`), and axes
+/// with duplicate values never produce NaN segment errors (see
+/// [`segment_error`]).
+///
 /// # Panics
 ///
-/// Panics if `axis.len() != profile.len()` or `axis.len() < 2`.
+/// Panics if `axis.len() != profile.len()`.
 #[must_use]
 pub fn select_axis_indices(axis: &[f64], profile: &[f64], k: usize) -> Vec<usize> {
     assert_eq!(axis.len(), profile.len());
     let n = axis.len();
-    assert!(n >= 2, "axis must have at least two points");
+    if n <= 2 {
+        // Nothing to choose: single-point (and empty) axes keep their only
+        // entries, two-point axes keep both endpoints.
+        return (0..n).collect();
+    }
     let k = k.clamp(2, n);
     if k == n {
         return (0..n).collect();
@@ -191,6 +205,36 @@ mod tests {
         let axis = [0.0, 1.0];
         let profile = [5.0, 6.0];
         assert_eq!(select_axis_indices(&axis, &profile, 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_point_axis_is_kept_verbatim() {
+        // Scalar characterisation: one axis entry. The old
+        // `assert!(n >= 2)` + `k.clamp(2, 1)` both panicked here.
+        assert_eq!(select_axis_indices(&[3.5], &[7.0], 4), vec![0]);
+        assert_eq!(select_axis_indices(&[3.5], &[7.0], 0), vec![0]);
+        let empty: Vec<usize> = Vec::new();
+        assert_eq!(select_axis_indices(&[], &[], 2), empty);
+    }
+
+    #[test]
+    fn duplicate_axis_values_never_produce_nan() {
+        // A composed arc can inherit an axis with repeated grid points;
+        // the vertical segment must not yield NaN errors (which would
+        // poison every DP comparison and derail index selection).
+        let axis = [0.0, 1.0, 1.0, 2.0, 3.0];
+        let profile = [0.0, 1.0, 5.0, 2.0, 3.0];
+        for k in 2..=5 {
+            let picks = select_axis_indices(&axis, &profile, k);
+            assert_eq!(*picks.first().unwrap(), 0);
+            assert_eq!(*picks.last().unwrap(), 4);
+            assert!(picks.len() <= k.max(2));
+            assert!(picks.windows(2).all(|w| w[0] < w[1]), "strictly increasing picks");
+        }
+        // The degenerate segment error itself is finite.
+        assert!(segment_error(&axis, &profile, 1, 2).is_finite());
+        let e = segment_error(&[1.0, 1.0, 1.0], &[0.0, 4.0, 0.0], 0, 2);
+        assert_eq!(e, 4.0, "vertical segment charges |y0 - y_m|");
     }
 
     #[test]

@@ -59,6 +59,25 @@ impl FilterResult {
     }
 }
 
+/// Standardises slew differences over the candidate population. Only
+/// *finite* candidate SDs enter the mean/variance: a single NaN (e.g. a
+/// pin quarantined during slew propagation) would otherwise poison the
+/// mean and turn every sd_z into NaN, silently filtering out the whole
+/// design. Non-finite SDs map to NaN sd_z, which the survival test treats
+/// as a conservative keep.
+#[must_use]
+pub fn standardise_sd(sd: &[f64], candidate: &[bool]) -> Vec<f64> {
+    let vals: Vec<f64> = (0..sd.len())
+        .filter(|&i| candidate[i] && sd[i].is_finite())
+        .map(|i| sd[i])
+        .collect();
+    let n = vals.len().max(1) as f64;
+    let mean = vals.iter().sum::<f64>() / n;
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let std = var.sqrt().max(1e-12);
+    sd.iter().map(|&v| (v - mean) / std).collect()
+}
+
 /// Runs the insensitive-pin filter over the internal pins of `graph`.
 ///
 /// # Errors
@@ -77,14 +96,7 @@ pub fn filter_insensitive<G: TimingGraph>(
             !graph.node_dead(n) && graph.node(n).kind == NodeKind::Internal
         })
         .collect();
-    // Standardise over candidates only.
-    let vals: Vec<f64> =
-        (0..sd.len()).filter(|&i| candidate[i]).map(|i| sd[i]).collect();
-    let n = vals.len().max(1) as f64;
-    let mean = vals.iter().sum::<f64>() / n;
-    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-    let std = var.sqrt().max(1e-12);
-    let sd_z: Vec<f64> = sd.iter().map(|&v| (v - mean) / std).collect();
+    let sd_z = standardise_sd(&sd, &candidate);
 
     let hard_keep = output_variant_pins(graph);
     let cppr_keep: Vec<NodeId> =
@@ -97,7 +109,12 @@ pub fn filter_insensitive<G: TimingGraph>(
         if !candidate[i] {
             continue;
         }
-        let keep = sd_z[i] >= opts.threshold
+        // NaN sd_z (unmeasured pin) must KEEP: `NaN >= t` is false, so the
+        // naive comparison would silently drop exactly the pins we know
+        // least about. Keeping them is the conservative direction — they
+        // proceed to TS evaluation, which quarantines them properly.
+        let keep = !sd_z[i].is_finite()
+            || sd_z[i] >= opts.threshold
             || hard_keep[i]
             || cppr_keep.contains(&NodeId(i as u32));
         survivors[i] = keep;
@@ -198,6 +215,27 @@ mod tests {
             if strict.survivors[i] {
                 assert!(lax.survivors[i]);
             }
+        }
+    }
+
+    #[test]
+    fn nan_sd_does_not_poison_standardisation_and_survives() {
+        // One quarantined pin with NaN SD sits among candidates whose SDs
+        // straddle the classification boundary. The NaN must neither shift
+        // the finite pins' z-scores nor be silently filtered out itself.
+        let sd = vec![1.0, f64::NAN, 2.0, 3.0, 4.0];
+        let candidate = vec![true; 5];
+        let with_nan = standardise_sd(&sd, &candidate);
+        let clean = standardise_sd(&[1.0, 2.0, 3.0, 4.0], &[true; 4]);
+        assert_eq!(with_nan[0].to_bits(), clean[0].to_bits());
+        assert_eq!(with_nan[2].to_bits(), clean[1].to_bits());
+        assert_eq!(with_nan[3].to_bits(), clean[2].to_bits());
+        assert_eq!(with_nan[4].to_bits(), clean[3].to_bits());
+        assert!(with_nan[1].is_nan(), "unmeasured pin stays unmeasured");
+        // Survival: NaN sd_z is a conservative keep at any threshold.
+        for threshold in [-1.0, 0.0, 1.0] {
+            let keep = !with_nan[1].is_finite() || with_nan[1] >= threshold;
+            assert!(keep);
         }
     }
 

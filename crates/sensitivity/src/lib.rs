@@ -39,5 +39,5 @@ pub mod ts;
 
 pub use dataset::{build_dataset, DatasetOptions, PinDataset};
 pub use features::{extract_features, pin_graph_edges, BASE_FEATURES, FEATURES_WITH_CPPR};
-pub use filter::{filter_insensitive, FilterOptions, FilterResult};
+pub use filter::{filter_insensitive, standardise_sd, FilterOptions, FilterResult};
 pub use ts::{evaluate_ts, evaluate_ts_with_core, TsEngine, TsFailure, TsOptions, TsResult};

@@ -120,6 +120,27 @@ impl TsResult {
     pub fn regression_targets(&self) -> Vec<f32> {
         self.ts.iter().map(|&t| if t.is_finite() { t as f32 } else { 0.0 }).collect()
     }
+
+    /// Node indices ranked by descending TS under a *total* order
+    /// ([`f64::total_cmp`], ties broken by index for determinism).
+    /// Non-finite entries — unevaluated, skipped, or quarantined pins —
+    /// are excluded entirely rather than landing at an arbitrary end of the
+    /// order, which is what a naive `partial_cmp().unwrap_or(Equal)` sort
+    /// silently does. Callers that must act on quarantined pins should read
+    /// [`TsResult::failures`] instead; this ranking only ever contains pins
+    /// whose TS was actually measured.
+    #[must_use]
+    pub fn ranked_pins(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = self
+            .ts
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_finite())
+            .map(|(i, _)| i)
+            .collect();
+        idx.sort_by(|&a, &b| self.ts[b].total_cmp(&self.ts[a]).then(a.cmp(&b)));
+        idx
+    }
 }
 
 /// Mean relative difference of one quantity category over matched boundary
@@ -613,6 +634,50 @@ mod tests {
         };
         assert_eq!(r.labels(1e-7), vec![0.0, 0.0, 0.0, 1.0]);
         assert_eq!(r.regression_targets(), vec![0.0, 0.0, 1e-9 as f32, 0.5]);
+    }
+
+    #[test]
+    fn ranked_pins_excludes_nan_and_uses_total_order() {
+        // A NaN pin sits exactly where the classification boundary would
+        // put it (between the two finite values): it must neither rank nor
+        // perturb the order of its neighbours, and labels must call it 0.
+        let r = TsResult {
+            ts: vec![0.5, f64::NAN, 1e-7, -0.0, 0.5],
+            evaluated: 4,
+            skipped: 0,
+            failures: vec![TsFailure { node: 1, cause: "quarantined".into() }],
+        };
+        assert_eq!(r.ranked_pins(), vec![0, 4, 2, 3], "NaN excluded, ties by index");
+        assert_eq!(r.labels(1e-7), vec![1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn aocv_fallback_path_matches_clone_engine_and_attribution() {
+        // Under AOCV the view engine serves every probe through the
+        // full-analysis fallback; results and quarantine attribution must
+        // be identical to the clone oracle (which always runs full).
+        let g = graph();
+        let cand = internal_candidates(&g);
+        let view = evaluate_ts(
+            &g,
+            &cand,
+            &TsOptions { contexts: 2, aocv: true, engine: TsEngine::View, ..Default::default() },
+        )
+        .unwrap();
+        let clone = evaluate_ts(
+            &g,
+            &cand,
+            &TsOptions { contexts: 2, aocv: true, engine: TsEngine::Clone, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(view.evaluated, clone.evaluated);
+        assert_eq!(view.skipped, clone.skipped);
+        assert_eq!(view.failures, clone.failures, "quarantine attribution differs across paths");
+        for (a, b) in view.ts.iter().zip(&clone.ts) {
+            if a.is_finite() || b.is_finite() {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

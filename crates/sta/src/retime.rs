@@ -49,7 +49,9 @@ use std::sync::Arc;
 /// Counters describing how much work cone-limited re-timing performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RetimeStats {
-    /// Views re-timed through this scratch.
+    /// Views re-timed in cone mode through this scratch (pristine views
+    /// included). Disjoint from [`RetimeStats::full_fallbacks`]: every probe
+    /// increments exactly one of the two, so their sum is the probe count.
     pub retimes: usize,
     /// Re-times that fell back to a full view analysis (AOCV).
     pub full_fallbacks: usize,
@@ -203,19 +205,24 @@ impl ReferenceAnalysis {
                 "retime scratch was sized for a different reference".into(),
             ));
         }
-        scratch.stats.retimes += 1;
-        tmm_obs::counter_add("tmm_sta_retimes_total", &[], 1);
         if view.is_pristine() {
+            scratch.stats.retimes += 1;
+            tmm_obs::counter_add("tmm_sta_retimes_total", &[], 1);
             return Ok(self.boundary.clone());
         }
         if self.evaluator.has_aocv() {
             // Bypassing shifts structural depths — and so AOCV derates — on
-            // paths far outside the edit cone; re-time the whole view.
+            // paths far outside the edit cone; re-time the whole view. Each
+            // probe lands in exactly one bucket: a fallback is *not* also
+            // counted as a cone re-time, so `retimes + full_fallbacks` is
+            // the total number of probes served.
             scratch.stats.full_fallbacks += 1;
             tmm_obs::counter_add("tmm_sta_retime_full_fallbacks_total", &[], 1);
             let an = Analysis::run_with_options(view, &self.ctx, self.options)?;
             return Ok(an.boundary().clone());
         }
+        scratch.stats.retimes += 1;
+        tmm_obs::counter_add("tmm_sta_retimes_total", &[], 1);
 
         scratch.state.clone_from(&self.state);
         scratch.dirty.fill(false);
@@ -466,8 +473,20 @@ mod tests {
         view.bypass_node(find(&g, "u2/Z")).unwrap();
         let cone = reference.retime(&view, &mut scratch).unwrap();
         assert_eq!(scratch.stats().full_fallbacks, 1);
+        assert_eq!(
+            scratch.stats().retimes,
+            0,
+            "a fallback must not double-count as a cone re-time"
+        );
         let full = Analysis::run_with_options(&view, &ctx, options).unwrap();
         assert_bit_identical(full.boundary(), &cone);
+
+        // A pristine probe under AOCV is served from the reference boundary
+        // without falling back: cone bucket, zero extra fallbacks.
+        let pristine = GraphView::new(reference.core().clone());
+        reference.retime(&pristine, &mut scratch).unwrap();
+        assert_eq!(scratch.stats().retimes, 1);
+        assert_eq!(scratch.stats().full_fallbacks, 1);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!              [--contexts <n>] [--cppr] [--aocv]
 //! tmm validate [--lib <lib.tmm>] [--design <design.tmm>] [--model <model.tmm>]
 //!              [--gnn <gnn.tmm>]
+//! tmm diffcheck [--seed <s>] [--designs <n>] [--inject <fault-op>]
+//!              [--replay <file.repro.ron>] [--out-dir <dir>]
 //! tmm obscheck [--trace <trace.json>] [--metrics <metrics.prom>]
 //!              [--report <report.json>] [--bench <BENCH.json>]
 //! ```
@@ -490,6 +492,117 @@ fn cmd_validate(args: &Args, report: &mut obs::RunReport) -> CliResult {
     Ok(())
 }
 
+/// Randomized cross-engine differential sweep: generate seeded designs,
+/// run every engine pairing plus the semantic invariants, shrink each
+/// divergence to a minimal design, and write self-contained `.repro.ron`
+/// artifacts. With `--inject <op>` a deliberate tmm-faults corruption is
+/// planted to prove the harness catches it end to end; `--replay <file>`
+/// re-runs a previously written artifact instead of sweeping.
+fn cmd_diffcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
+    use timing_macro_gnn::diffcheck;
+
+    let check = diffcheck::CheckOptions {
+        ts_contexts: args.parsed("contexts", "2")?,
+        threads: args.parsed("threads", "3")?,
+        probes: args.parsed("probes", "4")?,
+    };
+
+    if let Some(path) = args.flags.get("replay") {
+        let repro = diffcheck::Repro::parse(&read_file(path)?)
+            .map_err(|e| CliError { class: ErrClass::Parse, msg: format!("{path}: {e}") })?;
+        report.design = repro.design.clone();
+        report.fact("check", &repro.check);
+        let outcome = repro
+            .replay(&check)
+            .map_err(|e| CliError::validation(format!("{path}: {e}")))?;
+        return match outcome {
+            Some(detail) => {
+                println!("{path}: divergence reproduces on {}: {detail}", repro.check);
+                Ok(())
+            }
+            None => Err(CliError {
+                class: ErrClass::Analysis,
+                msg: format!("{path}: recorded divergence no longer reproduces"),
+            }),
+        };
+    }
+
+    let inject = match args.flags.get("inject") {
+        Some(op_name) => {
+            let op = diffcheck::graph_fault_by_name(op_name).ok_or_else(|| {
+                CliError::usage(format!(
+                    "unknown fault operator `{op_name}` (graph operators only)"
+                ))
+            })?;
+            Some((op, args.parsed("inject-seed", "0")?))
+        }
+        None => None,
+    };
+    let opts = diffcheck::DiffcheckOptions {
+        seed: args.parsed("seed", "0")?,
+        designs: args.parsed("designs", "50")?,
+        library: args.parsed("library", "1")?,
+        check,
+        inject,
+        max_findings: args.parsed("max-findings", "3")?,
+    };
+    let max_cells: usize = args.parsed("max-cells", "20")?;
+    let out_dir = args.get_or("out-dir", ".");
+
+    let outcome = diffcheck::run_sweep(&opts)?;
+    report.fact("designs", outcome.designs_run);
+    report.fact("injections_applied", outcome.injections_applied);
+    report.fact("findings", outcome.findings.len());
+    println!(
+        "checked {} design(s) ({} with the fault applied), {} finding(s)",
+        outcome.designs_run,
+        outcome.injections_applied,
+        outcome.findings.len()
+    );
+    for f in &outcome.findings {
+        let path = format!(
+            "{out_dir}/diffcheck-{}-d{}.repro.ron",
+            f.divergence.check, f.design_index
+        );
+        write_file(&path, &f.repro.render())?;
+        println!(
+            "  design {} [{}]: {} ({} -> {} cells) -> {path}",
+            f.design_index,
+            f.divergence.check,
+            f.divergence.detail,
+            f.original_cells,
+            f.shrunk_cells
+        );
+    }
+
+    match (&opts.inject, outcome.findings.as_slice()) {
+        // Clean sweep of the shipped engines: pass iff nothing diverged.
+        (None, []) => Ok(()),
+        (None, findings) => Err(CliError {
+            class: ErrClass::Analysis,
+            msg: format!("{} unexpected engine divergence(s)", findings.len()),
+        }),
+        // Injected sweep: the harness must catch the planted fault and
+        // shrink it below the repro size budget.
+        (Some((op, _)), []) => Err(CliError {
+            class: ErrClass::Analysis,
+            msg: format!("injected fault `{}` was not detected", op.name()),
+        }),
+        (Some(_), findings) => {
+            let worst = findings.iter().map(|f| f.shrunk_cells).max().unwrap_or(0);
+            if worst > max_cells {
+                return Err(CliError {
+                    class: ErrClass::Analysis,
+                    msg: format!(
+                        "shrunk repro has {worst} cells, budget is {max_cells}"
+                    ),
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Schema-validates observability artifacts produced by `--trace-out`,
 /// `--metrics-out`, `--report-out`, and the bench trajectory files. CI runs
 /// this after a traced pipeline run.
@@ -546,7 +659,7 @@ fn cmd_obscheck(args: &Args) -> CliResult {
     Ok(())
 }
 
-const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|obscheck> [--flag value] [--switch]
+const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|diffcheck|obscheck> [--flag value] [--switch]
   gen      --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
   stats    --design <design.tmm> --lib <lib.tmm>
   model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
@@ -559,6 +672,11 @@ const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|obsc
            [--contexts <n>] [--cppr] [--aocv]
   context  --design <design.tmm> --lib <lib.tmm> [--seed <s>] --out <ctx.tmm>
   validate [--lib <lib.tmm>] [--design <design.tmm>] [--model <model.tmm>] [--gnn <gnn.tmm>]
+  diffcheck [--seed <s>] [--designs <n>] [--library <s>] [--contexts <n>] [--threads <n>]
+           [--probes <n>] [--max-findings <n>] [--out-dir <dir>]
+           [--inject <fault-op> [--inject-seed <s>] [--max-cells <n>]]
+           [--replay <file.repro.ron>]
+           (cross-engine differential sweep; writes .repro.ron artifacts on divergence)
   obscheck [--trace <trace.json> [--expect-stages a,b]] [--metrics <m.prom> [--min-series <n>]]
            [--report <report.json>] [--bench <BENCH.json>]
 observability (any command):
@@ -632,6 +750,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&args),
         "context" => cmd_context(&args),
         "validate" => cmd_validate(&args, &mut report),
+        "diffcheck" => cmd_diffcheck(&args, &mut report),
         "obscheck" => cmd_obscheck(&args),
         other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
     };

@@ -18,6 +18,9 @@
 //! - [`obs`] — zero-dependency observability: tracing spans (Chrome
 //!   `trace_event`), a metrics registry (Prometheus text exposition),
 //!   leveled structured logging, and machine-readable run reports.
+//! - [`diffcheck`] — randomized cross-engine differential checker: engine
+//!   pairings, semantic invariants, design shrinking, and self-contained
+//!   repro artifacts.
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@
 //! ```
 pub use tmm_circuits as circuits;
 pub use tmm_core as core;
+pub use tmm_diffcheck as diffcheck;
 pub use tmm_faults as faults;
 pub use tmm_gnn as gnn;
 pub use tmm_macromodel as macromodel;
