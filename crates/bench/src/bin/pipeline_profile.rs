@@ -196,7 +196,7 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"gnn_train\",\n  \"naive_seconds\": {naive_s:.4},\n  \"blocked_seconds_1t\": {seq_s:.4},\n  \"blocked_seconds_4t\": {blocked_s:.4},\n  \"speedup_1t\": {seq_speedup:.2},\n  \"speedup_4t\": {speedup:.2}\n}}\n"
     );
-    if let Err(e) = std::fs::write("BENCH_gnn_train.json", &json) {
+    if let Err(e) = tmm_ckpt::atomic_write_str("BENCH_gnn_train.json", &json) {
         eprintln!("warning: could not write BENCH_gnn_train.json: {e}");
     }
     record("gnn_kernels_naive_1t", "training_suite", naive_s, 0.0);
@@ -254,7 +254,7 @@ fn main() {
     report.config_fingerprint = config.fingerprint();
     report.capture_environment();
     let doc = tmm_obs::render_bench_json("pipeline", &records, &report);
-    if let Err(e) = std::fs::write("BENCH_pipeline.json", &doc) {
+    if let Err(e) = tmm_ckpt::atomic_write_str("BENCH_pipeline.json", &doc) {
         eprintln!("warning: could not write BENCH_pipeline.json: {e}");
     }
 }

@@ -1,0 +1,133 @@
+//! One checkpoint artifact (`tmm-ckpt/v1`): a single-line header binding
+//! the payload to its stage, sequence number, and the run's config
+//! fingerprint, plus a byte length and FNV-1a checksum so truncation and
+//! bit-rot are detected at load time, never silently replayed.
+
+use crate::CkptError;
+use tmm_obs::fingerprint;
+
+/// Artifact schema tag.
+pub const SCHEMA: &str = "tmm-ckpt/v1";
+
+/// A parsed checkpoint artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// Stage key (whitespace-free; see `Session`'s sanitizer).
+    pub stage: String,
+    /// Sequence number within the stage.
+    pub seq: u64,
+    /// Config fingerprint of the run that wrote it.
+    pub config: String,
+    /// Opaque stage-defined payload.
+    pub payload: String,
+}
+
+impl Artifact {
+    /// Renders header + payload without an intermediate [`Artifact`].
+    #[must_use]
+    pub fn render_parts(stage: &str, seq: u64, config: &str, payload: &str) -> String {
+        let mut out = format!(
+            "{SCHEMA} stage {stage} seq {seq} config {config} len {} sum {}\n",
+            payload.len(),
+            fingerprint(payload)
+        );
+        out.push_str(payload);
+        out
+    }
+
+    /// Renders this artifact.
+    #[must_use]
+    pub fn render(&self) -> String {
+        Artifact::render_parts(&self.stage, self.seq, &self.config, &self.payload)
+    }
+
+    /// Parses and fully verifies an artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Corrupt`] on a bad schema tag, malformed header,
+    /// payload length mismatch (truncation), or checksum mismatch.
+    pub fn parse(text: &str) -> Result<Artifact, CkptError> {
+        let (header, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| CkptError::Corrupt("artifact has no header line".to_string()))?;
+        let mut toks = header.split_whitespace();
+        if toks.next() != Some(SCHEMA) {
+            return Err(CkptError::Corrupt(format!(
+                "artifact schema tag is not `{SCHEMA}`"
+            )));
+        }
+        let mut field = |key: &str| -> Result<&str, CkptError> {
+            if toks.next() != Some(key) {
+                return Err(CkptError::Corrupt(format!(
+                    "artifact header: expected `{key}` field"
+                )));
+            }
+            toks.next()
+                .ok_or_else(|| CkptError::Corrupt(format!("artifact header: missing `{key}` value")))
+        };
+        let stage = field("stage")?.to_string();
+        let seq: u64 = field("seq")?
+            .parse()
+            .map_err(|_| CkptError::Corrupt("artifact header: bad `seq`".to_string()))?;
+        let config = field("config")?.to_string();
+        let len: usize = field("len")?
+            .parse()
+            .map_err(|_| CkptError::Corrupt("artifact header: bad `len`".to_string()))?;
+        let sum = field("sum")?.to_string();
+        if payload.len() != len {
+            return Err(CkptError::Corrupt(format!(
+                "artifact truncated: header promises {len} payload bytes, file has {}",
+                payload.len()
+            )));
+        }
+        if fingerprint(payload) != sum {
+            return Err(CkptError::Corrupt(
+                "artifact payload checksum mismatch".to_string(),
+            ));
+        }
+        Ok(Artifact { stage, seq, config, payload: payload.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        Artifact {
+            stage: "ts.d1".to_string(),
+            seq: 7,
+            config: "deadbeefdeadbeef".to_string(),
+            payload: "pin 3 ok 1.5e0\npin 4 fail cannot bypass\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let a = sample();
+        assert_eq!(Artifact::parse(&a.render()).unwrap(), a);
+        // Empty payload is legal (e.g. an empty TS chunk).
+        let empty = Artifact { payload: String::new(), ..sample() };
+        assert_eq!(Artifact::parse(&empty.render()).unwrap(), empty);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let text = sample().render();
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let err = Artifact::parse(&text[..cut]).unwrap_err();
+            assert_eq!(err.class(), "corrupt", "cut at {cut} must be corrupt, got {err}");
+        }
+    }
+
+    #[test]
+    fn payload_bitflip_is_rejected() {
+        let a = sample();
+        let flipped = a.render().replace("1.5e0", "1.6e0");
+        assert_eq!(Artifact::parse(&flipped).unwrap_err().class(), "corrupt");
+    }
+}

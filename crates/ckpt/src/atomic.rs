@@ -1,0 +1,82 @@
+//! Atomic file writes: sibling temp file + `fsync` + rename, then a
+//! best-effort directory sync. A reader (or a resumed run) can never
+//! observe a half-written artifact — it sees either the old file, the
+//! new file, or no file.
+
+use crate::CkptError;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] when any filesystem step fails; on failure the
+/// destination file is untouched (a stale temp file may remain).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
+    let name = path
+        .file_name()
+        .map_or_else(|| "artifact".to_string(), |n| n.to_string_lossy().into_owned());
+    let tmp = path.with_file_name(format!(".{name}.tmp"));
+    let io = |what: &str, p: &Path, e: std::io::Error| {
+        CkptError::Io(format!("cannot {what} {}: {e}", p.display()))
+    };
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io("create", &tmp, e))?;
+    f.write_all(bytes).map_err(|e| io("write", &tmp, e))?;
+    // Flush file contents to stable storage *before* the rename makes the
+    // file visible under its final name.
+    f.sync_all().map_err(|e| io("sync", &tmp, e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| io("rename into", path, e))?;
+    // Persist the rename itself. Directory fsync is best-effort: some
+    // filesystems/platforms refuse to open directories for syncing.
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// [`atomic_write`] for text content.
+///
+/// # Errors
+///
+/// [`CkptError::Io`] when any filesystem step fails.
+pub fn atomic_write_str(path: impl AsRef<Path>, text: &str) -> Result<(), CkptError> {
+    atomic_write(path.as_ref(), text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("tmm-ckpt-atomic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_overwrite_replaces_content() {
+        let dir = scratch_dir("overwrite");
+        let path = dir.join("a.txt");
+        atomic_write_str(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write_str(&path, "second, longer content").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second, longer content");
+        // The temp file must not linger after a successful write.
+        assert!(!dir.join(".a.txt.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_a_classed_io_error() {
+        let path = scratch_dir("missing").join("no-such-subdir").join("a.txt");
+        let err = atomic_write_str(&path, "x").unwrap_err();
+        assert_eq!(err.class(), "io");
+    }
+}

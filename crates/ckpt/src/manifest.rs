@@ -1,0 +1,219 @@
+//! The per-run checkpoint manifest (`tmm-ckpt-manifest/v1`): binds a
+//! checkpoint directory to one (config fingerprint, design) pair,
+//! indexes every artifact with its payload checksum, records per-stage
+//! completion markers and free-form notes, and carries a trailing
+//! checksum over its own body so a torn manifest is detected — a resumed
+//! run trusts nothing it cannot verify.
+
+use crate::CkptError;
+use tmm_obs::fingerprint;
+
+/// Manifest schema tag.
+pub const SCHEMA: &str = "tmm-ckpt-manifest/v1";
+
+/// A parsed, verified manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Config fingerprint of the producing run.
+    pub config: String,
+    /// Design name the checkpoints belong to.
+    pub design: String,
+    entries: Vec<(String, u64, String, String)>, // stage, seq, file, payload sum
+    done: Vec<String>,
+    notes: Vec<(String, String)>,
+}
+
+impl Manifest {
+    /// Fresh manifest for one (config, design) run.
+    #[must_use]
+    pub fn new(config: &str, design: &str) -> Self {
+        Manifest { config: config.to_string(), design: design.to_string(), ..Default::default() }
+    }
+
+    /// Highest recorded sequence number for `stage`.
+    #[must_use]
+    pub fn latest(&self, stage: &str) -> Option<u64> {
+        self.entries.iter().filter(|(s, ..)| s == stage).map(|&(_, seq, ..)| seq).max()
+    }
+
+    /// File name and payload checksum of one artifact entry.
+    #[must_use]
+    pub fn entry(&self, stage: &str, seq: u64) -> Option<(&str, &str)> {
+        self.entries
+            .iter()
+            .find(|(s, q, ..)| s == stage && *q == seq)
+            .map(|(_, _, file, sum)| (file.as_str(), sum.as_str()))
+    }
+
+    /// Number of artifact entries.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds or replaces one artifact entry.
+    pub fn upsert(&mut self, stage: &str, seq: u64, file: &str, sum: &str) {
+        if let Some(e) = self.entries.iter_mut().find(|(s, q, ..)| s == stage && *q == seq) {
+            e.2 = file.to_string();
+            e.3 = sum.to_string();
+        } else {
+            self.entries.push((stage.to_string(), seq, file.to_string(), sum.to_string()));
+        }
+    }
+
+    /// Marks `stage` complete.
+    pub fn mark_done(&mut self, stage: &str) {
+        if !self.is_done(stage) {
+            self.done.push(stage.to_string());
+        }
+    }
+
+    /// Whether `stage` is marked complete.
+    #[must_use]
+    pub fn is_done(&self, stage: &str) -> bool {
+        self.done.iter().any(|s| s == stage)
+    }
+
+    /// Sets (or replaces) a free-form note, e.g. the final macro model's
+    /// checksum.
+    pub fn set_note(&mut self, key: &str, value: &str) {
+        if let Some(n) = self.notes.iter_mut().find(|(k, _)| k == key) {
+            n.1 = value.to_string();
+        } else {
+            self.notes.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Looks up a note.
+    #[must_use]
+    pub fn note(&self, key: &str) -> Option<&str> {
+        self.notes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Renders the manifest, trailing self-checksum included.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut body = format!("{SCHEMA}\nconfig {}\ndesign {}\n", self.config, self.design);
+        for (stage, seq, file, sum) in &self.entries {
+            body.push_str(&format!("entry {stage} {seq} {file} {sum}\n"));
+        }
+        for stage in &self.done {
+            body.push_str(&format!("done {stage}\n"));
+        }
+        for (k, v) in &self.notes {
+            body.push_str(&format!("note {k} {v}\n"));
+        }
+        let sum = fingerprint(&body);
+        body.push_str(&format!("sum {sum}\n"));
+        body
+    }
+
+    /// Parses and verifies a manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Corrupt`] on a bad schema tag, malformed line, or
+    /// trailing-checksum mismatch (torn or edited file).
+    pub fn parse(text: &str) -> Result<Manifest, CkptError> {
+        let corrupt = |what: String| CkptError::Corrupt(format!("manifest: {what}"));
+        let trimmed = text
+            .strip_suffix('\n')
+            .ok_or_else(|| corrupt("not newline-terminated (truncated write)".to_string()))?;
+        let (head, last) = trimmed
+            .rsplit_once('\n')
+            .ok_or_else(|| corrupt("missing trailing sum line".to_string()))?;
+        let sum = last
+            .strip_prefix("sum ")
+            .ok_or_else(|| corrupt("missing trailing sum line".to_string()))?;
+        let body = format!("{head}\n");
+        if fingerprint(&body) != sum {
+            return Err(corrupt("body checksum mismatch (torn or edited file)".to_string()));
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(SCHEMA) {
+            return Err(corrupt(format!("schema tag is not `{SCHEMA}`")));
+        }
+        let mut m = Manifest::default();
+        let rest_of = |line: &str, key: &str| -> Option<String> {
+            let r = line.strip_prefix(key)?;
+            Some(r.strip_prefix(' ').unwrap_or(r).to_string())
+        };
+        for line in lines {
+            if let Some(v) = rest_of(line, "config") {
+                m.config = v;
+            } else if let Some(v) = rest_of(line, "design") {
+                m.design = v;
+            } else if let Some(v) = rest_of(line, "entry") {
+                let mut t = v.split_whitespace();
+                let (Some(stage), Some(seq), Some(file), Some(sum)) =
+                    (t.next(), t.next(), t.next(), t.next())
+                else {
+                    return Err(corrupt(format!("malformed entry line `{line}`")));
+                };
+                let seq: u64 =
+                    seq.parse().map_err(|_| corrupt(format!("bad entry seq in `{line}`")))?;
+                m.entries.push((stage.to_string(), seq, file.to_string(), sum.to_string()));
+            } else if let Some(v) = rest_of(line, "done") {
+                m.done.push(v);
+            } else if let Some(v) = rest_of(line, "note") {
+                match v.split_once(' ') {
+                    Some((k, val)) => m.notes.push((k.to_string(), val.to_string())),
+                    None => m.notes.push((v, String::new())),
+                }
+            } else {
+                return Err(corrupt(format!("unknown line `{line}`")));
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new("cafef00dcafef00d", "osu_design 3");
+        m.upsert("ts.d", 0, "ts.d.0.ckpt", "0011223344556677");
+        m.upsert("ts.d", 1, "ts.d.1.ckpt", "8899aabbccddeeff");
+        m.mark_done("ts.d");
+        m.set_note("macro_model_sum", "1122334455667788");
+        m
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        let parsed = Manifest::parse(&m.render()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.latest("ts.d"), Some(1));
+        assert_eq!(parsed.entry("ts.d", 1).unwrap().0, "ts.d.1.ckpt");
+        assert!(parsed.is_done("ts.d"));
+        assert_eq!(parsed.note("macro_model_sum"), Some("1122334455667788"));
+    }
+
+    #[test]
+    fn upsert_replaces_in_place() {
+        let mut m = sample();
+        m.upsert("ts.d", 1, "ts.d.1.ckpt", "ffffffffffffffff");
+        assert_eq!(m.entry_count(), 2);
+        assert_eq!(m.entry("ts.d", 1).unwrap().1, "ffffffffffffffff");
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let text = sample().render();
+        for cut in 0..text.len() {
+            assert!(
+                Manifest::parse(&text[..cut]).is_err(),
+                "cut at {cut} must fail verification"
+            );
+        }
+    }
+
+    #[test]
+    fn edited_body_is_rejected() {
+        let text = sample().render().replace("ts.d.1.ckpt", "ts.d.9.ckpt");
+        assert_eq!(Manifest::parse(&text).unwrap_err().class(), "corrupt");
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-stage deadline supervision: a process-global heartbeat that every
+//! unit of pipeline progress bumps (checkpoint saves, TS chunks, GNN
+//! epochs, merge passes), and a watchdog thread that fires when the
+//! heartbeat goes silent for longer than the deadline. Firing either
+//! exits the process with a classed code — the checkpoint manifest is
+//! already durable, so the run stays resumable — or sets a flag for
+//! in-process tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+fn origin() -> Instant {
+    static T0: OnceLock<Instant> = OnceLock::new();
+    *T0.get_or_init(Instant::now)
+}
+
+static LAST_BEAT_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Records pipeline progress. Cheap (one clock read + one relaxed
+/// store); called from checkpoint saves, TS chunk boundaries, training
+/// epochs, and merge passes.
+pub fn heartbeat() {
+    let now = u64::try_from(origin().elapsed().as_millis()).unwrap_or(u64::MAX);
+    LAST_BEAT_MS.store(now, Ordering::Relaxed);
+}
+
+fn stage_cell() -> &'static Mutex<String> {
+    static STAGE: OnceLock<Mutex<String>> = OnceLock::new();
+    STAGE.get_or_init(|| Mutex::new(String::new()))
+}
+
+/// Names the stage currently running, so a deadline abort can say *what*
+/// hung. Also beats the heartbeat — entering a stage is progress.
+pub fn set_stage(name: &str) {
+    heartbeat();
+    *stage_cell().lock().unwrap_or_else(PoisonError::into_inner) = name.to_string();
+}
+
+/// The most recently [`set_stage`]d name (empty before the first).
+#[must_use]
+pub fn current_stage() -> String {
+    stage_cell().lock().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+/// What the watchdog does when the deadline expires.
+#[derive(Debug, Clone)]
+pub enum DeadlineAction {
+    /// Report the hung stage on stderr and exit the process with this
+    /// code (the `tmm` CLI uses 6). Checkpoints on disk stay resumable.
+    Exit(u8),
+    /// Set the flag and stop watching — the in-process testable action.
+    Flag(Arc<AtomicBool>),
+}
+
+/// A running deadline watchdog; dropping it stops the watch.
+#[derive(Debug)]
+pub struct StageSupervisor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StageSupervisor {
+    /// Starts watching: if no [`heartbeat`] arrives for `deadline`, the
+    /// `action` fires. `what` names the supervised activity in the abort
+    /// message (the hung *stage* comes from [`set_stage`]).
+    #[must_use]
+    pub fn start(what: &str, deadline: Duration, action: DeadlineAction) -> StageSupervisor {
+        heartbeat(); // starting the watch is itself progress
+        let stop = Arc::new(AtomicBool::new(false));
+        let watched = Arc::clone(&stop);
+        let what = what.to_string();
+        let deadline_ms = u64::try_from(deadline.as_millis()).unwrap_or(u64::MAX);
+        let poll = (deadline / 8).clamp(Duration::from_millis(5), Duration::from_millis(250));
+        let handle = std::thread::Builder::new()
+            .name("tmm-deadline".to_string())
+            .spawn(move || loop {
+                std::thread::sleep(poll);
+                if watched.load(Ordering::Relaxed) {
+                    return;
+                }
+                let now = u64::try_from(origin().elapsed().as_millis()).unwrap_or(u64::MAX);
+                let last = LAST_BEAT_MS.load(Ordering::Relaxed);
+                if now.saturating_sub(last) > deadline_ms {
+                    let stage = current_stage();
+                    tmm_obs::error(
+                        &[("stage", &stage), ("deadline_ms", &deadline_ms.to_string())],
+                        "stage deadline exceeded",
+                    );
+                    match &action {
+                        DeadlineAction::Exit(code) => {
+                            eprintln!(
+                                "tmm: deadline of {deadline_ms} ms exceeded in stage \
+                                 `{stage}` during {what}; aborting (checkpoints on disk \
+                                 remain resumable)"
+                            );
+                            std::process::exit(i32::from(*code));
+                        }
+                        DeadlineAction::Flag(flag) => {
+                            flag.store(true, Ordering::SeqCst);
+                            return;
+                        }
+                    }
+                }
+            });
+        match handle {
+            Ok(h) => StageSupervisor { stop, handle: Some(h) },
+            // Thread spawn failure: run unsupervised rather than fail the
+            // pipeline over a watchdog.
+            Err(_) => StageSupervisor { stop, handle: None },
+        }
+    }
+}
+
+impl Drop for StageSupervisor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_stage_trips_the_flag() {
+        set_stage("supervisor-test-hang");
+        let flag = Arc::new(AtomicBool::new(false));
+        let _watch = StageSupervisor::start(
+            "unit test",
+            Duration::from_millis(40),
+            DeadlineAction::Flag(Arc::clone(&flag)),
+        );
+        // This thread never beats; concurrent tests in this binary might
+        // (the heartbeat is process-global), so wait generously for the
+        // silence to accrue instead of sleeping a fixed interval.
+        let t0 = Instant::now();
+        while !flag.load(Ordering::SeqCst) && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(flag.load(Ordering::SeqCst), "watchdog must fire on silence");
+    }
+
+    #[test]
+    fn heartbeats_keep_the_watchdog_quiet() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let watch = StageSupervisor::start(
+            "unit test",
+            Duration::from_millis(120),
+            DeadlineAction::Flag(Arc::clone(&flag)),
+        );
+        for _ in 0..10 {
+            heartbeat();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        drop(watch);
+        assert!(!flag.load(Ordering::SeqCst), "steady heartbeats must not trip");
+    }
+
+    #[test]
+    fn current_stage_tracks_set_stage() {
+        set_stage("training");
+        assert_eq!(current_stage(), "training");
+    }
+}

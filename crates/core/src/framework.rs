@@ -29,10 +29,14 @@
 use crate::config::FrameworkConfig;
 use crate::error::{Result, Stage, TmmError};
 use std::time::{Duration, Instant};
-use tmm_gnn::{classify_metrics, ConfusionCounts, GnnModel, NeighborMode, NodeGraph, TrainSample};
+use tmm_ckpt::{CkptError, StageStore};
+use tmm_gnn::{
+    classify_metrics, CkptHook, ConfusionCounts, GnnModel, NeighborMode, NodeGraph, TrainReport,
+    TrainSample,
+};
 use tmm_macromodel::baselines::output_variant_pins;
 use tmm_macromodel::{extract_ilm, MacroModel};
-use tmm_sensitivity::dataset::{build_dataset, DatasetOptions, PinDataset};
+use tmm_sensitivity::dataset::{build_dataset, build_dataset_ckpt, DatasetOptions, PinDataset};
 use tmm_sensitivity::{extract_features, pin_graph_edges};
 use tmm_sta::graph::ArcGraph;
 use tmm_sta::liberty::Library;
@@ -119,6 +123,80 @@ pub struct Framework {
     degraded: bool,
 }
 
+/// Checkpoint stage key for the post-training final artifact.
+const TRAIN_FINAL_STAGE: &str = "train_final";
+/// Epoch interval between training checkpoints on the resumable path.
+const TRAIN_CKPT_EVERY: usize = 10;
+
+/// Maps a checkpoint-layer failure into a stage-tagged framework error.
+fn ckpt_err(stage: Stage, e: CkptError) -> TmmError {
+    TmmError::new(
+        stage,
+        StaError::Validation { artifact: "checkpoint", errors: 1, first: e.to_string() },
+    )
+}
+
+/// Serialises the completed-training artifact (`train_final v1`): the
+/// stable [`TrainReport`] facts on the first line, the trained model text
+/// verbatim after it. Loss histories are *not* stored — the summary never
+/// reads them, and everything else is recomputed deterministically.
+fn render_train_final(model: &GnnModel, report: &TrainReport) -> String {
+    format!(
+        "train_final v1 final_loss {:e} retries {} stopped_early {} rolled_back {} diverged {}\n{}",
+        report.final_loss,
+        report.retries,
+        u8::from(report.stopped_early),
+        u8::from(report.rolled_back),
+        u8::from(report.diverged),
+        model.to_text()
+    )
+}
+
+fn parse_train_final(payload: &str) -> std::result::Result<(GnnModel, TrainReport), String> {
+    let (head, model_text) =
+        payload.split_once('\n').ok_or("missing model text after header")?;
+    let t: Vec<&str> = head.split_whitespace().collect();
+    if t.len() != 12 {
+        return Err(format!("header has {} tokens, expected 12", t.len()));
+    }
+    for (i, kw) in [
+        (0, "train_final"),
+        (1, "v1"),
+        (2, "final_loss"),
+        (4, "retries"),
+        (6, "stopped_early"),
+        (8, "rolled_back"),
+        (10, "diverged"),
+    ] {
+        if t[i] != kw {
+            return Err(format!("expected `{kw}` at token {i}, found `{}`", t[i]));
+        }
+    }
+    let final_loss = t[3].parse::<f32>().map_err(|e| format!("bad final_loss: {e}"))?;
+    let retries = t[5].parse::<usize>().map_err(|e| format!("bad retries: {e}"))?;
+    let flag = |v: &str, kw: &str| match v {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        other => Err(format!("bad {kw} flag `{other}`")),
+    };
+    let stopped_early = flag(t[7], "stopped_early")?;
+    let rolled_back = flag(t[9], "rolled_back")?;
+    let diverged = flag(t[11], "diverged")?;
+    let model = GnnModel::from_text(model_text).map_err(|e| format!("embedded model: {e}"))?;
+    Ok((
+        model,
+        TrainReport {
+            history: Vec::new(),
+            final_loss,
+            val_history: Vec::new(),
+            stopped_early,
+            retries,
+            rolled_back,
+            diverged,
+        },
+    ))
+}
+
 /// Maps a validation report into a stage-tagged error when it contains
 /// error-severity diagnostics.
 fn validated(stage: Stage, design: Option<&str>, report: ValidationReport) -> Result<()> {
@@ -166,6 +244,7 @@ impl Framework {
         netlist: &Netlist,
         library: &Library,
         ds_opts: &DatasetOptions,
+        ckpt: Option<&mut (dyn StageStore + '_)>,
     ) -> Result<PinDataset> {
         if self.config.validate {
             validated(Stage::Validation, Some(name), validate_netlist(netlist, library))?;
@@ -177,8 +256,11 @@ impl Framework {
         }
         let (ilm, _) = extract_ilm(&flat)
             .map_err(|e| TmmError::for_design(Stage::DataGeneration, name, e))?;
-        build_dataset(&ilm, ds_opts)
-            .map_err(|e| TmmError::for_design(Stage::DataGeneration, name, e))
+        match ckpt {
+            Some(store) => build_dataset_ckpt(&ilm, ds_opts, store, &format!("ts.{name}")),
+            None => build_dataset(&ilm, ds_opts),
+        }
+        .map_err(|e| TmmError::for_design(Stage::DataGeneration, name, e))
     }
 
     /// Stage 1 + 2: generates TS training data from each `(name, netlist)`
@@ -198,6 +280,38 @@ impl Framework {
         designs: &[(String, Netlist)],
         library: &Library,
     ) -> Result<TrainingSummary> {
+        self.train_impl(designs, library, None)
+    }
+
+    /// [`Framework::train`] with crash-safe checkpointing: TS sweeps
+    /// checkpoint fixed-size pin chunks per design (stage `ts.<name>`),
+    /// GNN optimisation checkpoints every [`TRAIN_CKPT_EVERY`] epochs
+    /// (stage [`tmm_gnn::TRAIN_STAGE`]), and the completed training run is
+    /// sealed as a `train_final` artifact so a crash *after* training never
+    /// re-trains. A resumed run reproduces the uninterrupted run
+    /// bit-for-bit: the checkpoint stores only what deterministic
+    /// recomputation would have produced anyway.
+    ///
+    /// # Errors
+    ///
+    /// As [`Framework::train`]; checkpoint-layer failures (unwritable or
+    /// corrupt store) surface as [`StaError::Validation`] with artifact
+    /// `"checkpoint"` at the stage that hit them.
+    pub fn train_ckpt(
+        &mut self,
+        designs: &[(String, Netlist)],
+        library: &Library,
+        store: &mut dyn StageStore,
+    ) -> Result<TrainingSummary> {
+        self.train_impl(designs, library, Some(store))
+    }
+
+    fn train_impl(
+        &mut self,
+        designs: &[(String, Netlist)],
+        library: &Library,
+        mut ckpt: Option<&mut (dyn StageStore + '_)>,
+    ) -> Result<TrainingSummary> {
         if self.config.validate {
             validated(Stage::Validation, None, validate_library(library))?;
         }
@@ -209,10 +323,13 @@ impl Framework {
         let ds_opts = self.config.dataset_options();
         {
             let mut stage_span = tmm_obs::span("data_generation", tmm_obs::STAGE_CAT);
+            tmm_ckpt::set_stage("data_generation");
+            tmm_ckpt::heartbeat();
             for (name, netlist) in designs {
                 let mut design_span = tmm_obs::span("prepare_design", "core");
                 design_span.arg("design", name);
-                match self.prepare_design(name, netlist, library, &ds_opts) {
+                let design_ckpt = ckpt.as_deref_mut();
+                match self.prepare_design(name, netlist, library, &ds_opts, design_ckpt) {
                     Ok(dataset) => {
                         design_positive_rates.push((name.clone(), dataset.positive_rate));
                         let failures = dataset.ts_failure_count();
@@ -277,7 +394,47 @@ impl Framework {
         );
         let report = {
             let mut stage_span = tmm_obs::span("training", tmm_obs::STAGE_CAT);
-            let report = gnn.train(&samples, &self.config.train);
+            tmm_ckpt::set_stage("training");
+            tmm_ckpt::heartbeat();
+            let report = match ckpt.as_deref_mut() {
+                Some(store) => {
+                    // A sealed training run never re-trains: restore the
+                    // model and the stable report facts from `train_final`.
+                    let sealed = if store.is_done(TRAIN_FINAL_STAGE) {
+                        store.load(TRAIN_FINAL_STAGE, 0).map_err(|e| ckpt_err(Stage::Training, e))?
+                    } else {
+                        None
+                    };
+                    match sealed {
+                        Some(payload) => {
+                            let (model, report) = parse_train_final(&payload).map_err(|m| {
+                                ckpt_err(
+                                    Stage::Training,
+                                    CkptError::Corrupt(format!("train_final artifact: {m}")),
+                                )
+                            })?;
+                            tmm_obs::counter_add("tmm_train_final_restored_total", &[], 1);
+                            gnn = model;
+                            report
+                        }
+                        None => {
+                            let mut hook = CkptHook { store, every: TRAIN_CKPT_EVERY };
+                            let report = gnn
+                                .train_resumable(&samples, &self.config.train, Some(&mut hook))
+                                .map_err(|e| ckpt_err(Stage::Training, e))?;
+                            let store = hook.store;
+                            store
+                                .save(TRAIN_FINAL_STAGE, 0, &render_train_final(&gnn, &report))
+                                .map_err(|e| ckpt_err(Stage::Training, e))?;
+                            store
+                                .mark_done(TRAIN_FINAL_STAGE)
+                                .map_err(|e| ckpt_err(Stage::Training, e))?;
+                            report
+                        }
+                    }
+                }
+                None => gnn.train(&samples, &self.config.train),
+            };
             stage_span.arg_f64("final_loss", f64::from(report.final_loss));
             stage_span.arg_f64("retries", report.retries as f64);
             report
@@ -405,16 +562,55 @@ impl Framework {
     /// untrained, and a [`Stage::MacroGeneration`] error on generation
     /// failures.
     pub fn generate_macro(&self, flat: &ArcGraph) -> Result<RunOutcome> {
+        self.generate_macro_impl(flat, None)
+    }
+
+    /// [`Framework::generate_macro`] with crash-safe merge checkpointing:
+    /// each merge pass persists its decision trace into `store` (stage
+    /// `"merge"`), so a killed generation resumes mid-merge and yields a
+    /// byte-identical macro model. Prediction (cheap, deterministic) is
+    /// always recomputed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Framework::generate_macro`]; checkpoint-layer failures surface
+    /// as [`StaError::Validation`] with artifact `"checkpoint"`.
+    pub fn generate_macro_ckpt(
+        &self,
+        flat: &ArcGraph,
+        store: &mut dyn StageStore,
+    ) -> Result<RunOutcome> {
+        self.generate_macro_impl(flat, Some(store))
+    }
+
+    fn generate_macro_impl(
+        &self,
+        flat: &ArcGraph,
+        ckpt: Option<&mut (dyn StageStore + '_)>,
+    ) -> Result<RunOutcome> {
         if self.config.validate {
             validated(Stage::Validation, None, validate_arc_graph(flat))?;
         }
+        tmm_ckpt::set_stage("prediction");
+        tmm_ckpt::heartbeat();
         let (ilm, _) =
             extract_ilm(flat).map_err(|e| TmmError::new(Stage::MacroGeneration, e))?;
         let (keep, prediction) = self.predict_keep_mask(&ilm)?;
         let mut stage_span = tmm_obs::span("macro_generation", tmm_obs::STAGE_CAT);
+        tmm_ckpt::set_stage("macro_generation");
+        tmm_ckpt::heartbeat();
         stage_span.arg("design", flat.name());
-        let model = MacroModel::generate(flat, &keep, &self.config.macro_options)
-            .map_err(|e| TmmError::new(Stage::MacroGeneration, e))?;
+        let model = match ckpt {
+            Some(store) => MacroModel::generate_ckpt(
+                flat,
+                &keep,
+                &self.config.macro_options,
+                store,
+                "merge",
+            ),
+            None => MacroModel::generate(flat, &keep, &self.config.macro_options),
+        }
+        .map_err(|e| TmmError::new(Stage::MacroGeneration, e))?;
         stage_span.arg_f64("kept_pins", model.stats().kept_pins as f64);
         Ok(RunOutcome {
             kept_pins: model.stats().kept_pins,
@@ -491,15 +687,44 @@ impl Framework {
     ///
     /// Propagates training and generation errors.
     pub fn run_on(&mut self, netlist: &Netlist, library: &Library) -> Result<RunOutcome> {
+        self.run_on_impl(netlist, library, None)
+    }
+
+    /// [`Framework::run_on`] with crash-safe checkpointing across every
+    /// stage: resumable TS sweeps and GNN training (see
+    /// [`Framework::train_ckpt`]) plus merge-pass traces (see
+    /// [`Framework::generate_macro_ckpt`]). A run killed at any point and
+    /// resumed against the same store produces a byte-identical macro
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// As [`Framework::run_on`], plus classed checkpoint failures.
+    pub fn run_on_ckpt(
+        &mut self,
+        netlist: &Netlist,
+        library: &Library,
+        store: &mut dyn StageStore,
+    ) -> Result<RunOutcome> {
+        self.run_on_impl(netlist, library, Some(store))
+    }
+
+    fn run_on_impl(
+        &mut self,
+        netlist: &Netlist,
+        library: &Library,
+        mut ckpt: Option<&mut (dyn StageStore + '_)>,
+    ) -> Result<RunOutcome> {
         if !self.is_trained() {
-            self.train(
+            self.train_impl(
                 std::slice::from_ref(&(netlist.name().to_string(), netlist.clone())),
                 library,
+                ckpt.as_deref_mut(),
             )?;
         }
         let flat = ArcGraph::from_netlist(netlist, library)
             .map_err(|e| TmmError::for_design(Stage::DataGeneration, netlist.name(), e))?;
-        self.generate_macro(&flat)
+        self.generate_macro_impl(&flat, ckpt)
     }
 }
 
@@ -699,6 +924,139 @@ mod tests {
         let err = fw.train(&designs, &bad_lib).unwrap_err();
         assert_eq!(err.stage, Stage::Validation);
         assert!(matches!(err.source, StaError::Validation { .. }), "{:?}", err.source);
+    }
+
+    /// Asserts two training summaries describe bit-identical runs on every
+    /// stable (non-wall-clock) fact.
+    fn assert_summaries_identical(a: &TrainingSummary, b: &TrainingSummary, what: &str) {
+        let rates =
+            |s: &TrainingSummary| -> Vec<(String, u64)> {
+                s.design_positive_rates.iter().map(|(n, r)| (n.clone(), r.to_bits())).collect()
+            };
+        assert_eq!(rates(a), rates(b), "{what}: positive rates");
+        let quarantine = |s: &TrainingSummary| -> Vec<(String, Stage)> {
+            s.quarantined.iter().map(|q| (q.name.clone(), q.stage)).collect()
+        };
+        assert_eq!(quarantine(a), quarantine(b), "{what}: quarantined designs");
+        assert_eq!(a.ts_quarantined, b.ts_quarantined, "{what}: TS-quarantined pins");
+        assert_eq!(a.final_loss.to_bits(), b.final_loss.to_bits(), "{what}: final loss");
+        assert_eq!(a.train_metrics, b.train_metrics, "{what}: train metrics");
+        assert_eq!(a.retries, b.retries, "{what}: divergence retries");
+        assert_eq!(
+            (a.diverged, a.rolled_back, a.degraded),
+            (b.diverged, b.rolled_back, b.degraded),
+            "{what}: outcome flags"
+        );
+    }
+
+    #[test]
+    fn overlapping_quarantine_retry_and_resume_reproduce_the_uncrashed_run() {
+        use tmm_ckpt::MemStore;
+        // One run exercising THREE failure paths at once: a quarantined
+        // design (combinational cycle), divergence-triggered learning-rate
+        // retries (absurd initial lr with backoff), and checkpoint-resume
+        // after a simulated kill at every persisted point. The resumed runs
+        // must reproduce the uninterrupted run exactly: same quarantine
+        // records, same retry count, same losses, same exported weights.
+        let lib = Library::synthetic(13);
+        let config = FrameworkConfig {
+            train: TrainConfig {
+                epochs: 25,
+                lr: 1e30,
+                max_retries: 4,
+                lr_backoff: 1e-29,
+                ..Default::default()
+            },
+            ts: TsOptions { contexts: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let designs = vec![
+            ("good1".to_string(), design(1, &lib)),
+            ("bad".to_string(), cyclic_design(&lib)),
+            ("good2".to_string(), design(2, &lib)),
+        ];
+
+        let mut plain_fw = Framework::new(config);
+        let plain = plain_fw.train(&designs, &lib).unwrap();
+        assert_eq!(plain.quarantined.len(), 1, "cycle design must quarantine");
+        assert!(plain.retries > 0, "absurd lr must trigger retries");
+        let plain_model = plain_fw.export_model().unwrap();
+
+        let mut full = MemStore::default();
+        let mut ckpt_fw = Framework::new(config);
+        let ckpted = ckpt_fw.train_ckpt(&designs, &lib, &mut full).unwrap();
+        assert_summaries_identical(&plain, &ckpted, "checkpointed vs plain");
+        assert_eq!(plain_model, ckpt_fw.export_model().unwrap());
+        let saves = full.saves();
+        assert!(saves >= 3, "TS chunks + train epochs + train_final, got {saves}");
+
+        // Kill after a spread of checkpoint writes, including 0 (nothing
+        // durable) and `saves` (everything durable, done markers lost).
+        let step = (saves / 5).max(1);
+        for kept in (0..=saves).step_by(step) {
+            let mut store = full.truncated(kept);
+            let mut fw = Framework::new(config);
+            let resumed = fw.train_ckpt(&designs, &lib, &mut store).unwrap();
+            assert_summaries_identical(&plain, &resumed, &format!("resume at save {kept}"));
+            assert_eq!(
+                plain_model,
+                fw.export_model().unwrap(),
+                "resume at save {kept}: exported weights must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn run_on_ckpt_resume_yields_byte_identical_macro_model() {
+        use tmm_ckpt::MemStore;
+        let lib = Library::synthetic(13);
+        let d = design(3, &lib);
+
+        let mut plain_fw = Framework::new(quick_config());
+        let plain = plain_fw.run_on(&d, &lib).unwrap();
+        let plain_text = plain.model.serialize();
+
+        let mut full = MemStore::default();
+        let mut ckpt_fw = Framework::new(quick_config());
+        let ckpted = ckpt_fw.run_on_ckpt(&d, &lib, &mut full).unwrap();
+        assert_eq!(plain_text, ckpted.model.serialize());
+        assert_eq!(plain.kept_pins, ckpted.kept_pins);
+        let saves = full.saves();
+
+        let step = (saves / 4).max(1);
+        for kept in (0..=saves).step_by(step) {
+            let mut store = full.truncated(kept);
+            let mut fw = Framework::new(quick_config());
+            let resumed = fw.run_on_ckpt(&d, &lib, &mut store).unwrap();
+            assert_eq!(
+                plain_text,
+                resumed.model.serialize(),
+                "resume at save {kept}: macro model must be byte-identical"
+            );
+            assert_eq!(plain.prediction.predicted_variant, resumed.prediction.predicted_variant);
+        }
+    }
+
+    #[test]
+    fn corrupt_train_final_artifact_is_a_classed_error_not_silent_reuse() {
+        use tmm_ckpt::MemStore;
+        let lib = Library::synthetic(13);
+        let designs = vec![("d1".to_string(), design(1, &lib))];
+        let mut full = MemStore::default();
+        let mut fw = Framework::new(quick_config());
+        fw.train_ckpt(&designs, &lib, &mut full).unwrap();
+
+        // Tamper with the sealed artifact but keep the done marker: resume
+        // must fail with a classed checkpoint error, never reuse garbage.
+        full.save(TRAIN_FINAL_STAGE, 0, "train_final v1 final_loss garbage").unwrap();
+        let mut fw2 = Framework::new(quick_config());
+        let err = fw2.train_ckpt(&designs, &lib, &mut full).unwrap_err();
+        assert_eq!(err.stage, Stage::Training);
+        assert!(
+            matches!(err.source, StaError::Validation { artifact: "checkpoint", .. }),
+            "{:?}",
+            err.source
+        );
     }
 
     #[test]

@@ -18,10 +18,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tmm_gnn::{GnnModel, ModelConfig, NeighborMode, NodeGraph, TrainConfig, TrainSample};
 use tmm_macromodel::eval::{evaluate, EvalOptions};
-use tmm_macromodel::{MacroModel, MacroModelOptions};
+use tmm_macromodel::{reduce_graph_via_view_ckpt, MacroModel, MacroModelOptions, ReducePolicy};
 use tmm_sensitivity::{
-    evaluate_ts, evaluate_ts_with_core, extract_features, pin_graph_edges, TsEngine, TsOptions,
-    TsResult,
+    evaluate_ts, evaluate_ts_with_core, evaluate_ts_with_core_ckpt, extract_features,
+    pin_graph_edges, TsEngine, TsOptions, TsResult,
 };
 use tmm_sta::compare::BoundarySnapshot;
 use tmm_sta::constraints::Context;
@@ -38,7 +38,7 @@ pub const SEM_TOL: f64 = 1e-9;
 
 /// Stable names of every check, in execution order. These names appear in
 /// reports, repro artifacts, and metrics labels, and are the replay keys.
-pub const CHECK_NAMES: [&str; 8] = [
+pub const CHECK_NAMES: [&str; 9] = [
     "engine-equality",
     "retime-equality",
     "ts-threads",
@@ -47,6 +47,7 @@ pub const CHECK_NAMES: [&str; 8] = [
     "ts-monotone-merge",
     "ilm-boundary",
     "cppr-credit",
+    "ckpt-replay",
 ];
 
 /// Per-check tuning knobs (kept small: differential coverage comes from
@@ -108,6 +109,7 @@ pub fn run_named(design: &DiffDesign, name: &str, opts: &CheckOptions) -> Option
         "ts-monotone-merge" => ts_monotone_merge(design, opts),
         "ilm-boundary" => ilm_boundary(design),
         "cppr-credit" => cppr_credit(design),
+        "ckpt-replay" => ckpt_replay(design, opts),
         other => Some(format!("unknown check '{other}'")),
     }
 }
@@ -632,6 +634,100 @@ fn cppr_credit(d: &DiffDesign) -> Option<String> {
                     ));
                 }
             }
+        }
+    }
+    None
+}
+
+/// Checkpoint replay equivalence: a TS sweep and a via-view reduction
+/// resumed from a *truncated prefix* of their own checkpoint writes (the
+/// state a kill mid-run leaves behind, completion markers dropped) must be
+/// bit-identical to the uninterrupted runs — same TS values, same
+/// quarantine attribution, same merge decisions, same reduced-graph
+/// boundary timing.
+fn ckpt_replay(d: &DiffDesign, opts: &CheckOptions) -> Option<String> {
+    use tmm_ckpt::MemStore;
+
+    // TS sweep: uninterrupted checkpointed run vs resumes from prefixes.
+    let cand = internal_candidates(&d.tainted);
+    let core = DesignCore::freeze(&d.tainted);
+    let ts_opts = TsOptions {
+        contexts: opts.ts_contexts.max(1),
+        engine: TsEngine::View,
+        ..Default::default()
+    };
+    let mut full = MemStore::new();
+    let complete = match evaluate_ts_with_core_ckpt(&core, &cand, &ts_opts, &mut full, "ts") {
+        Ok(r) => r,
+        Err(e) => return Some(format!("checkpointed TS sweep failed: {e}")),
+    };
+    for cut in [0, full.saves() / 2, full.saves().saturating_sub(1)] {
+        let mut store = full.truncated(cut);
+        let resumed = match evaluate_ts_with_core_ckpt(&core, &cand, &ts_opts, &mut store, "ts")
+        {
+            Ok(r) => r,
+            Err(e) => return Some(format!("TS resume from {cut} saved chunk(s) failed: {e}")),
+        };
+        if let Some(diff) =
+            ts_bit_diff(&complete, &resumed, &format!("TS resume from {cut} chunk(s)"))
+        {
+            return Some(diff);
+        }
+    }
+
+    // Via-view reduction: merge every other internal pin, kill between
+    // merge passes, resume, and require identical decisions and boundary.
+    let keep: Vec<bool> = (0..d.tainted.node_count())
+        .map(|i| !cand[i] || i % 2 == 0)
+        .collect();
+    let policy = ReducePolicy::default();
+    let mut rfull = MemStore::new();
+    let complete_red = match reduce_graph_via_view_ckpt(&core, &keep, &policy, &mut rfull, "merge")
+    {
+        Ok(r) => r,
+        Err(e) => return Some(format!("checkpointed reduction failed: {e}")),
+    };
+    let ctx = Context::nominal(&complete_red.graph);
+    let complete_an =
+        match Analysis::run_with_options(&complete_red.graph, &ctx, AnalysisOptions::default()) {
+            Ok(a) => a,
+            Err(e) => return Some(format!("analysis of the reduced graph failed: {e}")),
+        };
+    for cut in [0, rfull.saves() / 2, rfull.saves().saturating_sub(1)] {
+        let mut store = rfull.truncated(cut);
+        let resumed = match reduce_graph_via_view_ckpt(&core, &keep, &policy, &mut store, "merge")
+        {
+            Ok(r) => r,
+            Err(e) => return Some(format!("reduction resume from {cut} pass(es) failed: {e}")),
+        };
+        if resumed.stats != complete_red.stats {
+            return Some(format!(
+                "reduction resume from {cut} pass(es): stats {:?} vs {:?}",
+                resumed.stats, complete_red.stats
+            ));
+        }
+        if resumed.graph.live_nodes() != complete_red.graph.live_nodes()
+            || resumed.graph.live_arcs() != complete_red.graph.live_arcs()
+        {
+            return Some(format!(
+                "reduction resume from {cut} pass(es): {}/{} live nodes/arcs vs {}/{}",
+                resumed.graph.live_nodes(),
+                resumed.graph.live_arcs(),
+                complete_red.graph.live_nodes(),
+                complete_red.graph.live_arcs()
+            ));
+        }
+        let resumed_an =
+            match Analysis::run_with_options(&resumed.graph, &ctx, AnalysisOptions::default()) {
+                Ok(a) => a,
+                Err(e) => {
+                    return Some(format!(
+                        "analysis of the resumed reduction ({cut} pass(es)) failed: {e}"
+                    ))
+                }
+            };
+        if let Some(diff) = boundary_bit_diff(complete_an.boundary(), resumed_an.boundary()) {
+            return Some(format!("reduction resume from {cut} pass(es): {diff}"));
         }
     }
     None

@@ -64,6 +64,11 @@ pub struct DiffcheckOptions {
     /// Stop the sweep after this many confirmed findings (each finding is
     /// shrunk and packaged, which dwarfs the per-design check cost).
     pub max_findings: usize,
+    /// Per-stage deadline: when no design finishes (heartbeat) for this
+    /// many milliseconds, the process exits with code 6 instead of
+    /// hanging — the supervision nightly cron jobs rely on. `None`
+    /// disables the watchdog.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for DiffcheckOptions {
@@ -75,6 +80,7 @@ impl Default for DiffcheckOptions {
             check: CheckOptions::default(),
             inject: None,
             max_findings: 3,
+            deadline_ms: None,
         }
     }
 }
@@ -116,11 +122,22 @@ pub struct SweepOutcome {
 pub fn run_sweep(opts: &DiffcheckOptions) -> Result<SweepOutcome> {
     let mut sweep_span = tmm_obs::span("diffcheck_sweep", "diffcheck");
     sweep_span.arg("designs", &opts.designs.to_string());
+    // Completing a design beats the heartbeat (via set_stage); a single
+    // design hanging past the deadline aborts with the classed exit code
+    // 6 (the `tmm` CLI convention) instead of wedging the cron job.
+    let _watchdog = opts.deadline_ms.map(|ms| {
+        tmm_ckpt::StageSupervisor::start(
+            "diffcheck sweep",
+            std::time::Duration::from_millis(ms),
+            tmm_ckpt::DeadlineAction::Exit(6),
+        )
+    });
     let library = Library::synthetic(opts.library);
     let mut outcome = SweepOutcome::default();
     for idx in 0..opts.designs {
         let params = sample_params(&mut design_rng(opts.seed, idx));
         let name = format!("d{idx}");
+        tmm_ckpt::set_stage(&format!("diffcheck.{name}"));
         let design = DiffDesign::build(&library, &name, &params, opts.inject)?;
         outcome.designs_run += 1;
         if opts.inject.is_none() || design.injected {

@@ -304,6 +304,46 @@ mod tests {
         assert_eq!(clean.replay(&CheckOptions::default()).unwrap(), None);
     }
 
+    /// Satellite of the crash-safety work: a torn or corrupted `.repro.ron`
+    /// (the kind a killed writer or bit rot leaves behind) must surface as
+    /// a classed parse/replay error — never a panic, never a silent
+    /// "reproduces" on garbage.
+    #[test]
+    fn truncated_or_corrupt_artifacts_never_panic() {
+        let r = sample_repro(None);
+        let text = r.render();
+        let mut check = |hurt: String, what: String| {
+            let parsed = std::panic::catch_unwind(|| Repro::parse(&hurt));
+            let Ok(parse_result) = parsed else {
+                panic!("Repro::parse panicked on {what}");
+            };
+            if let Ok(repro) = parse_result {
+                // Still-parseable damage must be caught by replay's own
+                // consistency checks (or legitimately replay clean when
+                // the damage hit only ignorable bytes).
+                let replayed = std::panic::catch_unwind(|| repro.replay(&CheckOptions::default()));
+                assert!(replayed.is_ok(), "replay panicked on {what}");
+            }
+        };
+        // Byte truncations at every boundary-aligned cut.
+        let step = (text.len() / 61).max(1);
+        for cut in (0..text.len()).step_by(step) {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            check(text[..cut].to_string(), format!("truncation at byte {cut}"));
+        }
+        // Seeded fault-operator corruption (truncation at random points).
+        for seed in 0..24 {
+            check(
+                tmm_faults::corrupt_text(FaultOp::TruncateText, &text, seed),
+                format!("truncate-text seed {seed}"),
+            );
+        }
+        // An outright truncated artifact must not parse at all.
+        assert!(Repro::parse(&text[..text.len() / 2]).is_err());
+    }
+
     #[test]
     fn tampered_artifacts_are_rejected() {
         let r = sample_repro(None);

@@ -51,5 +51,6 @@ pub use kernels::{Backend, KernelPolicy};
 pub use matrix::Matrix;
 pub use metrics::{classify_metrics, ConfusionCounts};
 pub use model::{
-    Engine, GnnModel, ModelConfig, Task, TrainConfig, TrainReport, TrainSample, Workspace,
+    CkptHook, Engine, GnnModel, ModelConfig, Task, TrainConfig, TrainReport, TrainSample,
+    Workspace, TRAIN_STAGE,
 };

@@ -16,6 +16,28 @@ use crate::layers::{
 use crate::loss::{auto_pos_weight, bce_with_logits_into, mse_into};
 use crate::matrix::{sigmoid, Matrix};
 use crate::optim::Adam;
+use tmm_ckpt::{CkptError, StageStore};
+
+/// Stage name under which [`GnnModel::train_resumable`] records epoch
+/// checkpoints in its [`StageStore`].
+pub const TRAIN_STAGE: &str = "train";
+
+/// Epoch-checkpointing hook for [`GnnModel::train_resumable`]: where to
+/// persist mid-training state and how often.
+pub struct CkptHook<'a> {
+    /// Destination store (an on-disk `tmm_ckpt::Session` in the CLI, an
+    /// in-memory store in tests).
+    pub store: &'a mut dyn StageStore,
+    /// Save a checkpoint every this many epochs (`0` disables saving;
+    /// resume from an existing checkpoint still works).
+    pub every: usize,
+}
+
+impl std::fmt::Debug for CkptHook<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CkptHook").field("every", &self.every).finish()
+    }
+}
 
 /// Which GNN engine backs the model (§5.1: "other existing GNN models such
 /// as GCN … could also be embedded with our framework").
@@ -591,6 +613,37 @@ impl GnnModel {
     ///
     /// Panics if any sample's feature dimension differs from the model's.
     pub fn train(&mut self, samples: &[TrainSample], cfg: &TrainConfig) -> TrainReport {
+        match self.train_resumable(samples, cfg, None) {
+            Ok(report) => report,
+            Err(e) => unreachable!("training without a checkpoint store cannot fail: {e}"),
+        }
+    }
+
+    /// [`GnnModel::train`] with crash-safe epoch checkpointing: when a
+    /// `hook` is supplied, full optimiser state (weights, Adam moments,
+    /// best-epoch snapshot, early-stopping counters, loss history) is
+    /// persisted every `hook.every` epochs under the [`TRAIN_STAGE`]
+    /// stage, and an existing checkpoint in the store is loaded so
+    /// training continues from it. A resumed run is **bit-identical** to
+    /// one that was never interrupted — including divergence retries,
+    /// since the checkpoint carries the retry count and backed-off
+    /// learning rate, and a retry restarts from the seed-deterministic
+    /// initial weights.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError`] when a checkpoint fails to persist, load, or parse
+    /// (never with `hook = None` — the hookless path is infallible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample's feature dimension differs from the model's.
+    pub fn train_resumable(
+        &mut self,
+        samples: &[TrainSample],
+        cfg: &TrainConfig,
+        mut hook: Option<&mut CkptHook<'_>>,
+    ) -> Result<TrainReport, CkptError> {
         assert!(!samples.is_empty(), "training requires at least one sample");
         for s in samples {
             assert_eq!(s.features.cols(), self.in_dim, "feature dimension mismatch");
@@ -645,16 +698,54 @@ impl GnnModel {
         // report flags the run as diverged so callers can quarantine it.
         let mut span = tmm_obs::span("gnn_train", "gnn");
         let mut ws = Workspace::new(self);
+        // The initial snapshot MUST come from the fresh seed-deterministic
+        // weights, before any checkpoint restore: a divergence retry after
+        // resume restarts from the same place an uninterrupted run would.
         let initial = self.snapshot();
         let mut lr = cfg.lr;
         let mut retries = 0usize;
+        let mut next_seq: u64 = 0;
+        let mut resume: Option<TrainCheckpoint> = None;
+        if let Some(h) = hook.as_mut() {
+            if let Some(seq) = h.store.latest(TRAIN_STAGE) {
+                if let Some(payload) = h.store.load(TRAIN_STAGE, seq)? {
+                    let ck = TrainCheckpoint::from_text(&payload).map_err(|e| {
+                        CkptError::Corrupt(format!("train checkpoint {TRAIN_STAGE}/{seq}: {e}"))
+                    })?;
+                    lr = ck.lr;
+                    retries = ck.retries;
+                    next_seq = seq + 1;
+                    tmm_obs::counter_add("tmm_gnn_ckpt_resumes_total", &[], 1);
+                    tmm_obs::info(
+                        &[
+                            ("stage", "training"),
+                            ("epoch", &ck.epoch.to_string()),
+                            ("retries", &retries.to_string()),
+                        ],
+                        "resuming training from epoch checkpoint",
+                    );
+                    resume = Some(ck);
+                }
+            }
+        }
         loop {
-            match self.train_attempt(samples, cfg, pos_weight, splits.as_deref(), lr, &mut ws) {
+            match self.train_attempt(
+                samples,
+                cfg,
+                pos_weight,
+                splits.as_deref(),
+                lr,
+                retries,
+                resume.take(),
+                hook.as_deref_mut(),
+                &mut next_seq,
+                &mut ws,
+            )? {
                 Attempt::Completed(mut report) => {
                     report.retries = retries;
                     span.arg_f64("epochs", report.history.len() as f64);
                     span.arg_f64("retries", retries as f64);
-                    return report;
+                    return Ok(report);
                 }
                 Attempt::Diverged(mut report) => {
                     if retries < cfg.max_retries {
@@ -687,7 +778,7 @@ impl GnnModel {
                         self.restore(&initial);
                     }
                     span.arg("outcome", "diverged");
-                    return report;
+                    return Ok(report);
                 }
             }
         }
@@ -698,6 +789,7 @@ impl GnnModel {
     /// finite-loss checkpoint is copied into the workspace's preallocated
     /// snapshot buffers; apart from the first epoch sizing the workspace,
     /// steady-state epochs perform no heap allocation.
+    #[allow(clippy::too_many_arguments)] // internal seam between train_resumable and the epoch loop
     fn train_attempt(
         &mut self,
         samples: &[TrainSample],
@@ -705,8 +797,12 @@ impl GnnModel {
         pos_weight: f32,
         splits: Option<&[(Vec<bool>, Vec<bool>)]>,
         lr: f32,
+        retries: usize,
+        resume: Option<TrainCheckpoint>,
+        mut hook: Option<&mut CkptHook<'_>>,
+        next_seq: &mut u64,
         ws: &mut Workspace,
-    ) -> Attempt {
+    ) -> Result<Attempt, CkptError> {
         let pol = KernelPolicy { threads: cfg.threads, backend: cfg.backend };
         let mut opt = Adam::new(lr, cfg.weight_decay);
         let mut history = Vec::with_capacity(cfg.epochs);
@@ -717,11 +813,33 @@ impl GnnModel {
         let mut stopped_early = false;
         ws.has_best = false;
         ws.best_loss = f32::INFINITY;
+        let mut start_epoch = 0usize;
+        if let Some(ck) = resume {
+            if ck.params.len() != self.param_slots() {
+                return Err(CkptError::Corrupt(format!(
+                    "train checkpoint has {} parameter matrices, model has {}",
+                    ck.params.len(),
+                    self.param_slots()
+                )));
+            }
+            self.restore(&ck.params);
+            opt.restore_state(ck.opt_t, ck.opt_m, ck.opt_v);
+            if ck.has_best {
+                ws.best_weights = ck.best_weights;
+                ws.best_loss = ck.best_loss;
+                ws.has_best = true;
+            }
+            best_val = ck.best_val;
+            since_best = ck.since_best;
+            history = ck.history;
+            val_history = ck.val_history;
+            start_epoch = ck.epoch;
+        }
         // Epoch-granular instrumentation: while metrics are disabled this
         // is one relaxed load per epoch — no clocks, no allocation — which
         // keeps the steady-state zero-allocation guarantee intact.
         let obs_rows: usize = samples.iter().map(|s| s.features.rows()).sum();
-        for _epoch in 0..cfg.epochs {
+        for epoch in start_epoch..cfg.epochs {
             let epoch_start =
                 if tmm_obs::metrics_enabled() { Some(std::time::Instant::now()) } else { None };
             let mut epoch_loss = 0.0f32;
@@ -806,7 +924,7 @@ impl GnnModel {
                     val_history,
                     ..TrainReport::default()
                 };
-                return Attempt::Diverged(report);
+                return Ok(Attempt::Diverged(report));
             }
             if !ws.has_best || mean_loss < ws.best_loss {
                 self.snapshot_into(&mut ws.best_weights);
@@ -827,15 +945,41 @@ impl GnnModel {
                     }
                 }
             }
+            // Persist a resumable checkpoint on the epoch boundary. The
+            // hookless path is one `Option` check per epoch — no clocks,
+            // no allocation — preserving the zero-allocation guarantee.
+            if let Some(h) = hook.as_mut() {
+                if h.every > 0 && (epoch + 1) % h.every == 0 && epoch + 1 < cfg.epochs {
+                    let (m, v) = opt.moments();
+                    let ck = TrainCheckpoint {
+                        epoch: epoch + 1,
+                        retries,
+                        lr,
+                        params: self.snapshot(),
+                        opt_t: opt.timestep(),
+                        opt_m: m.to_vec(),
+                        opt_v: v.to_vec(),
+                        best_weights: if ws.has_best { ws.best_weights.clone() } else { Vec::new() },
+                        best_loss: ws.best_loss,
+                        has_best: ws.has_best,
+                        best_val,
+                        since_best,
+                        history: history.clone(),
+                        val_history: val_history.clone(),
+                    };
+                    h.store.save(TRAIN_STAGE, *next_seq, &ck.to_text())?;
+                    *next_seq += 1;
+                }
+            }
         }
         let final_loss = history.last().copied().unwrap_or(0.0);
-        Attempt::Completed(TrainReport {
+        Ok(Attempt::Completed(TrainReport {
             history,
             final_loss,
             val_history,
             stopped_early,
             ..TrainReport::default()
-        })
+        }))
     }
 }
 
@@ -889,6 +1033,11 @@ impl<'a> Tokens<'a> {
         t.parse().map_err(|_| ParseModelError(format!("bad integer `{t}`")))
     }
 
+    fn f32(&mut self) -> Result<f32, ParseModelError> {
+        let t = self.next()?;
+        t.parse().map_err(|_| ParseModelError(format!("bad float `{t}`")))
+    }
+
     fn matrix(&mut self) -> Result<Matrix, ParseModelError> {
         let rows = self.usize()?;
         let cols = self.usize()?;
@@ -908,6 +1057,135 @@ fn write_matrix(out: &mut String, m: &Matrix) {
         let _ = write!(out, " {v:e}");
     }
     let _ = writeln!(out);
+}
+
+/// Full mid-training state at one epoch boundary: everything
+/// [`GnnModel::train_resumable`] needs so a resumed run is bit-identical
+/// to an uninterrupted one. Serialised with the same `{v:e}` exact-f32
+/// text grammar as the model itself (`gnn_ckpt v1`).
+struct TrainCheckpoint {
+    epoch: usize,
+    retries: usize,
+    lr: f32,
+    params: Vec<Matrix>,
+    opt_t: u64,
+    opt_m: Vec<Matrix>,
+    opt_v: Vec<Matrix>,
+    best_weights: Vec<Matrix>,
+    best_loss: f32,
+    has_best: bool,
+    best_val: f32,
+    since_best: usize,
+    history: Vec<f32>,
+    val_history: Vec<f32>,
+}
+
+fn write_matrix_group(out: &mut String, key: &str, ms: &[Matrix]) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{key} {}", ms.len());
+    for m in ms {
+        write_matrix(out, m);
+    }
+}
+
+fn write_float_group(out: &mut String, key: &str, vs: &[f32]) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{key} {}", vs.len());
+    for v in vs {
+        let _ = write!(out, " {v:e}");
+    }
+    let _ = writeln!(out);
+}
+
+fn read_matrix_group(t: &mut Tokens<'_>, key: &str) -> Result<Vec<Matrix>, ParseModelError> {
+    t.expect(key)?;
+    let n = t.usize()?;
+    (0..n).map(|_| t.matrix()).collect()
+}
+
+fn read_float_group(t: &mut Tokens<'_>, key: &str) -> Result<Vec<f32>, ParseModelError> {
+    t.expect(key)?;
+    let n = t.usize()?;
+    (0..n).map(|_| t.f32()).collect()
+}
+
+impl TrainCheckpoint {
+    fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 * 1024);
+        let _ = writeln!(
+            out,
+            "gnn_ckpt v1 epoch {} retries {} lr {:e} opt_t {}",
+            self.epoch, self.retries, self.lr, self.opt_t
+        );
+        write_matrix_group(&mut out, "params", &self.params);
+        write_matrix_group(&mut out, "opt_m", &self.opt_m);
+        write_matrix_group(&mut out, "opt_v", &self.opt_v);
+        let _ = writeln!(
+            out,
+            "best {} loss {:e} val {:e} since {}",
+            u8::from(self.has_best),
+            self.best_loss,
+            self.best_val,
+            self.since_best
+        );
+        write_matrix_group(&mut out, "best_weights", &self.best_weights);
+        write_float_group(&mut out, "history", &self.history);
+        write_float_group(&mut out, "val_history", &self.val_history);
+        out.push_str("end\n");
+        out
+    }
+
+    fn from_text(src: &str) -> Result<TrainCheckpoint, ParseModelError> {
+        let mut t = Tokens { it: src.split_whitespace() };
+        t.expect("gnn_ckpt")?;
+        t.expect("v1")?;
+        t.expect("epoch")?;
+        let epoch = t.usize()?;
+        t.expect("retries")?;
+        let retries = t.usize()?;
+        t.expect("lr")?;
+        let lr = t.f32()?;
+        t.expect("opt_t")?;
+        let opt_t = t.u64()?;
+        let params = read_matrix_group(&mut t, "params")?;
+        let opt_m = read_matrix_group(&mut t, "opt_m")?;
+        let opt_v = read_matrix_group(&mut t, "opt_v")?;
+        t.expect("best")?;
+        let has_best = t.usize()? != 0;
+        t.expect("loss")?;
+        let best_loss = t.f32()?;
+        t.expect("val")?;
+        let best_val = t.f32()?;
+        t.expect("since")?;
+        let since_best = t.usize()?;
+        let best_weights = read_matrix_group(&mut t, "best_weights")?;
+        let history = read_float_group(&mut t, "history")?;
+        let val_history = read_float_group(&mut t, "val_history")?;
+        t.expect("end")?;
+        if opt_m.len() != opt_v.len() {
+            return Err(ParseModelError("optimiser moment counts disagree".into()));
+        }
+        if has_best && best_weights.len() != params.len() {
+            return Err(ParseModelError("best-weight count disagrees with params".into()));
+        }
+        Ok(TrainCheckpoint {
+            epoch,
+            retries,
+            lr,
+            params,
+            opt_t,
+            opt_m,
+            opt_v,
+            best_weights,
+            best_loss,
+            has_best,
+            best_val,
+            since_best,
+            history,
+            val_history,
+        })
+    }
 }
 
 impl GnnModel {
@@ -1097,6 +1375,96 @@ mod tests {
         assert!(!report.diverged, "backoff should have recovered: {report:?}");
         assert!(model.weights_finite());
         assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        use tmm_ckpt::MemStore;
+        let samples = vec![toy_sample(60, 7), toy_sample(40, 8)];
+        let mcfg = ModelConfig { hidden: 8, layers: 2, ..Default::default() };
+        let tcfg = TrainConfig { epochs: 24, patience: Some(50), ..Default::default() };
+
+        // Uninterrupted reference run, checkpointing every 4 epochs.
+        let mut full_store = MemStore::new();
+        let mut full_model = GnnModel::new(2, mcfg);
+        let full_report = full_model
+            .train_resumable(
+                &samples,
+                &tcfg,
+                Some(&mut CkptHook { store: &mut full_store, every: 4 }),
+            )
+            .unwrap();
+        let saves = full_store.saves();
+        assert!(saves >= 2, "expected several checkpoints, got {saves}");
+
+        // Simulate a kill after each checkpoint prefix: resume from the
+        // truncated store and demand bit-identical weights and history.
+        for kept in 0..=saves {
+            let mut store = full_store.truncated(kept);
+            let mut model = GnnModel::new(2, mcfg);
+            let report = model
+                .train_resumable(
+                    &samples,
+                    &tcfg,
+                    Some(&mut CkptHook { store: &mut store, every: 4 }),
+                )
+                .unwrap();
+            assert_eq!(model.to_text(), full_model.to_text(), "weights differ at kept={kept}");
+            assert_eq!(report.history, full_report.history, "history differs at kept={kept}");
+            assert_eq!(report.val_history, full_report.val_history, "kept={kept}");
+            assert_eq!(
+                report.final_loss.to_bits(),
+                full_report.final_loss.to_bits(),
+                "final loss differs at kept={kept}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_preserves_divergence_retries() {
+        use tmm_ckpt::MemStore;
+        let train = toy_sample(80, 4);
+        let mcfg = ModelConfig { hidden: 8, layers: 1, ..Default::default() };
+        let tcfg = TrainConfig {
+            epochs: 30,
+            lr: 1e30,
+            max_retries: 8,
+            lr_backoff: 1e-8,
+            ..Default::default()
+        };
+        let mut full_store = MemStore::new();
+        let mut full_model = GnnModel::new(2, mcfg);
+        let full_report = full_model
+            .train_resumable(
+                std::slice::from_ref(&train),
+                &tcfg,
+                Some(&mut CkptHook { store: &mut full_store, every: 8 }),
+            )
+            .unwrap();
+        assert!(full_report.retries > 0, "setup must trigger retries");
+        let saves = full_store.saves();
+        assert!(saves >= 1, "the recovered attempt must have checkpointed");
+
+        // Resuming mid-recovered-attempt must restore the backed-off lr
+        // and retry count, reproducing the uninterrupted run exactly.
+        for kept in 1..=saves {
+            let mut store = full_store.truncated(kept);
+            let mut model = GnnModel::new(2, mcfg);
+            let report = model
+                .train_resumable(
+                    std::slice::from_ref(&train),
+                    &tcfg,
+                    Some(&mut CkptHook { store: &mut store, every: 8 }),
+                )
+                .unwrap();
+            assert_eq!(report.retries, full_report.retries, "kept={kept}");
+            assert_eq!(model.to_text(), full_model.to_text(), "weights differ at kept={kept}");
+            assert_eq!(
+                report.final_loss.to_bits(),
+                full_report.final_loss.to_bits(),
+                "kept={kept}"
+            );
+        }
     }
 
     #[test]

@@ -90,6 +90,41 @@ impl Adam {
         }
     }
 
+    /// Number of update steps taken so far.
+    #[must_use]
+    pub fn timestep(&self) -> u64 {
+        self.t
+    }
+
+    /// The first/second-moment matrices in canonical parameter order
+    /// (empty before the first step).
+    #[must_use]
+    pub fn moments(&self) -> (&[Matrix], &[Matrix]) {
+        (&self.m, &self.v)
+    }
+
+    /// Restores the optimiser to a previously captured state: timestep
+    /// plus both moment vectors. Bias corrections are recomputed from `t`,
+    /// so an update sequence resumed here is bit-identical to one that
+    /// never stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two moment vectors disagree in length.
+    pub fn restore_state(&mut self, t: u64, m: Vec<Matrix>, v: Vec<Matrix>) {
+        assert_eq!(m.len(), v.len(), "moment vector count mismatch");
+        self.t = t;
+        if t > 0 {
+            self.b1t = 1.0 - self.beta1.powi(t as i32);
+            self.b2t = 1.0 - self.beta2.powi(t as i32);
+        } else {
+            self.b1t = 0.0;
+            self.b2t = 0.0;
+        }
+        self.m = m;
+        self.v = v;
+    }
+
     /// Applies one update step.
     ///
     /// # Panics

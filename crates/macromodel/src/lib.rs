@@ -47,5 +47,6 @@ pub use eval::{evaluate, EvalOptions, EvalResult};
 pub use ilm::{extract_ilm, IlmMask, IlmRegion};
 pub use model::{GenStats, MacroModel, MacroModelOptions};
 pub use reduce::{
-    reduce_graph, reduce_graph_via_view, ReduceEngine, ReducePolicy, ReduceStats, ViewReduction,
+    reduce_graph, reduce_graph_via_view, reduce_graph_via_view_ckpt, ReduceEngine, ReducePolicy,
+    ReduceStats, ViewReduction,
 };

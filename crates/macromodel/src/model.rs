@@ -100,6 +100,40 @@ impl MacroModel {
         keep: &[bool],
         options: &MacroModelOptions,
     ) -> Result<MacroModel> {
+        Self::generate_impl(flat, keep, options, None)
+    }
+
+    /// [`MacroModel::generate`] with crash-safe merge checkpointing: on the
+    /// [`ReduceEngine::View`] engine, each merge pass persists its decision
+    /// trace into `store` under `stage` (via
+    /// [`crate::reduce::reduce_graph_via_view_ckpt`]), so a killed
+    /// generation resumes mid-merge and produces a byte-identical model.
+    /// The [`ReduceEngine::InPlace`] oracle ignores the store.
+    ///
+    /// # Errors
+    ///
+    /// As [`MacroModel::generate`]; checkpoint-layer failures surface as
+    /// [`tmm_sta::StaError::Validation`] with artifact `"checkpoint"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != flat.node_count()`.
+    pub fn generate_ckpt(
+        flat: &ArcGraph,
+        keep: &[bool],
+        options: &MacroModelOptions,
+        store: &mut dyn tmm_ckpt::StageStore,
+        stage: &str,
+    ) -> Result<MacroModel> {
+        Self::generate_impl(flat, keep, options, Some((store, stage)))
+    }
+
+    fn generate_impl(
+        flat: &ArcGraph,
+        keep: &[bool],
+        options: &MacroModelOptions,
+        ckpt: Option<(&mut dyn tmm_ckpt::StageStore, &str)>,
+    ) -> Result<MacroModel> {
         assert_eq!(keep.len(), flat.node_count(), "keep mask size mismatch");
         let mut span = tmm_obs::span("macro_generate", "macromodel");
         let start = Instant::now();
@@ -111,7 +145,14 @@ impl MacroModel {
                 // The frozen core is shared (counted once); edits live in a
                 // small overlay until a single materialisation at the end.
                 let core = tmm_sta::view::DesignCore::freeze(&graph);
-                let vr = reduce_graph_via_view(&core, keep, &policy)?;
+                let vr = match ckpt {
+                    Some((store, stage)) => {
+                        crate::reduce::reduce_graph_via_view_ckpt(
+                            &core, keep, &policy, store, stage,
+                        )?
+                    }
+                    None => reduce_graph_via_view(&core, keep, &policy)?,
+                };
                 let mem = flat.memory_estimate() + core.memory_estimate() + vr.overlay_bytes;
                 graph = vr.graph;
                 (mem, vr.stats)
@@ -619,6 +660,72 @@ mod tests {
         // dangling arc reference
         let src = "macro_model \"x\" { wire 0 -> 1 delay 1e0 degrade 1e0 clock 0; }";
         assert!(MacroModel::parse(src).is_err());
+    }
+
+    #[test]
+    fn parse_never_panics_on_truncated_or_corrupt_input() {
+        use tmm_faults::{corrupt_text, FaultOp};
+        let g = flat();
+        let model =
+            MacroModel::generate(&g, &vec![false; g.node_count()], &MacroModelOptions::default())
+                .unwrap();
+        let text = model.serialize();
+        let check = |hurt: String, what: String| {
+            let outcome =
+                std::panic::catch_unwind(move || MacroModel::parse(&hurt).map(|_| ()));
+            let parsed = outcome.unwrap_or_else(|_| panic!("parse panicked on {what}"));
+            // Either a classed parse error or a complete, reloadable model
+            // (a cut in trailing whitespace is benign) — never partial
+            // state: `parse` returns a value only after the whole body and
+            // the re-toposort succeed.
+            if let Err(e) = parsed {
+                let msg = e.to_string();
+                assert!(!msg.is_empty(), "{what}: error must carry a message");
+            }
+        };
+        // The fault crate's truncation operator (seeded cut points) …
+        for seed in 0..48u64 {
+            check(
+                corrupt_text(FaultOp::TruncateText, &text, seed),
+                format!("truncate-text seed {seed}"),
+            );
+        }
+        // … plus deterministic byte-boundary cuts across the whole file,
+        // including cuts inside multi-byte tokens and mid-LUT.
+        let step = text.len() / 97 + 1;
+        for cut in (0..text.len()).step_by(step) {
+            check(text[..cut].to_string(), format!("byte cut at {cut}"));
+        }
+        // Structured corruption: swapped punctuation and injected garbage.
+        check(text.replace("->", "«"), "arrow replaced".to_string());
+        check(text.replace('{', ";"), "braces replaced".to_string());
+        check(format!("{text}\nwire 0 -> 99999 delay"), "dangling tail".to_string());
+    }
+
+    #[test]
+    fn generate_ckpt_resume_yields_byte_identical_serialized_model() {
+        use tmm_ckpt::{MemStore, StageStore};
+        let g = flat();
+        let keep = vec![false; g.node_count()];
+        let opts = MacroModelOptions::default();
+        let plain = MacroModel::generate(&g, &keep, &opts).unwrap();
+
+        let mut full = MemStore::default();
+        let ckpted = MacroModel::generate_ckpt(&g, &keep, &opts, &mut full, "merge").unwrap();
+        assert_eq!(plain.serialize(), ckpted.serialize());
+        assert!(full.is_done("merge"));
+
+        for kept_saves in 0..=full.saves() {
+            let mut store = full.truncated(kept_saves);
+            let resumed =
+                MacroModel::generate_ckpt(&g, &keep, &opts, &mut store, "merge").unwrap();
+            assert_eq!(
+                plain.serialize(),
+                resumed.serialize(),
+                "kept_saves={kept_saves}: resumed generation must serialize identically"
+            );
+            assert_eq!(plain.stats().reduce, resumed.stats().reduce);
+        }
     }
 
     #[test]

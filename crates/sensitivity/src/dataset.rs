@@ -8,7 +8,9 @@
 
 use crate::features::{extract_features, pin_graph_edges};
 use crate::filter::{filter_insensitive, FilterOptions, FilterResult};
-use crate::ts::{evaluate_ts, evaluate_ts_with_core, TsEngine, TsOptions, TsResult};
+use crate::ts::{
+    evaluate_ts, evaluate_ts_with_core, evaluate_ts_with_core_ckpt, TsEngine, TsOptions, TsResult,
+};
 use tmm_gnn::{NeighborMode, NodeGraph, TrainSample};
 use tmm_sta::cppr::cppr_crucial_pins;
 use tmm_sta::graph::ArcGraph;
@@ -65,6 +67,34 @@ impl PinDataset {
 ///
 /// Propagates analysis errors from filtering and TS evaluation.
 pub fn build_dataset(ilm: &ArcGraph, opts: &DatasetOptions) -> Result<PinDataset> {
+    build_dataset_impl(ilm, opts, None)
+}
+
+/// [`build_dataset`] with a crash-safe, resumable TS sweep: on the view
+/// engine the sweep checkpoints fixed-size pin chunks into `store` under
+/// `stage` (via [`evaluate_ts_with_core_ckpt`]), so a killed data
+/// generation run resumes where it stopped and produces a bit-identical
+/// dataset. The clone engine — the equivalence oracle, never the
+/// production path — runs plain.
+///
+/// # Errors
+///
+/// Propagates analysis errors; checkpoint-layer failures surface as
+/// [`tmm_sta::StaError::Validation`] with artifact `"checkpoint"`.
+pub fn build_dataset_ckpt(
+    ilm: &ArcGraph,
+    opts: &DatasetOptions,
+    store: &mut dyn tmm_ckpt::StageStore,
+    stage: &str,
+) -> Result<PinDataset> {
+    build_dataset_impl(ilm, opts, Some((store, stage)))
+}
+
+fn build_dataset_impl(
+    ilm: &ArcGraph,
+    opts: &DatasetOptions,
+    ckpt: Option<(&mut dyn tmm_ckpt::StageStore, &str)>,
+) -> Result<PinDataset> {
     let mut filter_opts = opts.filter;
     filter_opts.keep_cppr_pins = opts.cppr_mode;
 
@@ -79,7 +109,12 @@ pub fn build_dataset(ilm: &ArcGraph, opts: &DatasetOptions) -> Result<PinDataset
         TsEngine::View => {
             let core = DesignCore::freeze(ilm);
             let filter = filter_insensitive(&*core, &filter_opts)?;
-            let ts = evaluate_ts_with_core(&core, &filter.survivors, &ts_opts)?;
+            let ts = match ckpt {
+                Some((store, stage)) => {
+                    evaluate_ts_with_core_ckpt(&core, &filter.survivors, &ts_opts, store, stage)?
+                }
+                None => evaluate_ts_with_core(&core, &filter.survivors, &ts_opts)?,
+            };
             (filter, ts)
         }
         TsEngine::Clone => {

@@ -242,6 +242,10 @@ fn resolve_threads(configured: usize) -> usize {
     }
 }
 
+/// One pin's sweep outcome: its node index and either the measured TS or
+/// the rendered quarantine cause.
+type PinOutcome = (usize, std::result::Result<f64, String>);
+
 /// Runs `eval` over `work` on `threads` workers (sequentially when 1),
 /// quarantining per-pin failures. Work order — and therefore the failure
 /// list — is deterministic regardless of thread count.
@@ -255,7 +259,30 @@ fn sweep<F>(
 where
     F: Fn(usize) -> Result<f64> + Sync,
 {
-    let outcomes: Vec<(usize, std::result::Result<f64, String>)> = if threads <= 1 {
+    let outcomes = sweep_outcomes(work, threads, eval)?;
+    apply_outcomes(outcomes, ts, failures);
+    Ok(())
+}
+
+/// Stitches per-pin outcomes into the TS vector and failure list,
+/// preserving work order.
+fn apply_outcomes(outcomes: Vec<PinOutcome>, ts: &mut [f64], failures: &mut Vec<TsFailure>) {
+    for (i, outcome) in outcomes {
+        match outcome {
+            Ok(v) => ts[i] = v,
+            Err(cause) => failures.push(TsFailure { node: i, cause }),
+        }
+    }
+}
+
+/// The evaluation core of [`sweep`], returning per-pin outcomes in work
+/// order instead of applying them — the checkpointing path needs the
+/// outcome list itself to render a resumable chunk artifact.
+fn sweep_outcomes<F>(work: &[usize], threads: usize, eval: F) -> Result<Vec<PinOutcome>>
+where
+    F: Fn(usize) -> Result<f64> + Sync,
+{
+    let outcomes: Vec<PinOutcome> = if threads <= 1 {
         work.iter()
             .map(|&i| (i, eval(i).map_err(|e| e.to_string())))
             .collect()
@@ -267,7 +294,7 @@ where
             let handles: Vec<_> = work
                 .chunks(chunk)
                 .map(|part| {
-                    scope.spawn(|| -> Vec<(usize, std::result::Result<f64, String>)> {
+                    scope.spawn(|| -> Vec<PinOutcome> {
                         part.iter()
                             .map(|&i| (i, eval(i).map_err(|e| e.to_string())))
                             .collect()
@@ -289,13 +316,74 @@ where
         })?;
         parts.into_iter().flatten().collect()
     };
-    for (i, outcome) in outcomes {
-        match outcome {
-            Ok(v) => ts[i] = v,
-            Err(cause) => failures.push(TsFailure { node: i, cause }),
+    Ok(outcomes)
+}
+
+/// Pins per checkpointed TS chunk: small enough that a kill mid-sweep
+/// loses little work, large enough that artifact overhead stays noise.
+pub const TS_CKPT_CHUNK: usize = 32;
+
+/// Maps a checkpoint-layer failure into the STA error domain so TS
+/// callers keep a single error channel.
+fn ckpt_to_sta(e: tmm_ckpt::CkptError) -> tmm_sta::StaError {
+    tmm_sta::StaError::Validation { artifact: "checkpoint", errors: 1, first: e.to_string() }
+}
+
+/// Renders one chunk of pin outcomes as a checkpoint payload
+/// (`ts_chunk v1`): one line per pin, `{v:e}` exact-f64 values, the
+/// quarantine cause carried verbatim to end of line.
+fn render_ts_chunk(outcomes: &[PinOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("ts_chunk v1 {}\n", outcomes.len());
+    for (i, o) in outcomes {
+        match o {
+            Ok(v) => {
+                let _ = writeln!(out, "pin {i} ok {v:e}");
+            }
+            Err(cause) => {
+                let _ = writeln!(out, "pin {i} fail {}", cause.replace('\n', " "));
+            }
         }
     }
-    Ok(())
+    out
+}
+
+/// Parses a `ts_chunk v1` payload back into pin outcomes, verifying the
+/// recorded pins match `expect` (this run's deterministic work slice) so
+/// a chunk written against a different candidate set is rejected.
+fn parse_ts_chunk(payload: &str, expect: &[usize]) -> std::result::Result<Vec<PinOutcome>, String> {
+    let mut lines = payload.lines();
+    let header = lines.next().ok_or("empty chunk payload")?;
+    let mut h = header.split_whitespace();
+    if h.next() != Some("ts_chunk") || h.next() != Some("v1") {
+        return Err(format!("bad chunk header `{header}`"));
+    }
+    let count: usize =
+        h.next().and_then(|t| t.parse().ok()).ok_or_else(|| "bad chunk count".to_string())?;
+    let mut out: Vec<PinOutcome> = Vec::with_capacity(count);
+    for line in lines {
+        let rest = line.strip_prefix("pin ").ok_or_else(|| format!("bad chunk line `{line}`"))?;
+        let (idx, rest) =
+            rest.split_once(' ').ok_or_else(|| format!("bad chunk line `{line}`"))?;
+        let i: usize = idx.parse().map_err(|_| format!("bad pin index `{idx}`"))?;
+        if let Some(v) = rest.strip_prefix("ok ") {
+            let v: f64 = v.parse().map_err(|_| format!("bad TS value `{v}`"))?;
+            out.push((i, Ok(v)));
+        } else if let Some(cause) = rest.strip_prefix("fail ") {
+            out.push((i, Err(cause.to_string())));
+        } else if rest == "fail" {
+            out.push((i, Err(String::new())));
+        } else {
+            return Err(format!("bad chunk line `{line}`"));
+        }
+    }
+    if out.len() != count {
+        return Err(format!("chunk lists {} pins, header says {count}", out.len()));
+    }
+    if out.len() != expect.len() || out.iter().zip(expect).any(|((i, _), &e)| *i != e) {
+        return Err("chunk pins disagree with this run's work list".to_string());
+    }
+    Ok(out)
 }
 
 /// Evaluates the TS of every candidate pin of `graph` (Fig. 5 flow).
@@ -340,6 +428,41 @@ pub fn evaluate_ts_with_core(
     core: &Arc<DesignCore>,
     candidates: &[bool],
     opts: &TsOptions,
+) -> Result<TsResult> {
+    evaluate_ts_view_impl(core, candidates, opts, None)
+}
+
+/// [`evaluate_ts_with_core`] with crash-safe chunk checkpointing: the
+/// deterministic work list is processed in [`TS_CKPT_CHUNK`]-pin chunks,
+/// each persisted to `store` under `stage` as it completes and loaded
+/// back (instead of recomputed) on resume. Because chunks are stitched in
+/// index order, a resumed sweep is bit-identical to an uninterrupted one
+/// — TS values *and* failure ordering.
+///
+/// # Errors
+///
+/// Propagates reference-analysis errors; checkpoint-layer failures
+/// (unwritable store, corrupt or mismatched chunk artifact) surface as
+/// [`tmm_sta::StaError::Validation`] with artifact `"checkpoint"`.
+///
+/// # Panics
+///
+/// Panics if `candidates.len() != core.node_count()`.
+pub fn evaluate_ts_with_core_ckpt(
+    core: &Arc<DesignCore>,
+    candidates: &[bool],
+    opts: &TsOptions,
+    store: &mut dyn tmm_ckpt::StageStore,
+    stage: &str,
+) -> Result<TsResult> {
+    evaluate_ts_view_impl(core, candidates, opts, Some((store, stage)))
+}
+
+fn evaluate_ts_view_impl(
+    core: &Arc<DesignCore>,
+    candidates: &[bool],
+    opts: &TsOptions,
+    ckpt: Option<(&mut dyn tmm_ckpt::StageStore, &str)>,
 ) -> Result<TsResult> {
     let n = core.node_count();
     assert_eq!(candidates.len(), n, "candidate mask size mismatch");
@@ -388,30 +511,84 @@ pub fn evaluate_ts_with_core(
         Ok(total / references.len() as f64)
     };
     let mut failures = Vec::new();
-    if threads <= 1 {
-        let mut scratch = scratch_proto;
-        for &i in &work {
-            match timed_probe("view", || eval_pin(i, &mut scratch)) {
-                Ok(v) => ts[i] = v,
-                Err(e) => failures.push(TsFailure { node: i, cause: e.to_string() }),
+    match ckpt {
+        None if threads <= 1 => {
+            let mut scratch = scratch_proto;
+            for &i in &work {
+                match timed_probe("view", || eval_pin(i, &mut scratch)) {
+                    Ok(v) => ts[i] = v,
+                    Err(e) => failures.push(TsFailure { node: i, cause: e.to_string() }),
+                }
             }
         }
-    } else {
-        let scratch_proto = &scratch_proto;
-        let eval_pin = &eval_pin;
-        sweep(&work, threads, &mut ts, &mut failures, move |i| {
-            // Each sweep closure invocation runs on some worker; clone a
-            // fresh scratch per probe is wasteful, so use a thread-local.
-            thread_local! {
-                static SCRATCH: std::cell::RefCell<Option<RetimeScratch>> =
-                    const { std::cell::RefCell::new(None) };
+        None => {
+            let scratch_proto = &scratch_proto;
+            let eval_pin = &eval_pin;
+            sweep(&work, threads, &mut ts, &mut failures, move |i| {
+                // Each sweep closure invocation runs on some worker; clone a
+                // fresh scratch per probe is wasteful, so use a thread-local.
+                thread_local! {
+                    static SCRATCH: std::cell::RefCell<Option<RetimeScratch>> =
+                        const { std::cell::RefCell::new(None) };
+                }
+                SCRATCH.with(|cell| {
+                    let mut slot = cell.borrow_mut();
+                    let scratch = slot.get_or_insert_with(|| scratch_proto.clone());
+                    timed_probe("view", || eval_pin(i, scratch))
+                })
+            })?;
+        }
+        Some((store, stage)) => {
+            // Chunked, resumable sweep: a chunk already in the store is
+            // loaded instead of recomputed; a fresh chunk is evaluated with
+            // the same machinery as the hookless path and persisted before
+            // the next chunk starts. Stitching happens in chunk order, so
+            // TS values and the failure list come out identical either way.
+            let mut scratch = scratch_proto.clone();
+            for (c, chunk) in work.chunks(TS_CKPT_CHUNK).enumerate() {
+                let seq = c as u64;
+                let outcomes = match store.load(stage, seq).map_err(ckpt_to_sta)? {
+                    Some(payload) => parse_ts_chunk(&payload, chunk).map_err(|m| {
+                        ckpt_to_sta(tmm_ckpt::CkptError::Corrupt(format!(
+                            "TS chunk {stage}/{seq}: {m}"
+                        )))
+                    })?,
+                    None => {
+                        let outcomes: Vec<PinOutcome> = if threads <= 1 {
+                            chunk
+                                .iter()
+                                .map(|&i| {
+                                    let r = timed_probe("view", || eval_pin(i, &mut scratch));
+                                    (i, r.map_err(|e| e.to_string()))
+                                })
+                                .collect()
+                        } else {
+                            let scratch_proto = &scratch_proto;
+                            let eval_pin = &eval_pin;
+                            sweep_outcomes(chunk, threads.min(chunk.len()), move |i| {
+                                thread_local! {
+                                    static SCRATCH: std::cell::RefCell<Option<RetimeScratch>> =
+                                        const { std::cell::RefCell::new(None) };
+                                }
+                                SCRATCH.with(|cell| {
+                                    let mut slot = cell.borrow_mut();
+                                    let scratch =
+                                        slot.get_or_insert_with(|| scratch_proto.clone());
+                                    timed_probe("view", || eval_pin(i, scratch))
+                                })
+                            })?
+                        };
+                        store
+                            .save(stage, seq, &render_ts_chunk(&outcomes))
+                            .map_err(ckpt_to_sta)?;
+                        outcomes
+                    }
+                };
+                apply_outcomes(outcomes, &mut ts, &mut failures);
+                tmm_ckpt::heartbeat();
             }
-            SCRATCH.with(|cell| {
-                let mut slot = cell.borrow_mut();
-                let scratch = slot.get_or_insert_with(|| scratch_proto.clone());
-                timed_probe("view", || eval_pin(i, scratch))
-            })
-        })?;
+            store.mark_done(stage).map_err(ckpt_to_sta)?;
+        }
     }
     let evaluated = work.len() - failures.len();
     sweep_span.arg_f64("pins", work.len() as f64);
@@ -703,6 +880,102 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "thread count must not change results");
             }
         }
+    }
+
+    #[test]
+    fn ts_chunk_payload_round_trips() {
+        let outcomes: Vec<PinOutcome> = vec![
+            (3, Ok(0.125)),
+            (7, Err("probe exploded: node 7".into())),
+            (9, Err(String::new())),
+            (11, Ok(f64::MIN_POSITIVE)),
+        ];
+        let text = render_ts_chunk(&outcomes);
+        let parsed = parse_ts_chunk(&text, &[3, 7, 9, 11]).unwrap();
+        assert_eq!(parsed, outcomes);
+        // A chunk recorded against a different work slice is rejected.
+        assert!(parse_ts_chunk(&text, &[3, 7, 9, 12]).is_err());
+        assert!(parse_ts_chunk(&text, &[3, 7, 9]).is_err());
+        // A chunk missing lines disagrees with its own header count.
+        let torn: String =
+            text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        assert!(parse_ts_chunk(&torn, &[3, 7]).is_err());
+    }
+
+    fn big_graph() -> ArcGraph {
+        let lib = Library::synthetic(9);
+        let n = CircuitSpec::new("ts-big")
+            .inputs(6)
+            .outputs(6)
+            .register_banks(2, 6)
+            .cloud(3, 30)
+            .seed(17)
+            .generate(&lib)
+            .unwrap();
+        ArcGraph::from_netlist(&n, &lib).unwrap()
+    }
+
+    #[test]
+    fn chunked_checkpoint_resume_is_bit_identical() {
+        use std::sync::Arc;
+        use tmm_ckpt::{MemStore, StageStore};
+        let g = big_graph();
+        let cand = internal_candidates(&g);
+        let opts = TsOptions { contexts: 2, ..Default::default() };
+        let core: Arc<DesignCore> = DesignCore::freeze(&g);
+        let plain = evaluate_ts_with_core(&core, &cand, &opts).unwrap();
+
+        let mut full = MemStore::new();
+        let first = evaluate_ts_with_core_ckpt(&core, &cand, &opts, &mut full, "ts.big").unwrap();
+        assert_eq!(first.evaluated, plain.evaluated);
+        assert_eq!(first.failures, plain.failures);
+        for (x, y) in first.ts.iter().zip(&plain.ts) {
+            if x.is_finite() || y.is_finite() {
+                assert_eq!(x.to_bits(), y.to_bits(), "ckpt sweep differs from plain sweep");
+            }
+        }
+        let saves = full.saves();
+        assert!(saves >= 2, "work should span several chunks, got {saves}");
+
+        // Simulate a kill after each chunk prefix and resume.
+        for kept in 0..=saves {
+            let mut store = full.truncated(kept);
+            let again =
+                evaluate_ts_with_core_ckpt(&core, &cand, &opts, &mut store, "ts.big").unwrap();
+            assert_eq!(again.evaluated, plain.evaluated, "kept={kept}");
+            assert_eq!(again.skipped, plain.skipped, "kept={kept}");
+            assert_eq!(again.failures, plain.failures, "kept={kept}");
+            for (x, y) in again.ts.iter().zip(&plain.ts) {
+                if x.is_finite() || y.is_finite() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "resume differs at kept={kept}");
+                }
+            }
+            assert!(store.is_done("ts.big"), "resumed sweep must mark its stage done");
+        }
+    }
+
+    #[test]
+    fn stale_chunk_for_different_candidates_is_rejected() {
+        use std::sync::Arc;
+        use tmm_ckpt::MemStore;
+        let g = graph();
+        let cand = internal_candidates(&g);
+        let opts = TsOptions { contexts: 1, ..Default::default() };
+        let core: Arc<DesignCore> = DesignCore::freeze(&g);
+        let mut store = MemStore::new();
+        evaluate_ts_with_core_ckpt(&core, &cand, &opts, &mut store, "ts").unwrap();
+        // Drop the first candidate: the deterministic work list shifts, so
+        // every recorded chunk disagrees and must be rejected, not reused.
+        let mut fewer = cand.clone();
+        let first = cand.iter().position(|&c| c).unwrap();
+        fewer[first] = false;
+        let mut truncated = store.truncated(1);
+        let err = evaluate_ts_with_core_ckpt(&core, &fewer, &opts, &mut truncated, "ts")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("checkpoint"),
+            "expected a classed checkpoint error, got: {err}"
+        );
     }
 
     #[test]

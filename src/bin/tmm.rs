@@ -48,10 +48,18 @@
 //! | 3    | parse error (malformed artifact text)          |
 //! | 4    | validation error (well-formed but corrupt data)|
 //! | 5    | analysis/pipeline error                        |
+//! | 6    | stage deadline exceeded (watchdog abort)       |
+//!
+//! Code 6 is emitted directly by the deadline watchdog
+//! (`--stage-deadline-ms` / `--deadline-ms`): a stage that stops making
+//! progress is aborted rather than hung, and any checkpoints already on
+//! disk stay resumable.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 use timing_macro_gnn::circuits::CircuitSpec;
+use timing_macro_gnn::ckpt::{self, CkptError, DeadlineAction, Session, StageSupervisor};
 use timing_macro_gnn::core::{Framework, FrameworkConfig, Stage, TmmError};
 use timing_macro_gnn::gnn::GnnModel;
 use timing_macro_gnn::macromodel::baselines::{
@@ -81,6 +89,11 @@ enum ErrClass {
     Analysis = 5,
 }
 
+/// Exit code the deadline watchdog uses when a stage goes silent. Not an
+/// [`ErrClass`]: the watchdog exits the process directly rather than
+/// unwinding through `CliError`.
+const DEADLINE_EXIT: u8 = 6;
+
 #[derive(Debug)]
 struct CliError {
     class: ErrClass,
@@ -105,6 +118,18 @@ impl From<StaError> for CliError {
             StaError::ParseFormat { .. } => ErrClass::Parse,
             StaError::Validation { .. } => ErrClass::Validation,
             _ => ErrClass::Analysis,
+        };
+        CliError { class, msg: e.to_string() }
+    }
+}
+
+impl From<CkptError> for CliError {
+    fn from(e: CkptError) -> Self {
+        // Corrupt and mismatched checkpoints are data problems (the run
+        // must not silently reuse them); only Io is an environment one.
+        let class = match &e {
+            CkptError::Io(_) => ErrClass::Io,
+            CkptError::Corrupt(_) | CkptError::Mismatch(_) => ErrClass::Validation,
         };
         CliError { class, msg: e.to_string() }
     }
@@ -180,8 +205,11 @@ fn read_file(path: &str) -> Result<String, CliError> {
     std::fs::read_to_string(path).map_err(|e| CliError::io(format!("cannot read {path}: {e}")))
 }
 
+/// Atomic (temp-file + fsync + rename) write: no artifact this tool
+/// produces is ever observable in a torn state, even across a crash.
 fn write_file(path: &str, content: &str) -> CliResult {
-    std::fs::write(path, content).map_err(|e| CliError::io(format!("cannot write {path}: {e}")))
+    ckpt::atomic_write_str(path, content)
+        .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))
 }
 
 fn load_library(path: &str) -> Result<Library, CliError> {
@@ -247,6 +275,19 @@ fn cmd_model(args: &Args, report: &mut obs::RunReport) -> CliResult {
     // 1 = sequential (the default), 0 = one worker per hardware thread.
     // Any value is bit-identical to sequential; this only changes speed.
     let threads: usize = args.parsed("threads", "1")?;
+    // A stage going silent for longer than this aborts the process with
+    // exit code 6; checkpoints on disk stay resumable. 0 disables it.
+    let deadline_ms: u64 = args.parsed("stage-deadline-ms", "0")?;
+    let _watchdog = (deadline_ms > 0).then(|| {
+        StageSupervisor::start(
+            "tmm model",
+            Duration::from_millis(deadline_ms),
+            DeadlineAction::Exit(DEADLINE_EXIT),
+        )
+    });
+    if args.flags.contains_key("checkpoint-dir") && method != "ours" {
+        return Err(CliError::usage("--checkpoint-dir requires --method ours"));
+    }
 
     let netlist = load_netlist(design_path, &lib)?;
     report.design = netlist.name().to_string();
@@ -255,6 +296,7 @@ fn cmd_model(args: &Args, report: &mut obs::RunReport) -> CliResult {
         .map_err(|e| CliError { msg: format!("{design_path}: {e}"), ..CliError::from(e) })?;
 
     let opts = MacroModelOptions::default();
+    let mut session: Option<Session> = None;
     let model = match method.as_str() {
         "ours" => {
             let config = FrameworkConfig {
@@ -265,6 +307,25 @@ fn cmd_model(args: &Args, report: &mut obs::RunReport) -> CliResult {
             }
             .with_threads(threads);
             report.config_fingerprint = config.fingerprint();
+            if let Some(dir) = args.flags.get("checkpoint-dir") {
+                // The session binds its manifest to (config fingerprint,
+                // design); `--resume` against a stale pair is a classed
+                // error, never a silent reuse.
+                let s = Session::open(
+                    dir,
+                    &config.fingerprint(),
+                    netlist.name(),
+                    args.switch("resume"),
+                )?;
+                if s.resumed_entries() > 0 {
+                    eprintln!(
+                        "resuming from {} checkpoint entr(ies) in {dir}",
+                        s.resumed_entries()
+                    );
+                }
+                report.fact("ckpt_resumed_entries", s.resumed_entries());
+                session = Some(s);
+            }
             // Reuse a previously exported GNN when provided; otherwise
             // train on the design itself.
             let mut fw = match args.flags.get("gnn") {
@@ -278,12 +339,18 @@ fn cmd_model(args: &Args, report: &mut obs::RunReport) -> CliResult {
             if !fw.is_trained() {
                 // Quarantine warnings (per design and per TS sweep) are
                 // emitted by the framework's structured logger.
-                let summary =
-                    fw.train(&[(netlist.name().to_string(), netlist.clone())], &lib)?;
+                let designs = [(netlist.name().to_string(), netlist.clone())];
+                let summary = match session.as_mut() {
+                    Some(s) => fw.train_ckpt(&designs, &lib, s)?,
+                    None => fw.train(&designs, &lib)?,
+                };
                 report.fact("final_loss", format!("{:.6}", summary.final_loss));
                 report.fact("retries", summary.retries);
             }
-            let outcome = fw.run_on(&netlist, &lib)?;
+            let outcome = match session.as_mut() {
+                Some(s) => fw.run_on_ckpt(&netlist, &lib, s)?,
+                None => fw.run_on(&netlist, &lib)?,
+            };
             obs::info(
                 &[
                     ("variant", &outcome.prediction.predicted_variant.to_string()),
@@ -307,6 +374,11 @@ fn cmd_model(args: &Args, report: &mut obs::RunReport) -> CliResult {
     };
     let serialized = model.serialize();
     write_file(out, &serialized)?;
+    if let Some(s) = session.as_mut() {
+        // Bind the produced model to the checkpoint set; `tmm ckptcheck`
+        // cross-checks this note against the file it byte-compares.
+        s.note("macro_model_sum", &obs::fingerprint(&serialized))?;
+    }
     report.fact("kept_pins", model.stats().kept_pins);
     report.fact("flat_pins", model.stats().flat_pins);
     report.fact("model_bytes", serialized.len());
@@ -538,6 +610,7 @@ fn cmd_diffcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
         }
         None => None,
     };
+    let deadline_ms: u64 = args.parsed("deadline-ms", "0")?;
     let opts = diffcheck::DiffcheckOptions {
         seed: args.parsed("seed", "0")?,
         designs: args.parsed("designs", "50")?,
@@ -545,6 +618,8 @@ fn cmd_diffcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
         check,
         inject,
         max_findings: args.parsed("max-findings", "3")?,
+        // 0 disables the per-design deadline watchdog (exit code 6).
+        deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
     };
     let max_cells: usize = args.parsed("max-cells", "20")?;
     let out_dir = args.get_or("out-dir", ".");
@@ -659,13 +734,230 @@ fn cmd_obscheck(args: &Args) -> CliResult {
     Ok(())
 }
 
-const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|diffcheck|obscheck> [--flag value] [--switch]
+/// Spawns this same binary as a child `tmm` invocation with a controlled
+/// crash-injection environment (inherited `TMM_CRASH_AT`/tally vars are
+/// always scrubbed first so the harness composes with itself).
+fn run_tmm_child(
+    exe: &std::path::Path,
+    argv: &[String],
+    crash_at: Option<&str>,
+    tally_out: Option<&str>,
+) -> Result<std::process::Output, CliError> {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args(argv);
+    cmd.env_remove("TMM_CRASH_AT");
+    cmd.env_remove("TMM_CKPT_TALLY_OUT");
+    if let Some(spec) = crash_at {
+        cmd.env("TMM_CRASH_AT", spec);
+    }
+    if let Some(path) = tally_out {
+        cmd.env("TMM_CKPT_TALLY_OUT", path);
+    }
+    cmd.output()
+        .map_err(|e| CliError::io(format!("cannot spawn {}: {e}", exe.display())))
+}
+
+/// Last stderr line of a child run, for diagnostics.
+fn last_line(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).lines().last().unwrap_or("<no output>").to_string()
+}
+
+/// Extracts the `outcome` field from a run-report JSON document.
+fn report_outcome(json: &str) -> String {
+    json.split("\"outcome\": ")
+        .nth(1)
+        .and_then(|rest| rest.split('"').nth(1))
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Crash-injection sweep proving resume equivalence end to end. Runs the
+/// full `model` pipeline uninterrupted to enumerate its durable
+/// transitions (via the crash-point tally), kills fresh runs at seeded
+/// points spread across that range, resumes each from its checkpoint
+/// directory, and requires every resumed macro model to be byte-identical
+/// to the uninterrupted one (plus a matching manifest checksum note and
+/// run-report outcome class). Also probes the stale-checkpoint guard:
+/// resuming with a flipped configuration must exit with the validation
+/// code, never silently reuse the checkpoints.
+fn cmd_ckptcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
+    let design = args.required("design")?.to_string();
+    let lib = args.required("lib")?.to_string();
+    let out_dir = args.get_or("out-dir", "ckptcheck-out");
+    let kills: u64 = args.parsed("kills", "3")?;
+    let threads = args.get_or("threads", "1");
+    let base_cppr = args.switch("cppr");
+    let aocv = args.switch("aocv");
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::io(format!("cannot locate the tmm binary: {e}")))?;
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| CliError::io(format!("cannot create {out_dir}: {e}")))?;
+    report.design = design.clone();
+
+    let model_args = |ckpt_dir: &str, out: &str, resume: bool, cppr: bool| -> Vec<String> {
+        let mut v: Vec<String> = [
+            "model", "--design", &design, "--lib", &lib, "--out", out, "--checkpoint-dir",
+            ckpt_dir, "--threads", &threads,
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        if resume {
+            v.push("--resume".to_string());
+        }
+        if cppr {
+            v.push("--cppr".to_string());
+        }
+        if aocv {
+            v.push("--aocv".to_string());
+        }
+        v
+    };
+
+    // 1. Uninterrupted baseline: produces the reference model bytes and
+    //    the crash-point tally that enumerates every kill window.
+    let tally_path = format!("{out_dir}/tally.tmm");
+    let baseline_model = format!("{out_dir}/baseline.model.tmm");
+    let baseline_report = format!("{out_dir}/baseline.report.json");
+    let baseline_ckpt = format!("{out_dir}/ckpt-baseline");
+    let _ = std::fs::remove_dir_all(&baseline_ckpt);
+    let mut argv = model_args(&baseline_ckpt, &baseline_model, false, base_cppr);
+    argv.push("--report-out".to_string());
+    argv.push(baseline_report.clone());
+    let out0 = run_tmm_child(&exe, &argv, None, Some(&tally_path))?;
+    if !out0.status.success() {
+        return Err(CliError::validation(format!(
+            "uninterrupted baseline run failed: {}",
+            last_line(&out0.stderr)
+        )));
+    }
+    let baseline = read_file(&baseline_model)?;
+    let baseline_outcome = report_outcome(&read_file(&baseline_report)?);
+    let total: u64 = read_file(&tally_path)?
+        .lines()
+        .find_map(|l| l.strip_prefix("total "))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| CliError::validation(format!("{tally_path}: malformed crash tally")))?;
+    if total == 0 {
+        return Err(CliError::validation(
+            "baseline run hit no crash points (checkpointing inactive?)",
+        ));
+    }
+    eprintln!("baseline: {} model bytes, {total} crash point(s)", baseline.len());
+
+    // 2. Seeded kills spread across the run's durable transitions.
+    let picks: std::collections::BTreeSet<u64> =
+        (1..=kills.min(total)).map(|i| ((i * total) / (kills.min(total) + 1)).max(1)).collect();
+    let mut failures: Vec<String> = Vec::new();
+    for &k in &picks {
+        let ckpt_dir = format!("{out_dir}/ckpt-kill{k}");
+        let model_out = format!("{out_dir}/model-kill{k}.tmm");
+        let report_out = format!("{out_dir}/report-kill{k}.json");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let crashed = run_tmm_child(
+            &exe,
+            &model_args(&ckpt_dir, &model_out, false, base_cppr),
+            Some(&format!("*:{k}")),
+            None,
+        )?;
+        if crashed.status.success() {
+            failures.push(format!("kill at point {k}: run finished without crashing"));
+            continue;
+        }
+        let mut argv = model_args(&ckpt_dir, &model_out, true, base_cppr);
+        argv.push("--report-out".to_string());
+        argv.push(report_out.clone());
+        let resumed = run_tmm_child(&exe, &argv, None, None)?;
+        if !resumed.status.success() {
+            failures.push(format!(
+                "kill at point {k}: resume failed (exit {:?}): {}",
+                resumed.status.code(),
+                last_line(&resumed.stderr)
+            ));
+            continue;
+        }
+        let got = read_file(&model_out)?;
+        if got != baseline {
+            failures.push(format!(
+                "kill at point {k}: resumed model differs from the uninterrupted run \
+                 ({} vs {} bytes)",
+                got.len(),
+                baseline.len()
+            ));
+            continue;
+        }
+        let manifest_text = read_file(&format!("{ckpt_dir}/{}", ckpt::session::MANIFEST_FILE))?;
+        let manifest = ckpt::Manifest::parse(&manifest_text)?;
+        if manifest.note("macro_model_sum") != Some(obs::fingerprint(&got).as_str()) {
+            failures.push(format!(
+                "kill at point {k}: manifest model checksum note disagrees with the file"
+            ));
+            continue;
+        }
+        let outcome = report_outcome(&read_file(&report_out)?);
+        if outcome != baseline_outcome {
+            failures.push(format!(
+                "kill at point {k}: resumed outcome `{outcome}` differs from baseline \
+                 `{baseline_outcome}`"
+            ));
+            continue;
+        }
+        println!(
+            "kill at point {k}/{total}: resumed model byte-identical ({} bytes, outcome {outcome})",
+            got.len()
+        );
+    }
+
+    // 3. Stale-checkpoint guard: a resume under a different configuration
+    //    must be a classed refusal, never a silent reuse.
+    let probe = run_tmm_child(
+        &exe,
+        &model_args(&baseline_ckpt, &format!("{out_dir}/model-mismatch.tmm"), true, !base_cppr),
+        None,
+        None,
+    )?;
+    if probe.status.code() == Some(i32::from(ErrClass::Validation as u8)) {
+        println!("stale-checkpoint probe: flipped config rejected with exit 4");
+    } else {
+        failures.push(format!(
+            "stale-checkpoint probe: expected validation exit 4, got {:?}: {}",
+            probe.status.code(),
+            last_line(&probe.stderr)
+        ));
+    }
+
+    report.fact("points", total);
+    report.fact("kills", picks.len());
+    report.fact("failures", failures.len());
+    for f in &failures {
+        eprintln!("ckptcheck: {f}");
+    }
+    if failures.is_empty() {
+        println!(
+            "ckptcheck: {} kill/resume cycle(s) across {total} crash point(s) all byte-identical; \
+             stale-checkpoint guard verified",
+            picks.len()
+        );
+        Ok(())
+    } else {
+        Err(CliError::validation(format!(
+            "{} of {} crash-injection check(s) failed",
+            failures.len(),
+            picks.len() + 1
+        )))
+    }
+}
+
+const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|diffcheck|ckptcheck|obscheck> [--flag value] [--switch]
   gen      --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
   stats    --design <design.tmm> --lib <lib.tmm>
   model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
            [--method ours|itimerm|libabs|atm] [--gnn <gnn.tmm>] [--gnn-out <gnn.tmm>]
            [--cppr] [--aocv] [--threads <n>]  (TS sweep + GNN training/inference;
                                                1 = sequential, 0 = all cores, any n bit-identical)
+           [--checkpoint-dir <dir> [--resume]] [--stage-deadline-ms <n>]
+           (crash-safe checkpoints: a killed run resumed with --resume is
+            byte-identical to an uninterrupted one; stale checkpoints are rejected)
   time     --model <model.tmm> [--contexts <n>] [--context <ctx.tmm>] [--paths <k>]
            [--cppr] [--aocv]
   eval     --design <design.tmm> --lib <lib.tmm> --model <model.tmm>
@@ -675,8 +967,12 @@ const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|diff
   diffcheck [--seed <s>] [--designs <n>] [--library <s>] [--contexts <n>] [--threads <n>]
            [--probes <n>] [--max-findings <n>] [--out-dir <dir>]
            [--inject <fault-op> [--inject-seed <s>] [--max-cells <n>]]
-           [--replay <file.repro.ron>]
+           [--replay <file.repro.ron>] [--deadline-ms <n>]
            (cross-engine differential sweep; writes .repro.ron artifacts on divergence)
+  ckptcheck --design <design.tmm> --lib <lib.tmm> [--out-dir <dir>] [--kills <n>]
+           [--cppr] [--aocv] [--threads <n>]
+           (crash-injection sweep: kill `tmm model` at seeded checkpoint transitions,
+            resume each, require byte-identical models and a rejected stale resume)
   obscheck [--trace <trace.json> [--expect-stages a,b]] [--metrics <m.prom> [--min-series <n>]]
            [--report <report.json>] [--bench <BENCH.json>]
 observability (any command):
@@ -684,7 +980,7 @@ observability (any command):
   --metrics-out <m.prom>      record metrics, write Prometheus text exposition
   --report-out <report.json>  write a machine-readable run report
   --log-level <level>         error|warn|info|debug|trace (default warn; TMM_LOG fallback)
-exit codes: 0 ok, 1 usage, 2 i/o, 3 parse, 4 validation, 5 analysis";
+exit codes: 0 ok, 1 usage, 2 i/o, 3 parse, 4 validation, 5 analysis, 6 deadline exceeded";
 
 /// Enables the requested observability subsystems before the command runs.
 fn setup_observability(args: &Args) -> CliResult {
@@ -722,6 +1018,14 @@ fn write_observability(args: &Args, report: &mut obs::RunReport) -> CliResult {
 }
 
 fn main() -> ExitCode {
+    let code = run();
+    // Crash-point tally for `tmm ckptcheck` probe runs; a no-op unless
+    // TMM_CKPT_TALLY_OUT is set.
+    ckpt::write_tally_if_requested();
+    code
+}
+
+fn run() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!("{USAGE}");
@@ -751,6 +1055,7 @@ fn main() -> ExitCode {
         "context" => cmd_context(&args),
         "validate" => cmd_validate(&args, &mut report),
         "diffcheck" => cmd_diffcheck(&args, &mut report),
+        "ckptcheck" => cmd_ckptcheck(&args, &mut report),
         "obscheck" => cmd_obscheck(&args),
         other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
     };

@@ -44,6 +44,7 @@
 //! # }
 //! ```
 pub use tmm_circuits as circuits;
+pub use tmm_ckpt as ckpt;
 pub use tmm_core as core;
 pub use tmm_diffcheck as diffcheck;
 pub use tmm_faults as faults;
