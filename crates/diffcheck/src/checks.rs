@@ -17,11 +17,14 @@ use crate::design::DiffDesign;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tmm_gnn::{GnnModel, ModelConfig, NeighborMode, NodeGraph, TrainConfig, TrainSample};
+use tmm_faults::EcoStream;
 use tmm_macromodel::eval::{evaluate, EvalOptions};
-use tmm_macromodel::{reduce_graph_via_view_ckpt, MacroModel, MacroModelOptions, ReducePolicy};
+use tmm_macromodel::{
+    reduce_graph_via_view_ckpt, LutCache, MacroModel, MacroModelOptions, ReducePolicy,
+};
 use tmm_sensitivity::{
-    evaluate_ts, evaluate_ts_with_core, evaluate_ts_with_core_ckpt, extract_features,
-    pin_graph_edges, TsEngine, TsOptions, TsResult,
+    dirty_probe_set, evaluate_ts, evaluate_ts_incremental, evaluate_ts_with_core,
+    evaluate_ts_with_core_ckpt, extract_features, pin_graph_edges, TsEngine, TsOptions, TsResult,
 };
 use tmm_sta::compare::BoundarySnapshot;
 use tmm_sta::constraints::Context;
@@ -38,7 +41,7 @@ pub const SEM_TOL: f64 = 1e-9;
 
 /// Stable names of every check, in execution order. These names appear in
 /// reports, repro artifacts, and metrics labels, and are the replay keys.
-pub const CHECK_NAMES: [&str; 9] = [
+pub const CHECK_NAMES: [&str; 10] = [
     "engine-equality",
     "retime-equality",
     "ts-threads",
@@ -48,6 +51,7 @@ pub const CHECK_NAMES: [&str; 9] = [
     "ilm-boundary",
     "cppr-credit",
     "ckpt-replay",
+    "eco-equality",
 ];
 
 /// Per-check tuning knobs (kept small: differential coverage comes from
@@ -60,11 +64,23 @@ pub struct CheckOptions {
     pub threads: usize,
     /// Bypass probes per design in `retime-equality`.
     pub probes: usize,
+    /// Length of the seeded ECO edit stream driven by `eco-equality`.
+    pub eco_edits: usize,
+    /// Deliberately carry one stale dirty pin per edit in
+    /// `eco-equality`'s incremental sweep — the suite's self-test that
+    /// the prefix-replay oracle catches (and shrinks) a stale carry.
+    pub eco_stale_carry: bool,
 }
 
 impl Default for CheckOptions {
     fn default() -> Self {
-        CheckOptions { ts_contexts: 2, threads: 3, probes: 4 }
+        CheckOptions {
+            ts_contexts: 2,
+            threads: 3,
+            probes: 4,
+            eco_edits: 3,
+            eco_stale_carry: false,
+        }
     }
 }
 
@@ -110,6 +126,7 @@ pub fn run_named(design: &DiffDesign, name: &str, opts: &CheckOptions) -> Option
         "ilm-boundary" => ilm_boundary(design),
         "cppr-credit" => cppr_credit(design),
         "ckpt-replay" => ckpt_replay(design, opts),
+        "eco-equality" => eco_equality(design, opts),
         other => Some(format!("unknown check '{other}'")),
     }
 }
@@ -733,6 +750,214 @@ fn ckpt_replay(d: &DiffDesign, opts: &CheckOptions) -> Option<String> {
     None
 }
 
+/// The frozen core of the tainted twin plus the design's deterministic
+/// ECO stream (a pure function of the design seed and the edit budget).
+fn eco_stream_for(
+    d: &DiffDesign,
+    opts: &CheckOptions,
+) -> (std::sync::Arc<DesignCore>, EcoStream) {
+    let core = DesignCore::freeze(&d.tainted);
+    let stream = EcoStream::generate(&core, opts.eco_edits, d.params.seed ^ 0xec0);
+    (core, stream)
+}
+
+/// Deterministic keep mask from a TS sweep: non-candidate pins are always
+/// kept; a candidate is kept when its TS clears the median of the finite
+/// TS values. Both the median and the comparison use `f64::total_cmp`, so
+/// bit-identical sweeps yield identical masks — any mask difference traces
+/// back to a TS bit difference.
+fn keep_from_ts(ts: &TsResult, cand: &[bool]) -> Vec<bool> {
+    let mut finite: Vec<f64> = ts.ts.iter().copied().filter(|t| t.is_finite()).collect();
+    finite.sort_by(f64::total_cmp);
+    let threshold = finite.get(finite.len() / 2).copied();
+    cand.iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            if !c {
+                return true;
+            }
+            let t = ts.ts[i];
+            match threshold {
+                Some(th) => {
+                    !t.is_finite() || t.total_cmp(&th) != std::cmp::Ordering::Less
+                }
+                None => true,
+            }
+        })
+        .collect()
+}
+
+/// Streaming-ECO prefix-replay oracle, optionally restricted to the edits
+/// selected by `mask` (`None` = the whole stream).
+///
+/// Each selected edit is applied as a [`GraphView`] overlay edit over the
+/// previous core and re-frozen; the TS sweep is then run both
+/// *incrementally* (carrying every pin outside the edit's dirty cone from
+/// the previous sweep) and *from scratch*, and the macro model is
+/// regenerated both *patched* (LUT-fit cache carried across edits) and
+/// *from scratch*. The TS pair must agree bit-for-bit and the model pair
+/// byte-for-byte after every prefix.
+///
+/// With a partial mask, a masked-out edit may strand a survivor whose
+/// target (a buffer node or replacement arc created by the dropped edit)
+/// never came to exist; such edits are skipped, which is what makes the
+/// mask usable for delta-debugging a failing sequence.
+#[must_use]
+pub fn eco_equality_masked(
+    d: &DiffDesign,
+    opts: &CheckOptions,
+    mask: Option<&[bool]>,
+) -> Option<String> {
+    let ts_opts = TsOptions { contexts: opts.ts_contexts.max(1), ..Default::default() };
+    let mm_opts = MacroModelOptions::default();
+    let (core0, stream) = eco_stream_for(d, opts);
+    if stream.is_empty() {
+        return None;
+    }
+    let cand0 = internal_candidates(&d.tainted);
+    let mut previous = match evaluate_ts_with_core(&core0, &cand0, &ts_opts) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("baseline TS sweep failed: {e}")),
+    };
+    let mut core = core0;
+    let mut cache = LutCache::new();
+    for (k, edit) in stream.edits().iter().enumerate() {
+        if mask.is_some_and(|m| !m.get(k).copied().unwrap_or(false)) {
+            continue;
+        }
+        let what = format!("edit {k} ({})", edit.describe());
+        let mut view = GraphView::new(core.clone());
+        if let Err(e) = edit.apply(&mut view) {
+            if mask.is_none() {
+                // The full stream applies cleanly by construction; an
+                // apply failure means id stability broke somewhere.
+                return Some(format!("{what}: failed to apply: {e}"));
+            }
+            continue;
+        }
+        let changed = view.edited_nodes();
+        let edited = match view.materialize() {
+            Ok(g) => g,
+            Err(e) => return Some(format!("{what}: materialize failed: {e}")),
+        };
+        let new_core = DesignCore::freeze(&edited);
+        let cand = internal_candidates(&edited);
+        let old_nodes = tmm_sta::view::TimingGraph::node_count(&*core);
+        let mut dirty = dirty_probe_set(&new_core, &changed, old_nodes);
+        if opts.eco_stale_carry {
+            // Injected bug: declare the first recomputable dirty pin
+            // clean, so the incremental sweep carries its stale value.
+            if let Some(i) = (0..dirty.len()).find(|&i| {
+                dirty[i] && cand[i] && previous.ts.get(i).is_some_and(|t| t.is_finite())
+            }) {
+                dirty[i] = false;
+            }
+        }
+        let inc = match evaluate_ts_incremental(&new_core, &cand, &ts_opts, &previous, &dirty) {
+            Ok(r) => r,
+            Err(e) => return Some(format!("{what}: incremental TS sweep failed: {e}")),
+        };
+        let scratch = match evaluate_ts_with_core(&new_core, &cand, &ts_opts) {
+            Ok(r) => r,
+            Err(e) => return Some(format!("{what}: from-scratch TS sweep failed: {e}")),
+        };
+        if let Some(diff) =
+            ts_bit_diff(&inc, &scratch, &format!("{what}: incremental vs scratch TS"))
+        {
+            return Some(diff);
+        }
+        let keep_inc = keep_from_ts(&inc, &cand);
+        let keep_scratch = keep_from_ts(&scratch, &cand);
+        let patched = match MacroModel::generate_patched(&edited, &keep_inc, &mm_opts, &mut cache)
+        {
+            Ok(m) => m,
+            Err(e) => return Some(format!("{what}: patched generation failed: {e}")),
+        };
+        let rebuilt = match MacroModel::generate(&edited, &keep_scratch, &mm_opts) {
+            Ok(m) => m,
+            Err(e) => return Some(format!("{what}: from-scratch generation failed: {e}")),
+        };
+        let (pa, pb) = (patched.serialize(), rebuilt.serialize());
+        if pa != pb {
+            return Some(format!(
+                "{what}: patched macro differs from a from-scratch rebuild ({} vs {} bytes)",
+                pa.len(),
+                pb.len()
+            ));
+        }
+        previous = inc;
+        core = new_core;
+    }
+    None
+}
+
+/// Delta-debugs a failing edit stream to a locally minimal failing
+/// subsequence: classic ddmin over the edit-inclusion mask, re-running
+/// the prefix-replay oracle on each candidate subset.
+fn ddmin_edit_mask(
+    d: &DiffDesign,
+    opts: &CheckOptions,
+    len: usize,
+    full_detail: String,
+) -> (Vec<bool>, String) {
+    let mut mask = vec![true; len];
+    let mut detail = full_detail;
+    let mut granularity = 2usize;
+    loop {
+        let active: Vec<usize> = (0..len).filter(|&i| mask[i]).collect();
+        if active.len() <= 1 {
+            break;
+        }
+        let gran = granularity.min(active.len());
+        let chunk = active.len().div_ceil(gran);
+        let mut reduced = false;
+        for part in active.chunks(chunk) {
+            let mut trial = mask.clone();
+            for &i in part {
+                trial[i] = false;
+            }
+            if let Some(dd) = eco_equality_masked(d, opts, Some(&trial)) {
+                mask = trial;
+                detail = dd;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            granularity = 2;
+        } else if gran >= active.len() {
+            break;
+        } else {
+            granularity = (gran * 2).min(active.len());
+        }
+    }
+    (mask, detail)
+}
+
+/// Streaming-ECO equality: after every prefix of the design's seeded ECO
+/// stream, the incrementally regenerated macro (cone-limited TS carry +
+/// cached LUT fits) must be byte-identical to a from-scratch rebuild. On
+/// divergence the edit stream is delta-debugged to a minimal failing
+/// subsequence, which is reported in the detail (and thus lands in the
+/// repro artifact).
+fn eco_equality(d: &DiffDesign, opts: &CheckOptions) -> Option<String> {
+    let detail = eco_equality_masked(d, opts, None)?;
+    let (_, stream) = eco_stream_for(d, opts);
+    let (mask, min_detail) = ddmin_edit_mask(d, opts, stream.len(), detail);
+    let kept: Vec<String> = stream
+        .edits()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask.get(*i).copied().unwrap_or(false))
+        .map(|(i, e)| format!("#{i} {}", e.describe()))
+        .collect();
+    Some(format!(
+        "minimal failing edit sequence [{}] of {} edits: {min_detail}",
+        kept.join(", "),
+        stream.len(),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -777,5 +1002,41 @@ mod tests {
     fn unknown_check_is_a_divergence() {
         let d = clean_design(0);
         assert!(run_named(&d, "no-such-check", &CheckOptions::default()).is_some());
+    }
+
+    /// The oracle's own self-test: deliberately carrying one stale dirty
+    /// pin per edit must be caught, and the reported detail must carry a
+    /// delta-debugged minimal edit subsequence.
+    #[test]
+    fn eco_stale_carry_injection_is_caught_and_shrunk() {
+        let opts = CheckOptions { eco_stale_carry: true, eco_edits: 6, ..Default::default() };
+        let mut caught = false;
+        for idx in 0..4 {
+            let d = clean_design(idx);
+            let Some(detail) = run_named(&d, "eco-equality", &opts) else { continue };
+            assert!(
+                detail.contains("minimal failing edit sequence"),
+                "divergence must be shrunk to a minimal sequence: {detail}"
+            );
+            assert!(
+                detail.contains("incremental vs scratch TS"),
+                "a stale carry must surface as a TS bit difference: {detail}"
+            );
+            caught = true;
+            break;
+        }
+        assert!(caught, "stale-carry injection must diverge on at least one design");
+    }
+
+    /// A fully masked-out stream runs no edits and therefore passes even
+    /// with the staleness bug armed — the mask is a faithful subset
+    /// selector, not an approximation.
+    #[test]
+    fn empty_edit_mask_is_trivially_clean() {
+        let opts = CheckOptions { eco_stale_carry: true, eco_edits: 6, ..Default::default() };
+        let d = clean_design(1);
+        let (_, stream) = super::eco_stream_for(&d, &opts);
+        let mask = vec![false; stream.len()];
+        assert_eq!(eco_equality_masked(&d, &opts, Some(&mask)), None);
     }
 }

@@ -37,7 +37,9 @@ pub mod design;
 pub mod repro;
 pub mod shrink;
 
-pub use checks::{run_all, run_named, CheckOptions, Divergence, CHECK_NAMES};
+pub use checks::{
+    eco_equality_masked, run_all, run_named, CheckOptions, Divergence, CHECK_NAMES,
+};
 pub use design::{design_rng, graph_fault_by_name, sample_params, DiffDesign};
 pub use repro::{package, Repro, SCHEMA};
 pub use shrink::{shrink_design, ShrinkResult};

@@ -1,0 +1,376 @@
+//! Seeded, replayable ECO (engineering change order) edit streams.
+//!
+//! Where [`crate::FaultOp`] models *damage* — corruption a robust
+//! pipeline must reject — an [`EcoOp`] models *legitimate change*: the
+//! small, local netlist edits a physical-design flow emits after timing
+//! closure (cell resizes, buffer insertions, cell deletions). The
+//! streaming-ECO pipeline replays these against a frozen
+//! [`DesignCore`] as [`GraphView`] overlay edits and regenerates the
+//! macro model incrementally; the differential checker then asserts the
+//! incremental result is byte-identical to a from-scratch rebuild after
+//! every prefix of the stream.
+//!
+//! Determinism contract: an [`EcoStream`] is a pure function of
+//! `(core, edit count, seed)`. Edit `k` is drawn from an RNG seeded by
+//! `seed ^ (k · 0x9E37_79B9)` against the view state *after* edits
+//! `0..k`, so every prefix of a stream equals the stream generated with
+//! that prefix length — the property the prefix-replay oracle depends
+//! on. All operators are data-path only: clock arcs, clock-network
+//! nodes, ports and flip-flop pins are never touched, which keeps
+//! boundary reachability (and with it the TS denominator structure)
+//! intact across the stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tmm_sta::graph::{ArcId, NodeId};
+use tmm_sta::view::{DesignCore, GraphView, TimingGraph};
+
+/// One ECO operator kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EcoOp {
+    /// Replace a cell arc with a copy whose delay/slew tables are scaled
+    /// by a factor (modelling a drive-strength swap).
+    CellResize,
+    /// Split an arc `u → v` into `u → b → v` with a new buffer node `b`.
+    BufferInsert,
+    /// Remove a bypassable internal node, serially merging its arcs.
+    CellDelete,
+}
+
+impl EcoOp {
+    /// Every operator, in a stable order.
+    pub const ALL: [EcoOp; 3] = [EcoOp::CellResize, EcoOp::BufferInsert, EcoOp::CellDelete];
+
+    /// Stable lower-case name for reports and bench records.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EcoOp::CellResize => "cell-resize",
+            EcoOp::BufferInsert => "buffer-insert",
+            EcoOp::CellDelete => "cell-delete",
+        }
+    }
+}
+
+/// One concrete, fully-resolved edit of an [`EcoStream`].
+///
+/// Targets are stored as raw ids against the deterministic id sequence
+/// of the stream's core: edit `k` may reference arcs/nodes created by
+/// edits `0..k` (replacement arcs and buffer nodes get ids continuing
+/// after the core's slots, in creation order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcoEdit {
+    /// Scale arc `arc`'s timing by `factor`.
+    CellResize {
+        /// Target arc id.
+        arc: u32,
+        /// Finite, positive scale factor.
+        factor: f64,
+    },
+    /// Insert buffer node `name` on arc `arc` with a trailing wire of
+    /// `wire_delay` ps.
+    BufferInsert {
+        /// Target arc id.
+        arc: u32,
+        /// Name of the new buffer node.
+        name: String,
+        /// Wire delay (ps) of the buffer-to-sink arc.
+        wire_delay: f64,
+    },
+    /// Bypass (serially merge away) node `node`.
+    CellDelete {
+        /// Target node id.
+        node: u32,
+    },
+}
+
+impl EcoEdit {
+    /// The operator kind of this edit.
+    #[must_use]
+    pub fn op(&self) -> EcoOp {
+        match self {
+            EcoEdit::CellResize { .. } => EcoOp::CellResize,
+            EcoEdit::BufferInsert { .. } => EcoOp::BufferInsert,
+            EcoEdit::CellDelete { .. } => EcoOp::CellDelete,
+        }
+    }
+
+    /// Applies this edit to `view`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`tmm_sta::StaError::IllegalEdit`] when the target is
+    /// no longer eligible — impossible when the edits of a stream are
+    /// applied in prefix order to a fresh view of the stream's core.
+    pub fn apply(&self, view: &mut GraphView) -> tmm_sta::Result<()> {
+        match self {
+            EcoEdit::CellResize { arc, factor } => {
+                view.resize_arc(ArcId(*arc), *factor).map(|_| ())
+            }
+            EcoEdit::BufferInsert { arc, name, wire_delay } => {
+                view.insert_node_on_arc(ArcId(*arc), name, *wire_delay).map(|_| ())
+            }
+            EcoEdit::CellDelete { node } => view.bypass_node(NodeId(*node)),
+        }
+    }
+
+    /// One-line human-readable description, stable across runs.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            EcoEdit::CellResize { arc, factor } => {
+                format!("{} arc {} x{:.4}", self.op().name(), arc, factor)
+            }
+            EcoEdit::BufferInsert { arc, name, wire_delay } => {
+                format!("{} arc {} {} +{:.2}ps", self.op().name(), arc, name, wire_delay)
+            }
+            EcoEdit::CellDelete { node } => format!("{} node {}", self.op().name(), node),
+        }
+    }
+}
+
+/// A deterministic sequence of ECO edits over one frozen core.
+#[derive(Debug, Clone)]
+pub struct EcoStream {
+    seed: u64,
+    edits: Vec<EcoEdit>,
+}
+
+impl EcoStream {
+    /// Generates a stream of up to `count` edits against `core`,
+    /// deterministically in `seed`. Each edit is drawn against the view
+    /// state left by its predecessors, so it is guaranteed to apply
+    /// cleanly in sequence; generation stops early only when the design
+    /// runs out of eligible edit sites (tiny designs under heavy
+    /// deletion).
+    #[must_use]
+    pub fn generate(core: &Arc<DesignCore>, count: usize, seed: u64) -> EcoStream {
+        let mut sim = GraphView::new(core.clone());
+        let mut edits = Vec::with_capacity(count);
+        for idx in 0..count {
+            let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
+            let Some(edit) = next_edit(&mut sim, &mut rng, idx) else {
+                break;
+            };
+            if edit.apply(&mut sim).is_err() {
+                break;
+            }
+            edits.push(edit);
+        }
+        EcoStream { seed, edits }
+    }
+
+    /// The seed this stream was generated with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The edits, in application order.
+    #[must_use]
+    pub fn edits(&self) -> &[EcoEdit] {
+        &self.edits
+    }
+
+    /// Number of edits in the stream.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// `true` when the stream holds no edits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Applies the first `prefix` edits to a fresh view of `core` and
+    /// returns it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing edit (impossible when `core` is the
+    /// stream's own core and `prefix ≤ len()`).
+    pub fn apply_prefix(
+        &self,
+        core: &Arc<DesignCore>,
+        prefix: usize,
+    ) -> tmm_sta::Result<GraphView> {
+        let mut view = GraphView::new(core.clone());
+        for edit in &self.edits[..prefix.min(self.edits.len())] {
+            edit.apply(&mut view)?;
+        }
+        Ok(view)
+    }
+}
+
+/// Arc ids currently eligible for a data-path edit: live, not hidden,
+/// not on the clock network, both endpoints live.
+fn eligible_arcs(view: &GraphView) -> Vec<u32> {
+    let total = view.core().arc_count() + view.extra_arc_ids().count();
+    (0..total as u32)
+        .filter(|&i| {
+            let id = ArcId(i);
+            if view.arc_hidden(id) {
+                return false;
+            }
+            let arc = TimingGraph::arc(view, id);
+            !arc.dead
+                && !arc.is_clock
+                && !TimingGraph::node_dead(view, arc.from)
+                && !TimingGraph::node_dead(view, arc.to)
+        })
+        .collect()
+}
+
+/// Node ids currently eligible for deletion: bypassable internal
+/// data-path nodes with at least one fan-in *and* one fan-out, so the
+/// merge preserves every through-path (and with it boundary
+/// reachability).
+fn eligible_deletes(view: &GraphView) -> Vec<u32> {
+    (0..view.core().node_count() as u32)
+        .filter(|&i| {
+            let n = NodeId(i);
+            view.can_bypass(n)
+                && !TimingGraph::node(view, n).is_clock_network
+                && TimingGraph::in_degree(view, n) >= 1
+                && TimingGraph::out_degree(view, n) >= 1
+        })
+        .collect()
+}
+
+fn next_edit(sim: &mut GraphView, rng: &mut StdRng, idx: usize) -> Option<EcoEdit> {
+    // Weighted draw: resizes dominate real ECO streams; deletions are
+    // rarest because each one permanently shrinks the candidate pool.
+    let roll = rng.gen_range(0u32..10);
+    let preferred = if roll < 5 {
+        EcoOp::CellResize
+    } else if roll < 8 {
+        EcoOp::BufferInsert
+    } else {
+        EcoOp::CellDelete
+    };
+    // Deterministic fallback order when the preferred op has no site.
+    let order = [preferred, EcoOp::CellResize, EcoOp::BufferInsert, EcoOp::CellDelete];
+    for op in order {
+        match op {
+            EcoOp::CellResize => {
+                let arcs = eligible_arcs(sim);
+                if arcs.is_empty() {
+                    continue;
+                }
+                let arc = arcs[rng.gen_range(0..arcs.len())];
+                // 0.6..0.95 models an upsize (faster), 1.05..1.5 a
+                // downsize; skip the no-op band around 1.0.
+                let factor = if rng.gen_bool(0.5) {
+                    rng.gen_range(0.60..0.95)
+                } else {
+                    rng.gen_range(1.05..1.50)
+                };
+                return Some(EcoEdit::CellResize { arc, factor });
+            }
+            EcoOp::BufferInsert => {
+                let arcs = eligible_arcs(sim);
+                if arcs.is_empty() {
+                    continue;
+                }
+                let arc = arcs[rng.gen_range(0..arcs.len())];
+                let wire_delay = rng.gen_range(0.5..6.0);
+                return Some(EcoEdit::BufferInsert {
+                    arc,
+                    name: format!("eco_buf_{idx}"),
+                    wire_delay,
+                });
+            }
+            EcoOp::CellDelete => {
+                let nodes = eligible_deletes(sim);
+                if nodes.is_empty() {
+                    continue;
+                }
+                let node = nodes[rng.gen_range(0..nodes.len())];
+                return Some(EcoEdit::CellDelete { node });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmm_sta::constraints::Context;
+    use tmm_sta::graph::ArcGraph;
+    use tmm_sta::liberty::Library;
+    use tmm_sta::propagate::Analysis;
+
+    fn demo_core() -> (ArcGraph, Arc<DesignCore>) {
+        let lib = Library::synthetic(5);
+        let netlist = tmm_circuits::CircuitSpec::new("eco_demo")
+            .inputs(3)
+            .outputs(3)
+            .register_banks(1, 3)
+            .cloud(2, 4)
+            .seed(41)
+            .generate(&lib)
+            .unwrap();
+        let g = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+        let core = DesignCore::freeze(&g);
+        (g, core)
+    }
+
+    #[test]
+    fn streams_are_replay_deterministic_and_prefix_stable() {
+        let (_, core) = demo_core();
+        let a = EcoStream::generate(&core, 25, 7);
+        let b = EcoStream::generate(&core, 25, 7);
+        assert_eq!(a.edits(), b.edits(), "same seed must replay identically");
+        assert!(!a.is_empty());
+        // Prefix property: the first k edits of a longer stream equal
+        // the k-edit stream.
+        let short = EcoStream::generate(&core, 10, 7);
+        assert_eq!(&a.edits()[..short.len()], short.edits());
+        // A different seed must eventually diverge.
+        let c = EcoStream::generate(&core, 25, 8);
+        assert_ne!(a.edits(), c.edits());
+    }
+
+    #[test]
+    fn every_prefix_applies_cleanly_and_times() {
+        let (g, core) = demo_core();
+        let stream = EcoStream::generate(&core, 15, 3);
+        let ctx = Context::nominal(&g);
+        for prefix in 0..=stream.len() {
+            let view = stream.apply_prefix(&core, prefix).unwrap();
+            let m = view.materialize().unwrap();
+            m.validate().unwrap();
+            let a = Analysis::run(&view, &ctx).unwrap();
+            let b = Analysis::run(&m, &ctx).unwrap();
+            assert_eq!(
+                a.boundary().diff(b.boundary()).max,
+                0.0,
+                "prefix {prefix} view and materialization diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn edits_stay_on_the_data_path() {
+        let (_, core) = demo_core();
+        let stream = EcoStream::generate(&core, 25, 11);
+        let mut view = GraphView::new(core.clone());
+        for edit in stream.edits() {
+            match edit {
+                EcoEdit::CellResize { arc, .. } | EcoEdit::BufferInsert { arc, .. } => {
+                    let a = TimingGraph::arc(&view, ArcId(*arc));
+                    assert!(!a.is_clock, "{} targets a clock arc", edit.describe());
+                }
+                EcoEdit::CellDelete { node } => {
+                    let n = TimingGraph::node(&view, NodeId(*node));
+                    assert!(!n.is_clock_network, "{} targets the clock network", edit.describe());
+                }
+            }
+            edit.apply(&mut view).unwrap();
+        }
+    }
+}

@@ -93,6 +93,68 @@ fn reparsed_corrupt_models_survive_validation() {
     }
 }
 
+/// ECO operators: generating and applying a seeded stream must never
+/// panic, for any seed, and the same seed must replay the identical
+/// edit stream (the contract the prefix-replay oracle builds on).
+#[test]
+fn eco_streams_never_panic_and_replay_deterministically() {
+    use tmm_faults::EcoStream;
+    use tmm_sta::view::DesignCore;
+
+    let lib = Library::synthetic(11);
+    let netlist = tmm_circuits::CircuitSpec::new("eco_fuzzed")
+        .inputs(2)
+        .outputs(2)
+        .register_banks(1, 2)
+        .cloud(1, 3)
+        .seed(23)
+        .generate(&lib)
+        .unwrap();
+    let flat = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+    let core = DesignCore::freeze(&flat);
+
+    for seed in 0..96u64 {
+        let stream = EcoStream::generate(&core, 12, seed);
+        let replay = EcoStream::generate(&core, 12, seed);
+        assert_eq!(
+            stream.edits(),
+            replay.edits(),
+            "seed {seed} did not replay the identical edit stream"
+        );
+        // Applying the full stream (and materialising the result) must
+        // never panic; the materialised graph must stay valid.
+        let view = stream.apply_prefix(&core, stream.len()).unwrap();
+        let edited = view.materialize().unwrap();
+        edited.validate().unwrap();
+    }
+}
+
+/// Tiny degenerate designs must exhaust their edit sites gracefully
+/// (shorter stream), never panic or loop.
+#[test]
+fn eco_streams_on_tiny_designs_stop_gracefully() {
+    use tmm_faults::EcoStream;
+    use tmm_sta::view::DesignCore;
+
+    let lib = Library::synthetic(3);
+    let netlist = tmm_circuits::CircuitSpec::new("eco_tiny")
+        .inputs(1)
+        .outputs(1)
+        .register_banks(0, 1)
+        .cloud(1, 1)
+        .seed(5)
+        .generate(&lib)
+        .unwrap();
+    let flat = ArcGraph::from_netlist(&netlist, &lib).unwrap();
+    let core = DesignCore::freeze(&flat);
+    for seed in 0..32u64 {
+        let stream = EcoStream::generate(&core, 200, seed);
+        assert!(stream.len() <= 200);
+        let view = stream.apply_prefix(&core, stream.len()).unwrap();
+        view.materialize().unwrap().validate().unwrap();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 96, ..Default::default() })]
 
@@ -106,5 +168,31 @@ proptest! {
         for op in FaultOp::ALL {
             exercise(lib, lib_text, net_text, model_text, op, seed);
         }
+    }
+
+    /// Wide-seed ECO stream sampling: generation, replay equality and
+    /// prefix application never panic at any seed.
+    #[test]
+    fn random_eco_seeds_never_panic(seed in 0u64..u64::MAX / 2) {
+        use std::sync::OnceLock;
+        use tmm_faults::EcoStream;
+        use tmm_sta::view::DesignCore;
+        static CORE: OnceLock<std::sync::Arc<DesignCore>> = OnceLock::new();
+        let core = CORE.get_or_init(|| {
+            let lib = Library::synthetic(11);
+            let netlist = tmm_circuits::CircuitSpec::new("eco_prop")
+                .inputs(2)
+                .outputs(2)
+                .register_banks(1, 2)
+                .cloud(1, 3)
+                .seed(23)
+                .generate(&lib)
+                .unwrap();
+            DesignCore::freeze(&ArcGraph::from_netlist(&netlist, &lib).unwrap())
+        });
+        let stream = EcoStream::generate(core, 8, seed);
+        prop_assert_eq!(stream.edits(), EcoStream::generate(core, 8, seed).edits());
+        let view = stream.apply_prefix(core, stream.len()).unwrap();
+        let _ = view.materialize().unwrap();
     }
 }

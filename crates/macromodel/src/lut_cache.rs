@@ -1,0 +1,204 @@
+//! Fingerprint-keyed memoisation of LUT index selection, the fitting
+//! stage of incremental (ECO) macro regeneration.
+//!
+//! The per-arc index-selection DP ([`crate::lut_select::compress_tables`])
+//! is a pure function of the uncompressed tables and the point budget.
+//! After a small ECO edit, almost every merged arc of the regenerated
+//! model carries tables byte-identical to the previous generation, so a
+//! cache keyed on the *exact* table contents replays the previous result
+//! instead of re-running the DP — and, because the key is the full bit
+//! pattern (no lossy hashing), the patched model is byte-identical to a
+//! from-scratch generation by construction. Only arcs whose merge cone
+//! actually changed miss the cache and re-fit.
+
+use crate::lut_select::compress_tables;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tmm_sta::graph::{ArcGraph, ArcId, ArcTiming};
+use tmm_sta::liberty::ArcTables;
+use tmm_sta::split::{Mode, Split};
+
+/// Appends a length-prefixed exact-bit encoding of `vals` to `key`.
+fn push_f64s(key: &mut Vec<u8>, vals: &[f64]) {
+    key.extend_from_slice(&(vals.len() as u64).to_le_bytes());
+    for v in vals {
+        key.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Exact fingerprint of one arc's uncompressed tables plus the point
+/// budget: every axis and value of all eight LUTs, bit-for-bit. Two arcs
+/// share a fingerprint iff the DP would produce identical output for
+/// them.
+fn fingerprint(tables: &Split<Arc<ArcTables>>, ks: usize, kl: usize) -> Vec<u8> {
+    let mut key = Vec::with_capacity(512);
+    key.extend_from_slice(&(ks as u64).to_le_bytes());
+    key.extend_from_slice(&(kl as u64).to_le_bytes());
+    for mode in Mode::ALL {
+        let t = &tables[mode];
+        for lut in [&t.delay.rise, &t.delay.fall, &t.slew.rise, &t.slew.fall] {
+            push_f64s(&mut key, lut.slew_axis());
+            push_f64s(&mut key, lut.load_axis());
+            push_f64s(&mut key, lut.values());
+        }
+    }
+    key
+}
+
+/// Memoises [`compress_tables`] across macro generations. Carry one cache
+/// through a stream of ECO edits: each regeneration re-fits only the arcs
+/// whose uncompressed tables actually changed and replays the rest.
+#[derive(Debug, Default)]
+pub struct LutCache {
+    map: HashMap<Vec<u8>, Split<Arc<ArcTables>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LutCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`compress_tables`], served from the cache when these exact tables
+    /// (at this exact budget) were compressed before. The returned tables
+    /// are bit-identical to a fresh DP run either way.
+    pub fn compress(
+        &mut self,
+        tables: &Split<Arc<ArcTables>>,
+        ks: usize,
+        kl: usize,
+    ) -> Split<Arc<ArcTables>> {
+        let key = fingerprint(tables, ks, kl);
+        if let Some(hit) = self.map.get(&key) {
+            self.hits += 1;
+            return hit.clone();
+        }
+        self.misses += 1;
+        let out = compress_tables(tables, ks, kl);
+        self.map.insert(key, out.clone());
+        out
+    }
+
+    /// Cache hits since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (fresh DP runs) since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct fingerprints held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// [`crate::lut_select::compress_graph_luts`] with every per-arc DP routed
+/// through `cache` — identical skip rules, identical output, returns the
+/// number of arcs rewritten.
+pub fn compress_graph_luts_cached(
+    graph: &mut ArcGraph,
+    ks: usize,
+    kl: usize,
+    cache: &mut LutCache,
+) -> usize {
+    let mut rewritten = 0usize;
+    let arc_count = graph.arcs().len();
+    for idx in 0..arc_count {
+        let id = ArcId(idx as u32);
+        let arc = graph.arc(id);
+        if arc.dead {
+            continue;
+        }
+        let Some(tables) = arc.timing.tables() else { continue };
+        let ref_lut = &tables.late.delay.rise;
+        if ref_lut.slew_axis().len() <= ks && ref_lut.load_axis().len() <= kl {
+            continue;
+        }
+        let compressed = cache.compress(tables, ks, kl);
+        let was_composed = matches!(arc.timing, ArcTiming::Composed(_));
+        graph.arc_mut(id).timing = if was_composed {
+            ArcTiming::Composed(compressed)
+        } else {
+            ArcTiming::Table(compressed)
+        };
+        rewritten += 1;
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut_select::compress_graph_luts;
+    use tmm_circuits::CircuitSpec;
+    use tmm_sta::liberty::Library;
+
+    fn cloudy_graph(seed: u64) -> ArcGraph {
+        let lib = Library::synthetic(5);
+        let n = CircuitSpec::new("lutcache")
+            .inputs(3)
+            .outputs(3)
+            .register_banks(1, 3)
+            .cloud(2, 6)
+            .seed(seed)
+            .generate(&lib)
+            .unwrap();
+        ArcGraph::from_netlist(&n, &lib).unwrap()
+    }
+
+    #[test]
+    fn cached_compression_is_identical_and_replays_on_second_pass() {
+        let base = cloudy_graph(21);
+        let mut plain = base.clone();
+        let n1 = compress_graph_luts(&mut plain, 4, 4);
+
+        let mut cache = LutCache::new();
+        let mut cached = base.clone();
+        let n2 = compress_graph_luts_cached(&mut cached, 4, 4, &mut cache);
+        assert_eq!(n1, n2);
+        assert!(cache.misses() > 0);
+        assert_eq!(cache.hits() + cache.misses(), n2 as u64);
+        for (a, b) in plain.arcs().iter().zip(cached.arcs()) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "cached output must be identical");
+        }
+
+        // Second pass over the same (uncompressed) graph: everything hits.
+        let misses_before = cache.misses();
+        let mut again = base.clone();
+        compress_graph_luts_cached(&mut again, 4, 4, &mut cache);
+        assert_eq!(cache.misses(), misses_before, "no fresh DP runs on a replay");
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn budget_is_part_of_the_fingerprint() {
+        let base = cloudy_graph(22);
+        let mut cache = LutCache::new();
+        let mut a = base.clone();
+        compress_graph_luts_cached(&mut a, 4, 4, &mut cache);
+        let misses_44 = cache.misses();
+        let mut b = base.clone();
+        compress_graph_luts_cached(&mut b, 3, 3, &mut cache);
+        assert!(cache.misses() > misses_44, "a different budget must not hit");
+        let mut plain = base.clone();
+        compress_graph_luts(&mut plain, 3, 3);
+        for (x, y) in plain.arcs().iter().zip(b.arcs()) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+}

@@ -100,7 +100,31 @@ impl MacroModel {
         keep: &[bool],
         options: &MacroModelOptions,
     ) -> Result<MacroModel> {
-        Self::generate_impl(flat, keep, options, None)
+        Self::generate_impl(flat, keep, options, None, None)
+    }
+
+    /// [`MacroModel::generate`] with the LUT-fitting stage routed through a
+    /// [`crate::lut_cache::LutCache`] — the incremental (ECO) regeneration
+    /// entry point. Merging re-runs in full (it is cheap and
+    /// order-sensitive), but every arc whose uncompressed tables match a
+    /// previous generation replays its fitted LUTs from the cache instead
+    /// of re-running the selection DP. The result is byte-identical to
+    /// [`MacroModel::generate`]; only the wall time changes.
+    ///
+    /// # Errors
+    ///
+    /// As [`MacroModel::generate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != flat.node_count()`.
+    pub fn generate_patched(
+        flat: &ArcGraph,
+        keep: &[bool],
+        options: &MacroModelOptions,
+        cache: &mut crate::lut_cache::LutCache,
+    ) -> Result<MacroModel> {
+        Self::generate_impl(flat, keep, options, None, Some(cache))
     }
 
     /// [`MacroModel::generate`] with crash-safe merge checkpointing: on the
@@ -125,7 +149,7 @@ impl MacroModel {
         store: &mut dyn tmm_ckpt::StageStore,
         stage: &str,
     ) -> Result<MacroModel> {
-        Self::generate_impl(flat, keep, options, Some((store, stage)))
+        Self::generate_impl(flat, keep, options, Some((store, stage)), None)
     }
 
     fn generate_impl(
@@ -133,6 +157,7 @@ impl MacroModel {
         keep: &[bool],
         options: &MacroModelOptions,
         ckpt: Option<(&mut dyn tmm_ckpt::StageStore, &str)>,
+        lut_cache: Option<&mut crate::lut_cache::LutCache>,
     ) -> Result<MacroModel> {
         assert_eq!(keep.len(), flat.node_count(), "keep mask size mismatch");
         let mut span = tmm_obs::span("macro_generate", "macromodel");
@@ -164,7 +189,29 @@ impl MacroModel {
             }
         };
         if options.compress_luts {
-            compress_graph_luts(&mut graph, options.lut_slew_points, options.lut_load_points);
+            match lut_cache {
+                Some(cache) => {
+                    let before = cache.hits();
+                    crate::lut_cache::compress_graph_luts_cached(
+                        &mut graph,
+                        options.lut_slew_points,
+                        options.lut_load_points,
+                        cache,
+                    );
+                    tmm_obs::counter_add(
+                        "tmm_macro_lut_cache_hits_total",
+                        &[],
+                        cache.hits() - before,
+                    );
+                }
+                None => {
+                    compress_graph_luts(
+                        &mut graph,
+                        options.lut_slew_points,
+                        options.lut_load_points,
+                    );
+                }
+            }
             tmm_obs::counter_add("tmm_macro_lut_compressions_total", &[], 1);
         }
         graph.set_name(format!("{}_macro", flat.name()));
@@ -762,6 +809,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn patched_generation_is_byte_identical_and_hits_cache_on_regen() {
+        let g = flat();
+        let keep = vec![false; g.node_count()];
+        let opts = MacroModelOptions::default();
+        let scratch = MacroModel::generate(&g, &keep, &opts).unwrap();
+        let mut cache = crate::lut_cache::LutCache::new();
+        let first = MacroModel::generate_patched(&g, &keep, &opts, &mut cache).unwrap();
+        assert_eq!(first.serialize(), scratch.serialize(), "cold cache must not change bytes");
+        assert!(cache.misses() > 0);
+        let misses = cache.misses();
+        let again = MacroModel::generate_patched(&g, &keep, &opts, &mut cache).unwrap();
+        assert_eq!(again.serialize(), scratch.serialize(), "warm cache must not change bytes");
+        assert_eq!(cache.misses(), misses, "unchanged design re-fits nothing");
+        assert!(cache.hits() > 0);
     }
 
     #[test]

@@ -598,6 +598,371 @@ fn evaluate_ts_view_impl(
     Ok(result)
 }
 
+/// Marks the forward closure of the already-set nodes: one pass over the
+/// topological order, spreading each set node to its fanout targets. The
+/// seeds stay set.
+fn fwd_closure(core: &DesignCore, set: &mut [bool]) {
+    for &nid in core.topo_order() {
+        if set[nid.index()] {
+            for a in core.fanout(nid) {
+                set[core.arc(a).to.index()] = true;
+            }
+        }
+    }
+}
+
+/// Marks the backward closure of the already-set nodes: one reverse pass
+/// over the topological order, spreading each set node to its fanin
+/// sources. The seeds stay set.
+fn bwd_closure(core: &DesignCore, set: &mut [bool]) {
+    for &nid in core.topo_order().iter().rev() {
+        if set[nid.index()] {
+            for a in core.fanin(nid) {
+                set[core.arc(a).from.index()] = true;
+            }
+        }
+    }
+}
+
+/// Computes which probes an ECO-style edit can affect, so an incremental
+/// TS sweep may carry every other pin's value forward unchanged.
+///
+/// `changed` lists the nodes the edit touched on the *new* core
+/// ([`GraphView::edited_nodes`] of the pre-materialise view — overlay ids
+/// are stable across materialisation); `old_node_count` is the node count
+/// before the edit, so inserted nodes (which have no previous TS at all)
+/// are always dirty.
+///
+/// A probe at pin `p` measures the boundary delta of bypassing `p`. Its
+/// value can only change when the edit perturbs a timing value the
+/// probe's own delta propagation reads. Conservatively:
+///
+/// 1. `F_e` — forward closure of the edited nodes: every AT/slew the edit
+///    can move. Widened through setup/hold checks (`ck ∈ F_e` moves the
+///    check's required time at `d`, and check pins have no fanout of
+///    their own).
+/// 2. `R` — backward closure of `F_e` widened by check coupling *in both
+///    directions* (`ck ∈ F_e` moves the required time at `d`; `d ∈ F_e`
+///    moves the check slack read by every probe on the capture clock
+///    path — checks are not arcs, so no closure crosses them on its
+///    own): every RAT/slack the edit can move. `R ⊇ F_e` also covers
+///    every probe whose *forward* cone meets a perturbed AT — a side
+///    input competing inside the probe's fanout must itself lie in the
+///    forward-closed `F_e`, which puts the probe upstream of it, i.e.
+///    inside `R`.
+/// 3. The backward hazard: the boundary reports the RAT of every data
+///    primary input, and the edit perturbs the reference RAT of each PI
+///    in `S = R ∩ fwd(PIs)` (`min` competition can flip, and the
+///    reference denominator of the probe's relative delta moves). A
+///    probe perturbs the *bypassed* RAT of such a PI whenever its own
+///    influence cone meets the PI's cone — including through a capture
+///    clock: bypassing a clock-buffer pin moves check required times,
+///    which back-propagate into the same PI RATs. So the final widening
+///    is `bwd(fwd(S) ∪ {ck : check d ∈ fwd(S)})` — everything whose
+///    influence cone (data fanout or captured check) meets a perturbed
+///    PI's cone. Seeding the forward closure
+///    from the *data* PI cones only — never the clock source — is what
+///    keeps this from saturating into "everything launched by the
+///    clock": the trailing backward closure walks capture subtrees and
+///    upstream logic but never re-expands forward.
+///
+/// Register boundaries act as firewalls (data pins have no fanout; Q pins
+/// have no data fanin), so one edit dirties its own pipeline stage plus
+/// coupled neighbours, not the design; the carried fraction grows with
+/// design size. The result is a per-node mask aligned with the new core's
+/// node ids.
+#[must_use]
+pub fn dirty_probe_set(
+    core: &DesignCore,
+    changed: &[NodeId],
+    old_node_count: usize,
+) -> Vec<bool> {
+    let n = core.node_count();
+    let mut fwd = vec![false; n];
+    for &c in changed {
+        if c.index() < n {
+            fwd[c.index()] = true;
+        }
+    }
+    for slot in fwd.iter_mut().take(n).skip(old_node_count.min(n)) {
+        *slot = true;
+    }
+    fwd_closure(core, &mut fwd);
+    // Check coupling, both directions: a moved clock-pin arrival moves the
+    // data pin's required time, and a moved data-pin arrival/slew moves the
+    // check slack every probe on the *capture* clock path reads — checks
+    // are not arcs, so neither closure crosses them on its own.
+    let mut reach = fwd.clone();
+    for c in core.checks() {
+        if fwd[c.ck.index()] {
+            reach[c.d.index()] = true;
+        }
+        if fwd[c.d.index()] {
+            reach[c.ck.index()] = true;
+        }
+    }
+    bwd_closure(core, &mut reach);
+    // `reach` = every node whose AT/slew/RAT the edit can perturb.
+    let mut pi_cone = vec![false; n];
+    for &p in core.primary_inputs() {
+        pi_cone[p.index()] = true;
+    }
+    fwd_closure(core, &mut pi_cone);
+    let mut shared = vec![false; n];
+    for i in 0..n {
+        shared[i] = reach[i] && pi_cone[i];
+    }
+    fwd_closure(core, &mut shared);
+    for c in core.checks() {
+        if shared[c.d.index()] {
+            shared[c.ck.index()] = true;
+        }
+    }
+    bwd_closure(core, &mut shared);
+    let mut dirty = reach;
+    for (d, s) in dirty.iter_mut().zip(&shared) {
+        *d |= s;
+    }
+    dirty
+}
+
+/// Incremental TS evaluation after an ECO edit: pins outside the edit's
+/// influence (per `dirty`, from [`dirty_probe_set`]) carry their value —
+/// or their quarantined failure — over from `previous` bit-exactly; only
+/// dirty pins are re-probed. The stitched result is bit-identical to a
+/// from-scratch [`evaluate_ts_with_core`] on the same core (values,
+/// counts *and* failure ordering), at the cost of only the dirty cone.
+///
+/// `previous` may come from a smaller core (pure insertions): pins past
+/// its end are recomputed. Reference analyses are built only when at
+/// least one pin needs recomputation.
+///
+/// # Errors
+///
+/// Propagates reference-analysis errors; per-pin failures are quarantined
+/// as in the full sweep.
+///
+/// # Panics
+///
+/// Panics if `candidates.len()` or `dirty.len()` differ from
+/// `core.node_count()`.
+pub fn evaluate_ts_incremental(
+    core: &Arc<DesignCore>,
+    candidates: &[bool],
+    opts: &TsOptions,
+    previous: &TsResult,
+    dirty: &[bool],
+) -> Result<TsResult> {
+    evaluate_ts_incremental_impl(core, candidates, opts, previous, dirty, None)
+}
+
+/// [`evaluate_ts_incremental`] with crash-safe chunk checkpointing over
+/// the **recompute list only** — carried pins cost nothing to re-derive,
+/// so they are never persisted. Chunk artifacts use the same
+/// `ts_chunk v1` payload and stitching rules as
+/// [`evaluate_ts_with_core_ckpt`].
+///
+/// # Errors
+///
+/// As [`evaluate_ts_incremental`]; checkpoint-layer failures surface as
+/// [`tmm_sta::StaError::Validation`] with artifact `"checkpoint"`.
+///
+/// # Panics
+///
+/// Panics if `candidates.len()` or `dirty.len()` differ from
+/// `core.node_count()`.
+pub fn evaluate_ts_incremental_ckpt(
+    core: &Arc<DesignCore>,
+    candidates: &[bool],
+    opts: &TsOptions,
+    previous: &TsResult,
+    dirty: &[bool],
+    store: &mut dyn tmm_ckpt::StageStore,
+    stage: &str,
+) -> Result<TsResult> {
+    evaluate_ts_incremental_impl(core, candidates, opts, previous, dirty, Some((store, stage)))
+}
+
+fn evaluate_ts_incremental_impl(
+    core: &Arc<DesignCore>,
+    candidates: &[bool],
+    opts: &TsOptions,
+    previous: &TsResult,
+    dirty: &[bool],
+    ckpt: Option<(&mut dyn tmm_ckpt::StageStore, &str)>,
+) -> Result<TsResult> {
+    let n = core.node_count();
+    assert_eq!(candidates.len(), n, "candidate mask size mismatch");
+    assert_eq!(dirty.len(), n, "dirty mask size mismatch");
+    let mut sweep_span = tmm_obs::span("ts_sweep", "sensitivity");
+    sweep_span.arg("engine", "incremental");
+
+    // The work list is built exactly like the full sweep's so carried and
+    // recomputed results stitch into the identical vector and failure
+    // order a from-scratch run would produce.
+    let probe = GraphView::new(core.clone());
+    let mut skipped = 0usize;
+    let mut work: Vec<usize> = Vec::new();
+    for (i, &wanted) in candidates.iter().enumerate() {
+        if !wanted {
+            continue;
+        }
+        let nid = NodeId(i as u32);
+        if probe.node_dead(nid) {
+            continue;
+        }
+        if !probe.can_bypass(nid) {
+            skipped += 1;
+            continue;
+        }
+        work.push(i);
+    }
+
+    let prev_failed: std::collections::HashMap<usize, &str> =
+        previous.failures.iter().map(|f| (f.node, f.cause.as_str())).collect();
+    // A pin carries when it is clean AND the previous sweep actually
+    // produced something for it — a finite TS or a recorded quarantine.
+    // Anything else (new pin, previously absent, previously unevaluated)
+    // recomputes.
+    let carry_ok = |i: usize| {
+        !dirty[i]
+            && i < previous.ts.len()
+            && (previous.ts[i].is_finite() || prev_failed.contains_key(&i))
+    };
+    let recompute: Vec<usize> = work.iter().copied().filter(|&i| !carry_ok(i)).collect();
+    let carried = work.len() - recompute.len();
+
+    let mut fresh: std::collections::HashMap<usize, std::result::Result<f64, String>> =
+        std::collections::HashMap::with_capacity(recompute.len());
+    if recompute.is_empty() {
+        if let Some((store, stage)) = ckpt {
+            store.mark_done(stage).map_err(ckpt_to_sta)?;
+        }
+    } else {
+        let analysis_opts = AnalysisOptions { cppr: opts.cppr, aocv: opts.aocv };
+        let mut sampler = ContextSampler::new(opts.seed);
+        let contexts: Vec<Context> = sampler.sample_many(&**core, opts.contexts.max(1));
+        let references: Vec<ReferenceAnalysis> = contexts
+            .into_iter()
+            .map(|c| ReferenceAnalysis::new(core.clone(), c, analysis_opts))
+            .collect::<Result<_>>()?;
+        let scratch_proto: RetimeScratch = references[0].scratch();
+        let eval_pin = |i: usize, scratch: &mut RetimeScratch| -> Result<f64> {
+            let mut view = GraphView::new(core.clone());
+            view.bypass_node(NodeId(i as u32))?;
+            let mut total = 0.0f64;
+            for reference in &references {
+                let edited = reference.retime(&view, scratch)?;
+                let cats = relative_diff(reference.boundary(), &edited);
+                total += cats.iter().sum::<f64>() / 4.0;
+            }
+            Ok(total / references.len() as f64)
+        };
+        let threads = resolve_threads(opts.threads).min(recompute.len().max(1));
+        match ckpt {
+            None if threads <= 1 => {
+                let mut scratch = scratch_proto;
+                for &i in &recompute {
+                    let r = timed_probe("view", || eval_pin(i, &mut scratch));
+                    fresh.insert(i, r.map_err(|e| e.to_string()));
+                }
+            }
+            None => {
+                let scratch_proto = &scratch_proto;
+                let eval_pin = &eval_pin;
+                let outcomes = sweep_outcomes(&recompute, threads, move |i| {
+                    thread_local! {
+                        static SCRATCH: std::cell::RefCell<Option<RetimeScratch>> =
+                            const { std::cell::RefCell::new(None) };
+                    }
+                    SCRATCH.with(|cell| {
+                        let mut slot = cell.borrow_mut();
+                        let scratch = slot.get_or_insert_with(|| scratch_proto.clone());
+                        timed_probe("view", || eval_pin(i, scratch))
+                    })
+                })?;
+                fresh.extend(outcomes);
+            }
+            Some((store, stage)) => {
+                let mut scratch = scratch_proto.clone();
+                for (c, chunk) in recompute.chunks(TS_CKPT_CHUNK).enumerate() {
+                    let seq = c as u64;
+                    let outcomes = match store.load(stage, seq).map_err(ckpt_to_sta)? {
+                        Some(payload) => parse_ts_chunk(&payload, chunk).map_err(|m| {
+                            ckpt_to_sta(tmm_ckpt::CkptError::Corrupt(format!(
+                                "TS chunk {stage}/{seq}: {m}"
+                            )))
+                        })?,
+                        None => {
+                            let outcomes: Vec<PinOutcome> = if threads <= 1 {
+                                chunk
+                                    .iter()
+                                    .map(|&i| {
+                                        let r =
+                                            timed_probe("view", || eval_pin(i, &mut scratch));
+                                        (i, r.map_err(|e| e.to_string()))
+                                    })
+                                    .collect()
+                            } else {
+                                let scratch_proto = &scratch_proto;
+                                let eval_pin = &eval_pin;
+                                sweep_outcomes(chunk, threads.min(chunk.len()), move |i| {
+                                    thread_local! {
+                                        static SCRATCH: std::cell::RefCell<Option<RetimeScratch>> =
+                                            const { std::cell::RefCell::new(None) };
+                                    }
+                                    SCRATCH.with(|cell| {
+                                        let mut slot = cell.borrow_mut();
+                                        let scratch =
+                                            slot.get_or_insert_with(|| scratch_proto.clone());
+                                        timed_probe("view", || eval_pin(i, scratch))
+                                    })
+                                })?
+                            };
+                            store
+                                .save(stage, seq, &render_ts_chunk(&outcomes))
+                                .map_err(ckpt_to_sta)?;
+                            outcomes
+                        }
+                    };
+                    fresh.extend(outcomes);
+                    tmm_ckpt::heartbeat();
+                }
+                store.mark_done(stage).map_err(ckpt_to_sta)?;
+            }
+        }
+    }
+
+    // Stitch in work order: fresh outcomes where recomputed, the previous
+    // value or quarantine verbatim where carried.
+    let mut outcomes: Vec<PinOutcome> = Vec::with_capacity(work.len());
+    for &i in &work {
+        if let Some(o) = fresh.remove(&i) {
+            outcomes.push((i, o));
+        } else if let Some(&cause) = prev_failed.get(&i) {
+            outcomes.push((i, Err(cause.to_string())));
+        } else {
+            outcomes.push((i, Ok(previous.ts[i])));
+        }
+    }
+    let mut ts = vec![f64::NAN; n];
+    let mut failures = Vec::new();
+    apply_outcomes(outcomes, &mut ts, &mut failures);
+    let evaluated = work.len() - failures.len();
+    sweep_span.arg_f64("pins", work.len() as f64);
+    sweep_span.arg_f64("evaluated", evaluated as f64);
+    sweep_span.arg_f64("carried", carried as f64);
+    sweep_span.arg_f64("recomputed", recompute.len() as f64);
+    tmm_obs::counter_add(
+        "tmm_ts_pins_carried_total",
+        &[("engine", "incremental")],
+        carried as u64,
+    );
+    let result = TsResult { ts, evaluated, skipped, failures };
+    record_sweep_outcome(&result, "incremental");
+    Ok(result)
+}
+
 /// Clone-engine TS evaluation (one full-graph clone and full analysis per
 /// probe). Retained as the bit-exact oracle for the view engine.
 fn evaluate_ts_cloning(
@@ -975,6 +1340,211 @@ mod tests {
         assert!(
             err.to_string().contains("checkpoint"),
             "expected a classed checkpoint error, got: {err}"
+        );
+    }
+
+    /// First live combinational lookup-table arc whose source is off the
+    /// clock network: a safe ECO victim. Launch arcs (CK→Q) are excluded —
+    /// resizing one shifts launch timing for the whole downstream cone and
+    /// legitimately dirties every probe, which would defeat the clean-pin
+    /// assertions below.
+    fn first_table_arc(g: &ArcGraph) -> tmm_sta::graph::ArcId {
+        use tmm_sta::graph::{ArcId, ArcTiming};
+        ArcId(
+            g.arcs()
+                .iter()
+                .position(|a| {
+                    !a.dead
+                        && !a.is_clock
+                        && matches!(a.timing, ArcTiming::Table(_))
+                        && !g.node(a.from).is_clock_network
+                })
+                .unwrap() as u32,
+        )
+    }
+
+    fn assert_ts_bit_identical(a: &TsResult, b: &TsResult, what: &str) {
+        assert_eq!(a.evaluated, b.evaluated, "{what}: evaluated differs");
+        assert_eq!(a.skipped, b.skipped, "{what}: skipped differs");
+        assert_eq!(a.failures, b.failures, "{what}: failures differ");
+        assert_eq!(a.ts.len(), b.ts.len(), "{what}: length differs");
+        for (i, (x, y)) in a.ts.iter().zip(&b.ts).enumerate() {
+            if x.is_finite() || y.is_finite() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{what}: node {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    /// Runs one ECO edit through the incremental path and checks the
+    /// stitched result against a from-scratch sweep of the edited core.
+    /// Returns the new core/candidates/result for chaining.
+    #[allow(clippy::type_complexity)]
+    fn step_and_check(
+        core: &Arc<DesignCore>,
+        previous: &TsResult,
+        opts: &TsOptions,
+        edit: impl FnOnce(&mut GraphView),
+        what: &str,
+    ) -> (Arc<DesignCore>, Vec<bool>, TsResult) {
+        let mut view = GraphView::new(core.clone());
+        edit(&mut view);
+        let changed = view.edited_nodes();
+        let edited = view.materialize().unwrap();
+        let new_core: Arc<DesignCore> = DesignCore::freeze(&edited);
+        let cand = internal_candidates(&edited);
+        let dirty = dirty_probe_set(&new_core, &changed, core.node_count());
+        let clean = dirty.iter().filter(|&&d| !d).count();
+        assert!(clean > 0, "{what}: one edit must leave clean pins on this design");
+        let scratch = evaluate_ts_with_core(&new_core, &cand, opts).unwrap();
+        let inc = evaluate_ts_incremental(&new_core, &cand, opts, previous, &dirty).unwrap();
+        assert_ts_bit_identical(&inc, &scratch, what);
+        (new_core, cand, inc)
+    }
+
+    #[test]
+    fn incremental_sweep_matches_scratch_after_each_eco_edit() {
+        let g = graph();
+        let core: Arc<DesignCore> = DesignCore::freeze(&g);
+        let cand = internal_candidates(&g);
+        let opts = TsOptions { contexts: 2, cppr: true, ..Default::default() };
+        let base = evaluate_ts_with_core(&core, &cand, &opts).unwrap();
+
+        // Edit 1: cell resize (pure timing change, node set unchanged).
+        let victim = first_table_arc(&g);
+        let (core2, _, r2) = step_and_check(
+            &core,
+            &base,
+            &opts,
+            |v| {
+                v.resize_arc(victim, 0.8).unwrap();
+            },
+            "resize",
+        );
+        // Edit 2: buffer insert (node growth; previous TS vector is
+        // shorter than the new core, the new pin must recompute).
+        let victim2 = first_table_arc_on_core(&GraphView::new(core2.clone()));
+        let (core3, cand3, r3) = step_and_check(
+            &core2,
+            &r2,
+            &opts,
+            |v| {
+                v.insert_node_on_arc(victim2, "eco_buf_t", 2.5).unwrap();
+            },
+            "insert",
+        );
+        assert_eq!(core3.node_count(), core2.node_count() + 1);
+        // Edit 3: cell delete (bypass an evaluable internal pin).
+        let del = {
+            let probe = GraphView::new(core3.clone());
+            (0..core3.node_count())
+                .map(|i| NodeId(i as u32))
+                .find(|&nid| {
+                    cand3[nid.index()] && !probe.node_dead(nid) && probe.can_bypass(nid)
+                })
+                .unwrap()
+        };
+        step_and_check(
+            &core3,
+            &r3,
+            &opts,
+            |v| {
+                v.bypass_node(del).unwrap();
+            },
+            "delete",
+        );
+    }
+
+    /// First live, non-clock table arc visible through a view over a core
+    /// (mirrors `first_table_arc` but core ids can differ from the flat
+    /// graph after a materialise round-trip).
+    fn first_table_arc_on_core(view: &GraphView) -> tmm_sta::graph::ArcId {
+        use tmm_sta::graph::{ArcId, ArcTiming};
+        let core = view.core();
+        (0..core.arc_count() as u32)
+            .map(ArcId)
+            .find(|&a| {
+                let arc = TimingGraph::arc(&**core, a);
+                !arc.dead
+                    && !arc.is_clock
+                    && matches!(arc.timing, ArcTiming::Table(_))
+                    && !TimingGraph::node(&**core, arc.from).is_clock_network
+                    && !TimingGraph::node_dead(&**core, arc.from)
+                    && !TimingGraph::node_dead(&**core, arc.to)
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn incremental_with_all_dirty_equals_scratch_and_all_clean_carries() {
+        let g = graph();
+        let core: Arc<DesignCore> = DesignCore::freeze(&g);
+        let cand = internal_candidates(&g);
+        let opts = TsOptions { contexts: 2, ..Default::default() };
+        let base = evaluate_ts_with_core(&core, &cand, &opts).unwrap();
+        // All-dirty degenerates to a full recompute.
+        let all_dirty = vec![true; core.node_count()];
+        let full = evaluate_ts_incremental(&core, &cand, &opts, &base, &all_dirty).unwrap();
+        assert_ts_bit_identical(&full, &base, "all-dirty");
+        // All-clean carries everything verbatim.
+        let all_clean = vec![false; core.node_count()];
+        let carried = evaluate_ts_incremental(&core, &cand, &opts, &base, &all_clean).unwrap();
+        assert_ts_bit_identical(&carried, &base, "all-clean");
+    }
+
+    #[test]
+    fn incremental_checkpoint_resume_is_bit_identical() {
+        use tmm_ckpt::{MemStore, StageStore};
+        let g = big_graph();
+        let core: Arc<DesignCore> = DesignCore::freeze(&g);
+        let cand = internal_candidates(&g);
+        let opts = TsOptions { contexts: 2, ..Default::default() };
+        let base = evaluate_ts_with_core(&core, &cand, &opts).unwrap();
+
+        let mut view = GraphView::new(core.clone());
+        let victim = first_table_arc(&g);
+        view.resize_arc(victim, 1.3).unwrap();
+        let changed = view.edited_nodes();
+        let edited = view.materialize().unwrap();
+        let new_core: Arc<DesignCore> = DesignCore::freeze(&edited);
+        let new_cand = internal_candidates(&edited);
+        let dirty = dirty_probe_set(&new_core, &changed, core.node_count());
+
+        let plain =
+            evaluate_ts_incremental(&new_core, &new_cand, &opts, &base, &dirty).unwrap();
+        let mut full = MemStore::new();
+        let first = evaluate_ts_incremental_ckpt(
+            &new_core, &new_cand, &opts, &base, &dirty, &mut full, "eco.ts",
+        )
+        .unwrap();
+        assert_ts_bit_identical(&first, &plain, "ckpt-vs-plain");
+        let saves = full.saves();
+        for kept in 0..=saves {
+            let mut store = full.truncated(kept);
+            let again = evaluate_ts_incremental_ckpt(
+                &new_core, &new_cand, &opts, &base, &dirty, &mut store, "eco.ts",
+            )
+            .unwrap();
+            assert_ts_bit_identical(&again, &plain, "resume");
+            assert!(store.is_done("eco.ts"), "resumed incremental sweep must mark done");
+        }
+    }
+
+    #[test]
+    fn dirty_probe_set_is_a_cone_not_the_design() {
+        let g = big_graph();
+        let core: Arc<DesignCore> = DesignCore::freeze(&g);
+        let mut view = GraphView::new(core.clone());
+        view.resize_arc(first_table_arc(&g), 0.9).unwrap();
+        let changed = view.edited_nodes();
+        let edited = view.materialize().unwrap();
+        let new_core: Arc<DesignCore> = DesignCore::freeze(&edited);
+        let dirty = dirty_probe_set(&new_core, &changed, core.node_count());
+        let dirty_count = dirty.iter().filter(|&&d| d).count();
+        assert!(dirty_count > 0, "an edit must dirty its own cone");
+        assert!(
+            dirty_count < new_core.node_count(),
+            "a single-arc edit must not dirty every node ({dirty_count}/{})",
+            new_core.node_count()
         );
     }
 

@@ -369,6 +369,31 @@ impl PropState {
             credits: vec![CheckCredit::default(); graph.checks().len()],
         }
     }
+
+    /// Extends the per-node vectors to cover `n` node slots, initialising
+    /// the new tail exactly as [`PropState::new`] would (neutral arrivals
+    /// and slews, flip-neutral required times, unanchored tags). Used when
+    /// re-timing a view whose structural edits appended nodes after the
+    /// core's slots.
+    pub(crate) fn grow_to(&mut self, n: usize) {
+        while self.at.len() < n {
+            let mut at = Split::uniform(TransPair::uniform(f64::NAN));
+            let mut slew = Split::uniform(TransPair::uniform(f64::NAN));
+            let mut rat = quad(f64::NAN);
+            for mode in Mode::ALL {
+                for edge in Edge::ALL {
+                    at[mode][edge] = mode.neutral();
+                    slew[mode][edge] = mode.neutral();
+                    rat[mode][edge] = mode.flip().neutral();
+                }
+            }
+            self.at.push(at);
+            self.slew.push(slew);
+            self.rat.push(rat);
+            self.launch_tag.push(Split::uniform(TransPair::uniform(NONE)));
+            self.clock_parent.push(NONE);
+        }
+    }
 }
 
 /// Map FF output node -> FF clock node for launch-tag anchoring.

@@ -25,8 +25,13 @@
 //! equivalence is enforced by the tests below and by the cross-crate
 //! determinism suite. Since a composed arc `u → v` only exists where paths
 //! `u → n → v` existed, the core's topological order remains valid for
-//! every view derived from it, and the pruned sweeps can iterate it
-//! directly.
+//! every bypass/resize-edited view derived from it, and the pruned sweeps
+//! can iterate it directly. Structural insertions
+//! ([`GraphView::insert_node_on_arc`]) switch the view to an overlay
+//! topological order that covers the appended nodes; the sweeps iterate the
+//! *view's* order, and the scratch state grows to the view's node count
+//! with the same neutral initial values a from-scratch analysis would use,
+//! so re-constraint and structural edits share one code path.
 //!
 //! AOCV is the one option that breaks cone locality: bypassing a node
 //! changes structural depths — and therefore derates — arbitrarily far from
@@ -73,6 +78,10 @@ pub struct RetimeScratch {
     dirty: Vec<bool>,
     fwd_changed: Vec<bool>,
     stale: Vec<bool>,
+    /// Node-slot count of the reference this scratch was sized for. The
+    /// bitmaps and state may grow past this while re-timing views with
+    /// inserted nodes; `base` is what identifies the home reference.
+    base: usize,
     stats: RetimeStats,
 }
 
@@ -176,6 +185,7 @@ impl ReferenceAnalysis {
             dirty: vec![false; n],
             fwd_changed: vec![false; n],
             stale: vec![false; n],
+            base: n,
             stats: RetimeStats::default(),
         }
     }
@@ -200,7 +210,7 @@ impl ReferenceAnalysis {
             ));
         }
         let n = self.state.at.len();
-        if scratch.dirty.len() != n {
+        if scratch.base != n {
             return Err(StaError::IllegalEdit(
                 "retime scratch was sized for a different reference".into(),
             ));
@@ -224,10 +234,21 @@ impl ReferenceAnalysis {
         scratch.stats.retimes += 1;
         tmm_obs::counter_add("tmm_sta_retimes_total", &[], 1);
 
+        // Structural edits (buffer insertion) may append nodes after the
+        // core's slots: reset the working state to the reference, then grow
+        // every per-node vector to the view's node count. New slots start
+        // from the same neutral values a from-scratch analysis would use,
+        // and are always inside the edit cone (their fan-in arcs are extra
+        // arcs), so the pruned sweeps recompute them.
+        let vn = view.node_count();
         scratch.state.clone_from(&self.state);
-        scratch.dirty.fill(false);
-        scratch.fwd_changed.fill(false);
-        scratch.stale.fill(false);
+        scratch.state.grow_to(vn);
+        scratch.dirty.clear();
+        scratch.dirty.resize(vn, false);
+        scratch.fwd_changed.clear();
+        scratch.fwd_changed.resize(vn, false);
+        scratch.stale.clear();
+        scratch.stale.resize(vn, false);
 
         // Forward seeds: every node whose fan-in set the edit changed.
         let mut any_seed = false;
@@ -250,7 +271,9 @@ impl ReferenceAnalysis {
         }
 
         if any_seed {
-            for &nid in self.core.topo_order() {
+            // The view's order equals the core's unless node insertions
+            // switched it to an overlay order covering the new nodes.
+            for &nid in view.topo_order() {
                 if !scratch.dirty[nid.index()] {
                     continue;
                 }
@@ -281,7 +304,7 @@ impl ReferenceAnalysis {
                 scratch.stale[view.arc(aid).from.index()] = true;
             }
         }
-        for i in 0..n {
+        for i in 0..vn {
             if scratch.fwd_changed[i] {
                 // A changed slew changes this node's own out-arc delays, so
                 // its RAT is stale too.
@@ -309,7 +332,7 @@ impl ReferenceAnalysis {
             }
         }
 
-        for &nid in self.core.topo_order().iter().rev() {
+        for &nid in view.topo_order().iter().rev() {
             if !scratch.stale[nid.index()] {
                 continue;
             }
@@ -487,6 +510,90 @@ mod tests {
         reference.retime(&pristine, &mut scratch).unwrap();
         assert_eq!(scratch.stats().retimes, 1);
         assert_eq!(scratch.stats().full_fallbacks, 1);
+    }
+
+    fn first_table_arc(g: &ArcGraph) -> crate::graph::ArcId {
+        crate::graph::ArcId(g
+            .arcs()
+            .iter()
+            .position(|a| {
+                !a.dead && !a.is_clock && matches!(a.timing, crate::graph::ArcTiming::Table(_))
+            })
+            .unwrap() as u32)
+    }
+
+    #[test]
+    fn structural_edits_retime_bit_identically_to_full_analysis() {
+        let g = clocked_graph();
+        let core = DesignCore::freeze(&g);
+        let ctx = Context::nominal(&g);
+        let options = AnalysisOptions { cppr: true, ..Default::default() };
+        let reference = ReferenceAnalysis::new(core.clone(), ctx.clone(), options).unwrap();
+        let mut scratch = reference.scratch();
+
+        // Cell resize.
+        let mut view = GraphView::new(core.clone());
+        view.resize_arc(first_table_arc(&g), 0.6).unwrap();
+        let cone = reference.retime(&view, &mut scratch).unwrap();
+        let full = Analysis::run_with_options(&view, &ctx, options).unwrap();
+        assert_bit_identical(full.boundary(), &cone);
+
+        // Buffer insert: appends a node past the core's slots, forcing the
+        // scratch to grow and the sweeps onto the overlay topo order.
+        let mut view = GraphView::new(core.clone());
+        view.insert_node_on_arc(first_table_arc(&g), "eco_buf", 4.0).unwrap();
+        let cone = reference.retime(&view, &mut scratch).unwrap();
+        let full = Analysis::run_with_options(&view, &ctx, options).unwrap();
+        assert_bit_identical(full.boundary(), &cone);
+
+        // Cell delete (bypass) stacked on top of an insert in one view.
+        let mut view = GraphView::new(core.clone());
+        view.insert_node_on_arc(first_table_arc(&g), "eco_buf2", 2.0).unwrap();
+        view.bypass_node(find(&g, "g2/A")).unwrap();
+        let cone = reference.retime(&view, &mut scratch).unwrap();
+        let full = Analysis::run_with_options(&view, &ctx, options).unwrap();
+        assert_bit_identical(full.boundary(), &cone);
+
+        // A later core-sized probe through the same (grown) scratch stays
+        // exact.
+        let mut view = GraphView::new(core.clone());
+        view.bypass_node(find(&g, "g3/Z")).unwrap();
+        let cone = reference.retime(&view, &mut scratch).unwrap();
+        let full = Analysis::run_with_options(&view, &ctx, options).unwrap();
+        assert_bit_identical(full.boundary(), &cone);
+    }
+
+    // Satellite: structural edits under AOCV must take the fallback
+    // bucket exactly once per probe — never also counted as a cone
+    // re-time, and never double-counted by the growth path.
+    #[test]
+    fn structural_aocv_fallback_counts_exactly_once_per_probe() {
+        let g = chain_graph(5);
+        let core = DesignCore::freeze(&g);
+        let ctx = Context::nominal(&g);
+        let options = AnalysisOptions { aocv: true, cppr: false };
+        let reference = ReferenceAnalysis::new(core.clone(), ctx.clone(), options).unwrap();
+        let mut scratch = reference.scratch();
+
+        let mut view = GraphView::new(core.clone());
+        view.insert_node_on_arc(first_table_arc(&g), "eco_buf", 3.0).unwrap();
+        let cone = reference.retime(&view, &mut scratch).unwrap();
+        assert_eq!(scratch.stats().full_fallbacks, 1);
+        assert_eq!(scratch.stats().retimes, 0);
+        let full = Analysis::run_with_options(&view, &ctx, options).unwrap();
+        assert_bit_identical(full.boundary(), &cone);
+
+        let mut view = GraphView::new(core.clone());
+        view.resize_arc(first_table_arc(&g), 1.4).unwrap();
+        reference.retime(&view, &mut scratch).unwrap();
+        assert_eq!(scratch.stats().full_fallbacks, 2);
+        assert_eq!(scratch.stats().retimes, 0);
+
+        // retimes + full_fallbacks must equal the probes served.
+        let pristine = GraphView::new(core);
+        reference.retime(&pristine, &mut scratch).unwrap();
+        let s = scratch.stats();
+        assert_eq!(s.retimes + s.full_fallbacks, 3);
     }
 
     #[test]

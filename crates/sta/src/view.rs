@@ -22,9 +22,11 @@
 //! what makes view-driven results bit-identical to clone-driven ones.
 
 use crate::graph::{
-    compose_arc_pair, compose_sense, merge_parallel_group, ArcData, ArcGraph, ArcId, Check, Node,
-    NodeId, NodeKind, ParallelMerge, MAX_BYPASS_ARCS,
+    compose_arc_pair, compose_sense, merge_parallel_group, ArcData, ArcGraph, ArcId, ArcTiming,
+    Check, Node, NodeId, NodeKind, ParallelMerge, MAX_BYPASS_ARCS,
 };
+use crate::liberty::{ArcTables, Lut2, TimingSense};
+use crate::split::{Split, TransPair};
 use crate::{Result, StaError};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -373,6 +375,13 @@ pub struct GraphView {
     extra_arcs: Vec<ArcData>,
     extra_fanin: HashMap<u32, Vec<u32>>,
     extra_fanout: HashMap<u32, Vec<u32>>,
+    /// Nodes added by structural edits (ids continue after the core's
+    /// node slots, mirroring how extra arcs extend the core's arc ids).
+    extra_nodes: Vec<Node>,
+    /// Replacement topological order covering the extra nodes; empty while
+    /// the view has no inserted nodes (the core's order stays valid for
+    /// pure hide/replace edits).
+    topo_override: Vec<NodeId>,
 }
 
 impl GraphView {
@@ -386,6 +395,8 @@ impl GraphView {
             extra_arcs: Vec::new(),
             extra_fanin: HashMap::new(),
             extra_fanout: HashMap::new(),
+            extra_nodes: Vec::new(),
+            topo_override: Vec::new(),
         }
     }
 
@@ -398,7 +409,10 @@ impl GraphView {
     /// `true` when the view carries no edits.
     #[must_use]
     pub fn is_pristine(&self) -> bool {
-        self.hidden_nodes.is_empty() && self.hidden_arcs.is_empty() && self.extra_arcs.is_empty()
+        self.hidden_nodes.is_empty()
+            && self.hidden_arcs.is_empty()
+            && self.extra_arcs.is_empty()
+            && self.extra_nodes.is_empty()
     }
 
     /// Ids of arcs hidden by view edits.
@@ -570,6 +584,175 @@ impl GraphView {
         true
     }
 
+    /// Validates that `a` is a live, non-hidden, data-path arc eligible
+    /// for a structural ECO edit, and returns a clone of its record.
+    fn eco_arc(&self, a: ArcId) -> Result<ArcData> {
+        let total = self.core.arc_count() + self.extra_arcs.len();
+        if a.index() >= total {
+            return Err(StaError::IllegalEdit(format!("arc {} is out of range", a.index())));
+        }
+        if self.arc_hidden(a) {
+            return Err(StaError::IllegalEdit(format!("arc {} is hidden", a.index())));
+        }
+        let arc = TimingGraph::arc(self, a).clone();
+        if arc.dead {
+            return Err(StaError::IllegalEdit(format!("arc {} is dead", a.index())));
+        }
+        if arc.is_clock {
+            return Err(StaError::IllegalEdit(format!(
+                "arc {} is on the clock network; ECO edits are data-path only",
+                a.index()
+            )));
+        }
+        if TimingGraph::node_dead(self, arc.from) || TimingGraph::node_dead(self, arc.to) {
+            return Err(StaError::IllegalEdit(format!(
+                "arc {} has a dead endpoint",
+                a.index()
+            )));
+        }
+        Ok(arc)
+    }
+
+    /// Scales every delay/slew LUT entry of `tables` by `factor`,
+    /// preserving the axes bit-for-bit.
+    fn scale_tables(tables: &Split<Arc<ArcTables>>, factor: f64) -> Split<Arc<ArcTables>> {
+        let scale_lut = |lut: &Lut2| {
+            Lut2::new_unchecked(
+                lut.slew_axis().to_vec(),
+                lut.load_axis().to_vec(),
+                lut.values().iter().map(|v| v * factor).collect(),
+            )
+        };
+        let scale_mode = |t: &Arc<ArcTables>| {
+            Arc::new(ArcTables {
+                delay: TransPair::new(scale_lut(&t.delay.rise), scale_lut(&t.delay.fall)),
+                slew: TransPair::new(scale_lut(&t.slew.rise), scale_lut(&t.slew.fall)),
+            })
+        };
+        Split::new(scale_mode(&tables.early), scale_mode(&tables.late))
+    }
+
+    /// Cell-resize ECO: replaces arc `a` with a copy whose timing is
+    /// scaled by `factor` (< 1 models an upsized, faster cell; > 1 a
+    /// downsized one). Table/composed arcs scale every delay and slew LUT
+    /// entry; wire arcs scale the delay. The original arc is hidden and
+    /// the replacement appended, so the edit is a pure overlay. Returns
+    /// the replacement arc id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::IllegalEdit`] when the arc is dead, hidden,
+    /// out of range, on the clock network, or `factor` is not a finite
+    /// positive number.
+    pub fn resize_arc(&mut self, a: ArcId, factor: f64) -> Result<ArcId> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(StaError::IllegalEdit(format!(
+                "resize factor {factor} must be finite and positive"
+            )));
+        }
+        let arc = self.eco_arc(a)?;
+        let timing = match &arc.timing {
+            ArcTiming::Wire { delay, degrade } => {
+                ArcTiming::Wire { delay: delay * factor, degrade: *degrade }
+            }
+            ArcTiming::Table(t) => ArcTiming::Table(Self::scale_tables(t, factor)),
+            ArcTiming::Composed(t) => ArcTiming::Composed(Self::scale_tables(t, factor)),
+        };
+        self.hidden_arcs.insert(a.0);
+        Ok(self.push_extra(ArcData {
+            from: arc.from,
+            to: arc.to,
+            sense: arc.sense,
+            timing,
+            is_clock: false,
+            dead: false,
+        }))
+    }
+
+    /// Buffer-insert ECO: splits arc `u → v` into `u → b → v` where `b`
+    /// is a new internal node appended after the core's node slots. The
+    /// `u → b` arc keeps the original timing and sense; the `b → v` arc
+    /// is a wire of `wire_delay` picoseconds. The first insertion switches
+    /// the view to an overlay topological order (core order with inserted
+    /// nodes spliced in just before their sinks). Returns the new node id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::IllegalEdit`] under the same arc conditions as
+    /// [`GraphView::resize_arc`], or when `wire_delay` is not finite and
+    /// non-negative.
+    pub fn insert_node_on_arc(&mut self, a: ArcId, name: &str, wire_delay: f64) -> Result<NodeId> {
+        if !wire_delay.is_finite() || wire_delay < 0.0 {
+            return Err(StaError::IllegalEdit(format!(
+                "wire delay {wire_delay} must be finite and non-negative"
+            )));
+        }
+        let arc = self.eco_arc(a)?;
+        let b = NodeId((self.core.node_count() + self.extra_nodes.len()) as u32);
+        self.extra_nodes.push(Node {
+            name: name.to_string(),
+            kind: NodeKind::Internal,
+            base_load: 0.0,
+            po_loads: Vec::new(),
+            is_clock_network: false,
+            dead: false,
+        });
+        if self.topo_override.is_empty() {
+            self.topo_override = self.core.topo_order().to_vec();
+        }
+        // b's only fan-in is arc.from, which precedes arc.to, so placing b
+        // immediately before its sink keeps the order topological.
+        let sink_pos = self
+            .topo_override
+            .iter()
+            .position(|&n| n == arc.to)
+            .ok_or_else(|| StaError::IllegalEdit(format!("arc {} sink not in topo", a.index())))?;
+        self.topo_override.insert(sink_pos, b);
+        self.hidden_arcs.insert(a.0);
+        self.push_extra(ArcData {
+            from: arc.from,
+            to: b,
+            sense: arc.sense,
+            timing: arc.timing,
+            is_clock: false,
+            dead: false,
+        });
+        self.push_extra(ArcData {
+            from: b,
+            to: arc.to,
+            sense: TimingSense::PositiveUnate,
+            timing: ArcTiming::Wire { delay: wire_delay, degrade: 1.0 },
+            is_clock: false,
+            dead: false,
+        });
+        Ok(b)
+    }
+
+    /// Every node this view's edits touch: endpoints of hidden and added
+    /// arcs, hidden nodes, and inserted nodes. Sorted and deduplicated.
+    /// Ids are stable across [`GraphView::materialize`], so the list seeds
+    /// downstream change-propagation (e.g. the incremental TS dirty set)
+    /// against the materialised graph's frozen core.
+    #[must_use]
+    pub fn edited_nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<u32> = Vec::new();
+        for &a in &self.hidden_arcs {
+            let arc = TimingGraph::arc(self, ArcId(a));
+            ids.push(arc.from.0);
+            ids.push(arc.to.0);
+        }
+        for arc in &self.extra_arcs {
+            ids.push(arc.from.0);
+            ids.push(arc.to.0);
+        }
+        ids.extend(self.hidden_nodes.iter().copied());
+        let base = self.core.node_count() as u32;
+        ids.extend((0..self.extra_nodes.len() as u32).map(|i| base + i));
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(NodeId).collect()
+    }
+
     /// Rough memory footprint of this view's **overlay only** in bytes
     /// (the shared core is accounted once via
     /// [`DesignCore::memory_estimate`]).
@@ -586,7 +769,17 @@ impl GraphView {
             .chain(self.extra_fanout.values())
             .map(|v| v.len() * 4 + 24)
             .sum();
-        hidden_bytes + extra_arc_bytes + extra_lut_bytes + adj_bytes
+        let extra_node_bytes: usize = self
+            .extra_nodes
+            .iter()
+            .map(|n| std::mem::size_of::<Node>() + n.name.len() + n.po_loads.len() * 4)
+            .sum();
+        hidden_bytes
+            + extra_arc_bytes
+            + extra_lut_bytes
+            + adj_bytes
+            + extra_node_bytes
+            + self.topo_override.len() * 4
     }
 
     /// Materialises the edited graph as a standalone [`ArcGraph`]: core
@@ -602,6 +795,7 @@ impl GraphView {
     /// valid DAG, possible for corrupted cores).
     pub fn materialize(&self) -> Result<ArcGraph> {
         let mut nodes = self.core.nodes.clone();
+        nodes.extend(self.extra_nodes.iter().cloned());
         for &h in &self.hidden_nodes {
             nodes[h as usize].dead = true;
         }
@@ -624,14 +818,22 @@ impl GraphView {
 
 impl TimingGraph for GraphView {
     fn node_count(&self) -> usize {
-        self.core.node_count()
+        self.core.node_count() + self.extra_nodes.len()
     }
 
     fn node(&self, id: NodeId) -> &Node {
-        self.core.node(id)
+        let base = self.core.node_count();
+        if id.index() < base {
+            self.core.node(id)
+        } else {
+            &self.extra_nodes[id.index() - base]
+        }
     }
 
     fn node_dead(&self, id: NodeId) -> bool {
+        if id.index() >= self.core.node_count() {
+            return self.hidden_nodes.contains(&id.0);
+        }
         self.core.node_dead(id) || self.hidden_nodes.contains(&id.0)
     }
 
@@ -645,8 +847,9 @@ impl TimingGraph for GraphView {
     }
 
     fn fanin(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_ {
-        self.core
-            .fanin_slice(n)
+        let core_ids: &[u32] =
+            if n.index() < self.core.node_count() { self.core.fanin_slice(n) } else { &[] };
+        core_ids
             .iter()
             .copied()
             .chain(self.extra_fanin.get(&n.0).into_iter().flatten().copied())
@@ -655,8 +858,9 @@ impl TimingGraph for GraphView {
     }
 
     fn fanout(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_ {
-        self.core
-            .fanout_slice(n)
+        let core_ids: &[u32] =
+            if n.index() < self.core.node_count() { self.core.fanout_slice(n) } else { &[] };
+        core_ids
             .iter()
             .copied()
             .chain(self.extra_fanout.get(&n.0).into_iter().flatten().copied())
@@ -665,7 +869,11 @@ impl TimingGraph for GraphView {
     }
 
     fn topo_order(&self) -> &[NodeId] {
-        self.core.topo_order()
+        if self.topo_override.is_empty() {
+            self.core.topo_order()
+        } else {
+            &self.topo_override
+        }
     }
 
     fn primary_inputs(&self) -> &[NodeId] {
@@ -781,6 +989,126 @@ mod tests {
             view.memory_estimate() < core.memory_estimate() / 2,
             "one bypass overlay ({}) must stay far below the core ({})",
             view.memory_estimate(),
+            core.memory_estimate()
+        );
+    }
+
+    fn first_table_arc(g: &ArcGraph) -> ArcId {
+        ArcId(g
+            .arcs()
+            .iter()
+            .position(|a| !a.dead && !a.is_clock && matches!(a.timing, ArcTiming::Table(_)))
+            .unwrap() as u32)
+    }
+
+    #[test]
+    fn resize_times_identically_to_its_materialized_graph() {
+        let g = chain_graph(4);
+        let core = DesignCore::freeze(&g);
+        let mut view = GraphView::new(core);
+        let victim = first_table_arc(&g);
+        let replacement = view.resize_arc(victim, 0.75).unwrap();
+        assert!(view.arc_hidden(victim));
+        assert_eq!(replacement.index(), g.arcs().len());
+
+        let m = view.materialize().unwrap();
+        m.validate().unwrap();
+        let ctx = Context::nominal(&g);
+        let a = Analysis::run(&view, &ctx).unwrap();
+        let b = Analysis::run(&m, &ctx).unwrap();
+        assert_eq!(a.boundary().diff(b.boundary()).max, 0.0);
+        // The resize must actually move timing against the base design.
+        let base = Analysis::run(&g, &ctx).unwrap();
+        assert!(base.boundary().diff(a.boundary()).max > 0.0);
+    }
+
+    #[test]
+    fn resize_rejects_bad_factors_and_hidden_arcs() {
+        let g = chain_graph(2);
+        let core = DesignCore::freeze(&g);
+        let mut view = GraphView::new(core);
+        let victim = first_table_arc(&g);
+        assert!(view.resize_arc(victim, 0.0).is_err());
+        assert!(view.resize_arc(victim, -1.0).is_err());
+        assert!(view.resize_arc(victim, f64::NAN).is_err());
+        assert!(view.resize_arc(ArcId(u32::MAX), 0.5).is_err());
+        view.resize_arc(victim, 0.5).unwrap();
+        assert!(view.resize_arc(victim, 0.5).is_err(), "hidden arc cannot be resized again");
+    }
+
+    #[test]
+    fn insert_node_times_identically_to_its_materialized_graph() {
+        let g = chain_graph(4);
+        let core = DesignCore::freeze(&g);
+        let mut view = GraphView::new(core.clone());
+        let victim = first_table_arc(&g);
+        let b = view.insert_node_on_arc(victim, "eco_buf0", 3.0).unwrap();
+        assert_eq!(b.index(), g.node_count(), "inserted node continues core ids");
+        assert_eq!(TimingGraph::node_count(&view), g.node_count() + 1);
+        assert!(!view.node_dead(b));
+        assert_eq!(TimingGraph::in_degree(&view, b), 1);
+        assert_eq!(TimingGraph::out_degree(&view, b), 1);
+        // The overlay topo covers the new node and stays a valid order.
+        let topo = TimingGraph::topo_order(&view);
+        assert_eq!(topo.len(), g.topo_order().len() + 1);
+        let pos_of = |n: NodeId| topo.iter().position(|&x| x == n).unwrap();
+        let from = TimingGraph::arc(&view, ArcId(g.arcs().len() as u32)).from;
+        let to = TimingGraph::arc(&view, ArcId(g.arcs().len() as u32 + 1)).to;
+        assert!(pos_of(from) < pos_of(b) && pos_of(b) < pos_of(to));
+
+        let m = view.materialize().unwrap();
+        m.validate().unwrap();
+        let ctx = Context::nominal(&g);
+        let a = Analysis::run(&view, &ctx).unwrap();
+        let c = Analysis::run(&m, &ctx).unwrap();
+        assert_eq!(a.boundary().diff(c.boundary()).max, 0.0);
+        // A second insert on a replacement arc keeps composing.
+        let b2 = view.insert_node_on_arc(ArcId(g.arcs().len() as u32 + 1), "eco_buf1", 2.0).unwrap();
+        assert_eq!(b2.index(), g.node_count() + 1);
+        let m2 = view.materialize().unwrap();
+        m2.validate().unwrap();
+        let a2 = Analysis::run(&view, &ctx).unwrap();
+        let c2 = Analysis::run(&m2, &ctx).unwrap();
+        assert_eq!(a2.boundary().diff(c2.boundary()).max, 0.0);
+    }
+
+    // Satellite: overlay-only accounting under deletions and inserted
+    // nodes — must never count core storage and never underflow.
+    #[test]
+    fn memory_estimate_stays_overlay_only_under_structural_edits() {
+        let g = chain_graph(6);
+        let core = DesignCore::freeze(&g);
+
+        // Deletion-only overlay: no extra arcs, only hidden ids. The
+        // estimate must stay positive-but-tiny, not wrap around zero.
+        let mut deleter = GraphView::new(core.clone());
+        let victim = find(&g, "u2/Z");
+        let arcs: Vec<ArcId> = TimingGraph::fanin(&deleter, victim)
+            .chain(TimingGraph::fanout(&deleter, victim))
+            .collect();
+        for a in arcs {
+            deleter.hidden_arcs.insert(a.0);
+        }
+        assert!(deleter.prune_dangling(victim));
+        let del_mem = deleter.memory_estimate();
+        assert!(del_mem > 0, "hidden-only overlay still costs its id set");
+        assert!(del_mem < 256, "deletions must not be charged core bytes (got {del_mem})");
+
+        // Inserted nodes are charged (node record + name + topo copy),
+        // and the estimate grows monotonically with each insert.
+        let mut inserter = GraphView::new(core.clone());
+        let before = inserter.memory_estimate();
+        assert_eq!(before, 0);
+        inserter.insert_node_on_arc(first_table_arc(&g), "eco_buf0", 1.0).unwrap();
+        let one = inserter.memory_estimate();
+        assert!(one > 0);
+        inserter.insert_node_on_arc(ArcId(g.arcs().len() as u32 + 1), "eco_buf1", 1.0).unwrap();
+        let two = inserter.memory_estimate();
+        assert!(two > one, "second insert must grow the overlay ({one} -> {two})");
+        assert!(
+            two < core.memory_estimate(),
+            "overlay ({}) must stay below the core ({})",
+            two,
             core.memory_estimate()
         );
     }

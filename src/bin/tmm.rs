@@ -10,6 +10,8 @@
 //!              [--contexts <n>] [--cppr] [--aocv]
 //! tmm validate [--lib <lib.tmm>] [--design <design.tmm>] [--model <model.tmm>]
 //!              [--gnn <gnn.tmm>]
+//! tmm eco      --design <design.tmm> --lib <lib.tmm> [--edits <n>] [--seed <s>]
+//!              [--out <model.tmm>] [--bench-out <BENCH_eco.json>]
 //! tmm diffcheck [--seed <s>] [--designs <n>] [--inject <fault-op>]
 //!              [--replay <file.repro.ron>] [--out-dir <dir>]
 //! tmm obscheck [--trace <trace.json>] [--metrics <metrics.prom>]
@@ -577,6 +579,10 @@ fn cmd_diffcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
         ts_contexts: args.parsed("contexts", "2")?,
         threads: args.parsed("threads", "3")?,
         probes: args.parsed("probes", "4")?,
+        eco_edits: args.parsed("eco-edits", "3")?,
+        // Deliberate stale-carry bug for harness self-tests: the
+        // eco-equality check must catch and shrink it.
+        eco_stale_carry: args.switch("inject-eco-stale"),
     };
 
     if let Some(path) = args.flags.get("replay") {
@@ -650,7 +656,13 @@ fn cmd_diffcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
         );
     }
 
-    match (&opts.inject, outcome.findings.as_slice()) {
+    // `--inject-eco-stale` plants its bug inside the incremental TS
+    // carry rather than the design, so it counts as an injection too.
+    let injected: Option<&str> = opts
+        .inject
+        .map(|(op, _)| op.name())
+        .or(check.eco_stale_carry.then_some("eco-stale-carry"));
+    match (injected, outcome.findings.as_slice()) {
         // Clean sweep of the shipped engines: pass iff nothing diverged.
         (None, []) => Ok(()),
         (None, findings) => Err(CliError {
@@ -659,9 +671,9 @@ fn cmd_diffcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
         }),
         // Injected sweep: the harness must catch the planted fault and
         // shrink it below the repro size budget.
-        (Some((op, _)), []) => Err(CliError {
+        (Some(name), []) => Err(CliError {
             class: ErrClass::Analysis,
-            msg: format!("injected fault `{}` was not detected", op.name()),
+            msg: format!("injected fault `{name}` was not detected"),
         }),
         (Some(_), findings) => {
             let worst = findings.iter().map(|f| f.shrunk_cells).max().unwrap_or(0);
@@ -676,6 +688,215 @@ fn cmd_diffcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
             Ok(())
         }
     }
+}
+
+/// Live internal pins: the TS candidate set. Mirrors the diffcheck
+/// eco-equality oracle so `tmm eco` exercises the exact pipeline the
+/// checker certifies.
+fn eco_candidates(graph: &ArcGraph) -> Vec<bool> {
+    use timing_macro_gnn::sta::graph::{NodeId, NodeKind};
+    (0..graph.node_count())
+        .map(|i| {
+            let n = NodeId(i as u32);
+            !graph.node(n).dead && graph.node(n).kind == NodeKind::Internal
+        })
+        .collect()
+}
+
+/// Deterministic keep mask from a TS sweep: keep every non-candidate pin
+/// plus candidates whose TS clears the median of the finite values. Total
+/// ordering throughout, so bit-identical sweeps give identical masks.
+fn eco_keep_mask(ts: &timing_macro_gnn::sensitivity::TsResult, cand: &[bool]) -> Vec<bool> {
+    let mut finite: Vec<f64> = ts.ts.iter().copied().filter(|t| t.is_finite()).collect();
+    finite.sort_by(f64::total_cmp);
+    let threshold = finite.get(finite.len() / 2).copied();
+    cand.iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            if !c {
+                return true;
+            }
+            let t = ts.ts[i];
+            match threshold {
+                Some(th) => !t.is_finite() || t.total_cmp(&th) != std::cmp::Ordering::Less,
+                None => true,
+            }
+        })
+        .collect()
+}
+
+/// Streaming ECO pipeline: replay a seeded edit stream against the design,
+/// regenerating the macro model after every edit both *incrementally*
+/// (dirty-cone TS carry + cached LUT fits) and *from scratch*, timing the
+/// two paths and requiring the models to stay byte-identical. Bench
+/// records (`eco_incremental_<op>` / `eco_scratch_<op>`) go to
+/// `--bench-out` in the `BENCH_pipeline.json` schema.
+fn cmd_eco(args: &Args, report: &mut obs::RunReport) -> CliResult {
+    use std::time::Instant;
+    use timing_macro_gnn::faults::EcoStream;
+    use timing_macro_gnn::macromodel::LutCache;
+    use timing_macro_gnn::sensitivity::{
+        dirty_probe_set, evaluate_ts_incremental, evaluate_ts_with_core, TsOptions,
+    };
+    use timing_macro_gnn::sta::view::{DesignCore, GraphView, TimingGraph};
+
+    let lib = load_library(args.required("lib")?)?;
+    let design_path = args.required("design")?;
+    let netlist = load_netlist(design_path, &lib)?;
+    report.design = netlist.name().to_string();
+    let flat = ArcGraph::from_netlist(&netlist, &lib)
+        .map_err(|e| CliError { msg: format!("{design_path}: {e}"), ..CliError::from(e) })?;
+    let edits: usize = args.parsed("edits", "25")?;
+    let seed: u64 = args.parsed("seed", "1")?;
+    let ts_opts = TsOptions {
+        contexts: args.parsed("contexts", "2")?,
+        cppr: args.switch("cppr"),
+        aocv: args.switch("aocv"),
+        ..Default::default()
+    };
+    let mm_opts = MacroModelOptions::default();
+    let mut records: Vec<obs::BenchRecord> = Vec::new();
+    let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
+    let rate = |pins: usize, wall_ms: f64| {
+        if wall_ms > 0.0 { pins as f64 / (wall_ms / 1e3) } else { 0.0 }
+    };
+
+    // Baseline: one full sweep + generation. This also primes the LUT-fit
+    // cache, so the very first incremental step already replays its fits.
+    let mut core = DesignCore::freeze(&flat);
+    let stream = EcoStream::generate(&core, edits, seed);
+    let cand0 = eco_candidates(&flat);
+    let t0 = Instant::now();
+    let mut previous = evaluate_ts_with_core(&core, &cand0, &ts_opts)?;
+    let keep0 = eco_keep_mask(&previous, &cand0);
+    let mut cache = LutCache::new();
+    let mut model = MacroModel::generate_patched(&flat, &keep0, &mm_opts, &mut cache)?;
+    let baseline_ms = ms(t0);
+    records.push(obs::BenchRecord {
+        stage: "eco_baseline".to_string(),
+        design: netlist.name().to_string(),
+        wall_ms: baseline_ms,
+        throughput: rate(flat.live_nodes(), baseline_ms),
+    });
+    eprintln!(
+        "baseline: {} live pins, {} kept, {:.2} ms, stream of {} edit(s)",
+        flat.live_nodes(),
+        model.stats().kept_pins,
+        baseline_ms,
+        stream.edits().len()
+    );
+
+    let mut graph = flat;
+    let mut per_op: HashMap<&'static str, (f64, f64, usize)> = HashMap::new();
+    let mut inc_total = 0.0f64;
+    let mut scratch_total = 0.0f64;
+    for (k, edit) in stream.edits().iter().enumerate() {
+        let what = format!("edit {k} ({})", edit.describe());
+        let mut view = GraphView::new(core.clone());
+        edit.apply(&mut view)
+            .map_err(|e| CliError { msg: format!("{what}: {e}"), ..CliError::from(e) })?;
+        let changed = view.edited_nodes();
+        let edited = view.materialize()?;
+        let new_core = DesignCore::freeze(&edited);
+        let cand = eco_candidates(&edited);
+
+        // Incremental path: dirty cone -> TS carry -> cached LUT fits.
+        let t = Instant::now();
+        let old_nodes = TimingGraph::node_count(&*core);
+        let dirty = dirty_probe_set(&new_core, &changed, old_nodes);
+        let inc = evaluate_ts_incremental(&new_core, &cand, &ts_opts, &previous, &dirty)?;
+        let keep_inc = eco_keep_mask(&inc, &cand);
+        let patched = MacroModel::generate_patched(&edited, &keep_inc, &mm_opts, &mut cache)?;
+        let inc_ms = ms(t);
+
+        // From-scratch path: the reference the patched model must match.
+        let t = Instant::now();
+        let scratch = evaluate_ts_with_core(&new_core, &cand, &ts_opts)?;
+        let keep_scratch = eco_keep_mask(&scratch, &cand);
+        let rebuilt = MacroModel::generate(&edited, &keep_scratch, &mm_opts)?;
+        let scratch_ms = ms(t);
+
+        let (pa, pb) = (patched.serialize(), rebuilt.serialize());
+        if pa != pb {
+            return Err(CliError {
+                class: ErrClass::Analysis,
+                msg: format!(
+                    "{what}: patched macro differs from a from-scratch rebuild \
+                     ({} vs {} bytes)",
+                    pa.len(),
+                    pb.len()
+                ),
+            });
+        }
+        let op = edit.op().name();
+        let dirty_count = dirty.iter().filter(|&&d| d).count();
+        records.push(obs::BenchRecord {
+            stage: format!("eco_incremental_{op}"),
+            design: netlist.name().to_string(),
+            wall_ms: inc_ms,
+            throughput: rate(edited.live_nodes(), inc_ms),
+        });
+        records.push(obs::BenchRecord {
+            stage: format!("eco_scratch_{op}"),
+            design: netlist.name().to_string(),
+            wall_ms: scratch_ms,
+            throughput: rate(edited.live_nodes(), scratch_ms),
+        });
+        println!(
+            "edit {k:>3} {:<34} inc {inc_ms:>9.2} ms  scratch {scratch_ms:>9.2} ms  \
+             x{:>5.1}  dirty {dirty_count}/{}",
+            edit.describe(),
+            if inc_ms > 0.0 { scratch_ms / inc_ms } else { 0.0 },
+            dirty.len()
+        );
+        let slot = per_op.entry(op).or_insert((0.0, 0.0, 0));
+        slot.0 += inc_ms;
+        slot.1 += scratch_ms;
+        slot.2 += 1;
+        inc_total += inc_ms;
+        scratch_total += scratch_ms;
+        previous = inc;
+        core = new_core;
+        graph = edited;
+        model = patched;
+    }
+
+    let mut ops: Vec<_> = per_op.into_iter().collect();
+    ops.sort_by_key(|(op, _)| *op);
+    for (op, (inc, scratch, n)) in &ops {
+        let speedup = if *inc > 0.0 { scratch / inc } else { 0.0 };
+        println!(
+            "{op:<14} {n:>3} edit(s): incremental {inc:>9.2} ms, \
+             scratch {scratch:>9.2} ms, speedup x{speedup:.1}"
+        );
+        report.fact(&format!("speedup_{op}"), format!("{speedup:.2}"));
+    }
+    println!(
+        "stream of {} edit(s): incremental {inc_total:.2} ms vs scratch {scratch_total:.2} ms \
+         (x{:.1}); every patched model byte-identical to its rebuild",
+        stream.edits().len(),
+        if inc_total > 0.0 { scratch_total / inc_total } else { 0.0 }
+    );
+    report.fact("edits", stream.edits().len());
+    report.fact("lut_cache_hits", cache.hits());
+    report.fact("lut_cache_misses", cache.misses());
+    report.fact("final_pins", graph.live_nodes());
+
+    if let Some(out) = args.flags.get("out") {
+        let serialized = model.serialize();
+        write_file(out, &serialized)?;
+        eprintln!(
+            "wrote {out}: final patched model, {} pins kept of {}, {} bytes",
+            model.stats().kept_pins,
+            model.stats().flat_pins,
+            serialized.len()
+        );
+    }
+    if let Some(path) = args.flags.get("bench-out") {
+        write_file(path, &obs::render_bench_json("eco", &records, report))?;
+        eprintln!("wrote {path}: {} bench record(s)", records.len());
+    }
+    Ok(())
 }
 
 /// Schema-validates observability artifacts produced by `--trace-out`,
@@ -948,7 +1169,7 @@ fn cmd_ckptcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
     }
 }
 
-const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|diffcheck|ckptcheck|obscheck> [--flag value] [--switch]
+const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|eco|diffcheck|ckptcheck|obscheck> [--flag value] [--switch]
   gen      --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
   stats    --design <design.tmm> --lib <lib.tmm>
   model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
@@ -964,9 +1185,14 @@ const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|diff
            [--contexts <n>] [--cppr] [--aocv]
   context  --design <design.tmm> --lib <lib.tmm> [--seed <s>] --out <ctx.tmm>
   validate [--lib <lib.tmm>] [--design <design.tmm>] [--model <model.tmm>] [--gnn <gnn.tmm>]
+  eco      --design <design.tmm> --lib <lib.tmm> [--edits <n>] [--seed <s>]
+           [--contexts <n>] [--cppr] [--aocv] [--out <model.tmm>] [--bench-out <BENCH_eco.json>]
+           (streaming ECO replay: regenerate the macro after every seeded edit both
+            incrementally and from scratch; models must stay byte-identical)
   diffcheck [--seed <s>] [--designs <n>] [--library <s>] [--contexts <n>] [--threads <n>]
            [--probes <n>] [--max-findings <n>] [--out-dir <dir>]
            [--inject <fault-op> [--inject-seed <s>] [--max-cells <n>]]
+           [--eco-edits <n>] [--inject-eco-stale]
            [--replay <file.repro.ron>] [--deadline-ms <n>]
            (cross-engine differential sweep; writes .repro.ron artifacts on divergence)
   ckptcheck --design <design.tmm> --lib <lib.tmm> [--out-dir <dir>] [--kills <n>]
@@ -1054,6 +1280,7 @@ fn run() -> ExitCode {
         "eval" => cmd_eval(&args),
         "context" => cmd_context(&args),
         "validate" => cmd_validate(&args, &mut report),
+        "eco" => cmd_eco(&args, &mut report),
         "diffcheck" => cmd_diffcheck(&args, &mut report),
         "ckptcheck" => cmd_ckptcheck(&args, &mut report),
         "obscheck" => cmd_obscheck(&args),
