@@ -16,13 +16,17 @@
 use std::time::Instant;
 use tmm_bench::library;
 use tmm_circuits::designs::{eval_suite, training_suite};
+use tmm_circuits::CircuitSpec;
 use tmm_core::{Framework, FrameworkConfig};
 use tmm_gnn::{Backend, GnnModel, TrainSample};
-use tmm_macromodel::extract_ilm;
+use tmm_macromodel::{extract_ilm, reduce_graph_via_view_budget, ReducePolicy};
 use tmm_sensitivity::{
     build_dataset, evaluate_ts, filter_insensitive, FilterOptions, TsEngine, TsOptions,
 };
-use tmm_sta::graph::ArcGraph;
+use tmm_sta::constraints::Context;
+use tmm_sta::graph::{ArcGraph, NodeKind};
+use tmm_sta::propagate::{Analysis, AnalysisOptions};
+use tmm_sta::view::{DesignCore, GraphView};
 
 /// Trains the framework's model on the prepared samples with the given
 /// kernel backend and thread count; returns the wall-clock seconds and a
@@ -55,7 +59,159 @@ fn train_kernels(
     (secs, (model.to_text(), losses, preds))
 }
 
+/// Value of `--name <v>` in `argv`, if present.
+fn arg_value(argv: &[String], name: &str) -> Option<String> {
+    argv.iter().position(|a| a == name).and_then(|i| argv.get(i + 1).cloned())
+}
+
+fn parsed_arg<T: std::str::FromStr>(argv: &[String], name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match arg_value(argv, name) {
+        Some(v) => match v.parse() {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("bad value for {name}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => default,
+    }
+}
+
+/// The scale sweep (`--scale`): flat analysis, capped TS sweep, and macro
+/// merge on synthetic designs from 10k up to `--scale-max-pins` pins,
+/// emitting pins-per-second per stage into `BENCH_scale.json`. Runs
+/// *instead of* the training-pipeline profile so CI can gate on a single
+/// size point without paying for the full profile.
+fn run_scale_sweep(argv: &[String]) {
+    tmm_obs::enable_metrics();
+    let max_pins: usize = parsed_arg(argv, "--scale-max-pins", 5_000_000);
+    let budget_mb: usize = parsed_arg(argv, "--mem-budget-mb", 0);
+    let threads: usize = parsed_arg(argv, "--threads", 1);
+    let probes: usize = parsed_arg(argv, "--probes", 64);
+    let contexts: usize = parsed_arg(argv, "--contexts", 2);
+    let lib = library();
+    let mut records: Vec<tmm_obs::BenchRecord> = Vec::new();
+    let mut report = tmm_obs::RunReport::new("scale_sweep");
+    report.design = "scale_sweep".to_string();
+    report.fact("mem_budget_mb", budget_mb);
+    report.fact("threads", threads);
+    report.fact("ts_probe_cap", probes);
+    report.fact("ts_contexts", contexts);
+
+    println!("Scale sweep (budget {budget_mb} MiB, {threads} thread(s), {contexts} context(s))\n");
+    for target in [10_000usize, 100_000, 1_000_000, 5_000_000] {
+        if target > max_pins {
+            println!("  skipping the {target}-pin point (--scale-max-pins {max_pins})");
+            continue;
+        }
+        let name = format!("scale_{target}");
+        let t = Instant::now();
+        let netlist = CircuitSpec::sized(&name, target).seed(11).generate(&lib).expect("generate");
+        let flat = ArcGraph::from_netlist(&netlist, &lib).expect("lowering");
+        let gen_s = t.elapsed().as_secs_f64();
+        let pins = flat.live_nodes();
+        let arcs = flat.live_arcs();
+        println!("  {name}: {pins} pins, {arcs} arcs (generated in {gen_s:.1} s)");
+
+        let t = Instant::now();
+        let core = DesignCore::freeze(&flat);
+        let freeze_s = t.elapsed().as_secs_f64();
+        let core_mb = core.memory_estimate() as f64 / (1024.0 * 1024.0);
+        let view = GraphView::new(core.clone());
+        let ctx = Context::nominal(&flat);
+        let t = Instant::now();
+        let an = Analysis::run_leveled(&view, &ctx, AnalysisOptions::default(), threads)
+            .expect("flat analysis");
+        let analysis_s = t.elapsed().as_secs_f64();
+        assert!(!an.boundary().po.is_empty(), "analysis must reach the boundary");
+        records.push(tmm_obs::BenchRecord {
+            stage: "flat_analysis".to_string(),
+            design: name.clone(),
+            wall_ms: analysis_s * 1e3,
+            throughput: pins as f64 / analysis_s.max(1e-12),
+        });
+        println!(
+            "    flat analysis : {analysis_s:>8.2} s  ({:.0} pins/s; freeze {freeze_s:.2} s, core est {core_mb:.0} MiB)",
+            pins as f64 / analysis_s.max(1e-12)
+        );
+
+        // TS probes are capped: the sweep measures per-probe cost at scale,
+        // not exhaustive coverage. The cap is explicit in the output and in
+        // the bench record's throughput denominator.
+        let mut survivors = vec![false; flat.node_count()];
+        let mut chosen = 0usize;
+        for (i, node) in flat.nodes().iter().enumerate() {
+            if chosen == probes {
+                break;
+            }
+            if !node.dead && node.kind == NodeKind::Internal {
+                survivors[i] = true;
+                chosen += 1;
+            }
+        }
+        let ts_opts = TsOptions {
+            contexts,
+            threads,
+            mem_budget_mb: budget_mb,
+            ..TsOptions::default()
+        };
+        let t = Instant::now();
+        let ts = evaluate_ts(&flat, &survivors, &ts_opts).expect("ts sweep");
+        let ts_s = t.elapsed().as_secs_f64();
+        records.push(tmm_obs::BenchRecord {
+            stage: "ts_sweep".to_string(),
+            design: name.clone(),
+            wall_ms: ts_s * 1e3,
+            throughput: (ts.evaluated * contexts) as f64 / ts_s.max(1e-12),
+        });
+        println!(
+            "    TS sweep      : {ts_s:>8.2} s  ({} of {chosen} capped probes evaluated, {:.1} probe-contexts/s)",
+            ts.evaluated,
+            (ts.evaluated * contexts) as f64 / ts_s.max(1e-12)
+        );
+
+        let keep = vec![false; flat.node_count()];
+        let t = Instant::now();
+        let vr = reduce_graph_via_view_budget(&core, &keep, &ReducePolicy::default(), budget_mb)
+            .expect("macro merge");
+        let merge_s = t.elapsed().as_secs_f64();
+        records.push(tmm_obs::BenchRecord {
+            stage: "macro_merge".to_string(),
+            design: name.clone(),
+            wall_ms: merge_s * 1e3,
+            throughput: pins as f64 / merge_s.max(1e-12),
+        });
+        let rss_mb = tmm_obs::peak_rss_bytes() as f64 / (1024.0 * 1024.0);
+        println!(
+            "    macro merge   : {merge_s:>8.2} s  ({:.0} pins/s, {} bypassed, {} overlay flushes)",
+            pins as f64 / merge_s.max(1e-12),
+            vr.stats.bypassed,
+            vr.flushes
+        );
+        println!("    peak RSS so far: {rss_mb:.0} MiB");
+        report.fact(&format!("{name}_pins"), pins);
+        report.fact(&format!("{name}_arcs"), arcs);
+        report.fact(&format!("{name}_core_mib"), format!("{core_mb:.1}"));
+        report.fact(&format!("{name}_merge_flushes"), vr.flushes);
+        report.fact(&format!("{name}_peak_rss_mib"), format!("{rss_mb:.0}"));
+    }
+    report.capture_environment();
+    let doc = tmm_obs::render_bench_json("scale", &records, &report);
+    if let Err(e) = tmm_ckpt::atomic_write_str("BENCH_scale.json", &doc) {
+        eprintln!("warning: could not write BENCH_scale.json: {e}");
+    }
+    println!("\nwrote BENCH_scale.json ({} records)", records.len());
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.iter().any(|a| a == "--scale") {
+        run_scale_sweep(&argv);
+        return;
+    }
     // Record metrics and stage spans so the emitted BENCH_pipeline.json
     // carries the same run report `tmm model --report-out` produces.
     tmm_obs::enable_metrics();

@@ -93,6 +93,20 @@ impl FrameworkConfig {
         self
     }
 
+    /// Sets the soft working-memory budget in MiB (0 = unbounded) for the
+    /// memory-intensive stages: TS data generation processes timing
+    /// contexts in groups small enough that their reference analyses fit
+    /// the budget, and view-engine macro merging flushes its copy-on-write
+    /// overlay into a re-frozen core whenever it outgrows the budget. Both
+    /// mechanisms are bit-identical to the unbounded run — only peak RSS
+    /// and wall time change.
+    #[must_use]
+    pub fn with_mem_budget(mut self, mem_budget_mb: usize) -> Self {
+        self.ts.mem_budget_mb = mem_budget_mb;
+        self.macro_options.mem_budget_mb = mem_budget_mb;
+        self
+    }
+
     /// Dataset options derived from this configuration.
     #[must_use]
     pub fn dataset_options(&self) -> DatasetOptions {
@@ -179,6 +193,15 @@ mod tests {
         let a = FrameworkConfig::default();
         assert_eq!(a.fingerprint(), FrameworkConfig::default().fingerprint());
         assert_ne!(a.fingerprint(), FrameworkConfig::cppr().fingerprint());
+    }
+
+    #[test]
+    fn mem_budget_flows_into_both_stages() {
+        let c = FrameworkConfig::default().with_mem_budget(512);
+        assert_eq!(c.ts.mem_budget_mb, 512);
+        assert_eq!(c.dataset_options().ts.mem_budget_mb, 512);
+        assert_eq!(c.macro_options.mem_budget_mb, 512, "merge must follow the budget too");
+        assert_ne!(c.fingerprint(), FrameworkConfig::default().fingerprint());
     }
 
     #[test]

@@ -41,10 +41,11 @@ pub const SEM_TOL: f64 = 1e-9;
 
 /// Stable names of every check, in execution order. These names appear in
 /// reports, repro artifacts, and metrics labels, and are the replay keys.
-pub const CHECK_NAMES: [&str; 10] = [
+pub const CHECK_NAMES: [&str; 11] = [
     "engine-equality",
     "retime-equality",
     "ts-threads",
+    "ts-mem-budget",
     "gnn-backend",
     "slack-conservation",
     "ts-monotone-merge",
@@ -120,6 +121,7 @@ pub fn run_named(design: &DiffDesign, name: &str, opts: &CheckOptions) -> Option
         "engine-equality" => engine_equality(design),
         "retime-equality" => retime_equality(design, opts),
         "ts-threads" => ts_threads(design, opts),
+        "ts-mem-budget" => ts_mem_budget(design, opts),
         "gnn-backend" => gnn_backend(design),
         "slack-conservation" => slack_conservation(design),
         "ts-monotone-merge" => ts_monotone_merge(design, opts),
@@ -401,6 +403,53 @@ fn ts_threads(d: &DiffDesign, opts: &CheckOptions) -> Option<String> {
         Err(e) => return Some(format!("clone sweep failed: {e}")),
     };
     ts_bit_diff(&serial, &clone, "view vs clone")
+}
+
+/// Budget-chunked vs unbounded TS: the sweep under a 1 MiB budget must
+/// match the all-contexts-resident sweep byte-for-byte (running totals are
+/// chained across groups in context order; only the final divide differs
+/// from no division of work at all). Diffcheck designs are deliberately
+/// small — often small enough that every context fits a 1 MiB budget — so
+/// the context count is raised via [`ts_min_chunked_contexts`] until the
+/// grouped path is guaranteed to split into at least two groups.
+fn ts_mem_budget(d: &DiffDesign, opts: &CheckOptions) -> Option<String> {
+    let cand = internal_candidates(&d.tainted);
+    let core = DesignCore::freeze(&d.tainted);
+    // `ts_min_chunked_contexts` is bounded: one reference analysis costs at
+    // least ~4 KiB, so 1 MiB never asks for more than ~260 contexts.
+    let contexts = tmm_sensitivity::ts_min_chunked_contexts(&core, 1).max(opts.ts_contexts.max(2));
+    let base = TsOptions {
+        contexts,
+        threads: 1,
+        engine: TsEngine::View,
+        ..Default::default()
+    };
+    let unbounded = match evaluate_ts_with_core(&core, &cand, &base) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("unbounded sweep failed: {e}")),
+    };
+    let chunked = match evaluate_ts_with_core(
+        &core,
+        &cand,
+        &TsOptions { mem_budget_mb: 1, ..base },
+    ) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("budget-chunked sweep failed: {e}")),
+    };
+    if let Some(diff) = ts_bit_diff(&unbounded, &chunked, "unbounded vs 1 MiB budget") {
+        return Some(diff);
+    }
+    // The parallel chunked sweep must agree too — grouping changes the
+    // work-list shape the workers see.
+    let par = match evaluate_ts_with_core(
+        &core,
+        &cand,
+        &TsOptions { mem_budget_mb: 1, threads: opts.threads.max(2), ..base },
+    ) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("parallel budget-chunked sweep failed: {e}")),
+    };
+    ts_bit_diff(&unbounded, &par, "unbounded vs parallel 1 MiB budget")
 }
 
 /// Naive vs blocked GNN kernels: identical training trajectory and

@@ -233,7 +233,7 @@ fn eligible_deletes(view: &GraphView) -> Vec<u32> {
         .filter(|&i| {
             let n = NodeId(i);
             view.can_bypass(n)
-                && !TimingGraph::node(view, n).is_clock_network
+                && !view.node_is_clock_network(n)
                 && TimingGraph::in_degree(view, n) >= 1
                 && TimingGraph::out_degree(view, n) >= 1
         })
@@ -366,8 +366,11 @@ mod tests {
                     assert!(!a.is_clock, "{} targets a clock arc", edit.describe());
                 }
                 EcoEdit::CellDelete { node } => {
-                    let n = TimingGraph::node(&view, NodeId(*node));
-                    assert!(!n.is_clock_network, "{} targets the clock network", edit.describe());
+                    assert!(
+                        !view.node_is_clock_network(NodeId(*node)),
+                        "{} targets the clock network",
+                        edit.describe()
+                    );
                 }
             }
             edit.apply(&mut view).unwrap();

@@ -26,7 +26,7 @@ pub fn output_variant_pins<G: TimingGraph>(graph: &G) -> Vec<bool> {
     let mut keep = vec![false; graph.node_count()];
     for (i, k) in keep.iter_mut().enumerate() {
         let n = NodeId(i as u32);
-        if !graph.node_dead(n) && !graph.node(n).po_loads.is_empty() {
+        if !graph.node_dead(n) && !graph.node_po_loads(n).is_empty() {
             *k = true;
         }
     }
@@ -160,6 +160,7 @@ pub fn generate_atm(flat: &ArcGraph, options: &MacroModelOptions) -> Result<Macr
         lut_load_points: options.lut_load_points.min(2),
         compress_luts: true,
         reduce_engine: options.reduce_engine,
+        mem_budget_mb: options.mem_budget_mb,
     };
     MacroModel::generate(flat, &keep, &opts)
 }

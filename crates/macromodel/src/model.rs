@@ -8,7 +8,7 @@
 
 use crate::ilm::extract_ilm;
 use crate::lut_select::compress_graph_luts;
-use crate::reduce::{reduce_graph, reduce_graph_via_view, ReduceEngine, ReducePolicy, ReduceStats};
+use crate::reduce::{reduce_graph, ReduceEngine, ReducePolicy, ReduceStats};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use tmm_sta::constraints::Context;
@@ -40,6 +40,12 @@ pub struct MacroModelOptions {
     /// once at the end; [`ReduceEngine::InPlace`] mutates the ILM clone
     /// directly. Both produce byte-identical models.
     pub reduce_engine: ReduceEngine,
+    /// Soft working-memory budget in MiB for the [`ReduceEngine::View`]
+    /// merge (0 = unbounded). When the copy-on-write overlay outgrows
+    /// `budget − core`, the view is materialised and re-frozen mid-merge so
+    /// peak RSS stays near the budget. Flushing never changes a merge
+    /// decision — the model stays byte-identical.
+    pub mem_budget_mb: usize,
 }
 
 impl Default for MacroModelOptions {
@@ -51,6 +57,7 @@ impl Default for MacroModelOptions {
             allow_growth: false,
             compress_luts: true,
             reduce_engine: ReduceEngine::View,
+            mem_budget_mb: 0,
         }
     }
 }
@@ -171,12 +178,20 @@ impl MacroModel {
                 // small overlay until a single materialisation at the end.
                 let core = tmm_sta::view::DesignCore::freeze(&graph);
                 let vr = match ckpt {
-                    Some((store, stage)) => {
-                        crate::reduce::reduce_graph_via_view_ckpt(
-                            &core, keep, &policy, store, stage,
-                        )?
-                    }
-                    None => reduce_graph_via_view(&core, keep, &policy)?,
+                    Some((store, stage)) => crate::reduce::reduce_graph_via_view_budget_ckpt(
+                        &core,
+                        keep,
+                        &policy,
+                        options.mem_budget_mb,
+                        store,
+                        stage,
+                    )?,
+                    None => crate::reduce::reduce_graph_via_view_budget(
+                        &core,
+                        keep,
+                        &policy,
+                        options.mem_budget_mb,
+                    )?,
                 };
                 let mem = flat.memory_estimate() + core.memory_estimate() + vr.overlay_bytes;
                 graph = vr.graph;

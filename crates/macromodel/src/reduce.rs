@@ -159,9 +159,13 @@ pub struct ViewReduction {
     pub graph: ArcGraph,
     /// Merge counters (identical to what [`reduce_graph`] reports).
     pub stats: ReduceStats,
-    /// Bytes of copy-on-write overlay the reduction accumulated — the
-    /// only per-reduction memory besides the shared core.
+    /// Bytes of copy-on-write overlay the reduction held when it finished
+    /// (post-flush under a memory budget) — the only per-reduction memory
+    /// besides the shared core.
     pub overlay_bytes: usize,
+    /// Mid-reduction materialise+refreeze cycles forced by the memory
+    /// budget (0 when unbudgeted or the overlay never outgrew it).
+    pub flushes: usize,
 }
 
 /// Reduces a design through a copy-on-write [`GraphView`] over its frozen
@@ -183,7 +187,31 @@ pub fn reduce_graph_via_view(
     keep: &[bool],
     policy: &ReducePolicy,
 ) -> Result<ViewReduction> {
-    reduce_via_view_impl(core, keep, policy, None)
+    reduce_via_view_impl(core, keep, policy, 0, None)
+}
+
+/// [`reduce_graph_via_view`] under a peak-memory budget (MiB, 0 =
+/// unbounded): whenever the copy-on-write overlay outgrows what the budget
+/// leaves beside the frozen core, the view is materialised and refrozen
+/// mid-reduction and editing continues over the new core with an empty
+/// overlay. Replacement-arc ids keep counting from where they were, so
+/// the final graph is byte-identical to an unbudgeted reduction — only
+/// peak RSS (and [`ViewReduction::flushes`]) differ.
+///
+/// # Errors
+///
+/// As [`reduce_graph_via_view`].
+///
+/// # Panics
+///
+/// Panics if `keep.len() != core.node_count()`.
+pub fn reduce_graph_via_view_budget(
+    core: &Arc<DesignCore>,
+    keep: &[bool],
+    policy: &ReducePolicy,
+    mem_budget_mb: usize,
+) -> Result<ViewReduction> {
+    reduce_via_view_impl(core, keep, policy, mem_budget_mb, None)
 }
 
 /// [`reduce_graph_via_view`] with crash-safe pass checkpointing: after
@@ -210,7 +238,30 @@ pub fn reduce_graph_via_view_ckpt(
     store: &mut dyn tmm_ckpt::StageStore,
     stage: &str,
 ) -> Result<ViewReduction> {
-    reduce_via_view_impl(core, keep, policy, Some((store, stage)))
+    reduce_via_view_impl(core, keep, policy, 0, Some((store, stage)))
+}
+
+/// [`reduce_graph_via_view_ckpt`] under a peak-memory budget — see
+/// [`reduce_graph_via_view_budget`]. Flush points are not recorded in the
+/// trace (they change no decision), so a run may resume under a different
+/// budget and still produce the identical graph.
+///
+/// # Errors
+///
+/// As [`reduce_graph_via_view_ckpt`].
+///
+/// # Panics
+///
+/// Panics if `keep.len() != core.node_count()`.
+pub fn reduce_graph_via_view_budget_ckpt(
+    core: &Arc<DesignCore>,
+    keep: &[bool],
+    policy: &ReducePolicy,
+    mem_budget_mb: usize,
+    store: &mut dyn tmm_ckpt::StageStore,
+    stage: &str,
+) -> Result<ViewReduction> {
+    reduce_via_view_impl(core, keep, policy, mem_budget_mb, Some((store, stage)))
 }
 
 /// Maps a checkpoint-layer failure into the STA error domain so merge
@@ -300,6 +351,9 @@ fn replay_merge_pass(
     trace: &MergeTrace,
     policy: &ReducePolicy,
     stats: &mut ReduceStats,
+    mem_budget_mb: usize,
+    allowance: &mut Option<usize>,
+    flushes: &mut usize,
 ) -> std::result::Result<(), String> {
     stats.refused = trace.refused;
     for &id in &trace.bypassed {
@@ -317,7 +371,65 @@ fn replay_merge_pass(
                 stats.parallel_merged += view.coalesce_parallel(u, v);
             }
         }
+        flush_if_over_budget(view, mem_budget_mb, allowance, flushes)
+            .map_err(|e| format!("budget flush during replay: {e}"))?;
     }
+    Ok(())
+}
+
+/// Minimum overlay the budget always allows: below this a flush costs more
+/// (a full materialise + refreeze) than the bytes it frees, and a budget
+/// smaller than the core itself would otherwise thrash on every edit.
+const MERGE_FLUSH_MIN_OVERLAY: usize = 64 * 1024;
+
+/// Materialises and refreezes `view` in place when its overlay has
+/// outgrown what `mem_budget_mb` leaves beside the frozen core. Editing
+/// then continues over the new core with an empty overlay. Replacement
+/// arc ids keep counting from `core.arc_count()` (the refrozen core
+/// absorbed exactly the arcs the overlay held, in id order) and merges
+/// never insert nodes, so a flushed reduction materialises the identical
+/// graph an unflushed one would — this is what bounds peak RSS without
+/// cloning the whole design.
+fn flush_if_over_budget(
+    view: &mut GraphView,
+    mem_budget_mb: usize,
+    allowance: &mut Option<usize>,
+    flushes: &mut usize,
+) -> Result<()> {
+    if mem_budget_mb == 0 {
+        return Ok(());
+    }
+    // The core only changes at a flush, so its O(nodes+arcs) estimate is
+    // cached between flushes — this check runs after every bypass and must
+    // stay O(1) (the overlay estimate itself is counter-maintained).
+    let cap = match *allowance {
+        Some(cap) => cap,
+        None => {
+            let budget = mem_budget_mb.saturating_mul(1024 * 1024);
+            let core_bytes = view.core().memory_estimate();
+            // Never flush before the overlay has grown to a quarter of the
+            // core: a flush costs one O(core + overlay) materialise +
+            // refreeze, so this floor amortises total flush work to O(total
+            // overlay produced). Without it a budget at or below the core
+            // size would flush after nearly every bypass — quadratic — to
+            // honour a bound the core alone already exceeds. The budget is
+            // best-effort: peak working set stays within
+            // max(budget, 1.25 × core).
+            let cap = budget
+                .saturating_sub(core_bytes)
+                .max(core_bytes / 4)
+                .max(MERGE_FLUSH_MIN_OVERLAY);
+            *allowance = Some(cap);
+            cap
+        }
+    };
+    if view.memory_estimate() <= cap {
+        return Ok(());
+    }
+    let graph = view.materialize()?;
+    *view = GraphView::new(DesignCore::freeze(&graph));
+    *allowance = None;
+    *flushes += 1;
     Ok(())
 }
 
@@ -325,11 +437,17 @@ fn reduce_via_view_impl(
     core: &Arc<DesignCore>,
     keep: &[bool],
     policy: &ReducePolicy,
+    mem_budget_mb: usize,
     mut ckpt: Option<(&mut dyn tmm_ckpt::StageStore, &str)>,
 ) -> Result<ViewReduction> {
     assert_eq!(keep.len(), core.node_count(), "keep mask size mismatch");
     let mut view = GraphView::new(core.clone());
     let mut stats = ReduceStats::default();
+    let mut flushes = 0usize;
+    let mut allowance: Option<usize> = None;
+    // The visit order is captured from the ORIGINAL core and survives
+    // budget flushes — a refrozen core re-toposorts, and switching to its
+    // order mid-run would change the bypass sequence.
     let order: Vec<NodeId> = core.topo_order().to_vec();
     for pass in 0..4 {
         // A recorded pass replays verbatim: the checkpoint stores only the
@@ -343,7 +461,16 @@ fn reduce_via_view_impl(
                         "merge trace {stage}/{seq}: {m}"
                     )))
                 })?;
-                replay_merge_pass(&mut view, &trace, policy, &mut stats).map_err(|m| {
+                replay_merge_pass(
+                    &mut view,
+                    &trace,
+                    policy,
+                    &mut stats,
+                    mem_budget_mb,
+                    &mut allowance,
+                    &mut flushes,
+                )
+                .map_err(|m| {
                     ckpt_to_sta(tmm_ckpt::CkptError::Corrupt(format!(
                         "merge trace {stage}/{seq}: {m}"
                     )))
@@ -359,7 +486,7 @@ fn reduce_via_view_impl(
         stats.refused = 0;
         let mut trace_nodes: Vec<u32> = Vec::new();
         for &n in &order {
-            if view.node_dead(n) || view.node(n).kind != NodeKind::Internal || keep[n.index()]
+            if view.node_dead(n) || view.node_kind(n) != NodeKind::Internal || keep[n.index()]
             {
                 continue;
             }
@@ -391,6 +518,7 @@ fn reduce_via_view_impl(
                     stats.parallel_merged += view.coalesce_parallel(u, v);
                 }
             }
+            flush_if_over_budget(&mut view, mem_budget_mb, &mut allowance, &mut flushes)?;
         }
         if let Some((store, stage)) = ckpt.as_mut() {
             let trace =
@@ -437,7 +565,7 @@ fn reduce_via_view_impl(
     }
     let overlay_bytes = view.memory_estimate();
     let graph = view.materialize()?;
-    Ok(ViewReduction { graph, stats, overlay_bytes })
+    Ok(ViewReduction { graph, stats, overlay_bytes, flushes })
 }
 
 #[cfg(test)]
@@ -590,6 +718,37 @@ mod tests {
             pristine.overlay_bytes,
             core.memory_estimate()
         );
+    }
+
+    #[test]
+    fn budgeted_reduction_is_identical_and_actually_flushes() {
+        // A tiny budget must force at least one mid-merge flush, and the
+        // flushed run must produce the exact same graph and counters as the
+        // unbudgeted one: a flush re-freezes the view but never changes a
+        // merge decision or an arc id.
+        let lib = Library::synthetic(2);
+        let n = CircuitSpec::sized("bud", 1500).seed(33).generate(&lib).unwrap();
+        let g0 = ArcGraph::from_netlist(&n, &lib).unwrap();
+        let core = DesignCore::freeze(&g0);
+        let keep = vec![false; g0.node_count()];
+        let policy = ReducePolicy { max_bypass: 4096, allow_growth: true };
+        let plain = reduce_graph_via_view(&core, &keep, &policy).unwrap();
+        assert_eq!(plain.flushes, 0, "no budget, no flushing");
+        let budgeted = reduce_graph_via_view_budget(&core, &keep, &policy, 1).unwrap();
+        assert!(budgeted.flushes > 0, "a 1 MiB budget must trigger flushes");
+        assert_eq!(plain.stats, budgeted.stats, "flushing must not change decisions");
+        assert_eq!(plain.graph.node_count(), budgeted.graph.node_count());
+        assert_eq!(plain.graph.arcs().len(), budgeted.graph.arcs().len());
+        for (a, b) in plain.graph.nodes().iter().zip(budgeted.graph.nodes()) {
+            assert_eq!((a.dead, &a.name), (b.dead, &b.name));
+        }
+        for (i, (a, b)) in plain.graph.arcs().iter().zip(budgeted.graph.arcs()).enumerate() {
+            assert_eq!((a.from, a.to, a.dead, a.is_clock), (b.from, b.to, b.dead, b.is_clock), "arc {i}");
+        }
+        let ctx = Context::nominal(&g0);
+        let x = Analysis::run(&plain.graph, &ctx).unwrap();
+        let y = Analysis::run(&budgeted.graph, &ctx).unwrap();
+        assert_eq!(x.boundary().diff(y.boundary()).max, 0.0, "bit-identical timing");
     }
 
     #[test]

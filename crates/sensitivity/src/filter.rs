@@ -93,7 +93,7 @@ pub fn filter_insensitive<G: TimingGraph>(
     let candidate: Vec<bool> = (0..graph.node_count())
         .map(|i| {
             let n = NodeId(i as u32);
-            !graph.node_dead(n) && graph.node(n).kind == NodeKind::Internal
+            !graph.node_dead(n) && graph.node_kind(n) == NodeKind::Internal
         })
         .collect();
     let sd_z = standardise_sd(&sd, &candidate);

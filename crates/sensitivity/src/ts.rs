@@ -61,6 +61,12 @@ pub struct TsOptions {
     pub zero_eps: f64,
     /// Probe engine (cone-limited view by default).
     pub engine: TsEngine,
+    /// Approximate peak-memory budget in MiB for the sweep (0 =
+    /// unbounded). When the resident reference analyses for all contexts
+    /// would exceed it, the contexts are processed in groups small enough
+    /// to fit, carrying per-pin running totals between groups — the
+    /// grouped sweep is bit-identical to the unbounded one.
+    pub mem_budget_mb: usize,
 }
 
 impl Default for TsOptions {
@@ -73,6 +79,7 @@ impl Default for TsOptions {
             aocv: false,
             zero_eps: 1e-6,
             engine: TsEngine::View,
+            mem_budget_mb: 0,
         }
     }
 }
@@ -242,6 +249,43 @@ fn resolve_threads(configured: usize) -> usize {
     }
 }
 
+/// Approximate resident bytes of one [`ReferenceAnalysis`]: the raw
+/// propagation state dominates (at/slew/rat quads, launch tags, clock
+/// parents per node), plus a fixed allowance for the boundary snapshot.
+pub(crate) fn reference_state_bytes(nodes: usize) -> usize {
+    nodes * (3 * 32 + 16 + 4) + 4096
+}
+
+/// How many contexts' reference analyses fit in `budget_mb` alongside the
+/// frozen core (0 = unbounded → all of them, the pre-budget behaviour).
+/// Always at least 1: a budget too small for even one reference degrades
+/// to maximal chunking rather than failing.
+fn ts_context_group_size(core: &DesignCore, budget_mb: usize, contexts: usize) -> usize {
+    if budget_mb == 0 {
+        return contexts.max(1);
+    }
+    let budget = budget_mb.saturating_mul(1024 * 1024);
+    let fixed = core.memory_estimate();
+    let per = reference_state_bytes(core.node_count());
+    (budget.saturating_sub(fixed) / per.max(1)).clamp(1, contexts.max(1))
+}
+
+/// Smallest context count that makes a `budget_mb`-bounded sweep over
+/// `core` split into at least two context groups. Differential checks use
+/// this to guarantee the chunked accumulation path actually engages even
+/// on designs small enough that the whole sweep would fit the budget.
+#[must_use]
+pub fn ts_min_chunked_contexts(core: &DesignCore, budget_mb: usize) -> usize {
+    if budget_mb == 0 {
+        return 2;
+    }
+    let budget = budget_mb.saturating_mul(1024 * 1024);
+    let fixed = core.memory_estimate();
+    let per = reference_state_bytes(core.node_count());
+    // One more context than fits resident forces a second group.
+    (budget.saturating_sub(fixed) / per.max(1)).max(1) + 1
+}
+
 /// One pin's sweep outcome: its node index and either the measured TS or
 /// the rendered quarantine cause.
 type PinOutcome = (usize, std::result::Result<f64, String>);
@@ -330,11 +374,11 @@ fn ckpt_to_sta(e: tmm_ckpt::CkptError) -> tmm_sta::StaError {
 }
 
 /// Renders one chunk of pin outcomes as a checkpoint payload
-/// (`ts_chunk v1`): one line per pin, `{v:e}` exact-f64 values, the
+/// (`ts_chunk v2`): one line per pin, `{v:e}` exact-f64 values, the
 /// quarantine cause carried verbatim to end of line.
 fn render_ts_chunk(outcomes: &[PinOutcome]) -> String {
     use std::fmt::Write as _;
-    let mut out = format!("ts_chunk v1 {}\n", outcomes.len());
+    let mut out = format!("ts_chunk v2 {}\n", outcomes.len());
     for (i, o) in outcomes {
         match o {
             Ok(v) => {
@@ -348,14 +392,14 @@ fn render_ts_chunk(outcomes: &[PinOutcome]) -> String {
     out
 }
 
-/// Parses a `ts_chunk v1` payload back into pin outcomes, verifying the
+/// Parses a `ts_chunk v2` payload back into pin outcomes, verifying the
 /// recorded pins match `expect` (this run's deterministic work slice) so
 /// a chunk written against a different candidate set is rejected.
 fn parse_ts_chunk(payload: &str, expect: &[usize]) -> std::result::Result<Vec<PinOutcome>, String> {
     let mut lines = payload.lines();
     let header = lines.next().ok_or("empty chunk payload")?;
     let mut h = header.split_whitespace();
-    if h.next() != Some("ts_chunk") || h.next() != Some("v1") {
+    if h.next() != Some("ts_chunk") || h.next() != Some("v2") {
         return Err(format!("bad chunk header `{header}`"));
     }
     let count: usize =
@@ -462,7 +506,7 @@ fn evaluate_ts_view_impl(
     core: &Arc<DesignCore>,
     candidates: &[bool],
     opts: &TsOptions,
-    ckpt: Option<(&mut dyn tmm_ckpt::StageStore, &str)>,
+    mut ckpt: Option<(&mut dyn tmm_ckpt::StageStore, &str)>,
 ) -> Result<TsResult> {
     let n = core.node_count();
     assert_eq!(candidates.len(), n, "candidate mask size mismatch");
@@ -471,10 +515,8 @@ fn evaluate_ts_view_impl(
     let analysis_opts = AnalysisOptions { cppr: opts.cppr, aocv: opts.aocv };
     let mut sampler = ContextSampler::new(opts.seed);
     let contexts: Vec<Context> = sampler.sample_many(&**core, opts.contexts.max(1));
-    let references: Vec<ReferenceAnalysis> = contexts
-        .into_iter()
-        .map(|c| ReferenceAnalysis::new(core.clone(), c, analysis_opts))
-        .collect::<Result<_>>()?;
+    let n_ctx = contexts.len();
+    let group_size = ts_context_group_size(core, opts.mem_budget_mb, n_ctx);
 
     let probe = GraphView::new(core.clone());
     let mut ts = vec![f64::NAN; n];
@@ -496,98 +538,135 @@ fn evaluate_ts_view_impl(
     }
 
     let threads = resolve_threads(opts.threads).min(work.len().max(1));
-    // Scratch state is per-thread; retime resets it per probe, so one
-    // scratch serves every reference (they share node count).
-    let scratch_proto: RetimeScratch = references[0].scratch();
-    let eval_pin = |i: usize, scratch: &mut RetimeScratch| -> Result<f64> {
-        let mut view = GraphView::new(core.clone());
-        view.bypass_node(NodeId(i as u32))?;
-        let mut total = 0.0f64;
-        for reference in &references {
-            let edited = reference.retime(&view, scratch)?;
-            let cats = relative_diff(reference.boundary(), &edited);
-            total += cats.iter().sum::<f64>() / 4.0;
-        }
-        Ok(total / references.len() as f64)
-    };
-    let mut failures = Vec::new();
-    match ckpt {
-        None if threads <= 1 => {
-            let mut scratch = scratch_proto;
-            for &i in &work {
-                match timed_probe("view", || eval_pin(i, &mut scratch)) {
-                    Ok(v) => ts[i] = v,
-                    Err(e) => failures.push(TsFailure { node: i, cause: e.to_string() }),
-                }
+    // Per-pin running totals chained across context groups: each group
+    // appends its contexts (in ascending context order) to the same f64
+    // accumulation sequence and the single divide happens at the very end,
+    // so the grouped sweep is bit-identical to all-contexts-at-once
+    // regardless of group size. A pin that fails keeps the cause of its
+    // first failing context and is skipped in later groups.
+    let mut totals = vec![0.0f64; n];
+    let mut failed: Vec<Option<String>> = vec![None; n];
+    for (g, ctx_group) in contexts.chunks(group_size).enumerate() {
+        // Only this group's references are resident: the previous group's
+        // were dropped at the end of the last iteration, which is what
+        // keeps peak RSS within the budget.
+        let references: Vec<ReferenceAnalysis> = ctx_group
+            .iter()
+            .map(|c| {
+                ReferenceAnalysis::new_with_threads(
+                    core.clone(),
+                    c.clone(),
+                    analysis_opts,
+                    threads,
+                )
+            })
+            .collect::<Result<_>>()?;
+        // Scratch state is per-thread; retime resets it per probe, so one
+        // scratch serves every reference (they share node count).
+        let scratch_proto: RetimeScratch = references[0].scratch();
+        let totals_ref = &totals;
+        let eval_pin = |i: usize, scratch: &mut RetimeScratch| -> Result<f64> {
+            let mut view = GraphView::new(core.clone());
+            view.bypass_node(NodeId(i as u32))?;
+            let mut total = totals_ref[i];
+            for reference in &references {
+                let edited = reference.retime(&view, scratch)?;
+                let cats = relative_diff(reference.boundary(), &edited);
+                total += cats.iter().sum::<f64>() / 4.0;
             }
-        }
-        None => {
-            let scratch_proto = &scratch_proto;
-            let eval_pin = &eval_pin;
-            sweep(&work, threads, &mut ts, &mut failures, move |i| {
-                // Each sweep closure invocation runs on some worker; clone a
-                // fresh scratch per probe is wasteful, so use a thread-local.
-                thread_local! {
-                    static SCRATCH: std::cell::RefCell<Option<RetimeScratch>> =
-                        const { std::cell::RefCell::new(None) };
-                }
-                SCRATCH.with(|cell| {
-                    let mut slot = cell.borrow_mut();
-                    let scratch = slot.get_or_insert_with(|| scratch_proto.clone());
-                    timed_probe("view", || eval_pin(i, scratch))
-                })
-            })?;
-        }
-        Some((store, stage)) => {
-            // Chunked, resumable sweep: a chunk already in the store is
-            // loaded instead of recomputed; a fresh chunk is evaluated with
-            // the same machinery as the hookless path and persisted before
-            // the next chunk starts. Stitching happens in chunk order, so
-            // TS values and the failure list come out identical either way.
-            let mut scratch = scratch_proto.clone();
-            for (c, chunk) in work.chunks(TS_CKPT_CHUNK).enumerate() {
-                let seq = c as u64;
-                let outcomes = match store.load(stage, seq).map_err(ckpt_to_sta)? {
-                    Some(payload) => parse_ts_chunk(&payload, chunk).map_err(|m| {
-                        ckpt_to_sta(tmm_ckpt::CkptError::Corrupt(format!(
-                            "TS chunk {stage}/{seq}: {m}"
-                        )))
-                    })?,
-                    None => {
-                        let outcomes: Vec<PinOutcome> = if threads <= 1 {
-                            chunk
-                                .iter()
-                                .map(|&i| {
-                                    let r = timed_probe("view", || eval_pin(i, &mut scratch));
-                                    (i, r.map_err(|e| e.to_string()))
-                                })
-                                .collect()
-                        } else {
-                            let scratch_proto = &scratch_proto;
-                            let eval_pin = &eval_pin;
-                            sweep_outcomes(chunk, threads.min(chunk.len()), move |i| {
-                                thread_local! {
-                                    static SCRATCH: std::cell::RefCell<Option<RetimeScratch>> =
-                                        const { std::cell::RefCell::new(None) };
-                                }
-                                SCRATCH.with(|cell| {
-                                    let mut slot = cell.borrow_mut();
-                                    let scratch =
-                                        slot.get_or_insert_with(|| scratch_proto.clone());
-                                    timed_probe("view", || eval_pin(i, scratch))
-                                })
-                            })?
-                        };
-                        store
-                            .save(stage, seq, &render_ts_chunk(&outcomes))
-                            .map_err(ckpt_to_sta)?;
-                        outcomes
-                    }
+            Ok(total)
+        };
+        // Each sweep closure invocation runs on some worker; cloning a
+        // fresh scratch per probe is wasteful, so use a thread-local. The
+        // main thread's slot outlives this call — a cached scratch sized
+        // for a different core must be replaced, not reused.
+        let eval_shared = |i: usize| {
+            thread_local! {
+                static SCRATCH: std::cell::RefCell<Option<RetimeScratch>> =
+                    const { std::cell::RefCell::new(None) };
+            }
+            SCRATCH.with(|cell| {
+                let mut slot = cell.borrow_mut();
+                let scratch = match slot.as_mut() {
+                    Some(s) if s.base_nodes() == scratch_proto.base_nodes() => s,
+                    _ => slot.insert(scratch_proto.clone()),
                 };
-                apply_outcomes(outcomes, &mut ts, &mut failures);
-                tmm_ckpt::heartbeat();
+                timed_probe("view", || eval_pin(i, scratch))
+            })
+        };
+        let group_outcomes: Vec<PinOutcome> = match ckpt.as_mut() {
+            None => {
+                let active: Vec<usize> =
+                    work.iter().copied().filter(|&i| failed[i].is_none()).collect();
+                sweep_outcomes(&active, threads.min(active.len().max(1)), &eval_shared)?
             }
-            store.mark_done(stage).map_err(ckpt_to_sta)?;
+            Some((store, stage)) => {
+                // Chunked, resumable sweep: a chunk already in the store is
+                // loaded instead of recomputed; a fresh chunk is evaluated
+                // with the same machinery as the hookless path and persisted
+                // before the next chunk starts. Chunks always cover the full
+                // work list (carried failures re-render their cause), and
+                // stitching happens in (group, chunk) order, so TS values
+                // and the failure list come out identical either way.
+                let mut acc: Vec<PinOutcome> = Vec::with_capacity(work.len());
+                for (c, chunk) in work.chunks(TS_CKPT_CHUNK).enumerate() {
+                    let seq = ((g as u64) << 32) | c as u64;
+                    let outcomes = match store.load(stage, seq).map_err(ckpt_to_sta)? {
+                        Some(payload) => parse_ts_chunk(&payload, chunk).map_err(|m| {
+                            ckpt_to_sta(tmm_ckpt::CkptError::Corrupt(format!(
+                                "TS chunk {stage}/{seq}: {m}"
+                            )))
+                        })?,
+                        None => {
+                            let active: Vec<usize> = chunk
+                                .iter()
+                                .copied()
+                                .filter(|&i| failed[i].is_none())
+                                .collect();
+                            let fresh = sweep_outcomes(
+                                &active,
+                                threads.min(active.len().max(1)),
+                                &eval_shared,
+                            )?;
+                            let mut fresh_it = fresh.into_iter();
+                            let outcomes: Vec<PinOutcome> = chunk
+                                .iter()
+                                .map(|&i| match &failed[i] {
+                                    Some(cause) => (i, Err(cause.clone())),
+                                    None => fresh_it
+                                        .next()
+                                        .unwrap_or((i, Err("missing sweep outcome".into()))),
+                                })
+                                .collect();
+                            store
+                                .save(stage, seq, &render_ts_chunk(&outcomes))
+                                .map_err(ckpt_to_sta)?;
+                            outcomes
+                        }
+                    };
+                    acc.extend(outcomes);
+                    tmm_ckpt::heartbeat();
+                }
+                acc
+            }
+        };
+        for (i, outcome) in group_outcomes {
+            match outcome {
+                Ok(v) => totals[i] = v,
+                Err(cause) => {
+                    failed[i].get_or_insert(cause);
+                }
+            }
+        }
+    }
+    if let Some((store, stage)) = ckpt.as_mut() {
+        store.mark_done(stage).map_err(ckpt_to_sta)?;
+    }
+    let mut failures = Vec::new();
+    for &i in &work {
+        match failed[i].take() {
+            Some(cause) => failures.push(TsFailure { node: i, cause }),
+            None => ts[i] = totals[i] / n_ctx as f64,
         }
     }
     let evaluated = work.len() - failures.len();
@@ -759,7 +838,7 @@ pub fn evaluate_ts_incremental(
 /// [`evaluate_ts_incremental`] with crash-safe chunk checkpointing over
 /// the **recompute list only** — carried pins cost nothing to re-derive,
 /// so they are never persisted. Chunk artifacts use the same
-/// `ts_chunk v1` payload and stitching rules as
+/// `ts_chunk v2` payload and stitching rules as
 /// [`evaluate_ts_with_core_ckpt`].
 ///
 /// # Errors
@@ -1467,7 +1546,7 @@ mod tests {
                 !arc.dead
                     && !arc.is_clock
                     && matches!(arc.timing, ArcTiming::Table(_))
-                    && !TimingGraph::node(&**core, arc.from).is_clock_network
+                    && !TimingGraph::node_is_clock_network(&**core, arc.from)
                     && !TimingGraph::node_dead(&**core, arc.from)
                     && !TimingGraph::node_dead(&**core, arc.to)
             })

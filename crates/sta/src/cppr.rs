@@ -126,7 +126,7 @@ pub fn cppr_crucial_pins<G: TimingGraph>(graph: &G) -> Vec<NodeId> {
     (0..graph.node_count())
         .map(|i| NodeId(i as u32))
         .filter(|&n| {
-            !graph.node_dead(n) && graph.node(n).is_clock_network && graph.out_degree(n) > 1
+            !graph.node_dead(n) && graph.node_is_clock_network(n) && graph.out_degree(n) > 1
         })
         .collect()
 }

@@ -748,10 +748,19 @@ impl ArcGraph {
     /// single arc taking the mode-worst delay/slew at every table sample.
     /// Returns the number of arcs removed.
     pub fn coalesce_parallel(&mut self, from: NodeId, to: NodeId) -> usize {
-        let group: Vec<ArcId> = self
-            .fanout(from)
-            .filter(|&a| self.arcs[a.index()].to == to)
-            .collect();
+        // Both adjacency lists hold arc ids in ascending order (initial
+        // build and `add_arc` only append), so filtering either side yields
+        // the identical group in the identical order. Scan whichever raw
+        // list is shorter: during keep-none merges a hub's fanout can reach
+        // tens of thousands of entries while the target's fanin stays
+        // small, and always scanning the fanout made merging quadratic in
+        // hub degree.
+        let group: Vec<ArcId> =
+            if self.fanout[from.index()].len() <= self.fanin[to.index()].len() {
+                self.fanout(from).filter(|&a| self.arcs[a.index()].to == to).collect()
+            } else {
+                self.fanin(to).filter(|&a| self.arcs[a.index()].from == from).collect()
+            };
         if group.len() < 2 {
             return 0;
         }

@@ -139,7 +139,7 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
             .map(NodeId)
             .filter(|&n| {
                 !self.graph.node_dead(n)
-                    && self.graph.node(n).po_loads.contains(&(po_index as u32))
+                    && self.graph.node_po_loads(n).contains(&(po_index as u32))
             })
             .collect();
         self.update(&seeds, &seeds);

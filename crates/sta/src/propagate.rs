@@ -22,8 +22,13 @@ use crate::cppr::common_path_credit;
 use crate::graph::{ArcData, ArcGraph, ArcTiming, NodeId, NodeKind};
 use crate::split::{quad, Edge, Mode, Quad, Split, TransPair};
 use crate::view::TimingGraph;
-use crate::Result;
+use crate::{Result, StaError};
 use std::collections::HashMap;
+
+/// Minimum per-thread slice of a level worth sharding: below this the
+/// spawn/scatter overhead dwarfs the propagation work and the level runs
+/// serially inside [`Analysis::run_leveled`].
+const PAR_MIN_CHUNK: usize = 64;
 
 /// Sentinel for "no node" in packed tag arrays.
 const NONE: u32 = u32::MAX;
@@ -94,6 +99,43 @@ impl Analysis {
             None
         };
         Self::run_with_aocv(graph, ctx, options, spec)
+    }
+
+    /// Level-parallel analysis: shards each longest-path level of the
+    /// graph's [`crate::view::LevelSchedule`] across `threads` workers.
+    /// Within a level no node reads another's state (all dependencies are
+    /// strictly cross-level), workers only *compute* into private buffers,
+    /// and the scatter back into [`PropState`] is serial — so the result
+    /// is bit-identical to [`Analysis::run_with_options`]. Falls back to
+    /// the serial sweep when `threads <= 1` or the graph carries no
+    /// schedule (plain [`ArcGraph`]s, views with inserted nodes).
+    ///
+    /// # Errors
+    ///
+    /// See [`Analysis::run`]; additionally reports a worker panic as
+    /// [`StaError::IllegalEdit`] instead of aborting the process.
+    pub fn run_leveled<G: TimingGraph + Sync>(
+        graph: &G,
+        ctx: &Context,
+        options: AnalysisOptions,
+        threads: usize,
+    ) -> Result<Analysis> {
+        tmm_obs::counter_add("tmm_sta_full_analyses_total", &[], 1);
+        let standard;
+        let spec = if options.aocv {
+            standard = AocvSpec::standard();
+            Some(&standard)
+        } else {
+            None
+        };
+        let evaluator = Evaluator::new(graph, spec.cloned());
+        let mut state = PropState::new(graph);
+        let q_to_ck = q_to_ck_map(graph);
+        let po_loads = ctx.po_loads();
+        full_sweep_leveled(
+            graph, ctx, options, threads, &evaluator, &q_to_ck, &po_loads, &mut state,
+        )?;
+        Ok(Self::from_state(graph, state, options))
     }
 
     /// Runs an analysis with an explicit AOCV derate table (overriding the
@@ -171,7 +213,7 @@ impl Analysis {
             .primary_outputs()
             .iter()
             .map(|&n| PoTiming {
-                name: graph.node(n).name.clone(),
+                name: graph.node_name(n).to_string(),
                 at: at[n.index()],
                 slew: slew[n.index()],
                 rat: rat[n.index()],
@@ -181,7 +223,7 @@ impl Analysis {
         let pi = graph
             .primary_inputs()
             .iter()
-            .map(|&n| PiTiming { name: graph.node(n).name.clone(), rat: rat[n.index()] })
+            .map(|&n| PiTiming { name: graph.node_name(n).to_string(), rat: rat[n.index()] })
             .collect();
         let checks = graph
             .checks()
@@ -301,7 +343,9 @@ pub(crate) struct Evaluator {
 
 impl Evaluator {
     pub(crate) fn new<G: TimingGraph>(graph: &G, aocv: Option<AocvSpec>) -> Self {
-        let depths = aocv.as_ref().map(|_| graph.levels_from_inputs());
+        // `levels_from_inputs` lends a borrowed slice on cores; this copy
+        // happens only when AOCV actually needs to own the depths.
+        let depths = aocv.as_ref().map(|_| graph.levels_from_inputs().into_owned());
         Evaluator { aocv, depths }
     }
 
@@ -401,42 +445,174 @@ pub(crate) fn q_to_ck_map<G: TimingGraph>(graph: &G) -> HashMap<usize, u32> {
     graph.checks().iter().map(|c| (c.q.index(), c.ck.0)).collect()
 }
 
-/// Recomputes the forward quantities (arrival, slew, launch tag, clock
-/// parent) of one node from its fan-in. Returns `true` when any stored
-/// value changed.
-pub(crate) fn forward_node<G: TimingGraph>(
+/// One complete forward → endpoint → backward sweep over `graph`,
+/// level-parallel when a [`crate::view::LevelSchedule`] is available and
+/// `threads >= 2`, plain topo-order serial otherwise. Within a level no
+/// node reads another's state (dependencies are strictly cross-level),
+/// workers only *compute* into private buffers, and the scatter back into
+/// `state` is serial — so the result is bit-identical to the serial sweep.
+///
+/// # Errors
+///
+/// Reports a worker panic as [`StaError::IllegalEdit`] instead of
+/// aborting the process; otherwise infallible for valid graphs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn full_sweep_leveled<G: TimingGraph + Sync>(
+    graph: &G,
+    ctx: &Context,
+    options: AnalysisOptions,
+    threads: usize,
+    evaluator: &Evaluator,
+    q_to_ck: &HashMap<usize, u32>,
+    po_loads: &[f64],
+    state: &mut PropState,
+) -> Result<()> {
+    let (Some(sched), 2..) = (graph.level_schedule(), threads) else {
+        for &nid in graph.topo_order() {
+            forward_node(graph, ctx, po_loads, q_to_ck, evaluator, state, nid);
+        }
+        endpoint_rats(graph, ctx, options, state);
+        for &nid in graph.topo_order().iter().rev() {
+            backward_node(graph, po_loads, evaluator, state, nid);
+        }
+        return Ok(());
+    };
+    for l in 0..sched.level_count() {
+        let nodes = sched.level(l);
+        if nodes.len() < threads * PAR_MIN_CHUNK {
+            for &nid in nodes {
+                forward_node(graph, ctx, po_loads, q_to_ck, evaluator, state, nid);
+            }
+            continue;
+        }
+        let chunk = nodes.len().div_ceil(threads);
+        let buckets = {
+            let state_ref = &*state;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = nodes
+                    .chunks(chunk)
+                    .map(|slice| {
+                        s.spawn(move || {
+                            slice
+                                .iter()
+                                .filter_map(|&nid| {
+                                    compute_forward(
+                                        graph, ctx, po_loads, q_to_ck, evaluator, state_ref, nid,
+                                    )
+                                    .map(|out| (nid, out))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(std::thread::ScopedJoinHandle::join).collect::<Vec<_>>()
+            })
+        };
+        for bucket in buckets {
+            let bucket = bucket.map_err(|_| {
+                StaError::IllegalEdit("forward propagation worker panicked".into())
+            })?;
+            for (nid, out) in bucket {
+                let i = nid.index();
+                state.at[i] = out.at;
+                state.slew[i] = out.slew;
+                state.launch_tag[i] = out.tag;
+                state.clock_parent[i] = out.parent;
+            }
+        }
+    }
+    endpoint_rats(graph, ctx, options, state);
+    for l in (0..sched.level_count()).rev() {
+        let nodes = sched.level(l);
+        if nodes.len() < threads * PAR_MIN_CHUNK {
+            for &nid in nodes {
+                backward_node(graph, po_loads, evaluator, state, nid);
+            }
+            continue;
+        }
+        let chunk = nodes.len().div_ceil(threads);
+        let buckets = {
+            let state_ref = &*state;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = nodes
+                    .chunks(chunk)
+                    .map(|slice| {
+                        s.spawn(move || {
+                            slice
+                                .iter()
+                                .filter_map(|&nid| {
+                                    compute_backward(graph, po_loads, evaluator, state_ref, nid)
+                                        .map(|rat| (nid, rat))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(std::thread::ScopedJoinHandle::join).collect::<Vec<_>>()
+            })
+        };
+        for bucket in buckets {
+            let bucket = bucket.map_err(|_| {
+                StaError::IllegalEdit("backward propagation worker panicked".into())
+            })?;
+            for (nid, rat) in bucket {
+                state.rat[nid.index()] = rat;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Forward quantities of one node as computed (not yet stored) by
+/// [`compute_forward`]; scattered into [`PropState`] either immediately
+/// ([`forward_node`]) or after a parallel level completes
+/// ([`Analysis::run_leveled`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ForwardOut {
+    at: Quad,
+    slew: Quad,
+    tag: Split<TransPair<u32>>,
+    parent: u32,
+}
+
+/// Pure forward computation for one node: reads only strictly-upstream
+/// slots of `state` (fan-in lives in lower schedule levels), never writes.
+/// Returns `None` for dead nodes.
+pub(crate) fn compute_forward<G: TimingGraph>(
     graph: &G,
     ctx: &Context,
     po_loads: &[f64],
     q_to_ck: &HashMap<usize, u32>,
     evaluator: &Evaluator,
-    state: &mut PropState,
+    state: &PropState,
     nid: NodeId,
-) -> bool {
+) -> Option<ForwardOut> {
     if graph.node_dead(nid) {
-        return false;
+        return None;
     }
-    let node = graph.node(nid);
+    let kind = graph.node_kind(nid);
     let i = nid.index();
-    let old_at = state.at[i];
-    let old_slew = state.slew[i];
-    let old_tag = state.launch_tag[i];
-    let old_parent = state.clock_parent[i];
-    match node.kind {
+    let mut out = ForwardOut {
+        at: state.at[i],
+        slew: state.slew[i],
+        tag: state.launch_tag[i],
+        parent: state.clock_parent[i],
+    };
+    match kind {
         NodeKind::PrimaryInput(p) => {
             let c = &ctx.pi[p as usize];
             for mode in Mode::ALL {
                 for edge in Edge::ALL {
-                    state.at[i][mode][edge] = c.at[mode];
-                    state.slew[i][mode][edge] = c.slew;
+                    out.at[mode][edge] = c.at[mode];
+                    out.slew[mode][edge] = c.slew;
                 }
             }
         }
         NodeKind::ClockSource => {
             for mode in Mode::ALL {
                 for edge in Edge::ALL {
-                    state.at[i][mode][edge] = ctx.clock.source_latency;
-                    state.slew[i][mode][edge] = ctx.clock.slew;
+                    out.at[mode][edge] = ctx.clock.source_latency;
+                    out.slew[mode][edge] = ctx.clock.slew;
                 }
             }
         }
@@ -469,26 +645,53 @@ pub(crate) fn forward_node<G: TimingGraph>(
                             best_slew = mode.worse(best_slew, s);
                         }
                     }
-                    state.at[i][mode][out_edge] = best_at;
-                    state.slew[i][mode][out_edge] = best_slew;
-                    state.launch_tag[i][mode][out_edge] = best_tag;
+                    out.at[mode][out_edge] = best_at;
+                    out.slew[mode][out_edge] = best_slew;
+                    out.tag[mode][out_edge] = best_tag;
                     if mode == Mode::Late && out_edge == Edge::Rise {
-                        state.clock_parent[i] = best_pred;
+                        out.parent = best_pred;
                     }
                 }
             }
             // A flip-flop output launches a fresh clock tag.
-            if matches!(node.kind, NodeKind::FfOutput) {
+            if matches!(kind, NodeKind::FfOutput) {
                 if let Some(&ck) = q_to_ck.get(&i) {
                     for mode in Mode::ALL {
                         for edge in Edge::ALL {
-                            state.launch_tag[i][mode][edge] = ck;
+                            out.tag[mode][edge] = ck;
                         }
                     }
                 }
             }
         }
     }
+    Some(out)
+}
+
+/// Recomputes the forward quantities (arrival, slew, launch tag, clock
+/// parent) of one node from its fan-in. Returns `true` when any stored
+/// value changed.
+pub(crate) fn forward_node<G: TimingGraph>(
+    graph: &G,
+    ctx: &Context,
+    po_loads: &[f64],
+    q_to_ck: &HashMap<usize, u32>,
+    evaluator: &Evaluator,
+    state: &mut PropState,
+    nid: NodeId,
+) -> bool {
+    let Some(out) = compute_forward(graph, ctx, po_loads, q_to_ck, evaluator, state, nid) else {
+        return false;
+    };
+    let i = nid.index();
+    let old_at = state.at[i];
+    let old_slew = state.slew[i];
+    let old_tag = state.launch_tag[i];
+    let old_parent = state.clock_parent[i];
+    state.at[i] = out.at;
+    state.slew[i] = out.slew;
+    state.launch_tag[i] = out.tag;
+    state.clock_parent[i] = out.parent;
     fn quad_ne(a: &Quad, b: &Quad) -> bool {
         Mode::ALL.into_iter().any(|m| {
             Edge::ALL.into_iter().any(|e| {
@@ -571,16 +774,41 @@ pub(crate) fn backward_node<G: TimingGraph>(
     state: &mut PropState,
     nid: NodeId,
 ) -> bool {
-    if graph.node_dead(nid)
-        || matches!(graph.node(nid).kind, NodeKind::PrimaryOutput(_) | NodeKind::FfData(_))
-    {
+    let Some(rat) = compute_backward(graph, po_loads, evaluator, state, nid) else {
         return false;
-    }
+    };
     let i = nid.index();
     let old = state.rat[i];
+    state.rat[i] = rat;
+    fn quad_ne(a: &Quad, b: &Quad) -> bool {
+        Mode::ALL.into_iter().any(|m| {
+            Edge::ALL.into_iter().any(|e| a[m][e].to_bits() != b[m][e].to_bits())
+        })
+    }
+    quad_ne(&old, &state.rat[i])
+}
+
+/// Pure backward computation for one node: folds the fan-out (which lives
+/// strictly in higher schedule levels) into a fresh flip-neutral quad and
+/// returns it without touching `state`. Returns `None` for dead nodes and
+/// endpoints whose RAT is owned by [`endpoint_rats`].
+pub(crate) fn compute_backward<G: TimingGraph>(
+    graph: &G,
+    po_loads: &[f64],
+    evaluator: &Evaluator,
+    state: &PropState,
+    nid: NodeId,
+) -> Option<Quad> {
+    if graph.node_dead(nid)
+        || matches!(graph.node_kind(nid), NodeKind::PrimaryOutput(_) | NodeKind::FfData(_))
+    {
+        return None;
+    }
+    let i = nid.index();
+    let mut rat = state.rat[i];
     for mode in Mode::ALL {
         for edge in Edge::ALL {
-            state.rat[i][mode][edge] = mode.flip().neutral();
+            rat[mode][edge] = mode.flip().neutral();
         }
     }
     for aid in graph.fanout(nid) {
@@ -599,18 +827,13 @@ pub(crate) fn backward_node<G: TimingGraph>(
                     }
                     let (d, _) = evaluator.eval(arc, mode, out_edge, slew_u, load);
                     let cand = rat_v - d;
-                    let cur = state.rat[i][mode][in_edge];
-                    state.rat[i][mode][in_edge] = mode.flip().worse(cur, cand);
+                    let cur = rat[mode][in_edge];
+                    rat[mode][in_edge] = mode.flip().worse(cur, cand);
                 }
             }
         }
     }
-    fn quad_ne(a: &Quad, b: &Quad) -> bool {
-        Mode::ALL.into_iter().any(|m| {
-            Edge::ALL.into_iter().any(|e| a[m][e].to_bits() != b[m][e].to_bits())
-        })
-    }
-    quad_ne(&old, &state.rat[i])
+    Some(rat)
 }
 
 #[cfg(test)]

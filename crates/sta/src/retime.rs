@@ -43,8 +43,8 @@ use crate::compare::BoundarySnapshot;
 use crate::constraints::Context;
 use crate::graph::NodeId;
 use crate::propagate::{
-    backward_node, endpoint_rats, forward_node, q_to_ck_map, Analysis, AnalysisOptions,
-    Evaluator, PropState,
+    backward_node, endpoint_rats, forward_node, full_sweep_leveled, q_to_ck_map, Analysis,
+    AnalysisOptions, Evaluator, PropState,
 };
 use crate::view::{DesignCore, GraphView, TimingGraph};
 use crate::{Result, StaError};
@@ -91,6 +91,14 @@ impl RetimeScratch {
     pub fn stats(&self) -> RetimeStats {
         self.stats
     }
+
+    /// Node-slot count of the reference this scratch was sized for —
+    /// compare against the current reference before reusing a cached
+    /// scratch (a mismatch makes [`ReferenceAnalysis::retime`] refuse it).
+    #[must_use]
+    pub fn base_nodes(&self) -> usize {
+        self.base
+    }
 }
 
 /// A full analysis of an unedited [`DesignCore`], frozen so that edited
@@ -119,18 +127,31 @@ impl ReferenceAnalysis {
     ///
     /// Propagates analysis errors (infallible for valid graphs).
     pub fn new(core: Arc<DesignCore>, ctx: Context, options: AnalysisOptions) -> Result<Self> {
+        Self::new_with_threads(core, ctx, options, 1)
+    }
+
+    /// Like [`ReferenceAnalysis::new`] but shards the initial full sweep
+    /// across `threads` workers over the core's level schedule
+    /// (bit-identical to the serial sweep; `threads <= 1` is exactly it).
+    ///
+    /// # Errors
+    ///
+    /// See [`ReferenceAnalysis::new`]; additionally reports a worker panic
+    /// as [`StaError::IllegalEdit`].
+    pub fn new_with_threads(
+        core: Arc<DesignCore>,
+        ctx: Context,
+        options: AnalysisOptions,
+        threads: usize,
+    ) -> Result<Self> {
         let aocv = options.aocv.then(AocvSpec::standard);
         let evaluator = Evaluator::new(&*core, aocv);
         let q_to_ck = q_to_ck_map(&*core);
         let po_loads = ctx.po_loads();
         let mut state = PropState::new(&*core);
-        for &nid in core.topo_order() {
-            forward_node(&*core, &ctx, &po_loads, &q_to_ck, &evaluator, &mut state, nid);
-        }
-        endpoint_rats(&*core, &ctx, options, &mut state);
-        for &nid in core.topo_order().iter().rev() {
-            backward_node(&*core, &po_loads, &evaluator, &mut state, nid);
-        }
+        full_sweep_leveled(
+            &*core, &ctx, options, threads, &evaluator, &q_to_ck, &po_loads, &mut state,
+        )?;
         let boundary =
             Analysis::snapshot(&*core, &state.at, &state.slew, &state.rat, &state.credits);
         Ok(ReferenceAnalysis {

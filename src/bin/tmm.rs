@@ -5,6 +5,7 @@
 //! tmm stats    --design <design.tmm> --lib <lib.tmm>
 //! tmm model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
 //!              [--method ours|itimerm|libabs|atm] [--cppr] [--aocv] [--threads <n>]
+//!              [--mem-budget-mb <n>]
 //! tmm time     --model <model.tmm> [--contexts <n>] [--cppr] [--aocv]
 //! tmm eval     --design <design.tmm> --lib <lib.tmm> --model <model.tmm>
 //!              [--contexts <n>] [--cppr] [--aocv]
@@ -277,6 +278,10 @@ fn cmd_model(args: &Args, report: &mut obs::RunReport) -> CliResult {
     // 1 = sequential (the default), 0 = one worker per hardware thread.
     // Any value is bit-identical to sequential; this only changes speed.
     let threads: usize = args.parsed("threads", "1")?;
+    // Soft working-memory budget in MiB (0 = unbounded). TS sweeps chunk
+    // their context groups and the merge flushes its overlay to stay near
+    // the budget; any value is bit-identical to unbounded.
+    let mem_budget_mb: usize = args.parsed("mem-budget-mb", "0")?;
     // A stage going silent for longer than this aborts the process with
     // exit code 6; checkpoints on disk stay resumable. 0 disables it.
     let deadline_ms: u64 = args.parsed("stage-deadline-ms", "0")?;
@@ -297,7 +302,7 @@ fn cmd_model(args: &Args, report: &mut obs::RunReport) -> CliResult {
     let flat = ArcGraph::from_netlist(&netlist, &lib)
         .map_err(|e| CliError { msg: format!("{design_path}: {e}"), ..CliError::from(e) })?;
 
-    let opts = MacroModelOptions::default();
+    let opts = MacroModelOptions { mem_budget_mb, ..Default::default() };
     let mut session: Option<Session> = None;
     let model = match method.as_str() {
         "ours" => {
@@ -307,7 +312,8 @@ fn cmd_model(args: &Args, report: &mut obs::RunReport) -> CliResult {
                 aocv_mode: aocv,
                 ..Default::default()
             }
-            .with_threads(threads);
+            .with_threads(threads)
+            .with_mem_budget(mem_budget_mb);
             report.config_fingerprint = config.fingerprint();
             if let Some(dir) = args.flags.get("checkpoint-dir") {
                 // The session binds its manifest to (config fingerprint,
@@ -1176,6 +1182,8 @@ const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|eco|
            [--method ours|itimerm|libabs|atm] [--gnn <gnn.tmm>] [--gnn-out <gnn.tmm>]
            [--cppr] [--aocv] [--threads <n>]  (TS sweep + GNN training/inference;
                                                1 = sequential, 0 = all cores, any n bit-identical)
+           [--mem-budget-mb <n>]  (soft RSS budget: TS context groups and merge overlay
+                                   flushes are sized to fit; 0 = unbounded, any n bit-identical)
            [--checkpoint-dir <dir> [--resume]] [--stage-deadline-ms <n>]
            (crash-safe checkpoints: a killed run resumed with --resume is
             byte-identical to an uninterrupted one; stale checkpoints are rejected)
