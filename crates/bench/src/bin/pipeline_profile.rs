@@ -208,6 +208,10 @@ fn run_scale_sweep(argv: &[String]) {
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
+    // Live status endpoint for either mode; the guard keeps the service
+    // thread alive until the profile finishes.
+    let _live = arg_value(&argv, "--status-addr")
+        .map(|addr| tmm_obs::serve_status(&addr).expect("status endpoint"));
     if argv.iter().any(|a| a == "--scale") {
         run_scale_sweep(&argv);
         return;

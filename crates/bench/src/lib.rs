@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchdiff;
+
 use std::time::Duration;
 use tmm_circuits::designs::{suite_library, training_suite, SuiteEntry};
 use tmm_core::{Framework, FrameworkConfig};

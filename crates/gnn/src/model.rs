@@ -839,6 +839,9 @@ impl GnnModel {
         // is one relaxed load per epoch — no clocks, no allocation — which
         // keeps the steady-state zero-allocation guarantee intact.
         let obs_rows: usize = samples.iter().map(|s| s.features.rows()).sum();
+        // Live heartbeat: one unit per epoch (inert unless --status-addr).
+        let heartbeat = tmm_obs::progress_start("gnn_train", "", cfg.epochs as u64);
+        heartbeat.set_done(start_epoch as u64);
         for epoch in start_epoch..cfg.epochs {
             let epoch_start =
                 if tmm_obs::metrics_enabled() { Some(std::time::Instant::now()) } else { None };
@@ -900,6 +903,8 @@ impl GnnModel {
                 self.for_each_param_mut(|idx, p| opt.update_param(idx, p, &grads[idx]));
             }
             let mean_loss = epoch_loss / samples.len() as f32;
+            heartbeat.add(1);
+            tmm_obs::rate_add("tmm_gnn_rows_trained", obs_rows as u64);
             if let Some(start) = epoch_start {
                 let secs = start.elapsed().as_secs_f64();
                 // Gradient norm of the last backward pass of the epoch;
@@ -972,6 +977,9 @@ impl GnnModel {
                 }
             }
         }
+        // Early stopping is a legitimate completion; divergence above
+        // returns without completing so the slot reads as interrupted.
+        heartbeat.complete();
         let final_loss = history.last().copied().unwrap_or(0.0);
         Ok(Attempt::Completed(TrainReport {
             history,

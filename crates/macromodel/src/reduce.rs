@@ -430,6 +430,10 @@ fn flush_if_over_budget(
     *view = GraphView::new(DesignCore::freeze(&graph));
     *allowance = None;
     *flushes += 1;
+    // PR 8 landed budget flushes without a series; the rate window feeds
+    // the live endpoint's flushes/s, the counter the registry.
+    tmm_obs::counter_add("tmm_mem_budget_flushes_total", &[], 1);
+    tmm_obs::rate_add("tmm_merge_flushes", 1);
     Ok(())
 }
 
@@ -449,6 +453,10 @@ fn reduce_via_view_impl(
     // budget flushes — a refrozen core re-toposorts, and switching to its
     // order mid-run would change the bypass sequence.
     let order: Vec<NodeId> = core.topo_order().to_vec();
+    // Live heartbeat: up to 4 passes over the same visit order. `done`
+    // only ever advances (complete() snaps to total on early fixpoint),
+    // so /progress stays monotonic across passes.
+    let heartbeat = tmm_obs::progress_start("macro_merge", "", (order.len() * 4) as u64);
     for pass in 0..4 {
         // A recorded pass replays verbatim: the checkpoint stores only the
         // decision trace, never graph state, so a resumed reduction walks
@@ -476,6 +484,7 @@ fn reduce_via_view_impl(
                     )))
                 })?;
                 tmm_ckpt::heartbeat();
+                heartbeat.add(order.len() as u64);
                 if !trace.progressed {
                     break;
                 }
@@ -486,6 +495,7 @@ fn reduce_via_view_impl(
         stats.refused = 0;
         let mut trace_nodes: Vec<u32> = Vec::new();
         for &n in &order {
+            heartbeat.add(1);
             if view.node_dead(n) || view.node_kind(n) != NodeKind::Internal || keep[n.index()]
             {
                 continue;
@@ -563,6 +573,7 @@ fn reduce_via_view_impl(
         }
         stats.pruned += removed;
     }
+    heartbeat.complete();
     let overlay_bytes = view.memory_estimate();
     let graph = view.materialize()?;
     Ok(ViewReduction { graph, stats, overlay_bytes, flushes })

@@ -29,28 +29,39 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod live;
 pub mod log;
 pub mod metrics;
+pub mod progress;
 pub mod report;
 pub mod span;
 pub mod validate;
+pub mod window;
 
 pub use log::{debug, error, info, log, log_enabled, log_level, set_log_level, warn, Level};
 pub use metrics::{
     counter_add, disable_metrics, enable_metrics, export_metrics, gauge_set, metric_series_count,
     metrics_enabled, observe, observe_with_buckets, reset_metrics, DEFAULT_BUCKETS,
 };
+pub use live::{serve_status, LiveStatus};
+pub use progress::{
+    disable_live, enable_live, live_enabled, progress_entries, progress_start,
+    render_progress_json, reset_progress, ProgressEntry, ProgressTask,
+};
 pub use report::{
-    fingerprint, peak_rss_bytes, process_cpu_seconds, render_bench_json, BenchRecord, RunReport,
-    StageTime,
+    current_rss_bytes, fingerprint, peak_rss_bytes, process_cpu_seconds, render_bench_json,
+    BenchRecord, RunReport, StageTime,
 };
 pub use span::{
-    disable_tracing, enable_tracing, export_trace, reset_trace, span, stage_summaries,
-    trace_records, tracing_enabled, SpanGuard,
+    disable_tracing, dropped_spans, enable_tracing, export_trace, open_span_snapshot, reset_trace,
+    set_span_buffer_cap, span, span_buffer_cap, stage_summaries, trace_record_count,
+    trace_records, tracing_enabled, OpenSpanInfo, SpanGuard, DEFAULT_SPAN_BUFFER_CAP,
 };
 pub use validate::{
-    validate_bench_json, validate_metrics_text, validate_run_report, validate_trace_json,
+    validate_bench_json, validate_metrics_text, validate_progress_json, validate_run_report,
+    validate_trace_json,
 };
+pub use window::{rate_add, reset_windows, window_observe};
 
 /// Category name for top-level pipeline-stage spans. Stage spans drive
 /// [`stage_summaries`] and the `stages` array of [`RunReport`].

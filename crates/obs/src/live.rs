@@ -1,0 +1,339 @@
+//! The live status endpoint: a zero-dependency blocking HTTP/1.0
+//! listener (std [`TcpListener`], one service thread) serving
+//!
+//! * `/metrics` — the deterministic Prometheus registry
+//!   ([`crate::export_metrics`]) **plus** a live-only appendix: the
+//!   sliding-window series ([`crate::window::export_windows`]), current
+//!   and peak RSS, dropped-span and uptime gauges. The appendix exists
+//!   only in this response, never in `--metrics-out` artifacts, so a run
+//!   with the endpoint up stays byte-identical to one without.
+//! * `/progress` — the `tmm-progress/v1` heartbeat JSON
+//!   ([`crate::progress::render_progress_json`]) including the RSS
+//!   timeline sampled by the service thread.
+//! * `/spans` — the currently-open span stack per thread
+//!   (`tmm-spans/v1`).
+//!
+//! The service thread doubles as the RSS sampler: between nonblocking
+//! accepts it records `(at_ms, rss_bytes, spans_buffered)` every ~250 ms
+//! into a bounded ring. Dropping the returned [`LiveStatus`] guard stops
+//! the thread and disables live telemetry.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// RSS timeline samples retained (at ~4 samples/s this spans ~2.5 min).
+const RSS_TIMELINE_CAP: usize = 600;
+/// Pause between accept polls / sampler ticks.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Ticks between RSS samples (25 ms × 10 = 250 ms).
+const SAMPLE_EVERY_TICKS: u32 = 10;
+
+type RssTimeline = Arc<Mutex<VecDeque<(u64, u64, u64)>>>;
+
+/// Guard for a running status endpoint. Keep it alive for the duration
+/// of the run; dropping it stops the service thread and disables live
+/// telemetry.
+pub struct LiveStatus {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl LiveStatus {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for LiveStatus {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        crate::progress::disable_live();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port),
+/// enables live telemetry, and spawns the service thread.
+///
+/// # Errors
+///
+/// Propagates the bind failure (address in use, bad syntax, …).
+pub fn serve_status(addr: &str) -> std::io::Result<LiveStatus> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    crate::progress::enable_live();
+    let stop = Arc::new(AtomicBool::new(false));
+    let timeline: RssTimeline = Arc::new(Mutex::new(VecDeque::new()));
+    let thread_stop = Arc::clone(&stop);
+    let thread_timeline = Arc::clone(&timeline);
+    let handle = std::thread::Builder::new()
+        .name("tmm-status".into())
+        .spawn(move || service_loop(&listener, &thread_stop, &thread_timeline))?;
+    crate::log::info(&[("addr", local.to_string().as_str())], "status endpoint up");
+    Ok(LiveStatus { stop, handle: Some(handle), addr: local })
+}
+
+fn service_loop(listener: &TcpListener, stop: &AtomicBool, timeline: &RssTimeline) {
+    let started = Instant::now();
+    let mut tick: u32 = 0;
+    sample_rss(started, timeline);
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream, timeline),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+        tick = tick.wrapping_add(1);
+        if tick % SAMPLE_EVERY_TICKS == 0 {
+            sample_rss(started, timeline);
+        }
+    }
+}
+
+fn sample_rss(started: Instant, timeline: &RssTimeline) {
+    let at_ms = started.elapsed().as_millis() as u64;
+    let rss = crate::report::current_rss_bytes();
+    let spans = crate::span::trace_record_count() as u64;
+    let mut tl = timeline.lock().unwrap_or_else(PoisonError::into_inner);
+    if tl.len() >= RSS_TIMELINE_CAP {
+        tl.pop_front();
+    }
+    tl.push_back((at_ms, rss, spans));
+}
+
+fn handle_connection(mut stream: TcpStream, timeline: &RssTimeline) {
+    // The listener is nonblocking; force the accepted socket back to
+    // blocking with short timeouts so a stalled client cannot wedge the
+    // service thread.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let Some(path) = read_request_path(&mut stream) else {
+        respond(&mut stream, 400, "text/plain", "bad request\n");
+        return;
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let mut body = crate::metrics::export_metrics();
+            body.push_str(&live_metrics_appendix());
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body);
+        }
+        "/progress" => {
+            let samples: Vec<(u64, u64, u64)> = {
+                let tl = timeline.lock().unwrap_or_else(PoisonError::into_inner);
+                tl.iter().copied().collect()
+            };
+            let body = crate::progress::render_progress_json(&samples);
+            respond(&mut stream, 200, "application/json", &body);
+        }
+        "/spans" => {
+            respond(&mut stream, 200, "application/json", &render_spans_json());
+        }
+        "/" => {
+            respond(
+                &mut stream,
+                200,
+                "text/plain",
+                "tmm live status\nendpoints: /metrics /progress /spans\n",
+            );
+        }
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+/// Reads up to one request's worth of bytes and returns the request path.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 2048];
+    let mut used = 0;
+    loop {
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                used += n;
+                let head = &buf[..used];
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || used == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let text = std::str::from_utf8(&buf[..used]).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    if method != "GET" && method != "HEAD" {
+        return None;
+    }
+    // Strip any query string; the endpoints take no parameters.
+    let path = parts.next()?.split('?').next().unwrap_or("/");
+    Some(path.to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        _ => "Not Found",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Live-only gauge lines appended to the `/metrics` response: window
+/// series plus process vitals. Never part of `--metrics-out`.
+#[must_use]
+pub fn live_metrics_appendix() -> String {
+    use std::fmt::Write as _;
+    let mut out = crate::window::export_windows();
+    let _ = writeln!(out, "# TYPE tmm_live_rss_bytes gauge");
+    let _ = writeln!(out, "tmm_live_rss_bytes {}", crate::report::current_rss_bytes());
+    let _ = writeln!(out, "# TYPE tmm_live_peak_rss_bytes gauge");
+    let _ = writeln!(out, "tmm_live_peak_rss_bytes {}", crate::report::peak_rss_bytes());
+    let _ = writeln!(out, "# TYPE tmm_live_dropped_spans_total gauge");
+    let _ = writeln!(out, "tmm_live_dropped_spans_total {}", crate::span::dropped_spans());
+    let _ = writeln!(out, "# TYPE tmm_live_uptime_seconds gauge");
+    let _ = writeln!(out, "tmm_live_uptime_seconds {}", crate::progress::epoch_micros() / 1_000_000);
+    out
+}
+
+/// Renders the `tmm-spans/v1` document: every thread's currently-open
+/// span stack, outermost first.
+#[must_use]
+pub fn render_spans_json() -> String {
+    use std::fmt::Write as _;
+    let now_us = crate::progress::epoch_micros();
+    let snapshot = crate::span::open_span_snapshot();
+    let mut out = String::with_capacity(128 + snapshot.len() * 160);
+    out.push_str("{\"schema\":\"tmm-spans/v1\",\"threads\":[");
+    for (i, (tid, stack)) in snapshot.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"tid\":{tid},\"stack\":[");
+        for (j, s) in stack.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            crate::json::write_escaped(&mut out, s.name);
+            out.push_str(",\"cat\":");
+            crate::json::write_escaped(&mut out, s.cat);
+            let _ = write!(
+                out,
+                ",\"depth\":{},\"start_us\":{},\"elapsed_ms\":{}}}",
+                s.depth,
+                s.start_us,
+                now_us.saturating_sub(s.start_us) / 1000
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("write");
+        let mut text = String::new();
+        stream.read_to_string(&mut text).expect("read");
+        let status: u16 = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let body = text.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn endpoint_serves_all_routes() {
+        let live = serve_status("127.0.0.1:0").expect("bind");
+        let addr = live.addr();
+        assert!(crate::progress::live_enabled());
+
+        let p = crate::progress::progress_start("live_test_stage", "d", 10);
+        p.add(4);
+        crate::window::rate_add("tmm_test_events", 12);
+
+        let (status, body) = http_get(addr, "/progress");
+        assert_eq!(status, 200);
+        let v = crate::json::parse(&body).expect("progress JSON parses");
+        assert_eq!(
+            v.get("schema").and_then(crate::json::Value::as_str),
+            Some("tmm-progress/v1")
+        );
+        let slots = v.get("slots").and_then(|s| s.as_array()).expect("slots");
+        assert!(
+            slots.iter().any(|s| {
+                s.get("stage").and_then(crate::json::Value::as_str) == Some("live_test_stage")
+            }),
+            "{body}"
+        );
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("tmm_live_rss_bytes"), "{body}");
+        assert!(body.contains("tmm_test_events_per_sec"), "{body}");
+
+        let (status, body) = http_get(addr, "/spans");
+        assert_eq!(status, 200);
+        let v = crate::json::parse(&body).expect("spans JSON parses");
+        assert_eq!(
+            v.get("schema").and_then(crate::json::Value::as_str),
+            Some("tmm-spans/v1")
+        );
+
+        let (status, _) = http_get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        drop(p);
+        drop(live);
+        assert!(!crate::progress::live_enabled(), "drop disables live telemetry");
+        crate::window::reset_windows();
+        crate::progress::reset_progress();
+    }
+
+    #[test]
+    fn spans_json_renders_open_stack() {
+        crate::progress::enable_live();
+        let _s = crate::span::span("render_open", "stage");
+        let doc = render_spans_json();
+        let v = crate::json::parse(&doc).expect("valid");
+        let threads = v.get("threads").and_then(|t| t.as_array()).expect("threads");
+        assert!(threads.iter().any(|t| {
+            t.get("stack").and_then(|s| s.as_array()).is_some_and(|stack| {
+                stack.iter().any(|s| {
+                    s.get("name").and_then(crate::json::Value::as_str) == Some("render_open")
+                })
+            })
+        }));
+        drop(_s);
+        crate::progress::disable_live();
+    }
+}

@@ -1,0 +1,415 @@
+//! Progress heartbeats for long-running stages: a fixed pool of
+//! lock-free slots each publishing `{stage, design, done, total}` that the
+//! live status endpoint ([`crate::live`]) renders as `/progress` JSON.
+//!
+//! The design keeps the pipeline's overhead contract intact:
+//!
+//! * **Disabled path** — [`progress_start`] begins with one relaxed atomic
+//!   load and returns an inert handle when live telemetry is off: no
+//!   allocation, no locking, no clock read. Heartbeat updates on an inert
+//!   handle are a branch on an `Option`.
+//! * **Steady state** — once a stage holds a slot, every update
+//!   ([`ProgressTask::add`], [`ProgressTask::set_done`]) is a single
+//!   relaxed atomic RMW/store into the pre-claimed slot: zero allocation,
+//!   no locks, safe to call from any worker thread.
+//! * **Slot claim/release** — the only locking happens at stage
+//!   boundaries (claiming a slot stores the stage/design strings under a
+//!   mutex), which is cold by construction.
+//!
+//! Progress is read-only telemetry: nothing here feeds back into
+//! computation, so enabling it cannot change any numerical result.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Number of concurrently publishable slots. Stages are coarse (one slot
+/// per long-running loop), so collisions only matter under pathological
+/// nesting; an exhausted pool degrades to inert handles, never an error.
+const SLOT_COUNT: usize = 32;
+
+/// Completed-stage snapshots retained for `/progress` (latest per
+/// `{stage, design}` pair, bounded).
+const COMPLETED_CAP: usize = 64;
+
+static LIVE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables live telemetry (progress slots, open-span stacks, window
+/// instruments) process-wide.
+pub fn enable_live() {
+    LIVE_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disables live telemetry; already-claimed slots keep publishing until
+/// their stage completes.
+pub fn disable_live() {
+    LIVE_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// `true` when live telemetry is on (one relaxed load).
+#[inline]
+#[must_use]
+pub fn live_enabled() -> bool {
+    LIVE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// One heartbeat slot: atomics for the hot fields, claimed flag for
+/// pool membership. Stage/design strings live in the side metadata table
+/// so the hot path never touches them.
+struct Slot {
+    claimed: AtomicBool,
+    done: AtomicU64,
+    total: AtomicU64,
+    start_us: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            claimed: AtomicBool::new(false),
+            done: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            start_us: AtomicU64::new(0),
+        }
+    }
+}
+
+fn slots() -> &'static Vec<Slot> {
+    static SLOTS: OnceLock<Vec<Slot>> = OnceLock::new();
+    SLOTS.get_or_init(|| (0..SLOT_COUNT).map(|_| Slot::new()).collect())
+}
+
+/// Stage/design names per slot, written only at claim/release.
+fn meta() -> MutexGuard<'static, Vec<Option<(String, String)>>> {
+    static META: OnceLock<Mutex<Vec<Option<(String, String)>>>> = OnceLock::new();
+    META.get_or_init(|| Mutex::new(vec![None; SLOT_COUNT]))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Final snapshots of completed stages, latest per `{stage, design}`.
+fn completed() -> MutexGuard<'static, Vec<ProgressEntry>> {
+    static DONE: OnceLock<Mutex<Vec<ProgressEntry>>> = OnceLock::new();
+    DONE.get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Microseconds since the shared process epoch.
+pub(crate) fn epoch_micros() -> u64 {
+    crate::span::epoch().elapsed().as_micros() as u64
+}
+
+/// A claimed heartbeat slot (or an inert handle while live telemetry is
+/// disabled). Updates are lock-free; the slot is released and its final
+/// state archived when the handle drops.
+#[must_use = "progress stops publishing when the handle drops"]
+pub struct ProgressTask {
+    slot: Option<usize>,
+}
+
+/// Claims a heartbeat slot for a stage processing `total` units (0 =
+/// unknown). Returns an inert handle when live telemetry is disabled or
+/// the pool is exhausted — publishing is best-effort by design.
+pub fn progress_start(stage: &str, design: &str, total: u64) -> ProgressTask {
+    if !live_enabled() {
+        return ProgressTask { slot: None };
+    }
+    let pool = slots();
+    for (i, slot) in pool.iter().enumerate() {
+        if slot
+            .claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            slot.done.store(0, Ordering::Relaxed);
+            slot.total.store(total, Ordering::Relaxed);
+            slot.start_us.store(epoch_micros(), Ordering::Relaxed);
+            meta()[i] = Some((stage.to_string(), design.to_string()));
+            return ProgressTask { slot: Some(i) };
+        }
+    }
+    ProgressTask { slot: None }
+}
+
+impl ProgressTask {
+    /// Adds `n` completed units (relaxed fetch-add; callable from any
+    /// worker thread). No-op on an inert handle.
+    pub fn add(&self, n: u64) {
+        if let Some(i) = self.slot {
+            slots()[i].done.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the completed-unit count absolutely.
+    pub fn set_done(&self, done: u64) {
+        if let Some(i) = self.slot {
+            slots()[i].done.store(done, Ordering::Relaxed);
+        }
+    }
+
+    /// Revises the total (stages that discover work as they go).
+    pub fn set_total(&self, total: u64) {
+        if let Some(i) = self.slot {
+            slots()[i].total.store(total, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks the stage complete: `done` snaps to `total`. Use when a
+    /// stage finishes early (convergence, empty tail) so the heartbeat
+    /// never reads as abandoned mid-flight.
+    pub fn complete(&self) {
+        if let Some(i) = self.slot {
+            let slot = &slots()[i];
+            let total = slot.total.load(Ordering::Relaxed);
+            let done = slot.done.load(Ordering::Relaxed);
+            slot.total.store(done.max(total).max(done), Ordering::Relaxed);
+            slot.done.store(done.max(total), Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for ProgressTask {
+    fn drop(&mut self) {
+        let Some(i) = self.slot else { return };
+        let slot = &slots()[i];
+        let entry = {
+            let mut m = meta();
+            let (stage, design) = m[i].take().unwrap_or_default();
+            let start = slot.start_us.load(Ordering::Relaxed);
+            ProgressEntry {
+                stage,
+                design,
+                done: slot.done.load(Ordering::Relaxed),
+                total: slot.total.load(Ordering::Relaxed),
+                elapsed_ms: epoch_micros().saturating_sub(start) / 1000,
+                active: false,
+            }
+        };
+        {
+            let mut done = completed();
+            done.retain(|e| !(e.stage == entry.stage && e.design == entry.design));
+            done.push(entry);
+            let excess = done.len().saturating_sub(COMPLETED_CAP);
+            if excess > 0 {
+                done.drain(..excess);
+            }
+        }
+        slot.claimed.store(false, Ordering::Release);
+    }
+}
+
+/// One `/progress` row.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressEntry {
+    /// Stage name (`ts_sweep`, `macro_merge`, …).
+    pub stage: String,
+    /// Design the stage runs over (may be empty).
+    pub design: String,
+    /// Completed units.
+    pub done: u64,
+    /// Total units (0 = unknown).
+    pub total: u64,
+    /// Milliseconds since the stage claimed its slot.
+    pub elapsed_ms: u64,
+    /// `true` for live slots, `false` for archived completed stages.
+    pub active: bool,
+}
+
+impl ProgressEntry {
+    /// Remaining-time estimate from linear extrapolation, `None` until
+    /// any progress is recorded or when the total is unknown.
+    #[must_use]
+    pub fn eta_ms(&self) -> Option<u64> {
+        if self.done == 0 || self.total == 0 || self.done > self.total {
+            return None;
+        }
+        Some(self.elapsed_ms.saturating_mul(self.total - self.done) / self.done)
+    }
+}
+
+/// Snapshot of every live slot followed by the archived completed stages
+/// (oldest first).
+#[must_use]
+pub fn progress_entries() -> Vec<ProgressEntry> {
+    let now_us = epoch_micros();
+    let pool = slots();
+    let mut out = Vec::new();
+    {
+        let m = meta();
+        for (i, slot) in pool.iter().enumerate() {
+            if !slot.claimed.load(Ordering::Acquire) {
+                continue;
+            }
+            let Some((stage, design)) = m[i].clone() else { continue };
+            let start = slot.start_us.load(Ordering::Relaxed);
+            out.push(ProgressEntry {
+                stage,
+                design,
+                done: slot.done.load(Ordering::Relaxed),
+                total: slot.total.load(Ordering::Relaxed),
+                elapsed_ms: now_us.saturating_sub(start) / 1000,
+                active: true,
+            });
+        }
+    }
+    out.extend(completed().iter().cloned());
+    out
+}
+
+/// Clears the archived completed stages (live slots are untouched).
+pub fn reset_progress() {
+    completed().clear();
+}
+
+/// Renders the `/progress` heartbeat document (`tmm-progress/v1`).
+/// `rss_timeline` is the service thread's `(at_ms, rss_bytes,
+/// spans_buffered)` samples; pass `&[]` when no sampler is running.
+#[must_use]
+pub fn render_progress_json(rss_timeline: &[(u64, u64, u64)]) -> String {
+    use std::fmt::Write as _;
+    let entries = progress_entries();
+    let mut out = String::with_capacity(256 + entries.len() * 128);
+    out.push_str("{\"schema\":\"tmm-progress/v1\",\"uptime_ms\":");
+    let _ = write!(out, "{}", epoch_micros() / 1000);
+    out.push_str(",\"slots\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"stage\":");
+        crate::json::write_escaped(&mut out, &e.stage);
+        out.push_str(",\"design\":");
+        crate::json::write_escaped(&mut out, &e.design);
+        let _ = write!(
+            out,
+            ",\"done\":{},\"total\":{},\"elapsed_ms\":{},\"eta_ms\":",
+            e.done, e.total, e.elapsed_ms
+        );
+        match e.eta_ms() {
+            Some(ms) => {
+                let _ = write!(out, "{ms}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ",\"active\":{}}}", e.active);
+    }
+    out.push_str("],\"rss\":{\"current_bytes\":");
+    let _ = write!(out, "{}", crate::report::current_rss_bytes());
+    out.push_str(",\"peak_bytes\":");
+    let _ = write!(out, "{}", crate::report::peak_rss_bytes());
+    out.push_str(",\"timeline\":[");
+    for (i, (at_ms, rss, spans)) in rss_timeline.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"at_ms\":{at_ms},\"rss_bytes\":{rss},\"spans_buffered\":{spans}}}"
+        );
+    }
+    out.push_str("]}}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as TestMutex;
+
+    /// Live telemetry is process-global; tests in this module serialise.
+    static GUARD: TestMutex<()> = TestMutex::new(());
+
+    fn with_live<R>(f: impl FnOnce() -> R) -> R {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        reset_progress();
+        enable_live();
+        let r = f();
+        disable_live();
+        reset_progress();
+        r
+    }
+
+    #[test]
+    fn disabled_progress_is_inert() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        disable_live();
+        reset_progress();
+        let p = progress_start("stage", "design", 100);
+        p.add(5);
+        drop(p);
+        assert!(progress_entries().is_empty());
+    }
+
+    #[test]
+    fn slot_publishes_and_archives() {
+        with_live(|| {
+            let p = progress_start("ts_sweep", "d1", 10);
+            p.add(3);
+            p.add(4);
+            let live: Vec<_> =
+                progress_entries().into_iter().filter(|e| e.active).collect();
+            assert_eq!(live.len(), 1);
+            assert_eq!(live[0].stage, "ts_sweep");
+            assert_eq!(live[0].done, 7);
+            assert_eq!(live[0].total, 10);
+            p.complete();
+            drop(p);
+            let entries = progress_entries();
+            let archived: Vec<_> = entries.iter().filter(|e| !e.active).collect();
+            assert_eq!(archived.len(), 1);
+            assert_eq!(archived[0].done, 10, "complete() snaps done to total");
+            assert!(entries.iter().all(|e| !e.active), "slot released on drop");
+        });
+    }
+
+    #[test]
+    fn eta_extrapolates_linearly() {
+        let e = ProgressEntry {
+            done: 25,
+            total: 100,
+            elapsed_ms: 1000,
+            ..ProgressEntry::default()
+        };
+        assert_eq!(e.eta_ms(), Some(3000));
+        let unknown = ProgressEntry { done: 5, total: 0, ..ProgressEntry::default() };
+        assert_eq!(unknown.eta_ms(), None);
+    }
+
+    #[test]
+    fn progress_json_is_valid_and_schema_tagged() {
+        with_live(|| {
+            let p = progress_start("macro_merge", "d\"2", 4);
+            p.add(1);
+            let doc = render_progress_json(&[(10, 4096, 2)]);
+            drop(p);
+            let v = crate::json::parse(&doc).expect("valid progress JSON");
+            assert_eq!(
+                v.get("schema").and_then(crate::json::Value::as_str),
+                Some("tmm-progress/v1")
+            );
+            let slots = v.get("slots").and_then(|s| s.as_array()).expect("slots");
+            assert_eq!(slots.len(), 1);
+            assert_eq!(
+                slots[0].get("design").and_then(crate::json::Value::as_str),
+                Some("d\"2")
+            );
+            let rss = v.get("rss").expect("rss object");
+            let timeline = rss.get("timeline").and_then(|t| t.as_array()).expect("timeline");
+            assert_eq!(timeline.len(), 1);
+        });
+    }
+
+    #[test]
+    fn exhausted_pool_degrades_to_inert() {
+        with_live(|| {
+            let held: Vec<ProgressTask> =
+                (0..SLOT_COUNT).map(|i| progress_start("s", &i.to_string(), 1)).collect();
+            let overflow = progress_start("overflow", "d", 1);
+            assert!(overflow.slot.is_none(), "pool exhaustion must degrade, not panic");
+            drop(overflow);
+            drop(held);
+            let p = progress_start("after", "d", 1);
+            assert!(p.slot.is_some(), "released slots are reusable");
+        });
+    }
+}

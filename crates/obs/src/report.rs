@@ -165,6 +165,14 @@ pub fn peak_rss_bytes() -> u64 {
     read_proc_kb("/proc/self/status", "VmHWM:").map_or(0, |kb| kb * 1024)
 }
 
+/// Current resident-set size in bytes (`VmRSS` from `/proc/self/status`);
+/// 0 when the platform does not expose it. Sampled by the live status
+/// endpoint's service thread for the `/progress` RSS timeline.
+#[must_use]
+pub fn current_rss_bytes() -> u64 {
+    read_proc_kb("/proc/self/status", "VmRSS:").map_or(0, |kb| kb * 1024)
+}
+
 fn read_proc_kb(path: &str, key: &str) -> Option<u64> {
     let text = std::fs::read_to_string(path).ok()?;
     let line = text.lines().find(|l| l.starts_with(key))?;

@@ -6,19 +6,40 @@
 //! the merged records are sorted by `(start, -duration, name, tid)` so the
 //! emitted file is deterministic for a given set of recorded intervals.
 //!
+//! Buffers are **bounded** ([`set_span_buffer_cap`]): once a thread buffer
+//! (or the merged trace) reaches the cap, the oldest depth>0 record is
+//! dropped and [`dropped_spans`] is incremented, so `--trace-out` on a
+//! multi-million-pin run cannot dominate RSS. Depth-0 stage spans are
+//! never dropped — they feed [`stage_summaries`] and the run report.
+//! While a thread's buffer is filling its root span is still open, so the
+//! buffer holds only depth≥1 records and dropping from the front is
+//! always safe.
+//!
 //! Tracing is **disabled by default**: [`span`] then returns an inert
-//! guard after a single relaxed atomic load — no clock read, no
-//! allocation — so instrumented code paths cost nothing in production
-//! runs and in the `zero_alloc` harness.
+//! guard after two relaxed atomic loads — no clock read, no allocation —
+//! so instrumented code paths cost nothing in production runs and in the
+//! `zero_alloc` harness. When the live status endpoint is up
+//! ([`crate::progress::live_enabled`]) spans additionally maintain a
+//! per-thread **open-span stack** ([`open_span_snapshot`]) served at
+//! `/spans`; that bookkeeping never touches the recorded trace, so live
+//! telemetry cannot change any exported artifact.
 
 use crate::report::process_cpu_seconds;
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 static TRACING_ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Default cap on buffered span records (per thread buffer and for the
+/// merged trace): bounds trace memory to tens of MiB on huge runs.
+pub const DEFAULT_SPAN_BUFFER_CAP: usize = 262_144;
+
+static SPAN_BUFFER_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_SPAN_BUFFER_CAP);
+static DROPPED_SPANS: AtomicU64 = AtomicU64::new(0);
 
 /// Enables span recording process-wide.
 pub fn enable_tracing() {
@@ -38,8 +59,28 @@ pub fn tracing_enabled() -> bool {
     TRACING_ENABLED.load(Ordering::Relaxed)
 }
 
-/// The process epoch all span timestamps are relative to.
-fn epoch() -> Instant {
+/// Sets the cap on buffered span records. Applies independently to each
+/// thread's fill buffer and to the merged global trace; 0 is clamped to 1.
+pub fn set_span_buffer_cap(cap: usize) {
+    SPAN_BUFFER_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
+/// The current span-buffer cap.
+#[must_use]
+pub fn span_buffer_cap() -> usize {
+    SPAN_BUFFER_CAP.load(Ordering::Relaxed)
+}
+
+/// Total spans dropped to honour the buffer cap since the last
+/// [`reset_trace`].
+#[must_use]
+pub fn dropped_spans() -> u64 {
+    DROPPED_SPANS.load(Ordering::Relaxed)
+}
+
+/// The process epoch all span timestamps are relative to. Shared with the
+/// progress/window clocks so every live timestamp is comparable.
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }
@@ -66,6 +107,19 @@ pub struct SpanRecord {
     pub args: String,
 }
 
+/// A currently-open span on some thread, as served by `/spans`.
+#[derive(Debug, Clone)]
+pub struct OpenSpanInfo {
+    /// Span name.
+    pub name: &'static str,
+    /// Category.
+    pub cat: &'static str,
+    /// Start offset from the process epoch, microseconds.
+    pub start_us: u64,
+    /// Nesting depth on its thread (0 = outermost).
+    pub depth: usize,
+}
+
 fn global_trace() -> MutexGuard<'static, Vec<SpanRecord>> {
     static TRACE: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
     TRACE
@@ -74,10 +128,26 @@ fn global_trace() -> MutexGuard<'static, Vec<SpanRecord>> {
         .unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Open-span stacks keyed by tid. Touched only while live telemetry is
+/// enabled, at span open/close (never in the disabled fast path).
+fn open_spans() -> MutexGuard<'static, BTreeMap<u64, Vec<OpenSpanInfo>>> {
+    static OPEN: OnceLock<Mutex<BTreeMap<u64, Vec<OpenSpanInfo>>>> = OnceLock::new();
+    OPEN.get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Snapshot of every thread's currently-open span stack (outermost
+/// first), keyed by tid. Empty unless live telemetry is enabled.
+#[must_use]
+pub fn open_span_snapshot() -> Vec<(u64, Vec<OpenSpanInfo>)> {
+    open_spans().iter().map(|(tid, stack)| (*tid, stack.clone())).collect()
+}
+
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
     static TID: Cell<u64> = const { Cell::new(0) };
-    static BUFFER: RefCell<Vec<SpanRecord>> = const { RefCell::new(Vec::new()) };
+    static BUFFER: RefCell<VecDeque<SpanRecord>> = const { RefCell::new(VecDeque::new()) };
 }
 
 fn thread_id() -> u64 {
@@ -106,13 +176,21 @@ struct OpenSpan {
     cpu_start: f64,
     depth: usize,
     args: String,
+    /// Record into the trace buffer at close (tracing was on at open).
+    traced: bool,
+    /// Pop the live open-span stack at close (live telemetry was on at
+    /// open) — flags are latched at open so toggles mid-span stay
+    /// balanced.
+    live_tracked: bool,
 }
 
-/// Opens a span. While tracing is disabled this is one relaxed load and
-/// returns an inert guard. Spans nest per-thread; close order must be
-/// LIFO (guaranteed by drop scoping).
+/// Opens a span. While both tracing and live telemetry are disabled this
+/// is two relaxed loads and returns an inert guard. Spans nest
+/// per-thread; close order must be LIFO (guaranteed by drop scoping).
 pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
-    if !tracing_enabled() {
+    let traced = tracing_enabled();
+    let live_tracked = crate::progress::live_enabled();
+    if !traced && !live_tracked {
         return SpanGuard { live: None };
     }
     let ep = epoch();
@@ -122,17 +200,26 @@ pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
         d.set(depth + 1);
         depth
     });
+    let start_us = start.duration_since(ep).as_micros() as u64;
+    if live_tracked {
+        open_spans()
+            .entry(thread_id())
+            .or_default()
+            .push(OpenSpanInfo { name, cat, start_us, depth });
+    }
     SpanGuard {
         live: Some(OpenSpan {
             name,
             cat,
             start,
-            start_us: start.duration_since(ep).as_micros() as u64,
+            start_us,
             // CPU sampling is /proc-backed and stage-granular; only
             // outermost spans pay for it.
             cpu_start: if depth == 0 { process_cpu_seconds() } else { f64::NAN },
             depth,
             args: String::new(),
+            traced,
+            live_tracked,
         }),
     }
 }
@@ -167,6 +254,28 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(open) = self.live.take() else { return };
+        DEPTH.with(|d| d.set(open.depth));
+        if open.live_tracked {
+            let mut map = open_spans();
+            if let Some(stack) = map.get_mut(&thread_id()) {
+                stack.pop();
+                if stack.is_empty() {
+                    map.remove(&thread_id());
+                }
+            }
+        }
+        // Stage spans publish their close-time RSS high-water mark into
+        // the registry (gauge_set is itself gated on metrics being on).
+        if open.cat == crate::STAGE_CAT && crate::metrics::metrics_enabled() {
+            crate::metrics::gauge_set(
+                "tmm_stage_peak_rss_bytes",
+                &[("stage", open.name)],
+                crate::report::peak_rss_bytes() as f64,
+            );
+        }
+        if !open.traced {
+            return;
+        }
         let dur_us = open.start.elapsed().as_micros() as u64;
         let cpu_s = if open.cpu_start.is_finite() {
             (process_cpu_seconds() - open.cpu_start).max(0.0)
@@ -183,16 +292,47 @@ impl Drop for SpanGuard {
             depth: open.depth,
             args: open.args,
         };
-        DEPTH.with(|d| d.set(open.depth));
-        BUFFER.with(|b| b.borrow_mut().push(record));
+        let cap = span_buffer_cap();
+        BUFFER.with(|b| {
+            let mut buf = b.borrow_mut();
+            if buf.len() >= cap {
+                // The root span closes last, so a full buffer holds only
+                // depth>0 records: the front is the oldest droppable one.
+                buf.pop_front();
+                DROPPED_SPANS.fetch_add(1, Ordering::Relaxed);
+            }
+            buf.push_back(record);
+        });
         if open.depth == 0 {
             // Outermost span on this thread closed: merge the thread
-            // buffer into the global trace.
+            // buffer into the global trace, then enforce the cap there
+            // too (oldest depth>0 records go first; depth-0 stage spans
+            // are never dropped).
             let drained: Vec<SpanRecord> =
-                BUFFER.with(|b| std::mem::take(&mut *b.borrow_mut()));
-            global_trace().extend(drained);
+                BUFFER.with(|b| b.borrow_mut().drain(..).collect());
+            let mut trace = global_trace();
+            trace.extend(drained);
+            if trace.len() > cap {
+                let mut excess = trace.len() - cap;
+                trace.retain(|r| {
+                    if excess > 0 && r.depth > 0 {
+                        excess -= 1;
+                        DROPPED_SPANS.fetch_add(1, Ordering::Relaxed);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
         }
     }
+}
+
+/// Number of merged span records currently held (cheap; no clone). Used
+/// by the live RSS sampler to correlate memory with trace growth.
+#[must_use]
+pub fn trace_record_count() -> usize {
+    global_trace().len()
 }
 
 /// Snapshot of every merged span, deterministically ordered by
@@ -210,10 +350,12 @@ pub fn trace_records() -> Vec<SpanRecord> {
     records
 }
 
-/// Clears every merged span (the enabled flag is untouched). Spans still
-/// buffered on live threads are unaffected.
+/// Clears every merged span and the dropped-span counter (the enabled
+/// flag and the buffer cap are untouched). Spans still buffered on live
+/// threads are unaffected.
 pub fn reset_trace() {
     global_trace().clear();
+    DROPPED_SPANS.store(0, Ordering::Relaxed);
 }
 
 /// Aggregated wall/CPU time of stage-level spans (category `"stage"`), in
@@ -295,6 +437,7 @@ mod tests {
         let r = f();
         disable_tracing();
         reset_trace();
+        set_span_buffer_cap(DEFAULT_SPAN_BUFFER_CAP);
         r
     }
 
@@ -308,6 +451,7 @@ mod tests {
             s.arg("k", "v");
         }
         assert!(trace_records().is_empty());
+        assert!(open_span_snapshot().is_empty());
     }
 
     #[test]
@@ -397,5 +541,63 @@ mod tests {
             assert_eq!(sums[0].0, "stage_x");
             assert!(sums[0].1 >= 0.002, "two 1ms sleeps: {}", sums[0].1);
         });
+    }
+
+    #[test]
+    fn buffer_cap_drops_oldest_inner_spans() {
+        with_tracing(|| {
+            set_span_buffer_cap(8);
+            {
+                let _root = span("capped_root", "stage");
+                for _ in 0..20 {
+                    let _inner = span("inner", "test");
+                }
+            }
+            let records = trace_records();
+            // Cap 8: seven inner survivors pre-root, then the root record
+            // evicts one more at push; the root itself is never dropped.
+            assert!(records.iter().any(|r| r.name == "capped_root"));
+            assert!(records.len() <= 8, "{} records exceed cap", records.len());
+            assert_eq!(dropped_spans(), 20 - (records.len() as u64 - 1));
+        });
+    }
+
+    #[test]
+    fn global_cap_preserves_depth0_records() {
+        with_tracing(|| {
+            set_span_buffer_cap(4);
+            for _ in 0..6 {
+                let _root = span("root", "stage");
+                let _inner = span("inner", "test");
+                drop(_inner);
+            }
+            let records = trace_records();
+            assert!(records.len() <= 6, "roots are kept even over cap");
+            let roots = records.iter().filter(|r| r.depth == 0).count();
+            assert_eq!(roots, 6, "depth-0 spans are never dropped");
+        });
+    }
+
+    #[test]
+    fn live_open_span_stack_tracks_nesting() {
+        let _g = GUARD.lock().unwrap_or_else(PoisonError::into_inner);
+        reset_trace();
+        disable_tracing();
+        crate::progress::enable_live();
+        {
+            let _a = span("live_outer", "stage");
+            let _b = span("live_inner", "test");
+            let snap = open_span_snapshot();
+            assert_eq!(snap.len(), 1, "one thread has open spans");
+            let stack = &snap[0].1;
+            assert_eq!(stack.len(), 2);
+            assert_eq!(stack[0].name, "live_outer");
+            assert_eq!(stack[0].depth, 0);
+            assert_eq!(stack[1].name, "live_inner");
+            assert_eq!(stack[1].depth, 1);
+        }
+        assert!(open_span_snapshot().is_empty(), "stack pops on close");
+        assert!(trace_records().is_empty(), "live-only spans are not recorded");
+        crate::progress::disable_live();
     }
 }

@@ -175,6 +175,57 @@ pub fn validate_bench_json(src: &str) -> Result<usize, String> {
     Ok(records.len())
 }
 
+/// Validates a `tmm-progress/v1` heartbeat document (the `/progress`
+/// endpoint response) and returns the number of progress slots.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or mistyped field.
+pub fn validate_progress_json(src: &str) -> Result<usize, String> {
+    let doc = json::parse(src).map_err(|e| format!("progress is not valid JSON: {e}"))?;
+    if doc.get("schema").and_then(Value::as_str) != Some("tmm-progress/v1") {
+        return Err("progress missing schema `tmm-progress/v1`".into());
+    }
+    if doc.get("uptime_ms").and_then(Value::as_f64).is_none() {
+        return Err("progress missing numeric `uptime_ms`".into());
+    }
+    let slots =
+        doc.get("slots").and_then(Value::as_array).ok_or("progress missing `slots` array")?;
+    for (i, s) in slots.iter().enumerate() {
+        for key in ["stage", "design"] {
+            if s.get(key).and_then(Value::as_str).is_none() {
+                return Err(format!("slot {i} missing string `{key}`"));
+            }
+        }
+        for key in ["done", "total", "elapsed_ms"] {
+            if s.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("slot {i} missing numeric `{key}`"));
+            }
+        }
+        let done = s.get("done").and_then(Value::as_f64).unwrap_or(0.0);
+        let total = s.get("total").and_then(Value::as_f64).unwrap_or(0.0);
+        if total > 0.0 && done > total {
+            return Err(format!("slot {i}: done {done} exceeds total {total}"));
+        }
+    }
+    let rss = doc.get("rss").ok_or("progress missing `rss` object")?;
+    for key in ["current_bytes", "peak_bytes"] {
+        if rss.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("progress rss missing numeric `{key}`"));
+        }
+    }
+    let timeline =
+        rss.get("timeline").and_then(Value::as_array).ok_or("progress missing rss `timeline`")?;
+    for (i, t) in timeline.iter().enumerate() {
+        for key in ["at_ms", "rss_bytes"] {
+            if t.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("rss sample {i} missing numeric `{key}`"));
+            }
+        }
+    }
+    Ok(slots.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +282,29 @@ mod tests {
         };
         let doc = crate::render_bench_json("pipeline", &[rec], &report);
         assert_eq!(validate_bench_json(&doc), Ok(1));
+    }
+
+    #[test]
+    fn progress_validator_accepts_rendered_document() {
+        let doc = crate::progress::render_progress_json(&[(5, 1024, 0)]);
+        let slots = validate_progress_json(&doc).expect("rendered progress is valid");
+        // No live slots claimed in this test; the shape is what matters.
+        assert_eq!(slots, crate::progress::progress_entries().len());
+    }
+
+    #[test]
+    fn progress_validator_rejects_bad_documents() {
+        assert!(validate_progress_json("{}").is_err());
+        assert!(validate_progress_json(
+            r#"{"schema":"tmm-progress/v1","uptime_ms":1,"slots":[{"stage":"x"}],"rss":{"current_bytes":0,"peak_bytes":0,"timeline":[]}}"#
+        )
+        .is_err());
+        assert!(
+            validate_progress_json(
+                r#"{"schema":"tmm-progress/v1","uptime_ms":1,"slots":[],"rss":{"current_bytes":0,"peak_bytes":0,"timeline":[]}}"#
+            )
+            .is_ok(),
+            "empty slot list is valid"
+        );
     }
 }

@@ -203,6 +203,10 @@ fn relative_diff(before: &BoundarySnapshot, after: &BoundarySnapshot) -> [f64; 4
 /// are disabled this is one relaxed load and no clock read, keeping the
 /// sweep's hot loop inert.
 fn timed_probe<F: FnOnce() -> Result<f64>>(engine: &'static str, f: F) -> Result<f64> {
+    // Live-only sliding-window rate (TS evaluations/s); one relaxed load
+    // when the status endpoint is down. Probes are retime-scale (far from
+    // the per-arc hot loop), so this sits below the noise floor.
+    tmm_obs::rate_add("tmm_ts_evals", 1);
     if !tmm_obs::metrics_enabled() {
         return f();
     }
@@ -538,6 +542,16 @@ fn evaluate_ts_view_impl(
     }
 
     let threads = resolve_threads(opts.threads).min(work.len().max(1));
+    let n_groups = n_ctx.div_ceil(group_size.max(1));
+    if n_groups > 1 {
+        // Budget forced the context set into chunks (PR 8 landed this
+        // path without a series).
+        tmm_obs::counter_add("tmm_ts_chunk_splits_total", &[], (n_groups - 1) as u64);
+    }
+    // Live heartbeat: every group re-sweeps the surviving work list, so
+    // the stage total is groups × pins and advances monotonically.
+    let heartbeat =
+        tmm_obs::progress_start("ts_sweep", "", (n_groups * work.len().max(1)) as u64);
     // Per-pin running totals chained across context groups: each group
     // appends its contexts (in ascending context order) to the same f64
     // accumulation sequence and the single divide happens at the very end,
@@ -598,7 +612,10 @@ fn evaluate_ts_view_impl(
             None => {
                 let active: Vec<usize> =
                     work.iter().copied().filter(|&i| failed[i].is_none()).collect();
-                sweep_outcomes(&active, threads.min(active.len().max(1)), &eval_shared)?
+                let outcomes =
+                    sweep_outcomes(&active, threads.min(active.len().max(1)), &eval_shared)?;
+                heartbeat.add(work.len() as u64);
+                outcomes
             }
             Some((store, stage)) => {
                 // Chunked, resumable sweep: a chunk already in the store is
@@ -645,6 +662,7 @@ fn evaluate_ts_view_impl(
                         }
                     };
                     acc.extend(outcomes);
+                    heartbeat.add(chunk.len() as u64);
                     tmm_ckpt::heartbeat();
                 }
                 acc
@@ -670,6 +688,7 @@ fn evaluate_ts_view_impl(
         }
     }
     let evaluated = work.len() - failures.len();
+    heartbeat.complete();
     sweep_span.arg_f64("pins", work.len() as f64);
     sweep_span.arg_f64("evaluated", evaluated as f64);
     let result = TsResult { ts, evaluated, skipped, failures };

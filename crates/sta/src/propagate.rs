@@ -467,18 +467,29 @@ pub(crate) fn full_sweep_leveled<G: TimingGraph + Sync>(
     po_loads: &[f64],
     state: &mut PropState,
 ) -> Result<()> {
+    // Live heartbeat: one slot covering the forward + backward passes
+    // (2 units per node). Inert (a None branch) unless --status-addr is up.
+    let heartbeat =
+        tmm_obs::progress_start("propagation", "", (graph.topo_order().len() as u64) * 2);
     let (Some(sched), 2..) = (graph.level_schedule(), threads) else {
         for &nid in graph.topo_order() {
             forward_node(graph, ctx, po_loads, q_to_ck, evaluator, state, nid);
         }
+        heartbeat.set_done(graph.topo_order().len() as u64);
+        tmm_obs::rate_add("tmm_pins_propagated", graph.topo_order().len() as u64);
         endpoint_rats(graph, ctx, options, state);
         for &nid in graph.topo_order().iter().rev() {
             backward_node(graph, po_loads, evaluator, state, nid);
         }
+        tmm_obs::rate_add("tmm_pins_propagated", graph.topo_order().len() as u64);
+        heartbeat.complete();
         return Ok(());
     };
+    tmm_obs::gauge_set("tmm_leveled_propagation_levels", &[], sched.level_count() as f64);
     for l in 0..sched.level_count() {
         let nodes = sched.level(l);
+        heartbeat.add(nodes.len() as u64);
+        tmm_obs::rate_add("tmm_pins_propagated", nodes.len() as u64);
         if nodes.len() < threads * PAR_MIN_CHUNK {
             for &nid in nodes {
                 forward_node(graph, ctx, po_loads, q_to_ck, evaluator, state, nid);
@@ -524,6 +535,8 @@ pub(crate) fn full_sweep_leveled<G: TimingGraph + Sync>(
     endpoint_rats(graph, ctx, options, state);
     for l in (0..sched.level_count()).rev() {
         let nodes = sched.level(l);
+        heartbeat.add(nodes.len() as u64);
+        tmm_obs::rate_add("tmm_pins_propagated", nodes.len() as u64);
         if nodes.len() < threads * PAR_MIN_CHUNK {
             for &nid in nodes {
                 backward_node(graph, po_loads, evaluator, state, nid);
@@ -560,6 +573,7 @@ pub(crate) fn full_sweep_leveled<G: TimingGraph + Sync>(
             }
         }
     }
+    heartbeat.complete();
     Ok(())
 }
 

@@ -17,6 +17,9 @@
 //!              [--replay <file.repro.ron>] [--out-dir <dir>]
 //! tmm obscheck [--trace <trace.json>] [--metrics <metrics.prom>]
 //!              [--report <report.json>] [--bench <BENCH.json>]
+//!              [--progress <progress.json>]
+//! tmm benchdiff --baseline <file|dir> --current <file|dir>
+//!              [--max-regress-pct <pct>] [--min-ms <ms>] [--out <table.md>]
 //! ```
 //!
 //! Everything round-trips through the text formats in `tmm_sta::io` and
@@ -25,7 +28,7 @@
 //!
 //! # Observability
 //!
-//! Every command accepts four global flags:
+//! Every command accepts these global flags:
 //!
 //! * `--trace-out <file>` — record hierarchical spans and write a Chrome
 //!   `trace_event` JSON file (load in `chrome://tracing` or Perfetto).
@@ -35,6 +38,13 @@
 //!   wall/CPU times, config fingerprint, peak RSS, outcome class).
 //! * `--log-level <error|warn|info|debug|trace>` — structured stderr log
 //!   level (default `warn`; the `TMM_LOG` env var is the fallback).
+//! * `--status-addr <host:port>` — serve a live status endpoint for the
+//!   duration of the run: `/metrics` (Prometheus text plus sliding-window
+//!   rates), `/progress` (JSON stage heartbeats with ETA and an RSS
+//!   timeline), `/spans` (currently-open span stacks per thread).
+//! * `--span-buffer-cap <n>` — bound in-memory span storage; the oldest
+//!   nested spans drop first and are counted in
+//!   `tmm_live_dropped_spans_total`.
 //!
 //! Instrumentation is read-only and disabled unless requested: outputs are
 //! byte-identical with and without these flags.
@@ -59,6 +69,7 @@
 //! disk stay resumable.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 use timing_macro_gnn::circuits::CircuitSpec;
@@ -796,6 +807,13 @@ fn cmd_eco(args: &Args, report: &mut obs::RunReport) -> CliResult {
     let mut per_op: HashMap<&'static str, (f64, f64, usize)> = HashMap::new();
     let mut inc_total = 0.0f64;
     let mut scratch_total = 0.0f64;
+    // Live heartbeat: one unit per replayed edit (inert unless
+    // --status-addr is up).
+    let heartbeat = obs::progress_start(
+        "eco_stream",
+        netlist.name(),
+        stream.edits().len() as u64,
+    );
     for (k, edit) in stream.edits().iter().enumerate() {
         let what = format!("edit {k} ({})", edit.describe());
         let mut view = GraphView::new(core.clone());
@@ -865,7 +883,10 @@ fn cmd_eco(args: &Args, report: &mut obs::RunReport) -> CliResult {
         core = new_core;
         graph = edited;
         model = patched;
+        heartbeat.add(1);
+        obs::rate_add("tmm_eco_edits", 1);
     }
+    heartbeat.complete();
 
     let mut ops: Vec<_> = per_op.into_iter().collect();
     ops.sort_by_key(|(op, _)| *op);
@@ -953,12 +974,71 @@ fn cmd_obscheck(args: &Args) -> CliResult {
         eprintln!("{path}: valid bench file, {records} record(s)");
         checked += 1;
     }
+    if let Some(path) = args.flags.get("progress") {
+        let slots = obs::validate_progress_json(&read_file(path)?)
+            .map_err(|e| CliError::validation(format!("{path}: {e}")))?;
+        eprintln!("{path}: valid progress snapshot, {slots} slot(s)");
+        checked += 1;
+    }
     if checked == 0 {
         return Err(CliError::usage(
-            "nothing to check: pass --trace, --metrics, --report, or --bench",
+            "nothing to check: pass --trace, --metrics, --report, --bench, or --progress",
         ));
     }
     Ok(())
+}
+
+/// Gates the current `BENCH_*.json` artifacts against a baseline: exits
+/// with the analysis class when any `{stage, design}` key slowed by more
+/// than the noise thresholds. CI runs this against the committed baseline
+/// in `results/` after every bench-producing run.
+fn cmd_benchdiff(args: &Args, report: &mut obs::RunReport) -> CliResult {
+    use timing_macro_gnn::bench::benchdiff::{diff_paths, DiffError, Thresholds};
+    let baseline = args.required("baseline")?.to_string();
+    let current = args.required("current")?.to_string();
+    let thresholds = Thresholds {
+        max_regress_pct: args.parsed("max-regress-pct", "25.0")?,
+        min_delta_ms: args.parsed("min-ms", "5.0")?,
+    };
+    if thresholds.max_regress_pct <= 0.0 {
+        return Err(CliError::usage("--max-regress-pct must be positive"));
+    }
+    let diff = diff_paths(Path::new(&baseline), Path::new(&current), &thresholds).map_err(
+        |e| match e {
+            DiffError::Io(m) => CliError::io(m),
+            DiffError::Parse(m) => CliError { class: ErrClass::Parse, msg: m },
+            DiffError::Empty(m) => CliError::validation(m),
+        },
+    )?;
+    let table = diff.to_markdown(&thresholds);
+    match args.flags.get("out") {
+        Some(path) => {
+            write_file(path, &table)?;
+            eprintln!("wrote {path}: benchdiff table, {} key(s)", diff.rows.len());
+        }
+        None => print!("{table}"),
+    }
+    let regressions = diff.regressions();
+    report.fact("keys", diff.rows.len());
+    report.fact("regressions", regressions.len());
+    if regressions.is_empty() {
+        eprintln!("benchdiff: {} key(s) within thresholds", diff.rows.len());
+        Ok(())
+    } else {
+        let names: Vec<String> = regressions
+            .iter()
+            .map(|r| format!("{}/{}", r.stage, r.design))
+            .collect();
+        Err(CliError {
+            class: ErrClass::Analysis,
+            msg: format!(
+                "benchdiff: {} of {} key(s) regressed: {}",
+                regressions.len(),
+                diff.rows.len(),
+                names.join(", ")
+            ),
+        })
+    }
 }
 
 /// Spawns this same binary as a child `tmm` invocation with a controlled
@@ -1175,7 +1255,7 @@ fn cmd_ckptcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
     }
 }
 
-const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|eco|diffcheck|ckptcheck|obscheck> [--flag value] [--switch]
+const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|eco|diffcheck|ckptcheck|obscheck|benchdiff> [--flag value] [--switch]
   gen      --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
   stats    --design <design.tmm> --lib <lib.tmm>
   model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
@@ -1208,16 +1288,26 @@ const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|eco|
            (crash-injection sweep: kill `tmm model` at seeded checkpoint transitions,
             resume each, require byte-identical models and a rejected stale resume)
   obscheck [--trace <trace.json> [--expect-stages a,b]] [--metrics <m.prom> [--min-series <n>]]
-           [--report <report.json>] [--bench <BENCH.json>]
+           [--report <report.json>] [--bench <BENCH.json>] [--progress <progress.json>]
+  benchdiff --baseline <file|dir> --current <file|dir>
+           [--max-regress-pct <pct>] [--min-ms <ms>] [--out <table.md>]
+           (perf-regression gate over BENCH_*.json artifacts: exits 5 and names
+            the stage when wall time grew past both noise thresholds)
 observability (any command):
   --trace-out <trace.json>    record spans, write Chrome trace_event JSON
   --metrics-out <m.prom>      record metrics, write Prometheus text exposition
   --report-out <report.json>  write a machine-readable run report
   --log-level <level>         error|warn|info|debug|trace (default warn; TMM_LOG fallback)
+  --status-addr <host:port>   serve live /metrics /progress /spans over HTTP while running
+  --span-buffer-cap <n>       bound span-buffer memory (default 262144; oldest nested
+                              spans drop first, counted in tmm_live_dropped_spans_total)
 exit codes: 0 ok, 1 usage, 2 i/o, 3 parse, 4 validation, 5 analysis, 6 deadline exceeded";
 
 /// Enables the requested observability subsystems before the command runs.
-fn setup_observability(args: &Args) -> CliResult {
+/// Returns the live-status endpoint guard when `--status-addr` was given;
+/// the caller keeps it alive for the duration of the run (its `Drop` stops
+/// the service thread).
+fn setup_observability(args: &Args) -> Result<Option<obs::LiveStatus>, CliError> {
     if let Some(level) = args.flags.get("log-level") {
         let parsed = obs::Level::parse(level)
             .ok_or_else(|| CliError::usage(format!("unknown log level `{level}`")))?;
@@ -1229,7 +1319,21 @@ fn setup_observability(args: &Args) -> CliResult {
     if args.flags.contains_key("metrics-out") {
         obs::enable_metrics();
     }
-    Ok(())
+    if args.flags.contains_key("span-buffer-cap") {
+        let cap: usize = args.parsed("span-buffer-cap", "0")?;
+        if cap == 0 {
+            return Err(CliError::usage("--span-buffer-cap must be at least 1"));
+        }
+        obs::set_span_buffer_cap(cap);
+    }
+    let live = match args.flags.get("status-addr") {
+        Some(addr) => Some(
+            obs::serve_status(addr)
+                .map_err(|e| CliError::io(format!("cannot serve status on {addr}: {e}")))?,
+        ),
+        None => None,
+    };
+    Ok(live)
 }
 
 /// Writes the requested observability artifacts after the command ran
@@ -1272,10 +1376,15 @@ fn run() -> ExitCode {
             return ExitCode::from(e.class as u8);
         }
     };
-    if let Err(e) = setup_observability(&args) {
-        eprintln!("tmm: {}", e.msg);
-        return ExitCode::from(e.class as u8);
-    }
+    // The guard keeps the `--status-addr` service thread alive for the
+    // whole run; dropping it (end of `run`) stops the endpoint.
+    let _live = match setup_observability(&args) {
+        Ok(live) => live,
+        Err(e) => {
+            eprintln!("tmm: {}", e.msg);
+            return ExitCode::from(e.class as u8);
+        }
+    };
     let mut report = obs::RunReport::new(cmd);
     // Default fingerprint: the invocation itself. `model` overrides it
     // with the effective framework configuration.
@@ -1292,6 +1401,7 @@ fn run() -> ExitCode {
         "diffcheck" => cmd_diffcheck(&args, &mut report),
         "ckptcheck" => cmd_ckptcheck(&args, &mut report),
         "obscheck" => cmd_obscheck(&args),
+        "benchdiff" => cmd_benchdiff(&args, &mut report),
         other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
     };
     if let Err(e) = &result {

@@ -21,6 +21,8 @@
 //! - [`diffcheck`] — randomized cross-engine differential checker: engine
 //!   pairings, semantic invariants, design shrinking, and self-contained
 //!   repro artifacts.
+//! - [`bench`] — benchmark harness and the `benchdiff` perf-regression
+//!   gate over `BENCH_*.json` artifacts.
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@
 //! # Ok(())
 //! # }
 //! ```
+pub use tmm_bench as bench;
 pub use tmm_circuits as circuits;
 pub use tmm_ckpt as ckpt;
 pub use tmm_core as core;

@@ -74,3 +74,109 @@ fn tracing_and_metrics_do_not_change_macro_bytes() {
     obs::disable_tracing();
     obs::disable_metrics();
 }
+
+/// Runs the `tmm` binary with `args` in `dir`, requiring success.
+fn tmm_in(dir: &std::path::Path, args: &[&str]) -> std::process::Output {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_tmm"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn tmm");
+    assert!(
+        out.status.success(),
+        "tmm {:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// A scratch directory unique to this test process.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tmm_obs_eq_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn read(dir: &std::path::Path, name: &str) -> String {
+    std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// The streaming ECO pipeline must produce byte-identical models whether
+/// it runs dark or under the full observability stack — tracing, metrics,
+/// run report, live status endpoint, and a tight span-buffer cap all at
+/// once. Child processes keep the global obs switches isolated per run.
+#[test]
+fn eco_stream_byte_identical_under_full_observability() {
+    let dir = scratch("eco");
+    tmm_in(
+        &dir,
+        &["gen", "--name", "eco_eq", "--pins", "400", "--seed", "7", "--out", "d.tmm",
+          "--lib-out", "l.tmm"],
+    );
+    tmm_in(
+        &dir,
+        &["eco", "--design", "d.tmm", "--lib", "l.tmm", "--edits", "3", "--seed", "5",
+          "--out", "plain.tmm"],
+    );
+    tmm_in(
+        &dir,
+        &["eco", "--design", "d.tmm", "--lib", "l.tmm", "--edits", "3", "--seed", "5",
+          "--out", "obs.tmm", "--trace-out", "t.json", "--metrics-out", "m.prom",
+          "--report-out", "r.json", "--status-addr", "127.0.0.1:0",
+          "--span-buffer-cap", "64", "--log-level", "error"],
+    );
+    assert_eq!(
+        read(&dir, "plain.tmm"),
+        read(&dir, "obs.tmm"),
+        "ECO models must be byte-identical with observability enabled"
+    );
+    // Live-only series stay on the live endpoint: the exported metrics
+    // artifact must not pick up sliding-window or status-endpoint series.
+    let metrics = read(&dir, "m.prom");
+    assert!(
+        !metrics.contains("_per_sec") && !metrics.contains("tmm_live_"),
+        "live-only series leaked into --metrics-out:\n{metrics}"
+    );
+    obs::validate_metrics_text(&metrics).expect("valid exported metrics");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A budgeted multi-threaded `tmm model` run under `--status-addr` must
+/// write the same model bytes as a dark run: the heartbeat slots, rate
+/// windows, and RSS sampler never feed back into computation.
+#[test]
+fn budgeted_model_run_byte_identical_under_status_endpoint() {
+    let dir = scratch("budget");
+    tmm_in(
+        &dir,
+        &["gen", "--name", "budget_eq", "--pins", "400", "--seed", "11", "--out", "d.tmm",
+          "--lib-out", "l.tmm"],
+    );
+    tmm_in(
+        &dir,
+        &["model", "--design", "d.tmm", "--lib", "l.tmm", "--out", "plain.tmm",
+          "--mem-budget-mb", "1", "--threads", "2"],
+    );
+    tmm_in(
+        &dir,
+        &["model", "--design", "d.tmm", "--lib", "l.tmm", "--out", "obs.tmm",
+          "--mem-budget-mb", "1", "--threads", "2", "--status-addr", "127.0.0.1:0",
+          "--metrics-out", "m.prom", "--log-level", "error"],
+    );
+    assert_eq!(
+        read(&dir, "plain.tmm"),
+        read(&dir, "obs.tmm"),
+        "budgeted model must be byte-identical under the status endpoint"
+    );
+    // The budgeted run must surface the backfilled budget metrics in the
+    // exported artifact (they are part of the stable registry, not
+    // live-only series).
+    let metrics = read(&dir, "m.prom");
+    assert!(
+        metrics.contains("tmm_mem_budget_flushes_total"),
+        "budget flush counter missing from exported metrics:\n{metrics}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
