@@ -41,12 +41,16 @@ impl Default for Thresholds {
 }
 
 impl Thresholds {
-    /// The percentage threshold for `stage`. Per-edit ECO records and
-    /// microsecond-scale kernel stages are noisier than long pipeline
-    /// stages, so they run at twice the configured tolerance.
+    /// The percentage threshold for `stage`. Per-edit ECO records,
+    /// microsecond-scale kernel stages, and serve latency percentiles are
+    /// noisier than long pipeline stages, so they run at twice the
+    /// configured tolerance.
     #[must_use]
     pub fn stage_pct(&self, stage: &str) -> f64 {
-        if stage.starts_with("eco_") || stage.starts_with("gnn_kernels_") {
+        if stage.starts_with("eco_")
+            || stage.starts_with("gnn_kernels_")
+            || stage.starts_with("serve_")
+        {
             self.max_regress_pct * 2.0
         } else {
             self.max_regress_pct
@@ -115,6 +119,14 @@ impl DiffReport {
     #[must_use]
     pub fn regressions(&self) -> Vec<&DiffRow> {
         self.rows.iter().filter(|r| r.status == DiffStatus::Regressed).collect()
+    }
+
+    /// Keys present in the baseline but missing from the candidate run —
+    /// a stage that silently stopped being measured is a gate failure,
+    /// not a pass.
+    #[must_use]
+    pub fn removed(&self) -> Vec<&DiffRow> {
+        self.rows.iter().filter(|r| r.status == DiffStatus::BaselineOnly).collect()
     }
 
     /// Renders the markdown diff table (regressions sort first).
@@ -383,16 +395,22 @@ pub fn diff_paths(
         for bf in &base_files {
             let Some(name) = bf.file_name().and_then(|n| n.to_str()) else { continue };
             let cf = current.join(name);
-            if !cf.is_file() {
-                continue;
-            }
             let base = load_path_records(bf)?;
-            let cur = load_path_records(&cf)?;
-            report.rows.extend(diff_records(&base, &cur, thresholds));
-            report.files.push(name.to_string());
-            compared += 1;
+            if cf.is_file() {
+                let cur = load_path_records(&cf)?;
+                report.rows.extend(diff_records(&base, &cur, thresholds));
+                report.files.push(name.to_string());
+                compared += 1;
+            } else {
+                // A whole family present in the baseline but absent from
+                // the candidate run: every one of its keys is a removed
+                // stage. Diffing against an empty record set synthesises
+                // the BaselineOnly rows instead of silently dropping them.
+                report.rows.extend(diff_records(&base, &[], thresholds));
+                report.files.push(format!("{name} (baseline only)"));
+            }
         }
-        if compared == 0 {
+        if compared == 0 && report.rows.is_empty() {
             return Err(DiffError::Empty(format!(
                 "no BENCH_*.json family present in both {} and {}",
                 baseline.display(),
@@ -524,6 +542,68 @@ mod tests {
 
         assert!(parse_bench_records("{}", "t").is_err());
         assert!(parse_bench_records(r#"{"schema":"nope"}"#, "t").is_err());
+    }
+
+    #[test]
+    fn serve_stages_get_doubled_tolerance() {
+        let th = Thresholds { max_regress_pct: 20.0, min_delta_ms: 1.0 };
+        // +30% on a serve percentile: inside the doubled 40% gate.
+        let base = vec![rec("serve_slack_p99", "d", 100.0)];
+        let cur = vec![rec("serve_slack_p99", "d", 130.0)];
+        let rows = diff_records(&base, &cur, &th);
+        assert_eq!(rows[0].status, DiffStatus::Ok);
+        // +50% exceeds it.
+        let cur = vec![rec("serve_slack_p99", "d", 150.0)];
+        let rows = diff_records(&base, &cur, &th);
+        assert_eq!(rows[0].status, DiffStatus::Regressed);
+    }
+
+    fn write_bench(dir: &Path, name: &str, stage: &str, wall_ms: f64) {
+        let body = format!(
+            r#"{{"schema":"tmm-bench/v1","records":[{{"stage":"{stage}","design":"d","wall_ms":{wall_ms},"throughput":0.0}}]}}"#
+        );
+        std::fs::write(dir.join(name), body).unwrap();
+    }
+
+    #[test]
+    fn directory_mode_reports_families_missing_from_candidate() {
+        let root = std::env::temp_dir()
+            .join(format!("tmm-benchdiff-removed-{}", std::process::id()));
+        let (base_dir, cur_dir) = (root.join("base"), root.join("cur"));
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&cur_dir).unwrap();
+        write_bench(&base_dir, "BENCH_pipeline.json", "training", 100.0);
+        write_bench(&base_dir, "BENCH_serve.json", "serve_overall", 50.0);
+        write_bench(&cur_dir, "BENCH_pipeline.json", "training", 100.0);
+        // BENCH_serve.json exists only in the baseline: its keys must
+        // surface as removed stages, not vanish from the table.
+        let report =
+            diff_paths(&base_dir, &cur_dir, &Thresholds::default()).expect("diff runs");
+        let removed = report.removed();
+        assert_eq!(removed.len(), 1, "{:?}", report.rows);
+        assert_eq!(removed[0].stage, "serve_overall");
+        assert_eq!(removed[0].status, DiffStatus::BaselineOnly);
+        assert!(
+            report.files.iter().any(|f| f.contains("BENCH_serve.json (baseline only)")),
+            "{:?}",
+            report.files
+        );
+        let md = report.to_markdown(&Thresholds::default());
+        assert!(md.contains("| serve_overall | d |"), "{md}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn removed_accessor_flags_baseline_only_keys() {
+        let base = vec![rec("gone", "d", 10.0), rec("kept", "d", 10.0)];
+        let cur = vec![rec("kept", "d", 10.0)];
+        let report = DiffReport {
+            rows: diff_records(&base, &cur, &Thresholds::default()),
+            files: vec![],
+        };
+        assert_eq!(report.removed().len(), 1);
+        assert_eq!(report.removed()[0].stage, "gone");
+        assert!(report.regressions().is_empty());
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Minimal zero-dependency blocking HTTP/1.0 framing.
+//!
+//! Shared by the live status endpoint ([`crate::live`]) and the
+//! `tmm-serve` request/response protocol. The design goals are the same
+//! for both users:
+//!
+//! * **no truncation** — [`write_fully`] retries short writes and
+//!   `EAGAIN`/`EINTR` until a deadline, so multi-megabyte `/metrics`
+//!   bodies survive slow readers instead of being silently cut off;
+//! * **no wedging** — every loop is bounded by the socket timeouts set by
+//!   the caller plus an overall per-response deadline, so one stalled or
+//!   reset client can never hang a service thread;
+//! * **POST bodies** — [`read_request`] honours `Content-Length`, which
+//!   the serve protocol needs for batched query submissions.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a request body accepted by [`read_request`].
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Overall deadline for writing one response, across all retries.
+const WRITE_DEADLINE: Duration = Duration::from_secs(15);
+/// Pause before retrying a `WouldBlock`/`TimedOut` write.
+const WRITE_RETRY_PAUSE: Duration = Duration::from_millis(5);
+
+/// One parsed HTTP request: method, path (query string stripped), body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `HEAD`, `POST`, ...), uppercase as sent.
+    pub method: String,
+    /// Request path with any `?query` suffix removed.
+    pub path: String,
+    /// Request body (empty unless `Content-Length` was present).
+    pub body: String,
+}
+
+/// Reads one request from `stream`: head until the blank line, then a
+/// `Content-Length`-delimited body. Returns `None` on malformed input,
+/// oversized head/body, or a client that vanished mid-request.
+pub fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut buf: Vec<u8> = Vec::with_capacity(2048);
+    let mut tmp = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD {
+            return None;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let mut lines = head.lines();
+    let mut parts = lines.next()?.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.split('?').next().unwrap_or("/").to_string();
+    let mut content_len = 0usize;
+    for line in lines {
+        let Some((key, value)) = line.split_once(':') else { continue };
+        if key.trim().eq_ignore_ascii_case("content-length") {
+            content_len = value.trim().parse().ok()?;
+        }
+    }
+    if content_len > MAX_BODY {
+        return None;
+    }
+    let mut body = buf[(head_end + 4).min(buf.len())..].to_vec();
+    while body.len() < content_len {
+        match stream.read(&mut tmp) {
+            Ok(0) => return None,
+            Ok(n) => body.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    body.truncate(content_len);
+    let body = String::from_utf8(body).ok()?;
+    Some(Request { method, path, body })
+}
+
+/// Writes all of `buf`, looping over short writes and retrying
+/// `Interrupted` immediately and `WouldBlock`/`TimedOut` (with a short
+/// pause) until [`WRITE_DEADLINE`] expires.
+///
+/// # Errors
+///
+/// Returns the underlying error once the deadline passes, on a zero-byte
+/// write, or on any other socket error (connection reset, broken pipe).
+pub fn write_fully(stream: &mut TcpStream, buf: &[u8]) -> std::io::Result<()> {
+    let deadline = Instant::now() + WRITE_DEADLINE;
+    let mut off = 0;
+    while off < buf.len() {
+        match stream.write(&buf[off..]) {
+            Ok(0) => return Err(ErrorKind::WriteZero.into()),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(WRITE_RETRY_PAUSE);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one complete `HTTP/1.0` response (status line, `Content-Type`,
+/// `Content-Length`, `Connection: close`, body) via [`write_fully`].
+///
+/// # Errors
+///
+/// Propagates [`write_fully`] errors; the caller decides whether a failed
+/// response to one client matters (service loops typically log and move
+/// on).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    write_fully(stream, head.as_bytes())?;
+    write_fully(stream, body.as_bytes())?;
+    stream.flush()
+}
+
+/// Blocking one-shot HTTP client: connects, sends `method path` with
+/// `body`, and returns `(status, response body)`. Used by the load
+/// generator, smoke tests, and anything else that needs to talk to the
+/// live or serve endpoints without a dependency.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures and malformed responses.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.0\r\nHost: tmm\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    write_fully(&mut stream, head.as_bytes())?;
+    write_fully(&mut stream, body.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| std::io::Error::new(ErrorKind::InvalidData, "non-utf8 response"))?;
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "bad status line"))?;
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn write_fully_survives_would_block_on_large_bodies() {
+        let (client, mut server) = socket_pair();
+        // Nonblocking sender: once the kernel buffer fills, `write`
+        // returns WouldBlock mid-body — exactly the short-write shape that
+        // used to truncate large /metrics responses.
+        server.set_nonblocking(true).unwrap();
+        let big = "m".repeat(4 * 1024 * 1024);
+        let want = big.len();
+        let reader = std::thread::spawn(move || {
+            let mut client = client;
+            // Let the writer hit WouldBlock before draining.
+            std::thread::sleep(Duration::from_millis(100));
+            let mut total = 0usize;
+            let mut buf = [0u8; 65536];
+            loop {
+                match client.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => total += n,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+            total
+        });
+        write_fully(&mut server, big.as_bytes()).expect("large body completes");
+        drop(server);
+        assert_eq!(reader.join().unwrap(), want, "no bytes truncated");
+    }
+
+    #[test]
+    fn write_fully_reports_reset_clients() {
+        let (client, mut server) = socket_pair();
+        drop(client);
+        let big = "m".repeat(8 * 1024 * 1024);
+        // Either the first or a later write observes the closed peer; it
+        // must surface as an error, not hang or panic.
+        assert!(write_fully(&mut server, big.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_request_parses_post_with_content_length() {
+        let (mut client, mut server) = socket_pair();
+        let body = "slack 3 u7/Z\nat 3 u9/A\n";
+        let writer = std::thread::spawn(move || {
+            let req = format!(
+                "POST /v1/batch HTTP/1.0\r\nHost: x\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            // Dribble the request in two chunks to exercise re-reads.
+            client.write_all(&req.as_bytes()[..20]).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            client.write_all(&req.as_bytes()[20..]).unwrap();
+        });
+        let req = read_request(&mut server).expect("parses");
+        writer.join().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/batch");
+        assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn read_request_strips_query_and_handles_no_body() {
+        let (mut client, mut server) = socket_pair();
+        client.write_all(b"GET /metrics?x=1 HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        let req = read_request(&mut server).expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn read_request_rejects_oversized_content_length() {
+        let (mut client, mut server) = socket_pair();
+        client
+            .write_all(
+                format!("POST / HTTP/1.0\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1)
+                    .as_bytes(),
+            )
+            .unwrap();
+        assert!(read_request(&mut server).is_none());
+    }
+
+    #[test]
+    fn response_roundtrip_via_client_helper() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.body, "ping");
+            write_response(&mut stream, 200, "text/plain", "pong").unwrap();
+        });
+        let (status, body) = http_request(addr, "POST", "/echo", "ping").unwrap();
+        server.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "pong");
+    }
+}

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod http;
 pub mod json;
 pub mod live;
 pub mod log;
@@ -43,6 +44,7 @@ pub use metrics::{
     counter_add, disable_metrics, enable_metrics, export_metrics, gauge_set, metric_series_count,
     metrics_enabled, observe, observe_with_buckets, reset_metrics, DEFAULT_BUCKETS,
 };
+pub use http::{http_request, read_request, write_fully, write_response, Request};
 pub use live::{serve_status, LiveStatus};
 pub use progress::{
     disable_live, enable_live, live_enabled, progress_entries, progress_start,

@@ -19,7 +19,6 @@
 //! the thread and disables live telemetry.
 
 use std::collections::VecDeque;
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -93,6 +92,10 @@ fn service_loop(listener: &TcpListener, stop: &AtomicBool, timeline: &RssTimelin
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
             }
+            // A signal landing mid-accept (EINTR) or a client resetting
+            // between SYN and accept must not stall or kill the service
+            // thread; retry immediately / after a short pause.
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => std::thread::sleep(POLL_INTERVAL),
         }
         tick = tick.wrapping_add(1);
@@ -120,11 +123,15 @@ fn handle_connection(mut stream: TcpStream, timeline: &RssTimeline) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let Some(path) = read_request_path(&mut stream) else {
+    let Some(req) = crate::http::read_request(&mut stream) else {
         respond(&mut stream, 400, "text/plain", "bad request\n");
         return;
     };
-    match path.as_str() {
+    if req.method != "GET" && req.method != "HEAD" {
+        respond(&mut stream, 405, "text/plain", "method not allowed\n");
+        return;
+    }
+    match req.path.as_str() {
         "/metrics" => {
             let mut body = crate::metrics::export_metrics();
             body.push_str(&live_metrics_appendix());
@@ -153,49 +160,14 @@ fn handle_connection(mut stream: TcpStream, timeline: &RssTimeline) {
     }
 }
 
-/// Reads up to one request's worth of bytes and returns the request path.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
-    let mut buf = [0u8; 2048];
-    let mut used = 0;
-    loop {
-        match stream.read(&mut buf[used..]) {
-            Ok(0) => break,
-            Ok(n) => {
-                used += n;
-                let head = &buf[..used];
-                if head.windows(4).any(|w| w == b"\r\n\r\n") || used == buf.len() {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    let text = std::str::from_utf8(&buf[..used]).ok()?;
-    let line = text.lines().next()?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next()?;
-    if method != "GET" && method != "HEAD" {
-        return None;
-    }
-    // Strip any query string; the endpoints take no parameters.
-    let path = parts.next()?.split('?').next().unwrap_or("/");
-    Some(path.to_string())
-}
-
 fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        _ => "Not Found",
-    };
-    let head = format!(
-        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
+    // write_response retries short writes / EINTR with a deadline, so
+    // large /metrics bodies are never truncated; a client that resets
+    // mid-response surfaces as an Err we deliberately drop (one lost
+    // client must not affect the service thread).
+    if let Err(e) = crate::http::write_response(stream, status, content_type, body) {
+        crate::log::debug(&[("err", e.to_string().as_str())], "status response dropped");
+    }
 }
 
 /// Live-only gauge lines appended to the `/metrics` response: window
@@ -254,6 +226,7 @@ pub fn render_spans_json() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
 
     fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");

@@ -218,12 +218,17 @@ pub struct ProgressEntry {
 impl ProgressEntry {
     /// Remaining-time estimate from linear extrapolation, `None` until
     /// any progress is recorded or when the total is unknown.
+    ///
+    /// ECO streams can extend a stage mid-run, so `done > total` is a
+    /// legal transient; it clamps to `Some(0)` (nothing known to remain)
+    /// rather than wrapping `total - done` through `u64`.
     #[must_use]
     pub fn eta_ms(&self) -> Option<u64> {
-        if self.done == 0 || self.total == 0 || self.done > self.total {
+        if self.done == 0 || self.total == 0 {
             return None;
         }
-        Some(self.elapsed_ms.saturating_mul(self.total - self.done) / self.done)
+        let remaining = self.total.saturating_sub(self.done);
+        Some(self.elapsed_ms.saturating_mul(remaining) / self.done)
     }
 }
 
@@ -373,6 +378,29 @@ mod tests {
         assert_eq!(e.eta_ms(), Some(3000));
         let unknown = ProgressEntry { done: 5, total: 0, ..ProgressEntry::default() };
         assert_eq!(unknown.eta_ms(), None);
+    }
+
+    #[test]
+    fn eta_clamps_when_stream_extends_past_total() {
+        // An ECO stream reported total=100 then kept producing: done can
+        // legitimately exceed total mid-run. The ETA must clamp to 0, not
+        // wrap (total - done) through u64 into a ~584-million-year ETA.
+        let over = ProgressEntry {
+            done: 140,
+            total: 100,
+            elapsed_ms: 5000,
+            ..ProgressEntry::default()
+        };
+        assert_eq!(over.eta_ms(), Some(0));
+        let exact = ProgressEntry {
+            done: 100,
+            total: 100,
+            elapsed_ms: 5000,
+            ..ProgressEntry::default()
+        };
+        assert_eq!(exact.eta_ms(), Some(0));
+        let none_done = ProgressEntry { done: 0, total: 100, ..ProgressEntry::default() };
+        assert_eq!(none_done.eta_ms(), None);
     }
 
     #[test]

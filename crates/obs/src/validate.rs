@@ -204,8 +204,32 @@ pub fn validate_progress_json(src: &str) -> Result<usize, String> {
         }
         let done = s.get("done").and_then(Value::as_f64).unwrap_or(0.0);
         let total = s.get("total").and_then(Value::as_f64).unwrap_or(0.0);
-        if total > 0.0 && done > total {
-            return Err(format!("slot {i}: done {done} exceeds total {total}"));
+        // `done > total` is legal (ECO streams extend mid-run), but the
+        // ETA derived from it must be clamped: null or a finite
+        // non-negative number, and exactly 0 once done has reached or
+        // passed a known total. A huge ETA here is the u64-wrap bug.
+        match s.get("eta_ms") {
+            None => return Err(format!("slot {i} missing `eta_ms` (number or null)")),
+            Some(Value::Null) => {
+                if done > 0.0 && total > 0.0 {
+                    return Err(format!(
+                        "slot {i}: eta_ms is null with done {done} / total {total} known"
+                    ));
+                }
+            }
+            Some(v) => {
+                let eta = v
+                    .as_f64()
+                    .ok_or_else(|| format!("slot {i}: eta_ms must be a number or null"))?;
+                if !eta.is_finite() || eta < 0.0 {
+                    return Err(format!("slot {i}: eta_ms {eta} is not a finite non-negative"));
+                }
+                if total > 0.0 && done >= total && eta != 0.0 {
+                    return Err(format!(
+                        "slot {i}: eta_ms {eta} not clamped to 0 with done {done} >= total {total}"
+                    ));
+                }
+            }
         }
     }
     let rss = doc.get("rss").ok_or("progress missing `rss` object")?;
@@ -306,5 +330,47 @@ mod tests {
             .is_ok(),
             "empty slot list is valid"
         );
+    }
+
+    fn progress_doc(slot: &str) -> String {
+        format!(
+            r#"{{"schema":"tmm-progress/v1","uptime_ms":1,"slots":[{slot}],"rss":{{"current_bytes":0,"peak_bytes":0,"timeline":[]}}}}"#
+        )
+    }
+
+    #[test]
+    fn progress_validator_enforces_eta_clamp_rule() {
+        // Mid-run extension: done past total is legal as long as the ETA
+        // clamped to 0.
+        assert!(validate_progress_json(&progress_doc(
+            r#"{"stage":"eco","design":"d","done":140,"total":100,"elapsed_ms":5,"eta_ms":0,"active":true}"#
+        ))
+        .is_ok());
+        // The u64-wrap bug shape: done >= total with an enormous ETA.
+        let err = validate_progress_json(&progress_doc(
+            r#"{"stage":"eco","design":"d","done":140,"total":100,"elapsed_ms":5,"eta_ms":18446744073709000000,"active":true}"#
+        ))
+        .expect_err("wrapped eta rejected");
+        assert!(err.contains("not clamped"), "{err}");
+        // Unknown total: null ETA is the correct rendering.
+        assert!(validate_progress_json(&progress_doc(
+            r#"{"stage":"eco","design":"d","done":5,"total":0,"elapsed_ms":5,"eta_ms":null,"active":true}"#
+        ))
+        .is_ok());
+        // Known progress must come with a concrete ETA.
+        assert!(validate_progress_json(&progress_doc(
+            r#"{"stage":"eco","design":"d","done":5,"total":10,"elapsed_ms":5,"eta_ms":null,"active":true}"#
+        ))
+        .is_err());
+        // Negative ETAs never validate.
+        assert!(validate_progress_json(&progress_doc(
+            r#"{"stage":"eco","design":"d","done":5,"total":10,"elapsed_ms":5,"eta_ms":-3,"active":true}"#
+        ))
+        .is_err());
+        // A slot with no eta_ms field at all predates the rule.
+        assert!(validate_progress_json(&progress_doc(
+            r#"{"stage":"eco","design":"d","done":5,"total":10,"elapsed_ms":5,"active":true}"#
+        ))
+        .is_err());
     }
 }

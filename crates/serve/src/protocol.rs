@@ -1,0 +1,350 @@
+//! The framed serve protocol: newline-separated commands in a `POST /v1`
+//! body, one response line per command, in order.
+//!
+//! Floats travel in two forms: plain decimal (`12.5`) or exact bit
+//! pattern (`0x3ff0000000000000`). Responses always use the bit form so
+//! clients can compare results bit-for-bit against a serial reference —
+//! the whole point of the determinism contract.
+//!
+//! Commands:
+//!
+//! ```text
+//! open <design>                          -> ok <sid>
+//! close <sid>                            -> ok
+//! at|rat|slack|slew <sid> <pin>          -> ok <e.rise> <e.fall> <l.rise> <l.fall>
+//! setpi <sid> <idx> <at_e> <at_l> <slew> -> ok
+//! setpoload <sid> <idx> <load>           -> ok
+//! setporat <sid> <idx> <early> <late>    -> ok
+//! eco <sid> resize <arc> <factor>        -> ok
+//! eco <sid> buffer <arc> <name> <delay>  -> ok
+//! eco <sid> delete <node>                -> ok
+//! macroeval <sid>                        -> ok <worst_slack>
+//! ping                                   -> ok
+//! ```
+
+use tmm_faults::eco::EcoEdit;
+use tmm_sta::split::{Edge, Mode, Quad};
+
+/// The timing quantity a point query asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Arrival times.
+    At,
+    /// Required arrival times.
+    Rat,
+    /// Slack.
+    Slack,
+    /// Slews.
+    Slew,
+}
+
+impl QueryKind {
+    /// Wire/metric name of the kind.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::At => "at",
+            QueryKind::Rat => "rat",
+            QueryKind::Slack => "slack",
+            QueryKind::Slew => "slew",
+        }
+    }
+}
+
+/// One parsed protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Open a session on a pooled design.
+    Open {
+        /// Pool name of the design.
+        design: String,
+    },
+    /// Close a session.
+    Close {
+        /// Session id.
+        sid: u64,
+    },
+    /// Point query on a pin.
+    Query {
+        /// Session id.
+        sid: u64,
+        /// Quantity to read.
+        kind: QueryKind,
+        /// Pin name.
+        pin: String,
+    },
+    /// Re-constrain one primary input.
+    SetPi {
+        /// Session id.
+        sid: u64,
+        /// PI index.
+        idx: usize,
+        /// Early arrival.
+        at_early: f64,
+        /// Late arrival.
+        at_late: f64,
+        /// Input slew.
+        slew: f64,
+    },
+    /// Change one primary output's external load.
+    SetPoLoad {
+        /// Session id.
+        sid: u64,
+        /// PO index.
+        idx: usize,
+        /// New load.
+        load: f64,
+    },
+    /// Change one primary output's required times.
+    SetPoRat {
+        /// Session id.
+        sid: u64,
+        /// PO index.
+        idx: usize,
+        /// Early required time.
+        early: f64,
+        /// Late required time.
+        late: f64,
+    },
+    /// Apply one ECO edit to the session's overlay.
+    Eco {
+        /// Session id.
+        sid: u64,
+        /// The edit.
+        edit: EcoEdit,
+    },
+    /// Evaluate the design's macro model under the session's context.
+    MacroEval {
+        /// Session id.
+        sid: u64,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+impl Command {
+    /// The session a command addresses (`None` for `open`/`ping`, which
+    /// the engine routes itself).
+    #[must_use]
+    pub fn sid(&self) -> Option<u64> {
+        match self {
+            Command::Open { .. } | Command::Ping => None,
+            Command::Close { sid }
+            | Command::Query { sid, .. }
+            | Command::SetPi { sid, .. }
+            | Command::SetPoLoad { sid, .. }
+            | Command::SetPoRat { sid, .. }
+            | Command::Eco { sid, .. }
+            | Command::MacroEval { sid } => Some(*sid),
+        }
+    }
+}
+
+/// Renders a float as its exact bit pattern (`0x…`, 16 hex digits).
+#[must_use]
+pub fn format_f64(v: f64) -> String {
+    format!("0x{:016x}", v.to_bits())
+}
+
+/// Parses a float in either decimal or `0x…`-bits form.
+///
+/// # Errors
+///
+/// Returns a message naming the offending token.
+pub fn parse_f64(tok: &str) -> Result<f64, String> {
+    if let Some(hex) = tok.strip_prefix("0x") {
+        let bits = u64::from_str_radix(hex, 16).map_err(|_| format!("bad f64 bits `{tok}`"))?;
+        return Ok(f64::from_bits(bits));
+    }
+    tok.parse().map_err(|_| format!("bad f64 `{tok}`"))
+}
+
+/// Renders a [`Quad`] as four bit-pattern tokens in the canonical order
+/// `early.rise early.fall late.rise late.fall`.
+#[must_use]
+pub fn format_quad(q: Quad) -> String {
+    let mut out = String::with_capacity(4 * 19);
+    for mode in Mode::ALL {
+        for edge in Edge::ALL {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&format_f64(q[mode][edge]));
+        }
+    }
+    out
+}
+
+/// Parses one command line (already newline-stripped, non-empty).
+///
+/// # Errors
+///
+/// Returns a message describing the malformed token.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let mut tok = line.split_whitespace();
+    let verb = tok.next().ok_or("empty command")?;
+    let mut next = |what: &str| tok.next().ok_or(format!("{verb}: missing {what}"));
+    let cmd = match verb {
+        "ping" => Command::Ping,
+        "open" => Command::Open { design: next("design")?.to_string() },
+        "close" => Command::Close { sid: parse_u64(next("sid")?)? },
+        "at" | "rat" | "slack" | "slew" => {
+            let kind = match verb {
+                "at" => QueryKind::At,
+                "rat" => QueryKind::Rat,
+                "slack" => QueryKind::Slack,
+                _ => QueryKind::Slew,
+            };
+            Command::Query {
+                sid: parse_u64(next("sid")?)?,
+                kind,
+                pin: next("pin")?.to_string(),
+            }
+        }
+        "setpi" => Command::SetPi {
+            sid: parse_u64(next("sid")?)?,
+            idx: parse_u64(next("idx")?)? as usize,
+            at_early: parse_f64(next("at_early")?)?,
+            at_late: parse_f64(next("at_late")?)?,
+            slew: parse_f64(next("slew")?)?,
+        },
+        "setpoload" => Command::SetPoLoad {
+            sid: parse_u64(next("sid")?)?,
+            idx: parse_u64(next("idx")?)? as usize,
+            load: parse_f64(next("load")?)?,
+        },
+        "setporat" => Command::SetPoRat {
+            sid: parse_u64(next("sid")?)?,
+            idx: parse_u64(next("idx")?)? as usize,
+            early: parse_f64(next("early")?)?,
+            late: parse_f64(next("late")?)?,
+        },
+        "eco" => {
+            let sid = parse_u64(next("sid")?)?;
+            let op = next("op")?;
+            let edit = match op {
+                "resize" => EcoEdit::CellResize {
+                    arc: parse_u64(next("arc")?)? as u32,
+                    factor: parse_f64(next("factor")?)?,
+                },
+                "buffer" => EcoEdit::BufferInsert {
+                    arc: parse_u64(next("arc")?)? as u32,
+                    name: next("name")?.to_string(),
+                    wire_delay: parse_f64(next("wire_delay")?)?,
+                },
+                "delete" => {
+                    EcoEdit::CellDelete { node: parse_u64(next("node")?)? as u32 }
+                }
+                other => return Err(format!("eco: unknown op `{other}`")),
+            };
+            Command::Eco { sid, edit }
+        }
+        "macroeval" => Command::MacroEval { sid: parse_u64(next("sid")?)? },
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    if let Some(extra) = tok.next() {
+        return Err(format!("{verb}: unexpected trailing `{extra}`"));
+    }
+    Ok(cmd)
+}
+
+/// Serialises a command back to its wire line (floats in bit form, so a
+/// round trip is lossless).
+#[must_use]
+pub fn format_command(cmd: &Command) -> String {
+    match cmd {
+        Command::Ping => "ping".to_string(),
+        Command::Open { design } => format!("open {design}"),
+        Command::Close { sid } => format!("close {sid}"),
+        Command::Query { sid, kind, pin } => format!("{} {sid} {pin}", kind.name()),
+        Command::SetPi { sid, idx, at_early, at_late, slew } => format!(
+            "setpi {sid} {idx} {} {} {}",
+            format_f64(*at_early),
+            format_f64(*at_late),
+            format_f64(*slew)
+        ),
+        Command::SetPoLoad { sid, idx, load } => {
+            format!("setpoload {sid} {idx} {}", format_f64(*load))
+        }
+        Command::SetPoRat { sid, idx, early, late } => {
+            format!("setporat {sid} {idx} {} {}", format_f64(*early), format_f64(*late))
+        }
+        Command::Eco { sid, edit } => match edit {
+            EcoEdit::CellResize { arc, factor } => {
+                format!("eco {sid} resize {arc} {}", format_f64(*factor))
+            }
+            EcoEdit::BufferInsert { arc, name, wire_delay } => {
+                format!("eco {sid} buffer {arc} {name} {}", format_f64(*wire_delay))
+            }
+            EcoEdit::CellDelete { node } => format!("eco {sid} delete {node}"),
+        },
+        Command::MacroEval { sid } => format!("macroeval {sid}"),
+    }
+}
+
+fn parse_u64(tok: &str) -> Result<u64, String> {
+    tok.parse().map_err(|_| format!("bad integer `{tok}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, 1.0e-300, -7.25] {
+            let tok = format_f64(v);
+            let back = parse_f64(&tok).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{tok}");
+        }
+        assert_eq!(parse_f64("12.5").unwrap(), 12.5);
+        assert!(parse_f64("0xzz").is_err());
+        assert!(parse_f64("nope").is_err());
+    }
+
+    #[test]
+    fn commands_round_trip_through_the_wire_form() {
+        let cmds = [
+            Command::Ping,
+            Command::Open { design: "d1" .to_string() },
+            Command::Close { sid: 7 },
+            Command::Query { sid: 3, kind: QueryKind::Slack, pin: "u7/Z".to_string() },
+            Command::SetPi { sid: 3, idx: 1, at_early: 0.5, at_late: 2.5, slew: 9.0 },
+            Command::SetPoLoad { sid: 3, idx: 0, load: 17.25 },
+            Command::SetPoRat { sid: 3, idx: 2, early: -4.0, late: 880.0 },
+            Command::Eco { sid: 3, edit: EcoEdit::CellResize { arc: 41, factor: 0.8 } },
+            Command::Eco {
+                sid: 3,
+                edit: EcoEdit::BufferInsert {
+                    arc: 9,
+                    name: "eco_buf_0".to_string(),
+                    wire_delay: 3.0,
+                },
+            },
+            Command::Eco { sid: 3, edit: EcoEdit::CellDelete { node: 12 } },
+            Command::MacroEval { sid: 3 },
+        ];
+        for cmd in cmds {
+            let line = format_command(&cmd);
+            let back = parse_command(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(cmd, back, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_commands_are_rejected_with_context() {
+        for bad in [
+            "",
+            "frobnicate 1",
+            "open",
+            "at 3",
+            "slack x u/Z",
+            "setpi 1 0 1.0 2.0",
+            "eco 1 resize 5",
+            "eco 1 warp 5 1.0",
+            "ping extra",
+        ] {
+            assert!(parse_command(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+}

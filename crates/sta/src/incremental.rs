@@ -41,16 +41,20 @@ pub struct IncrementalStats {
     pub backward_recomputed: usize,
 }
 
-/// A timer that keeps propagation state alive across boundary-condition
-/// changes.
+/// Graph-free incremental propagation state: the session-safe core of
+/// [`IncrementalTimer`].
 ///
-/// Generic over any [`TimingGraph`] implementation, so it can run on a flat
-/// [`ArcGraph`], a frozen [`crate::view::DesignCore`], or an edited
-/// [`crate::view::GraphView`] alike; the default parameter keeps existing
-/// `IncrementalTimer<'_>` signatures meaning the `ArcGraph` case.
+/// Unlike the timer, this struct does **not** borrow the graph — every
+/// method takes `graph: &G` as a parameter instead. That makes it usable by
+/// long-lived what-if sessions that own both their
+/// [`crate::view::GraphView`] overlay and the propagation state in one
+/// value (a borrowing timer would make such a session self-referential).
+///
+/// The caller is responsible for passing the *same* graph (same topology,
+/// same node numbering) to every call; the state vectors are sized to that
+/// graph's `node_count()` at construction.
 #[derive(Debug)]
-pub struct IncrementalTimer<'g, G: TimingGraph = ArcGraph> {
-    graph: &'g G,
+pub struct IncrementalState {
     ctx: Context,
     options: AnalysisOptions,
     evaluator: Evaluator,
@@ -59,13 +63,17 @@ pub struct IncrementalTimer<'g, G: TimingGraph = ArcGraph> {
     stats: IncrementalStats,
 }
 
-impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
-    /// Performs the initial full analysis and retains its state.
+impl IncrementalState {
+    /// Performs the initial full analysis on `graph` and retains its state.
     ///
     /// # Errors
     ///
     /// Propagates analysis errors (infallible for valid graphs).
-    pub fn new(graph: &'g G, ctx: Context, options: AnalysisOptions) -> Result<Self> {
+    pub fn new<G: TimingGraph>(
+        graph: &G,
+        ctx: Context,
+        options: AnalysisOptions,
+    ) -> Result<Self> {
         let aocv = options.aocv.then(AocvSpec::standard);
         let evaluator = Evaluator::new(graph, aocv);
         let q_to_ck = q_to_ck_map(graph);
@@ -78,8 +86,7 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
         for &nid in graph.topo_order().iter().rev() {
             backward_node(graph, &po_loads, &evaluator, &mut state, nid);
         }
-        Ok(IncrementalTimer {
-            graph,
+        Ok(IncrementalState {
             ctx,
             options,
             evaluator,
@@ -95,6 +102,12 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
         &self.ctx
     }
 
+    /// The analysis options the state was built with.
+    #[must_use]
+    pub fn options(&self) -> AnalysisOptions {
+        self.options
+    }
+
     /// Work counters.
     #[must_use]
     pub fn stats(&self) -> IncrementalStats {
@@ -104,8 +117,8 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
     /// Materialises the current state as a regular [`Analysis`] (with its
     /// boundary snapshot).
     #[must_use]
-    pub fn analysis(&self) -> Analysis {
-        Analysis::from_state(self.graph, self.state.clone(), self.options)
+    pub fn analysis<G: TimingGraph>(&self, graph: &G) -> Analysis {
+        Analysis::from_state(graph, self.state.clone(), self.options)
     }
 
     /// Changes one primary input's boundary constraint and updates the
@@ -114,13 +127,18 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
     /// # Errors
     ///
     /// Returns [`StaError::UnknownPort`] for an out-of-range index.
-    pub fn set_pi(&mut self, pi_index: usize, constraint: PiConstraint) -> Result<()> {
+    pub fn set_pi<G: TimingGraph>(
+        &mut self,
+        graph: &G,
+        pi_index: usize,
+        constraint: PiConstraint,
+    ) -> Result<()> {
         if pi_index >= self.ctx.pi.len() {
             return Err(StaError::UnknownPort(format!("pi #{pi_index}")));
         }
         self.ctx.pi[pi_index] = constraint;
-        let seed = self.graph.primary_inputs()[pi_index];
-        self.update(&[seed], &[]);
+        let seed = graph.primary_inputs()[pi_index];
+        self.update(graph, &[seed], &[]);
         Ok(())
     }
 
@@ -130,19 +148,23 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
     /// # Errors
     ///
     /// Returns [`StaError::UnknownPort`] for an out-of-range index.
-    pub fn set_po_load(&mut self, po_index: usize, load: f64) -> Result<()> {
+    pub fn set_po_load<G: TimingGraph>(
+        &mut self,
+        graph: &G,
+        po_index: usize,
+        load: f64,
+    ) -> Result<()> {
         if po_index >= self.ctx.po.len() {
             return Err(StaError::UnknownPort(format!("po #{po_index}")));
         }
         self.ctx.po[po_index].load = load;
-        let seeds: Vec<NodeId> = (0..self.graph.node_count() as u32)
+        let seeds: Vec<NodeId> = (0..graph.node_count() as u32)
             .map(NodeId)
             .filter(|&n| {
-                !self.graph.node_dead(n)
-                    && self.graph.node_po_loads(n).contains(&(po_index as u32))
+                !graph.node_dead(n) && graph.node_po_loads(n).contains(&(po_index as u32))
             })
             .collect();
-        self.update(&seeds, &seeds);
+        self.update(graph, &seeds, &seeds);
         Ok(())
     }
 
@@ -152,12 +174,17 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
     /// # Errors
     ///
     /// Returns [`StaError::UnknownPort`] for an out-of-range index.
-    pub fn set_po_rat(&mut self, po_index: usize, rat: Split<f64>) -> Result<()> {
+    pub fn set_po_rat<G: TimingGraph>(
+        &mut self,
+        graph: &G,
+        po_index: usize,
+        rat: Split<f64>,
+    ) -> Result<()> {
         if po_index >= self.ctx.po.len() {
             return Err(StaError::UnknownPort(format!("po #{po_index}")));
         }
         self.ctx.po[po_index].rat = rat;
-        self.update(&[], &[]);
+        self.update(graph, &[], &[]);
         Ok(())
     }
 
@@ -165,9 +192,14 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
     /// backward sweep seeded by changed endpoints plus forward-changed
     /// nodes plus the fan-in of `load_changed` pins (whose incoming arc
     /// delays changed through the load axis).
-    fn update(&mut self, forward_seeds: &[NodeId], load_changed: &[NodeId]) {
+    fn update<G: TimingGraph>(
+        &mut self,
+        graph: &G,
+        forward_seeds: &[NodeId],
+        load_changed: &[NodeId],
+    ) {
         self.stats.updates += 1;
-        let n = self.graph.node_count();
+        let n = graph.node_count();
         let po_loads = self.ctx.po_loads();
 
         let mut dirty = vec![false; n];
@@ -175,14 +207,14 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
             dirty[s.index()] = true;
         }
         let mut fwd_changed = vec![false; n];
-        if forward_seeds.iter().any(|&s| !self.graph.node_dead(s)) {
-            for &nid in self.graph.topo_order() {
+        if forward_seeds.iter().any(|&s| !graph.node_dead(s)) {
+            for &nid in graph.topo_order() {
                 if !dirty[nid.index()] {
                     continue;
                 }
                 self.stats.forward_recomputed += 1;
                 let changed = forward_node(
-                    self.graph,
+                    graph,
                     &self.ctx,
                     &po_loads,
                     &self.q_to_ck,
@@ -192,8 +224,8 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
                 );
                 if changed {
                     fwd_changed[nid.index()] = true;
-                    for aid in self.graph.fanout(nid) {
-                        dirty[self.graph.arc(aid).to.index()] = true;
+                    for aid in graph.fanout(nid) {
+                        dirty[graph.arc(aid).to.index()] = true;
                     }
                 }
             }
@@ -201,13 +233,12 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
 
         // Endpoint required times (and CPPR credits) are cheap to refresh
         // wholesale; collect which endpoints actually moved.
-        let changed_endpoints =
-            endpoint_rats(self.graph, &self.ctx, self.options, &mut self.state);
+        let changed_endpoints = endpoint_rats(graph, &self.ctx, self.options, &mut self.state);
 
         let mut stale = vec![false; n];
         for e in changed_endpoints {
-            for aid in self.graph.fanin(NodeId(e as u32)) {
-                stale[self.graph.arc(aid).from.index()] = true;
+            for aid in graph.fanin(NodeId(e as u32)) {
+                stale[graph.arc(aid).from.index()] = true;
             }
         }
         for i in 0..n {
@@ -215,29 +246,111 @@ impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
                 // A changed slew changes the delays of this node's own
                 // out-arcs, so its RAT is stale too.
                 stale[i] = true;
-                for aid in self.graph.fanin(NodeId(i as u32)) {
-                    stale[self.graph.arc(aid).from.index()] = true;
+                for aid in graph.fanin(NodeId(i as u32)) {
+                    stale[graph.arc(aid).from.index()] = true;
                 }
             }
         }
         for &lc in load_changed {
-            for aid in self.graph.fanin(lc) {
-                stale[self.graph.arc(aid).from.index()] = true;
+            for aid in graph.fanin(lc) {
+                stale[graph.arc(aid).from.index()] = true;
             }
         }
-        for &nid in self.graph.topo_order().iter().rev() {
+        for &nid in graph.topo_order().iter().rev() {
             if !stale[nid.index()] {
                 continue;
             }
             self.stats.backward_recomputed += 1;
-            let changed =
-                backward_node(self.graph, &po_loads, &self.evaluator, &mut self.state, nid);
+            let changed = backward_node(graph, &po_loads, &self.evaluator, &mut self.state, nid);
             if changed {
-                for aid in self.graph.fanin(nid) {
-                    stale[self.graph.arc(aid).from.index()] = true;
+                for aid in graph.fanin(nid) {
+                    stale[graph.arc(aid).from.index()] = true;
                 }
             }
         }
+    }
+}
+
+/// A timer that keeps propagation state alive across boundary-condition
+/// changes.
+///
+/// Generic over any [`TimingGraph`] implementation, so it can run on a flat
+/// [`ArcGraph`], a frozen [`crate::view::DesignCore`], or an edited
+/// [`crate::view::GraphView`] alike; the default parameter keeps existing
+/// `IncrementalTimer<'_>` signatures meaning the `ArcGraph` case.
+///
+/// This is a thin borrowing wrapper over [`IncrementalState`]; callers that
+/// need to own the graph and the state together (e.g. a serving session)
+/// should use `IncrementalState` directly.
+#[derive(Debug)]
+pub struct IncrementalTimer<'g, G: TimingGraph = ArcGraph> {
+    graph: &'g G,
+    inner: IncrementalState,
+}
+
+impl<'g, G: TimingGraph> IncrementalTimer<'g, G> {
+    /// Performs the initial full analysis and retains its state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis errors (infallible for valid graphs).
+    pub fn new(graph: &'g G, ctx: Context, options: AnalysisOptions) -> Result<Self> {
+        Ok(IncrementalTimer { graph, inner: IncrementalState::new(graph, ctx, options)? })
+    }
+
+    /// The current boundary context.
+    #[must_use]
+    pub fn ctx(&self) -> &Context {
+        self.inner.ctx()
+    }
+
+    /// Work counters.
+    #[must_use]
+    pub fn stats(&self) -> IncrementalStats {
+        self.inner.stats()
+    }
+
+    /// The analysis options the timer runs under.
+    #[must_use]
+    pub fn options(&self) -> AnalysisOptions {
+        self.inner.options()
+    }
+
+    /// Materialises the current state as a regular [`Analysis`] (with its
+    /// boundary snapshot).
+    #[must_use]
+    pub fn analysis(&self) -> Analysis {
+        self.inner.analysis(self.graph)
+    }
+
+    /// Changes one primary input's boundary constraint and updates the
+    /// affected cone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::UnknownPort`] for an out-of-range index.
+    pub fn set_pi(&mut self, pi_index: usize, constraint: PiConstraint) -> Result<()> {
+        self.inner.set_pi(self.graph, pi_index, constraint)
+    }
+
+    /// Changes one primary output's external load and updates the affected
+    /// cone (every pin driving a net attached to that port re-times).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::UnknownPort`] for an out-of-range index.
+    pub fn set_po_load(&mut self, po_index: usize, load: f64) -> Result<()> {
+        self.inner.set_po_load(self.graph, po_index, load)
+    }
+
+    /// Changes one primary output's required arrival times; only the
+    /// backward cone re-times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::UnknownPort`] for an out-of-range index.
+    pub fn set_po_rat(&mut self, po_index: usize, rat: Split<f64>) -> Result<()> {
+        self.inner.set_po_rat(self.graph, po_index, rat)
     }
 }
 
@@ -296,7 +409,7 @@ mod tests {
 
     fn assert_matches_full(timer: &IncrementalTimer<'_>, graph: &ArcGraph) {
         let fresh =
-            Analysis::run_with_options(graph, timer.ctx(), timer.options).unwrap();
+            Analysis::run_with_options(graph, timer.ctx(), timer.options()).unwrap();
         let inc = timer.analysis();
         let d = fresh.boundary().diff(inc.boundary());
         assert_eq!(d.max, 0.0, "incremental state diverged from full analysis");

@@ -90,6 +90,7 @@ use timing_macro_gnn::sta::propagate::AnalysisOptions;
 use timing_macro_gnn::sta::report::{critical_paths, format_path, slack_summary};
 use timing_macro_gnn::sta::split::{Edge, Mode};
 use timing_macro_gnn::obs;
+use timing_macro_gnn::serve;
 use timing_macro_gnn::sta::validate::{validate_arc_graph, validate_library, validate_netlist};
 use timing_macro_gnn::sta::StaError;
 
@@ -1019,17 +1020,16 @@ fn cmd_benchdiff(args: &Args, report: &mut obs::RunReport) -> CliResult {
         None => print!("{table}"),
     }
     let regressions = diff.regressions();
+    let removed = diff.removed();
     report.fact("keys", diff.rows.len());
     report.fact("regressions", regressions.len());
-    if regressions.is_empty() {
-        eprintln!("benchdiff: {} key(s) within thresholds", diff.rows.len());
-        Ok(())
-    } else {
+    report.fact("removed", removed.len());
+    if !regressions.is_empty() {
         let names: Vec<String> = regressions
             .iter()
             .map(|r| format!("{}/{}", r.stage, r.design))
             .collect();
-        Err(CliError {
+        return Err(CliError {
             class: ErrClass::Analysis,
             msg: format!(
                 "benchdiff: {} of {} key(s) regressed: {}",
@@ -1037,8 +1037,21 @@ fn cmd_benchdiff(args: &Args, report: &mut obs::RunReport) -> CliResult {
                 diff.rows.len(),
                 names.join(", ")
             ),
-        })
+        });
     }
+    // A stage that stopped being measured is a gate failure too: perf
+    // coverage silently shrinking must not read as a pass.
+    if !removed.is_empty() {
+        let names: Vec<String> =
+            removed.iter().map(|r| format!("{}/{}", r.stage, r.design)).collect();
+        return Err(CliError::validation(format!(
+            "benchdiff: {} baseline key(s) missing from candidate: {}",
+            removed.len(),
+            names.join(", ")
+        )));
+    }
+    eprintln!("benchdiff: {} key(s) within thresholds", diff.rows.len());
+    Ok(())
 }
 
 /// Spawns this same binary as a child `tmm` invocation with a controlled
@@ -1255,7 +1268,71 @@ fn cmd_ckptcheck(args: &Args, report: &mut obs::RunReport) -> CliResult {
     }
 }
 
-const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|eco|diffcheck|ckptcheck|obscheck|benchdiff> [--flag value] [--switch]
+/// `tmm serve`: load designs once, answer concurrent what-if sessions
+/// over HTTP until `--max-seconds` elapses (0 = until killed).
+fn cmd_serve(args: &Args) -> CliResult {
+    let library = load_library(args.required("lib")?)?;
+    let design_list = args.required("design")?;
+    let model_path = args.flags.get("model");
+    let addr = args.get_or("addr", "127.0.0.1:0");
+    let workers: usize = args.parsed("workers", "4")?;
+    let max_seconds: u64 = args.parsed("max-seconds", "0")?;
+    let options = AnalysisOptions { cppr: args.switch("cppr"), aocv: args.switch("aocv") };
+
+    let paths: Vec<&str> = design_list.split(',').filter(|p| !p.is_empty()).collect();
+    if paths.is_empty() {
+        return Err(CliError::usage("--design needs at least one path"));
+    }
+    if model_path.is_some() && paths.len() != 1 {
+        return Err(CliError::usage("--model requires exactly one --design"));
+    }
+    // Serving without metrics would make the smoke gates blind; the
+    // registry is process-global, so enabling it here covers the workers.
+    obs::enable_metrics();
+    let mut pool = serve::DesignPool::new();
+    for path in &paths {
+        let graph = load_design(path, &library)?;
+        let model = match model_path {
+            Some(mp) => Some(MacroModel::parse(&read_file(mp)?).map_err(|e| CliError {
+                msg: format!("{mp}: {e}"),
+                ..CliError::from(e)
+            })?),
+            None => None,
+        };
+        let ctx = timing_macro_gnn::sta::constraints::Context::nominal(&graph);
+        let entry = serve::DesignEntry::new(&graph, ctx, options, model);
+        eprintln!(
+            "pooled {}: {} pins, {} PI, {} PO",
+            entry.name,
+            entry.pins.len(),
+            entry.ctx.pi.len(),
+            entry.ctx.po.len()
+        );
+        pool.insert(entry);
+    }
+    let engine = std::sync::Arc::new(serve::ServeEngine::new(
+        std::sync::Arc::new(pool),
+        serve::EngineOptions { workers },
+    ));
+    let handle = serve::serve(std::sync::Arc::clone(&engine), &addr)
+        .map_err(|e| CliError::io(format!("cannot serve on {addr}: {e}")))?;
+    // Scripts scrape this exact line for the bound port (port 0 support).
+    println!("serve listening on {}", handle.addr());
+    if max_seconds == 0 {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(max_seconds));
+    eprintln!(
+        "serve: --max-seconds {max_seconds} elapsed, {} session(s) still open",
+        engine.open_sessions()
+    );
+    drop(handle);
+    Ok(())
+}
+
+const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|eco|diffcheck|ckptcheck|obscheck|benchdiff|serve> [--flag value] [--switch]
   gen      --name <id> --pins <n> [--seed <s>] --out <design.tmm> [--lib-out <lib.tmm>]
   stats    --design <design.tmm> --lib <lib.tmm>
   model    --design <design.tmm> --lib <lib.tmm> --out <model.tmm>
@@ -1292,7 +1369,13 @@ const USAGE: &str = "usage: tmm <gen|stats|model|time|eval|context|validate|eco|
   benchdiff --baseline <file|dir> --current <file|dir>
            [--max-regress-pct <pct>] [--min-ms <ms>] [--out <table.md>]
            (perf-regression gate over BENCH_*.json artifacts: exits 5 and names
-            the stage when wall time grew past both noise thresholds)
+            the stage when wall time grew past both noise thresholds; a baseline
+            stage missing from the candidate exits 4 as a removed stage)
+  serve    --lib <lib.tmm> --design <d1.tmm[,d2.tmm,…]> [--model <model.tmm>]
+           [--addr <host:port>] [--workers <n>] [--max-seconds <n>]
+           [--cppr] [--aocv]
+           (concurrent what-if service: POST /v1 command batches, GET /metrics,
+            GET /healthz; sessions shard by id with bit-deterministic responses)
 observability (any command):
   --trace-out <trace.json>    record spans, write Chrome trace_event JSON
   --metrics-out <m.prom>      record metrics, write Prometheus text exposition
@@ -1402,6 +1485,7 @@ fn run() -> ExitCode {
         "ckptcheck" => cmd_ckptcheck(&args, &mut report),
         "obscheck" => cmd_obscheck(&args),
         "benchdiff" => cmd_benchdiff(&args, &mut report),
+        "serve" => cmd_serve(&args),
         other => Err(CliError::usage(format!("unknown command `{other}`\n{USAGE}"))),
     };
     if let Err(e) = &result {

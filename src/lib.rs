@@ -23,6 +23,9 @@
 //!   repro artifacts.
 //! - [`bench`] — benchmark harness and the `benchdiff` perf-regression
 //!   gate over `BENCH_*.json` artifacts.
+//! - [`serve`] — concurrent what-if timing-query service: frozen design
+//!   cores shared across sharded worker threads, with bit-deterministic
+//!   responses over a zero-dependency HTTP front-end.
 //!
 //! # Quickstart
 //!
@@ -55,4 +58,5 @@ pub use tmm_gnn as gnn;
 pub use tmm_macromodel as macromodel;
 pub use tmm_obs as obs;
 pub use tmm_sensitivity as sensitivity;
+pub use tmm_serve as serve;
 pub use tmm_sta as sta;
